@@ -1,0 +1,133 @@
+//! Criterion benches for the `aZoom^T` experiments (Figures 10–13).
+//!
+//! One benchmark group per figure; each group benchmarks the RG/VE/OG
+//! representations on the workload the figure varies. Scales are reduced so
+//! `cargo bench` completes in minutes; the `experiments` binary runs the
+//! full paper-shaped series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tgraph_bench::datasets::{natural_group_key, snb, wikitalk, wikitalk_months, DatasetId};
+use tgraph_core::zoom::azoom::{AZoomSpec, AggSpec};
+use tgraph_datagen::{coarsen_time, inject_attribute_changes, project_random_groups};
+use tgraph_dataflow::Runtime;
+use tgraph_repr::{AnyGraph, ReprKind};
+
+const SCALE: f64 = 0.05;
+const REPRS: [ReprKind; 3] = [ReprKind::Rg, ReprKind::Ve, ReprKind::Og];
+
+fn azoom_spec(key: &str) -> AZoomSpec {
+    AZoomSpec::by_property(key, "group", vec![AggSpec::count("members")])
+}
+
+/// Fig. 10: aZoom^T runtime vs data size (number of snapshots loaded).
+fn bench_fig10_datasize(c: &mut Criterion) {
+    let rt = Runtime::default_parallel();
+    let spec = azoom_spec(natural_group_key(DatasetId::WikiTalk));
+    let mut group = c.benchmark_group("fig10_azoom_datasize");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for months in [12u32, 36, 60] {
+        let g = wikitalk_months(SCALE, months);
+        for kind in REPRS {
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), months),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        let loaded = AnyGraph::load(&rt, g, kind);
+                        std::hint::black_box(loaded.azoom(&rt, &spec));
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 11: aZoom^T runtime vs number of snapshots at fixed size.
+fn bench_fig11_snapshots(c: &mut Criterion) {
+    let rt = Runtime::default_parallel();
+    let spec = azoom_spec(natural_group_key(DatasetId::WikiTalk));
+    let base = wikitalk(SCALE);
+    let mut group = c.benchmark_group("fig11_azoom_snapshots");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for factor in [30u32, 6, 1] {
+        let g = coarsen_time(&base, factor);
+        let snaps = g.change_points().len().saturating_sub(1);
+        for kind in REPRS {
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), snaps),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        let loaded = AnyGraph::load(&rt, g, kind);
+                        std::hint::black_box(loaded.azoom(&rt, &spec));
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 12: aZoom^T runtime vs group-by cardinality.
+fn bench_fig12_cardinality(c: &mut Criterion) {
+    let rt = Runtime::default_parallel();
+    let spec = azoom_spec("group");
+    let base = wikitalk(SCALE);
+    let mut group = c.benchmark_group("fig12_azoom_cardinality");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for card in [10u64, 1_000, 1_000_000] {
+        let g = project_random_groups(&base, card, 42);
+        for kind in [ReprKind::Ve, ReprKind::Og] {
+            group.bench_with_input(BenchmarkId::new(kind.to_string(), card), &g, |b, g| {
+                b.iter(|| {
+                    let loaded = AnyGraph::load(&rt, g, kind);
+                    std::hint::black_box(loaded.azoom(&rt, &spec));
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 13: aZoom^T runtime vs frequency of vertex attribute change.
+fn bench_fig13_changefreq(c: &mut Criterion) {
+    let rt = Runtime::default_parallel();
+    let spec = azoom_spec(natural_group_key(DatasetId::Snb));
+    let base = snb(SCALE);
+    let mut group = c.benchmark_group("fig13_azoom_changefreq");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for period in [36u32, 6, 1] {
+        let g = inject_attribute_changes(&base, period);
+        for kind in REPRS {
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), format!("every{period}")),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        let loaded = AnyGraph::load(&rt, g, kind);
+                        std::hint::black_box(loaded.azoom(&rt, &spec));
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig10_datasize,
+    bench_fig11_snapshots,
+    bench_fig12_cardinality,
+    bench_fig13_changefreq
+);
+criterion_main!(benches);

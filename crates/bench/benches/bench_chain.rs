@@ -1,0 +1,110 @@
+//! Criterion benches for operation chaining (Figures 16–17) and the
+//! lazy-coalescing ablation (A2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tgraph_bench::datasets::{natural_group_key, wikitalk, DatasetId};
+use tgraph_bench::runner::CHAIN_PLANS;
+use tgraph_core::zoom::azoom::{AZoomSpec, AggSpec};
+use tgraph_core::zoom::wzoom::{Quantifier, WZoomSpec};
+use tgraph_datagen::project_random_groups;
+use tgraph_dataflow::Runtime;
+use tgraph_query::{CoalescePolicy, Pipeline};
+use tgraph_repr::{AnyGraph, ReprKind};
+
+const SCALE: f64 = 0.05;
+
+fn aspec() -> AZoomSpec {
+    AZoomSpec::by_property(
+        natural_group_key(DatasetId::WikiTalk),
+        "group",
+        vec![AggSpec::count("members")],
+    )
+}
+
+/// Fig. 16: aZoom^T·wZoom^T chains under the four representation plans.
+fn bench_fig16_chain_switch(c: &mut Criterion) {
+    let rt = Runtime::default_parallel();
+    let g = wikitalk(SCALE);
+    let aspec = aspec();
+    let mut group = c.benchmark_group("fig16_chain_switch");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for window in [6u64, 24] {
+        let wspec = WZoomSpec::points(window, Quantifier::All, Quantifier::All);
+        for plan in CHAIN_PLANS {
+            group.bench_with_input(
+                BenchmarkId::new(plan.to_string(), window),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        let loaded = AnyGraph::load(&rt, g, plan.first);
+                        let mid = loaded.azoom(&rt, &aspec).switch_to(&rt, plan.second);
+                        std::hint::black_box(mid.wzoom(&rt, &wspec));
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 17: zoom order (az-wz vs wz-az) across group-by cardinalities.
+fn bench_fig17_chain_order(c: &mut Criterion) {
+    let rt = Runtime::default_parallel();
+    let base = wikitalk(SCALE);
+    let aspec = AZoomSpec::by_property("group", "group", vec![AggSpec::count("members")]);
+    let wspec = WZoomSpec::points(6, Quantifier::Exists, Quantifier::Exists);
+    let mut group = c.benchmark_group("fig17_chain_order");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for card in [10u64, 1_000_000] {
+        let g = project_random_groups(&base, card, 42);
+        group.bench_with_input(BenchmarkId::new("az-wz_OG", card), &g, |b, g| {
+            b.iter(|| {
+                let loaded = AnyGraph::load(&rt, g, ReprKind::Og);
+                let mid = loaded.azoom(&rt, &aspec);
+                std::hint::black_box(mid.wzoom(&rt, &wspec));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("wz-az_OG", card), &g, |b, g| {
+            b.iter(|| {
+                let loaded = AnyGraph::load(&rt, g, ReprKind::Og);
+                let mid = loaded.wzoom(&rt, &wspec);
+                std::hint::black_box(mid.azoom(&rt, &aspec));
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A2: lazy vs eager coalescing on a three-operator chain over VE.
+fn bench_a2_lazy_coalesce(c: &mut Criterion) {
+    let rt = Runtime::default_parallel();
+    let g = project_random_groups(&wikitalk(SCALE), 1_000, 42);
+    let aspec = AZoomSpec::by_property("group", "group", vec![AggSpec::count("members")]);
+    let wspec = WZoomSpec::points(6, Quantifier::Exists, Quantifier::Exists);
+    let pipeline = Pipeline::new().azoom(aspec.clone()).azoom(aspec).wzoom(wspec);
+    let mut group = c.benchmark_group("a2_lazy_coalesce");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, policy) in [("lazy", CoalescePolicy::Lazy), ("eager", CoalescePolicy::Eager)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| {
+                let loaded = AnyGraph::load(&rt, g, ReprKind::Ve);
+                std::hint::black_box(pipeline.execute(&rt, loaded, policy));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig16_chain_switch,
+    bench_fig17_chain_order,
+    bench_a2_lazy_coalesce
+);
+criterion_main!(benches);

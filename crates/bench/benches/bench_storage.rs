@@ -1,0 +1,73 @@
+//! Criterion benches for the storage layer: the load-locality ablation (A1)
+//! and predicate-pushdown effectiveness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tgraph_bench::datasets::wikitalk;
+use tgraph_core::time::Interval;
+use tgraph_dataflow::Runtime;
+use tgraph_repr::RgGraph;
+use tgraph_storage::{write_dataset, GraphLoader, SortOrder};
+
+const SCALE: f64 = 0.05;
+
+fn setup() -> GraphLoader {
+    let dir = std::env::temp_dir().join("tgraph-bench-storage");
+    let g = wikitalk(SCALE);
+    write_dataset(&dir, "wiki", &g).expect("write dataset");
+    GraphLoader::new(dir, "wiki")
+}
+
+/// A1: RG load time from structural vs temporal sort order; OG from nested
+/// vs flat-plus-shuffle.
+fn bench_a1_load_locality(c: &mut Criterion) {
+    let rt = Runtime::default_parallel();
+    let loader = setup();
+    let mut group = c.benchmark_group("a1_load_locality");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for order in [SortOrder::Structural, SortOrder::Temporal] {
+        group.bench_with_input(
+            BenchmarkId::new("RG_from", format!("{order:?}")),
+            &order,
+            |b, order| {
+                b.iter(|| {
+                    let (g, _) = loader.load_flat(*order, None).unwrap();
+                    std::hint::black_box(RgGraph::from_tgraph(&rt, &g));
+                })
+            },
+        );
+    }
+    group.bench_function("OG_from_nested", |b| {
+        b.iter(|| std::hint::black_box(loader.load_og(&rt, None).unwrap()))
+    });
+    group.bench_function("OG_from_flat_shuffle", |b| {
+        b.iter(|| {
+            let (ve, _) = loader.load_ve(&rt, None).unwrap();
+            std::hint::black_box(tgraph_repr::convert::ve_to_og(&rt, &ve));
+        })
+    });
+    group.finish();
+}
+
+/// Pushdown effectiveness: loading a narrow time slice vs the whole file.
+fn bench_pushdown(c: &mut Criterion) {
+    let rt = Runtime::default_parallel();
+    let loader = setup();
+    let mut group = c.benchmark_group("storage_pushdown");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("full_scan", |b| {
+        b.iter(|| std::hint::black_box(loader.load_ve(&rt, None).unwrap()))
+    });
+    group.bench_function("last_6_months", |b| {
+        b.iter(|| {
+            std::hint::black_box(loader.load_ve(&rt, Some(Interval::new(54, 60))).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_a1_load_locality, bench_pushdown);
+criterion_main!(benches);

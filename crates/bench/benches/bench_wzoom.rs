@@ -1,0 +1,92 @@
+//! Criterion benches for the `wZoom^T` experiments (Figures 14–15) and the
+//! quantifier ablation (A3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tgraph_bench::datasets::{wikitalk, wikitalk_months};
+use tgraph_core::zoom::wzoom::{Quantifier, WZoomSpec};
+use tgraph_dataflow::Runtime;
+use tgraph_repr::{AnyGraph, ReprKind};
+
+const SCALE: f64 = 0.05;
+const REPRS: [ReprKind; 4] = [ReprKind::Rg, ReprKind::Ve, ReprKind::Og, ReprKind::Ogc];
+
+/// Fig. 14: wZoom^T runtime vs data size, fixed window, exists/exists.
+fn bench_fig14_datasize(c: &mut Criterion) {
+    let rt = Runtime::default_parallel();
+    let spec = WZoomSpec::points(3, Quantifier::Exists, Quantifier::Exists);
+    let mut group = c.benchmark_group("fig14_wzoom_datasize");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for months in [12u32, 36, 60] {
+        let g = wikitalk_months(SCALE, months);
+        for kind in REPRS {
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), months),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        let loaded = AnyGraph::load(&rt, g, kind);
+                        std::hint::black_box(loaded.wzoom(&rt, &spec));
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 15: wZoom^T runtime vs window size, fixed data, all/all.
+fn bench_fig15_window(c: &mut Criterion) {
+    let rt = Runtime::default_parallel();
+    let g = wikitalk(SCALE);
+    let mut group = c.benchmark_group("fig15_wzoom_window");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for window in [2u64, 6, 24] {
+        let spec = WZoomSpec::points(window, Quantifier::All, Quantifier::All);
+        for kind in REPRS {
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), window),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        let loaded = AnyGraph::load(&rt, g, kind);
+                        std::hint::black_box(loaded.wzoom(&rt, &spec));
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// A3: wZoom^T under different quantifier strengths.
+fn bench_a3_quantifiers(c: &mut Criterion) {
+    let rt = Runtime::default_parallel();
+    let g = wikitalk(SCALE);
+    let mut group = c.benchmark_group("a3_wzoom_quantifiers");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, q) in [("all", Quantifier::All), ("exists", Quantifier::Exists)] {
+        let spec = WZoomSpec::points(3, q, q);
+        for kind in [ReprKind::Og, ReprKind::Ogc] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), name),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        let loaded = AnyGraph::load(&rt, g, kind);
+                        std::hint::black_box(loaded.wzoom(&rt, &spec));
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14_datasize, bench_fig15_window, bench_a3_quantifiers);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Scaled dataset construction for the benchmark harness.
+//!
+//! Every experiment uses the three paper datasets at a configurable scale.
+//! `scale = 1.0` targets a comfortable laptop run (seconds per operator);
+//! the relative proportions between datasets follow the paper's table.
+
+use tgraph_core::TGraph;
+use tgraph_datagen::{NGrams, Snb, WikiTalk};
+
+/// Identifies one of the evaluation datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetId {
+    /// WikiTalk-shaped messaging graph (sparse, low evolution rate).
+    WikiTalk,
+    /// LDBC-SNB-shaped friendship graph (growth-only, high evolution rate).
+    Snb,
+    /// NGrams-shaped co-occurrence graph (persistent vertices, churny edges).
+    NGrams,
+}
+
+impl std::fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetId::WikiTalk => write!(f, "WikiTalk"),
+            DatasetId::Snb => write!(f, "SNB"),
+            DatasetId::NGrams => write!(f, "NGrams"),
+        }
+    }
+}
+
+/// WikiTalk at `scale` (scale 1.0 ≈ 20 K vertices / 74 K edges / 60 months).
+pub fn wikitalk(scale: f64) -> TGraph {
+    WikiTalk {
+        vertices: ((20_000.0 * scale) as usize).max(200),
+        months: 60,
+        ..WikiTalk::default()
+    }
+    .generate()
+}
+
+/// WikiTalk with an explicit snapshot count (Fig. 10a varies months).
+pub fn wikitalk_months(scale: f64, months: u32) -> TGraph {
+    WikiTalk {
+        vertices: ((20_000.0 * scale) as usize).max(200),
+        months,
+        ..WikiTalk::default()
+    }
+    .generate()
+}
+
+/// SNB at `scale` (scale 1.0 ≈ 10 K persons / 150 K edges / 36 months).
+pub fn snb(scale: f64) -> TGraph {
+    Snb {
+        persons: ((10_000.0 * scale) as usize).max(200),
+        ..Snb::default()
+    }
+    .generate()
+}
+
+/// SNB with an explicit snapshot count (Fig. 11b generates 12–360 snapshots).
+pub fn snb_months(scale: f64, months: u32) -> TGraph {
+    Snb {
+        persons: ((10_000.0 * scale) as usize).max(200),
+        months,
+        ..Snb::default()
+    }
+    .generate()
+}
+
+/// NGrams at `scale` (scale 1.0 ≈ 16 K persistent vertices / ~8 K concurrent
+/// edges per year / ~550 K total edge tuples over 100 years).
+pub fn ngrams(scale: f64) -> TGraph {
+    NGrams {
+        vertices: ((16_000.0 * scale) as usize).max(200),
+        years: 100,
+        ..NGrams::default()
+    }
+    .generate()
+}
+
+/// NGrams with an explicit snapshot count.
+pub fn ngrams_years(scale: f64, years: u32) -> TGraph {
+    NGrams {
+        vertices: ((16_000.0 * scale) as usize).max(200),
+        years,
+        ..NGrams::default()
+    }
+    .generate()
+}
+
+/// The natural `aZoom^T` grouping attribute per dataset, as in §5.1: WikiTalk
+/// groups by username, SNB by first name, NGrams by word.
+pub fn natural_group_key(id: DatasetId) -> &'static str {
+    match id {
+        DatasetId::WikiTalk => "name",
+        DatasetId::Snb => "firstName",
+        DatasetId::NGrams => "word",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_affect_size() {
+        let small = wikitalk(0.02);
+        let big = wikitalk(0.05);
+        assert!(big.distinct_vertex_count() > small.distinct_vertex_count());
+    }
+
+    #[test]
+    fn natural_keys_exist_on_vertices() {
+        for (g, id) in [
+            (wikitalk(0.02), DatasetId::WikiTalk),
+            (snb(0.02), DatasetId::Snb),
+            (ngrams(0.02), DatasetId::NGrams),
+        ] {
+            let key = natural_group_key(id);
+            assert!(
+                g.vertices.iter().all(|v| v.props.get(key).is_some()),
+                "{id}: every vertex must carry {key}"
+            );
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Measurement and reporting utilities for the experiment harness.
+
+use std::time::{Duration, Instant};
+
+/// Times a closure, returning its result and elapsed wall time.
+pub fn time_it<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// A measurement cell: a duration, or a marker that the configuration was
+/// skipped because a previous run of the same series already exceeded the
+/// timeout (the paper's "RG timed out for anything larger" handling).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Cell {
+    /// Measured wall time.
+    Time(Duration),
+    /// The run exceeded the soft timeout (value = the measured time anyway).
+    TimedOut(Duration),
+    /// Skipped: an earlier point in the series already timed out.
+    Skipped,
+    /// Not applicable (e.g. aZoom^T on OGC).
+    NotSupported,
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cell::Time(d) => write!(f, "{:>9.3}s", d.as_secs_f64()),
+            Cell::TimedOut(d) => write!(f, "TO({:.1}s)", d.as_secs_f64()),
+            Cell::Skipped => write!(f, "{:>10}", "—"),
+            Cell::NotSupported => write!(f, "{:>10}", "n/a"),
+        }
+    }
+}
+
+impl Cell {
+    /// Seconds if measured (including timed-out measurements).
+    pub fn seconds(&self) -> Option<f64> {
+        match self {
+            Cell::Time(d) | Cell::TimedOut(d) => Some(d.as_secs_f64()),
+            _ => None,
+        }
+    }
+
+    /// Whether the series should stop measuring larger configurations.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, Cell::TimedOut(_))
+    }
+}
+
+/// Runs one measurement under a soft timeout: the closure always runs to
+/// completion, but the cell is marked [`Cell::TimedOut`] when it exceeds
+/// `timeout`, and callers then skip the remaining (larger) points of the
+/// series — mirroring the paper's 30-minute experiment timeout.
+pub fn measure(timeout: Duration, f: impl FnOnce()) -> Cell {
+    let ((), d) = time_it(f);
+    if d > timeout {
+        Cell::TimedOut(d)
+    } else {
+        Cell::Time(d)
+    }
+}
+
+/// A printable result table: header plus rows of labelled cells.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<Cell>)>,
+}
+
+impl Table {
+    /// Creates a table titled `title` with value column headers `columns`.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Table { title: title.into(), columns, rows: Vec::new() }
+    }
+
+    /// Appends a labelled row.
+    pub fn push_row(&mut self, label: impl Into<String>, cells: Vec<Cell>) {
+        self.rows.push((label.into(), cells));
+    }
+
+    /// The rows recorded so far.
+    pub fn rows(&self) -> &[(String, Vec<Cell>)] {
+        &self.rows
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let label_width = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap_or(8);
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let _ = write!(out, "{:label_width$}", "");
+        for c in &self.columns {
+            let _ = write!(out, " {c:>11}");
+        }
+        let _ = writeln!(out);
+        for (label, cells) in &self.rows {
+            let _ = write!(out, "{label:label_width$}");
+            for cell in cells {
+                let _ = write!(out, " {:>11}", cell.to_string());
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_marks_timeout() {
+        let fast = measure(Duration::from_secs(60), || {});
+        assert!(matches!(fast, Cell::Time(_)));
+        let slow = measure(Duration::from_nanos(1), || {
+            std::thread::sleep(Duration::from_millis(2))
+        });
+        assert!(slow.is_timeout());
+        assert!(slow.seconds().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", vec!["a".into(), "b".into()]);
+        t.push_row("row-one", vec![Cell::Time(Duration::from_millis(1500)), Cell::Skipped]);
+        t.push_row("r2", vec![Cell::NotSupported, Cell::TimedOut(Duration::from_secs(2))]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("row-one"));
+        assert!(s.contains("1.500s"));
+        assert!(s.contains("n/a"));
+        assert!(s.contains("TO(2.0s)"));
+    }
+
+    #[test]
+    fn cell_seconds() {
+        assert_eq!(Cell::Skipped.seconds(), None);
+        assert_eq!(Cell::NotSupported.seconds(), None);
+        assert!(Cell::Time(Duration::from_secs(1)).seconds().unwrap() >= 1.0);
+    }
+}

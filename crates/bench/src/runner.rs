@@ -1,0 +1,160 @@
+//! Uniform operator runners used by all experiments.
+//!
+//! Following §5 ("the runtime includes the setup time of submitting a job,
+//! reading the data from disk, executing the operation, and materializing
+//! the results in memory"), every measurement covers: building the physical
+//! representation from the logical graph (the load step), executing the
+//! operator, and materializing the result (a count that touches every output
+//! partition).
+
+use std::time::Duration;
+use tgraph_core::zoom::{AZoomSpec, WZoomSpec};
+use tgraph_core::TGraph;
+use tgraph_dataflow::Runtime;
+use tgraph_repr::{AnyGraph, OgcGraph, OgGraph, ReprKind, RgGraph, VeGraph};
+
+use crate::harness::{measure, Cell};
+
+/// Materializes an output graph: touches every partition of the result.
+fn materialize(rt: &Runtime, g: &AnyGraph) -> usize {
+    match g {
+        AnyGraph::Rg(g) => g.total_vertex_tuples(rt) + g.total_edge_tuples(rt),
+        AnyGraph::Ve(g) => g.vertex_tuple_count(rt) + g.edge_tuple_count(rt),
+        AnyGraph::Og(g) => g.vertex_count(rt) + g.edge_count(rt),
+        AnyGraph::Ogc(g) => g.vertex_count(rt) + g.edge_count(rt),
+    }
+}
+
+/// Loads `g` into `kind`, runs `aZoom^T`, materializes; returns the cell.
+pub fn run_azoom(
+    rt: &Runtime,
+    g: &TGraph,
+    kind: ReprKind,
+    spec: &AZoomSpec,
+    timeout: Duration,
+) -> Cell {
+    if !kind.supports_azoom() {
+        return Cell::NotSupported;
+    }
+    measure(timeout, || {
+        let loaded = AnyGraph::load(rt, g, kind);
+        let out = loaded.azoom(rt, spec);
+        let _ = materialize(rt, &out);
+    })
+}
+
+/// Loads `g` into `kind`, runs `wZoom^T`, materializes; returns the cell.
+pub fn run_wzoom(
+    rt: &Runtime,
+    g: &TGraph,
+    kind: ReprKind,
+    spec: &WZoomSpec,
+    timeout: Duration,
+) -> Cell {
+    measure(timeout, || {
+        let loaded = AnyGraph::load(rt, g, kind);
+        let out = loaded.wzoom(rt, spec);
+        let _ = materialize(rt, &out);
+    })
+}
+
+/// A chain step sequence for Figures 16–17: which representation hosts each
+/// zoom, with a switch in between when they differ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChainPlan {
+    /// Representation of the first operator.
+    pub first: ReprKind,
+    /// Representation of the second operator.
+    pub second: ReprKind,
+}
+
+impl std::fmt::Display for ChainPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.first == self.second {
+            write!(f, "{}", self.first)
+        } else {
+            write!(f, "{}-{}", self.first, self.second)
+        }
+    }
+}
+
+/// The four chain plans of Figure 16: VE, OG, VE→OG, OG→VE.
+pub const CHAIN_PLANS: [ChainPlan; 4] = [
+    ChainPlan { first: ReprKind::Ve, second: ReprKind::Ve },
+    ChainPlan { first: ReprKind::Og, second: ReprKind::Og },
+    ChainPlan { first: ReprKind::Ve, second: ReprKind::Og },
+    ChainPlan { first: ReprKind::Og, second: ReprKind::Ve },
+];
+
+/// Runs `aZoom^T` then `wZoom^T` under a chain plan (Fig. 16).
+pub fn run_chain_azoom_wzoom(
+    rt: &Runtime,
+    g: &TGraph,
+    plan: ChainPlan,
+    aspec: &AZoomSpec,
+    wspec: &WZoomSpec,
+    timeout: Duration,
+) -> Cell {
+    measure(timeout, || {
+        let loaded = AnyGraph::load(rt, g, plan.first);
+        let mid = loaded.azoom(rt, aspec);
+        let mid = mid.switch_to(rt, plan.second);
+        let out = mid.wzoom(rt, wspec);
+        let _ = materialize(rt, &out);
+    })
+}
+
+/// Runs `wZoom^T` then `aZoom^T` under a chain plan (Fig. 17's reordering).
+pub fn run_chain_wzoom_azoom(
+    rt: &Runtime,
+    g: &TGraph,
+    plan: ChainPlan,
+    aspec: &AZoomSpec,
+    wspec: &WZoomSpec,
+    timeout: Duration,
+) -> Cell {
+    measure(timeout, || {
+        let loaded = AnyGraph::load(rt, g, plan.first);
+        let mid = loaded.wzoom(rt, wspec);
+        let mid = mid.switch_to(rt, plan.second);
+        let out = mid.azoom(rt, aspec);
+        let _ = materialize(rt, &out);
+    })
+}
+
+/// Re-exported concrete types so benches can build representations directly.
+pub type Reprs = (RgGraph, VeGraph, OgGraph, OgcGraph);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph_core::graph::figure1_graph_stable_ids;
+    use tgraph_core::zoom::azoom::AggSpec;
+    use tgraph_core::zoom::wzoom::Quantifier;
+
+    #[test]
+    fn runners_produce_measurements() {
+        let rt = Runtime::with_partitions(2, 2);
+        let g = figure1_graph_stable_ids();
+        let aspec = AZoomSpec::by_property("school", "school", vec![AggSpec::count("students")]);
+        let wspec = WZoomSpec::points(3, Quantifier::Exists, Quantifier::Exists);
+        let t = Duration::from_secs(60);
+        for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og] {
+            assert!(run_azoom(&rt, &g, kind, &aspec, t).seconds().is_some());
+        }
+        assert_eq!(run_azoom(&rt, &g, ReprKind::Ogc, &aspec, t), Cell::NotSupported);
+        for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og, ReprKind::Ogc] {
+            assert!(run_wzoom(&rt, &g, kind, &wspec, t).seconds().is_some());
+        }
+        for plan in CHAIN_PLANS {
+            assert!(run_chain_azoom_wzoom(&rt, &g, plan, &aspec, &wspec, t).seconds().is_some());
+            assert!(run_chain_wzoom_azoom(&rt, &g, plan, &aspec, &wspec, t).seconds().is_some());
+        }
+    }
+
+    #[test]
+    fn chain_plan_display() {
+        assert_eq!(CHAIN_PLANS[0].to_string(), "VE");
+        assert_eq!(CHAIN_PLANS[2].to_string(), "VE-OG");
+    }
+}

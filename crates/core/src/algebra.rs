@@ -1,0 +1,498 @@
+//! Additional TGA operators beyond the two zooms: temporal subgraph
+//! (selection), attribute projection, and the point-semantics binary set
+//! operators (union / intersection / difference).
+//!
+//! The paper positions `aZoom^T`/`wZoom^T` inside a compositional evolving
+//! graph algebra (TGA, Moffitt & Stoyanovich, DBPL 2017); these companions
+//! are what realistic pipelines combine the zooms with (slice a period,
+//! select a community, project attributes, diff two revisions). All
+//! operators obey the same contract: they evaluate point-wise, return a
+//! valid TGraph, and coalesce their output.
+
+use crate::coalesce::coalesce_graph;
+use crate::graph::{EdgeRecord, TGraph, VertexRecord};
+use crate::props::{Key, Props, Value};
+use crate::time::{merge_non_overlapping, Interval};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A predicate over an entity's property set, used by the selection
+/// operators. Combinators build arbitrary boolean conditions.
+#[derive(Clone)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// The property is present (any value).
+    Has(Key),
+    /// Property equals the value.
+    Eq(Key, Value),
+    /// Property is strictly less than the value (same-variant comparison).
+    Lt(Key, Value),
+    /// Property is strictly greater than the value.
+    Gt(Key, Value),
+    /// The required type label equals the value.
+    TypeIs(Arc<str>),
+    /// Both sub-predicates hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Either sub-predicate holds.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// The sub-predicate does not hold.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluates the predicate against a property set.
+    pub fn eval(&self, props: &Props) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Has(k) => props.get(k).is_some(),
+            Predicate::Eq(k, v) => props.get(k) == Some(v),
+            Predicate::Lt(k, v) => props.get(k).is_some_and(|x| x < v),
+            Predicate::Gt(k, v) => props.get(k).is_some_and(|x| x > v),
+            Predicate::TypeIs(t) => props.type_label() == Some(t.as_ref()),
+            Predicate::And(a, b) => a.eval(props) && b.eval(props),
+            Predicate::Or(a, b) => a.eval(props) || b.eval(props),
+            Predicate::Not(a) => !a.eval(props),
+        }
+    }
+
+    /// `a AND b` combinator.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `a OR b` combinator.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT a` combinator.
+    pub fn negate(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Convenience: `key == value`.
+    pub fn eq(key: &str, value: impl Into<Value>) -> Predicate {
+        Predicate::Eq(Arc::from(key), value.into())
+    }
+
+    /// Convenience: `key` present.
+    pub fn has(key: &str) -> Predicate {
+        Predicate::Has(Arc::from(key))
+    }
+}
+
+impl fmt::Debug for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::Has(k) => write!(f, "has({k})"),
+            Predicate::Eq(k, v) => write!(f, "{k} == {v}"),
+            Predicate::Lt(k, v) => write!(f, "{k} < {v}"),
+            Predicate::Gt(k, v) => write!(f, "{k} > {v}"),
+            Predicate::TypeIs(t) => write!(f, "type == {t}"),
+            Predicate::And(a, b) => write!(f, "({a:?} && {b:?})"),
+            Predicate::Or(a, b) => write!(f, "({a:?} || {b:?})"),
+            Predicate::Not(a) => write!(f, "!({a:?})"),
+        }
+    }
+}
+
+/// Point-wise interval subtraction helper: `a` minus all of `mask`.
+fn subtract_all(a: Interval, mask: &[Interval]) -> Vec<Interval> {
+    let mut pieces = vec![a];
+    for m in mask {
+        pieces = pieces
+            .into_iter()
+            .flat_map(|p| match p.intersect(m) {
+                None => vec![p],
+                Some(x) => {
+                    let mut out = Vec::new();
+                    if p.start < x.start {
+                        out.push(Interval::new(p.start, x.start));
+                    }
+                    if x.end < p.end {
+                        out.push(Interval::new(x.end, p.end));
+                    }
+                    out
+                }
+            })
+            .collect();
+    }
+    pieces
+}
+
+/// Temporal subgraph (selection): keeps vertex states satisfying
+/// `vertex_pred` and edge states satisfying `edge_pred`, then clips every
+/// edge to the periods during which both endpoints survive — so the result
+/// is a valid TGraph at every point.
+pub fn subgraph(g: &TGraph, vertex_pred: &Predicate, edge_pred: &Predicate) -> TGraph {
+    let vertices: Vec<VertexRecord> = g
+        .vertices
+        .iter()
+        .filter(|v| vertex_pred.eval(&v.props))
+        .cloned()
+        .collect();
+    // Surviving existence periods per vertex.
+    let mut alive: HashMap<crate::graph::VertexId, Vec<Interval>> = HashMap::new();
+    for v in &vertices {
+        alive.entry(v.vid).or_default().push(v.interval);
+    }
+    for periods in alive.values_mut() {
+        *periods = merge_non_overlapping(periods.clone());
+    }
+    let empty: Vec<Interval> = Vec::new();
+    let edges: Vec<EdgeRecord> = g
+        .edges
+        .iter()
+        .filter(|e| edge_pred.eval(&e.props))
+        .flat_map(|e| {
+            let src_alive = alive.get(&e.src).unwrap_or(&empty);
+            let dst_alive = alive.get(&e.dst).unwrap_or(&empty);
+            let joint = crate::time::intersect_interval_sets(src_alive, dst_alive);
+            joint
+                .into_iter()
+                .filter_map(|iv| iv.intersect(&e.interval))
+                .map(|interval| EdgeRecord { interval, ..e.clone() })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    coalesce_graph(&TGraph { lifespan: g.lifespan, vertices, edges })
+}
+
+/// Attribute projection: restricts vertex properties to `vertex_keys` and
+/// edge properties to `edge_keys` (the `type` label is always kept), then
+/// coalesces — states that differed only in projected-away attributes merge.
+pub fn project(g: &TGraph, vertex_keys: &[&str], edge_keys: &[&str]) -> TGraph {
+    let vertices = g
+        .vertices
+        .iter()
+        .map(|v| VertexRecord { props: v.props.project(vertex_keys), ..v.clone() })
+        .collect();
+    let edges = g
+        .edges
+        .iter()
+        .map(|e| EdgeRecord { props: e.props.project(edge_keys), ..e.clone() })
+        .collect();
+    coalesce_graph(&TGraph { lifespan: g.lifespan, vertices, edges })
+}
+
+/// Point-semantics union: an entity exists in the result wherever it exists
+/// in either input. Where both inputs assert a state for the same entity at
+/// the same point with *different* properties, the left operand wins (the
+/// overlap is carved out of the right operand's states).
+pub fn union(left: &TGraph, right: &TGraph) -> TGraph {
+    // Left-entity occupancy masks.
+    let mut v_mask: HashMap<crate::graph::VertexId, Vec<Interval>> = HashMap::new();
+    for v in &left.vertices {
+        v_mask.entry(v.vid).or_default().push(v.interval);
+    }
+    // Edge facts are masked by edge id alone: an edge exists at most once at
+    // any time point (ρ assigns one endpoint pair), so where the operands
+    // disagree on an edge's endpoints, the left operand's fact wins.
+    let mut e_mask: HashMap<crate::graph::EdgeId, Vec<Interval>> = HashMap::new();
+    for e in &left.edges {
+        e_mask.entry(e.eid).or_default().push(e.interval);
+    }
+
+    let mut vertices = left.vertices.clone();
+    for v in &right.vertices {
+        let mask = v_mask.get(&v.vid).cloned().unwrap_or_default();
+        for piece in subtract_all(v.interval, &mask) {
+            vertices.push(VertexRecord { interval: piece, ..v.clone() });
+        }
+    }
+    let mut edges = left.edges.clone();
+    for e in &right.edges {
+        let mask = e_mask.get(&e.eid).cloned().unwrap_or_default();
+        for piece in subtract_all(e.interval, &mask) {
+            edges.push(EdgeRecord { interval: piece, ..e.clone() });
+        }
+    }
+    clip_dangling(&TGraph {
+        lifespan: left.lifespan.hull(&right.lifespan),
+        vertices,
+        edges,
+    })
+}
+
+/// Point-semantics intersection: an entity state survives exactly where both
+/// inputs hold it **with value-equivalent properties**.
+pub fn intersection(left: &TGraph, right: &TGraph) -> TGraph {
+    let mut r_vertices: HashMap<crate::graph::VertexId, Vec<(Interval, Props)>> = HashMap::new();
+    for v in &right.vertices {
+        r_vertices.entry(v.vid).or_default().push((v.interval, v.props.clone()));
+    }
+    let mut vertices = Vec::new();
+    for v in &left.vertices {
+        if let Some(states) = r_vertices.get(&v.vid) {
+            for (iv, props) in states {
+                if *props == v.props {
+                    if let Some(x) = v.interval.intersect(iv) {
+                        vertices.push(VertexRecord { interval: x, ..v.clone() });
+                    }
+                }
+            }
+        }
+    }
+    let mut r_edges: HashMap<
+        (crate::graph::EdgeId, crate::graph::VertexId, crate::graph::VertexId),
+        Vec<(Interval, Props)>,
+    > = HashMap::new();
+    for e in &right.edges {
+        r_edges
+            .entry((e.eid, e.src, e.dst))
+            .or_default()
+            .push((e.interval, e.props.clone()));
+    }
+    let mut edges = Vec::new();
+    for e in &left.edges {
+        if let Some(states) = r_edges.get(&(e.eid, e.src, e.dst)) {
+            for (iv, props) in states {
+                if *props == e.props {
+                    if let Some(x) = e.interval.intersect(iv) {
+                        edges.push(EdgeRecord { interval: x, ..e.clone() });
+                    }
+                }
+            }
+        }
+    }
+    // Validity: drop edge pieces whose endpoints did not survive.
+    let g = TGraph {
+        lifespan: left.lifespan.hull(&right.lifespan),
+        vertices,
+        edges,
+    };
+    clip_dangling(&g)
+}
+
+/// Point-semantics difference: an entity state survives wherever the entity
+/// exists in `left` but not in `right` (regardless of attribute values).
+pub fn difference(left: &TGraph, right: &TGraph) -> TGraph {
+    let mut v_mask: HashMap<crate::graph::VertexId, Vec<Interval>> = HashMap::new();
+    for v in &right.vertices {
+        v_mask.entry(v.vid).or_default().push(v.interval);
+    }
+    // As with union, edge existence is keyed by edge id alone.
+    let mut e_mask: HashMap<crate::graph::EdgeId, Vec<Interval>> = HashMap::new();
+    for e in &right.edges {
+        e_mask.entry(e.eid).or_default().push(e.interval);
+    }
+    let mut vertices = Vec::new();
+    for v in &left.vertices {
+        let mask = v_mask.get(&v.vid).cloned().unwrap_or_default();
+        for piece in subtract_all(v.interval, &mask) {
+            vertices.push(VertexRecord { interval: piece, ..v.clone() });
+        }
+    }
+    let mut edges = Vec::new();
+    for e in &left.edges {
+        let mask = e_mask.get(&e.eid).cloned().unwrap_or_default();
+        for piece in subtract_all(e.interval, &mask) {
+            edges.push(EdgeRecord { interval: piece, ..e.clone() });
+        }
+    }
+    clip_dangling(&TGraph { lifespan: left.lifespan, vertices, edges })
+}
+
+/// Clips edges to their endpoints' existence and coalesces — the generic
+/// validity-restoring postlude of the binary operators.
+fn clip_dangling(g: &TGraph) -> TGraph {
+    let mut alive: HashMap<crate::graph::VertexId, Vec<Interval>> = HashMap::new();
+    for v in &g.vertices {
+        alive.entry(v.vid).or_default().push(v.interval);
+    }
+    for periods in alive.values_mut() {
+        *periods = merge_non_overlapping(periods.clone());
+    }
+    let empty: Vec<Interval> = Vec::new();
+    let edges = g
+        .edges
+        .iter()
+        .flat_map(|e| {
+            let joint = crate::time::intersect_interval_sets(
+                alive.get(&e.src).unwrap_or(&empty),
+                alive.get(&e.dst).unwrap_or(&empty),
+            );
+            joint
+                .into_iter()
+                .filter_map(|iv| iv.intersect(&e.interval))
+                .map(|interval| EdgeRecord { interval, ..e.clone() })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    coalesce_graph(&TGraph { lifespan: g.lifespan, vertices: g.vertices.clone(), edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::figure1_graph_stable_ids;
+    use crate::validate::validate;
+
+    #[test]
+    fn predicate_evaluation() {
+        let p = Props::typed("person").with("school", "MIT").with("age", 30i64);
+        assert!(Predicate::True.eval(&p));
+        assert!(Predicate::has("school").eval(&p));
+        assert!(!Predicate::has("city").eval(&p));
+        assert!(Predicate::eq("school", "MIT").eval(&p));
+        assert!(!Predicate::eq("school", "CMU").eval(&p));
+        assert!(Predicate::Lt(Arc::from("age"), Value::Int(40)).eval(&p));
+        assert!(Predicate::Gt(Arc::from("age"), Value::Int(18)).eval(&p));
+        assert!(Predicate::TypeIs(Arc::from("person")).eval(&p));
+        assert!(Predicate::eq("school", "MIT").and(Predicate::has("age")).eval(&p));
+        assert!(Predicate::eq("school", "CMU").or(Predicate::has("age")).eval(&p));
+        assert!(Predicate::eq("school", "CMU").negate().eval(&p));
+    }
+
+    #[test]
+    fn subgraph_clips_edges_to_surviving_endpoints() {
+        let g = figure1_graph_stable_ids();
+        // Keep only MIT people: Ann [1,7), Cat [1,9); Bob is dropped.
+        let sub = subgraph(&g, &Predicate::eq("school", "MIT"), &Predicate::True);
+        assert!(validate(&sub).is_empty());
+        assert_eq!(sub.distinct_vertex_count(), 2);
+        // Both edges touch Bob, so no edge survives.
+        assert!(sub.edges.is_empty());
+    }
+
+    #[test]
+    fn subgraph_partial_state_survival() {
+        let g = figure1_graph_stable_ids();
+        // Keep people *with any* school: Bob only during [5,9).
+        let sub = subgraph(&g, &Predicate::has("school"), &Predicate::True);
+        assert!(validate(&sub).is_empty());
+        let bob: Vec<_> = sub.vertices.iter().filter(|v| v.vid.0 == 2).collect();
+        assert_eq!(bob.len(), 1);
+        assert_eq!(bob[0].interval, Interval::new(5, 9));
+        // e1 (Ann→Bob, [2,7)) survives only while Bob has a school: [5,7).
+        let e1 = sub.edges.iter().find(|e| e.eid.0 == 1).unwrap();
+        assert_eq!(e1.interval, Interval::new(5, 7));
+        // e2 (Bob→Cat, [7,9)) survives fully.
+        assert!(sub.edges.iter().any(|e| e.eid.0 == 2 && e.interval == Interval::new(7, 9)));
+    }
+
+    #[test]
+    fn subgraph_edge_predicate() {
+        let g = figure1_graph_stable_ids();
+        let sub = subgraph(&g, &Predicate::True, &Predicate::eq("type", "nope"));
+        assert_eq!(sub.vertex_tuple_count(), g.vertex_tuple_count());
+        assert!(sub.edges.is_empty());
+    }
+
+    #[test]
+    fn project_merges_states_differing_only_in_dropped_keys() {
+        let g = figure1_graph_stable_ids();
+        // Project away `school`: Bob's two states become value-equivalent
+        // and coalesce into one tuple [2,9).
+        let p = project(&g, &["name"], &[]);
+        assert!(validate(&p).is_empty());
+        let bob: Vec<_> = p.vertices.iter().filter(|v| v.vid.0 == 2).collect();
+        assert_eq!(bob.len(), 1);
+        assert_eq!(bob[0].interval, Interval::new(2, 9));
+        assert!(bob[0].props.get("school").is_none());
+        assert_eq!(bob[0].props.get("name").unwrap().as_str(), Some("Bob"));
+    }
+
+    #[test]
+    fn union_left_wins_on_conflict() {
+        let a = TGraph::from_records(
+            vec![VertexRecord::new(1, Interval::new(0, 4), Props::typed("n").with("x", 1i64))],
+            vec![],
+        );
+        let b = TGraph::from_records(
+            vec![VertexRecord::new(1, Interval::new(2, 6), Props::typed("n").with("x", 2i64))],
+            vec![],
+        );
+        let u = union(&a, &b);
+        assert!(validate(&u).is_empty());
+        let mut states = u.vertices.clone();
+        states.sort_by_key(|v| v.interval.start);
+        assert_eq!(states.len(), 2);
+        assert_eq!(states[0].interval, Interval::new(0, 4));
+        assert_eq!(states[0].props.get("x").unwrap().as_int(), Some(1));
+        assert_eq!(states[1].interval, Interval::new(4, 6));
+        assert_eq!(states[1].props.get("x").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn union_with_self_is_identity() {
+        let g = coalesce_graph(&figure1_graph_stable_ids());
+        let u = union(&g, &g);
+        assert_eq!(u.vertices, g.vertices);
+        assert_eq!(u.edges, g.edges);
+    }
+
+    #[test]
+    fn intersection_requires_value_equivalence() {
+        let a = TGraph::from_records(
+            vec![VertexRecord::new(1, Interval::new(0, 6), Props::typed("n").with("x", 1i64))],
+            vec![],
+        );
+        let b = TGraph::from_records(
+            vec![
+                VertexRecord::new(1, Interval::new(2, 4), Props::typed("n").with("x", 1i64)),
+                VertexRecord::new(1, Interval::new(4, 8), Props::typed("n").with("x", 2i64)),
+            ],
+            vec![],
+        );
+        let i = intersection(&a, &b);
+        assert_eq!(i.vertices.len(), 1);
+        assert_eq!(i.vertices[0].interval, Interval::new(2, 4));
+    }
+
+    #[test]
+    fn intersection_with_self_is_identity() {
+        let g = coalesce_graph(&figure1_graph_stable_ids());
+        let i = intersection(&g, &g);
+        assert_eq!(i.vertices, g.vertices);
+        assert_eq!(i.edges, g.edges);
+    }
+
+    #[test]
+    fn difference_subtracts_existence() {
+        let g = figure1_graph_stable_ids();
+        let slice = g.slice(Interval::new(1, 5));
+        let d = difference(&g, &slice);
+        assert!(validate(&d).is_empty());
+        // Everything before t=5 is gone.
+        assert!(d.vertices.iter().all(|v| v.interval.start >= 5));
+        // Ann [1,7) leaves [5,7).
+        let ann = d.vertices.iter().find(|v| v.vid.0 == 1).unwrap();
+        assert_eq!(ann.interval, Interval::new(5, 7));
+        // Difference with self is empty.
+        let e = difference(&g, &g);
+        assert!(e.vertices.is_empty() && e.edges.is_empty());
+    }
+
+    #[test]
+    fn difference_removes_dangling_edges() {
+        let g = figure1_graph_stable_ids();
+        // Remove only Bob.
+        let bob_only = TGraph::from_records(
+            g.vertices.iter().filter(|v| v.vid.0 == 2).cloned().collect(),
+            vec![],
+        );
+        let d = difference(&g, &bob_only);
+        assert!(validate(&d).is_empty());
+        assert!(d.vertices.iter().all(|v| v.vid.0 != 2));
+        assert!(d.edges.is_empty(), "all edges touched Bob");
+    }
+
+    #[test]
+    fn union_is_commutative_on_disjoint_graphs() {
+        let g = figure1_graph_stable_ids();
+        let early = g.slice(Interval::new(1, 4));
+        let late = g.slice(Interval::new(4, 9));
+        let ab = union(&early, &late);
+        let ba = union(&late, &early);
+        assert_eq!(ab.vertices, ba.vertices);
+        assert_eq!(ab.edges, ba.edges);
+        // And reassembles the original coalesced graph.
+        let expected = coalesce_graph(&g);
+        assert_eq!(ab.vertices, expected.vertices);
+        assert_eq!(ab.edges, expected.edges);
+    }
+}

@@ -1,0 +1,19 @@
+//! Specifications of the two temporal zoom operators.
+//!
+//! * [`azoom`] — temporal attribute-based zoom (`aZoom^T`, §2.2): changes the
+//!   *structural* resolution by creating new nodes from disjoint groups of
+//!   input nodes and re-pointing edges.
+//! * [`wzoom`] — temporal window-based zoom (`wZoom^T`, §2.3): changes the
+//!   *temporal* resolution by mapping the states of each node and edge inside
+//!   a temporal window to a single representative state.
+//!
+//! The specs in this module are representation-independent; each physical
+//! representation in `tgraph-repr` implements them with its own dataflow
+//! plan (Algorithms 1–6), and [`crate::reference`] implements them literally
+//! under point semantics as the testing oracle.
+
+pub mod azoom;
+pub mod wzoom;
+
+pub use azoom::{AZoomSpec, AggAccumulator, AggFn, AggSpec, Skolem};
+pub use wzoom::{Quantifier, ResolveFn, WZoomSpec, WindowSpec, window_relation};

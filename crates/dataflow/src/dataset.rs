@@ -1,0 +1,293 @@
+//! `Dataset<T>` — an immutable, partitioned, in-memory collection with
+//! Spark-RDD-style second-order operators.
+//!
+//! Partitions are shared behind `Arc`, so narrow transformations (map,
+//! filter, flatMap) read their input partition without copying it, and
+//! cloning a dataset is free. All operators execute eagerly on the
+//! [`Runtime`]'s worker pool, one task per partition.
+
+use crate::runtime::Runtime;
+use std::sync::Arc;
+
+/// An immutable partitioned collection.
+#[derive(Clone)]
+pub struct Dataset<T> {
+    partitions: Vec<Arc<Vec<T>>>,
+}
+
+impl<T: Send + Sync + 'static> Dataset<T> {
+    /// Builds a dataset by splitting `items` evenly into the runtime's
+    /// default partition count.
+    pub fn from_vec(rt: &Runtime, items: Vec<T>) -> Self {
+        Self::from_vec_with(rt.partitions(), items)
+    }
+
+    /// Builds a dataset split into exactly `parts` partitions.
+    pub fn from_vec_with(parts: usize, items: Vec<T>) -> Self {
+        let parts = parts.max(1);
+        let n = items.len();
+        let chunk = n.div_ceil(parts).max(1);
+        let mut partitions = Vec::with_capacity(parts);
+        let mut items = items;
+        // Draining from the front preserves element order across partitions.
+        let mut rest = items.split_off(0);
+        for _ in 0..parts {
+            if rest.is_empty() {
+                partitions.push(Arc::new(Vec::new()));
+                continue;
+            }
+            let tail = rest.split_off(chunk.min(rest.len()));
+            partitions.push(Arc::new(rest));
+            rest = tail;
+        }
+        debug_assert!(rest.is_empty());
+        Dataset { partitions }
+    }
+
+    /// Wraps pre-built partitions.
+    pub fn from_partitions(partitions: Vec<Vec<T>>) -> Self {
+        Dataset { partitions: partitions.into_iter().map(Arc::new).collect() }
+    }
+
+    /// An empty dataset with one empty partition.
+    pub fn empty() -> Self {
+        Dataset { partitions: vec![Arc::new(Vec::new())] }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Borrow of the raw partitions.
+    pub fn partitions(&self) -> &[Arc<Vec<T>>] {
+        &self.partitions
+    }
+
+    /// Total number of elements (parallel count).
+    pub fn count(&self, rt: &Runtime) -> usize {
+        let parts = self.partitions.clone();
+        rt.run_indexed(parts.len(), move |i| parts[i].len())
+            .into_iter()
+            .sum()
+    }
+
+    /// Materializes all elements in partition order.
+    pub fn collect(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(self.partitions.iter().map(|p| p.len()).sum());
+        for p in &self.partitions {
+            out.extend(p.iter().cloned());
+        }
+        out
+    }
+
+    /// Element-wise transformation (narrow).
+    pub fn map<U, F>(&self, rt: &Runtime, f: F) -> Dataset<U>
+    where
+        U: Send + Sync + 'static,
+        F: Fn(&T) -> U + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        self.map_partitions(rt, move |part| part.iter().map(|x| f(x)).collect())
+    }
+
+    /// Element-to-many transformation (narrow).
+    pub fn flat_map<U, I, F>(&self, rt: &Runtime, f: F) -> Dataset<U>
+    where
+        U: Send + Sync + 'static,
+        I: IntoIterator<Item = U>,
+        F: Fn(&T) -> I + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        self.map_partitions(rt, move |part| part.iter().flat_map(|x| f(x)).collect())
+    }
+
+    /// Keeps elements satisfying the predicate (narrow).
+    pub fn filter<F>(&self, rt: &Runtime, f: F) -> Dataset<T>
+    where
+        T: Clone,
+        F: Fn(&T) -> bool + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        self.map_partitions(rt, move |part| {
+            part.iter().filter(|x| f(x)).cloned().collect()
+        })
+    }
+
+    /// Whole-partition transformation — the building block every narrow
+    /// operator lowers to. One pool task per partition.
+    pub fn map_partitions<U, F>(&self, rt: &Runtime, f: F) -> Dataset<U>
+    where
+        U: Send + Sync + 'static,
+        F: Fn(&[T]) -> Vec<U> + Send + Sync + 'static,
+    {
+        let parts = self.partitions.clone();
+        let out = rt.run_indexed(parts.len(), move |i| f(&parts[i]));
+        Dataset { partitions: out.into_iter().map(Arc::new).collect() }
+    }
+
+    /// Concatenates two datasets (partition lists are appended; no data moves).
+    pub fn union(&self, other: &Dataset<T>) -> Dataset<T> {
+        let mut partitions = self.partitions.clone();
+        partitions.extend(other.partitions.iter().cloned());
+        Dataset { partitions }
+    }
+
+    /// Parallel fold: folds each partition, then reduces the partials.
+    pub fn fold<A, F, G>(&self, rt: &Runtime, init: A, fold: F, combine: G) -> A
+    where
+        A: Send + Sync + Clone + 'static,
+        F: Fn(A, &T) -> A + Send + Sync + 'static,
+        G: Fn(A, A) -> A + Send + Sync + 'static,
+    {
+        let parts = self.partitions.clone();
+        let fold = Arc::new(fold);
+        let init2 = init.clone();
+        let partials = rt.run_indexed(parts.len(), move |i| {
+            parts[i].iter().fold(init2.clone(), |acc, x| fold(acc, x))
+        });
+        partials.into_iter().fold(init, combine)
+    }
+
+    /// Collects into a single-partition dataset sorted by a key (used to
+    /// enforce deterministic layouts, e.g. before coalescing folds).
+    pub fn sort_by_key<K, F>(&self, _rt: &Runtime, key: F) -> Dataset<T>
+    where
+        T: Clone,
+        K: Ord,
+        F: Fn(&T) -> K + Send + Sync + 'static,
+    {
+        let mut all = self.collect();
+        all.sort_by(|a, b| key(a).cmp(&key(b)));
+        Dataset { partitions: vec![Arc::new(all)] }
+    }
+
+    /// Rebalances into `parts` evenly sized partitions.
+    pub fn repartition(&self, parts: usize) -> Dataset<T>
+    where
+        T: Clone,
+    {
+        Self::from_vec_with(parts, self.collect())
+    }
+}
+
+impl<T: Send + Sync + 'static> FromIterator<T> for Dataset<T> {
+    /// Collects into a single-partition dataset. Use
+    /// [`Dataset::from_vec`] to control partitioning.
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Dataset::from_partitions(vec![iter.into_iter().collect()])
+    }
+}
+
+impl<T> std::fmt::Debug for Dataset<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Dataset({} partitions, {} elements)",
+            self.partitions.len(),
+            self.partitions.iter().map(|p| p.len()).sum::<usize>()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt() -> Runtime {
+        Runtime::with_partitions(4, 4)
+    }
+
+    #[test]
+    fn from_vec_preserves_order_and_balance() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, (0..10).collect());
+        assert_eq!(d.num_partitions(), 4);
+        assert_eq!(d.collect(), (0..10).collect::<Vec<_>>());
+        // ceil(10/4) = 3 → sizes 3,3,3,1
+        let sizes: Vec<usize> = d.partitions().iter().map(|p| p.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn from_vec_more_partitions_than_items() {
+        let rt = Runtime::with_partitions(2, 8);
+        let d = Dataset::from_vec(&rt, vec![1, 2, 3]);
+        assert_eq!(d.num_partitions(), 8);
+        assert_eq!(d.count(&rt), 3);
+    }
+
+    #[test]
+    fn map_filter_flat_map() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, (0..100).collect::<Vec<i64>>());
+        let doubled = d.map(&rt, |x| x * 2);
+        assert_eq!(doubled.collect(), (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        let evens = d.filter(&rt, |x| x % 2 == 0);
+        assert_eq!(evens.count(&rt), 50);
+        let pairs = d.flat_map(&rt, |x| vec![*x, *x]);
+        assert_eq!(pairs.count(&rt), 200);
+    }
+
+    #[test]
+    fn fold_sums() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, (1..=100).collect::<Vec<i64>>());
+        let sum = d.fold(&rt, 0i64, |acc, x| acc + x, |a, b| a + b);
+        assert_eq!(sum, 5050);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let rt = rt();
+        let a = Dataset::from_vec(&rt, vec![1, 2]);
+        let b = Dataset::from_vec(&rt, vec![3]);
+        let u = a.union(&b);
+        assert_eq!(u.count(&rt), 3);
+        let mut all = u.collect();
+        all.sort();
+        assert_eq!(all, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sort_by_key_orders_globally() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, vec![5, 3, 9, 1, 7]);
+        assert_eq!(d.sort_by_key(&rt, |x| *x).collect(), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let rt = rt();
+        let d: Dataset<i32> = Dataset::empty();
+        assert_eq!(d.count(&rt), 0);
+        assert!(d.collect().is_empty());
+    }
+
+    #[test]
+    fn repartition_keeps_elements() {
+        let d = Dataset::from_partitions(vec![vec![1, 2, 3], vec![4]]);
+        let r = d.repartition(3);
+        assert_eq!(r.num_partitions(), 3);
+        assert_eq!(r.collect(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let d: Dataset<i32> = (0..5).collect();
+        assert_eq!(d.num_partitions(), 1);
+        assert_eq!(d.collect(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn map_partitions_sees_whole_partition() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, (0..12).collect::<Vec<i32>>());
+        let sums = d.map_partitions(&rt, |p| vec![p.iter().sum::<i32>()]);
+        assert_eq!(sums.count(&rt), 4);
+        assert_eq!(sums.collect().iter().sum::<i32>(), 66);
+    }
+}

@@ -1,0 +1,191 @@
+//! Additional dataflow operators: broadcast (map-side) joins, cogroup, and
+//! small utilities.
+//!
+//! The broadcast join is the shared-memory analogue of GraphX's
+//! vertex-mirroring multicast join (§4 of the paper): when one side of a
+//! join is small, shipping it whole to every partition avoids shuffling the
+//! large side entirely.
+
+use crate::dataset::Dataset;
+use crate::keyed::KeyedDataset;
+use crate::runtime::Runtime;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Broadcast inner join: collects `small` into an immutable map shared with
+/// every partition (no shuffle of `big`), then joins map-side.
+pub fn broadcast_join<K, V, W>(
+    rt: &Runtime,
+    big: &Dataset<(K, V)>,
+    small: &Dataset<(K, W)>,
+) -> Dataset<(K, (V, W))>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    W: Clone + Send + Sync + 'static,
+{
+    let mut table: HashMap<K, Vec<W>> = HashMap::new();
+    for (k, w) in small.collect() {
+        table.entry(k).or_default().push(w);
+    }
+    let table = Arc::new(table);
+    big.flat_map(rt, move |(k, v)| {
+        table
+            .get(k)
+            .into_iter()
+            .flatten()
+            .map(|w| (k.clone(), (v.clone(), w.clone())))
+            .collect::<Vec<_>>()
+    })
+}
+
+/// Broadcast semijoin: keeps records of `big` whose key occurs in `small`.
+pub fn broadcast_semi_join<K, V, W>(
+    rt: &Runtime,
+    big: &Dataset<(K, V)>,
+    small: &Dataset<(K, W)>,
+) -> Dataset<(K, V)>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    W: Clone + Send + Sync + 'static,
+{
+    let keys: std::collections::HashSet<K> =
+        small.collect().into_iter().map(|(k, _)| k).collect();
+    let keys = Arc::new(keys);
+    big.filter(rt, move |(k, _)| keys.contains(k))
+}
+
+/// Cogroup: groups both datasets by key, pairing each key's value lists.
+/// Keys present in only one input appear with an empty list on the other
+/// side (a full outer grouping).
+pub fn cogroup<K, V, W>(
+    rt: &Runtime,
+    left: &Dataset<(K, V)>,
+    right: &Dataset<(K, W)>,
+) -> Dataset<(K, (Vec<V>, Vec<W>))>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    W: Clone + Send + Sync + 'static,
+{
+    // Tag, union, shuffle once, then split per key.
+    #[derive(Clone)]
+    enum Side<V, W> {
+        L(V),
+        R(W),
+    }
+    let l: Dataset<(K, Side<V, W>)> = left.map(rt, |(k, v)| (k.clone(), Side::L(v.clone())));
+    let r: Dataset<(K, Side<V, W>)> = right.map(rt, |(k, w)| (k.clone(), Side::R(w.clone())));
+    l.union(&r).group_by_key(rt).map(rt, |(k, sides)| {
+        let mut vs = Vec::new();
+        let mut ws = Vec::new();
+        for s in sides {
+            match s {
+                Side::L(v) => vs.push(v.clone()),
+                Side::R(w) => ws.push(w.clone()),
+            }
+        }
+        (k.clone(), (vs, ws))
+    })
+}
+
+/// Counts occurrences per key (shuffle with map-side combine).
+pub fn count_by_key<K, V>(rt: &Runtime, input: &Dataset<(K, V)>) -> Dataset<(K, u64)>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    input
+        .map(rt, |(k, _)| (k.clone(), 1u64))
+        .reduce_by_key(rt, |a, b| a + b)
+}
+
+/// Takes up to `n` elements in partition order (no full materialization of
+/// later partitions' contribution beyond what is needed).
+pub fn take<T>(input: &Dataset<T>, n: usize) -> Vec<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    let mut out = Vec::with_capacity(n);
+    for part in input.partitions() {
+        for item in part.iter() {
+            if out.len() == n {
+                return out;
+            }
+            out.push(item.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt() -> Runtime {
+        Runtime::with_partitions(4, 4)
+    }
+
+    fn sorted<T: Ord>(mut v: Vec<T>) -> Vec<T> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn broadcast_join_matches_shuffle_join() {
+        let rt = rt();
+        let big = Dataset::from_vec(&rt, (0..100).map(|i| (i % 7, i)).collect::<Vec<_>>());
+        let small = Dataset::from_vec(&rt, vec![(0, "a"), (3, "b"), (3, "c"), (99, "d")]);
+        let broadcast = sorted(broadcast_join(&rt, &big, &small).collect());
+        let shuffled = sorted(big.join(&rt, &small).collect());
+        assert_eq!(broadcast, shuffled);
+        assert!(!broadcast.is_empty());
+    }
+
+    #[test]
+    fn broadcast_semi_join_filters() {
+        let rt = rt();
+        let big = Dataset::from_vec(&rt, vec![(1, "x"), (2, "y"), (3, "z")]);
+        let small = Dataset::from_vec(&rt, vec![(2, ()), (3, ())]);
+        assert_eq!(
+            sorted(broadcast_semi_join(&rt, &big, &small).collect()),
+            vec![(2, "y"), (3, "z")]
+        );
+    }
+
+    #[test]
+    fn cogroup_pairs_value_lists() {
+        let rt = rt();
+        let left = Dataset::from_vec(&rt, vec![(1, "a"), (1, "b"), (2, "c")]);
+        let right = Dataset::from_vec(&rt, vec![(1, 10), (3, 30)]);
+        let mut got = cogroup(&rt, &left, &right).collect();
+        got.sort_by_key(|(k, _)| *k);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].0, 1);
+        assert_eq!(sorted(got[0].1 .0.clone()), vec!["a", "b"]);
+        assert_eq!(got[0].1 .1, vec![10]);
+        assert_eq!(got[1], (2, (vec!["c"], vec![])));
+        assert_eq!(got[2], (3, (vec![], vec![30])));
+    }
+
+    #[test]
+    fn count_by_key_counts() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, (0..30).map(|i| (i % 3, ())).collect::<Vec<_>>());
+        assert_eq!(
+            sorted(count_by_key(&rt, &d).collect()),
+            vec![(0, 10), (1, 10), (2, 10)]
+        );
+    }
+
+    #[test]
+    fn take_respects_limit_and_order() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, (0..100).collect::<Vec<i32>>());
+        assert_eq!(take(&d, 5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(take(&d, 0), Vec::<i32>::new());
+        assert_eq!(take(&d, 1000).len(), 100);
+    }
+}

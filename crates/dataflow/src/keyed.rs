@@ -1,0 +1,380 @@
+//! Keyed (wide) operators: the shuffle-based second-order functions the
+//! paper's algorithms are written in — `groupBy`, `reduceByKey`,
+//! `aggregateByKey`, `join`, `semijoin`, and `distinct`.
+//!
+//! Every wide operator hash-partitions records by key across the output
+//! partitions (a real shuffle with per-partition bucket exchange), so the
+//! data-movement behaviour of the different TGraph representations — RG
+//! shuffling a record per snapshot copy versus OG shuffling one record per
+//! entity — is reproduced, not simulated.
+
+use crate::dataset::Dataset;
+use crate::runtime::Runtime;
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+fn bucket_of<K: Hash>(key: &K, parts: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % parts as u64) as usize
+}
+
+/// Hash-partitions a keyed dataset: output partition `p` holds exactly the
+/// records whose key hashes to `p`. This is the shuffle every wide operator
+/// builds on.
+pub fn shuffle<K, V>(rt: &Runtime, input: &Dataset<(K, V)>) -> Dataset<(K, V)>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    let parts = rt.partitions();
+    // Map side: split every input partition into `parts` buckets.
+    let bucketed: Dataset<Vec<(K, V)>> = input.map_partitions(rt, move |part| {
+        let mut buckets: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
+        for (k, v) in part {
+            buckets[bucket_of(k, parts)].push((k.clone(), v.clone()));
+        }
+        buckets
+    });
+    let moved: u64 = bucketed
+        .partitions()
+        .iter()
+        .map(|p| p.iter().map(|b| b.len() as u64).sum::<u64>())
+        .sum();
+    rt.note_shuffle(moved);
+    // Reduce side: partition `p` concatenates bucket `p` of every map output.
+    let sources: Vec<Arc<Vec<Vec<(K, V)>>>> = bucketed.partitions().to_vec();
+    let sources = Arc::new(sources);
+    let out = rt.run_indexed(parts, move |p| {
+        let mut merged = Vec::new();
+        for src in sources.iter() {
+            merged.extend_from_slice(&src[p]);
+        }
+        merged
+    });
+    Dataset::from_partitions(out)
+}
+
+/// Extension trait providing the wide operators on key–value datasets.
+pub trait KeyedDataset<K, V> {
+    /// Groups values by key: `groupBy` of the paper's algorithms.
+    fn group_by_key(&self, rt: &Runtime) -> Dataset<(K, Vec<V>)>;
+
+    /// Reduces values per key with a commutative, associative function,
+    /// combining map-side before shuffling (Spark's `reduceByKey`).
+    fn reduce_by_key<F>(&self, rt: &Runtime, f: F) -> Dataset<(K, V)>
+    where
+        F: Fn(&V, &V) -> V + Send + Sync + 'static;
+
+    /// Aggregates values per key into an accumulator type, with map-side
+    /// combine (`aggregateByKey`). `update` folds a value into an
+    /// accumulator, `merge` combines two accumulators.
+    fn aggregate_by_key<A, I, U, M>(
+        &self,
+        rt: &Runtime,
+        init: I,
+        update: U,
+        merge: M,
+    ) -> Dataset<(K, A)>
+    where
+        A: Clone + Send + Sync + 'static,
+        I: Fn() -> A + Send + Sync + 'static,
+        U: Fn(&mut A, &V) + Send + Sync + 'static,
+        M: Fn(&mut A, &A) + Send + Sync + 'static;
+
+    /// Inner hash join on the key.
+    fn join<W>(&self, rt: &Runtime, other: &Dataset<(K, W)>) -> Dataset<(K, (V, W))>
+    where
+        W: Clone + Send + Sync + 'static;
+
+    /// Left semijoin: keeps records whose key appears in `keys`.
+    fn semi_join<W>(&self, rt: &Runtime, keys: &Dataset<(K, W)>) -> Dataset<(K, V)>
+    where
+        W: Clone + Send + Sync + 'static;
+}
+
+impl<K, V> KeyedDataset<K, V> for Dataset<(K, V)>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn group_by_key(&self, rt: &Runtime) -> Dataset<(K, Vec<V>)> {
+        shuffle(rt, self).map_partitions(rt, |part| {
+            let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+            for (k, v) in part {
+                groups.entry(k.clone()).or_default().push(v.clone());
+            }
+            groups.into_iter().collect()
+        })
+    }
+
+    fn reduce_by_key<F>(&self, rt: &Runtime, f: F) -> Dataset<(K, V)>
+    where
+        F: Fn(&V, &V) -> V + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        // Map-side combine shrinks the shuffle, as in Spark.
+        let f1 = Arc::clone(&f);
+        let combined = self.map_partitions(rt, move |part| {
+            let mut acc: HashMap<K, V> = HashMap::with_capacity(part.len());
+            for (k, v) in part {
+                match acc.entry(k.clone()) {
+                    Entry::Occupied(mut e) => {
+                        let merged = f1(e.get(), v);
+                        e.insert(merged);
+                    }
+                    Entry::Vacant(e) => {
+                        e.insert(v.clone());
+                    }
+                }
+            }
+            acc.into_iter().collect()
+        });
+        let f2 = Arc::clone(&f);
+        shuffle(rt, &combined).map_partitions(rt, move |part| {
+            let mut acc: HashMap<K, V> = HashMap::with_capacity(part.len());
+            for (k, v) in part {
+                match acc.entry(k.clone()) {
+                    Entry::Occupied(mut e) => {
+                        let merged = f2(e.get(), v);
+                        e.insert(merged);
+                    }
+                    Entry::Vacant(e) => {
+                        e.insert(v.clone());
+                    }
+                }
+            }
+            acc.into_iter().collect()
+        })
+    }
+
+    fn aggregate_by_key<A, I, U, M>(
+        &self,
+        rt: &Runtime,
+        init: I,
+        update: U,
+        merge: M,
+    ) -> Dataset<(K, A)>
+    where
+        A: Clone + Send + Sync + 'static,
+        I: Fn() -> A + Send + Sync + 'static,
+        U: Fn(&mut A, &V) + Send + Sync + 'static,
+        M: Fn(&mut A, &A) + Send + Sync + 'static,
+    {
+        let init = Arc::new(init);
+        let init1 = Arc::clone(&init);
+        let update = Arc::new(update);
+        // Map-side: fold values into per-key accumulators.
+        let partials = self.map_partitions(rt, move |part| {
+            let mut acc: HashMap<K, A> = HashMap::new();
+            for (k, v) in part {
+                let a = acc.entry(k.clone()).or_insert_with(|| init1());
+                update(a, v);
+            }
+            acc.into_iter().collect()
+        });
+        // Reduce-side: merge accumulators.
+        let merge = Arc::new(merge);
+        shuffle(rt, &partials).map_partitions(rt, move |part| {
+            let mut acc: HashMap<K, A> = HashMap::new();
+            for (k, a) in part {
+                match acc.entry(k.clone()) {
+                    Entry::Occupied(mut e) => merge(e.get_mut(), a),
+                    Entry::Vacant(e) => {
+                        e.insert(a.clone());
+                    }
+                }
+            }
+            acc.into_iter().collect()
+        })
+    }
+
+    fn join<W>(&self, rt: &Runtime, other: &Dataset<(K, W)>) -> Dataset<(K, (V, W))>
+    where
+        W: Clone + Send + Sync + 'static,
+    {
+        let left = shuffle(rt, self);
+        let right = shuffle(rt, other);
+        let right_parts: Arc<Vec<_>> = Arc::new(right.partitions().to_vec());
+        let left_parts: Arc<Vec<_>> = Arc::new(left.partitions().to_vec());
+        let n = left_parts.len();
+        let out = rt.run_indexed(n, move |p| {
+            // Build on the right, probe with the left (co-partitioned).
+            let mut table: HashMap<&K, Vec<&W>> = HashMap::new();
+            for (k, w) in right_parts[p].iter() {
+                table.entry(k).or_default().push(w);
+            }
+            let mut out = Vec::new();
+            for (k, v) in left_parts[p].iter() {
+                if let Some(ws) = table.get(k) {
+                    for w in ws {
+                        out.push((k.clone(), (v.clone(), (*w).clone())));
+                    }
+                }
+            }
+            out
+        });
+        Dataset::from_partitions(out)
+    }
+
+    fn semi_join<W>(&self, rt: &Runtime, keys: &Dataset<(K, W)>) -> Dataset<(K, V)>
+    where
+        W: Clone + Send + Sync + 'static,
+    {
+        let left = shuffle(rt, self);
+        let right = shuffle(rt, keys);
+        let right_parts: Arc<Vec<_>> = Arc::new(right.partitions().to_vec());
+        let left_parts: Arc<Vec<_>> = Arc::new(left.partitions().to_vec());
+        let n = left_parts.len();
+        let out = rt.run_indexed(n, move |p| {
+            let keyset: std::collections::HashSet<&K> =
+                right_parts[p].iter().map(|(k, _)| k).collect();
+            left_parts[p]
+                .iter()
+                .filter(|(k, _)| keyset.contains(k))
+                .cloned()
+                .collect::<Vec<_>>()
+        });
+        Dataset::from_partitions(out)
+    }
+}
+
+/// Removes duplicate elements (by `Eq`/`Hash`) via a shuffle.
+pub fn distinct<T>(rt: &Runtime, input: &Dataset<T>) -> Dataset<T>
+where
+    T: Hash + Eq + Clone + Send + Sync + 'static,
+{
+    let keyed: Dataset<(T, ())> = input.map(rt, |x| (x.clone(), ()));
+    keyed
+        .reduce_by_key(rt, |_, _| ())
+        .map(rt, |(k, _)| k.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt() -> Runtime {
+        Runtime::with_partitions(4, 4)
+    }
+
+    fn sorted<T: Ord>(mut v: Vec<T>) -> Vec<T> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn shuffle_co_locates_keys() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, (0..100).map(|i| (i % 10, i)).collect::<Vec<_>>());
+        let s = shuffle(&rt, &d);
+        // Every key must live in exactly one partition.
+        for key in 0..10 {
+            let holders = s
+                .partitions()
+                .iter()
+                .filter(|p| p.iter().any(|(k, _)| *k == key))
+                .count();
+            assert_eq!(holders, 1, "key {key} spread across partitions");
+        }
+        assert_eq!(s.count(&rt), 100);
+        assert!(rt.stats().shuffled_records >= 100);
+    }
+
+    #[test]
+    fn group_by_key_collects_all_values() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, vec![(1, "a"), (2, "b"), (1, "c"), (1, "d")]);
+        let g = d.group_by_key(&rt);
+        let mut groups = g.collect();
+        groups.sort_by_key(|(k, _)| *k);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, 1);
+        assert_eq!(sorted(groups[0].1.clone()), vec!["a", "c", "d"]);
+        assert_eq!(groups[1].1, vec!["b"]);
+    }
+
+    #[test]
+    fn reduce_by_key_matches_sequential() {
+        let rt = rt();
+        let data: Vec<(u32, u64)> = (0..1000).map(|i| (i % 7, i as u64)).collect();
+        let mut expected: HashMap<u32, u64> = HashMap::new();
+        for (k, v) in &data {
+            *expected.entry(*k).or_default() += v;
+        }
+        let d = Dataset::from_vec(&rt, data);
+        let r = d.reduce_by_key(&rt, |a, b| a + b);
+        let got: HashMap<u32, u64> = r.collect().into_iter().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn aggregate_by_key_counts() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, (0..50).map(|i| (i % 5, i)).collect::<Vec<_>>());
+        let a = d.aggregate_by_key(&rt, || 0usize, |acc, _| *acc += 1, |a, b| *a += b);
+        let mut got = a.collect();
+        got.sort();
+        assert_eq!(got, (0..5).map(|k| (k, 10)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_inner_multiplicity() {
+        let rt = rt();
+        let left = Dataset::from_vec(&rt, vec![(1, "l1"), (1, "l2"), (2, "l3"), (3, "l4")]);
+        let right = Dataset::from_vec(&rt, vec![(1, "r1"), (2, "r2"), (2, "r3"), (4, "r4")]);
+        let j = left.join(&rt, &right);
+        let mut got = j.collect();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                (1, ("l1", "r1")),
+                (1, ("l2", "r1")),
+                (2, ("l3", "r2")),
+                (2, ("l3", "r3")),
+            ]
+        );
+    }
+
+    #[test]
+    fn semi_join_filters() {
+        let rt = rt();
+        let left = Dataset::from_vec(&rt, vec![(1, "a"), (2, "b"), (3, "c")]);
+        let right = Dataset::from_vec(&rt, vec![(1, ()), (3, ()), (9, ())]);
+        let s = left.semi_join(&rt, &right);
+        assert_eq!(sorted(s.collect()), vec![(1, "a"), (3, "c")]);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, vec![3, 1, 3, 2, 1, 1]);
+        assert_eq!(sorted(distinct(&rt, &d).collect()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wide_ops_on_empty_input() {
+        let rt = rt();
+        let d: Dataset<(u32, u32)> = Dataset::empty();
+        assert_eq!(d.group_by_key(&rt).count(&rt), 0);
+        assert_eq!(d.reduce_by_key(&rt, |a, _| *a).count(&rt), 0);
+        let other: Dataset<(u32, u32)> = Dataset::from_vec(&rt, vec![(1, 1)]);
+        assert_eq!(d.join(&rt, &other).count(&rt), 0);
+        assert_eq!(other.join(&rt, &d).count(&rt), 0);
+    }
+
+    #[test]
+    fn reduce_by_key_is_order_insensitive() {
+        // Commutative+associative f must give identical results regardless of
+        // partitioning.
+        let data: Vec<(u8, i64)> = (0..200).map(|i| ((i % 3) as u8, i as i64)).collect();
+        let rt1 = Runtime::with_partitions(1, 1);
+        let rt4 = Runtime::with_partitions(4, 7);
+        let r1 = Dataset::from_vec(&rt1, data.clone()).reduce_by_key(&rt1, |a, b| a + b);
+        let r4 = Dataset::from_vec(&rt4, data).reduce_by_key(&rt4, |a, b| a + b);
+        assert_eq!(sorted(r1.collect()), sorted(r4.collect()));
+    }
+}

@@ -1,0 +1,41 @@
+//! # tgraph-dataflow
+//!
+//! A shared-memory, partitioned **dataflow engine** providing the
+//! second-order operators the paper's zoom algorithms are expressed in —
+//! `map`, `flatMap`, `filter`, `groupBy`, `reduceByKey`, `join`, `semijoin` —
+//! executed in parallel over a worker thread pool.
+//!
+//! This crate is the substitute for Apache Spark in the reproduction (see
+//! `DESIGN.md`): datasets are immutable partitioned collections
+//! ([`Dataset`]), narrow transformations run one task per partition without
+//! moving data, and wide (keyed) transformations perform a real hash shuffle
+//! between partitions. The engine therefore preserves the data-movement
+//! asymmetries between the TGraph physical representations that the paper's
+//! experiments measure.
+//!
+//! ```
+//! use tgraph_dataflow::{Dataset, KeyedDataset, Runtime};
+//!
+//! let rt = Runtime::new(4);
+//! let words = Dataset::from_vec(&rt, vec!["a", "b", "a", "c", "b", "a"]);
+//! let counts = words
+//!     .map(&rt, |w| (*w, 1u64))
+//!     .reduce_by_key(&rt, |x, y| x + y);
+//! let mut result = counts.collect();
+//! result.sort();
+//! assert_eq!(result, vec![("a", 3), ("b", 2), ("c", 1)]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dataset;
+pub mod extra;
+pub mod keyed;
+pub mod pool;
+pub mod runtime;
+
+pub use dataset::Dataset;
+pub use extra::{broadcast_join, broadcast_semi_join, cogroup, count_by_key, take};
+pub use keyed::{distinct, shuffle, KeyedDataset};
+pub use runtime::{Runtime, RuntimeStats};

@@ -1,0 +1,188 @@
+//! A persistent worker thread pool built on crossbeam channels.
+//!
+//! The pool plays the role of Spark's executor set: every dataflow operator
+//! submits one task per partition and waits for all of them to finish. Tasks
+//! are `'static` closures; datasets share partition payloads via `Arc`, so
+//! capturing them is a reference-count bump, not a copy.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing submitted jobs.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+    tasks_run: Arc<AtomicU64>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `size` workers (at least one).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+        let tasks_run = Arc::new(AtomicU64::new(0));
+        let workers = (0..size)
+            .map(|i| {
+                let rx = receiver.clone();
+                let counter = Arc::clone(&tasks_run);
+                std::thread::Builder::new()
+                    .name(format!("tgraph-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        ThreadPool { sender: Some(sender), workers, size, tasks_run }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Total number of tasks executed since creation.
+    pub fn tasks_run(&self) -> u64 {
+        self.tasks_run.load(Ordering::Relaxed)
+    }
+
+    /// Submits one fire-and-forget job.
+    pub fn execute(&self, job: Job) {
+        self.sender
+            .as_ref()
+            .expect("pool is shut down")
+            .send(job)
+            .expect("worker channel closed");
+    }
+
+    /// Runs a batch of result-producing tasks, blocking until all complete,
+    /// and returns results in task order.
+    ///
+    /// Panics in a task are propagated to the caller (fail-fast, like a Spark
+    /// job aborting on a task failure).
+    pub fn run_batch<R: Send + 'static>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> R + Send + 'static>>,
+    ) -> Vec<R> {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Run small batches inline: dispatch overhead dominates otherwise.
+        if n == 1 {
+            let task = tasks.into_iter().next().unwrap();
+            return vec![task()];
+        }
+        let (tx, rx) = unbounded::<(usize, std::thread::Result<R>)>();
+        for (idx, task) in tasks.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.execute(Box::new(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                // Receiver may be gone if the caller already panicked.
+                let _ = tx.send((idx, result));
+            }));
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (idx, result) = rx.recv().expect("task result channel closed early");
+            match result {
+                Ok(r) => slots[idx] = Some(r),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        slots.into_iter().map(|s| s.expect("missing task result")).collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain and exit.
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_batch_in_order() {
+        let pool = ThreadPool::new(4);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..64usize).map(|i| Box::new(move || i * 2) as _).collect();
+        let results = pool.run_batch(tasks);
+        assert_eq!(results, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn executes_fire_and_forget() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            pool.execute(Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        drop(pool); // joins workers
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let pool = ThreadPool::new(2);
+        let results: Vec<u32> = pool.run_batch(vec![]);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn single_task_runs_inline() {
+        let pool = ThreadPool::new(2);
+        let before = pool.tasks_run();
+        let results = pool.run_batch(vec![Box::new(|| 41 + 1) as Box<dyn FnOnce() -> i32 + Send>]);
+        assert_eq!(results, vec![42]);
+        assert_eq!(pool.tasks_run(), before, "single task must not hit the queue");
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let pool = ThreadPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("task exploded")),
+            Box::new(|| 3),
+        ];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_batch(tasks);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn counts_tasks() {
+        let pool = ThreadPool::new(3);
+        let tasks: Vec<Box<dyn FnOnce() -> () + Send>> =
+            (0..5).map(|_| Box::new(|| ()) as _).collect();
+        pool.run_batch(tasks);
+        assert_eq!(pool.tasks_run(), 5);
+    }
+
+    #[test]
+    fn pool_size_floor_is_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+    }
+}

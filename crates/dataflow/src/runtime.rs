@@ -1,0 +1,149 @@
+//! The dataflow runtime: worker pool, partitioning defaults, and execution
+//! statistics.
+
+use crate::pool::ThreadPool;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Snapshot of execution statistics, useful for understanding how much data
+/// movement an operator plan caused (the shared-memory analogue of Spark's
+/// shuffle read/write metrics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Tasks executed on the pool.
+    pub tasks: u64,
+    /// Records that crossed a partition boundary in shuffles.
+    pub shuffled_records: u64,
+    /// Number of shuffle stages executed.
+    pub shuffles: u64,
+}
+
+/// The execution context every dataflow operator runs against.
+///
+/// Owns the worker pool and the default partition count (Spark's
+/// `spark.default.parallelism`). Cheap to share: wrap in `Arc` or pass by
+/// reference.
+pub struct Runtime {
+    pool: ThreadPool,
+    partitions: usize,
+    shuffled_records: AtomicU64,
+    shuffles: AtomicU64,
+}
+
+impl Runtime {
+    /// Creates a runtime with `workers` threads and `2 × workers` default
+    /// partitions.
+    pub fn new(workers: usize) -> Self {
+        Self::with_partitions(workers, workers.max(1) * 2)
+    }
+
+    /// Creates a runtime with an explicit default partition count.
+    pub fn with_partitions(workers: usize, partitions: usize) -> Self {
+        Runtime {
+            pool: ThreadPool::new(workers),
+            partitions: partitions.max(1),
+            shuffled_records: AtomicU64::new(0),
+            shuffles: AtomicU64::new(0),
+        }
+    }
+
+    /// A single-threaded runtime with one partition (useful in tests and as
+    /// the sequential baseline in benchmarks).
+    pub fn sequential() -> Self {
+        Self::with_partitions(1, 1)
+    }
+
+    /// Runtime sized to the machine: one worker per available core.
+    pub fn default_parallel() -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Self::new(cores)
+    }
+
+    /// Default number of partitions for new datasets and shuffles.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Number of pool workers.
+    pub fn workers(&self) -> usize {
+        self.pool.size()
+    }
+
+    /// Runs `n` indexed tasks in parallel, returning results in index order.
+    pub fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let tasks: Vec<Box<dyn FnOnce() -> R + Send>> = (0..n)
+            .map(|i| {
+                let f = Arc::clone(&f);
+                Box::new(move || f(i)) as _
+            })
+            .collect();
+        self.pool.run_batch(tasks)
+    }
+
+    /// Records shuffle volume (called by keyed operators).
+    pub(crate) fn note_shuffle(&self, records: u64) {
+        self.shuffles.fetch_add(1, Ordering::Relaxed);
+        self.shuffled_records.fetch_add(records, Ordering::Relaxed);
+    }
+
+    /// Current execution statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            tasks: self.pool.tasks_run(),
+            shuffled_records: self.shuffled_records.load(Ordering::Relaxed),
+            shuffles: self.shuffles.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.workers())
+            .field("partitions", &self.partitions)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexed_results_in_order() {
+        let rt = Runtime::new(4);
+        let out = rt.run_indexed(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_runtime() {
+        let rt = Runtime::sequential();
+        assert_eq!(rt.workers(), 1);
+        assert_eq!(rt.partitions(), 1);
+        assert_eq!(rt.run_indexed(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stats_track_shuffles() {
+        let rt = Runtime::new(2);
+        assert_eq!(rt.stats().shuffles, 0);
+        rt.note_shuffle(10);
+        rt.note_shuffle(5);
+        let s = rt.stats();
+        assert_eq!(s.shuffles, 2);
+        assert_eq!(s.shuffled_records, 15);
+    }
+
+    #[test]
+    fn partitions_floor_is_one() {
+        let rt = Runtime::with_partitions(2, 0);
+        assert_eq!(rt.partitions(), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Evolving-graph statistics: the dataset summary columns of §5 (vertices,
+//! edges, snapshots) and the **evolution rate**, computed as the average
+//! graph edit similarity between consecutive snapshots:
+//! `2·|E_i ∩ E_j| / (|E_i| + |E_j|)`, reported ×100 as in the paper's table.
+
+use std::collections::HashSet;
+use tgraph_core::graph::{EdgeId, TGraph, VertexId};
+use tgraph_core::splitter::elementary_intervals;
+
+/// Summary statistics of an evolving graph, mirroring the paper's dataset
+/// table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Distinct vertices.
+    pub vertices: usize,
+    /// Distinct edges.
+    pub edges: usize,
+    /// Number of snapshots (elementary no-change intervals).
+    pub snapshots: usize,
+    /// Average edit similarity between consecutive snapshots, ×100.
+    pub evolution_rate: f64,
+    /// Vertex tuples in the coalesced VE encoding.
+    pub vertex_tuples: usize,
+    /// Edge tuples in the coalesced VE encoding.
+    pub edge_tuples: usize,
+}
+
+/// Computes summary statistics for a TGraph.
+pub fn graph_stats(g: &TGraph) -> GraphStats {
+    let boundaries = g.change_points();
+    let snapshots = elementary_intervals(&boundaries);
+
+    // Edge sets per snapshot, identified by (eid, src, dst).
+    let mut per_snapshot: Vec<HashSet<(EdgeId, VertexId, VertexId)>> =
+        vec![HashSet::new(); snapshots.len()];
+    for e in &g.edges {
+        for (i, s) in snapshots.iter().enumerate() {
+            if s.overlaps(&e.interval) {
+                per_snapshot[i].insert((e.eid, e.src, e.dst));
+            }
+        }
+    }
+
+    let mut similarities = Vec::new();
+    for w in per_snapshot.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        let denom = a.len() + b.len();
+        if denom == 0 {
+            continue;
+        }
+        let inter = a.intersection(b).count();
+        similarities.push(2.0 * inter as f64 / denom as f64);
+    }
+    let evolution_rate = if similarities.is_empty() {
+        0.0
+    } else {
+        100.0 * similarities.iter().sum::<f64>() / similarities.len() as f64
+    };
+
+    GraphStats {
+        vertices: g.distinct_vertex_count(),
+        edges: g.distinct_edge_count(),
+        snapshots: snapshots.len(),
+        evolution_rate,
+        vertex_tuples: g.vertex_tuple_count(),
+        edge_tuples: g.edge_tuple_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{NGrams, Snb, WikiTalk};
+    use tgraph_core::graph::figure1_graph_stable_ids;
+
+    #[test]
+    fn figure1_stats() {
+        let s = graph_stats(&figure1_graph_stable_ids());
+        assert_eq!(s.vertices, 3);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.snapshots, 4);
+        assert_eq!(s.vertex_tuples, 4);
+    }
+
+    #[test]
+    fn growth_only_snb_has_high_evolution_rate() {
+        let g = Snb { persons: 1_000, ..Snb::default() }.generate();
+        let s = graph_stats(&g);
+        assert!(
+            s.evolution_rate > 80.0,
+            "growth-only graphs overlap heavily; got {}",
+            s.evolution_rate
+        );
+    }
+
+    #[test]
+    fn churning_wikitalk_has_low_evolution_rate() {
+        let g = WikiTalk { vertices: 2_000, months: 36, ..WikiTalk::default() }.generate();
+        let s = graph_stats(&g);
+        assert!(
+            s.evolution_rate < 40.0,
+            "short-lived edges must overlap little; got {}",
+            s.evolution_rate
+        );
+        assert!(s.evolution_rate > 1.0);
+    }
+
+    #[test]
+    fn ngrams_rate_between() {
+        let g = NGrams { vertices: 1_000, years: 40, ..NGrams::default() }.generate();
+        let s = graph_stats(&g);
+        assert!(
+            s.evolution_rate > 5.0 && s.evolution_rate < 50.0,
+            "got {}",
+            s.evolution_rate
+        );
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = graph_stats(&TGraph::new());
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.snapshots, 0);
+        assert_eq!(s.evolution_rate, 0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Operator pipelines: chaining zooms, switching representations mid-query,
+//! and the lazy-coalescing optimization of §4.
+//!
+//! The paper's API "supports chaining multiple operations together and
+//! switching between graph representations during query execution". The
+//! coalescing rule it derives: `aZoom^T` computes within each snapshot and
+//! does **not** need coalesced input; `wZoom^T` computes across snapshots and
+//! **does**. So in a chain, the system coalesces only before `wZoom^T` and
+//! once at the end of the pipeline.
+
+use tgraph_core::zoom::{AZoomSpec, WZoomSpec};
+use tgraph_dataflow::Runtime;
+use tgraph_repr::{AnyGraph, ReprKind, VeGraph};
+
+/// One pipeline step.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Apply attribute-based zoom in the current representation.
+    AZoom(AZoomSpec),
+    /// Apply window-based zoom in the current representation.
+    WZoom(WZoomSpec),
+    /// Switch the graph to another physical representation.
+    Switch(ReprKind),
+    /// Force temporal coalescing now (inserted implicitly when needed).
+    Coalesce,
+}
+
+/// Coalescing strategy for a pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoalescePolicy {
+    /// Coalesce only where correctness requires it (before `wZoom^T`) and at
+    /// the end of the pipeline — the paper's optimization.
+    Lazy,
+    /// Coalesce after every operator (the naive baseline the optimization is
+    /// measured against in experiment A2).
+    Eager,
+}
+
+/// A chain of zoom operators with optional representation switches.
+#[derive(Clone, Debug, Default)]
+pub struct Pipeline {
+    ops: Vec<Op>,
+}
+
+impl Pipeline {
+    /// An empty pipeline (identity, modulo the final coalesce).
+    pub fn new() -> Self {
+        Pipeline { ops: Vec::new() }
+    }
+
+    /// Appends an attribute-based zoom.
+    pub fn azoom(mut self, spec: AZoomSpec) -> Self {
+        self.ops.push(Op::AZoom(spec));
+        self
+    }
+
+    /// Appends a window-based zoom.
+    pub fn wzoom(mut self, spec: WZoomSpec) -> Self {
+        self.ops.push(Op::WZoom(spec));
+        self
+    }
+
+    /// Appends a representation switch.
+    pub fn switch_to(mut self, kind: ReprKind) -> Self {
+        self.ops.push(Op::Switch(kind));
+        self
+    }
+
+    /// Appends an explicit coalesce.
+    pub fn coalesce(mut self) -> Self {
+        self.ops.push(Op::Coalesce);
+        self
+    }
+
+    /// The steps of the pipeline.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Executes the pipeline on `graph` with the given coalescing policy.
+    ///
+    /// Lazy policy: representations track their own coalesced-ness where they
+    /// can (VE carries a flag; OG/OGC histories are coalesced by
+    /// construction; RG is conceptually always snapshot-normalized), so a
+    /// `Coalesce` step is a no-op where the data is already maximal.
+    pub fn execute(&self, rt: &Runtime, graph: AnyGraph, policy: CoalescePolicy) -> AnyGraph {
+        let mut g = graph;
+        for op in &self.ops {
+            g = match op {
+                Op::AZoom(spec) => {
+                    let mut out = g.azoom(rt, spec);
+                    if policy == CoalescePolicy::Eager {
+                        out = coalesce_any(rt, out);
+                    }
+                    out
+                }
+                Op::WZoom(spec) => {
+                    // Correctness: coalesce before wZoom (the representation
+                    // implementations also guard this themselves; the
+                    // pipeline-level insertion is the observable part of the
+                    // optimization).
+                    let input = coalesce_any(rt, g);
+                    let mut out = input.wzoom(rt, spec);
+                    if policy == CoalescePolicy::Eager {
+                        out = coalesce_any(rt, out);
+                    }
+                    out
+                }
+                Op::Switch(kind) => g.switch_to(rt, *kind),
+                Op::Coalesce => coalesce_any(rt, g),
+            };
+        }
+        // Point semantics: the final result is always coalesced.
+        coalesce_any(rt, g)
+    }
+}
+
+/// Coalesces a graph in its current representation (no-op where the
+/// representation is coalesced by construction).
+pub fn coalesce_any(rt: &Runtime, g: AnyGraph) -> AnyGraph {
+    match g {
+        AnyGraph::Ve(ve) => AnyGraph::Ve(coalesce_ve(rt, &ve)),
+        // OG/OGC keep per-entity histories coalesced by construction; RG's
+        // snapshots are definitionally one per no-change interval.
+        other => other,
+    }
+}
+
+fn coalesce_ve(rt: &Runtime, ve: &VeGraph) -> VeGraph {
+    ve.coalesce(rt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph_core::graph::figure1_graph_stable_ids;
+    use tgraph_core::reference::{azoom_reference, wzoom_reference};
+    use tgraph_core::zoom::azoom::AggSpec;
+    use tgraph_core::zoom::wzoom::Quantifier;
+
+    fn rt() -> Runtime {
+        Runtime::with_partitions(4, 4)
+    }
+
+    fn school_spec() -> AZoomSpec {
+        AZoomSpec::by_property("school", "school", vec![AggSpec::count("students")])
+    }
+
+    fn wspec() -> WZoomSpec {
+        WZoomSpec::points(3, Quantifier::Exists, Quantifier::Exists)
+    }
+
+    /// Chains must equal composing the reference evaluators.
+    #[test]
+    fn chain_azoom_then_wzoom_matches_reference_composition() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let expected = wzoom_reference(&azoom_reference(&g, &school_spec()), &wspec());
+
+        for kind in [ReprKind::Ve, ReprKind::Og, ReprKind::Rg] {
+            let pipeline = Pipeline::new().azoom(school_spec()).wzoom(wspec());
+            let out = pipeline.execute(
+                &rt,
+                AnyGraph::load(&rt, &g, kind),
+                CoalescePolicy::Lazy,
+            );
+            let got = out.to_tgraph(&rt);
+            assert_eq!(got.vertices, expected.vertices, "{kind}");
+            assert_eq!(got.edges, expected.edges, "{kind}");
+        }
+    }
+
+    #[test]
+    fn chain_with_representation_switch() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let expected = wzoom_reference(&azoom_reference(&g, &school_spec()), &wspec());
+
+        // aZoom on VE, switch to OG, wZoom on OG — the paper's VE-OG chain.
+        let pipeline = Pipeline::new()
+            .azoom(school_spec())
+            .switch_to(ReprKind::Og)
+            .wzoom(wspec());
+        let out = pipeline.execute(&rt, AnyGraph::load(&rt, &g, ReprKind::Ve), CoalescePolicy::Lazy);
+        assert_eq!(out.kind(), ReprKind::Og);
+        let got = out.to_tgraph(&rt);
+        assert_eq!(got.vertices, expected.vertices);
+        assert_eq!(got.edges, expected.edges);
+
+        // OG → VE direction.
+        let pipeline = Pipeline::new()
+            .azoom(school_spec())
+            .switch_to(ReprKind::Ve)
+            .wzoom(wspec());
+        let out = pipeline.execute(&rt, AnyGraph::load(&rt, &g, ReprKind::Og), CoalescePolicy::Lazy);
+        assert_eq!(out.kind(), ReprKind::Ve);
+        let got = out.to_tgraph(&rt);
+        assert_eq!(got.vertices, expected.vertices);
+        assert_eq!(got.edges, expected.edges);
+    }
+
+    #[test]
+    fn lazy_and_eager_agree() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let pipeline = Pipeline::new().azoom(school_spec()).wzoom(wspec());
+        let lazy = pipeline
+            .execute(&rt, AnyGraph::load(&rt, &g, ReprKind::Ve), CoalescePolicy::Lazy)
+            .to_tgraph(&rt);
+        let eager = pipeline
+            .execute(&rt, AnyGraph::load(&rt, &g, ReprKind::Ve), CoalescePolicy::Eager)
+            .to_tgraph(&rt);
+        assert_eq!(lazy.vertices, eager.vertices);
+        assert_eq!(lazy.edges, eager.edges);
+    }
+
+    #[test]
+    fn wzoom_then_azoom_order() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let expected = azoom_reference(&wzoom_reference(&g, &wspec()), &school_spec());
+        for kind in [ReprKind::Ve, ReprKind::Og] {
+            let pipeline = Pipeline::new().wzoom(wspec()).azoom(school_spec());
+            let out = pipeline.execute(&rt, AnyGraph::load(&rt, &g, kind), CoalescePolicy::Lazy);
+            let got = out.to_tgraph(&rt);
+            assert_eq!(got.vertices, expected.vertices, "{kind}");
+            assert_eq!(got.edges, expected.edges, "{kind}");
+        }
+    }
+
+    #[test]
+    fn empty_pipeline_is_coalesced_identity() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let out = Pipeline::new().execute(&rt, AnyGraph::load(&rt, &g, ReprKind::Ve), CoalescePolicy::Lazy);
+        let got = out.to_tgraph(&rt);
+        let expected = tgraph_core::coalesce::coalesce_graph(&g);
+        assert_eq!(got.vertices, expected.vertices);
+        assert_eq!(got.edges, expected.edges);
+    }
+}

@@ -1,0 +1,156 @@
+//! A small fluent session API over pipelines — the "TGraph API" surface of
+//! §4, for users who want to zoom interactively rather than build explicit
+//! [`Pipeline`] values.
+
+use crate::pipeline::{coalesce_any, CoalescePolicy, Op, Pipeline};
+use tgraph_core::zoom::{AZoomSpec, WZoomSpec};
+use tgraph_core::TGraph;
+use tgraph_dataflow::Runtime;
+use tgraph_repr::{AnyGraph, ReprKind};
+
+/// A live query session holding a graph in some physical representation and
+/// applying operators eagerly while honoring the lazy-coalescing rule.
+pub struct Session<'rt> {
+    rt: &'rt Runtime,
+    graph: AnyGraph,
+    policy: CoalescePolicy,
+    trace: Vec<Op>,
+}
+
+impl<'rt> Session<'rt> {
+    /// Starts a session from a logical graph loaded into `kind`.
+    pub fn load(rt: &'rt Runtime, g: &TGraph, kind: ReprKind) -> Self {
+        Session { rt, graph: AnyGraph::load(rt, g, kind), policy: CoalescePolicy::Lazy, trace: Vec::new() }
+    }
+
+    /// Starts a session from an already-loaded representation.
+    pub fn from_graph(rt: &'rt Runtime, graph: AnyGraph) -> Self {
+        Session { rt, graph, policy: CoalescePolicy::Lazy, trace: Vec::new() }
+    }
+
+    /// Selects the coalescing policy (default lazy).
+    pub fn with_policy(mut self, policy: CoalescePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Applies attribute-based zoom.
+    pub fn azoom(mut self, spec: &AZoomSpec) -> Self {
+        self.trace.push(Op::AZoom(spec.clone()));
+        self.graph = self.graph.azoom(self.rt, spec);
+        if self.policy == CoalescePolicy::Eager {
+            self.graph = coalesce_any(self.rt, self.graph);
+        }
+        self
+    }
+
+    /// Applies window-based zoom (coalescing first, as correctness requires).
+    pub fn wzoom(mut self, spec: &WZoomSpec) -> Self {
+        self.trace.push(Op::WZoom(spec.clone()));
+        self.graph = coalesce_any(self.rt, self.graph);
+        self.graph = self.graph.wzoom(self.rt, spec);
+        if self.policy == CoalescePolicy::Eager {
+            self.graph = coalesce_any(self.rt, self.graph);
+        }
+        self
+    }
+
+    /// Switches the physical representation.
+    pub fn switch_to(mut self, kind: ReprKind) -> Self {
+        self.trace.push(Op::Switch(kind));
+        self.graph = self.graph.switch_to(self.rt, kind);
+        self
+    }
+
+    /// Current representation.
+    pub fn kind(&self) -> ReprKind {
+        self.graph.kind()
+    }
+
+    /// The operators applied so far (for plan display / debugging).
+    pub fn trace(&self) -> &[Op] {
+        &self.trace
+    }
+
+    /// Finishes the session: coalesces (point semantics) and returns the
+    /// graph in its current representation.
+    pub fn finish(self) -> AnyGraph {
+        coalesce_any(self.rt, self.graph)
+    }
+
+    /// Finishes and materializes the logical result.
+    pub fn collect(self) -> TGraph {
+        let rt = self.rt;
+        self.finish().to_tgraph(rt)
+    }
+
+    /// Replays the recorded trace as a reusable [`Pipeline`].
+    pub fn to_pipeline(&self) -> Pipeline {
+        let mut p = Pipeline::new();
+        for op in &self.trace {
+            p = match op {
+                Op::AZoom(s) => p.azoom(s.clone()),
+                Op::WZoom(s) => p.wzoom(s.clone()),
+                Op::Switch(k) => p.switch_to(*k),
+                Op::Coalesce => p.coalesce(),
+            };
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph_core::graph::figure1_graph_stable_ids;
+    use tgraph_core::reference::{azoom_reference, wzoom_reference};
+    use tgraph_core::zoom::azoom::AggSpec;
+    use tgraph_core::zoom::wzoom::Quantifier;
+
+    fn rt() -> Runtime {
+        Runtime::with_partitions(2, 2)
+    }
+
+    #[test]
+    fn session_matches_pipeline() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let aspec = AZoomSpec::by_property("school", "school", vec![AggSpec::count("students")]);
+        let wspec = WZoomSpec::points(3, Quantifier::Exists, Quantifier::Exists);
+
+        let session_out = Session::load(&rt, &g, ReprKind::Ve)
+            .azoom(&aspec)
+            .switch_to(ReprKind::Og)
+            .wzoom(&wspec)
+            .collect();
+
+        let expected = wzoom_reference(&azoom_reference(&g, &aspec), &wspec);
+        assert_eq!(session_out.vertices, expected.vertices);
+        assert_eq!(session_out.edges, expected.edges);
+    }
+
+    #[test]
+    fn trace_replays_as_pipeline() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let aspec = AZoomSpec::by_property("school", "school", vec![AggSpec::count("students")]);
+        let session = Session::load(&rt, &g, ReprKind::Ve).azoom(&aspec);
+        assert_eq!(session.trace().len(), 1);
+        let pipeline = session.to_pipeline();
+        assert_eq!(pipeline.ops().len(), 1);
+        let replayed = pipeline
+            .execute(&rt, AnyGraph::load(&rt, &g, ReprKind::Ve), CoalescePolicy::Lazy)
+            .to_tgraph(&rt);
+        assert_eq!(replayed.vertices, session.collect().vertices);
+    }
+
+    #[test]
+    fn kind_tracks_switches() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let s = Session::load(&rt, &g, ReprKind::Ve);
+        assert_eq!(s.kind(), ReprKind::Ve);
+        let s = s.switch_to(ReprKind::Ogc);
+        assert_eq!(s.kind(), ReprKind::Ogc);
+    }
+}

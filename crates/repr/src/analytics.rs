@@ -1,0 +1,390 @@
+//! Pregel-style analytics over evolving graphs — the paper's stated future
+//! work ("In our future work we will extend our system to support additional
+//! operations on evolving graphs, such as Pregel-style analytics", §7),
+//! implemented here over the same dataflow substrate.
+//!
+//! All three analytics follow point semantics like the zoom operators: the
+//! non-temporal algorithm is evaluated over every snapshot (elementary
+//! no-change interval), and per-snapshot results are coalesced into maximal
+//! intervals. Computation is structured as iterated message passing
+//! (`Pregel` supersteps) expressed with the dataflow engine's keyed
+//! operators, with the snapshot id as part of every key so that all
+//! snapshots advance in the same superstep wave.
+
+use tgraph_core::graph::{TGraph, VertexId, VertexRecord};
+use tgraph_core::props::Props;
+use tgraph_core::splitter::elementary_intervals;
+use tgraph_core::time::{Interval, Time};
+use tgraph_dataflow::{Dataset, KeyedDataset, Runtime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A temporal vertex measure: for each vertex, maximal intervals with a
+/// constant value.
+pub type TemporalMeasure<V> = Vec<(VertexId, Interval, V)>;
+
+/// Expands a TGraph into `(snapshot_start, src, dst)` adjacency facts plus
+/// the snapshot intervals — the common preamble of all analytics.
+fn snapshot_edges(g: &TGraph) -> (Vec<Interval>, Vec<(Time, VertexId, VertexId)>) {
+    let intervals = elementary_intervals(&g.change_points());
+    let index: HashMap<Time, usize> =
+        intervals.iter().enumerate().map(|(i, iv)| (iv.start, i)).collect();
+    let mut edges = Vec::new();
+    for e in &g.edges {
+        let mut t = e.interval.start;
+        while t < e.interval.end {
+            let i = index[&t];
+            edges.push((intervals[i].start, e.src, e.dst));
+            t = intervals[i].end;
+        }
+    }
+    (intervals, edges)
+}
+
+/// Per-snapshot vertex presence facts `(snapshot_start, vid)`.
+fn snapshot_vertices(g: &TGraph, intervals: &[Interval]) -> Vec<(Time, VertexId)> {
+    let index: HashMap<Time, usize> =
+        intervals.iter().enumerate().map(|(i, iv)| (iv.start, i)).collect();
+    let mut out = Vec::new();
+    for v in &g.vertices {
+        let mut t = v.interval.start;
+        while t < v.interval.end {
+            let i = index[&t];
+            out.push((intervals[i].start, v.vid));
+            t = intervals[i].end;
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn coalesce_measure<V: Eq + Clone + Send + Sync + 'static>(
+    intervals: &[Interval],
+    per_snapshot: Vec<((Time, VertexId), V)>,
+) -> TemporalMeasure<V> {
+    let index: HashMap<Time, Interval> =
+        intervals.iter().map(|iv| (iv.start, *iv)).collect();
+    let mut by_vertex: HashMap<VertexId, Vec<(Interval, V)>> = HashMap::new();
+    for ((start, vid), value) in per_snapshot {
+        by_vertex.entry(vid).or_default().push((index[&start], value));
+    }
+    let mut out = Vec::new();
+    for (vid, facts) in by_vertex {
+        for (iv, v) in tgraph_core::coalesce::coalesce_group(facts) {
+            out.push((vid, iv, v));
+        }
+    }
+    out.sort_by_key(|(vid, iv, _)| (*vid, iv.start));
+    out
+}
+
+/// Temporal degree: for every vertex, its (undirected) degree over time as
+/// maximal constant intervals. Vertices present with degree zero are
+/// reported with value `0`.
+pub fn temporal_degree(rt: &Runtime, g: &TGraph) -> TemporalMeasure<u64> {
+    let (intervals, edges) = snapshot_edges(g);
+    let presence = snapshot_vertices(g, &intervals);
+
+    let edge_ds: Dataset<(Time, VertexId, VertexId)> = Dataset::from_vec(rt, edges);
+    let endpoint_counts: Dataset<((Time, VertexId), u64)> = edge_ds
+        .flat_map(rt, |(t, src, dst)| vec![((*t, *src), 1u64), ((*t, *dst), 1u64)])
+        .reduce_by_key(rt, |a, b| a + b);
+
+    let mut counts: HashMap<(Time, VertexId), u64> =
+        endpoint_counts.collect().into_iter().collect();
+    let per_snapshot: Vec<((Time, VertexId), u64)> = presence
+        .into_iter()
+        .map(|(t, vid)| ((t, vid), counts.remove(&(t, vid)).unwrap_or(0)))
+        .collect();
+    coalesce_measure(&intervals, per_snapshot)
+}
+
+/// Temporal connected components (treating edges as undirected): for every
+/// vertex, the id of its component over time, where a component is labelled
+/// by its smallest member vertex id. Implemented as Pregel-style label
+/// propagation run simultaneously over all snapshots: every superstep is one
+/// `reduceByKey` + `join` wave keyed by `(snapshot, vertex)`.
+pub fn temporal_connected_components(rt: &Runtime, g: &TGraph) -> TemporalMeasure<u64> {
+    let (intervals, edges) = snapshot_edges(g);
+    let presence = snapshot_vertices(g, &intervals);
+    let n_snapshots = intervals.len().max(1);
+
+    // labels: (snapshot, vid) -> current component label.
+    let mut labels: Dataset<((Time, VertexId), u64)> = Dataset::from_vec(
+        rt,
+        presence.iter().map(|(t, vid)| ((*t, *vid), vid.0)).collect(),
+    );
+    // Symmetric adjacency keyed by (snapshot, vertex).
+    let adjacency: Dataset<((Time, VertexId), VertexId)> = Dataset::from_vec(
+        rt,
+        edges
+            .iter()
+            .flat_map(|(t, s, d)| [((*t, *s), *d), ((*t, *d), *s)])
+            .collect(),
+    );
+
+    // Upper bound on supersteps: the longest path in any snapshot.
+    let max_rounds = (presence.len() / n_snapshots + 2).max(8);
+    for _ in 0..max_rounds {
+        // Superstep: each vertex sends its label to its neighbors; every
+        // vertex adopts the minimum of its own and received labels.
+        let messages: Dataset<((Time, VertexId), u64)> = adjacency
+            .join(rt, &labels)
+            .map(rt, |((t, _v), (neighbor, label))| ((*t, *neighbor), *label));
+        let new_labels = labels
+            .union(&messages)
+            .reduce_by_key(rt, |a, b| *a.min(b));
+        // Convergence check: count label changes.
+        let changed = new_labels
+            .join(rt, &labels)
+            .filter(rt, |(_, (new, old))| new != old)
+            .count(rt);
+        labels = new_labels;
+        if changed == 0 {
+            break;
+        }
+    }
+
+    coalesce_measure(&intervals, labels.collect())
+}
+
+/// Temporal PageRank: `iterations` synchronous PageRank steps per snapshot
+/// (damping 0.85, dangling mass redistributed uniformly), returning each
+/// vertex's rank over time. Ranks are rounded to `1e-9` before coalescing so
+/// adjacent snapshots with equal topology merge.
+pub fn temporal_pagerank(
+    rt: &Runtime,
+    g: &TGraph,
+    iterations: usize,
+) -> TemporalMeasure<u64> {
+    const DAMPING: f64 = 0.85;
+    let (intervals, edges) = snapshot_edges(g);
+    let presence = snapshot_vertices(g, &intervals);
+
+    // Vertices per snapshot (for normalization).
+    let mut snapshot_sizes: HashMap<Time, u64> = HashMap::new();
+    for (t, _) in &presence {
+        *snapshot_sizes.entry(*t).or_default() += 1;
+    }
+    let snapshot_sizes = Arc::new(snapshot_sizes);
+
+    // Out-degrees per (snapshot, vertex).
+    let edge_ds: Dataset<((Time, VertexId), VertexId)> =
+        Dataset::from_vec(rt, edges.iter().map(|(t, s, d)| ((*t, *s), *d)).collect());
+    let out_degree: Dataset<((Time, VertexId), u64)> = edge_ds
+        .map(rt, |(k, _)| (*k, 1u64))
+        .reduce_by_key(rt, |a, b| a + b);
+
+    // Initial rank 1/N per snapshot.
+    let sizes = Arc::clone(&snapshot_sizes);
+    let mut ranks: Dataset<((Time, VertexId), f64)> = Dataset::from_vec(
+        rt,
+        presence
+            .iter()
+            .map(|(t, vid)| ((*t, *vid), 1.0 / sizes[t] as f64))
+            .collect(),
+    );
+
+    let presence_ds: Dataset<((Time, VertexId), ())> =
+        Dataset::from_vec(rt, presence.iter().map(|(t, v)| ((*t, *v), ())).collect());
+
+    for _ in 0..iterations {
+        // Contribution = rank / out_degree along each edge.
+        let with_deg = ranks.join(rt, &out_degree);
+        let contributions: Dataset<((Time, VertexId), f64)> = edge_ds
+            .join(rt, &with_deg)
+            .map(rt, |((t, _src), (dst, (rank, deg)))| ((*t, *dst), rank / *deg as f64));
+        let received = contributions.reduce_by_key(rt, |a, b| a + b);
+        // Dangling mass per snapshot = 1 - sum of distributed rank.
+        let mut distributed: HashMap<Time, f64> = HashMap::new();
+        for ((t, _), (rank, _)) in with_deg.collect() {
+            *distributed.entry(t).or_default() += rank;
+        }
+        let sizes = Arc::clone(&snapshot_sizes);
+        let received_map: HashMap<(Time, VertexId), f64> =
+            received.collect().into_iter().collect();
+        let received_map = Arc::new(received_map);
+        let distributed = Arc::new(distributed);
+        ranks = presence_ds.map(rt, move |((t, vid), ())| {
+            let n = sizes[t] as f64;
+            let dangling = (1.0 - distributed.get(t).copied().unwrap_or(0.0)).max(0.0) / n;
+            let incoming = received_map.get(&(*t, *vid)).copied().unwrap_or(0.0);
+            ((*t, *vid), (1.0 - DAMPING) / n + DAMPING * (incoming + dangling))
+        });
+    }
+
+    // Quantize for coalescing (f64 is not Eq).
+    let quantized: Vec<((Time, VertexId), u64)> = ranks
+        .collect()
+        .into_iter()
+        .map(|(k, r)| (k, (r * 1e9).round() as u64))
+        .collect();
+    coalesce_measure(&intervals, quantized)
+}
+
+/// Renders a temporal measure back into a TGraph whose vertices carry the
+/// measure as a property — so analytics compose with the zoom operators.
+pub fn measure_as_tgraph(g: &TGraph, measure: &TemporalMeasure<u64>, key: &str) -> TGraph {
+    let mut vertices: Vec<VertexRecord> = Vec::with_capacity(measure.len());
+    // Look up the vertex's own props at each measure interval start.
+    for (vid, interval, value) in measure {
+        let props = g
+            .vertices
+            .iter()
+            .find(|v| v.vid == *vid && v.interval.overlaps(interval))
+            .map(|v| v.props.clone())
+            .unwrap_or_else(|| Props::typed("node"));
+        vertices.push(VertexRecord {
+            vid: *vid,
+            interval: *interval,
+            props: props.with(key, *value as i64),
+        });
+    }
+    TGraph { lifespan: g.lifespan, vertices, edges: g.edges.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph_core::graph::{figure1_graph_stable_ids, EdgeRecord};
+
+    fn rt() -> Runtime {
+        Runtime::with_partitions(2, 3)
+    }
+
+    #[test]
+    fn degree_of_running_example() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let deg = temporal_degree(&rt, &g);
+        // Ann: degree 0 during [1,2), 1 during [2,7) (edge e1).
+        let ann: Vec<_> = deg.iter().filter(|(v, _, _)| v.0 == 1).collect();
+        assert_eq!(
+            ann,
+            vec![
+                &(VertexId(1), Interval::new(1, 2), 0),
+                &(VertexId(1), Interval::new(2, 7), 1),
+            ]
+        );
+        // Bob: 1 during [2,7) (e1), then 1 during [7,9) (e2) — coalesces.
+        let bob: Vec<_> = deg.iter().filter(|(v, _, _)| v.0 == 2).collect();
+        assert_eq!(bob, vec![&(VertexId(2), Interval::new(2, 9), 1)]);
+    }
+
+    #[test]
+    fn degree_matches_per_point_bruteforce() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let deg = temporal_degree(&rt, &g);
+        for t in g.lifespan.points() {
+            let snap = g.at(t);
+            for (vid, _) in &snap.vertices {
+                let expect = snap
+                    .edges
+                    .values()
+                    .filter(|(s, d, _)| s == vid || d == vid)
+                    .count() as u64;
+                let got = deg
+                    .iter()
+                    .find(|(v, iv, _)| v == vid && iv.contains(t))
+                    .map(|(_, _, d)| *d);
+                assert_eq!(got, Some(expect), "vertex {vid} at t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn components_of_running_example() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let cc = temporal_connected_components(&rt, &g);
+        // At t=3: Ann-Bob connected (component 1), Cat alone (component 3).
+        let label = |vid: u64, t: i64| {
+            cc.iter()
+                .find(|(v, iv, _)| v.0 == vid && iv.contains(t))
+                .map(|(_, _, l)| *l)
+        };
+        assert_eq!(label(1, 3), Some(1));
+        assert_eq!(label(2, 3), Some(1));
+        assert_eq!(label(3, 3), Some(3));
+        // At t=8: Bob-Cat connected (component 2), Ann gone.
+        assert_eq!(label(2, 8), Some(2));
+        assert_eq!(label(3, 8), Some(2));
+        assert_eq!(label(1, 8), None);
+        // At t=1: everyone isolated.
+        assert_eq!(label(1, 1), Some(1));
+        assert_eq!(label(3, 1), Some(3));
+    }
+
+    #[test]
+    fn components_on_chain_converge() {
+        // A path a-b-c-d within one snapshot must collapse to one component.
+        let rt = rt();
+        let life = Interval::new(0, 2);
+        let vs = (1..=4u64)
+            .map(|i| VertexRecord::new(i, life, Props::typed("n")))
+            .collect();
+        let es = vec![
+            EdgeRecord::new(1, 1, 2, life, Props::typed("l")),
+            EdgeRecord::new(2, 2, 3, life, Props::typed("l")),
+            EdgeRecord::new(3, 3, 4, life, Props::typed("l")),
+        ];
+        let g = TGraph::from_records(vs, es);
+        let cc = temporal_connected_components(&rt, &g);
+        assert!(cc.iter().all(|(_, _, l)| *l == 1), "{cc:?}");
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_per_snapshot() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let pr = temporal_pagerank(&rt, &g, 20);
+        for t in g.lifespan.points() {
+            let total: f64 = pr
+                .iter()
+                .filter(|(_, iv, _)| iv.contains(t))
+                .map(|(_, _, r)| *r as f64 / 1e9)
+                .sum();
+            assert!((total - 1.0).abs() < 1e-6, "t={t}: total={total}");
+        }
+    }
+
+    #[test]
+    fn pagerank_favors_sinks() {
+        // a -> c, b -> c in one snapshot: c must outrank a and b.
+        let rt = rt();
+        let life = Interval::new(0, 1);
+        let vs = (1..=3u64)
+            .map(|i| VertexRecord::new(i, life, Props::typed("n")))
+            .collect();
+        let es = vec![
+            EdgeRecord::new(1, 1, 3, life, Props::typed("l")),
+            EdgeRecord::new(2, 2, 3, life, Props::typed("l")),
+        ];
+        let g = TGraph::from_records(vs, es);
+        let pr = temporal_pagerank(&rt, &g, 30);
+        let rank = |vid: u64| pr.iter().find(|(v, _, _)| v.0 == vid).unwrap().2;
+        assert!(rank(3) > rank(1));
+        assert_eq!(rank(1), rank(2));
+    }
+
+    #[test]
+    fn measure_composes_with_zoom() {
+        // Degree as a property, then aZoom by degree: groups nodes by their
+        // connectivity level over time.
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let deg = temporal_degree(&rt, &g);
+        let annotated = measure_as_tgraph(&g, &deg, "degree");
+        assert!(tgraph_core::validate::validate(&annotated).is_empty());
+        let spec = tgraph_core::zoom::AZoomSpec::by_property(
+            "degree",
+            "degree-class",
+            vec![tgraph_core::zoom::AggSpec::count("n")],
+        );
+        let zoomed = tgraph_core::reference::azoom_reference(&annotated, &spec);
+        assert!(zoomed.distinct_vertex_count() >= 1);
+        assert!(tgraph_core::validate::validate(&zoomed).is_empty());
+    }
+}

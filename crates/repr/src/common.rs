@@ -1,0 +1,142 @@
+//! Helpers shared by the physical representations' operator plans.
+
+use tgraph_core::coalesce::coalesce_group;
+use tgraph_core::props::Props;
+use tgraph_core::splitter::splitter;
+use tgraph_core::time::Interval;
+use tgraph_core::zoom::azoom::{AZoomSpec, AggAccumulator};
+use tgraph_core::zoom::wzoom::WZoomSpec;
+
+/// A temporal state: a validity interval plus the property assignment held
+/// during it. The unit of history arrays (OG) and of per-window resolution.
+pub type State = (Interval, Props);
+
+/// Coalesces a list of states of one entity (merging value-equivalent
+/// adjacent/overlapping intervals) and returns them sorted by start.
+pub fn coalesce_states(states: Vec<State>) -> Vec<State> {
+    coalesce_group(states)
+}
+
+/// Computes the zoomed history of one `aZoom^T` group node from its members'
+/// states.
+///
+/// The members' intervals are split at every boundary (the temporal-splitter
+/// technique of Algorithm 2); within each elementary interval the group
+/// membership is constant, so the aggregation function is applied to the
+/// members alive in it; finally value-equivalent adjacent intervals coalesce,
+/// which is exactly the per-snapshot evaluation + coalescing that point
+/// semantics prescribe.
+pub fn aggregate_group_history(
+    spec: &AZoomSpec,
+    base: &Props,
+    members: &[State],
+) -> Vec<State> {
+    let splits = splitter(members.iter().map(|(iv, _)| iv));
+    let mut out: Vec<State> = Vec::with_capacity(splits.len());
+    for s in splits {
+        let mut acc = AggAccumulator::new(spec.aggs.clone());
+        let mut alive = false;
+        for (iv, props) in members {
+            if iv.overlaps(&s) {
+                acc.update(props);
+                alive = true;
+            }
+        }
+        if alive {
+            out.push((s, acc.finish(base.clone())));
+        }
+    }
+    coalesce_states(out)
+}
+
+/// Applies the window quantifier + resolve step of `wZoom^T` to one entity's
+/// states inside one window (`match_threshold` + `f_v`/`f_e` of Algorithms
+/// 4–6 in a single call).
+///
+/// `states` hold the *window-clipped* intervals. Returns the representative
+/// properties if the entity's total coverage of `window` satisfies `quant`.
+pub fn window_reduce(
+    window: Interval,
+    states: Vec<State>,
+    quant: &tgraph_core::zoom::wzoom::Quantifier,
+    resolve: impl FnOnce(&[State]) -> Props,
+) -> Option<Props> {
+    // Coalesce first so coverage counts each time point once and resolve
+    // functions see maximal states (correctness requires coalesced input,
+    // §3.2).
+    let states = coalesce_states(states);
+    let covered: u64 = states.iter().map(|(iv, _)| iv.len()).sum();
+    let r = covered as f64 / window.len() as f64;
+    quant.satisfied(r).then(|| resolve(&states))
+}
+
+/// Vertex-side resolve honoring per-attribute overrides of the spec.
+pub fn resolve_vertex_states(spec: &WZoomSpec, states: &[State]) -> Props {
+    spec.resolve_vertex(states)
+}
+
+/// Edge-side resolve.
+pub fn resolve_edge_states(spec: &WZoomSpec, states: &[State]) -> Props {
+    spec.resolve_edge(states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph_core::zoom::azoom::AggSpec;
+    use tgraph_core::zoom::wzoom::Quantifier;
+    use tgraph_core::Value;
+
+    #[test]
+    fn group_history_counts_members_over_time() {
+        // Two members: [1,7) and [1,9) → count 2 during [1,7), 1 during [7,9).
+        let spec = AZoomSpec::by_property("school", "school", vec![AggSpec::count("students")]);
+        let base = Props::typed("school").with("school", "MIT");
+        let members = vec![
+            (Interval::new(1, 7), Props::typed("person").with("school", "MIT")),
+            (Interval::new(1, 9), Props::typed("person").with("school", "MIT")),
+        ];
+        let history = aggregate_group_history(&spec, &base, &members);
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].0, Interval::new(1, 7));
+        assert_eq!(history[0].1.get("students"), Some(&Value::Int(2)));
+        assert_eq!(history[1].0, Interval::new(7, 9));
+        assert_eq!(history[1].1.get("students"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn group_history_coalesces_equal_counts() {
+        // Members with a shared boundary but constant count coalesce.
+        let spec = AZoomSpec::by_property("g", "group", vec![AggSpec::count("n")]);
+        let base = Props::typed("group");
+        let p = Props::typed("x").with("g", "a");
+        let members = vec![
+            (Interval::new(0, 4), p.clone()),
+            (Interval::new(4, 8), p.clone()),
+        ];
+        let history = aggregate_group_history(&spec, &base, &members);
+        assert_eq!(history, vec![(Interval::new(0, 8), base.with("n", 1i64))]);
+    }
+
+    #[test]
+    fn window_reduce_quantifier_gate() {
+        let w = Interval::new(0, 4);
+        let p = Props::typed("x");
+        let half = vec![(Interval::new(0, 2), p.clone())];
+        assert!(window_reduce(w, half.clone(), &Quantifier::All, |s| s[0].1.clone()).is_none());
+        assert!(window_reduce(w, half, &Quantifier::Exists, |s| s[0].1.clone()).is_some());
+    }
+
+    #[test]
+    fn window_reduce_counts_overlap_once() {
+        // Uncoalesced duplicate states must not double-count coverage.
+        let w = Interval::new(0, 4);
+        let p = Props::typed("x");
+        let dup = vec![
+            (Interval::new(0, 3), p.clone()),
+            (Interval::new(1, 4), p.clone()),
+        ];
+        // Union covers the window fully → `all` passes.
+        assert!(window_reduce(w, dup, &Quantifier::All, |s| s[0].1.clone()).is_some());
+    }
+}

@@ -1,0 +1,283 @@
+//! Conversions between physical representations, enabling the
+//! representation-switching pipelines of §5.3 (e.g. `aZoom^T` on VE followed
+//! by `wZoom^T` on OG).
+//!
+//! VE↔OG conversion runs as a dataflow job (a shuffle groups the VE tuples of
+//! each entity to rebuild OG's history arrays; the reverse is an
+//! embarrassingly parallel flatMap). Conversions involving RG and OGC
+//! materialize through the logical TGraph.
+
+use crate::og::{OgEdge, OgGraph, OgVertex};
+use crate::ogc::OgcGraph;
+use crate::rg::RgGraph;
+use crate::ve::VeGraph;
+use crate::{common::coalesce_states, ReprKind};
+use tgraph_core::graph::{EdgeId, EdgeRecord, VertexId, VertexRecord};
+use tgraph_dataflow::{Dataset, KeyedDataset, Runtime};
+use std::collections::HashMap;
+
+/// VE → OG: shuffle tuples by entity key and assemble history arrays.
+///
+/// Edge endpoint copies are attached with a join against the freshly built
+/// vertex collection (the step GraphX's vertex mirroring performs during
+/// triplet-view materialization).
+pub fn ve_to_og(rt: &Runtime, ve: &VeGraph) -> OgGraph {
+    let vertices: Dataset<OgVertex> = ve
+        .vertices
+        .map(rt, |v| (v.vid, (v.interval, v.props.clone())))
+        .group_by_key(rt)
+        .map(rt, |(vid, states)| OgVertex {
+            vid: *vid,
+            history: coalesce_states(states.clone()),
+        });
+
+    let e_grouped: Dataset<((EdgeId, VertexId, VertexId), Vec<(tgraph_core::Interval, tgraph_core::Props)>)> =
+        ve.edges
+            .map(rt, |e| ((e.eid, e.src, e.dst), (e.interval, e.props.clone())))
+            .group_by_key(rt);
+
+    // Mirror endpoint vertices onto edges: join on src, then on dst.
+    let v_by_id: Dataset<(VertexId, OgVertex)> = vertices.map(rt, |v| (v.vid, v.clone()));
+    let by_src: Dataset<(VertexId, ((EdgeId, VertexId, VertexId), Vec<(tgraph_core::Interval, tgraph_core::Props)>))> =
+        e_grouped.map(rt, |(k, states)| (k.1, (*k, states.clone())));
+    let with_src = by_src.join(rt, &v_by_id).map(rt, |(_, ((k, states), src))| {
+        (k.2, (*k, states.clone(), src.clone()))
+    });
+    let edges: Dataset<OgEdge> = with_src.join(rt, &v_by_id).map(
+        rt,
+        |(_, ((k, states, src), dst))| OgEdge {
+            eid: k.0,
+            src: src.clone(),
+            dst: dst.clone(),
+            history: coalesce_states(states.clone()),
+        },
+    );
+
+    OgGraph { lifespan: ve.lifespan, vertices, edges }
+}
+
+/// OG → VE: split history arrays back into flat tuples (no shuffle).
+pub fn og_to_ve(rt: &Runtime, og: &OgGraph) -> VeGraph {
+    let vertices: Dataset<VertexRecord> = og.vertices.flat_map(rt, |v| {
+        let vid = v.vid;
+        v.history
+            .iter()
+            .map(move |(interval, props)| VertexRecord { vid, interval: *interval, props: props.clone() })
+            .collect::<Vec<_>>()
+    });
+    let edges: Dataset<EdgeRecord> = og.edges.flat_map(rt, |e| {
+        let (eid, src, dst) = (e.eid, e.src.vid, e.dst.vid);
+        e.history
+            .iter()
+            .map(move |(interval, props)| EdgeRecord {
+                eid,
+                src,
+                dst,
+                interval: *interval,
+                props: props.clone(),
+            })
+            .collect::<Vec<_>>()
+    });
+    // Histories are coalesced per entity by construction.
+    VeGraph { lifespan: og.lifespan, vertices, edges, coalesced: true }
+}
+
+/// VE → RG: materialize the snapshot sequence.
+pub fn ve_to_rg(rt: &Runtime, ve: &VeGraph) -> RgGraph {
+    RgGraph::from_tgraph(rt, &ve.to_tgraph())
+}
+
+/// RG → VE: flatten snapshots into tuples and coalesce.
+pub fn rg_to_ve(rt: &Runtime, rg: &RgGraph) -> VeGraph {
+    VeGraph::from_tgraph(rt, &rg.to_tgraph(rt))
+}
+
+/// VE → OGC: drop attributes, keep topology bitsets.
+pub fn ve_to_ogc(rt: &Runtime, ve: &VeGraph) -> OgcGraph {
+    OgcGraph::from_tgraph(rt, &ve.to_tgraph())
+}
+
+/// OGC → VE: expand bitsets into type-only tuples.
+pub fn ogc_to_ve(rt: &Runtime, ogc: &OgcGraph) -> VeGraph {
+    VeGraph::from_tgraph(rt, &ogc.to_tgraph(rt))
+}
+
+/// OG → RG via the logical graph.
+pub fn og_to_rg(rt: &Runtime, og: &OgGraph) -> RgGraph {
+    RgGraph::from_tgraph(rt, &og.to_tgraph(rt))
+}
+
+/// RG → OG via the logical graph.
+pub fn rg_to_og(rt: &Runtime, rg: &RgGraph) -> OgGraph {
+    OgGraph::from_tgraph(rt, &rg.to_tgraph(rt))
+}
+
+/// A TGraph held in any of the four physical representations — the value the
+/// query layer threads through operator pipelines.
+#[derive(Clone, Debug)]
+pub enum AnyGraph {
+    /// Representative Graphs.
+    Rg(RgGraph),
+    /// Vertex–Edge relations.
+    Ve(VeGraph),
+    /// One Graph.
+    Og(OgGraph),
+    /// One Graph Columnar.
+    Ogc(OgcGraph),
+}
+
+impl AnyGraph {
+    /// The representation this graph is currently held in.
+    pub fn kind(&self) -> ReprKind {
+        match self {
+            AnyGraph::Rg(_) => ReprKind::Rg,
+            AnyGraph::Ve(_) => ReprKind::Ve,
+            AnyGraph::Og(_) => ReprKind::Og,
+            AnyGraph::Ogc(_) => ReprKind::Ogc,
+        }
+    }
+
+    /// Loads a logical graph into the requested representation.
+    pub fn load(rt: &Runtime, g: &tgraph_core::TGraph, kind: ReprKind) -> AnyGraph {
+        match kind {
+            ReprKind::Rg => AnyGraph::Rg(RgGraph::from_tgraph(rt, g)),
+            ReprKind::Ve => AnyGraph::Ve(VeGraph::from_tgraph(rt, g)),
+            ReprKind::Og => AnyGraph::Og(OgGraph::from_tgraph(rt, g)),
+            ReprKind::Ogc => AnyGraph::Ogc(OgcGraph::from_tgraph(rt, g)),
+        }
+    }
+
+    /// Switches to another representation (identity if already there).
+    pub fn switch_to(&self, rt: &Runtime, kind: ReprKind) -> AnyGraph {
+        if self.kind() == kind {
+            return self.clone();
+        }
+        match (self, kind) {
+            // Direct dataflow conversions between the compact representations.
+            (AnyGraph::Ve(ve), ReprKind::Og) => AnyGraph::Og(ve_to_og(rt, ve)),
+            (AnyGraph::Og(og), ReprKind::Ve) => AnyGraph::Ve(og_to_ve(rt, og)),
+            // Everything else goes through the logical graph.
+            (g, kind) => AnyGraph::load(rt, &g.to_tgraph(rt), kind),
+        }
+    }
+
+    /// Materializes the logical graph.
+    pub fn to_tgraph(&self, rt: &Runtime) -> tgraph_core::TGraph {
+        match self {
+            AnyGraph::Rg(g) => g.to_tgraph(rt),
+            AnyGraph::Ve(g) => {
+                // Coalesce for a canonical logical form.
+                crate::ve::coalesce_collected(g)
+            }
+            AnyGraph::Og(g) => g.to_tgraph(rt),
+            AnyGraph::Ogc(g) => g.to_tgraph(rt),
+        }
+    }
+
+    /// `aZoom^T` in the current representation.
+    ///
+    /// # Panics
+    /// Panics for OGC, which does not support attribute-based zoom (§3.1).
+    pub fn azoom(&self, rt: &Runtime, spec: &tgraph_core::zoom::AZoomSpec) -> AnyGraph {
+        match self {
+            AnyGraph::Rg(g) => AnyGraph::Rg(g.azoom(rt, spec)),
+            AnyGraph::Ve(g) => AnyGraph::Ve(g.azoom(rt, spec)),
+            AnyGraph::Og(g) => AnyGraph::Og(g.azoom(rt, spec)),
+            AnyGraph::Ogc(_) => {
+                panic!("OGC does not represent attributes and so does not support aZoom^T")
+            }
+        }
+    }
+
+    /// `wZoom^T` in the current representation.
+    pub fn wzoom(&self, rt: &Runtime, spec: &tgraph_core::zoom::WZoomSpec) -> AnyGraph {
+        match self {
+            AnyGraph::Rg(g) => AnyGraph::Rg(g.wzoom(rt, spec)),
+            AnyGraph::Ve(g) => AnyGraph::Ve(g.wzoom(rt, spec)),
+            AnyGraph::Og(g) => AnyGraph::Og(g.wzoom(rt, spec)),
+            AnyGraph::Ogc(g) => AnyGraph::Ogc(g.wzoom(rt, spec)),
+        }
+    }
+}
+
+/// Builds a vid → history map from a collected OG vertex set (test helper).
+pub fn history_index(og: &OgGraph) -> HashMap<VertexId, OgVertex> {
+    og.vertices.collect().into_iter().map(|v| (v.vid, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph_core::coalesce::coalesce_graph;
+    use tgraph_core::graph::figure1_graph_stable_ids;
+
+    fn rt() -> Runtime {
+        Runtime::with_partitions(4, 4)
+    }
+
+    fn canonical(g: &tgraph_core::TGraph) -> tgraph_core::TGraph {
+        coalesce_graph(g)
+    }
+
+    #[test]
+    fn ve_og_roundtrip() {
+        let rt = rt();
+        let g = canonical(&figure1_graph_stable_ids());
+        let ve = VeGraph::from_tgraph(&rt, &g);
+        let og = ve_to_og(&rt, &ve);
+        assert_eq!(og.vertex_count(&rt), 3);
+        assert_eq!(og.edge_count(&rt), 2);
+        // Endpoint copies are mirrored with full histories.
+        let e1 = og.edges.collect().into_iter().find(|e| e.eid.0 == 1).unwrap();
+        assert_eq!(e1.dst.history.len(), 2);
+        let back = og_to_ve(&rt, &og);
+        assert_eq!(crate::ve::coalesce_collected(&back).vertices, g.vertices);
+        assert_eq!(crate::ve::coalesce_collected(&back).edges, g.edges);
+    }
+
+    #[test]
+    fn all_representations_roundtrip_through_anygraph() {
+        let rt = rt();
+        let g = canonical(&figure1_graph_stable_ids());
+        for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og] {
+            let any = AnyGraph::load(&rt, &g, kind);
+            assert_eq!(any.kind(), kind);
+            let back = any.to_tgraph(&rt);
+            assert_eq!(back.vertices, g.vertices, "{kind}");
+            assert_eq!(back.edges, g.edges, "{kind}");
+        }
+    }
+
+    #[test]
+    fn switching_preserves_graph() {
+        let rt = rt();
+        let g = canonical(&figure1_graph_stable_ids());
+        let ve = AnyGraph::load(&rt, &g, ReprKind::Ve);
+        let og = ve.switch_to(&rt, ReprKind::Og);
+        assert_eq!(og.kind(), ReprKind::Og);
+        let rg = og.switch_to(&rt, ReprKind::Rg);
+        assert_eq!(rg.kind(), ReprKind::Rg);
+        let back = rg.switch_to(&rt, ReprKind::Ve);
+        assert_eq!(back.to_tgraph(&rt).vertices, g.vertices);
+        assert_eq!(back.to_tgraph(&rt).edges, g.edges);
+    }
+
+    #[test]
+    #[should_panic(expected = "OGC does not represent attributes")]
+    fn ogc_azoom_panics() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let any = AnyGraph::load(&rt, &g, ReprKind::Ogc);
+        let spec = tgraph_core::zoom::AZoomSpec::by_property("school", "school", vec![]);
+        let _ = any.azoom(&rt, &spec);
+    }
+
+    #[test]
+    fn switch_to_same_kind_is_identity() {
+        let rt = rt();
+        let g = canonical(&figure1_graph_stable_ids());
+        let ve = AnyGraph::load(&rt, &g, ReprKind::Ve);
+        let same = ve.switch_to(&rt, ReprKind::Ve);
+        assert_eq!(same.kind(), ReprKind::Ve);
+    }
+}

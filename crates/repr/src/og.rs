@@ -1,0 +1,514 @@
+//! The **One Graph (OG)** representation: every vertex and edge is stored
+//! exactly once, carrying the evolution of its attributes as a *history
+//! array* of `(interval, attributes)` items (§3, Figure 6).
+//!
+//! OG maximizes temporal locality (an entity's whole history is one record)
+//! while keeping structural locality (edges carry copies of their endpoint
+//! vertices instead of foreign keys, the GraphX-triplet-view analogue), at
+//! the price of denser records. The paper finds OG to be the best
+//! representation for `aZoom^T` and competitive everywhere (§5.4).
+
+use crate::common::{
+    aggregate_group_history, coalesce_states, resolve_edge_states, resolve_vertex_states,
+    window_reduce, State,
+};
+use tgraph_core::coalesce::coalesce_graph;
+use tgraph_core::graph::{EdgeId, EdgeRecord, TGraph, VertexId, VertexRecord};
+use tgraph_core::time::Interval;
+use tgraph_core::zoom::azoom::AZoomSpec;
+use tgraph_core::zoom::wzoom::{window_relation, windows_of, WZoomSpec};
+use tgraph_dataflow::{Dataset, KeyedDataset, Runtime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A vertex with its full attribute history (sorted by start, coalesced).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OgVertex {
+    /// Vertex identity.
+    pub vid: VertexId,
+    /// `(interval, attributes)` items covering every period of existence.
+    pub history: Vec<State>,
+}
+
+impl OgVertex {
+    /// The union of the vertex's existence intervals.
+    pub fn existence(&self) -> Vec<Interval> {
+        tgraph_core::time::merge_non_overlapping(
+            self.history.iter().map(|(iv, _)| *iv).collect(),
+        )
+    }
+}
+
+/// An edge with endpoint vertex *copies* (not foreign keys) and its own
+/// attribute history.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OgEdge {
+    /// Edge identity.
+    pub eid: EdgeId,
+    /// Copy of the source vertex, including its history.
+    pub src: OgVertex,
+    /// Copy of the destination vertex, including its history.
+    pub dst: OgVertex,
+    /// `(interval, attributes)` items of the edge itself.
+    pub history: Vec<State>,
+}
+
+/// A TGraph stored as single aggregated vertex and edge collections.
+#[derive(Clone, Debug)]
+pub struct OgGraph {
+    /// The graph's recorded lifetime.
+    pub lifespan: Interval,
+    /// One record per vertex.
+    pub vertices: Dataset<OgVertex>,
+    /// One record per edge (per endpoint pair).
+    pub edges: Dataset<OgEdge>,
+}
+
+/// Clips a history against a set of mask intervals, keeping the attribute
+/// values of the history items (the `intersect(e.history, v.history)` step of
+/// Algorithm 6).
+pub fn clip_history(history: &[State], mask: &[Interval]) -> Vec<State> {
+    let mut out = Vec::new();
+    for (iv, props) in history {
+        for m in mask {
+            if let Some(x) = iv.intersect(m) {
+                out.push((x, props.clone()));
+            }
+        }
+    }
+    coalesce_states(out)
+}
+
+impl OgGraph {
+    /// Builds OG from the logical graph: histories are grouped per entity,
+    /// sorted, and coalesced; edges receive copies of their endpoints.
+    pub fn from_tgraph(rt: &Runtime, g: &TGraph) -> Self {
+        let mut v_hist: HashMap<VertexId, Vec<State>> = HashMap::new();
+        for v in &g.vertices {
+            v_hist.entry(v.vid).or_default().push((v.interval, v.props.clone()));
+        }
+        let vertices_map: HashMap<VertexId, OgVertex> = v_hist
+            .into_iter()
+            .map(|(vid, states)| (vid, OgVertex { vid, history: coalesce_states(states) }))
+            .collect();
+
+        let mut e_hist: HashMap<(EdgeId, VertexId, VertexId), Vec<State>> = HashMap::new();
+        for e in &g.edges {
+            e_hist
+                .entry((e.eid, e.src, e.dst))
+                .or_default()
+                .push((e.interval, e.props.clone()));
+        }
+        let placeholder = |vid: VertexId| OgVertex { vid, history: Vec::new() };
+        let edges: Vec<OgEdge> = e_hist
+            .into_iter()
+            .map(|((eid, src, dst), states)| OgEdge {
+                eid,
+                src: vertices_map.get(&src).cloned().unwrap_or_else(|| placeholder(src)),
+                dst: vertices_map.get(&dst).cloned().unwrap_or_else(|| placeholder(dst)),
+                history: coalesce_states(states),
+            })
+            .collect();
+
+        let mut vertices: Vec<OgVertex> = vertices_map.into_values().collect();
+        vertices.sort_by_key(|v| v.vid);
+        let mut edges = edges;
+        edges.sort_by_key(|e| (e.eid, e.src.vid, e.dst.vid));
+        OgGraph {
+            lifespan: g.lifespan,
+            vertices: Dataset::from_vec(rt, vertices),
+            edges: Dataset::from_vec(rt, edges),
+        }
+    }
+
+    /// Materializes the logical graph (coalesced, deterministically sorted).
+    pub fn to_tgraph(&self, rt: &Runtime) -> TGraph {
+        let vertices: Vec<VertexRecord> = self
+            .vertices
+            .flat_map(rt, |v| {
+                let vid = v.vid;
+                v.history
+                    .iter()
+                    .map(move |(interval, props)| VertexRecord {
+                        vid,
+                        interval: *interval,
+                        props: props.clone(),
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let edges: Vec<EdgeRecord> = self
+            .edges
+            .flat_map(rt, |e| {
+                let (eid, src, dst) = (e.eid, e.src.vid, e.dst.vid);
+                e.history
+                    .iter()
+                    .map(move |(interval, props)| EdgeRecord {
+                        eid,
+                        src,
+                        dst,
+                        interval: *interval,
+                        props: props.clone(),
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        coalesce_graph(&TGraph { lifespan: self.lifespan, vertices, edges })
+    }
+
+    /// Number of vertex records (one per distinct vertex).
+    pub fn vertex_count(&self, rt: &Runtime) -> usize {
+        self.vertices.count(rt)
+    }
+
+    /// Number of edge records.
+    pub fn edge_count(&self, rt: &Runtime) -> usize {
+        self.edges.count(rt)
+    }
+
+    /// `aZoom^T` over OG — Algorithm 3 (illustrated in Figure 8).
+    ///
+    /// Vertices are split on their history arrays, the Skolem function is
+    /// applied to every history element individually (flatMap + map), and
+    /// identity-equivalent elements are grouped and reduced with `f_agg`.
+    /// Edge redirection needs **no join**: each edge carries copies of its
+    /// endpoint vertices, so `recompute_history` derives the redirected
+    /// history from local data.
+    pub fn azoom(&self, rt: &Runtime, spec: &AZoomSpec) -> OgGraph {
+        let spec_v = Arc::new(spec.clone());
+
+        // V' ← V.flatMap(split history).groupBy(vid).reduce(f_agg)
+        let spec1 = Arc::clone(&spec_v);
+        let split: Dataset<(u64, (tgraph_core::Props, State))> =
+            self.vertices.flat_map(rt, move |v| {
+                v.history
+                    .iter()
+                    .filter_map(|(iv, attr)| {
+                        spec1
+                            .skolemize(v.vid, attr)
+                            .map(|(gid, base)| (gid, (base, (*iv, attr.clone()))))
+                    })
+                    .collect::<Vec<_>>()
+            });
+        let spec2 = Arc::clone(&spec_v);
+        let vertices: Dataset<OgVertex> =
+            split.group_by_key(rt).flat_map(rt, move |(gid, members)| {
+                let base = &members[0].0;
+                let states: Vec<State> = members.iter().map(|(_, s)| s.clone()).collect();
+                let history = aggregate_group_history(&spec2, base, &states);
+                if history.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![OgVertex { vid: VertexId(*gid), history }]
+                }
+            });
+
+        // E' ← E.map(recompute_history ∘ copyWithVids): all local.
+        let spec3 = Arc::clone(&spec_v);
+        let edges: Dataset<OgEdge> = self.edges.flat_map(rt, move |e| {
+            // For every (edge-state × src-state × dst-state) overlap, derive
+            // the redirected piece; group pieces by the endpoint-group pair.
+            let mut by_pair: HashMap<(u64, u64), Vec<State>> = HashMap::new();
+            let mut pair_base: HashMap<(u64, u64), (tgraph_core::Props, tgraph_core::Props)> =
+                HashMap::new();
+            for (eiv, eprops) in &e.history {
+                for (siv, sprops) in &e.src.history {
+                    let Some(es) = eiv.intersect(siv) else { continue };
+                    let Some((gs, sbase)) = spec3.skolemize(e.src.vid, sprops) else {
+                        continue;
+                    };
+                    for (div, dprops) in &e.dst.history {
+                        let Some(esd) = es.intersect(div) else { continue };
+                        let Some((gd, dbase)) = spec3.skolemize(e.dst.vid, dprops) else {
+                            continue;
+                        };
+                        by_pair.entry((gs, gd)).or_default().push((esd, eprops.clone()));
+                        pair_base.entry((gs, gd)).or_insert((sbase.clone(), dbase));
+                    }
+                }
+            }
+            let eid = e.eid;
+            let mut out: Vec<OgEdge> = by_pair
+                .into_iter()
+                .map(|((gs, gd), pieces)| {
+                    let history = coalesce_states(pieces);
+                    let (sbase, dbase) = pair_base.remove(&(gs, gd)).expect("base recorded");
+                    let mask: Vec<Interval> = history.iter().map(|(iv, _)| *iv).collect();
+                    OgEdge {
+                        eid,
+                        // Endpoint copies carry the Skolem base attributes;
+                        // aggregated attributes live on the vertex relation.
+                        src: OgVertex {
+                            vid: VertexId(gs),
+                            history: mask.iter().map(|iv| (*iv, sbase.clone())).collect(),
+                        },
+                        dst: OgVertex {
+                            vid: VertexId(gd),
+                            history: mask.iter().map(|iv| (*iv, dbase.clone())).collect(),
+                        },
+                        history,
+                    }
+                })
+                .collect();
+            out.sort_by_key(|e| (e.src.vid, e.dst.vid));
+            out
+        });
+
+        OgGraph { lifespan: self.lifespan, vertices, edges }
+    }
+
+    /// `wZoom^T` over OG — Algorithm 6.
+    ///
+    /// Each entity's history array is recomputed locally (`recomputeIntervals`
+    /// + `aggregateAndFilterAttributes`: align to windows, gate on the
+    /// quantifier, resolve attributes, coalesce). When `r_v` is more
+    /// restrictive than `r_e`, dangling edges are removed with two semijoins
+    /// that intersect the edge history with the zoomed endpoint histories.
+    pub fn wzoom(&self, rt: &Runtime, spec: &WZoomSpec) -> OgGraph {
+        let change_points = match spec.window {
+            tgraph_core::zoom::wzoom::WindowSpec::Changes(_) => {
+                self.to_tgraph(rt).change_points()
+            }
+            _ => Vec::new(),
+        };
+        let windows = Arc::new(window_relation(self.lifespan, &change_points, spec.window));
+        if windows.is_empty() {
+            return OgGraph {
+                lifespan: self.lifespan,
+                vertices: Dataset::empty(),
+                edges: Dataset::empty(),
+            };
+        }
+        let lifespan = self.lifespan;
+        let wspec = spec.window;
+        let spec = Arc::new(spec.clone());
+
+        // Recompute one history array against the window relation.
+        let recompute = {
+            let windows = Arc::clone(&windows);
+            move |history: &[State],
+                  quant: &tgraph_core::zoom::wzoom::Quantifier,
+                  resolve: &dyn Fn(&[State]) -> tgraph_core::Props|
+                  -> Vec<State> {
+                // History arrays are coalesced by construction (correctness
+                // precondition of §3.2 holds per-record in OG).
+                let mut per_window: HashMap<usize, Vec<State>> = HashMap::new();
+                for (iv, props) in history {
+                    for (idx, _w, covered) in windows_of(*iv, lifespan, &windows, wspec) {
+                        per_window.entry(idx).or_default().push((covered, props.clone()));
+                    }
+                }
+                let mut out: Vec<State> = Vec::new();
+                for (idx, states) in per_window {
+                    let window = windows[idx];
+                    if let Some(props) = window_reduce(window, states, quant, |s| resolve(s)) {
+                        out.push((window, props));
+                    }
+                }
+                coalesce_states(out)
+            }
+        };
+
+        let rc = recompute.clone();
+        let spec_v = Arc::clone(&spec);
+        let vertices: Dataset<OgVertex> = self.vertices.flat_map(rt, move |v| {
+            let resolve = |s: &[State]| resolve_vertex_states(&spec_v, s);
+            let history = rc(&v.history, &spec_v.vertex_quantifier, &resolve);
+            if history.is_empty() {
+                Vec::new()
+            } else {
+                vec![OgVertex { vid: v.vid, history }]
+            }
+        });
+
+        let rc = recompute.clone();
+        let spec_e = Arc::clone(&spec);
+        let edges: Dataset<OgEdge> = self.edges.flat_map(rt, move |e| {
+            let resolve = |s: &[State]| resolve_edge_states(&spec_e, s);
+            let history = rc(&e.history, &spec_e.edge_quantifier, &resolve);
+            if history.is_empty() {
+                Vec::new()
+            } else {
+                // Refresh the endpoint copies by zooming them locally with the
+                // same (pure) per-vertex computation the vertex relation uses,
+                // so chained operators see post-zoom endpoint histories.
+                let v_resolve = |s: &[State]| resolve_vertex_states(&spec_e, s);
+                let src_hist = rc(&e.src.history, &spec_e.vertex_quantifier, &v_resolve);
+                let dst_hist = rc(&e.dst.history, &spec_e.vertex_quantifier, &v_resolve);
+                vec![OgEdge {
+                    eid: e.eid,
+                    src: OgVertex { vid: e.src.vid, history: src_hist },
+                    dst: OgVertex { vid: e.dst.vid, history: dst_hist },
+                    history,
+                }]
+            }
+        });
+
+        // Dangling-edge removal (lines 9–15).
+        let edges = if spec.needs_dangling_check() {
+            let v_by_id: Dataset<(VertexId, OgVertex)> =
+                vertices.map(rt, |v| (v.vid, v.clone()));
+            let by_src: Dataset<(VertexId, OgEdge)> = edges.map(rt, |e| (e.src.vid, e.clone()));
+            let clipped_src: Dataset<(VertexId, OgEdge)> = by_src
+                .join(rt, &v_by_id)
+                .flat_map(rt, |(_, (e, v))| {
+                    let mask = v.existence();
+                    let history = clip_history(&e.history, &mask);
+                    if history.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![(
+                            e.dst.vid,
+                            OgEdge { eid: e.eid, src: v.clone(), dst: e.dst.clone(), history },
+                        )]
+                    }
+                });
+            clipped_src
+                .join(rt, &v_by_id)
+                .flat_map(rt, |(_, (e, v))| {
+                    let mask = v.existence();
+                    let history = clip_history(&e.history, &mask);
+                    if history.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![OgEdge { eid: e.eid, src: e.src.clone(), dst: v.clone(), history }]
+                    }
+                })
+        } else {
+            edges
+        };
+
+        let lifespan = windows.first().unwrap().hull(windows.last().unwrap());
+        OgGraph { lifespan, vertices, edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph_core::graph::figure1_graph_stable_ids;
+    use tgraph_core::reference::{azoom_reference, wzoom_reference};
+    use tgraph_core::zoom::azoom::AggSpec;
+    use tgraph_core::zoom::wzoom::{Quantifier, ResolveFn};
+    use tgraph_core::Props;
+
+    fn rt() -> Runtime {
+        Runtime::with_partitions(4, 4)
+    }
+
+    fn school_spec() -> AZoomSpec {
+        AZoomSpec::by_property("school", "school", vec![AggSpec::count("students")])
+    }
+
+    #[test]
+    fn figure6_structure() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let og = OgGraph::from_tgraph(&rt, &g);
+        assert_eq!(og.vertex_count(&rt), 3, "one record per vertex");
+        assert_eq!(og.edge_count(&rt), 2);
+        let bob = og
+            .vertices
+            .collect()
+            .into_iter()
+            .find(|v| v.vid == VertexId(2))
+            .unwrap();
+        assert_eq!(bob.history.len(), 2, "Bob holds two history items");
+        assert_eq!(bob.history[0].0, Interval::new(2, 5));
+        assert_eq!(bob.history[1].0, Interval::new(5, 9));
+        // Edges carry endpoint copies with history.
+        let e1 = og.edges.collect().into_iter().find(|e| e.eid == EdgeId(1)).unwrap();
+        assert_eq!(e1.src.vid, VertexId(1));
+        assert_eq!(e1.dst.history.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_through_tgraph() {
+        let rt = rt();
+        let g = coalesce_graph(&figure1_graph_stable_ids());
+        let og = OgGraph::from_tgraph(&rt, &g);
+        let back = og.to_tgraph(&rt);
+        assert_eq!(back.vertices, g.vertices);
+        assert_eq!(back.edges, g.edges);
+    }
+
+    #[test]
+    fn azoom_matches_reference() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let expected = azoom_reference(&g, &school_spec());
+        let got = OgGraph::from_tgraph(&rt, &g).azoom(&rt, &school_spec()).to_tgraph(&rt);
+        assert_eq!(got.vertices, expected.vertices);
+        assert_eq!(got.edges, expected.edges);
+    }
+
+    #[test]
+    fn wzoom_matches_reference_all_all() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let spec = WZoomSpec::points(3, Quantifier::All, Quantifier::All)
+            .with_vertex_override("school", ResolveFn::Last);
+        let expected = wzoom_reference(&g, &spec);
+        let got = OgGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec).to_tgraph(&rt);
+        assert_eq!(got.vertices, expected.vertices);
+        assert_eq!(got.edges, expected.edges);
+    }
+
+    #[test]
+    fn wzoom_matches_reference_exists() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let spec = WZoomSpec::points(3, Quantifier::Exists, Quantifier::Exists);
+        let expected = wzoom_reference(&g, &spec);
+        let got = OgGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec).to_tgraph(&rt);
+        assert_eq!(got.vertices, expected.vertices);
+        assert_eq!(got.edges, expected.edges);
+    }
+
+    #[test]
+    fn wzoom_dangling_removal() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let spec = WZoomSpec::points(3, Quantifier::All, Quantifier::Exists);
+        let expected = wzoom_reference(&g, &spec);
+        let got = OgGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec).to_tgraph(&rt);
+        assert_eq!(got.vertices, expected.vertices);
+        assert_eq!(got.edges, expected.edges);
+        assert!(tgraph_core::validate::validate(&got).is_empty());
+    }
+
+    #[test]
+    fn clip_history_respects_mask() {
+        let p = Props::typed("x");
+        let history = vec![(Interval::new(0, 10), p.clone())];
+        let mask = vec![Interval::new(2, 4), Interval::new(6, 8)];
+        let clipped = clip_history(&history, &mask);
+        assert_eq!(
+            clipped,
+            vec![(Interval::new(2, 4), p.clone()), (Interval::new(6, 8), p)]
+        );
+    }
+
+    #[test]
+    fn azoom_edge_endpoint_pair_changes_over_time() {
+        // A vertex that changes group mid-edge must split the edge into two
+        // OgEdge records with different endpoint pairs.
+        let rt = rt();
+        let g = TGraph::from_records(
+            vec![
+                VertexRecord::new(1, Interval::new(0, 10), Props::typed("p").with("g", "a")),
+                VertexRecord::new(2, Interval::new(0, 5), Props::typed("p").with("g", "a")),
+                VertexRecord::new(2, Interval::new(5, 10), Props::typed("p").with("g", "b")),
+            ],
+            vec![EdgeRecord::new(7, 1, 2, Interval::new(0, 10), Props::typed("knows"))],
+        );
+        let spec = AZoomSpec::by_property("g", "group", vec![AggSpec::count("n")]);
+        let og = OgGraph::from_tgraph(&rt, &g).azoom(&rt, &spec);
+        let edges = og.edges.collect();
+        assert_eq!(edges.len(), 2, "edge splits into (a→a) and (a→b)");
+        let expected = azoom_reference(&g, &spec);
+        let got = og.to_tgraph(&rt);
+        assert_eq!(got.edges, expected.edges);
+        assert_eq!(got.vertices, expected.vertices);
+    }
+}

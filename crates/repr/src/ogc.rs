@@ -1,0 +1,409 @@
+//! The **One Graph Columnar (OGC)** representation: topology-only storage
+//! where each vertex and edge encodes its presence in the graph's elementary
+//! intervals as a bitset (§3, Figure 7).
+//!
+//! OGC is intended for attribute-less analysis: it retains only the required
+//! `type` label. It does **not** support `aZoom^T` (no attributes to group
+//! on), but implements the fastest `wZoom^T` of all representations —
+//! retention is bit counting, and dangling-edge removal is a bitwise AND.
+
+use tgraph_core::bitset::Bitset;
+use tgraph_core::coalesce::coalesce_graph;
+use tgraph_core::graph::{EdgeId, EdgeRecord, TGraph, VertexId, VertexRecord};
+use tgraph_core::props::Props;
+use tgraph_core::splitter::splitter;
+use tgraph_core::time::Interval;
+use tgraph_core::zoom::wzoom::{window_relation, WZoomSpec};
+use tgraph_dataflow::{Dataset, KeyedDataset, Runtime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A vertex as topology: id, type label, and presence bitset over the
+/// graph's elementary intervals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OgcVertex {
+    /// Vertex identity.
+    pub vid: VertexId,
+    /// The required type label (the only attribute OGC keeps).
+    pub vtype: Arc<str>,
+    /// Bit `i` set ⇔ the vertex exists during elementary interval `i`.
+    pub intervals: Bitset,
+}
+
+/// An edge as topology, with endpoint ids and presence bitset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OgcEdge {
+    /// Edge identity.
+    pub eid: EdgeId,
+    /// Source vertex id.
+    pub src: VertexId,
+    /// Destination vertex id.
+    pub dst: VertexId,
+    /// The required type label.
+    pub etype: Arc<str>,
+    /// Bit `i` set ⇔ the edge exists during elementary interval `i`.
+    pub intervals: Bitset,
+}
+
+/// A TGraph as shared elementary intervals plus per-entity bitsets.
+#[derive(Clone, Debug)]
+pub struct OgcGraph {
+    /// The graph's recorded lifetime.
+    pub lifespan: Interval,
+    /// The shared elementary intervals the bitsets index into.
+    pub intervals: Arc<Vec<Interval>>,
+    /// One record per vertex.
+    pub vertices: Dataset<OgcVertex>,
+    /// One record per edge.
+    pub edges: Dataset<OgcEdge>,
+}
+
+impl OgcGraph {
+    /// Builds OGC from the logical graph, discarding all attributes except
+    /// the `type` label.
+    pub fn from_tgraph(rt: &Runtime, g: &TGraph) -> Self {
+        let all_intervals: Vec<Interval> = g
+            .vertices
+            .iter()
+            .map(|v| v.interval)
+            .chain(g.edges.iter().map(|e| e.interval))
+            .collect();
+        let elems = Arc::new(splitter(all_intervals.iter()));
+        let index: HashMap<i64, usize> =
+            elems.iter().enumerate().map(|(i, iv)| (iv.start, i)).collect();
+
+        let fill = |bits: &mut Bitset, iv: Interval| {
+            let mut t = iv.start;
+            while t < iv.end {
+                let i = index[&t];
+                bits.set(i);
+                t = elems[i].end;
+            }
+        };
+
+        let mut v_acc: HashMap<VertexId, (Arc<str>, Bitset)> = HashMap::new();
+        for v in &g.vertices {
+            let label: Arc<str> = Arc::from(v.props.type_label().unwrap_or(""));
+            let entry = v_acc
+                .entry(v.vid)
+                .or_insert_with(|| (label, Bitset::new(elems.len())));
+            fill(&mut entry.1, v.interval);
+        }
+        let mut e_acc: HashMap<(EdgeId, VertexId, VertexId), (Arc<str>, Bitset)> = HashMap::new();
+        for e in &g.edges {
+            let label: Arc<str> = Arc::from(e.props.type_label().unwrap_or(""));
+            let entry = e_acc
+                .entry((e.eid, e.src, e.dst))
+                .or_insert_with(|| (label, Bitset::new(elems.len())));
+            fill(&mut entry.1, e.interval);
+        }
+
+        let mut vertices: Vec<OgcVertex> = v_acc
+            .into_iter()
+            .map(|(vid, (vtype, intervals))| OgcVertex { vid, vtype, intervals })
+            .collect();
+        vertices.sort_by_key(|v| v.vid);
+        let mut edges: Vec<OgcEdge> = e_acc
+            .into_iter()
+            .map(|((eid, src, dst), (etype, intervals))| OgcEdge {
+                eid,
+                src,
+                dst,
+                etype,
+                intervals,
+            })
+            .collect();
+        edges.sort_by_key(|e| (e.eid, e.src, e.dst));
+
+        OgcGraph {
+            lifespan: g.lifespan,
+            intervals: elems,
+            vertices: Dataset::from_vec(rt, vertices),
+            edges: Dataset::from_vec(rt, edges),
+        }
+    }
+
+    /// Materializes the topology as a logical TGraph (entities carry only
+    /// their `type` property), coalesced and deterministically sorted.
+    pub fn to_tgraph(&self, rt: &Runtime) -> TGraph {
+        let elems = Arc::clone(&self.intervals);
+        let vertices: Vec<VertexRecord> = self
+            .vertices
+            .flat_map(rt, move |v| {
+                let props = Props::typed(&v.vtype);
+                let vid = v.vid;
+                let elems = Arc::clone(&elems);
+                v.intervals
+                    .iter_ones()
+                    .map(move |i| VertexRecord { vid, interval: elems[i], props: props.clone() })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let elems = Arc::clone(&self.intervals);
+        let edges: Vec<EdgeRecord> = self
+            .edges
+            .flat_map(rt, move |e| {
+                let props = Props::typed(&e.etype);
+                let (eid, src, dst) = (e.eid, e.src, e.dst);
+                let elems = Arc::clone(&elems);
+                e.intervals
+                    .iter_ones()
+                    .map(move |i| EdgeRecord {
+                        eid,
+                        src,
+                        dst,
+                        interval: elems[i],
+                        props: props.clone(),
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        coalesce_graph(&TGraph { lifespan: self.lifespan, vertices, edges })
+    }
+
+    /// Number of vertex records.
+    pub fn vertex_count(&self, rt: &Runtime) -> usize {
+        self.vertices.count(rt)
+    }
+
+    /// Number of edge records.
+    pub fn edge_count(&self, rt: &Runtime) -> usize {
+        self.edges.count(rt)
+    }
+
+    /// `wZoom^T` over OGC: per entity, count covered time points per window
+    /// directly from the bitset, apply the quantifier, and emit a new bitset
+    /// over the window intervals. Dangling edges are removed by computing the
+    /// logical AND of the edge bitset with both endpoint bitsets (§3.2).
+    ///
+    /// Attribute resolve functions are irrelevant — OGC retains only `type`.
+    pub fn wzoom(&self, rt: &Runtime, spec: &WZoomSpec) -> OgcGraph {
+        let change_points: Vec<i64> = {
+            let mut pts: Vec<i64> = self.intervals.iter().map(|iv| iv.start).collect();
+            if let Some(last) = self.intervals.last() {
+                pts.push(last.end);
+            }
+            pts
+        };
+        let windows = Arc::new(window_relation(self.lifespan, &change_points, spec.window));
+        if windows.is_empty() {
+            return OgcGraph {
+                lifespan: self.lifespan,
+                intervals: Arc::new(Vec::new()),
+                vertices: Dataset::empty(),
+                edges: Dataset::empty(),
+            };
+        }
+
+        // Precompute, for every elementary interval, how many of its points
+        // fall into each window it overlaps: (window index, points).
+        let overlap: Arc<Vec<Vec<(usize, u64)>>> = Arc::new(
+            self.intervals
+                .iter()
+                .map(|elem| {
+                    windows
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, w)| {
+                            elem.intersect(w).map(|x| (i, x.len()))
+                        })
+                        .collect()
+                })
+                .collect(),
+        );
+
+        // Rewrites one presence bitset from elementary intervals to windows.
+        let rewrite = {
+            let windows = Arc::clone(&windows);
+            let overlap = Arc::clone(&overlap);
+            let quant_points: Vec<u64> = Vec::new();
+            let _ = quant_points;
+            move |bits: &Bitset, quant: &tgraph_core::zoom::wzoom::Quantifier| -> Bitset {
+                let mut covered = vec![0u64; windows.len()];
+                for i in bits.iter_ones() {
+                    for (w, pts) in &overlap[i] {
+                        covered[*w] += pts;
+                    }
+                }
+                let mut out = Bitset::new(windows.len());
+                for (w, c) in covered.iter().enumerate() {
+                    let r = *c as f64 / windows[w].len() as f64;
+                    if quant.satisfied(r) {
+                        out.set(w);
+                    }
+                }
+                out
+            }
+        };
+
+        let vq = spec.vertex_quantifier;
+        let eq = spec.edge_quantifier;
+        let rw = rewrite.clone();
+        let vertices: Dataset<OgcVertex> = self.vertices.flat_map(rt, move |v| {
+            let bits = rw(&v.intervals, &vq);
+            if bits.none() {
+                Vec::new()
+            } else {
+                vec![OgcVertex { vid: v.vid, vtype: v.vtype.clone(), intervals: bits }]
+            }
+        });
+
+        let rw = rewrite.clone();
+        let edges: Dataset<OgcEdge> = self.edges.flat_map(rt, move |e| {
+            let bits = rw(&e.intervals, &eq);
+            if bits.none() {
+                Vec::new()
+            } else {
+                vec![OgcEdge {
+                    eid: e.eid,
+                    src: e.src,
+                    dst: e.dst,
+                    etype: e.etype.clone(),
+                    intervals: bits,
+                }]
+            }
+        });
+
+        // Dangling-edge removal: edge.bits &= src.bits & dst.bits. Always
+        // performed — it is a join plus an AND, and unlike the other
+        // representations it is what defines OGC's validity guarantee.
+        let v_bits: Dataset<(VertexId, Bitset)> =
+            vertices.map(rt, |v| (v.vid, v.intervals.clone()));
+        let by_src: Dataset<(VertexId, OgcEdge)> = edges.map(rt, |e| (e.src, e.clone()));
+        let anded_src: Dataset<(VertexId, OgcEdge)> =
+            by_src.join(rt, &v_bits).flat_map(rt, |(_, (e, bits))| {
+                let mut out = e.clone();
+                out.intervals.and_with(bits);
+                if out.intervals.none() {
+                    Vec::new()
+                } else {
+                    vec![(out.dst, out)]
+                }
+            });
+        let edges: Dataset<OgcEdge> =
+            anded_src.join(rt, &v_bits).flat_map(rt, |(_, (e, bits))| {
+                let mut out = e.clone();
+                out.intervals.and_with(bits);
+                if out.intervals.none() {
+                    Vec::new()
+                } else {
+                    vec![out]
+                }
+            });
+
+        let lifespan = windows.first().unwrap().hull(windows.last().unwrap());
+        OgcGraph {
+            lifespan,
+            intervals: Arc::new(windows.as_ref().clone()),
+            vertices,
+            edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph_core::graph::figure1_graph_stable_ids;
+    use tgraph_core::reference::wzoom_reference;
+    use tgraph_core::zoom::wzoom::Quantifier;
+
+    fn rt() -> Runtime {
+        Runtime::with_partitions(4, 4)
+    }
+
+    /// Strips every attribute but `type` — OGC's view of a graph.
+    fn topology_only(g: &TGraph) -> TGraph {
+        let vertices = g
+            .vertices
+            .iter()
+            .map(|v| VertexRecord {
+                vid: v.vid,
+                interval: v.interval,
+                props: Props::typed(v.props.type_label().unwrap_or("")),
+            })
+            .collect();
+        let edges = g
+            .edges
+            .iter()
+            .map(|e| EdgeRecord {
+                eid: e.eid,
+                src: e.src,
+                dst: e.dst,
+                interval: e.interval,
+                props: Props::typed(e.props.type_label().unwrap_or("")),
+            })
+            .collect();
+        coalesce_graph(&TGraph { lifespan: g.lifespan, vertices, edges })
+    }
+
+    #[test]
+    fn figure7_structure() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let ogc = OgcGraph::from_tgraph(&rt, &g);
+        // Splitter: [1,2), [2,5), [5,7), [7,9).
+        assert_eq!(ogc.intervals.len(), 4);
+        let ann = ogc
+            .vertices
+            .collect()
+            .into_iter()
+            .find(|v| v.vid == VertexId(1))
+            .unwrap();
+        // Ann [1,7) covers elementary 0,1,2.
+        assert_eq!(ann.intervals.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+        let bob = ogc
+            .vertices
+            .collect()
+            .into_iter()
+            .find(|v| v.vid == VertexId(2))
+            .unwrap();
+        assert_eq!(bob.intervals.iter_ones().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn roundtrip_topology() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let expected = topology_only(&g);
+        let back = OgcGraph::from_tgraph(&rt, &g).to_tgraph(&rt);
+        assert_eq!(back.vertices, expected.vertices);
+        assert_eq!(back.edges, expected.edges);
+    }
+
+    #[test]
+    fn wzoom_matches_reference_on_topology() {
+        let rt = rt();
+        let g = topology_only(&figure1_graph_stable_ids());
+        for (vq, eq) in [
+            (Quantifier::All, Quantifier::All),
+            (Quantifier::Exists, Quantifier::Exists),
+            (Quantifier::All, Quantifier::Exists),
+            (Quantifier::Most, Quantifier::Exists),
+        ] {
+            let spec = WZoomSpec::points(3, vq, eq);
+            let expected = wzoom_reference(&g, &spec);
+            let got = OgcGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec).to_tgraph(&rt);
+            assert_eq!(got.vertices, expected.vertices, "vq={vq:?} eq={eq:?}");
+            assert_eq!(got.edges, expected.edges, "vq={vq:?} eq={eq:?}");
+        }
+    }
+
+    #[test]
+    fn wzoom_output_is_valid() {
+        let rt = rt();
+        let g = topology_only(&figure1_graph_stable_ids());
+        let spec = WZoomSpec::points(2, Quantifier::Exists, Quantifier::Exists);
+        let out = OgcGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec).to_tgraph(&rt);
+        assert!(tgraph_core::validate::validate(&out).is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let rt = rt();
+        let ogc = OgcGraph::from_tgraph(&rt, &TGraph::new());
+        assert_eq!(ogc.vertex_count(&rt), 0);
+        let out = ogc.wzoom(&rt, &WZoomSpec::points(3, Quantifier::All, Quantifier::All));
+        assert_eq!(out.vertex_count(&rt), 0);
+    }
+}

@@ -1,0 +1,480 @@
+//! The **Representative Graphs (RG)** representation: a TGraph stored as a
+//! sequence of conventional snapshots, one per interval during which no
+//! change occurred (§3, Figure 4).
+//!
+//! RG preserves *structural locality* — all vertices and edges of a snapshot
+//! are laid out together — and parallelizes embarrassingly by assigning
+//! snapshots to workers. Its drawback is the total lack of compactness:
+//! every entity is replicated into every snapshot it lives through, which is
+//! why the paper finds RG to be the slowest representation on every workload
+//! (§5) — behaviour this implementation reproduces by construction.
+
+use crate::common::{
+    coalesce_states, resolve_edge_states, resolve_vertex_states, window_reduce, State,
+};
+use tgraph_core::coalesce::coalesce_graph;
+use tgraph_core::graph::{EdgeId, EdgeRecord, TGraph, VertexId, VertexRecord};
+use tgraph_core::props::Props;
+use tgraph_core::splitter::elementary_intervals;
+use tgraph_core::time::Interval;
+use tgraph_core::zoom::azoom::{AZoomSpec, AggAccumulator};
+use tgraph_core::zoom::wzoom::{window_relation, windows_of, WZoomSpec};
+use tgraph_dataflow::{Dataset, KeyedDataset, Runtime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One snapshot: the full state of the graph during `interval`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RgSnapshot {
+    /// The no-change interval this snapshot represents.
+    pub interval: Interval,
+    /// Every vertex present, with its attribute values for this interval.
+    pub vertices: Vec<(VertexId, Props)>,
+    /// Every edge present, with endpoints and attributes. Endpoint attributes
+    /// are available through `vertices` of the same snapshot (the local
+    /// triplet view).
+    pub edges: Vec<(EdgeId, VertexId, VertexId, Props)>,
+}
+
+/// A TGraph stored as a distributed sequence of snapshots.
+#[derive(Clone, Debug)]
+pub struct RgGraph {
+    /// The graph's recorded lifetime.
+    pub lifespan: Interval,
+    /// The snapshot sequence, partitioned across workers.
+    pub snapshots: Dataset<RgSnapshot>,
+}
+
+impl RgGraph {
+    /// Materializes the snapshot sequence of a logical TGraph: one snapshot
+    /// per elementary no-change interval.
+    pub fn from_tgraph(rt: &Runtime, g: &TGraph) -> Self {
+        let boundaries = g.change_points();
+        let intervals = elementary_intervals(&boundaries);
+        let index: HashMap<i64, usize> =
+            intervals.iter().enumerate().map(|(i, iv)| (iv.start, i)).collect();
+        let mut snapshots: Vec<RgSnapshot> = intervals
+            .iter()
+            .map(|iv| RgSnapshot { interval: *iv, vertices: Vec::new(), edges: Vec::new() })
+            .collect();
+        // Replicate every fact into every elementary interval it overlaps —
+        // the replication that costs RG its compactness.
+        for v in &g.vertices {
+            let mut t = v.interval.start;
+            while t < v.interval.end {
+                let i = index[&t];
+                snapshots[i].vertices.push((v.vid, v.props.clone()));
+                t = intervals[i].end;
+            }
+        }
+        for e in &g.edges {
+            let mut t = e.interval.start;
+            while t < e.interval.end {
+                let i = index[&t];
+                snapshots[i].edges.push((e.eid, e.src, e.dst, e.props.clone()));
+                t = intervals[i].end;
+            }
+        }
+        let parts = rt.partitions().min(snapshots.len().max(1));
+        RgGraph {
+            lifespan: g.lifespan,
+            snapshots: Dataset::from_vec_with(parts, snapshots),
+        }
+    }
+
+    /// Materializes the logical graph by emitting one fact per entity per
+    /// snapshot and coalescing.
+    pub fn to_tgraph(&self, rt: &Runtime) -> TGraph {
+        let vertices: Vec<VertexRecord> = self
+            .snapshots
+            .flat_map(rt, |s| {
+                let interval = s.interval;
+                s.vertices
+                    .iter()
+                    .map(move |(vid, props)| VertexRecord {
+                        vid: *vid,
+                        interval,
+                        props: props.clone(),
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let edges: Vec<EdgeRecord> = self
+            .snapshots
+            .flat_map(rt, |s| {
+                let interval = s.interval;
+                s.edges
+                    .iter()
+                    .map(move |(eid, src, dst, props)| EdgeRecord {
+                        eid: *eid,
+                        src: *src,
+                        dst: *dst,
+                        interval,
+                        props: props.clone(),
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        coalesce_graph(&TGraph { lifespan: self.lifespan, vertices, edges })
+    }
+
+    /// Number of snapshots.
+    pub fn snapshot_count(&self, rt: &Runtime) -> usize {
+        self.snapshots.count(rt)
+    }
+
+    /// Total vertex tuples across all snapshots (RG's storage footprint).
+    pub fn total_vertex_tuples(&self, rt: &Runtime) -> usize {
+        self.snapshots
+            .map(rt, |s| s.vertices.len())
+            .fold(rt, 0usize, |a, x| a + x, |a, b| a + b)
+    }
+
+    /// Total edge tuples across all snapshots.
+    pub fn total_edge_tuples(&self, rt: &Runtime) -> usize {
+        self.snapshots
+            .map(rt, |s| s.edges.len())
+            .fold(rt, 0usize, |a, x| a + x, |a, b| a + b)
+    }
+
+    /// `aZoom^T` over RG — Algorithm 1: the non-temporal node-creation plan
+    /// (`map` → `groupBy` → `reduce`, plus edge re-pointing through the
+    /// triplet view) runs over every snapshot. There are no dependencies
+    /// between snapshots, but each snapshot's `groupBy` is a genuine dataflow
+    /// shuffle over that snapshot's copy of the data — so the operator's cost
+    /// is proportional to RG's *replicated* volume, which is what makes RG
+    /// the slowest representation in the paper's experiments (§5.1).
+    ///
+    /// Snapshots are identified by their interval start (unique within an
+    /// RG), so all per-snapshot group-bys run as one keyed dataflow job.
+    pub fn azoom(&self, rt: &Runtime, spec: &AZoomSpec) -> RgGraph {
+        use tgraph_core::time::Time;
+        let spec = Arc::new(spec.clone());
+
+        // V' ← V.map(copyWithVid(f_s)).groupBy(vid).reduce(f_agg), keyed by
+        // snapshot. The same flatMap also yields the vid → group mapping the
+        // edge redirection joins against.
+        let spec1 = Arc::clone(&spec);
+        let skolemized: Dataset<((Time, u64), (Interval, Props, Props))> =
+            self.snapshots.flat_map(rt, move |s| {
+                let snap = s.interval.start;
+                let interval = s.interval;
+                s.vertices
+                    .iter()
+                    .filter_map(|(vid, props)| {
+                        spec1
+                            .skolemize(*vid, props)
+                            .map(|(gid, base)| ((snap, gid), (interval, base, props.clone())))
+                    })
+                    .collect::<Vec<_>>()
+            });
+        let spec2 = Arc::clone(&spec);
+        let grouped: Dataset<(Time, (VertexId, Interval, Props))> = skolemized
+            .group_by_key(rt)
+            .map(rt, move |((snap, gid), members)| {
+                let mut acc = AggAccumulator::new(spec2.aggs.clone());
+                for (_, _, props) in members {
+                    acc.update(props);
+                }
+                let (interval, base, _) = &members[0];
+                (*snap, (VertexId(*gid), *interval, acc.finish(base.clone())))
+            });
+
+        // Edge redirection: join each edge with the snapshot-local vertex →
+        // group mapping on v1, then on v2 (the triplet view's vertex lookup
+        // expressed as dataflow joins).
+        let spec3 = Arc::clone(&spec);
+        let mapping: Dataset<((Time, VertexId), u64)> = self.snapshots.flat_map(rt, move |s| {
+            let snap = s.interval.start;
+            s.vertices
+                .iter()
+                .filter_map(|(vid, props)| {
+                    spec3.skolemize(*vid, props).map(|(gid, _)| ((snap, *vid), gid))
+                })
+                .collect::<Vec<_>>()
+        });
+        let edges_by_src: Dataset<((Time, VertexId), (EdgeId, VertexId, Interval, Props))> =
+            self.snapshots.flat_map(rt, |s| {
+                let snap = s.interval.start;
+                let interval = s.interval;
+                s.edges
+                    .iter()
+                    .map(|(eid, src, dst, props)| {
+                        ((snap, *src), (*eid, *dst, interval, props.clone()))
+                    })
+                    .collect::<Vec<_>>()
+            });
+        let redirected: Dataset<(Time, (EdgeId, VertexId, VertexId, Interval, Props))> =
+            edges_by_src
+                .join(rt, &mapping)
+                .map(rt, |((snap, _), ((eid, dst, interval, props), g1))| {
+                    ((*snap, *dst), (*eid, VertexId(*g1), *interval, props.clone()))
+                })
+                .join(rt, &mapping)
+                .map(rt, |((snap, _), ((eid, g1, interval, props), g2))| {
+                    (*snap, (*eid, *g1, VertexId(*g2), *interval, props.clone()))
+                });
+
+        // Rebuild one snapshot per original interval.
+        let snapshots = regroup_snapshots(rt, &grouped, &redirected);
+        RgGraph { lifespan: self.lifespan, snapshots }
+    }
+
+    /// `wZoom^T` over RG — Algorithm 4: each snapshot's vertices and edges
+    /// are mapped onto the temporal windows they overlap (the join with the
+    /// window relation, lines 3–9), grouped by `(window, entity)` through a
+    /// dataflow shuffle — one record **per snapshot copy** of each entity,
+    /// which is RG's cost — filtered by the quantifier, reduced with the
+    /// resolve function, and reassembled into one snapshot per window with
+    /// dangling edges removed.
+    pub fn wzoom(&self, rt: &Runtime, spec: &WZoomSpec) -> RgGraph {
+        let change_points: Vec<i64> = {
+            let mut starts: Vec<i64> =
+                self.snapshots.map(rt, |s| s.interval.start).collect();
+            let mut ends: Vec<i64> = self.snapshots.map(rt, |s| s.interval.end).collect();
+            starts.append(&mut ends);
+            starts.sort_unstable();
+            starts.dedup();
+            starts
+        };
+        let windows = Arc::new(window_relation(self.lifespan, &change_points, spec.window));
+        if windows.is_empty() {
+            return RgGraph { lifespan: self.lifespan, snapshots: Dataset::empty() };
+        }
+        let lifespan = self.lifespan;
+        let wspec = spec.window;
+        let spec = Arc::new(spec.clone());
+
+        // Map snapshot-local entities onto windows (lines 3–9 / 14–15): one
+        // record per entity per snapshot copy — RG pays for its replication
+        // in this shuffle.
+        let ws = Arc::clone(&windows);
+        let aligned_v: Dataset<((usize, VertexId), State)> = self.snapshots.flat_map(rt, move |s| {
+            let mut out = Vec::with_capacity(s.vertices.len());
+            for (idx, _w, covered) in windows_of(s.interval, lifespan, &ws, wspec) {
+                for (vid, props) in &s.vertices {
+                    out.push(((idx, *vid), (covered, props.clone())));
+                }
+            }
+            out
+        });
+        let ws = Arc::clone(&windows);
+        let spec_v = Arc::clone(&spec);
+        let kept: Dataset<((usize, VertexId), Props)> =
+            aligned_v.group_by_key(rt).flat_map(rt, move |((idx, vid), states)| {
+                let window = ws[*idx];
+                window_reduce(window, states.clone(), &spec_v.vertex_quantifier, |s| {
+                    resolve_vertex_states(&spec_v, s)
+                })
+                .map(|props| ((*idx, *vid), props))
+                .into_iter()
+                .collect::<Vec<_>>()
+            });
+
+        let ws = Arc::clone(&windows);
+        let aligned_e: Dataset<((usize, EdgeId, VertexId, VertexId), State)> =
+            self.snapshots.flat_map(rt, move |s| {
+                let mut out = Vec::with_capacity(s.edges.len());
+                for (idx, _w, covered) in windows_of(s.interval, lifespan, &ws, wspec) {
+                    for (eid, src, dst, props) in &s.edges {
+                        out.push(((idx, *eid, *src, *dst), (covered, props.clone())));
+                    }
+                }
+                out
+            });
+        let ws = Arc::clone(&windows);
+        let spec_e = Arc::clone(&spec);
+        let surviving: Dataset<((usize, VertexId), (EdgeId, VertexId, VertexId, Props))> =
+            aligned_e.group_by_key(rt).flat_map(rt, move |((idx, eid, src, dst), states)| {
+                let window = ws[*idx];
+                window_reduce(window, states.clone(), &spec_e.edge_quantifier, |s| {
+                    resolve_edge_states(&spec_e, s)
+                })
+                .map(|props| ((*idx, *src), (*eid, *src, *dst, props)))
+                .into_iter()
+                .collect::<Vec<_>>()
+            });
+
+        // Dangling-edge removal against the retained vertex set (merge step
+        // of line 19): semijoin on source, then destination.
+        let kept_keys: Dataset<((usize, VertexId), ())> = kept.map(rt, |(k, _)| (*k, ()));
+        let edges_checked: Dataset<(usize, (EdgeId, VertexId, VertexId, Props))> = surviving
+            .semi_join(rt, &kept_keys)
+            .map(rt, |((idx, _), e)| ((*idx, e.2), e.clone()))
+            .semi_join(rt, &kept_keys)
+            .map(rt, |((idx, _), e)| (*idx, e.clone()));
+
+        // Recreate the RG representation: one snapshot per window.
+        let ws = Arc::clone(&windows);
+        let v_parts: Dataset<(usize, SnapshotPart)> =
+            kept.map(rt, |((idx, vid), props)| (*idx, SnapshotPart::Vertex(*vid, props.clone())));
+        let e_parts: Dataset<(usize, SnapshotPart)> = edges_checked.map(rt, |(idx, e)| {
+            (*idx, SnapshotPart::Edge(e.0, e.1, e.2, e.3.clone()))
+        });
+        let snapshots = v_parts
+            .union(&e_parts)
+            .group_by_key(rt)
+            .map(rt, move |(idx, parts)| build_snapshot(ws[*idx], parts));
+
+        let lifespan = windows.first().unwrap().hull(windows.last().unwrap());
+        RgGraph { lifespan, snapshots }
+    }
+}
+
+/// A vertex or edge flowing into snapshot reassembly.
+#[derive(Clone, Debug)]
+enum SnapshotPart {
+    Vertex(VertexId, Props),
+    Edge(EdgeId, VertexId, VertexId, Props),
+}
+
+/// Rebuilds one deterministic snapshot from its parts.
+fn build_snapshot(interval: Interval, parts: &[SnapshotPart]) -> RgSnapshot {
+    let mut vertices = Vec::new();
+    let mut edges = Vec::new();
+    for p in parts {
+        match p {
+            SnapshotPart::Vertex(vid, props) => vertices.push((*vid, props.clone())),
+            SnapshotPart::Edge(eid, src, dst, props) => {
+                edges.push((*eid, *src, *dst, props.clone()))
+            }
+        }
+    }
+    vertices.sort_by_key(|(v, _)| *v);
+    edges.sort_by_key(|(e, s, d, _)| (*e, *s, *d));
+    RgSnapshot { interval, vertices, edges }
+}
+
+/// Reassembles snapshots from per-snapshot vertex and edge streams (used by
+/// `aZoom^T`, where snapshots are keyed by their interval start).
+fn regroup_snapshots(
+    rt: &Runtime,
+    vertices: &Dataset<(tgraph_core::Time, (VertexId, Interval, Props))>,
+    edges: &Dataset<(tgraph_core::Time, (EdgeId, VertexId, VertexId, Interval, Props))>,
+) -> Dataset<RgSnapshot> {
+    let v_parts: Dataset<(Interval, SnapshotPart)> = vertices.map(rt, |(_, (vid, iv, props))| {
+        (*iv, SnapshotPart::Vertex(*vid, props.clone()))
+    });
+    let e_parts: Dataset<(Interval, SnapshotPart)> =
+        edges.map(rt, |(_, (eid, src, dst, iv, props))| {
+            (*iv, SnapshotPart::Edge(*eid, *src, *dst, props.clone()))
+        });
+    v_parts
+        .union(&e_parts)
+        .group_by_key(rt)
+        .map(rt, |(interval, parts)| build_snapshot(*interval, parts))
+}
+
+/// Coalesces the states used for resolve functions — exposed for tests.
+pub fn coalesced_states(states: Vec<State>) -> Vec<State> {
+    coalesce_states(states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph_core::graph::figure1_graph_stable_ids;
+    use tgraph_core::reference::{azoom_reference, wzoom_reference};
+    use tgraph_core::zoom::azoom::AggSpec;
+    use tgraph_core::zoom::wzoom::{Quantifier, ResolveFn};
+
+    fn rt() -> Runtime {
+        Runtime::with_partitions(4, 4)
+    }
+
+    fn school_spec() -> AZoomSpec {
+        AZoomSpec::by_property("school", "school", vec![AggSpec::count("students")])
+    }
+
+    #[test]
+    fn snapshot_sequence_matches_figure4() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let rg = RgGraph::from_tgraph(&rt, &g);
+        let mut snaps = rg.snapshots.collect();
+        snaps.sort_by_key(|s| s.interval.start);
+        // Elementary intervals: [1,2), [2,5), [5,7), [7,9).
+        assert_eq!(snaps.len(), 4);
+        assert_eq!(snaps[0].interval, Interval::new(1, 2));
+        assert_eq!(snaps[0].vertices.len(), 2); // Ann, Cat
+        assert!(snaps[0].edges.is_empty());
+        assert_eq!(snaps[1].interval, Interval::new(2, 5));
+        assert_eq!(snaps[1].vertices.len(), 3);
+        assert_eq!(snaps[1].edges.len(), 1); // e1
+        assert_eq!(snaps[3].interval, Interval::new(7, 9));
+        assert_eq!(snaps[3].edges.len(), 1); // e2
+    }
+
+    #[test]
+    fn roundtrip_through_tgraph() {
+        let rt = rt();
+        let g = coalesce_graph(&figure1_graph_stable_ids());
+        let rg = RgGraph::from_tgraph(&rt, &g);
+        let back = rg.to_tgraph(&rt);
+        assert_eq!(back.vertices, g.vertices);
+        assert_eq!(back.edges, g.edges);
+    }
+
+    #[test]
+    fn rg_replication_footprint() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let rg = RgGraph::from_tgraph(&rt, &g);
+        // Ann appears in 3 snapshots, Bob in 3, Cat in 4 → 10 vertex tuples
+        // versus VE's 4: the compactness loss the paper describes.
+        assert_eq!(rg.total_vertex_tuples(&rt), 10);
+        assert_eq!(rg.total_edge_tuples(&rt), 3);
+    }
+
+    #[test]
+    fn azoom_matches_reference() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let expected = azoom_reference(&g, &school_spec());
+        let got = RgGraph::from_tgraph(&rt, &g).azoom(&rt, &school_spec()).to_tgraph(&rt);
+        assert_eq!(got.vertices, expected.vertices);
+        assert_eq!(got.edges, expected.edges);
+    }
+
+    #[test]
+    fn wzoom_matches_reference_all_all() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let spec = WZoomSpec::points(3, Quantifier::All, Quantifier::All)
+            .with_vertex_override("school", ResolveFn::Last);
+        let expected = wzoom_reference(&g, &spec);
+        let got = RgGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec).to_tgraph(&rt);
+        assert_eq!(got.vertices, expected.vertices);
+        assert_eq!(got.edges, expected.edges);
+    }
+
+    #[test]
+    fn wzoom_matches_reference_exists() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let spec = WZoomSpec::points(3, Quantifier::Exists, Quantifier::Exists);
+        let expected = wzoom_reference(&g, &spec);
+        let got = RgGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec).to_tgraph(&rt);
+        assert_eq!(got.vertices, expected.vertices);
+        assert_eq!(got.edges, expected.edges);
+    }
+
+    #[test]
+    fn wzoom_mixed_quantifiers_stay_valid() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let spec = WZoomSpec::points(3, Quantifier::All, Quantifier::Exists);
+        let expected = wzoom_reference(&g, &spec);
+        let got = RgGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec).to_tgraph(&rt);
+        assert_eq!(got.edges, expected.edges);
+        assert!(tgraph_core::validate::validate(&got).is_empty());
+    }
+
+    #[test]
+    fn azoom_empty_graph() {
+        let rt = rt();
+        let rg = RgGraph::from_tgraph(&rt, &TGraph::new());
+        let out = rg.azoom(&rt, &school_spec());
+        assert_eq!(out.snapshot_count(&rt), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Binary row encoding for the `.tgc` columnar format, built on the `bytes`
+//! crate (no external serialization framework — the format is small enough
+//! to specify exactly).
+//!
+//! All integers are little-endian fixed width. Strings are UTF-8 with a
+//! `u32` byte-length prefix. A property set is a `u16` pair count followed by
+//! `(key, tagged value)` pairs in key order.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tgraph_core::props::{Props, Value};
+use tgraph_core::time::Interval;
+
+/// Errors raised while decoding a `.tgc` payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the announced payload.
+    UnexpectedEof,
+    /// A string field held invalid UTF-8.
+    InvalidUtf8,
+    /// An unknown value-type tag was encountered.
+    BadValueTag(u8),
+    /// File magic or version did not match.
+    BadMagic,
+    /// A chunk checksum did not match its payload.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of buffer"),
+            DecodeError::InvalidUtf8 => write!(f, "invalid UTF-8 in string field"),
+            DecodeError::BadValueTag(t) => write!(f, "unknown value tag {t}"),
+            DecodeError::BadMagic => write!(f, "bad file magic / version"),
+            DecodeError::ChecksumMismatch => write!(f, "chunk checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::UnexpectedEof)
+    } else {
+        Ok(())
+    }
+}
+
+/// Writes a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub fn get_str(buf: &mut Bytes) -> Result<String, DecodeError> {
+    need(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    need(buf, len)?;
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::InvalidUtf8)
+}
+
+/// Writes a tagged property value.
+pub fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Bool(b) => {
+            buf.put_u8(0);
+            buf.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.put_u8(1);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(x) => {
+            buf.put_u8(2);
+            buf.put_f64_le(*x);
+        }
+        Value::Str(s) => {
+            buf.put_u8(3);
+            put_str(buf, s);
+        }
+    }
+}
+
+/// Reads a tagged property value.
+pub fn get_value(buf: &mut Bytes) -> Result<Value, DecodeError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => {
+            need(buf, 1)?;
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        1 => {
+            need(buf, 8)?;
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        2 => {
+            need(buf, 8)?;
+            Ok(Value::Float(buf.get_f64_le()))
+        }
+        3 => Ok(Value::Str(get_str(buf)?.into())),
+        t => Err(DecodeError::BadValueTag(t)),
+    }
+}
+
+/// Writes a property set.
+pub fn put_props(buf: &mut BytesMut, props: &Props) {
+    buf.put_u16_le(props.len() as u16);
+    for (k, v) in props.iter() {
+        put_str(buf, k);
+        put_value(buf, v);
+    }
+}
+
+/// Reads a property set.
+pub fn get_props(buf: &mut Bytes) -> Result<Props, DecodeError> {
+    need(buf, 2)?;
+    let n = buf.get_u16_le() as usize;
+    let mut pairs: Vec<(String, Value)> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = get_str(buf)?;
+        let v = get_value(buf)?;
+        pairs.push((k, v));
+    }
+    Ok(Props::from_pairs(pairs))
+}
+
+/// Writes an interval as two fixed i64 columns (the "UNIX timestamp as long"
+/// convention of §4, which is what makes min/max pushdown possible).
+pub fn put_interval(buf: &mut BytesMut, iv: &Interval) {
+    buf.put_i64_le(iv.start);
+    buf.put_i64_le(iv.end);
+}
+
+/// Reads an interval.
+pub fn get_interval(buf: &mut Bytes) -> Result<Interval, DecodeError> {
+    need(buf, 16)?;
+    let start = buf.get_i64_le();
+    let end = buf.get_i64_le();
+    Ok(Interval::new(start, end))
+}
+
+/// A cheap additive checksum (64-bit sum of bytes with position mixing) used
+/// to detect torn chunk writes.
+pub fn checksum(payload: &[u8]) -> u64 {
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    for (i, b) in payload.iter().enumerate() {
+        acc = acc
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(*b as u64)
+            .wrapping_add(i as u64);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_props(p: &Props) -> Props {
+        let mut buf = BytesMut::new();
+        put_props(&mut buf, p);
+        let mut bytes = buf.freeze();
+        get_props(&mut bytes).unwrap()
+    }
+
+    #[test]
+    fn props_roundtrip() {
+        let p = Props::typed("person")
+            .with("name", "Ann")
+            .with("edits", 42i64)
+            .with("score", 1.5f64)
+            .with("active", true);
+        assert_eq!(roundtrip_props(&p), p);
+    }
+
+    #[test]
+    fn empty_props_roundtrip() {
+        assert_eq!(roundtrip_props(&Props::new()), Props::new());
+    }
+
+    #[test]
+    fn value_variants_roundtrip() {
+        for v in [
+            Value::Bool(false),
+            Value::Int(i64::MIN),
+            Value::Float(f64::NAN),
+            Value::Str("héllo".into()),
+        ] {
+            let mut buf = BytesMut::new();
+            put_value(&mut buf, &v);
+            let mut bytes = buf.freeze();
+            assert_eq!(get_value(&mut bytes).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn interval_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_interval(&mut buf, &Interval::new(-5, 99));
+        let mut bytes = buf.freeze();
+        assert_eq!(get_interval(&mut bytes).unwrap(), Interval::new(-5, 99));
+    }
+
+    #[test]
+    fn truncated_buffer_errors() {
+        let mut buf = BytesMut::new();
+        put_str(&mut buf, "hello");
+        let full = buf.freeze();
+        let mut truncated = full.slice(0..full.len() - 2);
+        assert_eq!(get_str(&mut truncated), Err(DecodeError::UnexpectedEof));
+    }
+
+    #[test]
+    fn bad_tag_errors() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(9);
+        let mut bytes = buf.freeze();
+        assert_eq!(get_value(&mut bytes), Err(DecodeError::BadValueTag(9)));
+    }
+
+    #[test]
+    fn checksum_detects_flip() {
+        let a = checksum(b"hello world");
+        let b = checksum(b"hellp world");
+        assert_ne!(a, b);
+        assert_eq!(a, checksum(b"hello world"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # tgraph-storage
+//!
+//! Columnar on-disk storage for evolving graphs — the local-filesystem
+//! substitute for the paper's Parquet-on-HDFS layer (§4, "Data loading").
+//!
+//! * [`format`](mod@format) — the flat `.tgc` format: chunked rows with min/max time
+//!   statistics and **time-range predicate pushdown**, writable in either a
+//!   temporal-locality or structural-locality sort order.
+//! * [`nested`] — the nested `.tgo` format: pre-grouped history arrays for
+//!   fast OG/OGC loading, with first/last-seen pushdown columns compensating
+//!   for the nested interval data (the paper's workaround).
+//! * [`loader`] — the `GraphLoader` that initializes any of the four
+//!   physical representations from disk with an optional date-range filter.
+//! * [`encode`] — the byte-level row encoding (hand-rolled on `bytes`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod encode;
+pub mod format;
+pub mod loader;
+pub mod nested;
+
+pub use format::{read_tgc, write_tgc, ScanStats, SortOrder, StorageError};
+pub use loader::{write_dataset, GraphLoader};
+pub use nested::{read_tgo, write_tgo};

@@ -1,0 +1,178 @@
+//! Property-based tests for the TGA companion operators
+//! (`tgraph_core::algebra`): set-operator laws under point semantics, and
+//! agreement between the reference subgraph and its dataflow implementations
+//! on random graphs.
+
+use proptest::prelude::*;
+use tgraph::prelude::*;
+use tgraph_core::algebra::{difference, intersection, project, subgraph, union, Predicate};
+use tgraph_core::coalesce::coalesce_graph;
+use tgraph_core::validate::validate;
+
+const HORIZON: i64 = 10;
+
+/// Same generator family as `property_based.rs`: valid TGraphs with multiple
+/// states per vertex and edges confined to endpoint lifetimes.
+fn arb_tgraph() -> impl Strategy<Value = TGraph> {
+    let vertex = (0..HORIZON - 1).prop_flat_map(|start| {
+        (
+            Just(start),
+            (start + 1)..=HORIZON,
+            prop::collection::vec(0u8..3, 1..3),
+        )
+    });
+    let vertices = prop::collection::vec(vertex, 1..10);
+    let edges = prop::collection::vec((0usize..10, 0usize..10, 0..HORIZON, 1..4i64), 0..14);
+    (vertices, edges).prop_map(|(vspecs, especs)| {
+        let mut vrecs = Vec::new();
+        let mut spans = Vec::new();
+        for (vid, (start, end, groups)) in vspecs.iter().enumerate() {
+            spans.push((*start, *end));
+            let n = groups.len() as i64;
+            let len = end - start;
+            let mut emitted = false;
+            for (i, g) in groups.iter().enumerate() {
+                let s = start + len * i as i64 / n;
+                let e = start + len * (i as i64 + 1) / n;
+                if s >= e {
+                    continue;
+                }
+                emitted = true;
+                vrecs.push(VertexRecord::new(
+                    vid as u64,
+                    Interval::new(s, e),
+                    Props::typed("node").with("group", format!("g{g}")),
+                ));
+            }
+            if !emitted {
+                vrecs.push(VertexRecord::new(
+                    vid as u64,
+                    Interval::new(*start, *end),
+                    Props::typed("node").with("group", "g0"),
+                ));
+            }
+        }
+        let mut erecs = Vec::new();
+        let mut eid = 0u64;
+        for (a, b, start, len) in especs {
+            let a = a % spans.len();
+            let b = b % spans.len();
+            let lo = spans[a].0.max(spans[b].0);
+            let hi = spans[a].1.min(spans[b].1);
+            if lo >= hi {
+                continue;
+            }
+            let s = lo + (start.rem_euclid(hi - lo));
+            let e = (s + len).min(hi);
+            if s >= e {
+                continue;
+            }
+            erecs.push(EdgeRecord::new(eid, a as u64, b as u64, Interval::new(s, e), Props::typed("link")));
+            eid += 1;
+        }
+        TGraph::from_records(vrecs, erecs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn union_with_self_is_identity(g in arb_tgraph()) {
+        let c = coalesce_graph(&g);
+        let u = union(&c, &c);
+        prop_assert_eq!(u.vertices, c.vertices);
+        prop_assert_eq!(u.edges, c.edges);
+    }
+
+    #[test]
+    fn intersection_with_self_is_identity(g in arb_tgraph()) {
+        let c = coalesce_graph(&g);
+        let i = intersection(&c, &c);
+        prop_assert_eq!(i.vertices, c.vertices);
+        prop_assert_eq!(i.edges, c.edges);
+    }
+
+    #[test]
+    fn difference_with_self_is_empty(g in arb_tgraph()) {
+        let d = difference(&g, &g);
+        prop_assert!(d.vertices.is_empty());
+        prop_assert!(d.edges.is_empty());
+    }
+
+    #[test]
+    fn set_operators_produce_valid_graphs(g in arb_tgraph(), h in arb_tgraph()) {
+        for out in [union(&g, &h), intersection(&g, &h), difference(&g, &h)] {
+            prop_assert!(validate(&out).is_empty(), "{:?}", validate(&out));
+        }
+    }
+
+    #[test]
+    fn union_point_semantics(g in arb_tgraph(), h in arb_tgraph()) {
+        // Vertex existence in the union = existence in either input.
+        let u = union(&g, &h);
+        let span = g.lifespan.hull(&h.lifespan);
+        for t in span.points() {
+            let gu: std::collections::BTreeSet<_> = u.at(t).vertices.keys().cloned().collect();
+            let mut expected: std::collections::BTreeSet<_> = g.at(t).vertices.keys().cloned().collect();
+            expected.extend(h.at(t).vertices.keys().cloned());
+            prop_assert_eq!(gu, expected, "diverged at t={}", t);
+        }
+    }
+
+    #[test]
+    fn difference_point_semantics(g in arb_tgraph(), h in arb_tgraph()) {
+        let d = difference(&g, &h);
+        for t in g.lifespan.points() {
+            let got: std::collections::BTreeSet<_> = d.at(t).vertices.keys().cloned().collect();
+            let left: std::collections::BTreeSet<_> = g.at(t).vertices.keys().cloned().collect();
+            let right: std::collections::BTreeSet<_> = h.at(t).vertices.keys().cloned().collect();
+            let expected: std::collections::BTreeSet<_> = left.difference(&right).cloned().collect();
+            prop_assert_eq!(got, expected, "diverged at t={}", t);
+        }
+    }
+
+    #[test]
+    fn subgraph_true_is_coalesced_identity(g in arb_tgraph()) {
+        let s = subgraph(&g, &Predicate::True, &Predicate::True);
+        let c = coalesce_graph(&g);
+        prop_assert_eq!(s.vertices, c.vertices);
+        prop_assert_eq!(s.edges, c.edges);
+    }
+
+    #[test]
+    fn subgraph_is_monotone(g in arb_tgraph()) {
+        // A stricter predicate keeps a subset of vertex-time points.
+        let loose = subgraph(&g, &Predicate::has("group"), &Predicate::True);
+        let strict = subgraph(
+            &g,
+            &Predicate::has("group").and(Predicate::eq("group", "g0")),
+            &Predicate::True,
+        );
+        let points = |g: &TGraph| -> u64 { g.vertices.iter().map(|v| v.interval.len()).sum() };
+        prop_assert!(points(&strict) <= points(&loose));
+    }
+
+    #[test]
+    fn ve_subgraph_matches_reference_on_random_graphs(g in arb_tgraph()) {
+        let rt = Runtime::with_partitions(2, 3);
+        let pred = Predicate::eq("group", "g0");
+        let expected = subgraph(&g, &pred, &Predicate::True);
+        let got = VeGraph::from_tgraph(&rt, &g)
+            .subgraph(&rt, &pred, &Predicate::True)
+            .to_tgraph();
+        let canon = |g: &TGraph| {
+            let c = coalesce_graph(g);
+            (c.vertices, c.edges)
+        };
+        prop_assert_eq!(canon(&got), canon(&expected));
+    }
+
+    #[test]
+    fn project_is_idempotent(g in arb_tgraph()) {
+        let once = project(&g, &["group"], &[]);
+        let twice = project(&once, &["group"], &[]);
+        prop_assert_eq!(once.vertices, twice.vertices);
+        prop_assert_eq!(once.edges, twice.edges);
+    }
+}

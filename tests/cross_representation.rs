@@ -1,0 +1,171 @@
+//! Integration tests: all four physical representations must agree with the
+//! point-semantics reference evaluators on randomly generated graphs — not
+//! just on the paper's running example.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use tgraph::prelude::*;
+use tgraph_core::coalesce::coalesce_graph;
+use tgraph_core::reference::{azoom_reference, wzoom_reference};
+use tgraph_core::validate::validate;
+
+/// Generates a small random — but always *valid* — TGraph: vertices with a
+/// group attribute that changes over time, edges confined to their
+/// endpoints' joint lifetimes.
+fn random_graph(seed: u64, vertices: usize, edges: usize, horizon: i64) -> TGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vrecs = Vec::new();
+    let mut spans = Vec::new();
+    for vid in 0..vertices as u64 {
+        let start = rng.gen_range(0..horizon - 1);
+        let end = rng.gen_range(start + 1..=horizon);
+        spans.push((start, end));
+        // Split the lifetime into 1–3 states with possibly different groups.
+        let pieces = rng.gen_range(1..=3u32);
+        let mut boundaries: Vec<i64> = (0..pieces - 1)
+            .map(|_| rng.gen_range(start..end))
+            .collect();
+        boundaries.push(start);
+        boundaries.push(end);
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        for w in boundaries.windows(2) {
+            let group = format!("g{}", rng.gen_range(0..4));
+            let has_group = rng.gen_bool(0.85);
+            let mut props = Props::typed("node").with("id", vid as i64);
+            if has_group {
+                props = props.with("group", group);
+            }
+            vrecs.push(VertexRecord::new(vid, Interval::new(w[0], w[1]), props));
+        }
+    }
+    let mut erecs = Vec::new();
+    let mut eid = 0u64;
+    while (erecs.len() as usize) < edges {
+        let a = rng.gen_range(0..vertices as u64);
+        let b = rng.gen_range(0..vertices as u64);
+        let (sa, ea) = spans[a as usize];
+        let (sb, eb) = spans[b as usize];
+        let lo = sa.max(sb);
+        let hi = ea.min(eb);
+        if lo >= hi {
+            continue;
+        }
+        let start = rng.gen_range(lo..hi);
+        let end = rng.gen_range(start + 1..=hi);
+        erecs.push(EdgeRecord::new(
+            eid,
+            a,
+            b,
+            Interval::new(start, end),
+            Props::typed("link"),
+        ));
+        eid += 1;
+    }
+    TGraph::from_records(vrecs, erecs)
+}
+
+fn canon(g: &TGraph) -> (Vec<VertexRecord>, Vec<EdgeRecord>) {
+    let c = coalesce_graph(g);
+    (c.vertices, c.edges)
+}
+
+fn azoom_spec() -> AZoomSpec {
+    AZoomSpec::by_property("group", "group", vec![AggSpec::count("n")])
+}
+
+#[test]
+fn random_graphs_are_valid() {
+    for seed in 0..10 {
+        let g = random_graph(seed, 20, 30, 12);
+        assert!(validate(&g).is_empty(), "seed {seed}: {:?}", validate(&g));
+    }
+}
+
+#[test]
+fn azoom_agrees_across_representations() {
+    let rt = Runtime::with_partitions(4, 4);
+    let spec = azoom_spec();
+    for seed in 0..8 {
+        let g = random_graph(seed, 25, 40, 12);
+        let expected = canon(&azoom_reference(&g, &spec));
+        for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og] {
+            let got = canon(&AnyGraph::load(&rt, &g, kind).azoom(&rt, &spec).to_tgraph(&rt));
+            assert_eq!(got, expected, "seed {seed}, repr {kind}");
+        }
+    }
+}
+
+#[test]
+fn wzoom_agrees_across_representations() {
+    let rt = Runtime::with_partitions(4, 4);
+    for seed in 0..6 {
+        let g = random_graph(seed, 25, 40, 12);
+        for (vq, eq) in [
+            (Quantifier::All, Quantifier::All),
+            (Quantifier::Exists, Quantifier::Exists),
+            (Quantifier::Most, Quantifier::Exists),
+            (Quantifier::All, Quantifier::Exists),
+        ] {
+            for window in [2u64, 3, 5] {
+                let spec = WZoomSpec::points(window, vq, eq);
+                let expected = canon(&wzoom_reference(&g, &spec));
+                for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og] {
+                    let got =
+                        canon(&AnyGraph::load(&rt, &g, kind).wzoom(&rt, &spec).to_tgraph(&rt));
+                    assert_eq!(got, expected, "seed {seed} {kind} w={window} {vq:?}/{eq:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ogc_wzoom_agrees_on_topology() {
+    let rt = Runtime::with_partitions(4, 4);
+    for seed in 0..6 {
+        // Topology-only graph: OGC is lossless here.
+        let g = random_graph(seed, 25, 40, 12);
+        let topo = TGraph {
+            lifespan: g.lifespan,
+            vertices: g
+                .vertices
+                .iter()
+                .map(|v| VertexRecord { vid: v.vid, interval: v.interval, props: Props::typed("node") })
+                .collect(),
+            edges: g.edges.clone(),
+        };
+        let spec = WZoomSpec::points(3, Quantifier::Most, Quantifier::Exists);
+        let expected = canon(&wzoom_reference(&topo, &spec));
+        let got = canon(&AnyGraph::load(&rt, &topo, ReprKind::Ogc).wzoom(&rt, &spec).to_tgraph(&rt));
+        assert_eq!(got, expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn zoom_outputs_are_valid_tgraphs() {
+    let rt = Runtime::with_partitions(4, 4);
+    let aspec = azoom_spec();
+    for seed in 0..6 {
+        let g = random_graph(seed, 25, 40, 12);
+        for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og] {
+            let az = AnyGraph::load(&rt, &g, kind).azoom(&rt, &aspec).to_tgraph(&rt);
+            assert!(validate(&az).is_empty(), "azoom seed {seed} {kind}: {:?}", validate(&az));
+            let wspec = WZoomSpec::points(3, Quantifier::All, Quantifier::Exists);
+            let wz = AnyGraph::load(&rt, &g, kind).wzoom(&rt, &wspec).to_tgraph(&rt);
+            assert!(validate(&wz).is_empty(), "wzoom seed {seed} {kind}: {:?}", validate(&wz));
+        }
+    }
+}
+
+#[test]
+fn results_independent_of_parallelism() {
+    // The dataflow engine must not leak nondeterminism into results.
+    let spec = azoom_spec();
+    let g = random_graph(99, 30, 50, 12);
+    let rt1 = Runtime::with_partitions(1, 1);
+    let rt8 = Runtime::with_partitions(8, 13);
+    let a = canon(&AnyGraph::load(&rt1, &g, ReprKind::Ve).azoom(&rt1, &spec).to_tgraph(&rt1));
+    let b = canon(&AnyGraph::load(&rt8, &g, ReprKind::Ve).azoom(&rt8, &spec).to_tgraph(&rt8));
+    assert_eq!(a, b);
+}

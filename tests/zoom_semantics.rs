@@ -1,0 +1,286 @@
+//! Integration tests pinning down the finer operator semantics from the
+//! paper's text: change-based windows, resolve-function behaviour, zoom
+//! order (non-)equivalence, and the validity of every intermediate snapshot.
+
+use tgraph::prelude::*;
+use tgraph_core::graph::figure1_graph_stable_ids;
+use tgraph_core::reference::{azoom_reference, wzoom_reference};
+use tgraph_core::validate::validate;
+use tgraph_core::zoom::wzoom::WindowSpec;
+
+fn rt() -> Runtime {
+    Runtime::with_partitions(4, 4)
+}
+
+fn canon(g: &TGraph) -> (Vec<VertexRecord>, Vec<EdgeRecord>) {
+    let c = tgraph_core::coalesce::coalesce_graph(g);
+    (c.vertices, c.edges)
+}
+
+/// `n changes` windows (§2.3's alternative window unit) agree across
+/// representations.
+#[test]
+fn change_based_windows_agree_across_representations() {
+    let rt = rt();
+    let g = figure1_graph_stable_ids();
+    for n in [1u64, 2, 3] {
+        let spec = WZoomSpec {
+            window: WindowSpec::Changes(n),
+            vertex_quantifier: Quantifier::Exists,
+            edge_quantifier: Quantifier::Exists,
+            vertex_resolve: ResolveFn::Last,
+            edge_resolve: ResolveFn::Any,
+            vertex_overrides: vec![],
+            edge_overrides: vec![],
+        };
+        let expected = canon(&wzoom_reference(&g, &spec));
+        for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og] {
+            let got = canon(&AnyGraph::load(&rt, &g, kind).wzoom(&rt, &spec).to_tgraph(&rt));
+            assert_eq!(got, expected, "changes({n}) over {kind}");
+        }
+    }
+}
+
+/// With `Changes(1)` windows and `all` quantification, wZoom^T is the
+/// coalesced identity: every window is exactly one no-change interval.
+#[test]
+fn single_change_windows_are_identity() {
+    let rt = rt();
+    let g = figure1_graph_stable_ids();
+    let spec = WZoomSpec {
+        window: WindowSpec::Changes(1),
+        vertex_quantifier: Quantifier::All,
+        edge_quantifier: Quantifier::All,
+        vertex_resolve: ResolveFn::Any,
+        edge_resolve: ResolveFn::Any,
+        vertex_overrides: vec![],
+        edge_overrides: vec![],
+    };
+    let out = canon(&AnyGraph::load(&rt, &g, ReprKind::Ve).wzoom(&rt, &spec).to_tgraph(&rt));
+    let expected = canon(&g);
+    assert_eq!(out, expected);
+}
+
+/// First/last resolve functions are observably different on Bob (Figure 9's
+/// walk-through: window size 3, f_v = last picks school=CMU).
+#[test]
+fn resolve_functions_differ_on_figure9() {
+    let rt = rt();
+    let g = figure1_graph_stable_ids();
+    let mk = |resolve| {
+        WZoomSpec::points(3, Quantifier::Exists, Quantifier::Exists)
+            .with_resolve(resolve, ResolveFn::Any)
+    };
+    let last = AnyGraph::load(&rt, &g, ReprKind::Og).wzoom(&rt, &mk(ResolveFn::Last)).to_tgraph(&rt);
+    let bob_w2 = last
+        .vertices
+        .iter()
+        .find(|v| v.vid.0 == 2 && v.interval.contains(5))
+        .unwrap();
+    assert_eq!(bob_w2.props.get("school").unwrap().as_str(), Some("CMU"));
+
+    // With `first`, Bob's W2 representative state is his schoolless state,
+    // but per-attribute resolution fills `school` from the later state that
+    // carries it, so the value is still CMU; his *type* and name come from
+    // the first state. The distinguishing case is a key present in both
+    // states with different values:
+    let g2 = TGraph::from_records(
+        vec![
+            VertexRecord::new(1, Interval::new(0, 2), Props::typed("n").with("x", 1i64)),
+            VertexRecord::new(1, Interval::new(2, 4), Props::typed("n").with("x", 2i64)),
+        ],
+        vec![],
+    );
+    let first = wzoom_reference(
+        &g2,
+        &WZoomSpec::points(4, Quantifier::Exists, Quantifier::Exists)
+            .with_resolve(ResolveFn::First, ResolveFn::Any),
+    );
+    assert_eq!(first.vertices[0].props.get("x").unwrap().as_int(), Some(1));
+    let last = wzoom_reference(
+        &g2,
+        &WZoomSpec::points(4, Quantifier::Exists, Quantifier::Exists)
+            .with_resolve(ResolveFn::Last, ResolveFn::Any),
+    );
+    assert_eq!(last.vertices[0].props.get("x").unwrap().as_int(), Some(2));
+}
+
+/// §5.3: reordering aZoom^T and wZoom^T "does not always produce the same
+/// result" — but it does for graphs whose attributes never change, under the
+/// exists quantifier. Both halves of that claim are checked.
+#[test]
+fn zoom_reorder_equivalence_conditions() {
+    let rt = rt();
+    // (a) Attribute-stable growth-only graph whose changes all align to the
+    // window boundaries: orders agree exactly. (The paper's §5.3 claims safe
+    // reordering for growth-only datasets; it is exact precisely when no
+    // change falls mid-window, since aggregates like count would otherwise
+    // be resolved from different member intervals.)
+    let mut vertices = Vec::new();
+    let mut edges = Vec::new();
+    let months = 36i64;
+    for vid in 0..120u64 {
+        let arrival = (vid as i64 % 6) * 6; // multiples of the window size
+        vertices.push(VertexRecord::new(
+            vid,
+            Interval::new(arrival, months),
+            Props::typed("person").with("firstName", format!("name{}", vid % 7)),
+        ));
+    }
+    for eid in 0..200u64 {
+        let a = eid % 120;
+        let b = (eid * 7 + 1) % 120;
+        if a == b {
+            continue;
+        }
+        let arrival = ((a as i64 % 6).max(b as i64 % 6)) * 6;
+        edges.push(EdgeRecord::new(eid, a, b, Interval::new(arrival, months), Props::typed("knows")));
+    }
+    let stable = TGraph::from_records(vertices, edges);
+    assert!(validate(&stable).is_empty());
+    let aspec = AZoomSpec::by_property("firstName", "cohort", vec![AggSpec::count("n")]);
+    let wspec = WZoomSpec::points(6, Quantifier::Exists, Quantifier::Exists);
+    let az_wz = canon(&wzoom_reference(&azoom_reference(&stable, &aspec), &wspec));
+    let wz_az = canon(&azoom_reference(&wzoom_reference(&stable, &wspec), &aspec));
+    assert_eq!(az_wz.0, wz_az.0, "orders must agree on boundary-aligned growth-only graphs");
+    assert_eq!(az_wz.1, wz_az.1);
+
+    // Physical implementations agree with the reference on both orders.
+    let got = AnyGraph::load(&rt, &stable, ReprKind::Og)
+        .wzoom(&rt, &wspec)
+        .azoom(&rt, &aspec)
+        .to_tgraph(&rt);
+    assert_eq!(canon(&got), wz_az);
+
+    // (b) A grouping attribute that changes mid-window makes the orders
+    // diverge: aZoom^T first sees both groups (each window-extended by the
+    // exists quantifier), while wZoom^T first resolves the vertex to one
+    // representative state, so only one group node survives.
+    let changing = TGraph::from_records(
+        vec![
+            VertexRecord::new(1, Interval::new(0, 3), Props::typed("p").with("g", "a")),
+            VertexRecord::new(1, Interval::new(3, 4), Props::typed("p").with("g", "b")),
+        ],
+        vec![],
+    );
+    let aspec2 = AZoomSpec::by_property("g", "grp", vec![AggSpec::count("n")]);
+    let wspec2 = WZoomSpec::points(4, Quantifier::Exists, Quantifier::Exists);
+    let a = canon(&wzoom_reference(&azoom_reference(&changing, &aspec2), &wspec2));
+    let b = canon(&azoom_reference(&wzoom_reference(&changing, &wspec2), &aspec2));
+    assert_eq!(a.0.len(), 2, "aZoom first keeps both groups");
+    assert_eq!(b.0.len(), 1, "wZoom first resolves to one state, one group");
+    assert_ne!(a, b, "orders must diverge when the grouping attribute changes mid-window");
+}
+
+/// Per-attribute edge resolve overrides behave like their vertex
+/// counterparts, across all representations.
+#[test]
+fn edge_resolve_overrides() {
+    let rt = rt();
+    // One edge whose weight changes mid-window.
+    let g = TGraph::from_records(
+        vec![
+            VertexRecord::new(1, Interval::new(0, 4), Props::typed("n")),
+            VertexRecord::new(2, Interval::new(0, 4), Props::typed("n")),
+        ],
+        vec![
+            EdgeRecord::new(9, 1, 2, Interval::new(0, 3), Props::typed("l").with("w", 1i64)),
+            EdgeRecord::new(9, 1, 2, Interval::new(3, 4), Props::typed("l").with("w", 2i64)),
+        ],
+    );
+    let base = WZoomSpec::points(4, Quantifier::Exists, Quantifier::Exists);
+    for (spec, expected) in [
+        (base.clone().with_edge_override("w", ResolveFn::Last), 2i64),
+        (base.clone().with_edge_override("w", ResolveFn::First), 1i64),
+        (base.clone(), 1i64), // default any: longest state wins
+    ] {
+        let reference = wzoom_reference(&g, &spec);
+        assert_eq!(
+            reference.edges[0].props.get("w").unwrap().as_int(),
+            Some(expected),
+            "{spec:?}"
+        );
+        for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og] {
+            let got = AnyGraph::load(&rt, &g, kind).wzoom(&rt, &spec).to_tgraph(&rt);
+            assert_eq!(canon(&got), canon(&reference), "{kind}");
+        }
+    }
+}
+
+/// Every snapshot of every operator output is a valid conventional graph
+/// (the ξ condition of Definition 2.1, checked point-wise).
+#[test]
+fn every_output_snapshot_is_valid() {
+    let rt = rt();
+    let g = figure1_graph_stable_ids();
+    let aspec = AZoomSpec::by_property("school", "school", vec![AggSpec::count("n")]);
+    let outputs = vec![
+        AnyGraph::load(&rt, &g, ReprKind::Ve).azoom(&rt, &aspec).to_tgraph(&rt),
+        AnyGraph::load(&rt, &g, ReprKind::Og)
+            .wzoom(&rt, &WZoomSpec::points(2, Quantifier::Most, Quantifier::Exists))
+            .to_tgraph(&rt),
+        AnyGraph::load(&rt, &g, ReprKind::Rg)
+            .wzoom(&rt, &WZoomSpec::points(4, Quantifier::All, Quantifier::Exists))
+            .to_tgraph(&rt),
+    ];
+    for out in outputs {
+        for t in out.lifespan.points() {
+            assert!(out.at(t).is_valid(), "invalid snapshot at t={t}");
+        }
+    }
+}
+
+/// A wZoom^T whose window exceeds the lifespan produces a single window
+/// covering everything.
+#[test]
+fn window_larger_than_lifespan() {
+    let rt = rt();
+    let g = figure1_graph_stable_ids(); // lifespan [1,9)
+    let spec = WZoomSpec::points(100, Quantifier::Exists, Quantifier::Exists);
+    let expected = canon(&wzoom_reference(&g, &spec));
+    for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og] {
+        let got = canon(&AnyGraph::load(&rt, &g, kind).wzoom(&rt, &spec).to_tgraph(&rt));
+        assert_eq!(got, expected, "{kind}");
+        // All three vertices survive (exists), with the single window span.
+        assert_eq!(got.0.len(), 3);
+        assert!(got.0.iter().all(|v| v.interval == Interval::new(1, 101)));
+    }
+}
+
+/// aZoom^T with an aggregation over a property that only some group members
+/// carry still matches the oracle.
+#[test]
+fn partial_aggregation_property() {
+    let rt = rt();
+    let g = TGraph::from_records(
+        vec![
+            VertexRecord::new(1, Interval::new(0, 4), Props::typed("p").with("g", "a").with("w", 10i64)),
+            VertexRecord::new(2, Interval::new(0, 4), Props::typed("p").with("g", "a")),
+            VertexRecord::new(3, Interval::new(2, 6), Props::typed("p").with("g", "a").with("w", 30i64)),
+        ],
+        vec![],
+    );
+    let spec = AZoomSpec::by_property(
+        "g",
+        "grp",
+        vec![
+            AggSpec::count("n"),
+            AggSpec::new("total", AggFn::Sum("w".into())),
+            AggSpec::new("mean", AggFn::Avg("w".into())),
+        ],
+    );
+    let expected = canon(&azoom_reference(&g, &spec));
+    for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og] {
+        let got = canon(&AnyGraph::load(&rt, &g, kind).azoom(&rt, &spec).to_tgraph(&rt));
+        assert_eq!(got, expected, "{kind}");
+    }
+    // During [2,4): three members, two carry w → total 40, mean 20.
+    let mid = expected
+        .0
+        .iter()
+        .find(|v| v.interval.contains(2) && v.interval.contains(3))
+        .unwrap();
+    assert_eq!(mid.props.get("n").unwrap().as_int(), Some(3));
+    assert_eq!(mid.props.get("total").unwrap().as_f64(), Some(40.0));
+    assert_eq!(mid.props.get("mean").unwrap().as_f64(), Some(20.0));
+}
