@@ -8,8 +8,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tgraph_bench::datasets::{natural_group_key, snb, wikitalk, wikitalk_months, DatasetId};
 use tgraph_core::zoom::azoom::{AZoomSpec, AggSpec};
-use tgraph_datagen::{coarsen_time, inject_attribute_changes, project_random_groups};
 use tgraph_dataflow::Runtime;
+use tgraph_datagen::{coarsen_time, inject_attribute_changes, project_random_groups};
 use tgraph_repr::{AnyGraph, ReprKind};
 
 const SCALE: f64 = 0.05;
@@ -30,16 +30,12 @@ fn bench_fig10_datasize(c: &mut Criterion) {
     for months in [12u32, 36, 60] {
         let g = wikitalk_months(SCALE, months);
         for kind in REPRS {
-            group.bench_with_input(
-                BenchmarkId::new(kind.to_string(), months),
-                &g,
-                |b, g| {
-                    b.iter(|| {
-                        let loaded = AnyGraph::load(&rt, g, kind);
-                        std::hint::black_box(loaded.azoom(&rt, &spec));
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.to_string(), months), &g, |b, g| {
+                b.iter(|| {
+                    let loaded = AnyGraph::load(&rt, g, kind);
+                    std::hint::black_box(loaded.azoom(&rt, &spec));
+                })
+            });
         }
     }
     group.finish();
@@ -58,16 +54,12 @@ fn bench_fig11_snapshots(c: &mut Criterion) {
         let g = coarsen_time(&base, factor);
         let snaps = g.change_points().len().saturating_sub(1);
         for kind in REPRS {
-            group.bench_with_input(
-                BenchmarkId::new(kind.to_string(), snaps),
-                &g,
-                |b, g| {
-                    b.iter(|| {
-                        let loaded = AnyGraph::load(&rt, g, kind);
-                        std::hint::black_box(loaded.azoom(&rt, &spec));
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.to_string(), snaps), &g, |b, g| {
+                b.iter(|| {
+                    let loaded = AnyGraph::load(&rt, g, kind);
+                    std::hint::black_box(loaded.azoom(&rt, &spec));
+                })
+            });
         }
     }
     group.finish();

@@ -6,8 +6,8 @@ use tgraph_bench::datasets::{natural_group_key, wikitalk, DatasetId};
 use tgraph_bench::runner::CHAIN_PLANS;
 use tgraph_core::zoom::azoom::{AZoomSpec, AggSpec};
 use tgraph_core::zoom::wzoom::{Quantifier, WZoomSpec};
+use tgraph_dataflow::{Dataset, Runtime};
 use tgraph_datagen::project_random_groups;
-use tgraph_dataflow::Runtime;
 use tgraph_query::{CoalescePolicy, Pipeline};
 use tgraph_repr::{AnyGraph, ReprKind};
 
@@ -33,17 +33,13 @@ fn bench_fig16_chain_switch(c: &mut Criterion) {
     for window in [6u64, 24] {
         let wspec = WZoomSpec::points(window, Quantifier::All, Quantifier::All);
         for plan in CHAIN_PLANS {
-            group.bench_with_input(
-                BenchmarkId::new(plan.to_string(), window),
-                &g,
-                |b, g| {
-                    b.iter(|| {
-                        let loaded = AnyGraph::load(&rt, g, plan.first);
-                        let mid = loaded.azoom(&rt, &aspec).switch_to(&rt, plan.second);
-                        std::hint::black_box(mid.wzoom(&rt, &wspec));
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(plan.to_string(), window), &g, |b, g| {
+                b.iter(|| {
+                    let loaded = AnyGraph::load(&rt, g, plan.first);
+                    let mid = loaded.azoom(&rt, &aspec).switch_to(&rt, plan.second);
+                    std::hint::black_box(mid.wzoom(&rt, &wspec));
+                })
+            });
         }
     }
     group.finish();
@@ -85,12 +81,18 @@ fn bench_a2_lazy_coalesce(c: &mut Criterion) {
     let g = project_random_groups(&wikitalk(SCALE), 1_000, 42);
     let aspec = AZoomSpec::by_property("group", "group", vec![AggSpec::count("members")]);
     let wspec = WZoomSpec::points(6, Quantifier::Exists, Quantifier::Exists);
-    let pipeline = Pipeline::new().azoom(aspec.clone()).azoom(aspec).wzoom(wspec);
+    let pipeline = Pipeline::new()
+        .azoom(aspec.clone())
+        .azoom(aspec)
+        .wzoom(wspec);
     let mut group = c.benchmark_group("a2_lazy_coalesce");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(500));
-    for (name, policy) in [("lazy", CoalescePolicy::Lazy), ("eager", CoalescePolicy::Eager)] {
+    for (name, policy) in [
+        ("lazy", CoalescePolicy::Lazy),
+        ("eager", CoalescePolicy::Eager),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
             b.iter(|| {
                 let loaded = AnyGraph::load(&rt, g, ReprKind::Ve);
@@ -101,10 +103,46 @@ fn bench_a2_lazy_coalesce(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fusion ablation: the same narrow map→filter→map chain executed fused
+/// (one task wave per action) versus with a forced materialization after
+/// every operator — the eager per-operator execution the engine used to do.
+fn bench_fusion_ablation(c: &mut Criterion) {
+    let rt = Runtime::default_parallel();
+    let input: Vec<u64> = (0..1_000_000).collect();
+    let d = Dataset::from_vec_with(rt.partitions(), input);
+    let mut group = c.benchmark_group("narrow_chain_fusion");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("fused", |b| {
+        b.iter(|| {
+            let out = d
+                .map(|x| x.wrapping_mul(2_654_435_761))
+                .filter(|x| x % 3 != 0)
+                .map(|x| x ^ (x >> 7));
+            std::hint::black_box(out.count(&rt));
+        })
+    });
+    group.bench_function("eager", |b| {
+        b.iter(|| {
+            let out = d
+                .map(|x| x.wrapping_mul(2_654_435_761))
+                .materialize(&rt)
+                .filter(|x| x % 3 != 0)
+                .materialize(&rt)
+                .map(|x| x ^ (x >> 7))
+                .materialize(&rt);
+            std::hint::black_box(out.count(&rt));
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fig16_chain_switch,
     bench_fig17_chain_order,
-    bench_a2_lazy_coalesce
+    bench_a2_lazy_coalesce,
+    bench_fusion_ablation
 );
 criterion_main!(benches);

@@ -62,9 +62,7 @@ fn bench_pushdown(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(loader.load_ve(&rt, None).unwrap()))
     });
     group.bench_function("last_6_months", |b| {
-        b.iter(|| {
-            std::hint::black_box(loader.load_ve(&rt, Some(Interval::new(54, 60))).unwrap())
-        })
+        b.iter(|| std::hint::black_box(loader.load_ve(&rt, Some(Interval::new(54, 60))).unwrap()))
     });
     group.finish();
 }

@@ -21,16 +21,12 @@ fn bench_fig14_datasize(c: &mut Criterion) {
     for months in [12u32, 36, 60] {
         let g = wikitalk_months(SCALE, months);
         for kind in REPRS {
-            group.bench_with_input(
-                BenchmarkId::new(kind.to_string(), months),
-                &g,
-                |b, g| {
-                    b.iter(|| {
-                        let loaded = AnyGraph::load(&rt, g, kind);
-                        std::hint::black_box(loaded.wzoom(&rt, &spec));
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.to_string(), months), &g, |b, g| {
+                b.iter(|| {
+                    let loaded = AnyGraph::load(&rt, g, kind);
+                    std::hint::black_box(loaded.wzoom(&rt, &spec));
+                })
+            });
         }
     }
     group.finish();
@@ -47,16 +43,12 @@ fn bench_fig15_window(c: &mut Criterion) {
     for window in [2u64, 6, 24] {
         let spec = WZoomSpec::points(window, Quantifier::All, Quantifier::All);
         for kind in REPRS {
-            group.bench_with_input(
-                BenchmarkId::new(kind.to_string(), window),
-                &g,
-                |b, g| {
-                    b.iter(|| {
-                        let loaded = AnyGraph::load(&rt, g, kind);
-                        std::hint::black_box(loaded.wzoom(&rt, &spec));
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.to_string(), window), &g, |b, g| {
+                b.iter(|| {
+                    let loaded = AnyGraph::load(&rt, g, kind);
+                    std::hint::black_box(loaded.wzoom(&rt, &spec));
+                })
+            });
         }
     }
     group.finish();
@@ -73,20 +65,21 @@ fn bench_a3_quantifiers(c: &mut Criterion) {
     for (name, q) in [("all", Quantifier::All), ("exists", Quantifier::Exists)] {
         let spec = WZoomSpec::points(3, q, q);
         for kind in [ReprKind::Og, ReprKind::Ogc] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.to_string(), name),
-                &g,
-                |b, g| {
-                    b.iter(|| {
-                        let loaded = AnyGraph::load(&rt, g, kind);
-                        std::hint::black_box(loaded.wzoom(&rt, &spec));
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.to_string(), name), &g, |b, g| {
+                b.iter(|| {
+                    let loaded = AnyGraph::load(&rt, g, kind);
+                    std::hint::black_box(loaded.wzoom(&rt, &spec));
+                })
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_fig14_datasize, bench_fig15_window, bench_a3_quantifiers);
+criterion_group!(
+    benches,
+    bench_fig14_datasize,
+    bench_fig15_window,
+    bench_a3_quantifiers
+);
 criterion_main!(benches);

@@ -17,8 +17,19 @@ use tgraph_bench::experiments::{
 use tgraph_bench::Table;
 
 const ALL: &[&str] = &[
-    "datasets", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-    "load", "lazy", "quantifiers", "partitions",
+    "datasets",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "load",
+    "lazy",
+    "quantifiers",
+    "partitions",
 ];
 
 fn run_one(name: &str, cfg: &ExpConfig) -> Option<Vec<Table>> {
@@ -77,7 +88,10 @@ fn main() {
         }
     }
     if selected.is_empty() {
-        eprintln!("no experiment selected; use one of: all, {}", ALL.join(", "));
+        eprintln!(
+            "no experiment selected; use one of: all, {}",
+            ALL.join(", ")
+        );
         std::process::exit(2);
     }
 

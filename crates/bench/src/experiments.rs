@@ -7,16 +7,13 @@ use tgraph_core::zoom::azoom::{AZoomSpec, AggSpec};
 use tgraph_core::zoom::wzoom::{Quantifier, WZoomSpec};
 use tgraph_core::TGraph;
 use tgraph_dataflow::Runtime;
-use tgraph_datagen::{
-    coarsen_time, graph_stats, inject_attribute_changes, project_random_groups,
-};
+use tgraph_datagen::{coarsen_time, graph_stats, inject_attribute_changes, project_random_groups};
 use tgraph_query::{CoalescePolicy, Pipeline};
 use tgraph_repr::{AnyGraph, ReprKind};
 use tgraph_storage::{write_dataset, GraphLoader, SortOrder};
 
 use crate::datasets::{
-    natural_group_key, ngrams, ngrams_years, snb, snb_months, wikitalk, wikitalk_months,
-    DatasetId,
+    natural_group_key, ngrams, ngrams_years, snb, snb_months, wikitalk, wikitalk_months, DatasetId,
 };
 use crate::harness::{measure, Cell, Table};
 use crate::runner::{
@@ -38,7 +35,9 @@ impl Default for ExpConfig {
     fn default() -> Self {
         ExpConfig {
             scale: 1.0,
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             timeout: Duration::from_secs(60),
         }
     }
@@ -51,18 +50,41 @@ impl ExpConfig {
 }
 
 fn natural_azoom(id: DatasetId) -> AZoomSpec {
-    AZoomSpec::by_property(natural_group_key(id), "group", vec![AggSpec::count("members")])
+    AZoomSpec::by_property(
+        natural_group_key(id),
+        "group",
+        vec![AggSpec::count("members")],
+    )
 }
 
 fn group_azoom() -> AZoomSpec {
     AZoomSpec::by_property("group", "group", vec![AggSpec::count("members")])
 }
 
+/// Renders the executor's data-movement delta since `before` as a table
+/// footer: shuffle rounds (and elided ones), records and approximate bytes
+/// moved, plus the task/wave counts that show operator fusion at work.
+fn movement_note(rt: &Runtime, before: &tgraph_dataflow::RuntimeStats) -> String {
+    let d = rt.stats().since(before);
+    format!(
+        "moved: {} shuffle rounds ({} elided), {} records, ~{}; {} tasks in {} waves",
+        d.shuffles,
+        d.shuffles_elided,
+        d.shuffled_records,
+        crate::harness::fmt_bytes(d.shuffled_bytes),
+        d.tasks,
+        d.waves
+    )
+}
+
 /// T1 — the dataset summary table of §5 (vertices, edges, snapshots,
 /// evolution rate), for generated stand-ins at the configured scale.
 pub fn datasets_table(cfg: &ExpConfig) -> Vec<Table> {
     let mut t = Table::new(
-        format!("Datasets (scale {}) — paper: WikiTalk ev 14.4, SNB ev 89-91, NGrams ev 16-18", cfg.scale),
+        format!(
+            "Datasets (scale {}) — paper: WikiTalk ev 14.4, SNB ev 89-91, NGrams ev 16-18",
+            cfg.scale
+        ),
         vec![
             "vertices".into(),
             "edges".into(),
@@ -114,6 +136,7 @@ pub fn fig10(cfg: &ExpConfig) -> Vec<Table> {
     let mut tables = Vec::new();
     for id in [DatasetId::WikiTalk, DatasetId::Snb, DatasetId::NGrams] {
         let spec = natural_azoom(id);
+        let before = rt.stats();
         let mut t = Table::new(
             format!("Fig.10 aZoom^T vs data size — {id}"),
             reprs.iter().map(|r| r.to_string()).collect(),
@@ -134,6 +157,7 @@ pub fn fig10(cfg: &ExpConfig) -> Vec<Table> {
             }
             t.push_row(label, cells);
         }
+        t.set_note(movement_note(&rt, &before));
         tables.push(t);
     }
     tables
@@ -148,10 +172,19 @@ pub fn fig11(cfg: &ExpConfig) -> Vec<Table> {
 
     // WikiTalk / NGrams: merge consecutive snapshots of the full graph.
     for (id, base, factors) in [
-        (DatasetId::WikiTalk, wikitalk(cfg.scale), vec![30u32, 12, 6, 2, 1]),
-        (DatasetId::NGrams, ngrams(cfg.scale), vec![50u32, 20, 10, 4, 1]),
+        (
+            DatasetId::WikiTalk,
+            wikitalk(cfg.scale),
+            vec![30u32, 12, 6, 2, 1],
+        ),
+        (
+            DatasetId::NGrams,
+            ngrams(cfg.scale),
+            vec![50u32, 20, 10, 4, 1],
+        ),
     ] {
         let spec = natural_azoom(id);
+        let before = rt.stats();
         let mut t = Table::new(
             format!("Fig.11 aZoom^T vs #snapshots (fixed size) — {id}"),
             reprs.iter().map(|r| r.to_string()).collect(),
@@ -174,12 +207,14 @@ pub fn fig11(cfg: &ExpConfig) -> Vec<Table> {
             }
             t.push_row(format!("{snaps} snaps"), cells);
         }
+        t.set_note(movement_note(&rt, &before));
         tables.push(t);
     }
 
     // SNB: directly generate the desired number of snapshots.
     {
         let spec = natural_azoom(DatasetId::Snb);
+        let before = rt.stats();
         let mut t = Table::new(
             "Fig.11 aZoom^T vs #snapshots (fixed size) — SNB".to_string(),
             reprs.iter().map(|r| r.to_string()).collect(),
@@ -201,6 +236,7 @@ pub fn fig11(cfg: &ExpConfig) -> Vec<Table> {
             }
             t.push_row(format!("{months} snaps"), cells);
         }
+        t.set_note(movement_note(&rt, &before));
         tables.push(t);
     }
     tables
@@ -217,6 +253,7 @@ pub fn fig12(cfg: &ExpConfig) -> Vec<Table> {
         (DatasetId::Snb, snb(cfg.scale)),
         (DatasetId::NGrams, ngrams(cfg.scale)),
     ] {
+        let before = rt.stats();
         let mut t = Table::new(
             format!("Fig.12 aZoom^T vs group-by cardinality — {id}"),
             reprs.iter().map(|r| r.to_string()).collect(),
@@ -238,6 +275,7 @@ pub fn fig12(cfg: &ExpConfig) -> Vec<Table> {
             }
             t.push_row(format!("card {card}"), cells);
         }
+        t.set_note(movement_note(&rt, &before));
         tables.push(t);
     }
     tables
@@ -254,6 +292,7 @@ pub fn fig13(cfg: &ExpConfig) -> Vec<Table> {
         (DatasetId::Snb, snb(cfg.scale)),
     ] {
         let spec = natural_azoom(id);
+        let before = rt.stats();
         let mut t = Table::new(
             format!("Fig.13 aZoom^T vs frequency of change — {id}"),
             reprs.iter().map(|r| r.to_string()).collect(),
@@ -276,6 +315,7 @@ pub fn fig13(cfg: &ExpConfig) -> Vec<Table> {
             }
             t.push_row(format!("every {period}"), cells);
         }
+        t.set_note(movement_note(&rt, &before));
         tables.push(t);
     }
     tables
@@ -293,6 +333,7 @@ pub fn fig14(cfg: &ExpConfig) -> Vec<Table> {
             _ => 3,
         };
         let spec = WZoomSpec::points(window, Quantifier::Exists, Quantifier::Exists);
+        let before = rt.stats();
         let mut t = Table::new(
             format!("Fig.14 wZoom^T vs data size (window {window}) — {id}"),
             reprs.iter().map(|r| r.to_string()).collect(),
@@ -313,6 +354,7 @@ pub fn fig14(cfg: &ExpConfig) -> Vec<Table> {
             }
             t.push_row(label, cells);
         }
+        t.set_note(movement_note(&rt, &before));
         tables.push(t);
     }
     tables
@@ -325,10 +367,19 @@ pub fn fig15(cfg: &ExpConfig) -> Vec<Table> {
     let reprs = [ReprKind::Rg, ReprKind::Ve, ReprKind::Og, ReprKind::Ogc];
     let mut tables = Vec::new();
     for (id, g, windows) in [
-        (DatasetId::WikiTalk, wikitalk(cfg.scale), vec![2u64, 3, 6, 12, 24]),
+        (
+            DatasetId::WikiTalk,
+            wikitalk(cfg.scale),
+            vec![2u64, 3, 6, 12, 24],
+        ),
         (DatasetId::Snb, snb(cfg.scale), vec![2u64, 3, 6, 12, 24]),
-        (DatasetId::NGrams, ngrams(cfg.scale), vec![5u64, 10, 25, 50, 100]),
+        (
+            DatasetId::NGrams,
+            ngrams(cfg.scale),
+            vec![5u64, 10, 25, 50, 100],
+        ),
     ] {
+        let before = rt.stats();
         let mut t = Table::new(
             format!("Fig.15 wZoom^T vs window size — {id}"),
             reprs.iter().map(|r| r.to_string()).collect(),
@@ -350,6 +401,7 @@ pub fn fig15(cfg: &ExpConfig) -> Vec<Table> {
             }
             t.push_row(format!("window {w}"), cells);
         }
+        t.set_note(movement_note(&rt, &before));
         tables.push(t);
     }
     tables
@@ -361,11 +413,20 @@ pub fn fig16(cfg: &ExpConfig) -> Vec<Table> {
     let rt = cfg.runtime();
     let mut tables = Vec::new();
     for (id, g, windows) in [
-        (DatasetId::WikiTalk, wikitalk(cfg.scale), vec![2u64, 6, 12, 24]),
+        (
+            DatasetId::WikiTalk,
+            wikitalk(cfg.scale),
+            vec![2u64, 6, 12, 24],
+        ),
         (DatasetId::Snb, snb(cfg.scale), vec![2u64, 6, 12, 24]),
-        (DatasetId::NGrams, ngrams(cfg.scale * 0.5), vec![5u64, 10, 25, 50]),
+        (
+            DatasetId::NGrams,
+            ngrams(cfg.scale * 0.5),
+            vec![5u64, 10, 25, 50],
+        ),
     ] {
         let aspec = natural_azoom(id);
+        let before = rt.stats();
         let mut t = Table::new(
             format!("Fig.16 aZoom^T·wZoom^T chain, representation switching — {id}"),
             CHAIN_PLANS.iter().map(|p| p.to_string()).collect(),
@@ -378,6 +439,7 @@ pub fn fig16(cfg: &ExpConfig) -> Vec<Table> {
                 .collect();
             t.push_row(format!("window {w}"), cells);
         }
+        t.set_note(movement_note(&rt, &before));
         tables.push(t);
     }
     tables
@@ -401,6 +463,7 @@ pub fn fig17(cfg: &ExpConfig) -> Vec<Table> {
             (CHAIN_PLANS[0], "wz-az VE"),
             (CHAIN_PLANS[1], "wz-az OG"),
         ];
+        let before = rt.stats();
         let mut t = Table::new(
             format!("Fig.17 zoom order vs cardinality (window {window}) — {id}"),
             plans.iter().map(|(_, n)| n.to_string()).collect(),
@@ -420,6 +483,7 @@ pub fn fig17(cfg: &ExpConfig) -> Vec<Table> {
                 .collect();
             t.push_row(format!("card {card}"), cells);
         }
+        t.set_note(movement_note(&rt, &before));
         tables.push(t);
     }
     tables
@@ -434,6 +498,7 @@ pub fn load_locality(cfg: &ExpConfig) -> Vec<Table> {
     write_dataset(&dir, "wiki", &g).expect("write dataset");
     let loader = GraphLoader::new(&dir, "wiki");
 
+    let before = rt.stats();
     let mut t = Table::new(
         "A1: load locality — RG/VE from both sort orders, OG nested vs flat",
         vec!["time".into()],
@@ -476,6 +541,7 @@ pub fn load_locality(cfg: &ExpConfig) -> Vec<Table> {
         let cell = measure(cfg.timeout, run);
         t.push_row(label, vec![cell]);
     }
+    t.set_note(movement_note(&rt, &before));
     vec![t]
 }
 
@@ -490,14 +556,22 @@ pub fn lazy_coalesce(cfg: &ExpConfig) -> Vec<Table> {
         .azoom(aspec)
         .wzoom(wspec);
 
-    let mut t = Table::new("A2: lazy vs eager coalescing (aZoom·aZoom·wZoom on VE)", vec!["time".into()]);
-    for (label, policy) in [("lazy", CoalescePolicy::Lazy), ("eager", CoalescePolicy::Eager)] {
+    let before = rt.stats();
+    let mut t = Table::new(
+        "A2: lazy vs eager coalescing (aZoom·aZoom·wZoom on VE)",
+        vec!["time".into()],
+    );
+    for (label, policy) in [
+        ("lazy", CoalescePolicy::Lazy),
+        ("eager", CoalescePolicy::Eager),
+    ] {
         let cell = measure(cfg.timeout, || {
             let loaded = AnyGraph::load(&rt, &base, ReprKind::Ve);
             let _ = pipeline.execute(&rt, loaded, policy);
         });
         t.push_row(label, vec![cell]);
     }
+    t.set_note(movement_note(&rt, &before));
     vec![t]
 }
 
@@ -507,6 +581,7 @@ pub fn quantifiers(cfg: &ExpConfig) -> Vec<Table> {
     let rt = cfg.runtime();
     let g = wikitalk(cfg.scale);
     let reprs = [ReprKind::Rg, ReprKind::Ve, ReprKind::Og, ReprKind::Ogc];
+    let before = rt.stats();
     let mut t = Table::new(
         "A3: wZoom^T quantifier strength (window 3, WikiTalk)",
         reprs.iter().map(|r| r.to_string()).collect(),
@@ -524,6 +599,7 @@ pub fn quantifiers(cfg: &ExpConfig) -> Vec<Table> {
             .collect();
         t.push_row(label, cells);
     }
+    t.set_note(movement_note(&rt, &before));
     vec![t]
 }
 
@@ -538,15 +614,19 @@ pub fn partitions(cfg: &ExpConfig) -> Vec<Table> {
         vec!["VE".into(), "OG".into()],
     );
     let mut w = 1;
+    let mut notes = Vec::new();
     while w <= max {
         let rt = Runtime::new(w);
         let cells = vec![
             run_azoom(&rt, &g, ReprKind::Ve, &spec, cfg.timeout),
             run_azoom(&rt, &g, ReprKind::Og, &spec, cfg.timeout),
         ];
+        // Each worker count gets a fresh runtime, so report movement per row.
+        notes.push(format!("{w}w {}", movement_note(&rt, &Default::default())));
         t.push_row(format!("{w} workers"), cells);
         w *= 2;
     }
+    t.set_note(notes.join("\n  "));
     vec![t]
 }
 
@@ -555,7 +635,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpConfig {
-        ExpConfig { scale: 0.01, workers: 2, timeout: Duration::from_secs(120) }
+        ExpConfig {
+            scale: 0.01,
+            workers: 2,
+            timeout: Duration::from_secs(120),
+        }
     }
 
     #[test]
@@ -568,7 +652,10 @@ mod tests {
 
     #[test]
     fn fig12_runs_at_tiny_scale() {
-        let tables = fig12(&ExpConfig { scale: 0.005, ..tiny() });
+        let tables = fig12(&ExpConfig {
+            scale: 0.005,
+            ..tiny()
+        });
         assert_eq!(tables.len(), 3);
         // Every row has 3 representation cells with measurements.
         for t in &tables {
@@ -581,7 +668,10 @@ mod tests {
 
     #[test]
     fn quantifier_tables_have_all_reprs() {
-        let tables = quantifiers(&ExpConfig { scale: 0.005, ..tiny() });
+        let tables = quantifiers(&ExpConfig {
+            scale: 0.005,
+            ..tiny()
+        });
         for (_, cells) in tables[0].rows() {
             assert_eq!(cells.len(), 4);
         }

@@ -63,18 +63,35 @@ pub fn measure(timeout: Duration, f: impl FnOnce()) -> Cell {
     }
 }
 
-/// A printable result table: header plus rows of labelled cells.
+/// A printable result table: header plus rows of labelled cells, with an
+/// optional footer note (used for per-experiment data-movement summaries).
 #[derive(Clone, Debug, Default)]
 pub struct Table {
     title: String,
     columns: Vec<String>,
     rows: Vec<(String, Vec<Cell>)>,
+    note: Option<String>,
 }
 
 impl Table {
     /// Creates a table titled `title` with value column headers `columns`.
     pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
-        Table { title: title.into(), columns, rows: Vec::new() }
+        Table {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+            note: None,
+        }
+    }
+
+    /// Attaches a footer note printed below the rows.
+    pub fn set_note(&mut self, note: impl Into<String>) {
+        self.note = Some(note.into());
+    }
+
+    /// The footer note, if any.
+    pub fn note(&self) -> Option<&str> {
+        self.note.as_deref()
     }
 
     /// Appends a labelled row.
@@ -111,7 +128,26 @@ impl Table {
             }
             let _ = writeln!(out);
         }
+        if let Some(note) = &self.note {
+            let _ = writeln!(out, "  {note}");
+        }
         out
+    }
+}
+
+/// Formats a byte count with a binary-prefix unit.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
     }
 }
 
@@ -133,14 +169,35 @@ mod tests {
     #[test]
     fn table_renders_aligned() {
         let mut t = Table::new("demo", vec!["a".into(), "b".into()]);
-        t.push_row("row-one", vec![Cell::Time(Duration::from_millis(1500)), Cell::Skipped]);
-        t.push_row("r2", vec![Cell::NotSupported, Cell::TimedOut(Duration::from_secs(2))]);
+        t.push_row(
+            "row-one",
+            vec![Cell::Time(Duration::from_millis(1500)), Cell::Skipped],
+        );
+        t.push_row(
+            "r2",
+            vec![Cell::NotSupported, Cell::TimedOut(Duration::from_secs(2))],
+        );
         let s = t.render();
         assert!(s.contains("## demo"));
         assert!(s.contains("row-one"));
         assert!(s.contains("1.500s"));
         assert!(s.contains("n/a"));
         assert!(s.contains("TO(2.0s)"));
+    }
+
+    #[test]
+    fn table_renders_note() {
+        let mut t = Table::new("demo", vec![]);
+        t.set_note("moved 12 records");
+        assert!(t.render().contains("moved 12 records"));
+        assert_eq!(t.note(), Some("moved 12 records"));
+    }
+
+    #[test]
+    fn bytes_format() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0 MiB");
     }
 
     #[test]

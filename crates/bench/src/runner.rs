@@ -11,7 +11,7 @@ use std::time::Duration;
 use tgraph_core::zoom::{AZoomSpec, WZoomSpec};
 use tgraph_core::TGraph;
 use tgraph_dataflow::Runtime;
-use tgraph_repr::{AnyGraph, OgcGraph, OgGraph, ReprKind, RgGraph, VeGraph};
+use tgraph_repr::{AnyGraph, OgGraph, OgcGraph, ReprKind, RgGraph, VeGraph};
 
 use crate::harness::{measure, Cell};
 
@@ -80,10 +80,22 @@ impl std::fmt::Display for ChainPlan {
 
 /// The four chain plans of Figure 16: VE, OG, VE→OG, OG→VE.
 pub const CHAIN_PLANS: [ChainPlan; 4] = [
-    ChainPlan { first: ReprKind::Ve, second: ReprKind::Ve },
-    ChainPlan { first: ReprKind::Og, second: ReprKind::Og },
-    ChainPlan { first: ReprKind::Ve, second: ReprKind::Og },
-    ChainPlan { first: ReprKind::Og, second: ReprKind::Ve },
+    ChainPlan {
+        first: ReprKind::Ve,
+        second: ReprKind::Ve,
+    },
+    ChainPlan {
+        first: ReprKind::Og,
+        second: ReprKind::Og,
+    },
+    ChainPlan {
+        first: ReprKind::Ve,
+        second: ReprKind::Og,
+    },
+    ChainPlan {
+        first: ReprKind::Og,
+        second: ReprKind::Ve,
+    },
 ];
 
 /// Runs `aZoom^T` then `wZoom^T` under a chain plan (Fig. 16).
@@ -142,13 +154,20 @@ mod tests {
         for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og] {
             assert!(run_azoom(&rt, &g, kind, &aspec, t).seconds().is_some());
         }
-        assert_eq!(run_azoom(&rt, &g, ReprKind::Ogc, &aspec, t), Cell::NotSupported);
+        assert_eq!(
+            run_azoom(&rt, &g, ReprKind::Ogc, &aspec, t),
+            Cell::NotSupported
+        );
         for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og, ReprKind::Ogc] {
             assert!(run_wzoom(&rt, &g, kind, &wspec, t).seconds().is_some());
         }
         for plan in CHAIN_PLANS {
-            assert!(run_chain_azoom_wzoom(&rt, &g, plan, &aspec, &wspec, t).seconds().is_some());
-            assert!(run_chain_wzoom_azoom(&rt, &g, plan, &aspec, &wspec, t).seconds().is_some());
+            assert!(run_chain_azoom_wzoom(&rt, &g, plan, &aspec, &wspec, t)
+                .seconds()
+                .is_some());
+            assert!(run_chain_wzoom_azoom(&rt, &g, plan, &aspec, &wspec, t)
+                .seconds()
+                .is_some());
         }
     }
 

@@ -154,11 +154,18 @@ pub fn subgraph(g: &TGraph, vertex_pred: &Predicate, edge_pred: &Predicate) -> T
             joint
                 .into_iter()
                 .filter_map(|iv| iv.intersect(&e.interval))
-                .map(|interval| EdgeRecord { interval, ..e.clone() })
+                .map(|interval| EdgeRecord {
+                    interval,
+                    ..e.clone()
+                })
                 .collect::<Vec<_>>()
         })
         .collect();
-    coalesce_graph(&TGraph { lifespan: g.lifespan, vertices, edges })
+    coalesce_graph(&TGraph {
+        lifespan: g.lifespan,
+        vertices,
+        edges,
+    })
 }
 
 /// Attribute projection: restricts vertex properties to `vertex_keys` and
@@ -168,14 +175,24 @@ pub fn project(g: &TGraph, vertex_keys: &[&str], edge_keys: &[&str]) -> TGraph {
     let vertices = g
         .vertices
         .iter()
-        .map(|v| VertexRecord { props: v.props.project(vertex_keys), ..v.clone() })
+        .map(|v| VertexRecord {
+            props: v.props.project(vertex_keys),
+            ..v.clone()
+        })
         .collect();
     let edges = g
         .edges
         .iter()
-        .map(|e| EdgeRecord { props: e.props.project(edge_keys), ..e.clone() })
+        .map(|e| EdgeRecord {
+            props: e.props.project(edge_keys),
+            ..e.clone()
+        })
         .collect();
-    coalesce_graph(&TGraph { lifespan: g.lifespan, vertices, edges })
+    coalesce_graph(&TGraph {
+        lifespan: g.lifespan,
+        vertices,
+        edges,
+    })
 }
 
 /// Point-semantics union: an entity exists in the result wherever it exists
@@ -200,14 +217,20 @@ pub fn union(left: &TGraph, right: &TGraph) -> TGraph {
     for v in &right.vertices {
         let mask = v_mask.get(&v.vid).cloned().unwrap_or_default();
         for piece in subtract_all(v.interval, &mask) {
-            vertices.push(VertexRecord { interval: piece, ..v.clone() });
+            vertices.push(VertexRecord {
+                interval: piece,
+                ..v.clone()
+            });
         }
     }
     let mut edges = left.edges.clone();
     for e in &right.edges {
         let mask = e_mask.get(&e.eid).cloned().unwrap_or_default();
         for piece in subtract_all(e.interval, &mask) {
-            edges.push(EdgeRecord { interval: piece, ..e.clone() });
+            edges.push(EdgeRecord {
+                interval: piece,
+                ..e.clone()
+            });
         }
     }
     clip_dangling(&TGraph {
@@ -222,7 +245,10 @@ pub fn union(left: &TGraph, right: &TGraph) -> TGraph {
 pub fn intersection(left: &TGraph, right: &TGraph) -> TGraph {
     let mut r_vertices: HashMap<crate::graph::VertexId, Vec<(Interval, Props)>> = HashMap::new();
     for v in &right.vertices {
-        r_vertices.entry(v.vid).or_default().push((v.interval, v.props.clone()));
+        r_vertices
+            .entry(v.vid)
+            .or_default()
+            .push((v.interval, v.props.clone()));
     }
     let mut vertices = Vec::new();
     for v in &left.vertices {
@@ -230,14 +256,21 @@ pub fn intersection(left: &TGraph, right: &TGraph) -> TGraph {
             for (iv, props) in states {
                 if *props == v.props {
                     if let Some(x) = v.interval.intersect(iv) {
-                        vertices.push(VertexRecord { interval: x, ..v.clone() });
+                        vertices.push(VertexRecord {
+                            interval: x,
+                            ..v.clone()
+                        });
                     }
                 }
             }
         }
     }
     let mut r_edges: HashMap<
-        (crate::graph::EdgeId, crate::graph::VertexId, crate::graph::VertexId),
+        (
+            crate::graph::EdgeId,
+            crate::graph::VertexId,
+            crate::graph::VertexId,
+        ),
         Vec<(Interval, Props)>,
     > = HashMap::new();
     for e in &right.edges {
@@ -252,7 +285,10 @@ pub fn intersection(left: &TGraph, right: &TGraph) -> TGraph {
             for (iv, props) in states {
                 if *props == e.props {
                     if let Some(x) = e.interval.intersect(iv) {
-                        edges.push(EdgeRecord { interval: x, ..e.clone() });
+                        edges.push(EdgeRecord {
+                            interval: x,
+                            ..e.clone()
+                        });
                     }
                 }
             }
@@ -283,17 +319,27 @@ pub fn difference(left: &TGraph, right: &TGraph) -> TGraph {
     for v in &left.vertices {
         let mask = v_mask.get(&v.vid).cloned().unwrap_or_default();
         for piece in subtract_all(v.interval, &mask) {
-            vertices.push(VertexRecord { interval: piece, ..v.clone() });
+            vertices.push(VertexRecord {
+                interval: piece,
+                ..v.clone()
+            });
         }
     }
     let mut edges = Vec::new();
     for e in &left.edges {
         let mask = e_mask.get(&e.eid).cloned().unwrap_or_default();
         for piece in subtract_all(e.interval, &mask) {
-            edges.push(EdgeRecord { interval: piece, ..e.clone() });
+            edges.push(EdgeRecord {
+                interval: piece,
+                ..e.clone()
+            });
         }
     }
-    clip_dangling(&TGraph { lifespan: left.lifespan, vertices, edges })
+    clip_dangling(&TGraph {
+        lifespan: left.lifespan,
+        vertices,
+        edges,
+    })
 }
 
 /// Clips edges to their endpoints' existence and coalesces — the generic
@@ -318,11 +364,18 @@ fn clip_dangling(g: &TGraph) -> TGraph {
             joint
                 .into_iter()
                 .filter_map(|iv| iv.intersect(&e.interval))
-                .map(|interval| EdgeRecord { interval, ..e.clone() })
+                .map(|interval| EdgeRecord {
+                    interval,
+                    ..e.clone()
+                })
                 .collect::<Vec<_>>()
         })
         .collect();
-    coalesce_graph(&TGraph { lifespan: g.lifespan, vertices: g.vertices.clone(), edges })
+    coalesce_graph(&TGraph {
+        lifespan: g.lifespan,
+        vertices: g.vertices.clone(),
+        edges,
+    })
 }
 
 #[cfg(test)]
@@ -333,7 +386,9 @@ mod tests {
 
     #[test]
     fn predicate_evaluation() {
-        let p = Props::typed("person").with("school", "MIT").with("age", 30i64);
+        let p = Props::typed("person")
+            .with("school", "MIT")
+            .with("age", 30i64);
         assert!(Predicate::True.eval(&p));
         assert!(Predicate::has("school").eval(&p));
         assert!(!Predicate::has("city").eval(&p));
@@ -342,8 +397,12 @@ mod tests {
         assert!(Predicate::Lt(Arc::from("age"), Value::Int(40)).eval(&p));
         assert!(Predicate::Gt(Arc::from("age"), Value::Int(18)).eval(&p));
         assert!(Predicate::TypeIs(Arc::from("person")).eval(&p));
-        assert!(Predicate::eq("school", "MIT").and(Predicate::has("age")).eval(&p));
-        assert!(Predicate::eq("school", "CMU").or(Predicate::has("age")).eval(&p));
+        assert!(Predicate::eq("school", "MIT")
+            .and(Predicate::has("age"))
+            .eval(&p));
+        assert!(Predicate::eq("school", "CMU")
+            .or(Predicate::has("age"))
+            .eval(&p));
         assert!(Predicate::eq("school", "CMU").negate().eval(&p));
     }
 
@@ -371,7 +430,10 @@ mod tests {
         let e1 = sub.edges.iter().find(|e| e.eid.0 == 1).unwrap();
         assert_eq!(e1.interval, Interval::new(5, 7));
         // e2 (Bob→Cat, [7,9)) survives fully.
-        assert!(sub.edges.iter().any(|e| e.eid.0 == 2 && e.interval == Interval::new(7, 9)));
+        assert!(sub
+            .edges
+            .iter()
+            .any(|e| e.eid.0 == 2 && e.interval == Interval::new(7, 9)));
     }
 
     #[test]
@@ -399,11 +461,19 @@ mod tests {
     #[test]
     fn union_left_wins_on_conflict() {
         let a = TGraph::from_records(
-            vec![VertexRecord::new(1, Interval::new(0, 4), Props::typed("n").with("x", 1i64))],
+            vec![VertexRecord::new(
+                1,
+                Interval::new(0, 4),
+                Props::typed("n").with("x", 1i64),
+            )],
             vec![],
         );
         let b = TGraph::from_records(
-            vec![VertexRecord::new(1, Interval::new(2, 6), Props::typed("n").with("x", 2i64))],
+            vec![VertexRecord::new(
+                1,
+                Interval::new(2, 6),
+                Props::typed("n").with("x", 2i64),
+            )],
             vec![],
         );
         let u = union(&a, &b);
@@ -428,7 +498,11 @@ mod tests {
     #[test]
     fn intersection_requires_value_equivalence() {
         let a = TGraph::from_records(
-            vec![VertexRecord::new(1, Interval::new(0, 6), Props::typed("n").with("x", 1i64))],
+            vec![VertexRecord::new(
+                1,
+                Interval::new(0, 6),
+                Props::typed("n").with("x", 1i64),
+            )],
             vec![],
         );
         let b = TGraph::from_records(
@@ -472,7 +546,11 @@ mod tests {
         let g = figure1_graph_stable_ids();
         // Remove only Bob.
         let bob_only = TGraph::from_records(
-            g.vertices.iter().filter(|v| v.vid.0 == 2).cloned().collect(),
+            g.vertices
+                .iter()
+                .filter(|v| v.vid.0 == 2)
+                .cloned()
+                .collect(),
             vec![],
         );
         let d = difference(&g, &bob_only);

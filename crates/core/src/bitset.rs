@@ -14,7 +14,10 @@ pub struct Bitset {
 impl Bitset {
     /// Creates an all-zero bitset over `len` positions.
     pub fn new(len: usize) -> Self {
-        Bitset { words: vec![0; len.div_ceil(64)], len }
+        Bitset {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Number of positions.
@@ -193,7 +196,7 @@ mod tests {
         let ann = Bitset::from_ones(3, [0, 1]);
         let bob = Bitset::from_ones(3, [1, 2]);
         let e1 = Bitset::from_ones(3, [1]); // valid [2,7)
-        // Dangling-edge removal: e1 & ann & bob keeps bit 1 only.
+                                            // Dangling-edge removal: e1 & ann & bob keeps bit 1 only.
         let mut e = e1.clone();
         e.and_with(&ann);
         e.and_with(&bob);

@@ -70,7 +70,11 @@ pub fn coalesce_vertices(vertices: Vec<VertexRecord>) -> Vec<VertexRecord> {
         |v| v.vid,
         |v| v.interval,
         |v| v.props.clone(),
-        |vid, interval, props| VertexRecord { vid: *vid, interval, props },
+        |vid, interval, props| VertexRecord {
+            vid: *vid,
+            interval,
+            props,
+        },
     )
 }
 
@@ -100,7 +104,11 @@ pub fn coalesce_graph(g: &TGraph) -> TGraph {
     let mut edges = coalesce_edges(g.edges.clone());
     vertices.sort_by_key(|v| (v.vid, v.interval.start));
     edges.sort_by_key(|e| (e.eid, e.interval.start));
-    TGraph { lifespan: g.lifespan, vertices, edges }
+    TGraph {
+        lifespan: g.lifespan,
+        vertices,
+        edges,
+    }
 }
 
 /// Whether a keyed temporal relation is already coalesced: no two
@@ -166,28 +174,19 @@ mod tests {
 
     #[test]
     fn merges_overlapping_equal_values() {
-        let out = coalesce_group(vec![
-            (Interval::new(1, 4), "a"),
-            (Interval::new(2, 6), "a"),
-        ]);
+        let out = coalesce_group(vec![(Interval::new(1, 4), "a"), (Interval::new(2, 6), "a")]);
         assert_eq!(out, vec![(Interval::new(1, 6), "a")]);
     }
 
     #[test]
     fn keeps_gap_separated_values() {
-        let out = coalesce_group(vec![
-            (Interval::new(1, 3), "a"),
-            (Interval::new(5, 7), "a"),
-        ]);
+        let out = coalesce_group(vec![(Interval::new(1, 3), "a"), (Interval::new(5, 7), "a")]);
         assert_eq!(out.len(), 2);
     }
 
     #[test]
     fn drops_empty_intervals() {
-        let out = coalesce_group(vec![
-            (Interval::empty(), "a"),
-            (Interval::new(1, 2), "a"),
-        ]);
+        let out = coalesce_group(vec![(Interval::empty(), "a"), (Interval::new(1, 2), "a")]);
         assert_eq!(out, vec![(Interval::new(1, 2), "a")]);
     }
 

@@ -57,7 +57,11 @@ pub struct VertexRecord {
 impl VertexRecord {
     /// Creates a vertex fact.
     pub fn new(vid: u64, interval: Interval, props: Props) -> Self {
-        VertexRecord { vid: VertexId(vid), interval, props }
+        VertexRecord {
+            vid: VertexId(vid),
+            interval,
+            props,
+        }
     }
 }
 
@@ -110,7 +114,11 @@ pub struct TGraph {
 impl TGraph {
     /// Creates an empty TGraph with an empty lifespan.
     pub fn new() -> Self {
-        TGraph { lifespan: Interval::empty(), vertices: Vec::new(), edges: Vec::new() }
+        TGraph {
+            lifespan: Interval::empty(),
+            vertices: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Builds a TGraph from records, deriving the lifespan as the hull of all
@@ -123,7 +131,11 @@ impl TGraph {
         for e in &edges {
             lifespan = lifespan.hull(&e.interval);
         }
-        TGraph { lifespan, vertices, edges }
+        TGraph {
+            lifespan,
+            vertices,
+            edges,
+        }
     }
 
     /// Number of vertex facts (tuples, not distinct vertices).
@@ -267,10 +279,22 @@ pub fn figure1_graph() -> TGraph {
     };
     TGraph::from_records(
         vec![
-            VertexRecord::new(1, Interval::new(1, 7), person(Some("MIT")).with("name", "Ann")),
+            VertexRecord::new(
+                1,
+                Interval::new(1, 7),
+                person(Some("MIT")).with("name", "Ann"),
+            ),
             VertexRecord::new(2, Interval::new(2, 5), person(None).with("name", "Bob")),
-            VertexRecord::new(5, Interval::new(5, 9), person(Some("CMU")).with("name", "Bob")),
-            VertexRecord::new(3, Interval::new(1, 9), person(Some("MIT")).with("name", "Cat")),
+            VertexRecord::new(
+                5,
+                Interval::new(5, 9),
+                person(Some("CMU")).with("name", "Bob"),
+            ),
+            VertexRecord::new(
+                3,
+                Interval::new(1, 9),
+                person(Some("MIT")).with("name", "Cat"),
+            ),
         ],
         vec![
             EdgeRecord::new(1, 1, 2, Interval::new(2, 5), Props::typed("co-author")),

@@ -50,6 +50,8 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// Dataflow operator signatures nest tuples and Arcs deeply by design.
+#![allow(clippy::type_complexity)]
 
 pub mod algebra;
 pub mod bitset;

@@ -187,8 +187,10 @@ impl Props {
         K: Into<Key>,
         V: Into<Value>,
     {
-        let mut v: Vec<(Key, Value)> =
-            pairs.into_iter().map(|(k, val)| (k.into(), val.into())).collect();
+        let mut v: Vec<(Key, Value)> = pairs
+            .into_iter()
+            .map(|(k, val)| (k.into(), val.into()))
+            .collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v.dedup_by(|a, b| {
             if a.0 == b.0 {
@@ -249,8 +251,12 @@ impl Props {
 
     /// Returns a new property set without `key`.
     pub fn without(&self, key: &str) -> Self {
-        let v: Vec<(Key, Value)> =
-            self.0.iter().filter(|(k, _)| k.as_ref() != key).cloned().collect();
+        let v: Vec<(Key, Value)> = self
+            .0
+            .iter()
+            .filter(|(k, _)| k.as_ref() != key)
+            .cloned()
+            .collect();
         Props(Arc::from(v))
     }
 
@@ -351,7 +357,7 @@ mod tests {
 
     #[test]
     fn value_ordering_is_total() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Str(Arc::from("z")),
             Value::Int(3),
             Value::Bool(false),

@@ -38,7 +38,11 @@ pub fn azoom_static(snapshot: &StaticGraph, spec: &AZoomSpec) -> StaticGraph {
     for (vid, props) in &snapshot.vertices {
         if let Some((gid, base)) = spec.skolemize(*vid, props) {
             mapping.insert(*vid, gid);
-            groups.entry(gid).or_insert_with(|| (base, Vec::new())).1.push(props.clone());
+            groups
+                .entry(gid)
+                .or_insert_with(|| (base, Vec::new()))
+                .1
+                .push(props.clone());
         }
     }
 
@@ -50,7 +54,8 @@ pub fn azoom_static(snapshot: &StaticGraph, spec: &AZoomSpec) -> StaticGraph {
     // Re-point edges; drop those with an unmapped endpoint.
     for (eid, (src, dst, props)) in &snapshot.edges {
         if let (Some(gs), Some(gd)) = (mapping.get(src), mapping.get(dst)) {
-            out.edges.insert(*eid, (VertexId(*gs), VertexId(*gd), props.clone()));
+            out.edges
+                .insert(*eid, (VertexId(*gs), VertexId(*gd), props.clone()));
         }
     }
     out
@@ -63,13 +68,27 @@ pub fn azoom_reference(g: &TGraph, spec: &AZoomSpec) -> TGraph {
     for t in g.lifespan.points() {
         let zoomed = azoom_static(&g.at(t), spec);
         for (vid, props) in zoomed.vertices {
-            vertices.push(VertexRecord { vid, interval: Interval::point(t), props });
+            vertices.push(VertexRecord {
+                vid,
+                interval: Interval::point(t),
+                props,
+            });
         }
         for (eid, (src, dst, props)) in zoomed.edges {
-            edges.push(EdgeRecord { eid, src, dst, interval: Interval::point(t), props });
+            edges.push(EdgeRecord {
+                eid,
+                src,
+                dst,
+                interval: Interval::point(t),
+                props,
+            });
         }
     }
-    let mut out = TGraph { lifespan: g.lifespan, vertices, edges };
+    let mut out = TGraph {
+        lifespan: g.lifespan,
+        vertices,
+        edges,
+    };
     out = coalesce_graph(&out);
     out
 }
@@ -83,7 +102,10 @@ pub fn wzoom_reference(g: &TGraph, spec: &WZoomSpec) -> TGraph {
     let g = coalesce_graph(g);
     let windows = window_relation(g.lifespan, &g.change_points(), spec.window);
     if windows.is_empty() {
-        return TGraph { lifespan: g.lifespan, ..TGraph::new() };
+        return TGraph {
+            lifespan: g.lifespan,
+            ..TGraph::new()
+        };
     }
 
     // Vertex retention and resolution per window.
@@ -96,7 +118,9 @@ pub fn wzoom_reference(g: &TGraph, spec: &WZoomSpec) -> TGraph {
         for v in &g.vertices {
             for (idx, w) in windows.iter().enumerate() {
                 if let Some(covered) = v.interval.intersect(w) {
-                    per.entry((idx, v.vid)).or_default().push((covered, v.props.clone()));
+                    per.entry((idx, v.vid))
+                        .or_default()
+                        .push((covered, v.props.clone()));
                 }
             }
         }
@@ -106,7 +130,11 @@ pub fn wzoom_reference(g: &TGraph, spec: &WZoomSpec) -> TGraph {
             let r = covered as f64 / window.len() as f64;
             if spec.vertex_quantifier.satisfied(r) {
                 let props = spec.resolve_vertex(&states);
-                out_vertices.push(VertexRecord { vid, interval: window, props });
+                out_vertices.push(VertexRecord {
+                    vid,
+                    interval: window,
+                    props,
+                });
                 kept.insert((idx, vid), true);
             }
         }
@@ -116,7 +144,12 @@ pub fn wzoom_reference(g: &TGraph, spec: &WZoomSpec) -> TGraph {
     let mut out_edges: Vec<EdgeRecord> = Vec::new();
     {
         let mut per: HashMap<
-            (usize, crate::graph::EdgeId, crate::graph::VertexId, crate::graph::VertexId),
+            (
+                usize,
+                crate::graph::EdgeId,
+                crate::graph::VertexId,
+                crate::graph::VertexId,
+            ),
             Vec<(Interval, Props)>,
         > = HashMap::new();
         for e in &g.edges {
@@ -140,12 +173,22 @@ pub fn wzoom_reference(g: &TGraph, spec: &WZoomSpec) -> TGraph {
                 continue;
             }
             let props = spec.resolve_edge(&states);
-            out_edges.push(EdgeRecord { eid, src, dst, interval: window, props });
+            out_edges.push(EdgeRecord {
+                eid,
+                src,
+                dst,
+                interval: window,
+                props,
+            });
         }
     }
 
     let lifespan = windows.first().unwrap().hull(windows.last().unwrap());
-    coalesce_graph(&TGraph { lifespan, vertices: out_vertices, edges: out_edges })
+    coalesce_graph(&TGraph {
+        lifespan,
+        vertices: out_vertices,
+        edges: out_edges,
+    })
 }
 
 #[cfg(test)]
@@ -166,7 +209,10 @@ mod tests {
     fn azoom_reference_figure2() {
         let g = figure1_graph_stable_ids();
         let z = azoom_reference(&g, &school_spec());
-        assert!(validate(&z).is_empty(), "zoom output must be a valid TGraph");
+        assert!(
+            validate(&z).is_empty(),
+            "zoom output must be a valid TGraph"
+        );
 
         // Find MIT and CMU nodes.
         let mit: Vec<_> = z
@@ -182,9 +228,15 @@ mod tests {
 
         // MIT: students=2 during [1,7) (Ann+Cat), students=1 during [7,9).
         assert_eq!(mit.len(), 2);
-        let mit2 = mit.iter().find(|v| v.interval == Interval::new(1, 7)).unwrap();
+        let mit2 = mit
+            .iter()
+            .find(|v| v.interval == Interval::new(1, 7))
+            .unwrap();
         assert_eq!(mit2.props.get("students"), Some(&Value::Int(2)));
-        let mit1 = mit.iter().find(|v| v.interval == Interval::new(7, 9)).unwrap();
+        let mit1 = mit
+            .iter()
+            .find(|v| v.interval == Interval::new(7, 9))
+            .unwrap();
         assert_eq!(mit1.props.get("students"), Some(&Value::Int(1)));
 
         // CMU: students=1 during [5,9).
@@ -217,7 +269,10 @@ mod tests {
         assert!(validate(&z).is_empty());
 
         let find = |vid: u64| -> Vec<&VertexRecord> {
-            z.vertices.iter().filter(|v| v.vid == VertexId(vid)).collect()
+            z.vertices
+                .iter()
+                .filter(|v| v.vid == VertexId(vid))
+                .collect()
         };
         // Ann: present for all of W1 and W2 → [1,7).
         let ann = find(1);
@@ -249,7 +304,10 @@ mod tests {
         assert!(validate(&z).is_empty());
 
         let find = |vid: u64| -> Vec<&VertexRecord> {
-            z.vertices.iter().filter(|v| v.vid == VertexId(vid)).collect()
+            z.vertices
+                .iter()
+                .filter(|v| v.vid == VertexId(vid))
+                .collect()
         };
         // Bob: exists in W1, W2, W3 → retained over [1,10). His resolved
         // attributes change between W1 (no school) and W2/W3 (school=CMU via

@@ -152,7 +152,11 @@ mod tests {
         let parts = align_to(&Interval::new(1, 8), &splits);
         assert_eq!(
             parts,
-            vec![Interval::new(1, 3), Interval::new(3, 5), Interval::new(5, 8)]
+            vec![
+                Interval::new(1, 3),
+                Interval::new(3, 5),
+                Interval::new(5, 8)
+            ]
         );
     }
 

@@ -50,7 +50,10 @@ impl Interval {
     /// The interval containing the single time point `t`, i.e. `[t, t+1)`.
     #[inline]
     pub fn point(t: Time) -> Self {
-        Interval { start: t, end: t + 1 }
+        Interval {
+            start: t,
+            end: t + 1,
+        }
     }
 
     /// Number of time points contained in the interval.

@@ -66,8 +66,15 @@ impl fmt::Display for ValidityError {
             ValidityError::MissingEdgeType(e) => {
                 write!(f, "edge {e} lacks the required `type` property")
             }
-            ValidityError::DanglingEdge { eid, endpoint, during } => {
-                write!(f, "edge {eid} dangles: endpoint {endpoint} absent during {during}")
+            ValidityError::DanglingEdge {
+                eid,
+                endpoint,
+                during,
+            } => {
+                write!(
+                    f,
+                    "edge {eid} dangles: endpoint {endpoint} absent during {during}"
+                )
             }
             ValidityError::OutsideLifespan(iv) => {
                 write!(f, "fact interval {iv} lies outside the graph lifespan")
@@ -135,7 +142,11 @@ pub fn validate(g: &TGraph) -> Vec<ValidityError> {
                     .collect();
             }
             for gap in uncovered {
-                errors.push(ValidityError::DanglingEdge { eid: e.eid, endpoint, during: gap });
+                errors.push(ValidityError::DanglingEdge {
+                    eid: e.eid,
+                    endpoint,
+                    during: gap,
+                });
             }
         }
     }
@@ -207,12 +218,21 @@ mod tests {
     fn detects_edge_to_nonexistent_vertex() {
         let g = TGraph::from_records(
             vec![VertexRecord::new(1, Interval::new(0, 5), Props::typed("a"))],
-            vec![EdgeRecord::new(1, 1, 99, Interval::new(0, 5), Props::typed("x"))],
+            vec![EdgeRecord::new(
+                1,
+                1,
+                99,
+                Interval::new(0, 5),
+                Props::typed("x"),
+            )],
         );
         let errs = validate(&g);
         assert!(errs.iter().any(|e| matches!(
             e,
-            ValidityError::DanglingEdge { endpoint: VertexId(99), .. }
+            ValidityError::DanglingEdge {
+                endpoint: VertexId(99),
+                ..
+            }
         )));
     }
 
@@ -234,7 +254,11 @@ mod tests {
     #[test]
     fn detects_missing_type() {
         let g = TGraph::from_records(
-            vec![VertexRecord::new(1, Interval::new(0, 5), Props::from_pairs([("name", "x")]))],
+            vec![VertexRecord::new(
+                1,
+                Interval::new(0, 5),
+                Props::from_pairs([("name", "x")]),
+            )],
             vec![],
         );
         let errs = validate(&g);
@@ -248,7 +272,10 @@ mod tests {
             vertices: vec![VertexRecord::new(1, Interval::empty(), Props::typed("a"))],
             edges: vec![],
         };
-        assert_eq!(validate(&g), vec![ValidityError::EmptyVertexInterval(VertexId(1))]);
+        assert_eq!(
+            validate(&g),
+            vec![ValidityError::EmptyVertexInterval(VertexId(1))]
+        );
     }
 
     #[test]
@@ -267,7 +294,10 @@ mod tests {
         );
         assert_eq!(subtract(&a, &Interval::new(0, 10)), vec![]);
         assert_eq!(subtract(&a, &Interval::new(20, 30)), vec![a]);
-        assert_eq!(subtract(&a, &Interval::new(0, 4)), vec![Interval::new(4, 10)]);
+        assert_eq!(
+            subtract(&a, &Interval::new(0, 4)),
+            vec![Interval::new(4, 10)]
+        );
     }
 
     #[test]

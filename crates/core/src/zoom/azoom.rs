@@ -85,7 +85,9 @@ impl Skolem {
                 }
                 let id = stable_hash(&vals);
                 let base = Props::from_pairs(
-                    keys.iter().zip(vals.iter()).map(|(k, v)| (k.clone(), (*v).clone())),
+                    keys.iter()
+                        .zip(vals.iter())
+                        .map(|(k, v)| (k.clone(), (*v).clone())),
                 );
                 Some((id, base))
             }
@@ -135,7 +137,10 @@ pub struct AggSpec {
 impl AggSpec {
     /// Builds an aggregation spec.
     pub fn new(output: &str, f: AggFn) -> Self {
-        AggSpec { output: Arc::from(output), f }
+        AggSpec {
+            output: Arc::from(output),
+            f,
+        }
     }
 
     /// `output = count()` — the paper's running example (`students` count).
@@ -194,14 +199,14 @@ impl AggAccumulator {
                 }
                 (AggFn::Min(k), AggState::Min(m)) => {
                     if let Some(v) = member.get(k) {
-                        if m.as_ref().map_or(true, |cur| v < cur) {
+                        if m.as_ref().is_none_or(|cur| v < cur) {
                             *m = Some(v.clone());
                         }
                     }
                 }
                 (AggFn::Max(k), AggState::Max(m)) => {
                     if let Some(v) = member.get(k) {
-                        if m.as_ref().map_or(true, |cur| v > cur) {
+                        if m.as_ref().is_none_or(|cur| v > cur) {
                             *m = Some(v.clone());
                         }
                     }
@@ -214,7 +219,7 @@ impl AggAccumulator {
                 }
                 (AggFn::Any(k), AggState::Any(m)) => {
                     if let Some(v) = member.get(k) {
-                        if m.as_ref().map_or(true, |cur| v < cur) {
+                        if m.as_ref().is_none_or(|cur| v < cur) {
                             *m = Some(v.clone());
                         }
                     }
@@ -236,14 +241,14 @@ impl AggAccumulator {
                 }
                 (AggState::Min(a), AggState::Min(b)) => {
                     if let Some(bv) = b {
-                        if a.as_ref().map_or(true, |av| bv < av) {
+                        if a.as_ref().is_none_or(|av| bv < av) {
                             *a = Some(bv.clone());
                         }
                     }
                 }
                 (AggState::Max(a), AggState::Max(b)) => {
                     if let Some(bv) = b {
-                        if a.as_ref().map_or(true, |av| bv > av) {
+                        if a.as_ref().is_none_or(|av| bv > av) {
                             *a = Some(bv.clone());
                         }
                     }
@@ -254,7 +259,7 @@ impl AggAccumulator {
                 }
                 (AggState::Any(a), AggState::Any(b)) => {
                     if let Some(bv) = b {
-                        if a.as_ref().map_or(true, |av| bv < av) {
+                        if a.as_ref().is_none_or(|av| bv < av) {
                             *a = Some(bv.clone());
                         }
                     }
@@ -272,9 +277,7 @@ impl AggAccumulator {
                 AggState::Count(n) => Some(Value::Int(*n as i64)),
                 AggState::Sum(s, seen) => seen.then_some(Value::Float(*s)),
                 AggState::Min(m) | AggState::Max(m) | AggState::Any(m) => m.clone(),
-                AggState::Avg { sum, n } => {
-                    (*n > 0).then(|| Value::Float(*sum / *n as f64))
-                }
+                AggState::Avg { sum, n } => (*n > 0).then(|| Value::Float(*sum / *n as f64)),
             };
             if let Some(v) = value {
                 out = out.with(spec.output.clone(), v);
@@ -308,7 +311,10 @@ impl AZoomSpec {
     /// Applies the Skolem function and stamps the group node's type label.
     pub fn skolemize(&self, vid: VertexId, props: &Props) -> Option<(u64, Props)> {
         let (id, base) = self.skolem.apply(vid, props)?;
-        Some((id, base.with(crate::props::TYPE_KEY, Value::Str(self.new_type.clone()))))
+        Some((
+            id,
+            base.with(crate::props::TYPE_KEY, Value::Str(self.new_type.clone())),
+        ))
     }
 
     /// Aggregates a complete group of member property sets into the group
@@ -340,7 +346,10 @@ mod tests {
         let (id1, base1) = s.apply(VertexId(1), &person(Some("MIT"), 5)).unwrap();
         let (id2, _) = s.apply(VertexId(99), &person(Some("MIT"), 7)).unwrap();
         let (id3, _) = s.apply(VertexId(1), &person(Some("CMU"), 5)).unwrap();
-        assert_eq!(id1, id2, "same value must map to same group id across vertices");
+        assert_eq!(
+            id1, id2,
+            "same value must map to same group id across vertices"
+        );
         assert_ne!(id1, id3, "different values must map to different groups");
         assert_eq!(base1.get("school").unwrap().as_str(), Some("MIT"));
     }
@@ -369,11 +378,10 @@ mod tests {
     #[test]
     fn count_aggregation() {
         let spec = AZoomSpec::by_property("school", "school", vec![AggSpec::count("students")]);
-        let (_, base) = spec.skolemize(VertexId(1), &person(Some("MIT"), 5)).unwrap();
-        let out = spec.aggregate(
-            base,
-            vec![person(Some("MIT"), 5), person(Some("MIT"), 9)],
-        );
+        let (_, base) = spec
+            .skolemize(VertexId(1), &person(Some("MIT"), 5))
+            .unwrap();
+        let out = spec.aggregate(base, vec![person(Some("MIT"), 5), person(Some("MIT"), 9)]);
         assert_eq!(out.get("students"), Some(&Value::Int(2)));
         assert_eq!(out.type_label(), Some("school"));
         assert_eq!(out.get("school").unwrap().as_str(), Some("MIT"));
@@ -391,7 +399,11 @@ mod tests {
         let spec = AZoomSpec::by_property("school", "school", aggs);
         let out = spec.aggregate(
             Props::typed("school"),
-            vec![person(Some("MIT"), 2), person(Some("MIT"), 4), person(Some("MIT"), 9)],
+            vec![
+                person(Some("MIT"), 2),
+                person(Some("MIT"), 4),
+                person(Some("MIT"), 9),
+            ],
         );
         assert_eq!(out.get("total"), Some(&Value::Float(15.0)));
         assert_eq!(out.get("least"), Some(&Value::Int(2)));

@@ -16,4 +16,4 @@ pub mod azoom;
 pub mod wzoom;
 
 pub use azoom::{AZoomSpec, AggAccumulator, AggFn, AggSpec, Skolem};
-pub use wzoom::{Quantifier, ResolveFn, WZoomSpec, WindowSpec, window_relation};
+pub use wzoom::{window_relation, Quantifier, ResolveFn, WZoomSpec, WindowSpec};

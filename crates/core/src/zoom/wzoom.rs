@@ -118,11 +118,11 @@ impl ResolveFn {
             // Priority order: earlier states win.
             ResolveFn::First => ordered.sort_by_key(|(iv, _)| (iv.start, iv.end)),
             // Later states win.
-            ResolveFn::Last => {
-                ordered.sort_by_key(|(iv, _)| (std::cmp::Reverse(iv.start), iv.end))
-            }
+            ResolveFn::Last => ordered.sort_by_key(|(iv, _)| (std::cmp::Reverse(iv.start), iv.end)),
             // Longest-presence states win.
-            ResolveFn::Any => ordered.sort_by_key(|(iv, _)| (std::cmp::Reverse(iv.len()), iv.start)),
+            ResolveFn::Any => {
+                ordered.sort_by_key(|(iv, _)| (std::cmp::Reverse(iv.len()), iv.start))
+            }
         }
         // First state in priority order seeds the result; later states only
         // contribute keys not yet present.
@@ -349,7 +349,11 @@ mod tests {
         let w = window_relation(Interval::new(1, 10), &[], WindowSpec::Points(3));
         assert_eq!(
             w,
-            vec![Interval::new(1, 4), Interval::new(4, 7), Interval::new(7, 10)]
+            vec![
+                Interval::new(1, 4),
+                Interval::new(4, 7),
+                Interval::new(7, 10)
+            ]
         );
         // Lifespan [1,9) still produces a full-width W3 = [7,10).
         let w = window_relation(Interval::new(1, 9), &[], WindowSpec::Points(3));
@@ -376,7 +380,12 @@ mod tests {
         let lifespan = Interval::new(1, 10);
         let windows = window_relation(lifespan, &[], WindowSpec::Points(3));
         // Bob [2,9): partial W0, full W1, partial W2.
-        let got = windows_of(Interval::new(2, 9), lifespan, &windows, WindowSpec::Points(3));
+        let got = windows_of(
+            Interval::new(2, 9),
+            lifespan,
+            &windows,
+            WindowSpec::Points(3),
+        );
         assert_eq!(
             got,
             vec![
@@ -391,7 +400,12 @@ mod tests {
     fn windows_of_changes() {
         let lifespan = Interval::new(1, 9);
         let windows = vec![Interval::new(1, 5), Interval::new(5, 9)];
-        let got = windows_of(Interval::new(2, 7), lifespan, &windows, WindowSpec::Changes(2));
+        let got = windows_of(
+            Interval::new(2, 7),
+            lifespan,
+            &windows,
+            WindowSpec::Changes(2),
+        );
         assert_eq!(
             got,
             vec![
@@ -410,7 +424,11 @@ mod tests {
             (Interval::new(5, 7), late.clone()),
         ];
         assert_eq!(
-            ResolveFn::Last.resolve(&states).get("school").unwrap().as_str(),
+            ResolveFn::Last
+                .resolve(&states)
+                .get("school")
+                .unwrap()
+                .as_str(),
             Some("CMU")
         );
         // First: base props from early state, but school filled from late
@@ -425,10 +443,19 @@ mod tests {
         let a = Props::typed("p").with("x", 1i64);
         let b = Props::typed("p").with("x", 2i64);
         let states = vec![(Interval::new(0, 2), a), (Interval::new(2, 3), b)];
-        assert_eq!(ResolveFn::First.resolve(&states).get("x").unwrap().as_int(), Some(1));
-        assert_eq!(ResolveFn::Last.resolve(&states).get("x").unwrap().as_int(), Some(2));
+        assert_eq!(
+            ResolveFn::First.resolve(&states).get("x").unwrap().as_int(),
+            Some(1)
+        );
+        assert_eq!(
+            ResolveFn::Last.resolve(&states).get("x").unwrap().as_int(),
+            Some(2)
+        );
         // Any: longest presence wins → [0,2) is longer → value 1.
-        assert_eq!(ResolveFn::Any.resolve(&states).get("x").unwrap().as_int(), Some(1));
+        assert_eq!(
+            ResolveFn::Any.resolve(&states).get("x").unwrap().as_int(),
+            Some(1)
+        );
     }
 
     #[test]

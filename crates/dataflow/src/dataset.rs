@@ -1,21 +1,61 @@
-//! `Dataset<T>` — an immutable, partitioned, in-memory collection with
-//! Spark-RDD-style second-order operators.
+//! `Dataset<T>` — an immutable, partitioned collection with Spark-RDD-style
+//! second-order operators and **lazy, plan-based execution**.
 //!
-//! Partitions are shared behind `Arc`, so narrow transformations (map,
-//! filter, flatMap) read their input partition without copying it, and
-//! cloning a dataset is free. All operators execute eagerly on the
-//! [`Runtime`]'s worker pool, one task per partition.
+//! Narrow transformations (`map`, `filter`, `flat_map`, `map_partitions`)
+//! do not run anything: they extend a deferred per-partition closure chain.
+//! The chain is **fused into a single pass** over each partition when an
+//! action (`collect`, `count`, `fold`, …) or a shuffle boundary (any keyed
+//! operator) forces it — one task wave total, no intermediate partition
+//! allocations. Elements flow through the fused chain by reference; only
+//! survivors are cloned, at the materialization boundary.
+//!
+//! Every dataset carries a [`Partitioning`] tag. Hash shuffles stamp their
+//! output `HashByKey`; tag-preserving operators (`filter`,
+//! [`map_values`](crate::keyed::KeyedDataset::map_values)) keep it, so a
+//! later keyed operator on the same key can skip its shuffle entirely (see
+//! [`shuffle`](crate::keyed::shuffle)).
 
 use crate::runtime::Runtime;
 use std::sync::Arc;
 
-/// An immutable partitioned collection.
-#[derive(Clone)]
-pub struct Dataset<T> {
-    partitions: Vec<Arc<Vec<T>>>,
+/// How a dataset's records are distributed across partitions.
+///
+/// `HashByKey` is produced by shuffles: partition `p` holds exactly the
+/// records whose key hashes to `p` under the engine's bucket function. Keyed
+/// operators consult this tag to elide redundant shuffles, mirroring Spark's
+/// partitioner awareness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partitioning {
+    /// No known distribution invariant.
+    Unknown,
+    /// Hash-partitioned by the pair key over `parts` partitions.
+    HashByKey {
+        /// Partition count the hash was taken modulo.
+        parts: usize,
+    },
 }
 
-impl<T: Send + Sync + 'static> Dataset<T> {
+/// The deferred execution plan behind a dataset.
+#[derive(Clone)]
+enum Plan<T> {
+    /// Materialized partitions, shared by reference.
+    Source(Arc<Vec<Arc<Vec<T>>>>),
+    /// A fused chain of narrow transformations: for partition `i`, the
+    /// producer pushes each element (by reference) into the sink.
+    Lazy {
+        parts: usize,
+        producer: Arc<dyn Fn(usize, &mut dyn FnMut(&T)) + Send + Sync>,
+    },
+}
+
+/// An immutable partitioned collection with a lazy narrow-operator plan.
+#[derive(Clone)]
+pub struct Dataset<T> {
+    plan: Plan<T>,
+    partitioning: Partitioning,
+}
+
+impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     /// Builds a dataset by splitting `items` evenly into the runtime's
     /// default partition count.
     pub fn from_vec(rt: &Runtime, items: Vec<T>) -> Self {
@@ -41,140 +81,294 @@ impl<T: Send + Sync + 'static> Dataset<T> {
             rest = tail;
         }
         debug_assert!(rest.is_empty());
-        Dataset { partitions }
+        Self::from_arc_partitions(partitions, Partitioning::Unknown)
     }
 
     /// Wraps pre-built partitions.
     pub fn from_partitions(partitions: Vec<Vec<T>>) -> Self {
-        Dataset { partitions: partitions.into_iter().map(Arc::new).collect() }
+        Self::from_arc_partitions(
+            partitions.into_iter().map(Arc::new).collect(),
+            Partitioning::Unknown,
+        )
+    }
+
+    /// Wraps pre-built shared partitions with a known partitioning tag
+    /// (internal: shuffles use this to stamp their output).
+    pub(crate) fn from_arc_partitions(
+        partitions: Vec<Arc<Vec<T>>>,
+        partitioning: Partitioning,
+    ) -> Self {
+        Dataset {
+            plan: Plan::Source(Arc::new(partitions)),
+            partitioning,
+        }
     }
 
     /// An empty dataset with one empty partition.
     pub fn empty() -> Self {
-        Dataset { partitions: vec![Arc::new(Vec::new())] }
+        Self::from_arc_partitions(vec![Arc::new(Vec::new())], Partitioning::Unknown)
     }
 
     /// Number of partitions.
     pub fn num_partitions(&self) -> usize {
-        self.partitions.len()
+        match &self.plan {
+            Plan::Source(parts) => parts.len(),
+            Plan::Lazy { parts, .. } => *parts,
+        }
     }
 
-    /// Borrow of the raw partitions.
-    pub fn partitions(&self) -> &[Arc<Vec<T>>] {
-        &self.partitions
+    /// The partitioning invariant this dataset is known to satisfy.
+    pub fn partitioning(&self) -> Partitioning {
+        self.partitioning
     }
 
-    /// Total number of elements (parallel count).
-    pub fn count(&self, rt: &Runtime) -> usize {
-        let parts = self.partitions.clone();
-        rt.run_indexed(parts.len(), move |i| parts[i].len())
-            .into_iter()
-            .sum()
+    /// Re-tags the dataset (internal: used where an operator re-establishes
+    /// or invalidates a distribution invariant the type system cannot see).
+    pub(crate) fn with_partitioning(mut self, partitioning: Partitioning) -> Self {
+        self.partitioning = partitioning;
+        self
     }
 
-    /// Materializes all elements in partition order.
-    pub fn collect(&self) -> Vec<T>
+    /// Streams partition `i` through `sink`, running the fused narrow chain.
+    /// This is the single point where deferred plans execute.
+    pub(crate) fn produce(&self, i: usize, sink: &mut dyn FnMut(&T)) {
+        match &self.plan {
+            Plan::Source(parts) => {
+                for x in parts[i].iter() {
+                    sink(x);
+                }
+            }
+            Plan::Lazy { producer, .. } => producer(i, sink),
+        }
+    }
+
+    /// Runs the plan (one fused task wave) and returns a source-backed
+    /// dataset sharing the same partitioning tag. No-op when already
+    /// materialized.
+    pub fn materialize(&self, rt: &Runtime) -> Dataset<T> {
+        match &self.plan {
+            Plan::Source(_) => self.clone(),
+            Plan::Lazy { .. } => {
+                let partitions = self
+                    .run_per_partition(rt, |i, d| {
+                        let mut out = Vec::new();
+                        d.produce(i, &mut |x| out.push(x.clone()));
+                        out
+                    })
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect();
+                Self::from_arc_partitions(partitions, self.partitioning)
+            }
+        }
+    }
+
+    /// The materialized partitions (runs the plan if deferred).
+    pub(crate) fn parts(&self, rt: &Runtime) -> Arc<Vec<Arc<Vec<T>>>> {
+        match &self.materialize(rt).plan {
+            Plan::Source(parts) => Arc::clone(parts),
+            Plan::Lazy { .. } => unreachable!("materialize returns a source"),
+        }
+    }
+
+    /// Runs one task per partition on the pool; each task gets the partition
+    /// index and the dataset, and drives the fused chain via
+    /// [`Dataset::produce`].
+    pub(crate) fn run_per_partition<R, F>(&self, rt: &Runtime, f: F) -> Vec<R>
     where
-        T: Clone,
+        R: Send + 'static,
+        F: Fn(usize, &Dataset<T>) -> R + Send + Sync + 'static,
     {
-        let mut out = Vec::with_capacity(self.partitions.iter().map(|p| p.len()).sum());
-        for p in &self.partitions {
-            out.extend(p.iter().cloned());
+        let d = self.clone();
+        rt.run_indexed(self.num_partitions(), move |i| f(i, &d))
+    }
+
+    /// Total number of elements. Runs the fused chain without materializing
+    /// or cloning anything.
+    pub fn count(&self, rt: &Runtime) -> usize {
+        self.run_per_partition(rt, |i, d| {
+            let mut n = 0usize;
+            d.produce(i, &mut |_x| n += 1);
+            n
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Materializes all elements in partition order. Partitions are gathered
+    /// in parallel on the worker pool, then concatenated in order.
+    pub fn collect(&self, rt: &Runtime) -> Vec<T> {
+        let partitions = self.run_per_partition(rt, |i, d| {
+            let mut out = Vec::new();
+            d.produce(i, &mut |x| out.push(x.clone()));
+            out
+        });
+        let total = partitions.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for p in partitions {
+            out.extend(p);
         }
         out
     }
 
-    /// Element-wise transformation (narrow).
-    pub fn map<U, F>(&self, rt: &Runtime, f: F) -> Dataset<U>
+    /// Element-wise transformation (narrow, deferred).
+    pub fn map<U, F>(&self, f: F) -> Dataset<U>
     where
-        U: Send + Sync + 'static,
+        U: Clone + Send + Sync + 'static,
         F: Fn(&T) -> U + Send + Sync + 'static,
     {
-        let f = Arc::new(f);
-        self.map_partitions(rt, move |part| part.iter().map(|x| f(x)).collect())
+        let up = self.clone();
+        Dataset {
+            plan: Plan::Lazy {
+                parts: self.num_partitions(),
+                producer: Arc::new(move |i, sink| {
+                    up.produce(i, &mut |x| {
+                        let u = f(x);
+                        sink(&u);
+                    });
+                }),
+            },
+            partitioning: Partitioning::Unknown,
+        }
     }
 
-    /// Element-to-many transformation (narrow).
-    pub fn flat_map<U, I, F>(&self, rt: &Runtime, f: F) -> Dataset<U>
+    /// Element-to-many transformation (narrow, deferred).
+    pub fn flat_map<U, I, F>(&self, f: F) -> Dataset<U>
     where
-        U: Send + Sync + 'static,
+        U: Clone + Send + Sync + 'static,
         I: IntoIterator<Item = U>,
         F: Fn(&T) -> I + Send + Sync + 'static,
     {
-        let f = Arc::new(f);
-        self.map_partitions(rt, move |part| part.iter().flat_map(|x| f(x)).collect())
+        let up = self.clone();
+        Dataset {
+            plan: Plan::Lazy {
+                parts: self.num_partitions(),
+                producer: Arc::new(move |i, sink| {
+                    up.produce(i, &mut |x| {
+                        for u in f(x) {
+                            sink(&u);
+                        }
+                    });
+                }),
+            },
+            partitioning: Partitioning::Unknown,
+        }
     }
 
-    /// Keeps elements satisfying the predicate (narrow).
-    pub fn filter<F>(&self, rt: &Runtime, f: F) -> Dataset<T>
+    /// Keeps elements satisfying the predicate (narrow, deferred).
+    /// Elements pass through untouched, so the partitioning tag is kept: a
+    /// filtered hash-partitioned dataset is still hash-partitioned.
+    pub fn filter<F>(&self, f: F) -> Dataset<T>
     where
-        T: Clone,
         F: Fn(&T) -> bool + Send + Sync + 'static,
     {
-        let f = Arc::new(f);
-        self.map_partitions(rt, move |part| {
-            part.iter().filter(|x| f(x)).cloned().collect()
-        })
+        let up = self.clone();
+        Dataset {
+            plan: Plan::Lazy {
+                parts: self.num_partitions(),
+                producer: Arc::new(move |i, sink| {
+                    up.produce(i, &mut |x| {
+                        if f(x) {
+                            sink(x);
+                        }
+                    });
+                }),
+            },
+            partitioning: self.partitioning,
+        }
     }
 
-    /// Whole-partition transformation — the building block every narrow
-    /// operator lowers to. One pool task per partition.
-    pub fn map_partitions<U, F>(&self, rt: &Runtime, f: F) -> Dataset<U>
+    /// Whole-partition transformation (narrow, deferred). The closure sees
+    /// the partition as a slice; when the upstream plan is already
+    /// materialized the slice is borrowed directly, otherwise the fused
+    /// chain buffers the partition first.
+    pub fn map_partitions<U, F>(&self, f: F) -> Dataset<U>
     where
-        U: Send + Sync + 'static,
+        U: Clone + Send + Sync + 'static,
         F: Fn(&[T]) -> Vec<U> + Send + Sync + 'static,
     {
-        let parts = self.partitions.clone();
-        let out = rt.run_indexed(parts.len(), move |i| f(&parts[i]));
-        Dataset { partitions: out.into_iter().map(Arc::new).collect() }
+        let up = self.clone();
+        Dataset {
+            plan: Plan::Lazy {
+                parts: self.num_partitions(),
+                producer: Arc::new(move |i, sink| {
+                    let out = match &up.plan {
+                        Plan::Source(parts) => f(&parts[i]),
+                        Plan::Lazy { .. } => {
+                            let mut buf = Vec::new();
+                            up.produce(i, &mut |x| buf.push(x.clone()));
+                            f(&buf)
+                        }
+                    };
+                    for u in &out {
+                        sink(u);
+                    }
+                }),
+            },
+            partitioning: Partitioning::Unknown,
+        }
     }
 
-    /// Concatenates two datasets (partition lists are appended; no data moves).
+    /// Concatenates two datasets. Deferred: partition lists are appended and
+    /// no data moves; each side keeps its own fused chain.
     pub fn union(&self, other: &Dataset<T>) -> Dataset<T> {
-        let mut partitions = self.partitions.clone();
-        partitions.extend(other.partitions.iter().cloned());
-        Dataset { partitions }
+        let left = self.clone();
+        let right = other.clone();
+        let split = left.num_partitions();
+        Dataset {
+            plan: Plan::Lazy {
+                parts: split + right.num_partitions(),
+                producer: Arc::new(move |i, sink| {
+                    if i < split {
+                        left.produce(i, sink);
+                    } else {
+                        right.produce(i - split, sink);
+                    }
+                }),
+            },
+            partitioning: Partitioning::Unknown,
+        }
     }
 
-    /// Parallel fold: folds each partition, then reduces the partials.
+    /// Parallel fold: folds each partition through the fused chain, then
+    /// reduces the partials on the caller thread.
     pub fn fold<A, F, G>(&self, rt: &Runtime, init: A, fold: F, combine: G) -> A
     where
         A: Send + Sync + Clone + 'static,
         F: Fn(A, &T) -> A + Send + Sync + 'static,
         G: Fn(A, A) -> A + Send + Sync + 'static,
     {
-        let parts = self.partitions.clone();
-        let fold = Arc::new(fold);
         let init2 = init.clone();
-        let partials = rt.run_indexed(parts.len(), move |i| {
-            parts[i].iter().fold(init2.clone(), |acc, x| fold(acc, x))
+        let partials = self.run_per_partition(rt, move |i, d| {
+            let mut acc = Some(init2.clone());
+            d.produce(i, &mut |x| {
+                let prev = acc.take().expect("fold accumulator");
+                acc = Some(fold(prev, x));
+            });
+            acc.expect("fold accumulator")
         });
         partials.into_iter().fold(init, combine)
     }
 
     /// Collects into a single-partition dataset sorted by a key (used to
     /// enforce deterministic layouts, e.g. before coalescing folds).
-    pub fn sort_by_key<K, F>(&self, _rt: &Runtime, key: F) -> Dataset<T>
+    pub fn sort_by_key<K, F>(&self, rt: &Runtime, key: F) -> Dataset<T>
     where
-        T: Clone,
         K: Ord,
         F: Fn(&T) -> K + Send + Sync + 'static,
     {
-        let mut all = self.collect();
-        all.sort_by(|a, b| key(a).cmp(&key(b)));
-        Dataset { partitions: vec![Arc::new(all)] }
+        let mut all = self.collect(rt);
+        all.sort_by_key(|a| key(a));
+        Self::from_arc_partitions(vec![Arc::new(all)], Partitioning::Unknown)
     }
 
     /// Rebalances into `parts` evenly sized partitions.
-    pub fn repartition(&self, parts: usize) -> Dataset<T>
-    where
-        T: Clone,
-    {
-        Self::from_vec_with(parts, self.collect())
+    pub fn repartition(&self, rt: &Runtime, parts: usize) -> Dataset<T> {
+        Self::from_vec_with(parts, self.collect(rt))
     }
 }
 
-impl<T: Send + Sync + 'static> FromIterator<T> for Dataset<T> {
+impl<T: Clone + Send + Sync + 'static> FromIterator<T> for Dataset<T> {
     /// Collects into a single-partition dataset. Use
     /// [`Dataset::from_vec`] to control partitioning.
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
@@ -184,12 +378,22 @@ impl<T: Send + Sync + 'static> FromIterator<T> for Dataset<T> {
 
 impl<T> std::fmt::Debug for Dataset<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "Dataset({} partitions, {} elements)",
-            self.partitions.len(),
-            self.partitions.iter().map(|p| p.len()).sum::<usize>()
-        )
+        match &self.plan {
+            Plan::Source(parts) => write!(
+                f,
+                "Dataset({} partitions, {} elements, {:?})",
+                parts.len(),
+                parts.iter().map(|p| p.len()).sum::<usize>(),
+                self.partitioning,
+            ),
+            Plan::Lazy { parts, .. } => {
+                write!(
+                    f,
+                    "Dataset({parts} partitions, deferred, {:?})",
+                    self.partitioning
+                )
+            }
+        }
     }
 }
 
@@ -206,9 +410,9 @@ mod tests {
         let rt = rt();
         let d = Dataset::from_vec(&rt, (0..10).collect());
         assert_eq!(d.num_partitions(), 4);
-        assert_eq!(d.collect(), (0..10).collect::<Vec<_>>());
+        assert_eq!(d.collect(&rt), (0..10).collect::<Vec<_>>());
         // ceil(10/4) = 3 → sizes 3,3,3,1
-        let sizes: Vec<usize> = d.partitions().iter().map(|p| p.len()).collect();
+        let sizes: Vec<usize> = d.parts(&rt).iter().map(|p| p.len()).collect();
         assert_eq!(sizes, vec![3, 3, 3, 1]);
     }
 
@@ -224,12 +428,79 @@ mod tests {
     fn map_filter_flat_map() {
         let rt = rt();
         let d = Dataset::from_vec(&rt, (0..100).collect::<Vec<i64>>());
-        let doubled = d.map(&rt, |x| x * 2);
-        assert_eq!(doubled.collect(), (0..100).map(|x| x * 2).collect::<Vec<_>>());
-        let evens = d.filter(&rt, |x| x % 2 == 0);
+        let doubled = d.map(|x| x * 2);
+        assert_eq!(
+            doubled.collect(&rt),
+            (0..100).map(|x| x * 2).collect::<Vec<_>>()
+        );
+        let evens = d.filter(|x| x % 2 == 0);
         assert_eq!(evens.count(&rt), 50);
-        let pairs = d.flat_map(&rt, |x| vec![*x, *x]);
+        let pairs = d.flat_map(|x| vec![*x, *x]);
         assert_eq!(pairs.count(&rt), 200);
+    }
+
+    #[test]
+    fn narrow_chain_is_deferred_and_fuses_into_one_wave() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, (0..1000).collect::<Vec<i64>>());
+        let before = rt.stats();
+        let chained = d.map(|x| x + 1).filter(|x| x % 3 == 0).map(|x| x * 10);
+        // Building the chain runs nothing.
+        let mid = rt.stats();
+        assert_eq!(mid.waves, before.waves, "narrow ops must not launch tasks");
+        assert_eq!(mid.tasks, before.tasks);
+        let out = chained.collect(&rt);
+        let after = rt.stats();
+        assert_eq!(
+            after.waves - before.waves,
+            1,
+            "map→filter→map + collect = one wave"
+        );
+        assert_eq!(after.tasks - before.tasks, 4, "one task per partition");
+        let expected: Vec<i64> = (0..1000)
+            .map(|x| x + 1)
+            .filter(|x| x % 3 == 0)
+            .map(|x| x * 10)
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn filter_preserves_partitioning_tag_and_maps_reset_it() {
+        let d: Dataset<(u32, u32)> = Dataset::from_partitions(vec![vec![(1, 1)], vec![(2, 2)]]);
+        let tagged = d.with_partitioning(Partitioning::HashByKey { parts: 2 });
+        assert_eq!(
+            tagged.filter(|_| true).partitioning(),
+            Partitioning::HashByKey { parts: 2 }
+        );
+        assert_eq!(tagged.map(|x| *x).partitioning(), Partitioning::Unknown);
+        assert_eq!(
+            tagged.flat_map(|x| vec![*x]).partitioning(),
+            Partitioning::Unknown
+        );
+        assert_eq!(
+            tagged.map_partitions(|p| p.to_vec()).partitioning(),
+            Partitioning::Unknown
+        );
+    }
+
+    #[test]
+    fn materialize_is_idempotent_and_keeps_tag() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, (0..10).collect::<Vec<i32>>())
+            .with_partitioning(Partitioning::HashByKey { parts: 4 });
+        let lazy = d.filter(|x| x % 2 == 0);
+        let m = lazy.materialize(&rt);
+        assert_eq!(m.partitioning(), Partitioning::HashByKey { parts: 4 });
+        assert_eq!(m.collect(&rt), lazy.collect(&rt));
+        let before = rt.stats().waves;
+        let m2 = m.materialize(&rt);
+        assert_eq!(
+            rt.stats().waves,
+            before,
+            "re-materializing a source is free"
+        );
+        assert_eq!(m2.collect(&rt), m.collect(&rt));
     }
 
     #[test]
@@ -238,25 +509,32 @@ mod tests {
         let d = Dataset::from_vec(&rt, (1..=100).collect::<Vec<i64>>());
         let sum = d.fold(&rt, 0i64, |acc, x| acc + x, |a, b| a + b);
         assert_eq!(sum, 5050);
+        // Fold over a fused chain sees transformed elements.
+        let sum2 = d
+            .map(|x| x * 2)
+            .fold(&rt, 0i64, |acc, x| acc + x, |a, b| a + b);
+        assert_eq!(sum2, 10100);
     }
 
     #[test]
-    fn union_concatenates() {
+    fn union_concatenates_and_stays_lazy() {
         let rt = rt();
         let a = Dataset::from_vec(&rt, vec![1, 2]);
         let b = Dataset::from_vec(&rt, vec![3]);
-        let u = a.union(&b);
+        let before = rt.stats().waves;
+        let u = a.map(|x| x * 10).union(&b.map(|x| x * 10));
+        assert_eq!(rt.stats().waves, before, "union of lazy chains is deferred");
         assert_eq!(u.count(&rt), 3);
-        let mut all = u.collect();
+        let mut all = u.collect(&rt);
         all.sort();
-        assert_eq!(all, vec![1, 2, 3]);
+        assert_eq!(all, vec![10, 20, 30]);
     }
 
     #[test]
     fn sort_by_key_orders_globally() {
         let rt = rt();
         let d = Dataset::from_vec(&rt, vec![5, 3, 9, 1, 7]);
-        assert_eq!(d.sort_by_key(&rt, |x| *x).collect(), vec![1, 3, 5, 7, 9]);
+        assert_eq!(d.sort_by_key(&rt, |x| *x).collect(&rt), vec![1, 3, 5, 7, 9]);
     }
 
     #[test]
@@ -264,30 +542,37 @@ mod tests {
         let rt = rt();
         let d: Dataset<i32> = Dataset::empty();
         assert_eq!(d.count(&rt), 0);
-        assert!(d.collect().is_empty());
+        assert!(d.collect(&rt).is_empty());
     }
 
     #[test]
     fn repartition_keeps_elements() {
+        let rt = rt();
         let d = Dataset::from_partitions(vec![vec![1, 2, 3], vec![4]]);
-        let r = d.repartition(3);
+        let r = d.repartition(&rt, 3);
         assert_eq!(r.num_partitions(), 3);
-        assert_eq!(r.collect(), vec![1, 2, 3, 4]);
+        assert_eq!(r.collect(&rt), vec![1, 2, 3, 4]);
     }
 
     #[test]
     fn from_iterator() {
+        let rt = rt();
         let d: Dataset<i32> = (0..5).collect();
         assert_eq!(d.num_partitions(), 1);
-        assert_eq!(d.collect(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(d.collect(&rt), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
     fn map_partitions_sees_whole_partition() {
         let rt = rt();
         let d = Dataset::from_vec(&rt, (0..12).collect::<Vec<i32>>());
-        let sums = d.map_partitions(&rt, |p| vec![p.iter().sum::<i32>()]);
+        let sums = d.map_partitions(|p| vec![p.iter().sum::<i32>()]);
         assert_eq!(sums.count(&rt), 4);
-        assert_eq!(sums.collect().iter().sum::<i32>(), 66);
+        assert_eq!(sums.collect(&rt).iter().sum::<i32>(), 66);
+        // And composes with a fused upstream chain.
+        let sums2 = d
+            .map(|x| x + 1)
+            .map_partitions(|p| vec![p.iter().sum::<i32>()]);
+        assert_eq!(sums2.collect(&rt).iter().sum::<i32>(), 78);
     }
 }

@@ -4,7 +4,8 @@
 //! The broadcast join is the shared-memory analogue of GraphX's
 //! vertex-mirroring multicast join (§4 of the paper): when one side of a
 //! join is small, shipping it whole to every partition avoids shuffling the
-//! large side entirely.
+//! large side entirely. Both broadcast variants are narrow: they return a
+//! deferred dataset that fuses with whatever follows.
 
 use crate::dataset::Dataset;
 use crate::keyed::KeyedDataset;
@@ -26,11 +27,11 @@ where
     W: Clone + Send + Sync + 'static,
 {
     let mut table: HashMap<K, Vec<W>> = HashMap::new();
-    for (k, w) in small.collect() {
+    for (k, w) in small.collect(rt) {
         table.entry(k).or_default().push(w);
     }
     let table = Arc::new(table);
-    big.flat_map(rt, move |(k, v)| {
+    big.flat_map(move |(k, v)| {
         table
             .get(k)
             .into_iter()
@@ -52,9 +53,11 @@ where
     W: Clone + Send + Sync + 'static,
 {
     let keys: std::collections::HashSet<K> =
-        small.collect().into_iter().map(|(k, _)| k).collect();
+        small.collect(rt).into_iter().map(|(k, _)| k).collect();
     let keys = Arc::new(keys);
-    big.filter(rt, move |(k, _)| keys.contains(k))
+    // `filter` keeps the partitioning tag: semijoining a hash-partitioned
+    // dataset leaves it hash-partitioned.
+    big.filter(move |(k, _)| keys.contains(k))
 }
 
 /// Cogroup: groups both datasets by key, pairing each key's value lists.
@@ -70,15 +73,16 @@ where
     V: Clone + Send + Sync + 'static,
     W: Clone + Send + Sync + 'static,
 {
-    // Tag, union, shuffle once, then split per key.
+    // Tag, union, shuffle once, then split per key. Tagging and splitting
+    // are narrow stages fused into the shuffle's map side and the consumer.
     #[derive(Clone)]
     enum Side<V, W> {
         L(V),
         R(W),
     }
-    let l: Dataset<(K, Side<V, W>)> = left.map(rt, |(k, v)| (k.clone(), Side::L(v.clone())));
-    let r: Dataset<(K, Side<V, W>)> = right.map(rt, |(k, w)| (k.clone(), Side::R(w.clone())));
-    l.union(&r).group_by_key(rt).map(rt, |(k, sides)| {
+    let l: Dataset<(K, Side<V, W>)> = left.map(|(k, v)| (k.clone(), Side::L(v.clone())));
+    let r: Dataset<(K, Side<V, W>)> = right.map(|(k, w)| (k.clone(), Side::R(w.clone())));
+    l.union(&r).group_by_key(rt).map(|(k, sides)| {
         let mut vs = Vec::new();
         let mut ws = Vec::new();
         for s in sides {
@@ -98,18 +102,17 @@ where
     V: Clone + Send + Sync + 'static,
 {
     input
-        .map(rt, |(k, _)| (k.clone(), 1u64))
+        .map(|(k, _)| (k.clone(), 1u64))
         .reduce_by_key(rt, |a, b| a + b)
 }
 
-/// Takes up to `n` elements in partition order (no full materialization of
-/// later partitions' contribution beyond what is needed).
-pub fn take<T>(input: &Dataset<T>, n: usize) -> Vec<T>
+/// Takes up to `n` elements in partition order.
+pub fn take<T>(rt: &Runtime, input: &Dataset<T>, n: usize) -> Vec<T>
 where
     T: Clone + Send + Sync + 'static,
 {
     let mut out = Vec::with_capacity(n);
-    for part in input.partitions() {
+    for part in input.parts(rt).iter() {
         for item in part.iter() {
             if out.len() == n {
                 return out;
@@ -138,10 +141,23 @@ mod tests {
         let rt = rt();
         let big = Dataset::from_vec(&rt, (0..100).map(|i| (i % 7, i)).collect::<Vec<_>>());
         let small = Dataset::from_vec(&rt, vec![(0, "a"), (3, "b"), (3, "c"), (99, "d")]);
-        let broadcast = sorted(broadcast_join(&rt, &big, &small).collect());
-        let shuffled = sorted(big.join(&rt, &small).collect());
+        let broadcast = sorted(broadcast_join(&rt, &big, &small).collect(&rt));
+        let shuffled = sorted(big.join(&rt, &small).collect(&rt));
         assert_eq!(broadcast, shuffled);
         assert!(!broadcast.is_empty());
+    }
+
+    #[test]
+    fn broadcast_join_moves_no_records() {
+        let rt = rt();
+        let big = Dataset::from_vec(&rt, (0..100).map(|i| (i % 7, i)).collect::<Vec<_>>());
+        let small = Dataset::from_vec(&rt, vec![(0, "a"), (3, "b")]);
+        let before = rt.stats();
+        let joined = broadcast_join(&rt, &big, &small);
+        let _ = joined.collect(&rt);
+        let delta = rt.stats().since(&before);
+        assert_eq!(delta.shuffles, 0, "broadcast join must not shuffle");
+        assert_eq!(delta.shuffled_records, 0);
     }
 
     #[test]
@@ -150,7 +166,7 @@ mod tests {
         let big = Dataset::from_vec(&rt, vec![(1, "x"), (2, "y"), (3, "z")]);
         let small = Dataset::from_vec(&rt, vec![(2, ()), (3, ())]);
         assert_eq!(
-            sorted(broadcast_semi_join(&rt, &big, &small).collect()),
+            sorted(broadcast_semi_join(&rt, &big, &small).collect(&rt)),
             vec![(2, "y"), (3, "z")]
         );
     }
@@ -160,7 +176,7 @@ mod tests {
         let rt = rt();
         let left = Dataset::from_vec(&rt, vec![(1, "a"), (1, "b"), (2, "c")]);
         let right = Dataset::from_vec(&rt, vec![(1, 10), (3, 30)]);
-        let mut got = cogroup(&rt, &left, &right).collect();
+        let mut got = cogroup(&rt, &left, &right).collect(&rt);
         got.sort_by_key(|(k, _)| *k);
         assert_eq!(got.len(), 3);
         assert_eq!(got[0].0, 1);
@@ -175,7 +191,7 @@ mod tests {
         let rt = rt();
         let d = Dataset::from_vec(&rt, (0..30).map(|i| (i % 3, ())).collect::<Vec<_>>());
         assert_eq!(
-            sorted(count_by_key(&rt, &d).collect()),
+            sorted(count_by_key(&rt, &d).collect(&rt)),
             vec![(0, 10), (1, 10), (2, 10)]
         );
     }
@@ -184,8 +200,8 @@ mod tests {
     fn take_respects_limit_and_order() {
         let rt = rt();
         let d = Dataset::from_vec(&rt, (0..100).collect::<Vec<i32>>());
-        assert_eq!(take(&d, 5), vec![0, 1, 2, 3, 4]);
-        assert_eq!(take(&d, 0), Vec::<i32>::new());
-        assert_eq!(take(&d, 1000).len(), 100);
+        assert_eq!(take(&rt, &d, 5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(take(&rt, &d, 0), Vec::<i32>::new());
+        assert_eq!(take(&rt, &d, 1000).len(), 100);
     }
 }

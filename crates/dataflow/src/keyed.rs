@@ -7,8 +7,16 @@
 //! data-movement behaviour of the different TGraph representations — RG
 //! shuffling a record per snapshot copy versus OG shuffling one record per
 //! entity — is reproduced, not simulated.
+//!
+//! Shuffle outputs are stamped [`Partitioning::HashByKey`]; when a keyed
+//! operator runs on an input that already carries the required tag (same key
+//! type, same partition count) the shuffle is **elided**: zero records move,
+//! and [`RuntimeStats::shuffles_elided`](crate::RuntimeStats) counts the
+//! skip. The map side of a real shuffle fuses with any pending narrow chain
+//! on the input, so `map → filter → reduce_by_key` reads its input exactly
+//! once.
 
-use crate::dataset::Dataset;
+use crate::dataset::{Dataset, Partitioning};
 use crate::runtime::Runtime;
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
@@ -21,49 +29,78 @@ fn bucket_of<K: Hash>(key: &K, parts: usize) -> usize {
     (h.finish() % parts as u64) as usize
 }
 
+fn hashed_by_key(partitioning: Partitioning, parts: usize) -> bool {
+    partitioning == Partitioning::HashByKey { parts }
+}
+
 /// Hash-partitions a keyed dataset: output partition `p` holds exactly the
 /// records whose key hashes to `p`. This is the shuffle every wide operator
 /// builds on.
+///
+/// If the input is already hash-partitioned by key over the runtime's
+/// partition count, the shuffle is elided and the input is returned as-is
+/// (its pending narrow chain, if any, stays deferred).
 pub fn shuffle<K, V>(rt: &Runtime, input: &Dataset<(K, V)>) -> Dataset<(K, V)>
 where
     K: Hash + Eq + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
 {
     let parts = rt.partitions();
-    // Map side: split every input partition into `parts` buckets.
-    let bucketed: Dataset<Vec<(K, V)>> = input.map_partitions(rt, move |part| {
+    if hashed_by_key(input.partitioning(), parts) {
+        rt.note_shuffle_elided();
+        return input.clone();
+    }
+    // Map side: one fused pass splits every input partition into `parts`
+    // buckets, running any pending narrow chain in the same wave.
+    let bucketed: Vec<Vec<Vec<(K, V)>>> = input.run_per_partition(rt, move |i, d| {
         let mut buckets: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
-        for (k, v) in part {
-            buckets[bucket_of(k, parts)].push((k.clone(), v.clone()));
-        }
+        d.produce(i, &mut |kv| {
+            buckets[bucket_of(&kv.0, parts)].push(kv.clone());
+        });
         buckets
     });
     let moved: u64 = bucketed
-        .partitions()
         .iter()
         .map(|p| p.iter().map(|b| b.len() as u64).sum::<u64>())
         .sum();
-    rt.note_shuffle(moved);
+    rt.note_shuffle(moved, moved * std::mem::size_of::<(K, V)>() as u64);
     // Reduce side: partition `p` concatenates bucket `p` of every map output.
-    let sources: Vec<Arc<Vec<Vec<(K, V)>>>> = bucketed.partitions().to_vec();
-    let sources = Arc::new(sources);
+    let sources = Arc::new(bucketed);
     let out = rt.run_indexed(parts, move |p| {
         let mut merged = Vec::new();
         for src in sources.iter() {
             merged.extend_from_slice(&src[p]);
         }
-        merged
+        Arc::new(merged)
     });
-    Dataset::from_partitions(out)
+    Dataset::from_arc_partitions(out, Partitioning::HashByKey { parts })
 }
 
 /// Extension trait providing the wide operators on key–value datasets.
 pub trait KeyedDataset<K, V> {
+    /// Transforms values while keeping keys — and therefore the partitioning
+    /// tag — intact (narrow, deferred). The lazy-plan counterpart of Spark's
+    /// `mapValues`, which preserves the partitioner where `map` cannot.
+    fn map_values<W, F>(&self, f: F) -> Dataset<(K, W)>
+    where
+        W: Clone + Send + Sync + 'static,
+        F: Fn(&V) -> W + Send + Sync + 'static;
+
+    /// Like [`map_values`](KeyedDataset::map_values) but the closure also
+    /// sees the key (which it cannot change) — for value updates that depend
+    /// on the key, e.g. per-key rank recomputation in iterative analytics.
+    fn map_values_with_key<W, F>(&self, f: F) -> Dataset<(K, W)>
+    where
+        W: Clone + Send + Sync + 'static,
+        F: Fn(&K, &V) -> W + Send + Sync + 'static;
+
     /// Groups values by key: `groupBy` of the paper's algorithms.
     fn group_by_key(&self, rt: &Runtime) -> Dataset<(K, Vec<V>)>;
 
     /// Reduces values per key with a commutative, associative function,
-    /// combining map-side before shuffling (Spark's `reduceByKey`).
+    /// combining map-side before shuffling (Spark's `reduceByKey`). On an
+    /// input already hash-partitioned by key this is a single local pass
+    /// with no shuffle.
     fn reduce_by_key<F>(&self, rt: &Runtime, f: F) -> Dataset<(K, V)>
     where
         F: Fn(&V, &V) -> V + Send + Sync + 'static;
@@ -95,59 +132,92 @@ pub trait KeyedDataset<K, V> {
         W: Clone + Send + Sync + 'static;
 }
 
+/// Per-partition combine used on both sides of `reduce_by_key`.
+fn combine_partition<K, V, F>(part: &[(K, V)], f: &F) -> Vec<(K, V)>
+where
+    K: Hash + Eq + Clone,
+    V: Clone,
+    F: Fn(&V, &V) -> V,
+{
+    let mut acc: HashMap<K, V> = HashMap::with_capacity(part.len());
+    for (k, v) in part {
+        match acc.entry(k.clone()) {
+            Entry::Occupied(mut e) => {
+                let merged = f(e.get(), v);
+                e.insert(merged);
+            }
+            Entry::Vacant(e) => {
+                e.insert(v.clone());
+            }
+        }
+    }
+    acc.into_iter().collect()
+}
+
 impl<K, V> KeyedDataset<K, V> for Dataset<(K, V)>
 where
     K: Hash + Eq + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
 {
+    fn map_values<W, F>(&self, f: F) -> Dataset<(K, W)>
+    where
+        W: Clone + Send + Sync + 'static,
+        F: Fn(&V) -> W + Send + Sync + 'static,
+    {
+        // Keys are untouched, so whatever hash partitioning held before
+        // still holds after.
+        let tag = self.partitioning();
+        self.map(move |(k, v)| (k.clone(), f(v)))
+            .with_partitioning(tag)
+    }
+
+    fn map_values_with_key<W, F>(&self, f: F) -> Dataset<(K, W)>
+    where
+        W: Clone + Send + Sync + 'static,
+        F: Fn(&K, &V) -> W + Send + Sync + 'static,
+    {
+        let tag = self.partitioning();
+        self.map(move |(k, v)| (k.clone(), f(k, v)))
+            .with_partitioning(tag)
+    }
+
     fn group_by_key(&self, rt: &Runtime) -> Dataset<(K, Vec<V>)> {
-        shuffle(rt, self).map_partitions(rt, |part| {
-            let mut groups: HashMap<K, Vec<V>> = HashMap::new();
-            for (k, v) in part {
-                groups.entry(k.clone()).or_default().push(v.clone());
-            }
-            groups.into_iter().collect()
-        })
+        let parts = rt.partitions();
+        shuffle(rt, self)
+            .map_partitions(|part| {
+                let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+                for (k, v) in part {
+                    groups.entry(k.clone()).or_default().push(v.clone());
+                }
+                groups.into_iter().collect()
+            })
+            // Grouping within a hash partition keeps keys where they hashed.
+            .with_partitioning(Partitioning::HashByKey { parts })
     }
 
     fn reduce_by_key<F>(&self, rt: &Runtime, f: F) -> Dataset<(K, V)>
     where
         F: Fn(&V, &V) -> V + Send + Sync + 'static,
     {
+        let parts = rt.partitions();
         let f = Arc::new(f);
-        // Map-side combine shrinks the shuffle, as in Spark.
+        if hashed_by_key(self.partitioning(), parts) {
+            // Already co-located by key: a single local combine pass, no
+            // map-side stage, no shuffle.
+            rt.note_shuffle_elided();
+            return self
+                .map_partitions(move |part| combine_partition(part, f.as_ref()))
+                .with_partitioning(Partitioning::HashByKey { parts });
+        }
+        // Map-side combine shrinks the shuffle, as in Spark. The combine is a
+        // deferred narrow stage, so it fuses with both the upstream chain and
+        // the shuffle's map side: one pass over the input.
         let f1 = Arc::clone(&f);
-        let combined = self.map_partitions(rt, move |part| {
-            let mut acc: HashMap<K, V> = HashMap::with_capacity(part.len());
-            for (k, v) in part {
-                match acc.entry(k.clone()) {
-                    Entry::Occupied(mut e) => {
-                        let merged = f1(e.get(), v);
-                        e.insert(merged);
-                    }
-                    Entry::Vacant(e) => {
-                        e.insert(v.clone());
-                    }
-                }
-            }
-            acc.into_iter().collect()
-        });
+        let combined = self.map_partitions(move |part| combine_partition(part, f1.as_ref()));
         let f2 = Arc::clone(&f);
-        shuffle(rt, &combined).map_partitions(rt, move |part| {
-            let mut acc: HashMap<K, V> = HashMap::with_capacity(part.len());
-            for (k, v) in part {
-                match acc.entry(k.clone()) {
-                    Entry::Occupied(mut e) => {
-                        let merged = f2(e.get(), v);
-                        e.insert(merged);
-                    }
-                    Entry::Vacant(e) => {
-                        e.insert(v.clone());
-                    }
-                }
-            }
-            acc.into_iter().collect()
-        })
+        shuffle(rt, &combined)
+            .map_partitions(move |part| combine_partition(part, f2.as_ref()))
+            .with_partitioning(Partitioning::HashByKey { parts })
     }
 
     fn aggregate_by_key<A, I, U, M>(
@@ -163,44 +233,49 @@ where
         U: Fn(&mut A, &V) + Send + Sync + 'static,
         M: Fn(&mut A, &A) + Send + Sync + 'static,
     {
-        let init = Arc::new(init);
-        let init1 = Arc::clone(&init);
-        let update = Arc::new(update);
-        // Map-side: fold values into per-key accumulators.
-        let partials = self.map_partitions(rt, move |part| {
+        let parts = rt.partitions();
+        let fold_partition = move |part: &[(K, V)]| {
             let mut acc: HashMap<K, A> = HashMap::new();
             for (k, v) in part {
-                let a = acc.entry(k.clone()).or_insert_with(|| init1());
+                let a = acc.entry(k.clone()).or_insert_with(&init);
                 update(a, v);
             }
-            acc.into_iter().collect()
-        });
+            acc.into_iter().collect::<Vec<_>>()
+        };
+        if hashed_by_key(self.partitioning(), parts) {
+            // Keys are co-located: fold each partition once, done.
+            rt.note_shuffle_elided();
+            return self
+                .map_partitions(fold_partition)
+                .with_partitioning(Partitioning::HashByKey { parts });
+        }
+        // Map-side: fold values into per-key accumulators (deferred, fused).
+        let partials = self.map_partitions(fold_partition);
         // Reduce-side: merge accumulators.
-        let merge = Arc::new(merge);
-        shuffle(rt, &partials).map_partitions(rt, move |part| {
-            let mut acc: HashMap<K, A> = HashMap::new();
-            for (k, a) in part {
-                match acc.entry(k.clone()) {
-                    Entry::Occupied(mut e) => merge(e.get_mut(), a),
-                    Entry::Vacant(e) => {
-                        e.insert(a.clone());
+        shuffle(rt, &partials)
+            .map_partitions(move |part| {
+                let mut acc: HashMap<K, A> = HashMap::new();
+                for (k, a) in part {
+                    match acc.entry(k.clone()) {
+                        Entry::Occupied(mut e) => merge(e.get_mut(), a),
+                        Entry::Vacant(e) => {
+                            e.insert(a.clone());
+                        }
                     }
                 }
-            }
-            acc.into_iter().collect()
-        })
+                acc.into_iter().collect()
+            })
+            .with_partitioning(Partitioning::HashByKey { parts })
     }
 
     fn join<W>(&self, rt: &Runtime, other: &Dataset<(K, W)>) -> Dataset<(K, (V, W))>
     where
         W: Clone + Send + Sync + 'static,
     {
-        let left = shuffle(rt, self);
-        let right = shuffle(rt, other);
-        let right_parts: Arc<Vec<_>> = Arc::new(right.partitions().to_vec());
-        let left_parts: Arc<Vec<_>> = Arc::new(left.partitions().to_vec());
-        let n = left_parts.len();
-        let out = rt.run_indexed(n, move |p| {
+        let parts = rt.partitions();
+        let left_parts = shuffle(rt, self).parts(rt);
+        let right_parts = shuffle(rt, other).parts(rt);
+        let out = rt.run_indexed(parts, move |p| {
             // Build on the right, probe with the left (co-partitioned).
             let mut table: HashMap<&K, Vec<&W>> = HashMap::new();
             for (k, w) in right_parts[p].iter() {
@@ -214,30 +289,30 @@ where
                     }
                 }
             }
-            out
+            Arc::new(out)
         });
-        Dataset::from_partitions(out)
+        Dataset::from_arc_partitions(out, Partitioning::HashByKey { parts })
     }
 
     fn semi_join<W>(&self, rt: &Runtime, keys: &Dataset<(K, W)>) -> Dataset<(K, V)>
     where
         W: Clone + Send + Sync + 'static,
     {
-        let left = shuffle(rt, self);
-        let right = shuffle(rt, keys);
-        let right_parts: Arc<Vec<_>> = Arc::new(right.partitions().to_vec());
-        let left_parts: Arc<Vec<_>> = Arc::new(left.partitions().to_vec());
-        let n = left_parts.len();
-        let out = rt.run_indexed(n, move |p| {
+        let parts = rt.partitions();
+        let left_parts = shuffle(rt, self).parts(rt);
+        let right_parts = shuffle(rt, keys).parts(rt);
+        let out = rt.run_indexed(parts, move |p| {
             let keyset: std::collections::HashSet<&K> =
                 right_parts[p].iter().map(|(k, _)| k).collect();
-            left_parts[p]
-                .iter()
-                .filter(|(k, _)| keyset.contains(k))
-                .cloned()
-                .collect::<Vec<_>>()
+            Arc::new(
+                left_parts[p]
+                    .iter()
+                    .filter(|(k, _)| keyset.contains(k))
+                    .cloned()
+                    .collect::<Vec<_>>(),
+            )
         });
-        Dataset::from_partitions(out)
+        Dataset::from_arc_partitions(out, Partitioning::HashByKey { parts })
     }
 }
 
@@ -246,10 +321,8 @@ pub fn distinct<T>(rt: &Runtime, input: &Dataset<T>) -> Dataset<T>
 where
     T: Hash + Eq + Clone + Send + Sync + 'static,
 {
-    let keyed: Dataset<(T, ())> = input.map(rt, |x| (x.clone(), ()));
-    keyed
-        .reduce_by_key(rt, |_, _| ())
-        .map(rt, |(k, _)| k.clone())
+    let keyed: Dataset<(T, ())> = input.map(|x| (x.clone(), ()));
+    keyed.reduce_by_key(rt, |_, _| ()).map(|(k, _)| k.clone())
 }
 
 #[cfg(test)]
@@ -266,21 +339,82 @@ mod tests {
     }
 
     #[test]
-    fn shuffle_co_locates_keys() {
+    fn shuffle_co_locates_keys_and_tags_output() {
         let rt = rt();
         let d = Dataset::from_vec(&rt, (0..100).map(|i| (i % 10, i)).collect::<Vec<_>>());
         let s = shuffle(&rt, &d);
+        assert_eq!(s.partitioning(), Partitioning::HashByKey { parts: 4 });
         // Every key must live in exactly one partition.
         for key in 0..10 {
             let holders = s
-                .partitions()
+                .parts(&rt)
                 .iter()
                 .filter(|p| p.iter().any(|(k, _)| *k == key))
                 .count();
             assert_eq!(holders, 1, "key {key} spread across partitions");
         }
         assert_eq!(s.count(&rt), 100);
-        assert!(rt.stats().shuffled_records >= 100);
+        let stats = rt.stats();
+        assert!(stats.shuffled_records >= 100);
+        assert!(stats.shuffled_bytes >= stats.shuffled_records);
+    }
+
+    #[test]
+    fn shuffle_on_prepartitioned_input_is_elided() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, (0..100).map(|i| (i % 10, i)).collect::<Vec<_>>());
+        let s = shuffle(&rt, &d);
+        let before = rt.stats();
+        let s2 = shuffle(&rt, &s);
+        let delta = rt.stats().since(&before);
+        assert_eq!(delta.shuffles, 0, "second shuffle must be elided");
+        assert_eq!(delta.shuffled_records, 0);
+        assert_eq!(delta.shuffles_elided, 1);
+        assert_eq!(sorted(s2.collect(&rt)), sorted(s.collect(&rt)));
+    }
+
+    #[test]
+    fn reduce_by_key_on_prepartitioned_input_does_zero_shuffles() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, (0..1000u64).map(|i| (i % 13, i)).collect::<Vec<_>>());
+        let s = shuffle(&rt, &d);
+        let before = rt.stats();
+        let r = s.reduce_by_key(&rt, |a, b| a + b);
+        let got = sorted(r.collect(&rt));
+        let delta = rt.stats().since(&before);
+        assert_eq!(delta.shuffles, 0, "pre-partitioned reduce must not shuffle");
+        assert_eq!(delta.shuffled_records, 0);
+        assert_eq!(delta.shuffled_bytes, 0);
+        assert_eq!(delta.shuffles_elided, 1);
+        // And the answer is still right.
+        let mut expected: HashMap<u64, u64> = HashMap::new();
+        for i in 0..1000u64 {
+            *expected.entry(i % 13).or_default() += i;
+        }
+        assert_eq!(got, sorted(expected.into_iter().collect()));
+    }
+
+    #[test]
+    fn elision_survives_tag_preserving_narrow_ops() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, (0..500u64).map(|i| (i % 9, i)).collect::<Vec<_>>());
+        // coalesce-then-aggregate shape: shuffle once, then filter +
+        // map_values (both tag-preserving), then re-key by the same key.
+        let s = shuffle(&rt, &d)
+            .filter(|(_, v)| v % 2 == 0)
+            .map_values(|v| v * 10);
+        assert_eq!(s.partitioning(), Partitioning::HashByKey { parts: 4 });
+        let before = rt.stats();
+        let r = s.reduce_by_key(&rt, |a, b| a + b);
+        let out = sorted(r.collect(&rt));
+        let delta = rt.stats().since(&before);
+        assert_eq!(delta.shuffles, 0);
+        assert_eq!(delta.shuffles_elided, 1);
+        let mut expected: HashMap<u64, u64> = HashMap::new();
+        for i in (0..500u64).filter(|i| i % 2 == 0) {
+            *expected.entry(i % 9).or_default() += i * 10;
+        }
+        assert_eq!(out, sorted(expected.into_iter().collect()));
     }
 
     #[test]
@@ -288,12 +422,27 @@ mod tests {
         let rt = rt();
         let d = Dataset::from_vec(&rt, vec![(1, "a"), (2, "b"), (1, "c"), (1, "d")]);
         let g = d.group_by_key(&rt);
-        let mut groups = g.collect();
+        assert_eq!(g.partitioning(), Partitioning::HashByKey { parts: 4 });
+        let mut groups = g.collect(&rt);
         groups.sort_by_key(|(k, _)| *k);
         assert_eq!(groups.len(), 2);
         assert_eq!(groups[0].0, 1);
         assert_eq!(sorted(groups[0].1.clone()), vec!["a", "c", "d"]);
         assert_eq!(groups[1].1, vec!["b"]);
+    }
+
+    #[test]
+    fn map_values_preserves_partitioning() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, vec![(1u32, 2u32), (2, 3)]);
+        assert_eq!(
+            d.map_values(|v| v + 1).partitioning(),
+            Partitioning::Unknown
+        );
+        let s = shuffle(&rt, &d);
+        let mv = s.map_values(|v| v + 1);
+        assert_eq!(mv.partitioning(), Partitioning::HashByKey { parts: 4 });
+        assert_eq!(sorted(mv.collect(&rt)), vec![(1, 3), (2, 4)]);
     }
 
     #[test]
@@ -306,7 +455,7 @@ mod tests {
         }
         let d = Dataset::from_vec(&rt, data);
         let r = d.reduce_by_key(&rt, |a, b| a + b);
-        let got: HashMap<u32, u64> = r.collect().into_iter().collect();
+        let got: HashMap<u32, u64> = r.collect(&rt).into_iter().collect();
         assert_eq!(got, expected);
     }
 
@@ -315,8 +464,22 @@ mod tests {
         let rt = rt();
         let d = Dataset::from_vec(&rt, (0..50).map(|i| (i % 5, i)).collect::<Vec<_>>());
         let a = d.aggregate_by_key(&rt, || 0usize, |acc, _| *acc += 1, |a, b| *a += b);
-        let mut got = a.collect();
+        let mut got = a.collect(&rt);
         got.sort();
+        assert_eq!(got, (0..5).map(|k| (k, 10)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn aggregate_by_key_elides_on_prepartitioned_input() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, (0..50).map(|i| (i % 5, i)).collect::<Vec<_>>());
+        let s = shuffle(&rt, &d);
+        let before = rt.stats();
+        let a = s.aggregate_by_key(&rt, || 0usize, |acc, _| *acc += 1, |a, b| *a += b);
+        let got = sorted(a.collect(&rt));
+        let delta = rt.stats().since(&before);
+        assert_eq!(delta.shuffles, 0);
+        assert_eq!(delta.shuffles_elided, 1);
         assert_eq!(got, (0..5).map(|k| (k, 10)).collect::<Vec<_>>());
     }
 
@@ -326,7 +489,7 @@ mod tests {
         let left = Dataset::from_vec(&rt, vec![(1, "l1"), (1, "l2"), (2, "l3"), (3, "l4")]);
         let right = Dataset::from_vec(&rt, vec![(1, "r1"), (2, "r2"), (2, "r3"), (4, "r4")]);
         let j = left.join(&rt, &right);
-        let mut got = j.collect();
+        let mut got = j.collect(&rt);
         got.sort();
         assert_eq!(
             got,
@@ -340,19 +503,33 @@ mod tests {
     }
 
     #[test]
+    fn join_on_two_prepartitioned_inputs_moves_nothing() {
+        let rt = rt();
+        let left = shuffle(&rt, &Dataset::from_vec(&rt, vec![(1, "a"), (2, "b")]));
+        let right = shuffle(&rt, &Dataset::from_vec(&rt, vec![(1, 10), (3, 30)]));
+        let before = rt.stats();
+        let j = left.join(&rt, &right);
+        assert_eq!(j.collect(&rt), vec![(1, ("a", 10))]);
+        let delta = rt.stats().since(&before);
+        assert_eq!(delta.shuffles, 0);
+        assert_eq!(delta.shuffled_records, 0);
+        assert_eq!(delta.shuffles_elided, 2);
+    }
+
+    #[test]
     fn semi_join_filters() {
         let rt = rt();
         let left = Dataset::from_vec(&rt, vec![(1, "a"), (2, "b"), (3, "c")]);
         let right = Dataset::from_vec(&rt, vec![(1, ()), (3, ()), (9, ())]);
         let s = left.semi_join(&rt, &right);
-        assert_eq!(sorted(s.collect()), vec![(1, "a"), (3, "c")]);
+        assert_eq!(sorted(s.collect(&rt)), vec![(1, "a"), (3, "c")]);
     }
 
     #[test]
     fn distinct_dedups() {
         let rt = rt();
         let d = Dataset::from_vec(&rt, vec![3, 1, 3, 2, 1, 1]);
-        assert_eq!(sorted(distinct(&rt, &d).collect()), vec![1, 2, 3]);
+        assert_eq!(sorted(distinct(&rt, &d).collect(&rt)), vec![1, 2, 3]);
     }
 
     #[test]
@@ -375,6 +552,6 @@ mod tests {
         let rt4 = Runtime::with_partitions(4, 7);
         let r1 = Dataset::from_vec(&rt1, data.clone()).reduce_by_key(&rt1, |a, b| a + b);
         let r4 = Dataset::from_vec(&rt4, data).reduce_by_key(&rt4, |a, b| a + b);
-        assert_eq!(sorted(r1.collect()), sorted(r4.collect()));
+        assert_eq!(sorted(r1.collect(&rt1)), sorted(r4.collect(&rt4)));
     }
 }

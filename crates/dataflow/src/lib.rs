@@ -7,27 +7,56 @@
 //!
 //! This crate is the substitute for Apache Spark in the reproduction (see
 //! `DESIGN.md`): datasets are immutable partitioned collections
-//! ([`Dataset`]), narrow transformations run one task per partition without
-//! moving data, and wide (keyed) transformations perform a real hash shuffle
-//! between partitions. The engine therefore preserves the data-movement
-//! asymmetries between the TGraph physical representations that the paper's
-//! experiments measure.
+//! ([`Dataset`]) executed under a **lazy, plan-based model**:
+//!
+//! * **Narrow transformations are deferred and fused.** `map`, `filter`,
+//!   `flat_map`, `map_partitions`, and
+//!   [`map_values`](KeyedDataset::map_values) run nothing; they extend a
+//!   per-partition closure chain. The chain executes as a *single* pass per
+//!   partition — one task wave, no intermediate partition allocations — when
+//!   an action (`collect`, `count`, `fold`) or a shuffle boundary forces it.
+//!   Elements flow through the fused chain by reference and are cloned only
+//!   at the materialization boundary.
+//! * **Wide (keyed) transformations are the fusion boundaries.** They
+//!   perform a real hash shuffle with per-partition bucket exchange, whose
+//!   map side fuses with the pending narrow chain. The engine therefore
+//!   preserves the data-movement asymmetries between the TGraph physical
+//!   representations that the paper's experiments measure.
+//! * **Shuffles are elided when provably redundant.** Shuffle outputs carry
+//!   a [`Partitioning::HashByKey`] tag; tag-preserving operators (`filter`,
+//!   `map_values`) keep it, and a keyed operator whose input already has the
+//!   required tag skips its shuffle entirely — zero records moved.
+//!
+//! [`Runtime::stats`] exposes the executor accounting that makes all of this
+//! observable: task waves launched, shuffle rounds executed and elided, and
+//! records/approximate bytes moved.
 //!
 //! ```
 //! use tgraph_dataflow::{Dataset, KeyedDataset, Runtime};
 //!
 //! let rt = Runtime::new(4);
 //! let words = Dataset::from_vec(&rt, vec!["a", "b", "a", "c", "b", "a"]);
+//! // Narrow ops build a deferred plan; reduce_by_key forces it in one pass.
 //! let counts = words
-//!     .map(&rt, |w| (*w, 1u64))
+//!     .map(|w| (*w, 1u64))
 //!     .reduce_by_key(&rt, |x, y| x + y);
-//! let mut result = counts.collect();
+//! let mut result = counts.collect(&rt);
 //! result.sort();
 //! assert_eq!(result, vec![("a", 3), ("b", 2), ("c", 1)]);
+//!
+//! // A second reduce on the same key needs no shuffle: the output of the
+//! // first is already hash-partitioned by key.
+//! let before = rt.stats();
+//! let _ = counts.reduce_by_key(&rt, |x, y| x + y).collect(&rt);
+//! let delta = rt.stats().since(&before);
+//! assert_eq!(delta.shuffles, 0);
+//! assert_eq!(delta.shuffles_elided, 1);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// Dataflow operator signatures nest tuples and Arcs deeply by design.
+#![allow(clippy::type_complexity)]
 
 pub mod dataset;
 pub mod extra;
@@ -35,7 +64,7 @@ pub mod keyed;
 pub mod pool;
 pub mod runtime;
 
-pub use dataset::Dataset;
+pub use dataset::{Dataset, Partitioning};
 pub use extra::{broadcast_join, broadcast_semi_join, cogroup, count_by_key, take};
 pub use keyed::{distinct, shuffle, KeyedDataset};
 pub use runtime::{Runtime, RuntimeStats};

@@ -34,14 +34,22 @@ impl ThreadPool {
                     .name(format!("tgraph-worker-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
-                            job();
+                            // Count before running: the job's completion signal
+                            // (its result-channel send) must not be observable
+                            // before the counter reflects the task.
                             counter.fetch_add(1, Ordering::Relaxed);
+                            job();
                         }
                     })
                     .expect("failed to spawn worker thread")
             })
             .collect();
-        ThreadPool { sender: Some(sender), workers, size, tasks_run }
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+            size,
+            tasks_run,
+        }
     }
 
     /// Number of worker threads.
@@ -99,7 +107,10 @@ impl ThreadPool {
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
-        slots.into_iter().map(|s| s.expect("missing task result")).collect()
+        slots
+            .into_iter()
+            .map(|s| s.expect("missing task result"))
+            .collect()
     }
 }
 
@@ -154,7 +165,11 @@ mod tests {
         let before = pool.tasks_run();
         let results = pool.run_batch(vec![Box::new(|| 41 + 1) as Box<dyn FnOnce() -> i32 + Send>]);
         assert_eq!(results, vec![42]);
-        assert_eq!(pool.tasks_run(), before, "single task must not hit the queue");
+        assert_eq!(
+            pool.tasks_run(),
+            before,
+            "single task must not hit the queue"
+        );
     }
 
     #[test]
@@ -174,8 +189,7 @@ mod tests {
     #[test]
     fn counts_tasks() {
         let pool = ThreadPool::new(3);
-        let tasks: Vec<Box<dyn FnOnce() -> () + Send>> =
-            (0..5).map(|_| Box::new(|| ()) as _).collect();
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..5).map(|_| Box::new(|| ()) as _).collect();
         pool.run_batch(tasks);
         assert_eq!(pool.tasks_run(), 5);
     }

@@ -5,17 +5,46 @@ use crate::pool::ThreadPool;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Snapshot of execution statistics, useful for understanding how much data
-/// movement an operator plan caused (the shared-memory analogue of Spark's
-/// shuffle read/write metrics).
+/// Snapshot of execution statistics — the shared-memory analogue of Spark's
+/// shuffle read/write metrics plus executor accounting.
+///
+/// `waves` counts task batches launched on the pool: a fully fused narrow
+/// chain costs exactly one wave regardless of how many operators it chains,
+/// so `waves` is the observable proof that operator fusion (or shuffle
+/// elision) happened. `shuffled_bytes` approximates moved volume as
+/// `records × size_of::<record>()`; heap payloads behind pointers are not
+/// followed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RuntimeStats {
     /// Tasks executed on the pool.
     pub tasks: u64,
-    /// Records that crossed a partition boundary in shuffles.
-    pub shuffled_records: u64,
+    /// Task waves (batches) launched — one per materialization or shuffle
+    /// stage.
+    pub waves: u64,
     /// Number of shuffle stages executed.
     pub shuffles: u64,
+    /// Shuffles skipped because the input already carried the required
+    /// hash partitioning.
+    pub shuffles_elided: u64,
+    /// Records that crossed a partition boundary in shuffles.
+    pub shuffled_records: u64,
+    /// Approximate bytes moved in shuffles (records × record size).
+    pub shuffled_bytes: u64,
+}
+
+impl RuntimeStats {
+    /// Statistics accumulated since an earlier snapshot
+    /// (per-experiment deltas: `rt.stats().since(&before)`).
+    pub fn since(&self, earlier: &RuntimeStats) -> RuntimeStats {
+        RuntimeStats {
+            tasks: self.tasks - earlier.tasks,
+            waves: self.waves - earlier.waves,
+            shuffles: self.shuffles - earlier.shuffles,
+            shuffles_elided: self.shuffles_elided - earlier.shuffles_elided,
+            shuffled_records: self.shuffled_records - earlier.shuffled_records,
+            shuffled_bytes: self.shuffled_bytes - earlier.shuffled_bytes,
+        }
+    }
 }
 
 /// The execution context every dataflow operator runs against.
@@ -26,8 +55,11 @@ pub struct RuntimeStats {
 pub struct Runtime {
     pool: ThreadPool,
     partitions: usize,
-    shuffled_records: AtomicU64,
+    waves: AtomicU64,
     shuffles: AtomicU64,
+    shuffles_elided: AtomicU64,
+    shuffled_records: AtomicU64,
+    shuffled_bytes: AtomicU64,
 }
 
 impl Runtime {
@@ -42,8 +74,11 @@ impl Runtime {
         Runtime {
             pool: ThreadPool::new(workers),
             partitions: partitions.max(1),
-            shuffled_records: AtomicU64::new(0),
+            waves: AtomicU64::new(0),
             shuffles: AtomicU64::new(0),
+            shuffles_elided: AtomicU64::new(0),
+            shuffled_records: AtomicU64::new(0),
+            shuffled_bytes: AtomicU64::new(0),
         }
     }
 
@@ -55,7 +90,9 @@ impl Runtime {
 
     /// Runtime sized to the machine: one worker per available core.
     pub fn default_parallel() -> Self {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         Self::new(cores)
     }
 
@@ -70,11 +107,15 @@ impl Runtime {
     }
 
     /// Runs `n` indexed tasks in parallel, returning results in index order.
+    /// Each non-empty batch counts as one wave.
     pub fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
         R: Send + 'static,
         F: Fn(usize) -> R + Send + Sync + 'static,
     {
+        if n > 0 {
+            self.waves.fetch_add(1, Ordering::Relaxed);
+        }
         let f = Arc::new(f);
         let tasks: Vec<Box<dyn FnOnce() -> R + Send>> = (0..n)
             .map(|i| {
@@ -86,17 +127,26 @@ impl Runtime {
     }
 
     /// Records shuffle volume (called by keyed operators).
-    pub(crate) fn note_shuffle(&self, records: u64) {
+    pub(crate) fn note_shuffle(&self, records: u64, bytes: u64) {
         self.shuffles.fetch_add(1, Ordering::Relaxed);
         self.shuffled_records.fetch_add(records, Ordering::Relaxed);
+        self.shuffled_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a shuffle skipped thanks to an existing hash partitioning.
+    pub(crate) fn note_shuffle_elided(&self) {
+        self.shuffles_elided.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Current execution statistics.
     pub fn stats(&self) -> RuntimeStats {
         RuntimeStats {
             tasks: self.pool.tasks_run(),
-            shuffled_records: self.shuffled_records.load(Ordering::Relaxed),
+            waves: self.waves.load(Ordering::Relaxed),
             shuffles: self.shuffles.load(Ordering::Relaxed),
+            shuffles_elided: self.shuffles_elided.load(Ordering::Relaxed),
+            shuffled_records: self.shuffled_records.load(Ordering::Relaxed),
+            shuffled_bytes: self.shuffled_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -134,11 +184,38 @@ mod tests {
     fn stats_track_shuffles() {
         let rt = Runtime::new(2);
         assert_eq!(rt.stats().shuffles, 0);
-        rt.note_shuffle(10);
-        rt.note_shuffle(5);
+        rt.note_shuffle(10, 160);
+        rt.note_shuffle(5, 80);
+        rt.note_shuffle_elided();
         let s = rt.stats();
         assert_eq!(s.shuffles, 2);
         assert_eq!(s.shuffled_records, 15);
+        assert_eq!(s.shuffled_bytes, 240);
+        assert_eq!(s.shuffles_elided, 1);
+    }
+
+    #[test]
+    fn waves_count_batches() {
+        let rt = Runtime::new(2);
+        assert_eq!(rt.stats().waves, 0);
+        rt.run_indexed(4, |i| i);
+        rt.run_indexed(1, |i| i);
+        let empty: Vec<usize> = rt.run_indexed(0, |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(rt.stats().waves, 2, "empty batches are not waves");
+    }
+
+    #[test]
+    fn stats_since_deltas() {
+        let rt = Runtime::new(2);
+        rt.run_indexed(4, |i| i);
+        let before = rt.stats();
+        rt.run_indexed(4, |i| i);
+        rt.note_shuffle(7, 70);
+        let d = rt.stats().since(&before);
+        assert_eq!(d.waves, 1);
+        assert_eq!(d.shuffles, 1);
+        assert_eq!(d.shuffled_records, 7);
     }
 
     #[test]

@@ -61,13 +61,17 @@ impl WikiTalk {
         // Growth-only vertices: arrival month ~ uniform; persist to the end.
         let mut vertices = Vec::with_capacity(self.vertices);
         let mut arrival = vec![0i64; self.vertices];
-        for vid in 0..self.vertices {
+        for (vid, slot) in arrival.iter_mut().enumerate() {
             let start = rng.gen_range(0..months);
-            arrival[vid] = start;
+            *slot = start;
             let props = Props::typed("person")
                 .with("name", format!("user{vid}"))
                 .with("editCount", rng.gen_range(0..self.edit_count_values) as i64);
-            vertices.push(VertexRecord::new(vid as u64, Interval::new(start, months), props));
+            vertices.push(VertexRecord::new(
+                vid as u64,
+                Interval::new(start, months),
+                props,
+            ));
         }
 
         // Short-lived message edges. A fraction of each month's edges
@@ -115,7 +119,12 @@ impl WikiTalk {
                 if a == b {
                     continue;
                 }
-                active.push(Active { eid: next_eid, a, b, since: month });
+                active.push(Active {
+                    eid: next_eid,
+                    a,
+                    b,
+                    since: month,
+                });
                 next_eid += 1;
             }
         }
@@ -128,7 +137,11 @@ impl WikiTalk {
                 Props::typed("message"),
             ));
         }
-        TGraph { lifespan, vertices, edges }
+        TGraph {
+            lifespan,
+            vertices,
+            edges,
+        }
     }
 }
 
@@ -230,14 +243,23 @@ impl NGrams {
                 if a == b {
                     continue;
                 }
-                active.push(Active { eid: next_eid, a, b, since: year });
+                active.push(Active {
+                    eid: next_eid,
+                    a,
+                    b,
+                    since: year,
+                });
                 next_eid += 1;
             }
         }
         for act in active {
             emit(&act, years, &mut edges);
         }
-        TGraph { lifespan, vertices, edges }
+        TGraph {
+            lifespan,
+            vertices,
+            edges,
+        }
     }
 }
 
@@ -294,14 +316,25 @@ impl Snb {
         // Persons arrive uniformly over the lifespan and persist (growth-only).
         let mut vertices = Vec::with_capacity(n);
         let mut arrival = vec![0i64; n];
-        for vid in 0..n {
+        for (vid, slot) in arrival.iter_mut().enumerate() {
             // Guarantee a seed population in month 0.
-            let start = if vid < n / 10 { 0 } else { rng.gen_range(0..months) };
-            arrival[vid] = start;
+            let start = if vid < n / 10 {
+                0
+            } else {
+                rng.gen_range(0..months)
+            };
+            *slot = start;
             let props = Props::typed("person")
-                .with("firstName", format!("name{}", rng.gen_range(0..self.first_names)))
+                .with(
+                    "firstName",
+                    format!("name{}", rng.gen_range(0..self.first_names)),
+                )
                 .with("id", vid as i64);
-            vertices.push(VertexRecord::new(vid as u64, Interval::new(start, months), props));
+            vertices.push(VertexRecord::new(
+                vid as u64,
+                Interval::new(start, months),
+                props,
+            ));
         }
 
         // Friendships arrive after both endpoints exist and persist
@@ -335,7 +368,11 @@ impl Snb {
                 hubs.drain(..2048);
             }
         }
-        TGraph { lifespan, vertices, edges }
+        TGraph {
+            lifespan,
+            vertices,
+            edges,
+        }
     }
 }
 
@@ -346,9 +383,18 @@ mod tests {
 
     #[test]
     fn wikitalk_is_valid_and_growth_only_vertices() {
-        let g = WikiTalk { vertices: 500, months: 24, ..WikiTalk::default() }.generate();
+        let g = WikiTalk {
+            vertices: 500,
+            months: 24,
+            ..WikiTalk::default()
+        }
+        .generate();
         assert!(validate(&g).is_empty());
-        assert_eq!(g.vertex_tuple_count(), 500, "one tuple per vertex (no attr changes)");
+        assert_eq!(
+            g.vertex_tuple_count(),
+            500,
+            "one tuple per vertex (no attr changes)"
+        );
         // Every vertex persists to the end of the lifespan.
         assert!(g.vertices.iter().all(|v| v.interval.end == g.lifespan.end));
         assert!(g.edge_tuple_count() > 500);
@@ -356,7 +402,12 @@ mod tests {
 
     #[test]
     fn wikitalk_edges_are_short_lived() {
-        let g = WikiTalk { vertices: 500, months: 24, ..WikiTalk::default() }.generate();
+        let g = WikiTalk {
+            vertices: 500,
+            months: 24,
+            ..WikiTalk::default()
+        }
+        .generate();
         let one_month = g.edges.iter().filter(|e| e.interval.len() == 1).count();
         // With survival ≈ 0.144, the vast majority of edges live one month.
         assert!(one_month as f64 > 0.7 * g.edges.len() as f64);
@@ -365,7 +416,12 @@ mod tests {
 
     #[test]
     fn ngrams_vertices_persist_edges_churn() {
-        let g = NGrams { vertices: 300, years: 20, ..NGrams::default() }.generate();
+        let g = NGrams {
+            vertices: 300,
+            years: 20,
+            ..NGrams::default()
+        }
+        .generate();
         assert!(validate(&g).is_empty());
         assert!(g.vertices.iter().all(|v| v.interval == g.lifespan));
         // Some edges live longer than one year (survivors extend intervals).
@@ -375,7 +431,11 @@ mod tests {
 
     #[test]
     fn snb_is_growth_only() {
-        let g = Snb { persons: 400, ..Snb::default() }.generate();
+        let g = Snb {
+            persons: 400,
+            ..Snb::default()
+        }
+        .generate();
         assert!(validate(&g).is_empty());
         assert!(g.vertices.iter().all(|v| v.interval.end == g.lifespan.end));
         assert!(g.edges.iter().all(|e| e.interval.end == g.lifespan.end));
@@ -383,11 +443,27 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = WikiTalk { vertices: 200, months: 12, ..WikiTalk::default() }.generate();
-        let b = WikiTalk { vertices: 200, months: 12, ..WikiTalk::default() }.generate();
+        let a = WikiTalk {
+            vertices: 200,
+            months: 12,
+            ..WikiTalk::default()
+        }
+        .generate();
+        let b = WikiTalk {
+            vertices: 200,
+            months: 12,
+            ..WikiTalk::default()
+        }
+        .generate();
         assert_eq!(a.vertices, b.vertices);
         assert_eq!(a.edges, b.edges);
-        let c = WikiTalk { vertices: 200, months: 12, seed: 7, ..WikiTalk::default() }.generate();
+        let c = WikiTalk {
+            vertices: 200,
+            months: 12,
+            seed: 7,
+            ..WikiTalk::default()
+        }
+        .generate();
         assert_ne!(a.edges, c.edges);
     }
 
@@ -399,7 +475,12 @@ mod tests {
 
     #[test]
     fn snb_first_name_cardinality_bound() {
-        let g = Snb { persons: 2_000, first_names: 10, ..Snb::default() }.generate();
+        let g = Snb {
+            persons: 2_000,
+            first_names: 10,
+            ..Snb::default()
+        }
+        .generate();
         let mut names: Vec<&str> = g
             .vertices
             .iter()

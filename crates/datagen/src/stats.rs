@@ -84,7 +84,11 @@ mod tests {
 
     #[test]
     fn growth_only_snb_has_high_evolution_rate() {
-        let g = Snb { persons: 1_000, ..Snb::default() }.generate();
+        let g = Snb {
+            persons: 1_000,
+            ..Snb::default()
+        }
+        .generate();
         let s = graph_stats(&g);
         assert!(
             s.evolution_rate > 80.0,
@@ -95,7 +99,12 @@ mod tests {
 
     #[test]
     fn churning_wikitalk_has_low_evolution_rate() {
-        let g = WikiTalk { vertices: 2_000, months: 36, ..WikiTalk::default() }.generate();
+        let g = WikiTalk {
+            vertices: 2_000,
+            months: 36,
+            ..WikiTalk::default()
+        }
+        .generate();
         let s = graph_stats(&g);
         assert!(
             s.evolution_rate < 40.0,
@@ -107,7 +116,12 @@ mod tests {
 
     #[test]
     fn ngrams_rate_between() {
-        let g = NGrams { vertices: 1_000, years: 40, ..NGrams::default() }.generate();
+        let g = NGrams {
+            vertices: 1_000,
+            years: 40,
+            ..NGrams::default()
+        }
+        .generate();
         let s = graph_stats(&g);
         assert!(
             s.evolution_rate > 5.0 && s.evolution_rate < 50.0,

@@ -55,12 +55,14 @@ pub fn coarsen_time(g: &TGraph, factor: u32) -> TGraph {
         }
     }
 
-    let mut e_by_id: HashMap<(u64, u64, u64), Vec<tgraph_core::graph::EdgeRecord>> =
-        HashMap::new();
+    let mut e_by_id: HashMap<(u64, u64, u64), Vec<tgraph_core::graph::EdgeRecord>> = HashMap::new();
     for e in &g.edges {
         let mut e = e.clone();
         e.interval = map_iv(e.interval);
-        e_by_id.entry((e.eid.0, e.src.0, e.dst.0)).or_default().push(e);
+        e_by_id
+            .entry((e.eid.0, e.src.0, e.dst.0))
+            .or_default()
+            .push(e);
     }
     let mut edges = Vec::with_capacity(g.edges.len());
     for (_, mut states) in e_by_id {
@@ -79,7 +81,11 @@ pub fn coarsen_time(g: &TGraph, factor: u32) -> TGraph {
         }
     }
 
-    coalesce_graph(&TGraph { lifespan: map_iv(g.lifespan), vertices, edges })
+    coalesce_graph(&TGraph {
+        lifespan: map_iv(g.lifespan),
+        vertices,
+        edges,
+    })
 }
 
 /// Projects each vertex's attributes to a random group identifier drawn
@@ -103,7 +109,11 @@ pub fn project_random_groups(g: &TGraph, cardinality: u64, seed: u64) -> TGraph 
             v
         })
         .collect();
-    TGraph { lifespan: g.lifespan, vertices, edges: g.edges.clone() }
+    TGraph {
+        lifespan: g.lifespan,
+        vertices,
+        edges: g.edges.clone(),
+    }
 }
 
 /// Injects vertex attribute changes with a fixed `period` (in time points):
@@ -135,7 +145,11 @@ pub fn inject_attribute_changes(g: &TGraph, period: u32) -> TGraph {
             t = end;
         }
     }
-    TGraph { lifespan: g.lifespan, vertices, edges: g.edges.clone() }
+    TGraph {
+        lifespan: g.lifespan,
+        vertices,
+        edges: g.edges.clone(),
+    }
 }
 
 /// Restricts a graph to its last `points` time points (the paper's
@@ -154,7 +168,12 @@ mod tests {
 
     #[test]
     fn coarsen_halves_snapshots() {
-        let g = WikiTalk { vertices: 200, months: 40, ..WikiTalk::default() }.generate();
+        let g = WikiTalk {
+            vertices: 200,
+            months: 40,
+            ..WikiTalk::default()
+        }
+        .generate();
         let snaps_before = g.change_points().len() - 1;
         let c = coarsen_time(&g, 4);
         let snaps_after = c.change_points().len() - 1;
@@ -185,7 +204,12 @@ mod tests {
 
     #[test]
     fn random_groups_respect_cardinality_and_stability() {
-        let g = WikiTalk { vertices: 300, months: 12, ..WikiTalk::default() }.generate();
+        let g = WikiTalk {
+            vertices: 300,
+            months: 12,
+            ..WikiTalk::default()
+        }
+        .generate();
         let p = project_random_groups(&g, 10, 42);
         let mut groups: Vec<i64> = p
             .vertices
@@ -206,7 +230,12 @@ mod tests {
 
     #[test]
     fn attribute_changes_multiply_tuples() {
-        let g = WikiTalk { vertices: 100, months: 24, ..WikiTalk::default() }.generate();
+        let g = WikiTalk {
+            vertices: 100,
+            months: 24,
+            ..WikiTalk::default()
+        }
+        .generate();
         let before = g.vertex_tuple_count();
         let m = inject_attribute_changes(&g, 6);
         assert!(m.vertex_tuple_count() > before);
@@ -231,7 +260,12 @@ mod tests {
 
     #[test]
     fn last_points_slices() {
-        let g = WikiTalk { vertices: 100, months: 24, ..WikiTalk::default() }.generate();
+        let g = WikiTalk {
+            vertices: 100,
+            months: 24,
+            ..WikiTalk::default()
+        }
+        .generate();
         let s = last_points(&g, 6);
         assert_eq!(s.lifespan.len(), 6);
         assert!(validate(&s).is_empty());

@@ -159,11 +159,7 @@ mod tests {
 
         for kind in [ReprKind::Ve, ReprKind::Og, ReprKind::Rg] {
             let pipeline = Pipeline::new().azoom(school_spec()).wzoom(wspec());
-            let out = pipeline.execute(
-                &rt,
-                AnyGraph::load(&rt, &g, kind),
-                CoalescePolicy::Lazy,
-            );
+            let out = pipeline.execute(&rt, AnyGraph::load(&rt, &g, kind), CoalescePolicy::Lazy);
             let got = out.to_tgraph(&rt);
             assert_eq!(got.vertices, expected.vertices, "{kind}");
             assert_eq!(got.edges, expected.edges, "{kind}");
@@ -181,7 +177,11 @@ mod tests {
             .azoom(school_spec())
             .switch_to(ReprKind::Og)
             .wzoom(wspec());
-        let out = pipeline.execute(&rt, AnyGraph::load(&rt, &g, ReprKind::Ve), CoalescePolicy::Lazy);
+        let out = pipeline.execute(
+            &rt,
+            AnyGraph::load(&rt, &g, ReprKind::Ve),
+            CoalescePolicy::Lazy,
+        );
         assert_eq!(out.kind(), ReprKind::Og);
         let got = out.to_tgraph(&rt);
         assert_eq!(got.vertices, expected.vertices);
@@ -192,7 +192,11 @@ mod tests {
             .azoom(school_spec())
             .switch_to(ReprKind::Ve)
             .wzoom(wspec());
-        let out = pipeline.execute(&rt, AnyGraph::load(&rt, &g, ReprKind::Og), CoalescePolicy::Lazy);
+        let out = pipeline.execute(
+            &rt,
+            AnyGraph::load(&rt, &g, ReprKind::Og),
+            CoalescePolicy::Lazy,
+        );
         assert_eq!(out.kind(), ReprKind::Ve);
         let got = out.to_tgraph(&rt);
         assert_eq!(got.vertices, expected.vertices);
@@ -205,10 +209,18 @@ mod tests {
         let g = figure1_graph_stable_ids();
         let pipeline = Pipeline::new().azoom(school_spec()).wzoom(wspec());
         let lazy = pipeline
-            .execute(&rt, AnyGraph::load(&rt, &g, ReprKind::Ve), CoalescePolicy::Lazy)
+            .execute(
+                &rt,
+                AnyGraph::load(&rt, &g, ReprKind::Ve),
+                CoalescePolicy::Lazy,
+            )
             .to_tgraph(&rt);
         let eager = pipeline
-            .execute(&rt, AnyGraph::load(&rt, &g, ReprKind::Ve), CoalescePolicy::Eager)
+            .execute(
+                &rt,
+                AnyGraph::load(&rt, &g, ReprKind::Ve),
+                CoalescePolicy::Eager,
+            )
             .to_tgraph(&rt);
         assert_eq!(lazy.vertices, eager.vertices);
         assert_eq!(lazy.edges, eager.edges);
@@ -232,7 +244,11 @@ mod tests {
     fn empty_pipeline_is_coalesced_identity() {
         let rt = rt();
         let g = figure1_graph_stable_ids();
-        let out = Pipeline::new().execute(&rt, AnyGraph::load(&rt, &g, ReprKind::Ve), CoalescePolicy::Lazy);
+        let out = Pipeline::new().execute(
+            &rt,
+            AnyGraph::load(&rt, &g, ReprKind::Ve),
+            CoalescePolicy::Lazy,
+        );
         let got = out.to_tgraph(&rt);
         let expected = tgraph_core::coalesce::coalesce_graph(&g);
         assert_eq!(got.vertices, expected.vertices);

@@ -20,12 +20,22 @@ pub struct Session<'rt> {
 impl<'rt> Session<'rt> {
     /// Starts a session from a logical graph loaded into `kind`.
     pub fn load(rt: &'rt Runtime, g: &TGraph, kind: ReprKind) -> Self {
-        Session { rt, graph: AnyGraph::load(rt, g, kind), policy: CoalescePolicy::Lazy, trace: Vec::new() }
+        Session {
+            rt,
+            graph: AnyGraph::load(rt, g, kind),
+            policy: CoalescePolicy::Lazy,
+            trace: Vec::new(),
+        }
     }
 
     /// Starts a session from an already-loaded representation.
     pub fn from_graph(rt: &'rt Runtime, graph: AnyGraph) -> Self {
-        Session { rt, graph, policy: CoalescePolicy::Lazy, trace: Vec::new() }
+        Session {
+            rt,
+            graph,
+            policy: CoalescePolicy::Lazy,
+            trace: Vec::new(),
+        }
     }
 
     /// Selects the coalescing policy (default lazy).
@@ -139,7 +149,11 @@ mod tests {
         let pipeline = session.to_pipeline();
         assert_eq!(pipeline.ops().len(), 1);
         let replayed = pipeline
-            .execute(&rt, AnyGraph::load(&rt, &g, ReprKind::Ve), CoalescePolicy::Lazy)
+            .execute(
+                &rt,
+                AnyGraph::load(&rt, &g, ReprKind::Ve),
+                CoalescePolicy::Lazy,
+            )
             .to_tgraph(&rt);
         assert_eq!(replayed.vertices, session.collect().vertices);
     }

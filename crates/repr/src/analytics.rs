@@ -11,13 +11,13 @@
 //! operators, with the snapshot id as part of every key so that all
 //! snapshots advance in the same superstep wave.
 
+use std::collections::HashMap;
+use std::sync::Arc;
 use tgraph_core::graph::{TGraph, VertexId, VertexRecord};
 use tgraph_core::props::Props;
 use tgraph_core::splitter::elementary_intervals;
 use tgraph_core::time::{Interval, Time};
 use tgraph_dataflow::{Dataset, KeyedDataset, Runtime};
-use std::collections::HashMap;
-use std::sync::Arc;
 
 /// A temporal vertex measure: for each vertex, maximal intervals with a
 /// constant value.
@@ -27,8 +27,11 @@ pub type TemporalMeasure<V> = Vec<(VertexId, Interval, V)>;
 /// the snapshot intervals — the common preamble of all analytics.
 fn snapshot_edges(g: &TGraph) -> (Vec<Interval>, Vec<(Time, VertexId, VertexId)>) {
     let intervals = elementary_intervals(&g.change_points());
-    let index: HashMap<Time, usize> =
-        intervals.iter().enumerate().map(|(i, iv)| (iv.start, i)).collect();
+    let index: HashMap<Time, usize> = intervals
+        .iter()
+        .enumerate()
+        .map(|(i, iv)| (iv.start, i))
+        .collect();
     let mut edges = Vec::new();
     for e in &g.edges {
         let mut t = e.interval.start;
@@ -43,8 +46,11 @@ fn snapshot_edges(g: &TGraph) -> (Vec<Interval>, Vec<(Time, VertexId, VertexId)>
 
 /// Per-snapshot vertex presence facts `(snapshot_start, vid)`.
 fn snapshot_vertices(g: &TGraph, intervals: &[Interval]) -> Vec<(Time, VertexId)> {
-    let index: HashMap<Time, usize> =
-        intervals.iter().enumerate().map(|(i, iv)| (iv.start, i)).collect();
+    let index: HashMap<Time, usize> = intervals
+        .iter()
+        .enumerate()
+        .map(|(i, iv)| (iv.start, i))
+        .collect();
     let mut out = Vec::new();
     for v in &g.vertices {
         let mut t = v.interval.start;
@@ -63,11 +69,13 @@ fn coalesce_measure<V: Eq + Clone + Send + Sync + 'static>(
     intervals: &[Interval],
     per_snapshot: Vec<((Time, VertexId), V)>,
 ) -> TemporalMeasure<V> {
-    let index: HashMap<Time, Interval> =
-        intervals.iter().map(|iv| (iv.start, *iv)).collect();
+    let index: HashMap<Time, Interval> = intervals.iter().map(|iv| (iv.start, *iv)).collect();
     let mut by_vertex: HashMap<VertexId, Vec<(Interval, V)>> = HashMap::new();
     for ((start, vid), value) in per_snapshot {
-        by_vertex.entry(vid).or_default().push((index[&start], value));
+        by_vertex
+            .entry(vid)
+            .or_default()
+            .push((index[&start], value));
     }
     let mut out = Vec::new();
     for (vid, facts) in by_vertex {
@@ -88,11 +96,11 @@ pub fn temporal_degree(rt: &Runtime, g: &TGraph) -> TemporalMeasure<u64> {
 
     let edge_ds: Dataset<(Time, VertexId, VertexId)> = Dataset::from_vec(rt, edges);
     let endpoint_counts: Dataset<((Time, VertexId), u64)> = edge_ds
-        .flat_map(rt, |(t, src, dst)| vec![((*t, *src), 1u64), ((*t, *dst), 1u64)])
+        .flat_map(|(t, src, dst)| vec![((*t, *src), 1u64), ((*t, *dst), 1u64)])
         .reduce_by_key(rt, |a, b| a + b);
 
     let mut counts: HashMap<(Time, VertexId), u64> =
-        endpoint_counts.collect().into_iter().collect();
+        endpoint_counts.collect(rt).into_iter().collect();
     let per_snapshot: Vec<((Time, VertexId), u64)> = presence
         .into_iter()
         .map(|(t, vid)| ((t, vid), counts.remove(&(t, vid)).unwrap_or(0)))
@@ -113,15 +121,23 @@ pub fn temporal_connected_components(rt: &Runtime, g: &TGraph) -> TemporalMeasur
     // labels: (snapshot, vid) -> current component label.
     let mut labels: Dataset<((Time, VertexId), u64)> = Dataset::from_vec(
         rt,
-        presence.iter().map(|(t, vid)| ((*t, *vid), vid.0)).collect(),
-    );
-    // Symmetric adjacency keyed by (snapshot, vertex).
-    let adjacency: Dataset<((Time, VertexId), VertexId)> = Dataset::from_vec(
-        rt,
-        edges
+        presence
             .iter()
-            .flat_map(|(t, s, d)| [((*t, *s), *d), ((*t, *d), *s)])
+            .map(|(t, vid)| ((*t, *vid), vid.0))
             .collect(),
+    );
+    // Symmetric adjacency keyed by (snapshot, vertex). Hash-partitioned
+    // once up front: every superstep's join then elides its shuffle of the
+    // (static) adjacency side.
+    let adjacency: Dataset<((Time, VertexId), VertexId)> = tgraph_dataflow::shuffle(
+        rt,
+        &Dataset::from_vec(
+            rt,
+            edges
+                .iter()
+                .flat_map(|(t, s, d)| [((*t, *s), *d), ((*t, *d), *s)])
+                .collect(),
+        ),
     );
 
     // Upper bound on supersteps: the longest path in any snapshot.
@@ -131,14 +147,12 @@ pub fn temporal_connected_components(rt: &Runtime, g: &TGraph) -> TemporalMeasur
         // vertex adopts the minimum of its own and received labels.
         let messages: Dataset<((Time, VertexId), u64)> = adjacency
             .join(rt, &labels)
-            .map(rt, |((t, _v), (neighbor, label))| ((*t, *neighbor), *label));
-        let new_labels = labels
-            .union(&messages)
-            .reduce_by_key(rt, |a, b| *a.min(b));
+            .map(|((t, _v), (neighbor, label))| ((*t, *neighbor), *label));
+        let new_labels = labels.union(&messages).reduce_by_key(rt, |a, b| *a.min(b));
         // Convergence check: count label changes.
         let changed = new_labels
             .join(rt, &labels)
-            .filter(rt, |(_, (new, old))| new != old)
+            .filter(|(_, (new, old))| new != old)
             .count(rt);
         labels = new_labels;
         if changed == 0 {
@@ -146,18 +160,14 @@ pub fn temporal_connected_components(rt: &Runtime, g: &TGraph) -> TemporalMeasur
         }
     }
 
-    coalesce_measure(&intervals, labels.collect())
+    coalesce_measure(&intervals, labels.collect(rt))
 }
 
 /// Temporal PageRank: `iterations` synchronous PageRank steps per snapshot
 /// (damping 0.85, dangling mass redistributed uniformly), returning each
 /// vertex's rank over time. Ranks are rounded to `1e-9` before coalescing so
 /// adjacent snapshots with equal topology merge.
-pub fn temporal_pagerank(
-    rt: &Runtime,
-    g: &TGraph,
-    iterations: usize,
-) -> TemporalMeasure<u64> {
+pub fn temporal_pagerank(rt: &Runtime, g: &TGraph, iterations: usize) -> TemporalMeasure<u64> {
     const DAMPING: f64 = 0.85;
     let (intervals, edges) = snapshot_edges(g);
     let presence = snapshot_vertices(g, &intervals);
@@ -169,54 +179,67 @@ pub fn temporal_pagerank(
     }
     let snapshot_sizes = Arc::new(snapshot_sizes);
 
-    // Out-degrees per (snapshot, vertex).
-    let edge_ds: Dataset<((Time, VertexId), VertexId)> =
-        Dataset::from_vec(rt, edges.iter().map(|(t, s, d)| ((*t, *s), *d)).collect());
+    // Out-degrees per (snapshot, vertex). The edge relation is static across
+    // iterations, so hash-partition it once; the per-iteration contribution
+    // join then elides its edge-side shuffle.
+    let edge_ds: Dataset<((Time, VertexId), VertexId)> = tgraph_dataflow::shuffle(
+        rt,
+        &Dataset::from_vec(rt, edges.iter().map(|(t, s, d)| ((*t, *s), *d)).collect()),
+    );
     let out_degree: Dataset<((Time, VertexId), u64)> = edge_ds
-        .map(rt, |(k, _)| (*k, 1u64))
+        .map(|(k, _)| (*k, 1u64))
         .reduce_by_key(rt, |a, b| a + b);
 
-    // Initial rank 1/N per snapshot.
+    // Initial rank 1/N per snapshot, hash-partitioned so the first
+    // iteration's join starts shuffle-free.
     let sizes = Arc::clone(&snapshot_sizes);
-    let mut ranks: Dataset<((Time, VertexId), f64)> = Dataset::from_vec(
+    let mut ranks: Dataset<((Time, VertexId), f64)> = tgraph_dataflow::shuffle(
         rt,
-        presence
-            .iter()
-            .map(|(t, vid)| ((*t, *vid), 1.0 / sizes[t] as f64))
-            .collect(),
+        &Dataset::from_vec(
+            rt,
+            presence
+                .iter()
+                .map(|(t, vid)| ((*t, *vid), 1.0 / sizes[t] as f64))
+                .collect(),
+        ),
     );
 
-    let presence_ds: Dataset<((Time, VertexId), ())> =
-        Dataset::from_vec(rt, presence.iter().map(|(t, v)| ((*t, *v), ())).collect());
+    // Presence is re-keyed by the same key every iteration to rebuild the
+    // rank vector; partitioned once, the rebuild (map_values_with_key below)
+    // keeps the tag, so no iteration ever shuffles it again.
+    let presence_ds: Dataset<((Time, VertexId), ())> = tgraph_dataflow::shuffle(
+        rt,
+        &Dataset::from_vec(rt, presence.iter().map(|(t, v)| ((*t, *v), ())).collect()),
+    );
 
     for _ in 0..iterations {
         // Contribution = rank / out_degree along each edge.
         let with_deg = ranks.join(rt, &out_degree);
         let contributions: Dataset<((Time, VertexId), f64)> = edge_ds
             .join(rt, &with_deg)
-            .map(rt, |((t, _src), (dst, (rank, deg)))| ((*t, *dst), rank / *deg as f64));
+            .map(|((t, _src), (dst, (rank, deg)))| ((*t, *dst), rank / *deg as f64));
         let received = contributions.reduce_by_key(rt, |a, b| a + b);
         // Dangling mass per snapshot = 1 - sum of distributed rank.
         let mut distributed: HashMap<Time, f64> = HashMap::new();
-        for ((t, _), (rank, _)) in with_deg.collect() {
+        for ((t, _), (rank, _)) in with_deg.collect(rt) {
             *distributed.entry(t).or_default() += rank;
         }
         let sizes = Arc::clone(&snapshot_sizes);
         let received_map: HashMap<(Time, VertexId), f64> =
-            received.collect().into_iter().collect();
+            received.collect(rt).into_iter().collect();
         let received_map = Arc::new(received_map);
         let distributed = Arc::new(distributed);
-        ranks = presence_ds.map(rt, move |((t, vid), ())| {
+        ranks = presence_ds.map_values_with_key(move |(t, vid), ()| {
             let n = sizes[t] as f64;
             let dangling = (1.0 - distributed.get(t).copied().unwrap_or(0.0)).max(0.0) / n;
             let incoming = received_map.get(&(*t, *vid)).copied().unwrap_or(0.0);
-            ((*t, *vid), (1.0 - DAMPING) / n + DAMPING * (incoming + dangling))
+            (1.0 - DAMPING) / n + DAMPING * (incoming + dangling)
         });
     }
 
     // Quantize for coalescing (f64 is not Eq).
     let quantized: Vec<((Time, VertexId), u64)> = ranks
-        .collect()
+        .collect(rt)
         .into_iter()
         .map(|(k, r)| (k, (r * 1e9).round() as u64))
         .collect();
@@ -241,7 +264,11 @@ pub fn measure_as_tgraph(g: &TGraph, measure: &TemporalMeasure<u64>, key: &str) 
             props: props.with(key, *value as i64),
         });
     }
-    TGraph { lifespan: g.lifespan, vertices, edges: g.edges.clone() }
+    TGraph {
+        lifespan: g.lifespan,
+        vertices,
+        edges: g.edges.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -279,7 +306,7 @@ mod tests {
         let deg = temporal_degree(&rt, &g);
         for t in g.lifespan.points() {
             let snap = g.at(t);
-            for (vid, _) in &snap.vertices {
+            for vid in snap.vertices.keys() {
                 let expect = snap
                     .edges
                     .values()

@@ -26,11 +26,7 @@ pub fn coalesce_states(states: Vec<State>) -> Vec<State> {
 /// members alive in it; finally value-equivalent adjacent intervals coalesce,
 /// which is exactly the per-snapshot evaluation + coalescing that point
 /// semantics prescribe.
-pub fn aggregate_group_history(
-    spec: &AZoomSpec,
-    base: &Props,
-    members: &[State],
-) -> Vec<State> {
+pub fn aggregate_group_history(spec: &AZoomSpec, base: &Props, members: &[State]) -> Vec<State> {
     let splits = splitter(members.iter().map(|(iv, _)| iv));
     let mut out: Vec<State> = Vec::with_capacity(splits.len());
     for s in splits {
@@ -93,8 +89,14 @@ mod tests {
         let spec = AZoomSpec::by_property("school", "school", vec![AggSpec::count("students")]);
         let base = Props::typed("school").with("school", "MIT");
         let members = vec![
-            (Interval::new(1, 7), Props::typed("person").with("school", "MIT")),
-            (Interval::new(1, 9), Props::typed("person").with("school", "MIT")),
+            (
+                Interval::new(1, 7),
+                Props::typed("person").with("school", "MIT"),
+            ),
+            (
+                Interval::new(1, 9),
+                Props::typed("person").with("school", "MIT"),
+            ),
         ];
         let history = aggregate_group_history(&spec, &base, &members);
         assert_eq!(history.len(), 2);

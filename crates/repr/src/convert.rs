@@ -12,9 +12,9 @@ use crate::ogc::OgcGraph;
 use crate::rg::RgGraph;
 use crate::ve::VeGraph;
 use crate::{common::coalesce_states, ReprKind};
+use std::collections::HashMap;
 use tgraph_core::graph::{EdgeId, EdgeRecord, VertexId, VertexRecord};
 use tgraph_dataflow::{Dataset, KeyedDataset, Runtime};
-use std::collections::HashMap;
 
 /// VE → OG: shuffle tuples by entity key and assemble history arrays.
 ///
@@ -24,48 +24,66 @@ use std::collections::HashMap;
 pub fn ve_to_og(rt: &Runtime, ve: &VeGraph) -> OgGraph {
     let vertices: Dataset<OgVertex> = ve
         .vertices
-        .map(rt, |v| (v.vid, (v.interval, v.props.clone())))
+        .map(|v| (v.vid, (v.interval, v.props.clone())))
         .group_by_key(rt)
-        .map(rt, |(vid, states)| OgVertex {
+        .map(|(vid, states)| OgVertex {
             vid: *vid,
             history: coalesce_states(states.clone()),
         });
 
-    let e_grouped: Dataset<((EdgeId, VertexId, VertexId), Vec<(tgraph_core::Interval, tgraph_core::Props)>)> =
-        ve.edges
-            .map(rt, |e| ((e.eid, e.src, e.dst), (e.interval, e.props.clone())))
-            .group_by_key(rt);
+    let e_grouped: Dataset<(
+        (EdgeId, VertexId, VertexId),
+        Vec<(tgraph_core::Interval, tgraph_core::Props)>,
+    )> = ve
+        .edges
+        .map(|e| ((e.eid, e.src, e.dst), (e.interval, e.props.clone())))
+        .group_by_key(rt);
 
     // Mirror endpoint vertices onto edges: join on src, then on dst.
-    let v_by_id: Dataset<(VertexId, OgVertex)> = vertices.map(rt, |v| (v.vid, v.clone()));
-    let by_src: Dataset<(VertexId, ((EdgeId, VertexId, VertexId), Vec<(tgraph_core::Interval, tgraph_core::Props)>))> =
-        e_grouped.map(rt, |(k, states)| (k.1, (*k, states.clone())));
-    let with_src = by_src.join(rt, &v_by_id).map(rt, |(_, ((k, states), src))| {
-        (k.2, (*k, states.clone(), src.clone()))
-    });
-    let edges: Dataset<OgEdge> = with_src.join(rt, &v_by_id).map(
-        rt,
-        |(_, ((k, states, src), dst))| OgEdge {
+    // Mirrored onto edges twice (src join, dst join): hash-partition once
+    // so the dst join's vertex-side shuffle is elided.
+    let v_by_id: Dataset<(VertexId, OgVertex)> =
+        tgraph_dataflow::shuffle(rt, &vertices.map(|v| (v.vid, v.clone())));
+    let by_src: Dataset<(
+        VertexId,
+        (
+            (EdgeId, VertexId, VertexId),
+            Vec<(tgraph_core::Interval, tgraph_core::Props)>,
+        ),
+    )> = e_grouped.map(|(k, states)| (k.1, (*k, states.clone())));
+    let with_src = by_src
+        .join(rt, &v_by_id)
+        .map(|(_, ((k, states), src))| (k.2, (*k, states.clone(), src.clone())));
+    let edges: Dataset<OgEdge> = with_src
+        .join(rt, &v_by_id)
+        .map(|(_, ((k, states, src), dst))| OgEdge {
             eid: k.0,
             src: src.clone(),
             dst: dst.clone(),
             history: coalesce_states(states.clone()),
-        },
-    );
+        });
 
-    OgGraph { lifespan: ve.lifespan, vertices, edges }
+    OgGraph {
+        lifespan: ve.lifespan,
+        vertices,
+        edges,
+    }
 }
 
 /// OG → VE: split history arrays back into flat tuples (no shuffle).
-pub fn og_to_ve(rt: &Runtime, og: &OgGraph) -> VeGraph {
-    let vertices: Dataset<VertexRecord> = og.vertices.flat_map(rt, |v| {
+pub fn og_to_ve(_rt: &Runtime, og: &OgGraph) -> VeGraph {
+    let vertices: Dataset<VertexRecord> = og.vertices.flat_map(|v| {
         let vid = v.vid;
         v.history
             .iter()
-            .map(move |(interval, props)| VertexRecord { vid, interval: *interval, props: props.clone() })
+            .map(move |(interval, props)| VertexRecord {
+                vid,
+                interval: *interval,
+                props: props.clone(),
+            })
             .collect::<Vec<_>>()
     });
-    let edges: Dataset<EdgeRecord> = og.edges.flat_map(rt, |e| {
+    let edges: Dataset<EdgeRecord> = og.edges.flat_map(|e| {
         let (eid, src, dst) = (e.eid, e.src.vid, e.dst.vid);
         e.history
             .iter()
@@ -79,12 +97,17 @@ pub fn og_to_ve(rt: &Runtime, og: &OgGraph) -> VeGraph {
             .collect::<Vec<_>>()
     });
     // Histories are coalesced per entity by construction.
-    VeGraph { lifespan: og.lifespan, vertices, edges, coalesced: true }
+    VeGraph {
+        lifespan: og.lifespan,
+        vertices,
+        edges,
+        coalesced: true,
+    }
 }
 
 /// VE → RG: materialize the snapshot sequence.
 pub fn ve_to_rg(rt: &Runtime, ve: &VeGraph) -> RgGraph {
-    RgGraph::from_tgraph(rt, &ve.to_tgraph())
+    RgGraph::from_tgraph(rt, &ve.to_tgraph(rt))
 }
 
 /// RG → VE: flatten snapshots into tuples and coalesce.
@@ -94,7 +117,7 @@ pub fn rg_to_ve(rt: &Runtime, rg: &RgGraph) -> VeGraph {
 
 /// VE → OGC: drop attributes, keep topology bitsets.
 pub fn ve_to_ogc(rt: &Runtime, ve: &VeGraph) -> OgcGraph {
-    OgcGraph::from_tgraph(rt, &ve.to_tgraph())
+    OgcGraph::from_tgraph(rt, &ve.to_tgraph(rt))
 }
 
 /// OGC → VE: expand bitsets into type-only tuples.
@@ -167,7 +190,7 @@ impl AnyGraph {
             AnyGraph::Rg(g) => g.to_tgraph(rt),
             AnyGraph::Ve(g) => {
                 // Coalesce for a canonical logical form.
-                crate::ve::coalesce_collected(g)
+                crate::ve::coalesce_collected(rt, g)
             }
             AnyGraph::Og(g) => g.to_tgraph(rt),
             AnyGraph::Ogc(g) => g.to_tgraph(rt),
@@ -201,8 +224,12 @@ impl AnyGraph {
 }
 
 /// Builds a vid → history map from a collected OG vertex set (test helper).
-pub fn history_index(og: &OgGraph) -> HashMap<VertexId, OgVertex> {
-    og.vertices.collect().into_iter().map(|v| (v.vid, v)).collect()
+pub fn history_index(rt: &Runtime, og: &OgGraph) -> HashMap<VertexId, OgVertex> {
+    og.vertices
+        .collect(rt)
+        .into_iter()
+        .map(|v| (v.vid, v))
+        .collect()
 }
 
 #[cfg(test)]
@@ -228,11 +255,19 @@ mod tests {
         assert_eq!(og.vertex_count(&rt), 3);
         assert_eq!(og.edge_count(&rt), 2);
         // Endpoint copies are mirrored with full histories.
-        let e1 = og.edges.collect().into_iter().find(|e| e.eid.0 == 1).unwrap();
+        let e1 = og
+            .edges
+            .collect(&rt)
+            .into_iter()
+            .find(|e| e.eid.0 == 1)
+            .unwrap();
         assert_eq!(e1.dst.history.len(), 2);
         let back = og_to_ve(&rt, &og);
-        assert_eq!(crate::ve::coalesce_collected(&back).vertices, g.vertices);
-        assert_eq!(crate::ve::coalesce_collected(&back).edges, g.edges);
+        assert_eq!(
+            crate::ve::coalesce_collected(&rt, &back).vertices,
+            g.vertices
+        );
+        assert_eq!(crate::ve::coalesce_collected(&rt, &back).edges, g.edges);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// Dataflow operator signatures nest tuples and Arcs deeply by design.
+#![allow(clippy::type_complexity)]
 
 pub mod analytics;
 pub mod common;

@@ -12,14 +12,14 @@ use crate::common::{
     aggregate_group_history, coalesce_states, resolve_edge_states, resolve_vertex_states,
     window_reduce, State,
 };
+use std::collections::HashMap;
+use std::sync::Arc;
 use tgraph_core::coalesce::coalesce_graph;
 use tgraph_core::graph::{EdgeId, EdgeRecord, TGraph, VertexId, VertexRecord};
 use tgraph_core::time::Interval;
 use tgraph_core::zoom::azoom::AZoomSpec;
 use tgraph_core::zoom::wzoom::{window_relation, windows_of, WZoomSpec};
 use tgraph_dataflow::{Dataset, KeyedDataset, Runtime};
-use std::collections::HashMap;
-use std::sync::Arc;
 
 /// A vertex with its full attribute history (sorted by start, coalesced).
 #[derive(Clone, Debug, PartialEq)]
@@ -33,9 +33,7 @@ pub struct OgVertex {
 impl OgVertex {
     /// The union of the vertex's existence intervals.
     pub fn existence(&self) -> Vec<Interval> {
-        tgraph_core::time::merge_non_overlapping(
-            self.history.iter().map(|(iv, _)| *iv).collect(),
-        )
+        tgraph_core::time::merge_non_overlapping(self.history.iter().map(|(iv, _)| *iv).collect())
     }
 }
 
@@ -85,11 +83,22 @@ impl OgGraph {
     pub fn from_tgraph(rt: &Runtime, g: &TGraph) -> Self {
         let mut v_hist: HashMap<VertexId, Vec<State>> = HashMap::new();
         for v in &g.vertices {
-            v_hist.entry(v.vid).or_default().push((v.interval, v.props.clone()));
+            v_hist
+                .entry(v.vid)
+                .or_default()
+                .push((v.interval, v.props.clone()));
         }
         let vertices_map: HashMap<VertexId, OgVertex> = v_hist
             .into_iter()
-            .map(|(vid, states)| (vid, OgVertex { vid, history: coalesce_states(states) }))
+            .map(|(vid, states)| {
+                (
+                    vid,
+                    OgVertex {
+                        vid,
+                        history: coalesce_states(states),
+                    },
+                )
+            })
             .collect();
 
         let mut e_hist: HashMap<(EdgeId, VertexId, VertexId), Vec<State>> = HashMap::new();
@@ -99,13 +108,22 @@ impl OgGraph {
                 .or_default()
                 .push((e.interval, e.props.clone()));
         }
-        let placeholder = |vid: VertexId| OgVertex { vid, history: Vec::new() };
+        let placeholder = |vid: VertexId| OgVertex {
+            vid,
+            history: Vec::new(),
+        };
         let edges: Vec<OgEdge> = e_hist
             .into_iter()
             .map(|((eid, src, dst), states)| OgEdge {
                 eid,
-                src: vertices_map.get(&src).cloned().unwrap_or_else(|| placeholder(src)),
-                dst: vertices_map.get(&dst).cloned().unwrap_or_else(|| placeholder(dst)),
+                src: vertices_map
+                    .get(&src)
+                    .cloned()
+                    .unwrap_or_else(|| placeholder(src)),
+                dst: vertices_map
+                    .get(&dst)
+                    .cloned()
+                    .unwrap_or_else(|| placeholder(dst)),
                 history: coalesce_states(states),
             })
             .collect();
@@ -125,7 +143,7 @@ impl OgGraph {
     pub fn to_tgraph(&self, rt: &Runtime) -> TGraph {
         let vertices: Vec<VertexRecord> = self
             .vertices
-            .flat_map(rt, |v| {
+            .flat_map(|v| {
                 let vid = v.vid;
                 v.history
                     .iter()
@@ -136,10 +154,10 @@ impl OgGraph {
                     })
                     .collect::<Vec<_>>()
             })
-            .collect();
+            .collect(rt);
         let edges: Vec<EdgeRecord> = self
             .edges
-            .flat_map(rt, |e| {
+            .flat_map(|e| {
                 let (eid, src, dst) = (e.eid, e.src.vid, e.dst.vid);
                 e.history
                     .iter()
@@ -152,8 +170,12 @@ impl OgGraph {
                     })
                     .collect::<Vec<_>>()
             })
-            .collect();
-        coalesce_graph(&TGraph { lifespan: self.lifespan, vertices, edges })
+            .collect(rt);
+        coalesce_graph(&TGraph {
+            lifespan: self.lifespan,
+            vertices,
+            edges,
+        })
     }
 
     /// Number of vertex records (one per distinct vertex).
@@ -179,33 +201,34 @@ impl OgGraph {
 
         // V' ← V.flatMap(split history).groupBy(vid).reduce(f_agg)
         let spec1 = Arc::clone(&spec_v);
-        let split: Dataset<(u64, (tgraph_core::Props, State))> =
-            self.vertices.flat_map(rt, move |v| {
-                v.history
-                    .iter()
-                    .filter_map(|(iv, attr)| {
-                        spec1
-                            .skolemize(v.vid, attr)
-                            .map(|(gid, base)| (gid, (base, (*iv, attr.clone()))))
-                    })
-                    .collect::<Vec<_>>()
-            });
+        let split: Dataset<(u64, (tgraph_core::Props, State))> = self.vertices.flat_map(move |v| {
+            v.history
+                .iter()
+                .filter_map(|(iv, attr)| {
+                    spec1
+                        .skolemize(v.vid, attr)
+                        .map(|(gid, base)| (gid, (base, (*iv, attr.clone()))))
+                })
+                .collect::<Vec<_>>()
+        });
         let spec2 = Arc::clone(&spec_v);
-        let vertices: Dataset<OgVertex> =
-            split.group_by_key(rt).flat_map(rt, move |(gid, members)| {
-                let base = &members[0].0;
-                let states: Vec<State> = members.iter().map(|(_, s)| s.clone()).collect();
-                let history = aggregate_group_history(&spec2, base, &states);
-                if history.is_empty() {
-                    Vec::new()
-                } else {
-                    vec![OgVertex { vid: VertexId(*gid), history }]
-                }
-            });
+        let vertices: Dataset<OgVertex> = split.group_by_key(rt).flat_map(move |(gid, members)| {
+            let base = &members[0].0;
+            let states: Vec<State> = members.iter().map(|(_, s)| s.clone()).collect();
+            let history = aggregate_group_history(&spec2, base, &states);
+            if history.is_empty() {
+                Vec::new()
+            } else {
+                vec![OgVertex {
+                    vid: VertexId(*gid),
+                    history,
+                }]
+            }
+        });
 
         // E' ← E.map(recompute_history ∘ copyWithVids): all local.
         let spec3 = Arc::clone(&spec_v);
-        let edges: Dataset<OgEdge> = self.edges.flat_map(rt, move |e| {
+        let edges: Dataset<OgEdge> = self.edges.flat_map(move |e| {
             // For every (edge-state × src-state × dst-state) overlap, derive
             // the redirected piece; group pieces by the endpoint-group pair.
             let mut by_pair: HashMap<(u64, u64), Vec<State>> = HashMap::new();
@@ -213,16 +236,23 @@ impl OgGraph {
                 HashMap::new();
             for (eiv, eprops) in &e.history {
                 for (siv, sprops) in &e.src.history {
-                    let Some(es) = eiv.intersect(siv) else { continue };
+                    let Some(es) = eiv.intersect(siv) else {
+                        continue;
+                    };
                     let Some((gs, sbase)) = spec3.skolemize(e.src.vid, sprops) else {
                         continue;
                     };
                     for (div, dprops) in &e.dst.history {
-                        let Some(esd) = es.intersect(div) else { continue };
+                        let Some(esd) = es.intersect(div) else {
+                            continue;
+                        };
                         let Some((gd, dbase)) = spec3.skolemize(e.dst.vid, dprops) else {
                             continue;
                         };
-                        by_pair.entry((gs, gd)).or_default().push((esd, eprops.clone()));
+                        by_pair
+                            .entry((gs, gd))
+                            .or_default()
+                            .push((esd, eprops.clone()));
                         pair_base.entry((gs, gd)).or_insert((sbase.clone(), dbase));
                     }
                 }
@@ -254,21 +284,23 @@ impl OgGraph {
             out
         });
 
-        OgGraph { lifespan: self.lifespan, vertices, edges }
+        OgGraph {
+            lifespan: self.lifespan,
+            vertices,
+            edges,
+        }
     }
 
     /// `wZoom^T` over OG — Algorithm 6.
     ///
     /// Each entity's history array is recomputed locally (`recomputeIntervals`
-    /// + `aggregateAndFilterAttributes`: align to windows, gate on the
+    /// plus `aggregateAndFilterAttributes`: align to windows, gate on the
     /// quantifier, resolve attributes, coalesce). When `r_v` is more
     /// restrictive than `r_e`, dangling edges are removed with two semijoins
     /// that intersect the edge history with the zoomed endpoint histories.
     pub fn wzoom(&self, rt: &Runtime, spec: &WZoomSpec) -> OgGraph {
         let change_points = match spec.window {
-            tgraph_core::zoom::wzoom::WindowSpec::Changes(_) => {
-                self.to_tgraph(rt).change_points()
-            }
+            tgraph_core::zoom::wzoom::WindowSpec::Changes(_) => self.to_tgraph(rt).change_points(),
             _ => Vec::new(),
         };
         let windows = Arc::new(window_relation(self.lifespan, &change_points, spec.window));
@@ -295,7 +327,10 @@ impl OgGraph {
                 let mut per_window: HashMap<usize, Vec<State>> = HashMap::new();
                 for (iv, props) in history {
                     for (idx, _w, covered) in windows_of(*iv, lifespan, &windows, wspec) {
-                        per_window.entry(idx).or_default().push((covered, props.clone()));
+                        per_window
+                            .entry(idx)
+                            .or_default()
+                            .push((covered, props.clone()));
                     }
                 }
                 let mut out: Vec<State> = Vec::new();
@@ -311,19 +346,22 @@ impl OgGraph {
 
         let rc = recompute.clone();
         let spec_v = Arc::clone(&spec);
-        let vertices: Dataset<OgVertex> = self.vertices.flat_map(rt, move |v| {
+        let vertices: Dataset<OgVertex> = self.vertices.flat_map(move |v| {
             let resolve = |s: &[State]| resolve_vertex_states(&spec_v, s);
             let history = rc(&v.history, &spec_v.vertex_quantifier, &resolve);
             if history.is_empty() {
                 Vec::new()
             } else {
-                vec![OgVertex { vid: v.vid, history }]
+                vec![OgVertex {
+                    vid: v.vid,
+                    history,
+                }]
             }
         });
 
         let rc = recompute.clone();
         let spec_e = Arc::clone(&spec);
-        let edges: Dataset<OgEdge> = self.edges.flat_map(rt, move |e| {
+        let edges: Dataset<OgEdge> = self.edges.flat_map(move |e| {
             let resolve = |s: &[State]| resolve_edge_states(&spec_e, s);
             let history = rc(&e.history, &spec_e.edge_quantifier, &resolve);
             if history.is_empty() {
@@ -337,8 +375,14 @@ impl OgGraph {
                 let dst_hist = rc(&e.dst.history, &spec_e.vertex_quantifier, &v_resolve);
                 vec![OgEdge {
                     eid: e.eid,
-                    src: OgVertex { vid: e.src.vid, history: src_hist },
-                    dst: OgVertex { vid: e.dst.vid, history: dst_hist },
+                    src: OgVertex {
+                        vid: e.src.vid,
+                        history: src_hist,
+                    },
+                    dst: OgVertex {
+                        vid: e.dst.vid,
+                        history: dst_hist,
+                    },
                     history,
                 }]
             }
@@ -346,12 +390,13 @@ impl OgGraph {
 
         // Dangling-edge removal (lines 9–15).
         let edges = if spec.needs_dangling_check() {
+            // Joined twice (src clip, then dst clip): partition once, the
+            // second join elides its vertex-side shuffle.
             let v_by_id: Dataset<(VertexId, OgVertex)> =
-                vertices.map(rt, |v| (v.vid, v.clone()));
-            let by_src: Dataset<(VertexId, OgEdge)> = edges.map(rt, |e| (e.src.vid, e.clone()));
-            let clipped_src: Dataset<(VertexId, OgEdge)> = by_src
-                .join(rt, &v_by_id)
-                .flat_map(rt, |(_, (e, v))| {
+                tgraph_dataflow::shuffle(rt, &vertices.map(|v| (v.vid, v.clone())));
+            let by_src: Dataset<(VertexId, OgEdge)> = edges.map(|e| (e.src.vid, e.clone()));
+            let clipped_src: Dataset<(VertexId, OgEdge)> =
+                by_src.join(rt, &v_by_id).flat_map(|(_, (e, v))| {
                     let mask = v.existence();
                     let history = clip_history(&e.history, &mask);
                     if history.is_empty() {
@@ -359,27 +404,39 @@ impl OgGraph {
                     } else {
                         vec![(
                             e.dst.vid,
-                            OgEdge { eid: e.eid, src: v.clone(), dst: e.dst.clone(), history },
+                            OgEdge {
+                                eid: e.eid,
+                                src: v.clone(),
+                                dst: e.dst.clone(),
+                                history,
+                            },
                         )]
                     }
                 });
-            clipped_src
-                .join(rt, &v_by_id)
-                .flat_map(rt, |(_, (e, v))| {
-                    let mask = v.existence();
-                    let history = clip_history(&e.history, &mask);
-                    if history.is_empty() {
-                        Vec::new()
-                    } else {
-                        vec![OgEdge { eid: e.eid, src: e.src.clone(), dst: v.clone(), history }]
-                    }
-                })
+            clipped_src.join(rt, &v_by_id).flat_map(|(_, (e, v))| {
+                let mask = v.existence();
+                let history = clip_history(&e.history, &mask);
+                if history.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![OgEdge {
+                        eid: e.eid,
+                        src: e.src.clone(),
+                        dst: v.clone(),
+                        history,
+                    }]
+                }
+            })
         } else {
             edges
         };
 
         let lifespan = windows.first().unwrap().hull(windows.last().unwrap());
-        OgGraph { lifespan, vertices, edges }
+        OgGraph {
+            lifespan,
+            vertices,
+            edges,
+        }
     }
 }
 
@@ -409,7 +466,7 @@ mod tests {
         assert_eq!(og.edge_count(&rt), 2);
         let bob = og
             .vertices
-            .collect()
+            .collect(&rt)
             .into_iter()
             .find(|v| v.vid == VertexId(2))
             .unwrap();
@@ -417,7 +474,12 @@ mod tests {
         assert_eq!(bob.history[0].0, Interval::new(2, 5));
         assert_eq!(bob.history[1].0, Interval::new(5, 9));
         // Edges carry endpoint copies with history.
-        let e1 = og.edges.collect().into_iter().find(|e| e.eid == EdgeId(1)).unwrap();
+        let e1 = og
+            .edges
+            .collect(&rt)
+            .into_iter()
+            .find(|e| e.eid == EdgeId(1))
+            .unwrap();
         assert_eq!(e1.src.vid, VertexId(1));
         assert_eq!(e1.dst.history.len(), 2);
     }
@@ -437,7 +499,9 @@ mod tests {
         let rt = rt();
         let g = figure1_graph_stable_ids();
         let expected = azoom_reference(&g, &school_spec());
-        let got = OgGraph::from_tgraph(&rt, &g).azoom(&rt, &school_spec()).to_tgraph(&rt);
+        let got = OgGraph::from_tgraph(&rt, &g)
+            .azoom(&rt, &school_spec())
+            .to_tgraph(&rt);
         assert_eq!(got.vertices, expected.vertices);
         assert_eq!(got.edges, expected.edges);
     }
@@ -449,7 +513,9 @@ mod tests {
         let spec = WZoomSpec::points(3, Quantifier::All, Quantifier::All)
             .with_vertex_override("school", ResolveFn::Last);
         let expected = wzoom_reference(&g, &spec);
-        let got = OgGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec).to_tgraph(&rt);
+        let got = OgGraph::from_tgraph(&rt, &g)
+            .wzoom(&rt, &spec)
+            .to_tgraph(&rt);
         assert_eq!(got.vertices, expected.vertices);
         assert_eq!(got.edges, expected.edges);
     }
@@ -460,7 +526,9 @@ mod tests {
         let g = figure1_graph_stable_ids();
         let spec = WZoomSpec::points(3, Quantifier::Exists, Quantifier::Exists);
         let expected = wzoom_reference(&g, &spec);
-        let got = OgGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec).to_tgraph(&rt);
+        let got = OgGraph::from_tgraph(&rt, &g)
+            .wzoom(&rt, &spec)
+            .to_tgraph(&rt);
         assert_eq!(got.vertices, expected.vertices);
         assert_eq!(got.edges, expected.edges);
     }
@@ -471,7 +539,9 @@ mod tests {
         let g = figure1_graph_stable_ids();
         let spec = WZoomSpec::points(3, Quantifier::All, Quantifier::Exists);
         let expected = wzoom_reference(&g, &spec);
-        let got = OgGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec).to_tgraph(&rt);
+        let got = OgGraph::from_tgraph(&rt, &g)
+            .wzoom(&rt, &spec)
+            .to_tgraph(&rt);
         assert_eq!(got.vertices, expected.vertices);
         assert_eq!(got.edges, expected.edges);
         assert!(tgraph_core::validate::validate(&got).is_empty());
@@ -500,11 +570,17 @@ mod tests {
                 VertexRecord::new(2, Interval::new(0, 5), Props::typed("p").with("g", "a")),
                 VertexRecord::new(2, Interval::new(5, 10), Props::typed("p").with("g", "b")),
             ],
-            vec![EdgeRecord::new(7, 1, 2, Interval::new(0, 10), Props::typed("knows"))],
+            vec![EdgeRecord::new(
+                7,
+                1,
+                2,
+                Interval::new(0, 10),
+                Props::typed("knows"),
+            )],
         );
         let spec = AZoomSpec::by_property("g", "group", vec![AggSpec::count("n")]);
         let og = OgGraph::from_tgraph(&rt, &g).azoom(&rt, &spec);
-        let edges = og.edges.collect();
+        let edges = og.edges.collect(&rt);
         assert_eq!(edges.len(), 2, "edge splits into (a→a) and (a→b)");
         let expected = azoom_reference(&g, &spec);
         let got = og.to_tgraph(&rt);

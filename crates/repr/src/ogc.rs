@@ -7,6 +7,8 @@
 //! on), but implements the fastest `wZoom^T` of all representations —
 //! retention is bit counting, and dangling-edge removal is a bitwise AND.
 
+use std::collections::HashMap;
+use std::sync::Arc;
 use tgraph_core::bitset::Bitset;
 use tgraph_core::coalesce::coalesce_graph;
 use tgraph_core::graph::{EdgeId, EdgeRecord, TGraph, VertexId, VertexRecord};
@@ -15,8 +17,6 @@ use tgraph_core::splitter::splitter;
 use tgraph_core::time::Interval;
 use tgraph_core::zoom::wzoom::{window_relation, WZoomSpec};
 use tgraph_dataflow::{Dataset, KeyedDataset, Runtime};
-use std::collections::HashMap;
-use std::sync::Arc;
 
 /// A vertex as topology: id, type label, and presence bitset over the
 /// graph's elementary intervals.
@@ -69,8 +69,11 @@ impl OgcGraph {
             .chain(g.edges.iter().map(|e| e.interval))
             .collect();
         let elems = Arc::new(splitter(all_intervals.iter()));
-        let index: HashMap<i64, usize> =
-            elems.iter().enumerate().map(|(i, iv)| (iv.start, i)).collect();
+        let index: HashMap<i64, usize> = elems
+            .iter()
+            .enumerate()
+            .map(|(i, iv)| (iv.start, i))
+            .collect();
 
         let fill = |bits: &mut Bitset, iv: Interval| {
             let mut t = iv.start;
@@ -100,7 +103,11 @@ impl OgcGraph {
 
         let mut vertices: Vec<OgcVertex> = v_acc
             .into_iter()
-            .map(|(vid, (vtype, intervals))| OgcVertex { vid, vtype, intervals })
+            .map(|(vid, (vtype, intervals))| OgcVertex {
+                vid,
+                vtype,
+                intervals,
+            })
             .collect();
         vertices.sort_by_key(|v| v.vid);
         let mut edges: Vec<OgcEdge> = e_acc
@@ -129,20 +136,24 @@ impl OgcGraph {
         let elems = Arc::clone(&self.intervals);
         let vertices: Vec<VertexRecord> = self
             .vertices
-            .flat_map(rt, move |v| {
+            .flat_map(move |v| {
                 let props = Props::typed(&v.vtype);
                 let vid = v.vid;
                 let elems = Arc::clone(&elems);
                 v.intervals
                     .iter_ones()
-                    .map(move |i| VertexRecord { vid, interval: elems[i], props: props.clone() })
+                    .map(move |i| VertexRecord {
+                        vid,
+                        interval: elems[i],
+                        props: props.clone(),
+                    })
                     .collect::<Vec<_>>()
             })
-            .collect();
+            .collect(rt);
         let elems = Arc::clone(&self.intervals);
         let edges: Vec<EdgeRecord> = self
             .edges
-            .flat_map(rt, move |e| {
+            .flat_map(move |e| {
                 let props = Props::typed(&e.etype);
                 let (eid, src, dst) = (e.eid, e.src, e.dst);
                 let elems = Arc::clone(&elems);
@@ -157,8 +168,12 @@ impl OgcGraph {
                     })
                     .collect::<Vec<_>>()
             })
-            .collect();
-        coalesce_graph(&TGraph { lifespan: self.lifespan, vertices, edges })
+            .collect(rt);
+        coalesce_graph(&TGraph {
+            lifespan: self.lifespan,
+            vertices,
+            edges,
+        })
     }
 
     /// Number of vertex records.
@@ -204,9 +219,7 @@ impl OgcGraph {
                     windows
                         .iter()
                         .enumerate()
-                        .filter_map(|(i, w)| {
-                            elem.intersect(w).map(|x| (i, x.len()))
-                        })
+                        .filter_map(|(i, w)| elem.intersect(w).map(|x| (i, x.len())))
                         .collect()
                 })
                 .collect(),
@@ -239,17 +252,21 @@ impl OgcGraph {
         let vq = spec.vertex_quantifier;
         let eq = spec.edge_quantifier;
         let rw = rewrite.clone();
-        let vertices: Dataset<OgcVertex> = self.vertices.flat_map(rt, move |v| {
+        let vertices: Dataset<OgcVertex> = self.vertices.flat_map(move |v| {
             let bits = rw(&v.intervals, &vq);
             if bits.none() {
                 Vec::new()
             } else {
-                vec![OgcVertex { vid: v.vid, vtype: v.vtype.clone(), intervals: bits }]
+                vec![OgcVertex {
+                    vid: v.vid,
+                    vtype: v.vtype.clone(),
+                    intervals: bits,
+                }]
             }
         });
 
         let rw = rewrite.clone();
-        let edges: Dataset<OgcEdge> = self.edges.flat_map(rt, move |e| {
+        let edges: Dataset<OgcEdge> = self.edges.flat_map(move |e| {
             let bits = rw(&e.intervals, &eq);
             if bits.none() {
                 Vec::new()
@@ -267,11 +284,13 @@ impl OgcGraph {
         // Dangling-edge removal: edge.bits &= src.bits & dst.bits. Always
         // performed — it is a join plus an AND, and unlike the other
         // representations it is what defines OGC's validity guarantee.
+        // The bitset relation feeds both the src-AND and dst-AND joins;
+        // partition it once so the second join elides its shuffle.
         let v_bits: Dataset<(VertexId, Bitset)> =
-            vertices.map(rt, |v| (v.vid, v.intervals.clone()));
-        let by_src: Dataset<(VertexId, OgcEdge)> = edges.map(rt, |e| (e.src, e.clone()));
+            tgraph_dataflow::shuffle(rt, &vertices.map(|v| (v.vid, v.intervals.clone())));
+        let by_src: Dataset<(VertexId, OgcEdge)> = edges.map(|e| (e.src, e.clone()));
         let anded_src: Dataset<(VertexId, OgcEdge)> =
-            by_src.join(rt, &v_bits).flat_map(rt, |(_, (e, bits))| {
+            by_src.join(rt, &v_bits).flat_map(|(_, (e, bits))| {
                 let mut out = e.clone();
                 out.intervals.and_with(bits);
                 if out.intervals.none() {
@@ -280,16 +299,15 @@ impl OgcGraph {
                     vec![(out.dst, out)]
                 }
             });
-        let edges: Dataset<OgcEdge> =
-            anded_src.join(rt, &v_bits).flat_map(rt, |(_, (e, bits))| {
-                let mut out = e.clone();
-                out.intervals.and_with(bits);
-                if out.intervals.none() {
-                    Vec::new()
-                } else {
-                    vec![out]
-                }
-            });
+        let edges: Dataset<OgcEdge> = anded_src.join(rt, &v_bits).flat_map(|(_, (e, bits))| {
+            let mut out = e.clone();
+            out.intervals.and_with(bits);
+            if out.intervals.none() {
+                Vec::new()
+            } else {
+                vec![out]
+            }
+        });
 
         let lifespan = windows.first().unwrap().hull(windows.last().unwrap());
         OgcGraph {
@@ -334,7 +352,11 @@ mod tests {
                 props: Props::typed(e.props.type_label().unwrap_or("")),
             })
             .collect();
-        coalesce_graph(&TGraph { lifespan: g.lifespan, vertices, edges })
+        coalesce_graph(&TGraph {
+            lifespan: g.lifespan,
+            vertices,
+            edges,
+        })
     }
 
     #[test]
@@ -346,7 +368,7 @@ mod tests {
         assert_eq!(ogc.intervals.len(), 4);
         let ann = ogc
             .vertices
-            .collect()
+            .collect(&rt)
             .into_iter()
             .find(|v| v.vid == VertexId(1))
             .unwrap();
@@ -354,7 +376,7 @@ mod tests {
         assert_eq!(ann.intervals.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
         let bob = ogc
             .vertices
-            .collect()
+            .collect(&rt)
             .into_iter()
             .find(|v| v.vid == VertexId(2))
             .unwrap();
@@ -383,7 +405,9 @@ mod tests {
         ] {
             let spec = WZoomSpec::points(3, vq, eq);
             let expected = wzoom_reference(&g, &spec);
-            let got = OgcGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec).to_tgraph(&rt);
+            let got = OgcGraph::from_tgraph(&rt, &g)
+                .wzoom(&rt, &spec)
+                .to_tgraph(&rt);
             assert_eq!(got.vertices, expected.vertices, "vq={vq:?} eq={eq:?}");
             assert_eq!(got.edges, expected.edges, "vq={vq:?} eq={eq:?}");
         }
@@ -394,7 +418,9 @@ mod tests {
         let rt = rt();
         let g = topology_only(&figure1_graph_stable_ids());
         let spec = WZoomSpec::points(2, Quantifier::Exists, Quantifier::Exists);
-        let out = OgcGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec).to_tgraph(&rt);
+        let out = OgcGraph::from_tgraph(&rt, &g)
+            .wzoom(&rt, &spec)
+            .to_tgraph(&rt);
         assert!(tgraph_core::validate::validate(&out).is_empty());
     }
 

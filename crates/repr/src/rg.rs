@@ -12,6 +12,8 @@
 use crate::common::{
     coalesce_states, resolve_edge_states, resolve_vertex_states, window_reduce, State,
 };
+use std::collections::HashMap;
+use std::sync::Arc;
 use tgraph_core::coalesce::coalesce_graph;
 use tgraph_core::graph::{EdgeId, EdgeRecord, TGraph, VertexId, VertexRecord};
 use tgraph_core::props::Props;
@@ -20,8 +22,6 @@ use tgraph_core::time::Interval;
 use tgraph_core::zoom::azoom::{AZoomSpec, AggAccumulator};
 use tgraph_core::zoom::wzoom::{window_relation, windows_of, WZoomSpec};
 use tgraph_dataflow::{Dataset, KeyedDataset, Runtime};
-use std::collections::HashMap;
-use std::sync::Arc;
 
 /// One snapshot: the full state of the graph during `interval`.
 #[derive(Clone, Debug, PartialEq)]
@@ -51,11 +51,18 @@ impl RgGraph {
     pub fn from_tgraph(rt: &Runtime, g: &TGraph) -> Self {
         let boundaries = g.change_points();
         let intervals = elementary_intervals(&boundaries);
-        let index: HashMap<i64, usize> =
-            intervals.iter().enumerate().map(|(i, iv)| (iv.start, i)).collect();
+        let index: HashMap<i64, usize> = intervals
+            .iter()
+            .enumerate()
+            .map(|(i, iv)| (iv.start, i))
+            .collect();
         let mut snapshots: Vec<RgSnapshot> = intervals
             .iter()
-            .map(|iv| RgSnapshot { interval: *iv, vertices: Vec::new(), edges: Vec::new() })
+            .map(|iv| RgSnapshot {
+                interval: *iv,
+                vertices: Vec::new(),
+                edges: Vec::new(),
+            })
             .collect();
         // Replicate every fact into every elementary interval it overlaps —
         // the replication that costs RG its compactness.
@@ -71,7 +78,9 @@ impl RgGraph {
             let mut t = e.interval.start;
             while t < e.interval.end {
                 let i = index[&t];
-                snapshots[i].edges.push((e.eid, e.src, e.dst, e.props.clone()));
+                snapshots[i]
+                    .edges
+                    .push((e.eid, e.src, e.dst, e.props.clone()));
                 t = intervals[i].end;
             }
         }
@@ -87,7 +96,7 @@ impl RgGraph {
     pub fn to_tgraph(&self, rt: &Runtime) -> TGraph {
         let vertices: Vec<VertexRecord> = self
             .snapshots
-            .flat_map(rt, |s| {
+            .flat_map(|s| {
                 let interval = s.interval;
                 s.vertices
                     .iter()
@@ -98,10 +107,10 @@ impl RgGraph {
                     })
                     .collect::<Vec<_>>()
             })
-            .collect();
+            .collect(rt);
         let edges: Vec<EdgeRecord> = self
             .snapshots
-            .flat_map(rt, |s| {
+            .flat_map(|s| {
                 let interval = s.interval;
                 s.edges
                     .iter()
@@ -114,8 +123,12 @@ impl RgGraph {
                     })
                     .collect::<Vec<_>>()
             })
-            .collect();
-        coalesce_graph(&TGraph { lifespan: self.lifespan, vertices, edges })
+            .collect(rt);
+        coalesce_graph(&TGraph {
+            lifespan: self.lifespan,
+            vertices,
+            edges,
+        })
     }
 
     /// Number of snapshots.
@@ -126,14 +139,14 @@ impl RgGraph {
     /// Total vertex tuples across all snapshots (RG's storage footprint).
     pub fn total_vertex_tuples(&self, rt: &Runtime) -> usize {
         self.snapshots
-            .map(rt, |s| s.vertices.len())
+            .map(|s| s.vertices.len())
             .fold(rt, 0usize, |a, x| a + x, |a, b| a + b)
     }
 
     /// Total edge tuples across all snapshots.
     pub fn total_edge_tuples(&self, rt: &Runtime) -> usize {
         self.snapshots
-            .map(rt, |s| s.edges.len())
+            .map(|s| s.edges.len())
             .fold(rt, 0usize, |a, x| a + x, |a, b| a + b)
     }
 
@@ -156,7 +169,7 @@ impl RgGraph {
         // edge redirection joins against.
         let spec1 = Arc::clone(&spec);
         let skolemized: Dataset<((Time, u64), (Interval, Props, Props))> =
-            self.snapshots.flat_map(rt, move |s| {
+            self.snapshots.flat_map(move |s| {
                 let snap = s.interval.start;
                 let interval = s.interval;
                 s.vertices
@@ -171,7 +184,7 @@ impl RgGraph {
         let spec2 = Arc::clone(&spec);
         let grouped: Dataset<(Time, (VertexId, Interval, Props))> = skolemized
             .group_by_key(rt)
-            .map(rt, move |((snap, gid), members)| {
+            .map(move |((snap, gid), members)| {
                 let mut acc = AggAccumulator::new(spec2.aggs.clone());
                 for (_, _, props) in members {
                     acc.update(props);
@@ -184,17 +197,19 @@ impl RgGraph {
         // group mapping on v1, then on v2 (the triplet view's vertex lookup
         // expressed as dataflow joins).
         let spec3 = Arc::clone(&spec);
-        let mapping: Dataset<((Time, VertexId), u64)> = self.snapshots.flat_map(rt, move |s| {
+        let mapping: Dataset<((Time, VertexId), u64)> = self.snapshots.flat_map(move |s| {
             let snap = s.interval.start;
             s.vertices
                 .iter()
                 .filter_map(|(vid, props)| {
-                    spec3.skolemize(*vid, props).map(|(gid, _)| ((snap, *vid), gid))
+                    spec3
+                        .skolemize(*vid, props)
+                        .map(|(gid, _)| ((snap, *vid), gid))
                 })
                 .collect::<Vec<_>>()
         });
         let edges_by_src: Dataset<((Time, VertexId), (EdgeId, VertexId, Interval, Props))> =
-            self.snapshots.flat_map(rt, |s| {
+            self.snapshots.flat_map(|s| {
                 let snap = s.interval.start;
                 let interval = s.interval;
                 s.edges
@@ -207,17 +222,23 @@ impl RgGraph {
         let redirected: Dataset<(Time, (EdgeId, VertexId, VertexId, Interval, Props))> =
             edges_by_src
                 .join(rt, &mapping)
-                .map(rt, |((snap, _), ((eid, dst, interval, props), g1))| {
-                    ((*snap, *dst), (*eid, VertexId(*g1), *interval, props.clone()))
+                .map(|((snap, _), ((eid, dst, interval, props), g1))| {
+                    (
+                        (*snap, *dst),
+                        (*eid, VertexId(*g1), *interval, props.clone()),
+                    )
                 })
                 .join(rt, &mapping)
-                .map(rt, |((snap, _), ((eid, g1, interval, props), g2))| {
+                .map(|((snap, _), ((eid, g1, interval, props), g2))| {
                     (*snap, (*eid, *g1, VertexId(*g2), *interval, props.clone()))
                 });
 
         // Rebuild one snapshot per original interval.
         let snapshots = regroup_snapshots(rt, &grouped, &redirected);
-        RgGraph { lifespan: self.lifespan, snapshots }
+        RgGraph {
+            lifespan: self.lifespan,
+            snapshots,
+        }
     }
 
     /// `wZoom^T` over RG — Algorithm 4: each snapshot's vertices and edges
@@ -229,9 +250,8 @@ impl RgGraph {
     /// dangling edges removed.
     pub fn wzoom(&self, rt: &Runtime, spec: &WZoomSpec) -> RgGraph {
         let change_points: Vec<i64> = {
-            let mut starts: Vec<i64> =
-                self.snapshots.map(rt, |s| s.interval.start).collect();
-            let mut ends: Vec<i64> = self.snapshots.map(rt, |s| s.interval.end).collect();
+            let mut starts: Vec<i64> = self.snapshots.map(|s| s.interval.start).collect(rt);
+            let mut ends: Vec<i64> = self.snapshots.map(|s| s.interval.end).collect(rt);
             starts.append(&mut ends);
             starts.sort_unstable();
             starts.dedup();
@@ -239,7 +259,10 @@ impl RgGraph {
         };
         let windows = Arc::new(window_relation(self.lifespan, &change_points, spec.window));
         if windows.is_empty() {
-            return RgGraph { lifespan: self.lifespan, snapshots: Dataset::empty() };
+            return RgGraph {
+                lifespan: self.lifespan,
+                snapshots: Dataset::empty(),
+            };
         }
         let lifespan = self.lifespan;
         let wspec = spec.window;
@@ -249,7 +272,7 @@ impl RgGraph {
         // record per entity per snapshot copy — RG pays for its replication
         // in this shuffle.
         let ws = Arc::clone(&windows);
-        let aligned_v: Dataset<((usize, VertexId), State)> = self.snapshots.flat_map(rt, move |s| {
+        let aligned_v: Dataset<((usize, VertexId), State)> = self.snapshots.flat_map(move |s| {
             let mut out = Vec::with_capacity(s.vertices.len());
             for (idx, _w, covered) in windows_of(s.interval, lifespan, &ws, wspec) {
                 for (vid, props) in &s.vertices {
@@ -261,19 +284,21 @@ impl RgGraph {
         let ws = Arc::clone(&windows);
         let spec_v = Arc::clone(&spec);
         let kept: Dataset<((usize, VertexId), Props)> =
-            aligned_v.group_by_key(rt).flat_map(rt, move |((idx, vid), states)| {
-                let window = ws[*idx];
-                window_reduce(window, states.clone(), &spec_v.vertex_quantifier, |s| {
-                    resolve_vertex_states(&spec_v, s)
-                })
-                .map(|props| ((*idx, *vid), props))
-                .into_iter()
-                .collect::<Vec<_>>()
-            });
+            aligned_v
+                .group_by_key(rt)
+                .flat_map(move |((idx, vid), states)| {
+                    let window = ws[*idx];
+                    window_reduce(window, states.clone(), &spec_v.vertex_quantifier, |s| {
+                        resolve_vertex_states(&spec_v, s)
+                    })
+                    .map(|props| ((*idx, *vid), props))
+                    .into_iter()
+                    .collect::<Vec<_>>()
+                });
 
         let ws = Arc::clone(&windows);
         let aligned_e: Dataset<((usize, EdgeId, VertexId, VertexId), State)> =
-            self.snapshots.flat_map(rt, move |s| {
+            self.snapshots.flat_map(move |s| {
                 let mut out = Vec::with_capacity(s.edges.len());
                 for (idx, _w, covered) in windows_of(s.interval, lifespan, &ws, wspec) {
                     for (eid, src, dst, props) in &s.edges {
@@ -285,39 +310,46 @@ impl RgGraph {
         let ws = Arc::clone(&windows);
         let spec_e = Arc::clone(&spec);
         let surviving: Dataset<((usize, VertexId), (EdgeId, VertexId, VertexId, Props))> =
-            aligned_e.group_by_key(rt).flat_map(rt, move |((idx, eid, src, dst), states)| {
-                let window = ws[*idx];
-                window_reduce(window, states.clone(), &spec_e.edge_quantifier, |s| {
-                    resolve_edge_states(&spec_e, s)
-                })
-                .map(|props| ((*idx, *src), (*eid, *src, *dst, props)))
-                .into_iter()
-                .collect::<Vec<_>>()
-            });
+            aligned_e
+                .group_by_key(rt)
+                .flat_map(move |((idx, eid, src, dst), states)| {
+                    let window = ws[*idx];
+                    window_reduce(window, states.clone(), &spec_e.edge_quantifier, |s| {
+                        resolve_edge_states(&spec_e, s)
+                    })
+                    .map(|props| ((*idx, *src), (*eid, *src, *dst, props)))
+                    .into_iter()
+                    .collect::<Vec<_>>()
+                });
 
         // Dangling-edge removal against the retained vertex set (merge step
         // of line 19): semijoin on source, then destination.
-        let kept_keys: Dataset<((usize, VertexId), ())> = kept.map(rt, |(k, _)| (*k, ()));
+        // Same key set drives both semijoins; partition it once so the
+        // second semijoin's key-side shuffle is elided.
+        let kept_keys: Dataset<((usize, VertexId), ())> =
+            tgraph_dataflow::shuffle(rt, &kept.map(|(k, _)| (*k, ())));
         let edges_checked: Dataset<(usize, (EdgeId, VertexId, VertexId, Props))> = surviving
             .semi_join(rt, &kept_keys)
-            .map(rt, |((idx, _), e)| ((*idx, e.2), e.clone()))
+            .map(|((idx, _), e)| ((*idx, e.2), e.clone()))
             .semi_join(rt, &kept_keys)
-            .map(rt, |((idx, _), e)| (*idx, e.clone()));
+            .map(|((idx, _), e)| (*idx, e.clone()));
 
         // Recreate the RG representation: one snapshot per window.
         let ws = Arc::clone(&windows);
         let v_parts: Dataset<(usize, SnapshotPart)> =
-            kept.map(rt, |((idx, vid), props)| (*idx, SnapshotPart::Vertex(*vid, props.clone())));
-        let e_parts: Dataset<(usize, SnapshotPart)> = edges_checked.map(rt, |(idx, e)| {
-            (*idx, SnapshotPart::Edge(e.0, e.1, e.2, e.3.clone()))
-        });
+            kept.map(|((idx, vid), props)| (*idx, SnapshotPart::Vertex(*vid, props.clone())));
+        let e_parts: Dataset<(usize, SnapshotPart)> =
+            edges_checked.map(|(idx, e)| (*idx, SnapshotPart::Edge(e.0, e.1, e.2, e.3.clone())));
         let snapshots = v_parts
             .union(&e_parts)
             .group_by_key(rt)
-            .map(rt, move |(idx, parts)| build_snapshot(ws[*idx], parts));
+            .map(move |(idx, parts)| build_snapshot(ws[*idx], parts));
 
         let lifespan = windows.first().unwrap().hull(windows.last().unwrap());
-        RgGraph { lifespan, snapshots }
+        RgGraph {
+            lifespan,
+            snapshots,
+        }
     }
 }
 
@@ -342,7 +374,11 @@ fn build_snapshot(interval: Interval, parts: &[SnapshotPart]) -> RgSnapshot {
     }
     vertices.sort_by_key(|(v, _)| *v);
     edges.sort_by_key(|(e, s, d, _)| (*e, *s, *d));
-    RgSnapshot { interval, vertices, edges }
+    RgSnapshot {
+        interval,
+        vertices,
+        edges,
+    }
 }
 
 /// Reassembles snapshots from per-snapshot vertex and edge streams (used by
@@ -350,19 +386,21 @@ fn build_snapshot(interval: Interval, parts: &[SnapshotPart]) -> RgSnapshot {
 fn regroup_snapshots(
     rt: &Runtime,
     vertices: &Dataset<(tgraph_core::Time, (VertexId, Interval, Props))>,
-    edges: &Dataset<(tgraph_core::Time, (EdgeId, VertexId, VertexId, Interval, Props))>,
+    edges: &Dataset<(
+        tgraph_core::Time,
+        (EdgeId, VertexId, VertexId, Interval, Props),
+    )>,
 ) -> Dataset<RgSnapshot> {
-    let v_parts: Dataset<(Interval, SnapshotPart)> = vertices.map(rt, |(_, (vid, iv, props))| {
-        (*iv, SnapshotPart::Vertex(*vid, props.clone()))
-    });
+    let v_parts: Dataset<(Interval, SnapshotPart)> =
+        vertices.map(|(_, (vid, iv, props))| (*iv, SnapshotPart::Vertex(*vid, props.clone())));
     let e_parts: Dataset<(Interval, SnapshotPart)> =
-        edges.map(rt, |(_, (eid, src, dst, iv, props))| {
+        edges.map(|(_, (eid, src, dst, iv, props))| {
             (*iv, SnapshotPart::Edge(*eid, *src, *dst, props.clone()))
         });
     v_parts
         .union(&e_parts)
         .group_by_key(rt)
-        .map(rt, |(interval, parts)| build_snapshot(*interval, parts))
+        .map(|(interval, parts)| build_snapshot(*interval, parts))
 }
 
 /// Coalesces the states used for resolve functions — exposed for tests.
@@ -391,7 +429,7 @@ mod tests {
         let rt = rt();
         let g = figure1_graph_stable_ids();
         let rg = RgGraph::from_tgraph(&rt, &g);
-        let mut snaps = rg.snapshots.collect();
+        let mut snaps = rg.snapshots.collect(&rt);
         snaps.sort_by_key(|s| s.interval.start);
         // Elementary intervals: [1,2), [2,5), [5,7), [7,9).
         assert_eq!(snaps.len(), 4);
@@ -431,7 +469,9 @@ mod tests {
         let rt = rt();
         let g = figure1_graph_stable_ids();
         let expected = azoom_reference(&g, &school_spec());
-        let got = RgGraph::from_tgraph(&rt, &g).azoom(&rt, &school_spec()).to_tgraph(&rt);
+        let got = RgGraph::from_tgraph(&rt, &g)
+            .azoom(&rt, &school_spec())
+            .to_tgraph(&rt);
         assert_eq!(got.vertices, expected.vertices);
         assert_eq!(got.edges, expected.edges);
     }
@@ -443,7 +483,9 @@ mod tests {
         let spec = WZoomSpec::points(3, Quantifier::All, Quantifier::All)
             .with_vertex_override("school", ResolveFn::Last);
         let expected = wzoom_reference(&g, &spec);
-        let got = RgGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec).to_tgraph(&rt);
+        let got = RgGraph::from_tgraph(&rt, &g)
+            .wzoom(&rt, &spec)
+            .to_tgraph(&rt);
         assert_eq!(got.vertices, expected.vertices);
         assert_eq!(got.edges, expected.edges);
     }
@@ -454,7 +496,9 @@ mod tests {
         let g = figure1_graph_stable_ids();
         let spec = WZoomSpec::points(3, Quantifier::Exists, Quantifier::Exists);
         let expected = wzoom_reference(&g, &spec);
-        let got = RgGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec).to_tgraph(&rt);
+        let got = RgGraph::from_tgraph(&rt, &g)
+            .wzoom(&rt, &spec)
+            .to_tgraph(&rt);
         assert_eq!(got.vertices, expected.vertices);
         assert_eq!(got.edges, expected.edges);
     }
@@ -465,7 +509,9 @@ mod tests {
         let g = figure1_graph_stable_ids();
         let spec = WZoomSpec::points(3, Quantifier::All, Quantifier::Exists);
         let expected = wzoom_reference(&g, &spec);
-        let got = RgGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec).to_tgraph(&rt);
+        let got = RgGraph::from_tgraph(&rt, &g)
+            .wzoom(&rt, &spec)
+            .to_tgraph(&rt);
         assert_eq!(got.edges, expected.edges);
         assert!(tgraph_core::validate::validate(&got).is_empty());
     }

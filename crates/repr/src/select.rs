@@ -5,47 +5,68 @@
 use crate::og::{OgEdge, OgGraph, OgVertex};
 use crate::rg::{RgGraph, RgSnapshot};
 use crate::ve::VeGraph;
+use std::sync::Arc;
 use tgraph_core::algebra::Predicate;
 use tgraph_core::graph::{EdgeRecord, VertexId, VertexRecord};
 use tgraph_core::time::{intersect_interval_sets, merge_non_overlapping, Interval};
 use tgraph_dataflow::{Dataset, KeyedDataset, Runtime};
-use std::sync::Arc;
 
 impl VeGraph {
     /// Temporal subgraph over VE: filter both relations, then clip edges to
     /// their endpoints' surviving existence with two joins (VE has only
     /// foreign keys, so the endpoint intervals must be shipped).
-    pub fn subgraph(&self, rt: &Runtime, vertex_pred: &Predicate, edge_pred: &Predicate) -> VeGraph {
+    pub fn subgraph(
+        &self,
+        rt: &Runtime,
+        vertex_pred: &Predicate,
+        edge_pred: &Predicate,
+    ) -> VeGraph {
         let vp = Arc::new(vertex_pred.clone());
         let ep = Arc::new(edge_pred.clone());
-        let vertices = self.vertices.filter(rt, move |v| vp.eval(&v.props));
+        let vertices = self.vertices.filter(move |v| vp.eval(&v.props));
 
         // Surviving existence periods per vertex.
         let alive: Dataset<(VertexId, Vec<Interval>)> = vertices
-            .map(rt, |v| (v.vid, v.interval))
+            .map(|v| (v.vid, v.interval))
             .group_by_key(rt)
-            .map(rt, |(vid, ivs)| (*vid, merge_non_overlapping(ivs.clone())));
+            .map(|(vid, ivs)| (*vid, merge_non_overlapping(ivs.clone())));
 
-        let filtered_edges = self.edges.filter(rt, move |e| ep.eval(&e.props));
+        let filtered_edges = self.edges.filter(move |e| ep.eval(&e.props));
         let edges: Dataset<EdgeRecord> = filtered_edges
-            .map(rt, |e| (e.src, e.clone()))
+            .map(|e| (e.src, e.clone()))
             .join(rt, &alive)
-            .flat_map(rt, |(_, (e, src_alive))| {
+            .flat_map(|(_, (e, src_alive))| {
                 src_alive
                     .iter()
                     .filter_map(|iv| iv.intersect(&e.interval))
-                    .map(|interval| (e.dst, EdgeRecord { interval, ..e.clone() }))
+                    .map(|interval| {
+                        (
+                            e.dst,
+                            EdgeRecord {
+                                interval,
+                                ..e.clone()
+                            },
+                        )
+                    })
                     .collect::<Vec<_>>()
             })
             .join(rt, &alive)
-            .flat_map(rt, |(_, (e, dst_alive))| {
+            .flat_map(|(_, (e, dst_alive))| {
                 dst_alive
                     .iter()
                     .filter_map(|iv| iv.intersect(&e.interval))
-                    .map(|interval| EdgeRecord { interval, ..e.clone() })
+                    .map(|interval| EdgeRecord {
+                        interval,
+                        ..e.clone()
+                    })
                     .collect::<Vec<_>>()
             });
-        let out = VeGraph { lifespan: self.lifespan, vertices, edges, coalesced: false };
+        let out = VeGraph {
+            lifespan: self.lifespan,
+            vertices,
+            edges,
+            coalesced: false,
+        };
         out.coalesce(rt)
     }
 
@@ -54,25 +75,42 @@ impl VeGraph {
     pub fn project(&self, rt: &Runtime, vertex_keys: &[&str], edge_keys: &[&str]) -> VeGraph {
         let vk: Arc<Vec<String>> = Arc::new(vertex_keys.iter().map(|s| s.to_string()).collect());
         let ek: Arc<Vec<String>> = Arc::new(edge_keys.iter().map(|s| s.to_string()).collect());
-        let vertices = self.vertices.map(rt, move |v| {
+        let vertices = self.vertices.map(move |v| {
             let keys: Vec<&str> = vk.iter().map(|s| s.as_str()).collect();
-            VertexRecord { props: v.props.project(&keys), ..v.clone() }
+            VertexRecord {
+                props: v.props.project(&keys),
+                ..v.clone()
+            }
         });
-        let edges = self.edges.map(rt, move |e| {
+        let edges = self.edges.map(move |e| {
             let keys: Vec<&str> = ek.iter().map(|s| s.as_str()).collect();
-            EdgeRecord { props: e.props.project(&keys), ..e.clone() }
+            EdgeRecord {
+                props: e.props.project(&keys),
+                ..e.clone()
+            }
         });
-        VeGraph { lifespan: self.lifespan, vertices, edges, coalesced: false }.coalesce(rt)
+        VeGraph {
+            lifespan: self.lifespan,
+            vertices,
+            edges,
+            coalesced: false,
+        }
+        .coalesce(rt)
     }
 }
 
 impl RgGraph {
     /// Temporal subgraph over RG: entirely snapshot-local — filter each
     /// snapshot's vertices and edges and drop dangling edges in place.
-    pub fn subgraph(&self, rt: &Runtime, vertex_pred: &Predicate, edge_pred: &Predicate) -> RgGraph {
+    pub fn subgraph(
+        &self,
+        _rt: &Runtime,
+        vertex_pred: &Predicate,
+        edge_pred: &Predicate,
+    ) -> RgGraph {
         let vp = Arc::new(vertex_pred.clone());
         let ep = Arc::new(edge_pred.clone());
-        let snapshots = self.snapshots.map(rt, move |s| {
+        let snapshots = self.snapshots.map(move |s| {
             let vertices: Vec<_> = s
                 .vertices
                 .iter()
@@ -89,9 +127,16 @@ impl RgGraph {
                 })
                 .cloned()
                 .collect();
-            RgSnapshot { interval: s.interval, vertices, edges }
+            RgSnapshot {
+                interval: s.interval,
+                vertices,
+                edges,
+            }
         });
-        RgGraph { lifespan: self.lifespan, snapshots }
+        RgGraph {
+            lifespan: self.lifespan,
+            snapshots,
+        }
     }
 }
 
@@ -99,12 +144,17 @@ impl OgGraph {
     /// Temporal subgraph over OG: history elements are filtered locally;
     /// edge clipping against surviving endpoints uses the endpoint copies
     /// each edge carries, so — like Algorithm 3 — no join is needed.
-    pub fn subgraph(&self, rt: &Runtime, vertex_pred: &Predicate, edge_pred: &Predicate) -> OgGraph {
+    pub fn subgraph(
+        &self,
+        _rt: &Runtime,
+        vertex_pred: &Predicate,
+        edge_pred: &Predicate,
+    ) -> OgGraph {
         let vp = Arc::new(vertex_pred.clone());
         let vp2 = Arc::clone(&vp);
         let ep = Arc::new(edge_pred.clone());
 
-        let vertices: Dataset<OgVertex> = self.vertices.flat_map(rt, move |v| {
+        let vertices: Dataset<OgVertex> = self.vertices.flat_map(move |v| {
             let history: Vec<_> = v
                 .history
                 .iter()
@@ -114,11 +164,14 @@ impl OgGraph {
             if history.is_empty() {
                 Vec::new()
             } else {
-                vec![OgVertex { vid: v.vid, history }]
+                vec![OgVertex {
+                    vid: v.vid,
+                    history,
+                }]
             }
         });
 
-        let edges: Dataset<OgEdge> = self.edges.flat_map(rt, move |e| {
+        let edges: Dataset<OgEdge> = self.edges.flat_map(move |e| {
             let filter_copy = |copy: &OgVertex| -> OgVertex {
                 OgVertex {
                     vid: copy.vid,
@@ -149,11 +202,20 @@ impl OgGraph {
             if history.is_empty() {
                 Vec::new()
             } else {
-                vec![OgEdge { eid: e.eid, src, dst, history }]
+                vec![OgEdge {
+                    eid: e.eid,
+                    src,
+                    dst,
+                    history,
+                }]
             }
         });
 
-        OgGraph { lifespan: self.lifespan, vertices, edges }
+        OgGraph {
+            lifespan: self.lifespan,
+            vertices,
+            edges,
+        }
     }
 }
 
@@ -188,7 +250,7 @@ mod tests {
             let got = canon(
                 &VeGraph::from_tgraph(&rt, &g)
                     .subgraph(&rt, &vp, &ep)
-                    .to_tgraph(),
+                    .to_tgraph(&rt),
             );
             assert_eq!(got, expected, "vp={vp:?} ep={ep:?}");
         }
@@ -232,7 +294,7 @@ mod tests {
         let rt = rt();
         let g = figure1_graph_stable_ids();
         let p = VeGraph::from_tgraph(&rt, &g).project(&rt, &["name"], &[]);
-        let t = p.to_tgraph();
+        let t = p.to_tgraph(&rt);
         assert!(validate(&t).is_empty());
         let bob: Vec<_> = t.vertices.iter().filter(|v| v.vid.0 == 2).collect();
         assert_eq!(bob.len(), 1, "states merged after projecting away school");
@@ -245,13 +307,17 @@ mod tests {
         // longer contains schoolless Bob at any point.
         let rt = rt();
         let g = figure1_graph_stable_ids();
-        let sub = VeGraph::from_tgraph(&rt, &g).subgraph(&rt, &Predicate::has("school"), &Predicate::True);
+        let sub = VeGraph::from_tgraph(&rt, &g).subgraph(
+            &rt,
+            &Predicate::has("school"),
+            &Predicate::True,
+        );
         let spec = tgraph_core::zoom::AZoomSpec::by_property(
             "school",
             "school",
             vec![tgraph_core::zoom::AggSpec::count("students")],
         );
-        let zoomed = sub.azoom(&rt, &spec).to_tgraph();
+        let zoomed = sub.azoom(&rt, &spec).to_tgraph(&rt);
         let zoomed = coalesce_graph(&zoomed);
         assert!(validate(&zoomed).is_empty());
         assert_eq!(zoomed.distinct_vertex_count(), 2);

@@ -35,8 +35,8 @@ impl OgGraph {
     /// Materializes the temporal triplet view. Entirely edge-local: endpoint
     /// attributes come from the vertex copies each [`crate::og::OgEdge`]
     /// carries.
-    pub fn triplets(&self, rt: &Runtime) -> Dataset<Triplet> {
-        self.edges.flat_map(rt, |e| {
+    pub fn triplets(&self, _rt: &Runtime) -> Dataset<Triplet> {
+        self.edges.flat_map(|e| {
             // Split the edge's validity at every boundary where the edge or
             // either endpoint changes state.
             let boundaries = splitter(
@@ -55,7 +55,9 @@ impl OgGraph {
             let mut out = Vec::new();
             for (eiv, eprops) in &e.history {
                 for piece in &boundaries {
-                    let Some(interval) = piece.intersect(eiv) else { continue };
+                    let Some(interval) = piece.intersect(eiv) else {
+                        continue;
+                    };
                     let (Some(sp), Some(dp)) = (
                         state_at(&e.src.history, interval.start),
                         state_at(&e.dst.history, interval.start),
@@ -103,7 +105,7 @@ mod tests {
     fn triplets_of_running_example() {
         let rt = Runtime::with_partitions(2, 2);
         let og = OgGraph::from_tgraph(&rt, &figure1_graph_stable_ids());
-        let mut triplets = og.triplets(&rt).collect();
+        let mut triplets = og.triplets(&rt).collect(&rt);
         triplets.sort_by_key(|t| (t.eid, t.interval.start));
 
         // e1 (Ann→Bob, [2,7)) splits at Bob's change (t=5): two triplets.
@@ -138,11 +140,13 @@ mod tests {
         let rt = Runtime::with_partitions(2, 2);
         let g = figure1_graph_stable_ids();
         let og = OgGraph::from_tgraph(&rt, &g);
-        let triplets = og.triplets(&rt).collect();
+        let triplets = og.triplets(&rt).collect(&rt);
         for t in g.lifespan.points() {
             let snap = g.at(t);
-            let live: Vec<&Triplet> =
-                triplets.iter().filter(|tr| tr.interval.contains(t)).collect();
+            let live: Vec<&Triplet> = triplets
+                .iter()
+                .filter(|tr| tr.interval.contains(t))
+                .collect();
             assert_eq!(live.len(), snap.edges.len(), "at t={t}");
             for tr in live {
                 let (src, dst, eprops) = snap.edges.get(&tr.eid).unwrap();

@@ -11,6 +11,7 @@ use crate::common::{
     aggregate_group_history, coalesce_states, resolve_edge_states, resolve_vertex_states,
     window_reduce, State,
 };
+use std::sync::Arc;
 use tgraph_core::coalesce::{coalesce_edges, coalesce_vertices};
 use tgraph_core::graph::{EdgeId, EdgeRecord, TGraph, VertexId, VertexRecord};
 use tgraph_core::props::Props;
@@ -18,7 +19,6 @@ use tgraph_core::time::Interval;
 use tgraph_core::zoom::azoom::AZoomSpec;
 use tgraph_core::zoom::wzoom::{window_relation, windows_of, WZoomSpec};
 use tgraph_dataflow::{Dataset, KeyedDataset, Runtime};
-use std::sync::Arc;
 
 /// A TGraph stored as two distributed temporal relations.
 #[derive(Clone, Debug)]
@@ -48,12 +48,16 @@ impl VeGraph {
     }
 
     /// Materializes the logical graph (sorted deterministically).
-    pub fn to_tgraph(&self) -> TGraph {
-        let mut vertices = self.vertices.collect();
-        let mut edges = self.edges.collect();
+    pub fn to_tgraph(&self, rt: &Runtime) -> TGraph {
+        let mut vertices = self.vertices.collect(rt);
+        let mut edges = self.edges.collect(rt);
         vertices.sort_by_key(|v| (v.vid, v.interval.start));
         edges.sort_by_key(|e| (e.eid, e.src, e.dst, e.interval.start));
-        let mut g = TGraph { lifespan: self.lifespan, vertices, edges };
+        let mut g = TGraph {
+            lifespan: self.lifespan,
+            vertices,
+            edges,
+        };
         if g.lifespan.is_empty() {
             g = TGraph::from_records(g.vertices, g.edges);
         }
@@ -79,27 +83,42 @@ impl VeGraph {
         }
         let vertices = self
             .vertices
-            .map(rt, |v| (v.vid, (v.interval, v.props.clone())))
+            .map(|v| (v.vid, (v.interval, v.props.clone())))
             .group_by_key(rt)
-            .flat_map(rt, |(vid, states)| {
+            .flat_map(|(vid, states)| {
                 let vid = *vid;
                 coalesce_states(states.clone())
                     .into_iter()
-                    .map(move |(interval, props)| VertexRecord { vid, interval, props })
+                    .map(move |(interval, props)| VertexRecord {
+                        vid,
+                        interval,
+                        props,
+                    })
                     .collect::<Vec<_>>()
             });
         let edges = self
             .edges
-            .map(rt, |e| ((e.eid, e.src, e.dst), (e.interval, e.props.clone())))
+            .map(|e| ((e.eid, e.src, e.dst), (e.interval, e.props.clone())))
             .group_by_key(rt)
-            .flat_map(rt, |((eid, src, dst), states)| {
+            .flat_map(|((eid, src, dst), states)| {
                 let (eid, src, dst) = (*eid, *src, *dst);
                 coalesce_states(states.clone())
                     .into_iter()
-                    .map(move |(interval, props)| EdgeRecord { eid, src, dst, interval, props })
+                    .map(move |(interval, props)| EdgeRecord {
+                        eid,
+                        src,
+                        dst,
+                        interval,
+                        props,
+                    })
                     .collect::<Vec<_>>()
             });
-        VeGraph { lifespan: self.lifespan, vertices, edges, coalesced: true }
+        VeGraph {
+            lifespan: self.lifespan,
+            vertices,
+            edges,
+            coalesced: true,
+        }
     }
 
     /// `aZoom^T` over VE — Algorithm 2.
@@ -114,7 +133,7 @@ impl VeGraph {
 
         // --- Vertex aggregation (lines 1–12). ---
         let spec1 = Arc::clone(&spec_v);
-        let grouped: Dataset<(u64, (Props, State))> = self.vertices.flat_map(rt, move |v| {
+        let grouped: Dataset<(u64, (Props, State))> = self.vertices.flat_map(move |v| {
             spec1
                 .skolemize(v.vid, &v.props)
                 .map(|(gid, base)| (gid, (base, (v.interval, v.props.clone()))))
@@ -123,47 +142,64 @@ impl VeGraph {
         });
         let spec2 = Arc::clone(&spec_v);
         let vertices: Dataset<VertexRecord> =
-            grouped.group_by_key(rt).flat_map(rt, move |(gid, members)| {
+            grouped.group_by_key(rt).flat_map(move |(gid, members)| {
                 let base = &members[0].0;
                 let states: Vec<State> = members.iter().map(|(_, s)| s.clone()).collect();
                 let vid = VertexId(*gid);
                 aggregate_group_history(&spec2, base, &states)
                     .into_iter()
-                    .map(move |(interval, props)| VertexRecord { vid, interval, props })
+                    .map(move |(interval, props)| VertexRecord {
+                        vid,
+                        interval,
+                        props,
+                    })
                     .collect::<Vec<_>>()
             });
 
         // --- Edge redirection (lines 13–18): two joins on the vertex FK. ---
-        let by_src: Dataset<(VertexId, EdgeRecord)> = self.edges.map(rt, |e| (e.src, e.clone()));
+        let by_src: Dataset<(VertexId, EdgeRecord)> = self.edges.map(|e| (e.src, e.clone()));
+        // The vertex relation is joined twice (src then dst redirection);
+        // hash-partition it once so the second join elides its shuffle.
         let v_by_id: Dataset<(VertexId, VertexRecord)> =
-            self.vertices.map(rt, |v| (v.vid, v.clone()));
+            tgraph_dataflow::shuffle(rt, &self.vertices.map(|v| (v.vid, v.clone())));
         let spec3 = Arc::clone(&spec_v);
-        let joined_src: Dataset<(VertexId, (EdgeRecord, (u64, Interval)))> = by_src
-            .join(rt, &v_by_id)
-            .flat_map(rt, move |(_, (e, v))| {
+        let joined_src: Dataset<(VertexId, (EdgeRecord, (u64, Interval)))> =
+            by_src.join(rt, &v_by_id).flat_map(move |(_, (e, v))| {
                 // recomputeInterval part 1: clip to the src state's validity.
-                match (e.interval.intersect(&v.interval), spec3.skolemize(v.vid, &v.props)) {
+                match (
+                    e.interval.intersect(&v.interval),
+                    spec3.skolemize(v.vid, &v.props),
+                ) {
                     (Some(iv), Some((gid, _))) => vec![(e.dst, (e.clone(), (gid, iv)))],
                     _ => vec![],
                 }
             });
         let spec4 = Arc::clone(&spec_v);
-        let edges: Dataset<EdgeRecord> = joined_src
-            .join(rt, &v_by_id)
-            .flat_map(rt, move |(_, ((e, (gid1, iv1)), v2))| {
-                match (iv1.intersect(&v2.interval), spec4.skolemize(v2.vid, &v2.props)) {
-                    (Some(interval), Some((gid2, _))) => vec![EdgeRecord {
-                        eid: e.eid,
-                        src: VertexId(*gid1),
-                        dst: VertexId(gid2),
-                        interval,
-                        props: e.props.clone(),
-                    }],
-                    _ => vec![],
-                }
-            });
+        let edges: Dataset<EdgeRecord> =
+            joined_src
+                .join(rt, &v_by_id)
+                .flat_map(move |(_, ((e, (gid1, iv1)), v2))| {
+                    match (
+                        iv1.intersect(&v2.interval),
+                        spec4.skolemize(v2.vid, &v2.props),
+                    ) {
+                        (Some(interval), Some((gid2, _))) => vec![EdgeRecord {
+                            eid: e.eid,
+                            src: VertexId(*gid1),
+                            dst: VertexId(gid2),
+                            interval,
+                            props: e.props.clone(),
+                        }],
+                        _ => vec![],
+                    }
+                });
         // Output of snapshot-wise evaluation is coalesced lazily; mark dirty.
-        let out = VeGraph { lifespan: self.lifespan, vertices, edges, coalesced: false };
+        let out = VeGraph {
+            lifespan: self.lifespan,
+            vertices,
+            edges,
+            coalesced: false,
+        };
         out.coalesce_edges_only(rt)
     }
 
@@ -174,13 +210,19 @@ impl VeGraph {
     fn coalesce_edges_only(&self, rt: &Runtime) -> VeGraph {
         let edges = self
             .edges
-            .map(rt, |e| ((e.eid, e.src, e.dst), (e.interval, e.props.clone())))
+            .map(|e| ((e.eid, e.src, e.dst), (e.interval, e.props.clone())))
             .group_by_key(rt)
-            .flat_map(rt, |((eid, src, dst), states)| {
+            .flat_map(|((eid, src, dst), states)| {
                 let (eid, src, dst) = (*eid, *src, *dst);
                 coalesce_states(states.clone())
                     .into_iter()
-                    .map(move |(interval, props)| EdgeRecord { eid, src, dst, interval, props })
+                    .map(move |(interval, props)| EdgeRecord {
+                        eid,
+                        src,
+                        dst,
+                        interval,
+                        props,
+                    })
                     .collect::<Vec<_>>()
             });
         VeGraph {
@@ -204,9 +246,7 @@ impl VeGraph {
         let change_points = {
             // Change points are only needed for `changes`-based windows.
             match spec.window {
-                tgraph_core::zoom::wzoom::WindowSpec::Changes(_) => {
-                    g.to_tgraph().change_points()
-                }
+                tgraph_core::zoom::wzoom::WindowSpec::Changes(_) => g.to_tgraph(rt).change_points(),
                 _ => Vec::new(),
             }
         };
@@ -225,7 +265,7 @@ impl VeGraph {
 
         // --- Vertex aggregation for new intervals (lines 3–9). ---
         let ws = Arc::clone(&windows);
-        let aligned_v: Dataset<((usize, VertexId), State)> = g.vertices.flat_map(rt, move |v| {
+        let aligned_v: Dataset<((usize, VertexId), State)> = g.vertices.flat_map(move |v| {
             let props = v.props.clone();
             let vid = v.vid;
             windows_of(v.interval, lifespan, &ws, wspec)
@@ -235,61 +275,86 @@ impl VeGraph {
         });
         let ws = Arc::clone(&windows);
         let spec_v = Arc::clone(&spec);
-        let kept_vertices: Dataset<((usize, VertexId), VertexRecord)> =
-            aligned_v.group_by_key(rt).flat_map(rt, move |((idx, vid), states)| {
+        let kept_vertices: Dataset<((usize, VertexId), VertexRecord)> = aligned_v
+            .group_by_key(rt)
+            .flat_map(move |((idx, vid), states)| {
                 let window = ws[*idx];
                 window_reduce(window, states.clone(), &spec_v.vertex_quantifier, |s| {
                     resolve_vertex_states(&spec_v, s)
                 })
-                .map(|props| ((*idx, *vid), VertexRecord { vid: *vid, interval: window, props }))
+                .map(|props| {
+                    (
+                        (*idx, *vid),
+                        VertexRecord {
+                            vid: *vid,
+                            interval: window,
+                            props,
+                        },
+                    )
+                })
                 .into_iter()
                 .collect::<Vec<_>>()
             });
-        let vertices: Dataset<VertexRecord> = kept_vertices.map(rt, |(_, v)| v.clone());
+        let vertices: Dataset<VertexRecord> = kept_vertices.map(|(_, v)| v.clone());
 
         // --- Edge aggregation (lines 10–16). ---
         let ws = Arc::clone(&windows);
         let aligned_e: Dataset<((usize, EdgeId, VertexId, VertexId), State)> =
-            g.edges.flat_map(rt, move |e| {
+            g.edges.flat_map(move |e| {
                 let props = e.props.clone();
                 let (eid, src, dst) = (e.eid, e.src, e.dst);
                 windows_of(e.interval, lifespan, &ws, wspec)
                     .into_iter()
-                    .map(move |(idx, _w, covered)| {
-                        ((idx, eid, src, dst), (covered, props.clone()))
-                    })
+                    .map(move |(idx, _w, covered)| ((idx, eid, src, dst), (covered, props.clone())))
                     .collect::<Vec<_>>()
             });
         let ws = Arc::clone(&windows);
         let spec_e = Arc::clone(&spec);
-        let edges: Dataset<((usize, VertexId), EdgeRecord)> = aligned_e
-            .group_by_key(rt)
-            .flat_map(rt, move |((idx, eid, src, dst), states)| {
-                let window = ws[*idx];
-                window_reduce(window, states.clone(), &spec_e.edge_quantifier, |s| {
-                    resolve_edge_states(&spec_e, s)
-                })
-                .map(|props| {
-                    ((*idx, *src), EdgeRecord { eid: *eid, src: *src, dst: *dst, interval: window, props })
-                })
-                .into_iter()
-                .collect::<Vec<_>>()
-            });
+        let edges: Dataset<((usize, VertexId), EdgeRecord)> =
+            aligned_e
+                .group_by_key(rt)
+                .flat_map(move |((idx, eid, src, dst), states)| {
+                    let window = ws[*idx];
+                    window_reduce(window, states.clone(), &spec_e.edge_quantifier, |s| {
+                        resolve_edge_states(&spec_e, s)
+                    })
+                    .map(|props| {
+                        (
+                            (*idx, *src),
+                            EdgeRecord {
+                                eid: *eid,
+                                src: *src,
+                                dst: *dst,
+                                interval: window,
+                                props,
+                            },
+                        )
+                    })
+                    .into_iter()
+                    .collect::<Vec<_>>()
+                });
 
         // --- Dangling-edge removal (lines 17–19): only when r_v > r_e. ---
         let edges: Dataset<EdgeRecord> = if spec.needs_dangling_check() {
+            // Both semijoins key by the same retained-vertex set; partition
+            // it once and the second semijoin's key-side shuffle is elided.
             let kept: Dataset<((usize, VertexId), ())> =
-                kept_vertices.map(rt, |(k, _)| (*k, ()));
+                tgraph_dataflow::shuffle(rt, &kept_vertices.map(|(k, _)| (*k, ())));
             let by_src = edges.semi_join(rt, &kept);
             let by_dst: Dataset<((usize, VertexId), EdgeRecord)> =
-                by_src.map(rt, |((idx, _), e)| ((*idx, e.dst), e.clone()));
-            by_dst.semi_join(rt, &kept).map(rt, |(_, e)| e.clone())
+                by_src.map(|((idx, _), e)| ((*idx, e.dst), e.clone()));
+            by_dst.semi_join(rt, &kept).map(|(_, e)| e.clone())
         } else {
-            edges.map(rt, |(_, e)| e.clone())
+            edges.map(|(_, e)| e.clone())
         };
 
         let lifespan = windows.first().unwrap().hull(windows.last().unwrap());
-        let out = VeGraph { lifespan, vertices, edges, coalesced: false };
+        let out = VeGraph {
+            lifespan,
+            vertices,
+            edges,
+            coalesced: false,
+        };
         // Point semantics: the final result is coalesced.
         out.coalesce(rt)
     }
@@ -321,8 +386,8 @@ pub fn ve_from_records(
 }
 
 /// Convenience: coalesce a collected relation (used by tests).
-pub fn coalesce_collected(g: &VeGraph) -> TGraph {
-    let t = g.to_tgraph();
+pub fn coalesce_collected(rt: &Runtime, g: &VeGraph) -> TGraph {
+    let t = g.to_tgraph(rt);
     TGraph {
         lifespan: t.lifespan,
         vertices: {
@@ -360,12 +425,14 @@ mod tests {
         let g = figure1_graph_stable_ids();
         let ve = VeGraph::from_tgraph(&rt, &g);
         assert!(ve.coalesced);
-        let mut back = ve.to_tgraph();
+        let mut back = ve.to_tgraph(&rt);
         let mut orig = g.clone();
         orig.vertices.sort_by_key(|v| (v.vid, v.interval.start));
-        orig.edges.sort_by_key(|e| (e.eid, e.src, e.dst, e.interval.start));
+        orig.edges
+            .sort_by_key(|e| (e.eid, e.src, e.dst, e.interval.start));
         back.vertices.sort_by_key(|v| (v.vid, v.interval.start));
-        back.edges.sort_by_key(|e| (e.eid, e.src, e.dst, e.interval.start));
+        back.edges
+            .sort_by_key(|e| (e.eid, e.src, e.dst, e.interval.start));
         assert_eq!(back.vertices, orig.vertices);
         assert_eq!(back.edges, orig.edges);
     }
@@ -375,7 +442,10 @@ mod tests {
         let rt = rt();
         let g = figure1_graph_stable_ids();
         let expected = azoom_reference(&g, &school_spec());
-        let got = coalesce_collected(&VeGraph::from_tgraph(&rt, &g).azoom(&rt, &school_spec()));
+        let got = coalesce_collected(
+            &rt,
+            &VeGraph::from_tgraph(&rt, &g).azoom(&rt, &school_spec()),
+        );
         assert_eq!(got.vertices, expected.vertices);
         assert_eq!(got.edges, expected.edges);
     }
@@ -387,7 +457,7 @@ mod tests {
         let spec = WZoomSpec::points(3, Quantifier::All, Quantifier::All)
             .with_vertex_override("school", ResolveFn::Last);
         let expected = wzoom_reference(&g, &spec);
-        let got = coalesce_collected(&VeGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec));
+        let got = coalesce_collected(&rt, &VeGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec));
         assert_eq!(got.vertices, expected.vertices);
         assert_eq!(got.edges, expected.edges);
     }
@@ -398,7 +468,7 @@ mod tests {
         let g = figure1_graph_stable_ids();
         let spec = WZoomSpec::points(3, Quantifier::Exists, Quantifier::Exists);
         let expected = wzoom_reference(&g, &spec);
-        let got = coalesce_collected(&VeGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec));
+        let got = coalesce_collected(&rt, &VeGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec));
         assert_eq!(got.vertices, expected.vertices);
         assert_eq!(got.edges, expected.edges);
     }
@@ -409,7 +479,7 @@ mod tests {
         let g = figure1_graph_stable_ids();
         let spec = WZoomSpec::points(3, Quantifier::All, Quantifier::Exists);
         let expected = wzoom_reference(&g, &spec);
-        let got = coalesce_collected(&VeGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec));
+        let got = coalesce_collected(&rt, &VeGraph::from_tgraph(&rt, &g).wzoom(&rt, &spec));
         assert_eq!(got.vertices, expected.vertices);
         assert_eq!(got.edges, expected.edges);
         assert!(tgraph_core::validate::validate(&got).is_empty());

@@ -15,9 +15,7 @@
 //!   snapshot's rows are adjacent (used for RG; the paper found RG loads
 //!   ~30% faster this way).
 
-use crate::encode::{
-    checksum, get_interval, get_props, put_interval, put_props, DecodeError,
-};
+use crate::encode::{checksum, get_interval, get_props, put_interval, put_props, DecodeError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -162,7 +160,11 @@ fn read_chunk_header<R: Read>(input: &mut R) -> Result<ChunkHeader, StorageError
     };
     let len = buf.get_u32_le();
     let checksum = buf.get_u64_le();
-    Ok(ChunkHeader { stats, len, checksum })
+    Ok(ChunkHeader {
+        stats,
+        len,
+        checksum,
+    })
 }
 
 /// Serialized statistics of a `.tgc` file, returned by readers so callers can
@@ -276,10 +278,7 @@ pub fn read_tgc(
             };
             if skip {
                 // Pushdown: seek past the payload without decoding.
-                std::io::copy(
-                    &mut input.take(header.len as u64),
-                    &mut std::io::sink(),
-                )?;
+                std::io::copy(&mut input.take(header.len as u64), &mut std::io::sink())?;
                 stats.chunks_skipped += 1;
                 continue;
             }
@@ -336,7 +335,15 @@ pub fn read_tgc(
         Some(r) => lifespan.intersect(&r).unwrap_or(Interval::empty()),
         None => lifespan,
     };
-    Ok((TGraph { lifespan, vertices, edges }, order, stats))
+    Ok((
+        TGraph {
+            lifespan,
+            vertices,
+            edges,
+        },
+        order,
+        stats,
+    ))
 }
 
 #[cfg(test)]
@@ -393,7 +400,11 @@ mod tests {
         write_tgc(&path, &g, SortOrder::Structural, 16).unwrap();
         let (slice, _, stats) = read_tgc(&path, Some(Interval::new(3000, 3010))).unwrap();
         assert_eq!(slice.vertices.len(), 16);
-        assert!(stats.chunks_skipped >= 6, "skipped {}", stats.chunks_skipped);
+        assert!(
+            stats.chunks_skipped >= 6,
+            "skipped {}",
+            stats.chunks_skipped
+        );
         assert_eq!(stats.chunks_read, 1);
     }
 
@@ -404,7 +415,10 @@ mod tests {
         write_tgc(&path, &g, SortOrder::Temporal, DEFAULT_CHUNK_ROWS).unwrap();
         let (slice, _, _) = read_tgc(&path, Some(Interval::new(4, 6))).unwrap();
         assert_eq!(slice.lifespan, Interval::new(4, 6));
-        assert!(slice.vertices.iter().all(|v| Interval::new(4, 6).contains_interval(&v.interval)));
+        assert!(slice
+            .vertices
+            .iter()
+            .all(|v| Interval::new(4, 6).contains_interval(&v.interval)));
     }
 
     #[test]

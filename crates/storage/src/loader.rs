@@ -19,7 +19,6 @@ use tgraph_dataflow::{Dataset, Runtime};
 use tgraph_repr::og::{OgEdge, OgGraph, OgVertex};
 use tgraph_repr::{AnyGraph, OgcGraph, ReprKind, RgGraph, VeGraph};
 
-
 /// Writes a dataset directory holding all on-disk encodings of a graph.
 pub fn write_dataset(dir: &Path, name: &str, g: &TGraph) -> Result<(), StorageError> {
     std::fs::create_dir_all(dir)?;
@@ -49,7 +48,10 @@ pub struct GraphLoader {
 impl GraphLoader {
     /// A loader for dataset `name` under directory `dir`.
     pub fn new(dir: impl Into<PathBuf>, name: impl Into<String>) -> Self {
-        GraphLoader { dir: dir.into(), name: name.into() }
+        GraphLoader {
+            dir: dir.into(),
+            name: name.into(),
+        }
     }
 
     fn flat_path(&self, order: SortOrder) -> PathBuf {
@@ -107,20 +109,38 @@ impl GraphLoader {
         let vertex_index: std::collections::HashMap<u64, OgVertex> = v_rows
             .iter()
             .map(|r| {
-                (r.id, OgVertex { vid: VertexId(r.id), history: r.history.clone() })
+                (
+                    r.id,
+                    OgVertex {
+                        vid: VertexId(r.id),
+                        history: r.history.clone(),
+                    },
+                )
             })
             .collect();
         let vertices: Vec<OgVertex> = v_rows
             .into_iter()
-            .map(|r| OgVertex { vid: VertexId(r.id), history: r.history })
+            .map(|r| OgVertex {
+                vid: VertexId(r.id),
+                history: r.history,
+            })
             .collect();
-        let placeholder = |vid: u64| OgVertex { vid: VertexId(vid), history: Vec::new() };
+        let placeholder = |vid: u64| OgVertex {
+            vid: VertexId(vid),
+            history: Vec::new(),
+        };
         let edges: Vec<OgEdge> = e_rows
             .into_iter()
             .map(|r| OgEdge {
                 eid: EdgeId(r.id),
-                src: vertex_index.get(&r.src).cloned().unwrap_or_else(|| placeholder(r.src)),
-                dst: vertex_index.get(&r.dst).cloned().unwrap_or_else(|| placeholder(r.dst)),
+                src: vertex_index
+                    .get(&r.src)
+                    .cloned()
+                    .unwrap_or_else(|| placeholder(r.src)),
+                dst: vertex_index
+                    .get(&r.dst)
+                    .cloned()
+                    .unwrap_or_else(|| placeholder(r.dst)),
                 history: r.history,
             })
             .collect();
@@ -177,26 +197,34 @@ fn nested_to_tgraph(lifespan: Interval, v: Vec<NestedRow>, e: Vec<NestedRow>) ->
     let vertices = v
         .into_iter()
         .flat_map(|r| {
-            r.history.into_iter().map(move |(interval, props)| VertexRecord {
-                vid: VertexId(r.id),
-                interval,
-                props,
-            })
+            r.history
+                .into_iter()
+                .map(move |(interval, props)| VertexRecord {
+                    vid: VertexId(r.id),
+                    interval,
+                    props,
+                })
         })
         .collect();
     let edges = e
         .into_iter()
         .flat_map(|r| {
-            r.history.into_iter().map(move |(interval, props)| EdgeRecord {
-                eid: EdgeId(r.id),
-                src: VertexId(r.src),
-                dst: VertexId(r.dst),
-                interval,
-                props,
-            })
+            r.history
+                .into_iter()
+                .map(move |(interval, props)| EdgeRecord {
+                    eid: EdgeId(r.id),
+                    src: VertexId(r.src),
+                    dst: VertexId(r.dst),
+                    interval,
+                    props,
+                })
         })
         .collect();
-    TGraph { lifespan, vertices, edges }
+    TGraph {
+        lifespan,
+        vertices,
+        edges,
+    }
 }
 
 #[cfg(test)]
@@ -238,7 +266,12 @@ mod tests {
         let rt = rt();
         let loader = setup("fig1b");
         let (og, _) = loader.load_og(&rt, None).unwrap();
-        let e1 = og.edges.collect().into_iter().find(|e| e.eid.0 == 1).unwrap();
+        let e1 = og
+            .edges
+            .collect(&rt)
+            .into_iter()
+            .find(|e| e.eid.0 == 1)
+            .unwrap();
         assert_eq!(e1.dst.history.len(), 2, "Bob's copy has both states");
     }
 
@@ -247,11 +280,14 @@ mod tests {
         let rt = rt();
         let loader = setup("fig1c");
         let (ve, _) = loader.load_ve(&rt, Some(Interval::new(1, 3))).unwrap();
-        let g = ve.to_tgraph();
+        let g = ve.to_tgraph(&rt);
         assert_eq!(g.lifespan, Interval::new(1, 3));
         assert!(g.vertices.iter().all(|v| v.interval.end <= 3));
         // Bob's CMU state and e2 are gone.
-        assert!(g.vertices.iter().all(|v| v.props.get("school").map_or(true, |s| s.as_str() == Some("MIT"))));
+        assert!(g.vertices.iter().all(|v| v
+            .props
+            .get("school")
+            .is_none_or(|s| s.as_str() == Some("MIT"))));
         assert_eq!(g.edges.len(), 1);
     }
 

@@ -9,9 +9,7 @@
 //! existed as separate top-level columns** and keep chunk min/max statistics
 //! on those, restoring pushdown.
 
-use crate::encode::{
-    checksum, get_interval, get_props, put_interval, put_props, DecodeError,
-};
+use crate::encode::{checksum, get_interval, get_props, put_interval, put_props, DecodeError};
 use crate::format::{ScanStats, StorageError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fs::File;
@@ -47,7 +45,10 @@ pub fn nest(g: &TGraph) -> (Vec<NestedRow>, Vec<NestedRow>) {
     use std::collections::HashMap;
     let mut v_hist: HashMap<VertexId, Vec<(Interval, Props)>> = HashMap::new();
     for v in &g.vertices {
-        v_hist.entry(v.vid).or_default().push((v.interval, v.props.clone()));
+        v_hist
+            .entry(v.vid)
+            .or_default()
+            .push((v.interval, v.props.clone()));
     }
     let mut vertices: Vec<NestedRow> = v_hist
         .into_iter()
@@ -65,8 +66,7 @@ pub fn nest(g: &TGraph) -> (Vec<NestedRow>, Vec<NestedRow>) {
         .collect();
     vertices.sort_by_key(|r| r.id);
 
-    let mut e_hist: HashMap<(EdgeId, VertexId, VertexId), Vec<(Interval, Props)>> =
-        HashMap::new();
+    let mut e_hist: HashMap<(EdgeId, VertexId, VertexId), Vec<(Interval, Props)>> = HashMap::new();
     for e in &g.edges {
         e_hist
             .entry((e.eid, e.src, e.dst))
@@ -91,7 +91,11 @@ pub fn nest(g: &TGraph) -> (Vec<NestedRow>, Vec<NestedRow>) {
     (vertices, edges)
 }
 
-fn write_rows<W: Write>(out: &mut W, rows: &[NestedRow], chunk_rows: usize) -> Result<(), StorageError> {
+fn write_rows<W: Write>(
+    out: &mut W,
+    rows: &[NestedRow],
+    chunk_rows: usize,
+) -> Result<(), StorageError> {
     for chunk in rows.chunks(chunk_rows) {
         let (mut min_first, mut max_last) = (i64::MAX, i64::MIN);
         for r in chunk {
@@ -209,7 +213,14 @@ fn read_rows<R: Read>(
             } else {
                 last
             };
-            out.push(NestedRow { id, src, dst, first, last, history });
+            out.push(NestedRow {
+                id,
+                src,
+                dst,
+                first,
+                last,
+                history,
+            });
         }
     }
     Ok(())

@@ -16,7 +16,12 @@ fn main() {
     // A WikiTalk-shaped messaging network: 36 monthly snapshots, short-lived
     // edges — exactly the kind of graph where the right temporal resolution
     // is not obvious a priori.
-    let g = WikiTalk { vertices: 3_000, months: 36, ..WikiTalk::default() }.generate();
+    let g = WikiTalk {
+        vertices: 3_000,
+        months: 36,
+        ..WikiTalk::default()
+    }
+    .generate();
     println!(
         "input: {} users, {} message edges, {} monthly snapshots",
         g.distinct_vertex_count(),
@@ -26,9 +31,21 @@ fn main() {
 
     // Zoom to quarters under three quantifier regimes.
     for (label, vq, eq) in [
-        ("nodes=all,   edges=all   (stable cores)", Quantifier::All, Quantifier::All),
-        ("nodes=all,   edges=most  (strong ties)", Quantifier::All, Quantifier::Most),
-        ("nodes=exists,edges=exists (any activity)", Quantifier::Exists, Quantifier::Exists),
+        (
+            "nodes=all,   edges=all   (stable cores)",
+            Quantifier::All,
+            Quantifier::All,
+        ),
+        (
+            "nodes=all,   edges=most  (strong ties)",
+            Quantifier::All,
+            Quantifier::Most,
+        ),
+        (
+            "nodes=exists,edges=exists (any activity)",
+            Quantifier::Exists,
+            Quantifier::Exists,
+        ),
     ] {
         let spec = WZoomSpec::points(3, vq, eq);
         // OGC is the paper's fastest representation for wZoom^T — this graph

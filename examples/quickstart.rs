@@ -14,7 +14,12 @@ fn print_graph(title: &str, g: &TGraph) {
     let mut vertices = g.vertices.clone();
     vertices.sort_by_key(|v| (v.vid, v.interval.start));
     for v in &vertices {
-        println!("  vertex {:>3}  {:<10} {:?}", v.vid.0, v.interval.to_string(), v.props);
+        println!(
+            "  vertex {:>3}  {:<10} {:?}",
+            v.vid.0,
+            v.interval.to_string(),
+            v.props
+        );
     }
     let mut edges = g.edges.clone();
     edges.sort_by_key(|e| (e.eid, e.interval.start));
@@ -90,7 +95,11 @@ fn main() {
 
     // The same zoom with existential quantification keeps more history.
     let exists = Session::load(&rt, &g, ReprKind::Ve)
-        .wzoom(&WZoomSpec::points(3, Quantifier::Exists, Quantifier::Exists))
+        .wzoom(&WZoomSpec::points(
+            3,
+            Quantifier::Exists,
+            Quantifier::Exists,
+        ))
         .collect();
     print_graph("wZoom^T to quarters (exists/exists)", &exists);
 

@@ -72,22 +72,32 @@ fn main() {
     let spec = AZoomSpec::by_property("school", "school", vec![AggSpec::count("authors")]);
     let zoomed = Session::load(&rt, &g, ReprKind::Og).azoom(&spec).collect();
 
-    println!("\nschool-level graph: {} school states, {} collaboration edge states",
-        zoomed.vertex_tuple_count(), zoomed.edge_tuple_count());
+    println!(
+        "\nschool-level graph: {} school states, {} collaboration edge states",
+        zoomed.vertex_tuple_count(),
+        zoomed.edge_tuple_count()
+    );
 
     // Report each school's headcount trajectory.
     println!("\nheadcount per school over time:");
     let mut by_school: Vec<&VertexRecord> = zoomed.vertices.iter().collect();
     by_school.sort_by_key(|v| {
         (
-            v.props.get("school").and_then(Value::as_str).unwrap_or("").to_string(),
+            v.props
+                .get("school")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
             v.interval.start,
         )
     });
     for v in by_school {
         let school = v.props.get("school").and_then(Value::as_str).unwrap_or("?");
         let n = v.props.get("authors").and_then(Value::as_int).unwrap_or(0);
-        println!("  {school:<8} {:<10} {n:>4} authors", v.interval.to_string());
+        println!(
+            "  {school:<8} {:<10} {n:>4} authors",
+            v.interval.to_string()
+        );
     }
 
     // Count inter-school collaboration intensity (self-loops = internal).

@@ -18,8 +18,13 @@ fn main() {
 
     // A small NGrams-shaped co-occurrence graph: persistent word vertices,
     // churning edges — component structure changes every year.
-    let g = NGrams { vertices: 400, years: 20, edges_per_vertex: 0.8, ..NGrams::default() }
-        .generate();
+    let g = NGrams {
+        vertices: 400,
+        years: 20,
+        edges_per_vertex: 0.8,
+        ..NGrams::default()
+    }
+    .generate();
     println!(
         "input: {} words, {} co-occurrence edges, {} yearly snapshots",
         g.distinct_vertex_count(),

@@ -15,7 +15,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rt = Runtime::new(4);
 
     // 1. Generate and inspect the dataset.
-    let g = WikiTalk { vertices: 5_000, months: 48, ..WikiTalk::default() }.generate();
+    let g = WikiTalk {
+        vertices: 5_000,
+        months: 48,
+        ..WikiTalk::default()
+    }
+    .generate();
     let stats = graph_stats(&g);
     println!(
         "generated WikiTalk-shaped graph: {} vertices, {} edges, {} snapshots, evolution rate {:.1}",
@@ -45,10 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             f: std::sync::Arc::new(|_vid, props| {
                 let edits = props.get("editCount")?.as_int()?;
                 let bucket = edits / 1000;
-                Some((
-                    bucket as u64,
-                    Props::new().with("bucket", bucket),
-                ))
+                Some((bucket as u64, Props::new().with("bucket", bucket)))
             }),
         },
         new_type: "cohort".into(),
@@ -92,6 +94,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     assert!(tgraph::core::validate::validate(&result).is_empty());
-    println!("\npipeline result validated; dataflow stats: {:?}", rt.stats());
+    println!(
+        "\npipeline result validated; dataflow stats: {:?}",
+        rt.stats()
+    );
     Ok(())
 }

@@ -1,0 +1,276 @@
+//! Offline stand-in for the `criterion` crate (see `shims/README.md`).
+//!
+//! Provides `Criterion`, benchmark groups, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros. Measurement is a
+//! simple wall-clock sampler: after a warm-up window it runs up to
+//! `sample_size` samples (bounded by the measurement window) and prints
+//! min/mean per iteration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut body,
+        );
+        stats.report(&name.into());
+        self
+    }
+}
+
+/// A set of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'c> {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget for sampling.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Wall-clock budget for warm-up.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Benchmarks `body` with access to a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut adapter = |b: &mut Bencher| body(b, input);
+        let stats = run_bench(
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut adapter,
+        );
+        stats.report(&id.label);
+        self
+    }
+
+    /// Benchmarks `body` under a plain name.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut body,
+        );
+        stats.report(&name.into());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark's display identity within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timer handle passed to benchmark bodies.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, repeating it through warm-up and sampling windows.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+            if budget_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+struct BenchStats {
+    samples: Vec<Duration>,
+}
+
+impl BenchStats {
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("  {label:40} (no samples)");
+            return;
+        }
+        let n = self.samples.len() as u32;
+        let mean = self.samples.iter().sum::<Duration>() / n;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "  {label:40} mean {:>12.3?}  min {:>12.3?}  ({n} samples)",
+            mean, min
+        );
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    body: &mut F,
+) -> BenchStats {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        measurement_time,
+        warm_up_time,
+    };
+    body(&mut bencher);
+    BenchStats {
+        samples: bencher.samples,
+    }
+}
+
+/// Bundles benchmark functions under one runner name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50));
+        group.warm_up_time(Duration::from_millis(1));
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 1), &2u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert!(runs >= 3, "expected warmup + samples, got {runs}");
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("VE", 12).label, "VE/12");
+        assert_eq!(BenchmarkId::from_parameter("lazy").label, "lazy");
+    }
+
+    criterion_group!(smoke, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        smoke();
+    }
+}

@@ -1,0 +1,436 @@
+//! Offline stand-in for the `proptest` crate (see `shims/README.md`).
+//!
+//! Implements the subset the workspace's property tests use: the [`Strategy`]
+//! trait with `prop_map`/`prop_flat_map`, range/tuple/`Just`/`vec`/bool
+//! strategies, the `proptest!` test macro with `proptest_config`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertion macros. Cases are generated
+//! from a deterministic per-test seed. There is no shrinking: a failure
+//! reports the raw inputs of the failing case.
+
+/// Deterministic case-generation RNG.
+pub mod test_runner {
+    /// Test-case RNG (splitmix64), seeded from the test's name so every run
+    /// of a given test replays the same cases.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary label (the test name).
+        pub fn deterministic(label: &str) -> Self {
+            let mut state = 0xcbf2_9ce4_8422_2325u64;
+            for b in label.bytes() {
+                state ^= b as u64;
+                state = state.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Unbiased draw from `[0, span]`.
+        pub fn below(&mut self, span: u64) -> u64 {
+            if span == u64::MAX {
+                return self.next_u64();
+            }
+            let buckets = span + 1;
+            let zone = u64::MAX - (u64::MAX % buckets);
+            loop {
+                let raw = self.next_u64();
+                if raw < zone {
+                    return raw % buckets;
+                }
+            }
+        }
+    }
+
+    /// Per-test configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// The [`Strategy`] trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds generated values into a strategy-producing `f` and draws
+        /// from the produced strategy.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of its value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Numeric types range strategies can draw.
+    pub trait RangeDraw: Copy {
+        /// Uniform draw from `[lo, hi]` inclusive.
+        fn draw_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+        /// Uniform draw from `[lo, hi)` half-open (`hi` strictly above `lo`).
+        fn draw_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    }
+
+    macro_rules! impl_range_draw_uint {
+        ($($t:ty),*) => {$(
+            impl RangeDraw for $t {
+                fn draw_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    lo + rng.below((hi - lo) as u64) as $t
+                }
+                fn draw_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    lo + rng.below((hi - lo) as u64 - 1) as $t
+                }
+            }
+        )*};
+    }
+
+    macro_rules! impl_range_draw_int {
+        ($($t:ty),*) => {$(
+            impl RangeDraw for $t {
+                fn draw_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                    (lo as i64).wrapping_add(rng.below(span) as i64) as $t
+                }
+                fn draw_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    let span = (hi as i64).wrapping_sub(lo as i64) as u64 - 1;
+                    (lo as i64).wrapping_add(rng.below(span) as i64) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_draw_uint!(u8, u16, u32, u64, usize);
+    impl_range_draw_int!(i8, i16, i32, i64, isize);
+
+    impl<T: RangeDraw + PartialOrd + std::fmt::Debug> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(self.start < self.end, "empty range strategy {self:?}");
+            T::draw_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: RangeDraw + PartialOrd + std::fmt::Debug> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty inclusive range strategy");
+            T::draw_inclusive(rng, lo, hi)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// Strategy for `Vec`s whose length is drawn from a range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.len.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for either boolean.
+    #[derive(Clone, Copy, Debug)]
+    pub struct AnyBool {
+        pub(crate) _private: PhantomData<()>,
+    }
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::bool::ANY`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// `Vec` strategy with element strategy and length range.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::AnyBool;
+        use std::marker::PhantomData;
+
+        /// Either boolean, uniformly.
+        pub const ANY: AnyBool = AnyBool {
+            _private: PhantomData,
+        };
+    }
+}
+
+/// Glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Fails the current case unless `cond` holds; an optional format string
+/// customizes the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left,
+                right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}: `{:?}` != `{:?}`",
+                ::std::format!($($fmt)+),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ..)` runs
+/// `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(::std::stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    ::std::panic!(
+                        "proptest case {}/{} failed: {}\ninputs: {:#?}",
+                        case + 1,
+                        config.cases,
+                        message,
+                        ($(&$arg,)+)
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (i64, i64)> {
+        (0i64..5).prop_flat_map(|lo| (Just(lo), (lo + 1)..=6))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_flat_map_respect_bounds(p in pair()) {
+            prop_assert!(p.0 < p.1, "expected ordered pair, got {:?}", p);
+            prop_assert!((0..5).contains(&p.0));
+            prop_assert!(p.1 <= 6);
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in prop::collection::vec(0u8..4, 1..3), b in prop::bool::ANY) {
+            prop_assert!(!v.is_empty() && v.len() < 3);
+            prop_assert!(v.iter().all(|&x| x < 4));
+            prop_assert_eq!(b as u8 & 1, b as u8);
+        }
+
+        #[test]
+        fn prop_map_applies(x in (1usize..4).prop_map(|n| n * 10)) {
+            prop_assert!(x == 10 || x == 20 || x == 30);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = (0u64..1_000_000).prop_map(|x| x ^ 1);
+        let mut a = crate::test_runner::TestRng::deterministic("seed");
+        let mut b = crate::test_runner::TestRng::deterministic("seed");
+        let xs: Vec<u64> = (0..16).map(|_| strat.generate(&mut a)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| strat.generate(&mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+}

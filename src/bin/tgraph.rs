@@ -148,7 +148,11 @@ fn save_or_print(args: &Args, result: &TGraph, label: &str) {
 }
 
 fn cmd_generate(args: &Args) {
-    let kind = args.positional.first().map(String::as_str).unwrap_or_else(|| usage());
+    let kind = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
     let scale: f64 = args.parse_flag("scale", 1.0);
     let seed: u64 = args.parse_flag("seed", 0);
     let out = PathBuf::from(args.require("out"));
@@ -166,7 +170,10 @@ fn cmd_generate(args: &Args) {
             cfg.generate()
         }
         "snb" => {
-            let mut cfg = Snb { persons: (10_000.0 * scale) as usize, ..Snb::default() };
+            let mut cfg = Snb {
+                persons: (10_000.0 * scale) as usize,
+                ..Snb::default()
+            };
             cfg.months = args.parse_flag("snapshots", cfg.months);
             if seed != 0 {
                 cfg.seed = seed;
@@ -174,7 +181,10 @@ fn cmd_generate(args: &Args) {
             cfg.generate()
         }
         "ngrams" => {
-            let mut cfg = NGrams { vertices: (16_000.0 * scale) as usize, ..NGrams::default() };
+            let mut cfg = NGrams {
+                vertices: (16_000.0 * scale) as usize,
+                ..NGrams::default()
+            };
             cfg.years = args.parse_flag("snapshots", cfg.years);
             if seed != 0 {
                 cfg.seed = seed;
@@ -195,8 +205,16 @@ fn cmd_generate(args: &Args) {
 }
 
 fn load(args: &Args, rt: &Runtime, kind: ReprKind) -> AnyGraph {
-    let dir = args.positional.first().map(String::as_str).unwrap_or_else(|| usage());
-    let name = args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage());
+    let dir = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let name = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
     let loader = GraphLoader::new(dir, name);
     match loader.load(rt, kind, args.range()) {
         Ok((g, scan)) => {
@@ -222,8 +240,11 @@ fn cmd_validate(args: &Args, rt: &Runtime) {
     let g = load(args, rt, ReprKind::Ve).to_tgraph(rt);
     let errors = tgraph::core::validate::validate(&g);
     if errors.is_empty() {
-        println!("valid TGraph (Definition 2.1): {} vertex facts, {} edge facts",
-            g.vertex_tuple_count(), g.edge_tuple_count());
+        println!(
+            "valid TGraph (Definition 2.1): {} vertex facts, {} edge facts",
+            g.vertex_tuple_count(),
+            g.edge_tuple_count()
+        );
     } else {
         println!("INVALID: {} violations", errors.len());
         for e in errors.iter().take(20) {
@@ -288,7 +309,9 @@ fn main() {
     let args = Args::parse(raw);
     let workers: usize = args.parse_flag(
         "workers",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     );
     let rt = Runtime::new(workers);
     match command.as_str() {

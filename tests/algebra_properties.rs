@@ -67,7 +67,13 @@ fn arb_tgraph() -> impl Strategy<Value = TGraph> {
             if s >= e {
                 continue;
             }
-            erecs.push(EdgeRecord::new(eid, a as u64, b as u64, Interval::new(s, e), Props::typed("link")));
+            erecs.push(EdgeRecord::new(
+                eid,
+                a as u64,
+                b as u64,
+                Interval::new(s, e),
+                Props::typed("link"),
+            ));
             eid += 1;
         }
         TGraph::from_records(vrecs, erecs)
@@ -160,7 +166,7 @@ proptest! {
         let expected = subgraph(&g, &pred, &Predicate::True);
         let got = VeGraph::from_tgraph(&rt, &g)
             .subgraph(&rt, &pred, &Predicate::True)
-            .to_tgraph();
+            .to_tgraph(&rt);
         let canon = |g: &TGraph| {
             let c = coalesce_graph(g);
             (c.vertices, c.edges)

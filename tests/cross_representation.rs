@@ -22,9 +22,7 @@ fn random_graph(seed: u64, vertices: usize, edges: usize, horizon: i64) -> TGrap
         spans.push((start, end));
         // Split the lifetime into 1–3 states with possibly different groups.
         let pieces = rng.gen_range(1..=3u32);
-        let mut boundaries: Vec<i64> = (0..pieces - 1)
-            .map(|_| rng.gen_range(start..end))
-            .collect();
+        let mut boundaries: Vec<i64> = (0..pieces - 1).map(|_| rng.gen_range(start..end)).collect();
         boundaries.push(start);
         boundaries.push(end);
         boundaries.sort_unstable();
@@ -41,7 +39,7 @@ fn random_graph(seed: u64, vertices: usize, edges: usize, horizon: i64) -> TGrap
     }
     let mut erecs = Vec::new();
     let mut eid = 0u64;
-    while (erecs.len() as usize) < edges {
+    while erecs.len() < edges {
         let a = rng.gen_range(0..vertices as u64);
         let b = rng.gen_range(0..vertices as u64);
         let (sa, ea) = spans[a as usize];
@@ -90,7 +88,11 @@ fn azoom_agrees_across_representations() {
         let g = random_graph(seed, 25, 40, 12);
         let expected = canon(&azoom_reference(&g, &spec));
         for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og] {
-            let got = canon(&AnyGraph::load(&rt, &g, kind).azoom(&rt, &spec).to_tgraph(&rt));
+            let got = canon(
+                &AnyGraph::load(&rt, &g, kind)
+                    .azoom(&rt, &spec)
+                    .to_tgraph(&rt),
+            );
             assert_eq!(got, expected, "seed {seed}, repr {kind}");
         }
     }
@@ -111,8 +113,11 @@ fn wzoom_agrees_across_representations() {
                 let spec = WZoomSpec::points(window, vq, eq);
                 let expected = canon(&wzoom_reference(&g, &spec));
                 for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og] {
-                    let got =
-                        canon(&AnyGraph::load(&rt, &g, kind).wzoom(&rt, &spec).to_tgraph(&rt));
+                    let got = canon(
+                        &AnyGraph::load(&rt, &g, kind)
+                            .wzoom(&rt, &spec)
+                            .to_tgraph(&rt),
+                    );
                     assert_eq!(got, expected, "seed {seed} {kind} w={window} {vq:?}/{eq:?}");
                 }
             }
@@ -131,13 +136,21 @@ fn ogc_wzoom_agrees_on_topology() {
             vertices: g
                 .vertices
                 .iter()
-                .map(|v| VertexRecord { vid: v.vid, interval: v.interval, props: Props::typed("node") })
+                .map(|v| VertexRecord {
+                    vid: v.vid,
+                    interval: v.interval,
+                    props: Props::typed("node"),
+                })
                 .collect(),
             edges: g.edges.clone(),
         };
         let spec = WZoomSpec::points(3, Quantifier::Most, Quantifier::Exists);
         let expected = canon(&wzoom_reference(&topo, &spec));
-        let got = canon(&AnyGraph::load(&rt, &topo, ReprKind::Ogc).wzoom(&rt, &spec).to_tgraph(&rt));
+        let got = canon(
+            &AnyGraph::load(&rt, &topo, ReprKind::Ogc)
+                .wzoom(&rt, &spec)
+                .to_tgraph(&rt),
+        );
         assert_eq!(got, expected, "seed {seed}");
     }
 }
@@ -149,11 +162,23 @@ fn zoom_outputs_are_valid_tgraphs() {
     for seed in 0..6 {
         let g = random_graph(seed, 25, 40, 12);
         for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og] {
-            let az = AnyGraph::load(&rt, &g, kind).azoom(&rt, &aspec).to_tgraph(&rt);
-            assert!(validate(&az).is_empty(), "azoom seed {seed} {kind}: {:?}", validate(&az));
+            let az = AnyGraph::load(&rt, &g, kind)
+                .azoom(&rt, &aspec)
+                .to_tgraph(&rt);
+            assert!(
+                validate(&az).is_empty(),
+                "azoom seed {seed} {kind}: {:?}",
+                validate(&az)
+            );
             let wspec = WZoomSpec::points(3, Quantifier::All, Quantifier::Exists);
-            let wz = AnyGraph::load(&rt, &g, kind).wzoom(&rt, &wspec).to_tgraph(&rt);
-            assert!(validate(&wz).is_empty(), "wzoom seed {seed} {kind}: {:?}", validate(&wz));
+            let wz = AnyGraph::load(&rt, &g, kind)
+                .wzoom(&rt, &wspec)
+                .to_tgraph(&rt);
+            assert!(
+                validate(&wz).is_empty(),
+                "wzoom seed {seed} {kind}: {:?}",
+                validate(&wz)
+            );
         }
     }
 }
@@ -165,7 +190,15 @@ fn results_independent_of_parallelism() {
     let g = random_graph(99, 30, 50, 12);
     let rt1 = Runtime::with_partitions(1, 1);
     let rt8 = Runtime::with_partitions(8, 13);
-    let a = canon(&AnyGraph::load(&rt1, &g, ReprKind::Ve).azoom(&rt1, &spec).to_tgraph(&rt1));
-    let b = canon(&AnyGraph::load(&rt8, &g, ReprKind::Ve).azoom(&rt8, &spec).to_tgraph(&rt8));
+    let a = canon(
+        &AnyGraph::load(&rt1, &g, ReprKind::Ve)
+            .azoom(&rt1, &spec)
+            .to_tgraph(&rt1),
+    );
+    let b = canon(
+        &AnyGraph::load(&rt8, &g, ReprKind::Ve)
+            .azoom(&rt8, &spec)
+            .to_tgraph(&rt8),
+    );
     assert_eq!(a, b);
 }

@@ -35,7 +35,11 @@ fn change_based_windows_agree_across_representations() {
         };
         let expected = canon(&wzoom_reference(&g, &spec));
         for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og] {
-            let got = canon(&AnyGraph::load(&rt, &g, kind).wzoom(&rt, &spec).to_tgraph(&rt));
+            let got = canon(
+                &AnyGraph::load(&rt, &g, kind)
+                    .wzoom(&rt, &spec)
+                    .to_tgraph(&rt),
+            );
             assert_eq!(got, expected, "changes({n}) over {kind}");
         }
     }
@@ -56,7 +60,11 @@ fn single_change_windows_are_identity() {
         vertex_overrides: vec![],
         edge_overrides: vec![],
     };
-    let out = canon(&AnyGraph::load(&rt, &g, ReprKind::Ve).wzoom(&rt, &spec).to_tgraph(&rt));
+    let out = canon(
+        &AnyGraph::load(&rt, &g, ReprKind::Ve)
+            .wzoom(&rt, &spec)
+            .to_tgraph(&rt),
+    );
     let expected = canon(&g);
     assert_eq!(out, expected);
 }
@@ -71,7 +79,9 @@ fn resolve_functions_differ_on_figure9() {
         WZoomSpec::points(3, Quantifier::Exists, Quantifier::Exists)
             .with_resolve(resolve, ResolveFn::Any)
     };
-    let last = AnyGraph::load(&rt, &g, ReprKind::Og).wzoom(&rt, &mk(ResolveFn::Last)).to_tgraph(&rt);
+    let last = AnyGraph::load(&rt, &g, ReprKind::Og)
+        .wzoom(&rt, &mk(ResolveFn::Last))
+        .to_tgraph(&rt);
     let bob_w2 = last
         .vertices
         .iter()
@@ -134,7 +144,13 @@ fn zoom_reorder_equivalence_conditions() {
             continue;
         }
         let arrival = ((a as i64 % 6).max(b as i64 % 6)) * 6;
-        edges.push(EdgeRecord::new(eid, a, b, Interval::new(arrival, months), Props::typed("knows")));
+        edges.push(EdgeRecord::new(
+            eid,
+            a,
+            b,
+            Interval::new(arrival, months),
+            Props::typed("knows"),
+        ));
     }
     let stable = TGraph::from_records(vertices, edges);
     assert!(validate(&stable).is_empty());
@@ -142,7 +158,10 @@ fn zoom_reorder_equivalence_conditions() {
     let wspec = WZoomSpec::points(6, Quantifier::Exists, Quantifier::Exists);
     let az_wz = canon(&wzoom_reference(&azoom_reference(&stable, &aspec), &wspec));
     let wz_az = canon(&azoom_reference(&wzoom_reference(&stable, &wspec), &aspec));
-    assert_eq!(az_wz.0, wz_az.0, "orders must agree on boundary-aligned growth-only graphs");
+    assert_eq!(
+        az_wz.0, wz_az.0,
+        "orders must agree on boundary-aligned growth-only graphs"
+    );
     assert_eq!(az_wz.1, wz_az.1);
 
     // Physical implementations agree with the reference on both orders.
@@ -165,11 +184,20 @@ fn zoom_reorder_equivalence_conditions() {
     );
     let aspec2 = AZoomSpec::by_property("g", "grp", vec![AggSpec::count("n")]);
     let wspec2 = WZoomSpec::points(4, Quantifier::Exists, Quantifier::Exists);
-    let a = canon(&wzoom_reference(&azoom_reference(&changing, &aspec2), &wspec2));
-    let b = canon(&azoom_reference(&wzoom_reference(&changing, &wspec2), &aspec2));
+    let a = canon(&wzoom_reference(
+        &azoom_reference(&changing, &aspec2),
+        &wspec2,
+    ));
+    let b = canon(&azoom_reference(
+        &wzoom_reference(&changing, &wspec2),
+        &aspec2,
+    ));
     assert_eq!(a.0.len(), 2, "aZoom first keeps both groups");
     assert_eq!(b.0.len(), 1, "wZoom first resolves to one state, one group");
-    assert_ne!(a, b, "orders must diverge when the grouping attribute changes mid-window");
+    assert_ne!(
+        a, b,
+        "orders must diverge when the grouping attribute changes mid-window"
+    );
 }
 
 /// Per-attribute edge resolve overrides behave like their vertex
@@ -184,8 +212,20 @@ fn edge_resolve_overrides() {
             VertexRecord::new(2, Interval::new(0, 4), Props::typed("n")),
         ],
         vec![
-            EdgeRecord::new(9, 1, 2, Interval::new(0, 3), Props::typed("l").with("w", 1i64)),
-            EdgeRecord::new(9, 1, 2, Interval::new(3, 4), Props::typed("l").with("w", 2i64)),
+            EdgeRecord::new(
+                9,
+                1,
+                2,
+                Interval::new(0, 3),
+                Props::typed("l").with("w", 1i64),
+            ),
+            EdgeRecord::new(
+                9,
+                1,
+                2,
+                Interval::new(3, 4),
+                Props::typed("l").with("w", 2i64),
+            ),
         ],
     );
     let base = WZoomSpec::points(4, Quantifier::Exists, Quantifier::Exists);
@@ -201,7 +241,9 @@ fn edge_resolve_overrides() {
             "{spec:?}"
         );
         for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og] {
-            let got = AnyGraph::load(&rt, &g, kind).wzoom(&rt, &spec).to_tgraph(&rt);
+            let got = AnyGraph::load(&rt, &g, kind)
+                .wzoom(&rt, &spec)
+                .to_tgraph(&rt);
             assert_eq!(canon(&got), canon(&reference), "{kind}");
         }
     }
@@ -215,12 +257,20 @@ fn every_output_snapshot_is_valid() {
     let g = figure1_graph_stable_ids();
     let aspec = AZoomSpec::by_property("school", "school", vec![AggSpec::count("n")]);
     let outputs = vec![
-        AnyGraph::load(&rt, &g, ReprKind::Ve).azoom(&rt, &aspec).to_tgraph(&rt),
+        AnyGraph::load(&rt, &g, ReprKind::Ve)
+            .azoom(&rt, &aspec)
+            .to_tgraph(&rt),
         AnyGraph::load(&rt, &g, ReprKind::Og)
-            .wzoom(&rt, &WZoomSpec::points(2, Quantifier::Most, Quantifier::Exists))
+            .wzoom(
+                &rt,
+                &WZoomSpec::points(2, Quantifier::Most, Quantifier::Exists),
+            )
             .to_tgraph(&rt),
         AnyGraph::load(&rt, &g, ReprKind::Rg)
-            .wzoom(&rt, &WZoomSpec::points(4, Quantifier::All, Quantifier::Exists))
+            .wzoom(
+                &rt,
+                &WZoomSpec::points(4, Quantifier::All, Quantifier::Exists),
+            )
             .to_tgraph(&rt),
     ];
     for out in outputs {
@@ -239,7 +289,11 @@ fn window_larger_than_lifespan() {
     let spec = WZoomSpec::points(100, Quantifier::Exists, Quantifier::Exists);
     let expected = canon(&wzoom_reference(&g, &spec));
     for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og] {
-        let got = canon(&AnyGraph::load(&rt, &g, kind).wzoom(&rt, &spec).to_tgraph(&rt));
+        let got = canon(
+            &AnyGraph::load(&rt, &g, kind)
+                .wzoom(&rt, &spec)
+                .to_tgraph(&rt),
+        );
         assert_eq!(got, expected, "{kind}");
         // All three vertices survive (exists), with the single window span.
         assert_eq!(got.0.len(), 3);
@@ -254,9 +308,17 @@ fn partial_aggregation_property() {
     let rt = rt();
     let g = TGraph::from_records(
         vec![
-            VertexRecord::new(1, Interval::new(0, 4), Props::typed("p").with("g", "a").with("w", 10i64)),
+            VertexRecord::new(
+                1,
+                Interval::new(0, 4),
+                Props::typed("p").with("g", "a").with("w", 10i64),
+            ),
             VertexRecord::new(2, Interval::new(0, 4), Props::typed("p").with("g", "a")),
-            VertexRecord::new(3, Interval::new(2, 6), Props::typed("p").with("g", "a").with("w", 30i64)),
+            VertexRecord::new(
+                3,
+                Interval::new(2, 6),
+                Props::typed("p").with("g", "a").with("w", 30i64),
+            ),
         ],
         vec![],
     );
@@ -271,7 +333,11 @@ fn partial_aggregation_property() {
     );
     let expected = canon(&azoom_reference(&g, &spec));
     for kind in [ReprKind::Rg, ReprKind::Ve, ReprKind::Og] {
-        let got = canon(&AnyGraph::load(&rt, &g, kind).azoom(&rt, &spec).to_tgraph(&rt));
+        let got = canon(
+            &AnyGraph::load(&rt, &g, kind)
+                .azoom(&rt, &spec)
+                .to_tgraph(&rt),
+        );
         assert_eq!(got, expected, "{kind}");
     }
     // During [2,4): three members, two carry w → total 40, mean 20.
