@@ -1,0 +1,35 @@
+//! Workspace lint driver: `cargo run -p tgraph-analyze --bin tgraph-lint`.
+//!
+//! Lints every library source file in the workspace against the rules in
+//! [`tgraph_analyze::lint`] and exits non-zero when anything is flagged —
+//! wired into CI as a required job.
+//!
+//! Optional argument: the workspace root to lint (defaults to the root that
+//! contains this crate, so plain `cargo run` does the right thing).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // crates/analyzer → workspace root is two levels up.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .canonicalize()
+                .unwrap_or_else(|_| PathBuf::from("."))
+        });
+    let findings = tgraph_analyze::lint_workspace(&root);
+    if findings.is_empty() {
+        println!("tgraph-lint: clean ({} rules over crates/*/src)", 3);
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        eprintln!("tgraph-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

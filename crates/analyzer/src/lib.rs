@@ -1,0 +1,36 @@
+//! # tgraph-analyze
+//!
+//! The correctness layer over the lazy dataflow engine: a **static plan
+//! verifier** plus a **workspace source linter**.
+//!
+//! PR 1 made keyed operators elide shuffles whenever a
+//! [`Partitioning::HashByKey`](tgraph_dataflow::Partitioning) tag claims the
+//! data is already placed — but a wrong tag silently produces wrong
+//! `aZoom^T`/`wZoom^T` results *while making benchmarks faster*. This crate
+//! closes that hole from three directions:
+//!
+//! * [`verify::analyze`] walks the reified plan DAG
+//!   ([`PlanNode`](tgraph_dataflow::PlanNode)) carried by every
+//!   [`Dataset`](tgraph_dataflow::Dataset) and proves every elided exchange
+//!   and partitioning claim *derivable* from the plan structure — rejecting
+//!   unsound plans, flagging redundant work (duplicate subplans, redundant
+//!   reshuffles, fusion breaks), rendering an EXPLAIN tree, and predicting
+//!   per-exchange records/bytes moved for predicted-vs-actual reporting.
+//! * **Checked execution mode** (`TGRAPH_CHECKED=1`, see
+//!   [`Runtime::checked`](tgraph_dataflow::Runtime::checked)) verifies the
+//!   same claims dynamically, record by record, at every elision point — and
+//!   representation switches validate their TGraph against Definition 2.1.
+//! * [`lint`] enforces repo-level source invariants (`no-unwrap`,
+//!   `no-eager-collect`, `no-raw-retag`) via the `tgraph-lint` binary:
+//!   `cargo run -p tgraph-analyze --bin tgraph-lint`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod lint;
+pub mod verify;
+
+pub use lint::{lint_source, lint_workspace, Finding, RuleSet};
+pub use verify::{
+    analyze, analyze_all, Analysis, Diagnostic, DiagnosticKind, PredictedMovement, Severity,
+};

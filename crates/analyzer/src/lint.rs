@@ -1,0 +1,592 @@
+//! Source-level lint rules for the tgraph workspace, run by the
+//! `tgraph-lint` binary (`cargo run -p tgraph-analyze --bin tgraph-lint`).
+//!
+//! Three rules, all scoped to **library code** (test modules, `tests/`
+//! directories, benches, and `src/bin/` drivers are exempt):
+//!
+//! * **`no-unwrap`** — no `unwrap()` / `expect()` on user-reachable paths in
+//!   library crates. Engine-invariant sites may opt out with a
+//!   `lint:allow(unwrap)` or `lint:allow(expect)` marker comment on the same
+//!   or the preceding line, which doubles as an audit trail.
+//! * **`no-eager-collect`** — no `Dataset::collect(rt)` inside operator
+//!   closures (`map`, `filter`, `flat_map`, `map_partitions`, `map_values`,
+//!   `fold`): collecting mid-operator defeats the lazy plan and runs a
+//!   nested job per element. Iterator `collect()` (no runtime argument) is
+//!   fine.
+//! * **`no-raw-retag`** — no `with_partitioning(` outside the dataflow
+//!   crate's `dataset.rs` / `keyed.rs`: partitioning claims must go through
+//!   the audited elision machinery, never be stamped ad hoc.
+//!
+//! The linter works on masked source text: comments and string literals are
+//! blanked (preserving line structure) and `#[cfg(test)]` blocks are
+//! stripped before matching, so rules cannot fire on prose or test code.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Library crates subject to the lint rules. `bench` is a harness crate and
+/// exempt from `no-unwrap` (its panics are operator-facing, not
+/// user-reachable), but still subject to the dataflow-discipline rules.
+const LIB_CRATES: &[&str] = &[
+    "core", "dataflow", "repr", "storage", "datagen", "query", "analyzer",
+];
+
+/// Crates linted for dataflow discipline (eager collect, raw retag) only.
+const HARNESS_CRATES: &[&str] = &["bench"];
+
+/// Operator entry points whose closure arguments must not call
+/// `Dataset::collect(rt)`.
+const OPERATOR_CALLS: &[&str] = &[
+    ".map(",
+    ".flat_map(",
+    ".filter(",
+    ".map_partitions(",
+    ".map_values(",
+    ".map_values_with_key(",
+    ".fold(",
+];
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// File the finding is in (workspace-relative when produced by
+    /// [`lint_workspace`]).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule code (`no-unwrap`, `no-eager-collect`, `no-raw-retag`).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Which rules apply to a file.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleSet {
+    /// Enforce `no-unwrap`.
+    pub no_unwrap: bool,
+    /// Enforce `no-eager-collect`.
+    pub no_eager_collect: bool,
+    /// Enforce `no-raw-retag`.
+    pub no_raw_retag: bool,
+}
+
+impl RuleSet {
+    /// All rules on.
+    pub fn all() -> Self {
+        RuleSet {
+            no_unwrap: true,
+            no_eager_collect: true,
+            no_raw_retag: true,
+        }
+    }
+}
+
+/// Replaces comments, string literals, and char literals with spaces,
+/// preserving line structure so findings keep accurate line numbers.
+/// Handles line comments, (nested) block comments, escapes, and raw strings.
+fn mask_source(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    let n = b.len();
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < n {
+        let c = b[i];
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+        } else if c == 'r' && i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '#') {
+            // Raw string r"..." or r#"..."# (any hash depth).
+            let start = i;
+            let mut j = i + 1;
+            let mut hashes = 0;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' {
+                out.push(' ');
+                for _ in 0..=hashes {
+                    out.push(' ');
+                }
+                j += 1;
+                // Scan for closing quote followed by `hashes` hashes.
+                loop {
+                    if j >= n {
+                        break;
+                    }
+                    if b[j] == '"' {
+                        let mut k = j + 1;
+                        let mut h = 0;
+                        while k < n && h < hashes && b[k] == '#' {
+                            h += 1;
+                            k += 1;
+                        }
+                        if h == hashes {
+                            for _ in j..k {
+                                out.push(' ');
+                            }
+                            j = k;
+                            break;
+                        }
+                    }
+                    out.push(blank(b[j]));
+                    j += 1;
+                }
+                i = j;
+            } else {
+                // Not a raw string after all (e.g. `r#ident`).
+                out.push(b[start]);
+                i = start + 1;
+            }
+        } else if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(blank(b[i + 1]));
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+        } else if c == '\'' {
+            // Char literal or lifetime. Treat as char literal only when it
+            // closes within a few chars; otherwise it's a lifetime.
+            let close = (i + 1..n.min(i + 5)).find(|&j| b[j] == '\'' && b[j - 1] != '\\');
+            let close = match close {
+                Some(j) => Some(j),
+                None if i + 2 < n && b[i + 1] == '\\' => {
+                    (i + 2..n.min(i + 6)).find(|&j| b[j] == '\'')
+                }
+                None => None,
+            };
+            if let Some(j) = close {
+                for _ in i..=j {
+                    out.push(' ');
+                }
+                i = j + 1;
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Blanks every `#[cfg(test)] mod … { … }` (or any `#[cfg(test)]`-attributed
+/// item with a brace block) in masked source.
+fn strip_test_blocks(masked: &str) -> String {
+    let mut text: Vec<char> = masked.chars().collect();
+    let pat: Vec<char> = "#[cfg(test)]".chars().collect();
+    let n = text.len();
+    let mut i = 0;
+    while i + pat.len() <= n {
+        if text[i..i + pat.len()] == pat[..] {
+            // Find the opening brace of the attributed item, then blank
+            // through its matching close.
+            let mut j = i + pat.len();
+            while j < n && text[j] != '{' {
+                j += 1;
+            }
+            let mut depth = 0;
+            let start = i;
+            while j < n {
+                if text[j] == '{' {
+                    depth += 1;
+                } else if text[j] == '}' {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let end = (j + 1).min(n);
+            for c in text.iter_mut().take(end).skip(start) {
+                if *c != '\n' {
+                    *c = ' ';
+                }
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    text.into_iter().collect()
+}
+
+/// Whether `raw` line `line` (or the line above) carries a
+/// `lint:allow(<what>)` marker. Markers live in comments, so they are read
+/// from the raw (unmasked) source.
+fn allowed(raw_lines: &[&str], line: usize, what: &str) -> bool {
+    let marker = format!("lint:allow({what})");
+    let check = |l: usize| l >= 1 && l <= raw_lines.len() && raw_lines[l - 1].contains(&marker);
+    check(line) || check(line.saturating_sub(1))
+}
+
+/// Spans (start, end) of the parenthesized argument lists of operator calls
+/// in masked text — the regions where `Dataset::collect(rt)` is forbidden.
+fn operator_closure_spans(masked: &str) -> Vec<(usize, usize)> {
+    let bytes = masked.as_bytes();
+    let mut spans = Vec::new();
+    for pat in OPERATOR_CALLS {
+        let mut start = 0;
+        while let Some(pos) = find_from(masked, pat, start) {
+            let open = pos + pat.len() - 1;
+            let mut depth = 0i32;
+            let mut j = open;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'(' => depth += 1,
+                    b')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            spans.push((open, j.min(bytes.len())));
+            start = open + 1;
+        }
+    }
+    spans
+}
+
+/// Lints one source text. `file` is used for finding labels only.
+pub fn lint_source(file: &Path, src: &str, rules: RuleSet) -> Vec<Finding> {
+    let masked = strip_test_blocks(&mask_source(src));
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let mut findings = Vec::new();
+
+    if rules.no_unwrap {
+        for pat in ["unwrap()", "expect("] {
+            let what = if pat.starts_with("unwrap") {
+                "unwrap"
+            } else {
+                "expect"
+            };
+            let mut start = 0;
+            while let Some(pos) = find_from(&masked, pat, start) {
+                start = pos + pat.len();
+                // `.unwrap()` / `.expect(` method calls only.
+                let prev = masked[..pos].chars().next_back();
+                if prev != Some('.') {
+                    continue;
+                }
+                let line = line_of_bytes(&masked, pos);
+                if allowed(&raw_lines, line, what) {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line,
+                    rule: "no-unwrap",
+                    message: format!(
+                        ".{pat}…: library code must surface typed errors, not panic \
+                         (add `// lint:allow({what}): <reason>` if this is an engine invariant)"
+                    ),
+                });
+            }
+        }
+    }
+
+    if rules.no_eager_collect {
+        let spans = operator_closure_spans(&masked);
+        let mut start = 0;
+        while let Some(pos) = find_from(&masked, ".collect(", start) {
+            start = pos + ".collect(".len();
+            // An argument ⇒ Dataset::collect(rt); bare `.collect()` or
+            // turbofished iterator collects have none.
+            let after: String = masked[pos + ".collect(".len()..]
+                .chars()
+                .take_while(|c| c.is_whitespace())
+                .collect();
+            let next = masked[pos + ".collect(".len() + after.len()..]
+                .chars()
+                .next();
+            if next == Some(')') || next.is_none() {
+                continue;
+            }
+            if spans.iter().any(|&(s, e)| pos > s && pos < e) {
+                let line = line_of_bytes(&masked, pos);
+                if allowed(&raw_lines, line, "collect") {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line,
+                    rule: "no-eager-collect",
+                    message: "Dataset::collect(rt) inside an operator closure runs a nested \
+                              job per element; hoist the collect outside the operator \
+                              (see broadcast_join) or restructure as a join"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    if rules.no_raw_retag {
+        let mut start = 0;
+        while let Some(pos) = find_from(&masked, "with_partitioning(", start) {
+            start = pos + "with_partitioning(".len();
+            let line = line_of_bytes(&masked, pos);
+            if allowed(&raw_lines, line, "retag") {
+                continue;
+            }
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line,
+                rule: "no-raw-retag",
+                message: "partitioning tags must be established by the audited shuffle/elision \
+                          machinery in dataflow's dataset.rs/keyed.rs, not stamped directly"
+                    .to_string(),
+            });
+        }
+    }
+
+    findings
+}
+
+/// Byte-offset substring search starting at `from`.
+fn find_from(haystack: &str, needle: &str, from: usize) -> Option<usize> {
+    haystack.get(from..)?.find(needle).map(|p| p + from)
+}
+
+/// Like [`line_of`] but for byte offsets (ASCII-safe: masked text newlines
+/// are preserved 1:1).
+fn line_of_bytes(text: &str, offset: usize) -> usize {
+    text.as_bytes()[..offset.min(text.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// Which rules apply to `path` (workspace-relative), or `None` if exempt.
+fn rules_for(rel: &Path) -> Option<RuleSet> {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    if !s.ends_with(".rs") {
+        return None;
+    }
+    // Only library sources: crates/<name>/src/**, excluding bins and tests.
+    let rest = s.strip_prefix("crates/")?;
+    let (crate_name, in_crate) = rest.split_once('/')?;
+    if !in_crate.starts_with("src/") || in_crate.starts_with("src/bin/") {
+        return None;
+    }
+    if LIB_CRATES.contains(&crate_name) {
+        let mut rules = RuleSet::all();
+        // `with_partitioning` lives in (and is allowed inside) the dataflow
+        // engine's own dataset/keyed modules.
+        if crate_name == "dataflow" && (in_crate == "src/dataset.rs" || in_crate == "src/keyed.rs")
+        {
+            rules.no_raw_retag = false;
+        }
+        Some(rules)
+    } else if HARNESS_CRATES.contains(&crate_name) {
+        Some(RuleSet {
+            no_unwrap: false,
+            no_eager_collect: true,
+            no_raw_retag: true,
+        })
+    } else {
+        None
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            rust_files(&p, out);
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Lints every in-scope source file under the workspace root. Findings use
+/// workspace-relative paths.
+pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let mut files = Vec::new();
+    rust_files(&root.join("crates"), &mut files);
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let Some(rules) = rules_for(&rel) else {
+            continue;
+        };
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        findings.extend(lint_source(&rel, &src, rules));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        lint_source(Path::new("test.rs"), src, RuleSet::all())
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   fn g(x: Option<u32>) -> u32 { x.expect(\"boom\") }\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == "no-unwrap"));
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[1].line, 2);
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                   // lint:allow(unwrap): invariant\n\
+                   x.unwrap()\n\
+                   }\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn comments_strings_and_tests_are_ignored() {
+        let src = "// x.unwrap() in a comment\n\
+                   const S: &str = \"x.unwrap()\";\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t(x: Option<u32>) { x.unwrap(); }\n\
+                   }\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn flags_eager_collect_in_operator_closure() {
+        let src = "fn f() {\n\
+                   let out = big.flat_map(move |k| {\n\
+                       small.collect(rt).into_iter().collect::<Vec<_>>()\n\
+                   });\n\
+                   }\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-eager-collect");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn iterator_collect_and_toplevel_dataset_collect_are_fine() {
+        let src = "fn f() {\n\
+                   let v: Vec<u32> = it.map(|x| x + 1).collect();\n\
+                   let w = dataset.collect(rt);\n\
+                   let u = dataset.map(|x| *x).collect(&rt);\n\
+                   }\n";
+        // Line 4's collect is OUTSIDE the map's parens (method-chained after
+        // them), so it is a legal top-level action.
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn flags_raw_retag() {
+        let src = "fn f(d: Dataset<(u32, u32)>) {\n\
+                   let t = d.with_partitioning(Partitioning::HashByKey { parts: 2 });\n\
+                   }\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-raw-retag");
+    }
+
+    #[test]
+    fn rules_scope_by_path() {
+        assert!(rules_for(Path::new("crates/storage/src/loader.rs")).is_some());
+        assert!(rules_for(Path::new("crates/analyzer/src/bin/tgraph-lint.rs")).is_none());
+        assert!(rules_for(Path::new("crates/dataflow/tests/dataflow_laziness.rs")).is_none());
+        let bench = rules_for(Path::new("crates/bench/src/harness.rs")).unwrap();
+        assert!(!bench.no_unwrap);
+        assert!(bench.no_eager_collect);
+        let ds = rules_for(Path::new("crates/dataflow/src/dataset.rs")).unwrap();
+        assert!(!ds.no_raw_retag);
+        assert!(ds.no_unwrap);
+        assert!(rules_for(Path::new("crates/bench/src/main.rs")).is_some());
+        assert!(rules_for(Path::new("DESIGN.md")).is_none());
+    }
+
+    #[test]
+    fn raw_strings_are_masked() {
+        let src = "const S: &str = r#\"x.unwrap() \"quoted\" \"#;\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn seeded_violation_fixture_fails() {
+        let fixture = include_str!("../tests/fixtures/seeded_violations.rs.txt");
+        let f = lint_source(Path::new("crates/fake/src/lib.rs"), fixture, RuleSet::all());
+        let rules: std::collections::HashSet<&str> = f.iter().map(|f| f.rule).collect();
+        assert!(rules.contains("no-unwrap"), "{f:?}");
+        assert!(rules.contains("no-eager-collect"), "{f:?}");
+        assert!(rules.contains("no-raw-retag"), "{f:?}");
+    }
+}

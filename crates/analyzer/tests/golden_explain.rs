@@ -1,0 +1,129 @@
+//! Golden plan tests: `aZoom^T` and `wZoom^T` over the paper's Figure-1
+//! graph must produce exactly the expected shuffle/elision structure and
+//! EXPLAIN rendering.
+//!
+//! These snapshots are the regression net for the optimizer: an accidental
+//! extra shuffle, a lost elision, or a changed derivation shows up as a
+//! string diff here before it shows up as a benchmark regression.
+
+use tgraph_analyze::analyze;
+use tgraph_core::graph::figure1_graph_stable_ids;
+use tgraph_core::zoom::azoom::{AZoomSpec, AggSpec};
+use tgraph_core::zoom::wzoom::{Quantifier, WZoomSpec};
+use tgraph_dataflow::Runtime;
+use tgraph_query::Session;
+use tgraph_repr::ReprKind;
+
+fn rt() -> Runtime {
+    Runtime::with_partitions(2, 2)
+}
+
+fn aspec() -> AZoomSpec {
+    AZoomSpec::by_property("school", "school", vec![AggSpec::count("students")])
+}
+
+fn wspec() -> WZoomSpec {
+    WZoomSpec::points(3, Quantifier::Exists, Quantifier::Exists)
+}
+
+/// Asserts one analyzed lineage against its golden snapshot.
+fn check(
+    name: &str,
+    root: &std::sync::Arc<tgraph_dataflow::PlanNode>,
+    shuffles: usize,
+    elisions: usize,
+    explain: &str,
+) {
+    let a = analyze(root);
+    assert!(a.is_sound(), "{name}:\n{}", a.render());
+    assert_eq!(a.shuffles, shuffles, "{name} shuffle count:\n{}", a.explain);
+    assert_eq!(a.elisions, elisions, "{name} elision count:\n{}", a.explain);
+    assert_eq!(a.explain, explain, "{name} EXPLAIN drifted:\n{}", a.explain);
+}
+
+#[test]
+fn azoom_on_ve_golden() {
+    let rt = rt();
+    let g = figure1_graph_stable_ids();
+    let session = Session::load(&rt, &g, ReprKind::Ve).azoom(&aspec());
+    assert_eq!(session.verify(), Vec::<String>::new());
+    let lineages = session.finish().lineages();
+    assert_eq!(lineages.len(), 2);
+
+    // Vertices: one aggregation shuffle; the group-by combine rides on it.
+    check(
+        lineages[0].0,
+        &lineages[0].1,
+        1,
+        0,
+        "\
+#1 flat_map [flat_map] unknown
+  #2 group_by_key [local_combine] hash(p=2) rows~3
+    #3 shuffle [shuffle(p=2)] hash(p=2) rows=3
+      #4 flat_map [flat_map] unknown
+        #5 source [source(p=2)] unknown rows=4
+",
+    );
+
+    // Edges: two endpoint-mirroring joins share one pre-shuffled vertex
+    // side (#14) — both its re-uses are elided exchanges.
+    check(
+        lineages[1].0,
+        &lineages[1].1,
+        4,
+        2,
+        "\
+#1 flat_map [flat_map] unknown
+  #2 group_by_key [local_combine] hash(p=2) rows~2
+    #3 shuffle [shuffle(p=2)] hash(p=2) rows=2
+      #4 map [map] unknown
+        #5 flat_map [flat_map] unknown
+          #6 join [join(p=2)] hash(p=2) rows=3
+            #7 shuffle [shuffle(p=2)] hash(p=2) rows=2
+              #8 flat_map [flat_map] unknown
+                #9 join [join(p=2)] hash(p=2) rows=3
+                  #10 shuffle [shuffle(p=2)] hash(p=2) rows=2
+                    #11 map [map] unknown rows=2
+                      #12 source [source(p=2)] unknown rows=2
+                  #13 shuffle(elided) [elided_shuffle(p=2)] hash(p=2) rows=4
+                    #14 shuffle [shuffle(p=2)] hash(p=2) rows=4
+                      #15 map [map] unknown rows=4
+                        #16 source [source(p=2)] unknown rows=4
+            #17 shuffle(elided) [elided_shuffle(p=2)] hash(p=2) rows=4
+              #14 (shuffle; shared, see above)
+",
+    );
+}
+
+#[test]
+fn wzoom_on_og_golden() {
+    let rt = rt();
+    let g = figure1_graph_stable_ids();
+    let session = Session::load(&rt, &g, ReprKind::Og).wzoom(&wspec());
+    assert_eq!(session.verify(), Vec::<String>::new());
+    let lineages = session.finish().lineages();
+    assert_eq!(lineages.len(), 2);
+
+    // wZoom^T on OG is embarrassingly parallel: per-entity window folds,
+    // zero exchanges on either relation (the §5 OG story).
+    check(
+        lineages[0].0,
+        &lineages[0].1,
+        0,
+        0,
+        "\
+#1 flat_map [flat_map] unknown
+  #2 source [source(p=2)] unknown rows=3
+",
+    );
+    check(
+        lineages[1].0,
+        &lineages[1].1,
+        0,
+        0,
+        "\
+#1 flat_map [flat_map] unknown
+  #2 source [source(p=2)] unknown rows=2
+",
+    );
+}

@@ -11,8 +11,8 @@
 
 use std::time::Duration;
 use tgraph_bench::experiments::{
-    datasets_table, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, lazy_coalesce,
-    load_locality, partitions, quantifiers, ExpConfig,
+    datasets_table, explain_plans, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17,
+    lazy_coalesce, load_locality, partitions, quantifiers, ExpConfig,
 };
 use tgraph_bench::Table;
 
@@ -28,6 +28,7 @@ const ALL: &[&str] = &[
     "fig17",
     "load",
     "lazy",
+    "explain",
     "quantifiers",
     "partitions",
 ];
@@ -45,6 +46,7 @@ fn run_one(name: &str, cfg: &ExpConfig) -> Option<Vec<Table>> {
         "fig17" => fig17(cfg),
         "load" => load_locality(cfg),
         "lazy" => lazy_coalesce(cfg),
+        "explain" => explain_plans(cfg),
         "quantifiers" => quantifiers(cfg),
         "partitions" => partitions(cfg),
         _ => return None,

@@ -8,7 +8,7 @@ use tgraph_core::zoom::wzoom::{Quantifier, WZoomSpec};
 use tgraph_core::TGraph;
 use tgraph_dataflow::Runtime;
 use tgraph_datagen::{coarsen_time, graph_stats, inject_attribute_changes, project_random_groups};
-use tgraph_query::{CoalescePolicy, Pipeline};
+use tgraph_query::{CoalescePolicy, Pipeline, Session};
 use tgraph_repr::{AnyGraph, ReprKind};
 use tgraph_storage::{write_dataset, GraphLoader, SortOrder};
 
@@ -63,10 +63,12 @@ fn group_azoom() -> AZoomSpec {
 
 /// Renders the executor's data-movement delta since `before` as a table
 /// footer: shuffle rounds (and elided ones), records and approximate bytes
-/// moved, plus the task/wave counts that show operator fusion at work.
+/// moved, plus the task/wave counts that show operator fusion at work —
+/// followed by the plan verifier's pre-execution prediction for the subset
+/// of exchanges whose input cardinality the lineage knew in advance.
 fn movement_note(rt: &Runtime, before: &tgraph_dataflow::RuntimeStats) -> String {
     let d = rt.stats().since(before);
-    format!(
+    let mut note = format!(
         "moved: {} shuffle rounds ({} elided), {} records, ~{}; {} tasks in {} waves",
         d.shuffles,
         d.shuffles_elided,
@@ -74,7 +76,17 @@ fn movement_note(rt: &Runtime, before: &tgraph_dataflow::RuntimeStats) -> String
         crate::harness::fmt_bytes(d.shuffled_bytes),
         d.tasks,
         d.waves
-    )
+    );
+    if d.shuffles_estimated > 0 {
+        note.push_str(&format!(
+            "\n  predicted: ~{} records, ~{} over {}/{} estimated exchanges",
+            d.predicted_shuffled_records,
+            crate::harness::fmt_bytes(d.predicted_shuffled_bytes),
+            d.shuffles_estimated,
+            d.shuffles
+        ));
+    }
+    note
 }
 
 /// T1 — the dataset summary table of §5 (vertices, edges, snapshots,
@@ -541,7 +553,62 @@ pub fn load_locality(cfg: &ExpConfig) -> Vec<Table> {
         let cell = measure(cfg.timeout, run);
         t.push_row(label, vec![cell]);
     }
-    t.set_note(movement_note(&rt, &before));
+    let mut note = movement_note(&rt, &before);
+    // Header-only chunk statistics predict the rows a pushdown scan decodes;
+    // compare against the actual ScanStats of a ranged load (mid lifespan).
+    if let Ok(stats) = loader.flat_stats(SortOrder::Structural) {
+        let span = stats.lifespan;
+        let mid = span.start + (span.end - span.start) / 2;
+        let range = tgraph_core::Interval::new(span.start, mid.max(span.start + 1));
+        let (v_est, e_est) = stats.estimated_rows(Some(&range));
+        if let Ok((_, scan)) = loader.load_flat(SortOrder::Structural, Some(range)) {
+            note.push_str(&format!(
+                "\n  pushdown estimate (structural, {range}): predicted {} rows, scanned {} \
+                 ({} chunks skipped)",
+                v_est + e_est,
+                scan.rows_read,
+                scan.chunks_skipped
+            ));
+        }
+    }
+    t.set_note(note);
+    vec![t]
+}
+
+/// A4 — EXPLAIN: statically verifies the canonical zoom pipelines and
+/// renders their plan DAGs with diagnostics and predicted-movement footers.
+pub fn explain_plans(cfg: &ExpConfig) -> Vec<Table> {
+    let rt = cfg.runtime();
+    let g = wikitalk(cfg.scale);
+    let aspec = natural_azoom(DatasetId::WikiTalk);
+    let wspec = WZoomSpec::points(3, Quantifier::Exists, Quantifier::Exists);
+    let mut t = Table::new("A4: EXPLAIN — verified zoom plans (WikiTalk)", vec![]);
+    let mut lines = Vec::new();
+    for (label, session) in [
+        (
+            "aZoom^T on VE",
+            Session::load(&rt, &g, ReprKind::Ve).azoom(&aspec),
+        ),
+        (
+            "wZoom^T on OG",
+            Session::load(&rt, &g, ReprKind::Og).wzoom(&wspec),
+        ),
+        (
+            "aZoom^T . switch . wZoom^T (VE->OG)",
+            Session::load(&rt, &g, ReprKind::Ve)
+                .azoom(&aspec)
+                .switch_to(ReprKind::Og)
+                .wzoom(&wspec),
+        ),
+    ] {
+        let errors = session.verify();
+        assert!(errors.is_empty(), "{label}: unsound plan: {errors:?}");
+        lines.push(format!(
+            "### {label} — verified sound\n{}",
+            session.explain()
+        ));
+    }
+    t.push_row(lines.join("\n"), vec![]);
     vec![t]
 }
 
@@ -664,6 +731,18 @@ mod tests {
                 assert!(cells.iter().all(|c| c.seconds().is_some()));
             }
         }
+    }
+
+    #[test]
+    fn explain_plans_verifies_sound() {
+        let tables = explain_plans(&ExpConfig {
+            scale: 0.005,
+            ..tiny()
+        });
+        let s = tables[0].render();
+        assert!(s.contains("verified sound"), "{s}");
+        assert!(s.contains("== ve.vertices =="), "{s}");
+        assert!(s.contains("shuffle"), "{s}");
     }
 
     #[test]

@@ -15,8 +15,26 @@ use tgraph_repr::{AnyGraph, OgGraph, OgcGraph, ReprKind, RgGraph, VeGraph};
 
 use crate::harness::{measure, Cell};
 
+/// Statically verifies every plan DAG backing `g`: panics with the rendered
+/// EXPLAIN tree if any elision or partitioning claim is underivable.
+pub fn verify_plans(label: &str, g: &AnyGraph) {
+    for (name, analysis) in tgraph_analyze::analyze_all(&g.lineages()) {
+        assert!(
+            analysis.is_sound(),
+            "{label}/{name}: unsound plan\n{}",
+            analysis.render()
+        );
+    }
+}
+
 /// Materializes an output graph: touches every partition of the result.
+///
+/// Under [checked mode](Runtime::checked) the plan is statically verified
+/// before execution — every measured result is also a proven-sound plan.
 fn materialize(rt: &Runtime, g: &AnyGraph) -> usize {
+    if rt.checked() {
+        verify_plans("materialize", g);
+    }
     match g {
         AnyGraph::Rg(g) => g.total_vertex_tuples(rt) + g.total_edge_tuples(rt),
         AnyGraph::Ve(g) => g.vertex_tuple_count(rt) + g.edge_tuple_count(rt),

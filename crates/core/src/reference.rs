@@ -183,7 +183,7 @@ pub fn wzoom_reference(g: &TGraph, spec: &WZoomSpec) -> TGraph {
         }
     }
 
-    let lifespan = windows.first().unwrap().hull(windows.last().unwrap());
+    let lifespan = Interval::hull_of(&windows);
     coalesce_graph(&TGraph {
         lifespan,
         vertices: out_vertices,

@@ -151,6 +151,16 @@ impl Interval {
         }
     }
 
+    /// Smallest interval covering every interval in `ivs`
+    /// ([`Interval::empty`] for an empty slice).
+    pub fn hull_of(ivs: &[Interval]) -> Interval {
+        let mut it = ivs.iter();
+        match it.next() {
+            Some(first) => it.fold(*first, |acc, iv| acc.hull(iv)),
+            None => Interval::empty(),
+        }
+    }
+
     /// Iterates over the individual time points of the interval.
     #[inline]
     pub fn points(&self) -> impl Iterator<Item = Time> {

@@ -14,7 +14,13 @@
 //! [`map_values`](crate::keyed::KeyedDataset::map_values)) keep it, so a
 //! later keyed operator on the same key can skip its shuffle entirely (see
 //! [`shuffle`](crate::keyed::shuffle)).
+//!
+//! Alongside the fused closure plan, every dataset records a reified
+//! [`PlanNode`] lineage DAG (see [`crate::lineage`]). The closure chain is
+//! what executes; the lineage is what the static verifier in
+//! `tgraph-analyze` walks to prove elisions sound and estimate movement.
 
+use crate::lineage::{OpKind, PlanNode};
 use crate::runtime::Runtime;
 use std::sync::Arc;
 
@@ -53,6 +59,7 @@ enum Plan<T> {
 pub struct Dataset<T> {
     plan: Plan<T>,
     partitioning: Partitioning,
+    lineage: Arc<PlanNode>,
 }
 
 impl<T: Clone + Send + Sync + 'static> Dataset<T> {
@@ -93,14 +100,34 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     }
 
     /// Wraps pre-built shared partitions with a known partitioning tag
-    /// (internal: shuffles use this to stamp their output).
+    /// (internal: shuffles use this to stamp their output). The lineage is
+    /// a fresh `Source` leaf with the exact element count.
     pub(crate) fn from_arc_partitions(
         partitions: Vec<Arc<Vec<T>>>,
         partitioning: Partitioning,
     ) -> Self {
+        let rows: u64 = partitions.iter().map(|p| p.len() as u64).sum();
+        let lineage = PlanNode::source(
+            "source",
+            partitions.len(),
+            partitioning,
+            rows,
+            std::mem::size_of::<T>() as u64,
+        );
+        Self::from_arc_partitions_lineage(partitions, partitioning, lineage)
+    }
+
+    /// Wraps pre-built shared partitions and attaches an explicit lineage
+    /// node (internal: shuffles and joins record their exchange here).
+    pub(crate) fn from_arc_partitions_lineage(
+        partitions: Vec<Arc<Vec<T>>>,
+        partitioning: Partitioning,
+        lineage: Arc<PlanNode>,
+    ) -> Self {
         Dataset {
             plan: Plan::Source(Arc::new(partitions)),
             partitioning,
+            lineage,
         }
     }
 
@@ -122,9 +149,78 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         self.partitioning
     }
 
+    /// The reified plan DAG that produced this dataset — the input to the
+    /// static verifier in `tgraph-analyze`.
+    pub fn lineage(&self) -> Arc<PlanNode> {
+        Arc::clone(&self.lineage)
+    }
+
     /// Re-tags the dataset (internal: used where an operator re-establishes
     /// or invalidates a distribution invariant the type system cannot see).
+    ///
+    /// The lineage records this as an explicit [`OpKind::Claim`] node: the
+    /// tag was stamped by fiat, not established by an exchange, so the
+    /// verifier will reject it unless the claimed invariant is derivable
+    /// from the input. Keyed operators that legitimately re-establish tags
+    /// use [`Dataset::relabel_op`] instead, which records the real operator.
+    // Production operators re-establish tags via relabel_op/wrap_op; this
+    // remains the audited escape hatch (exercised by in-crate tests).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn with_partitioning(mut self, partitioning: Partitioning) -> Self {
+        self.lineage = PlanNode::new(
+            "claim",
+            OpKind::Claim,
+            partitioning,
+            self.lineage.rows,
+            self.lineage.exact,
+            self.lineage.row_bytes,
+            vec![Arc::clone(&self.lineage)],
+        );
+        self.partitioning = partitioning;
+        self
+    }
+
+    /// Replaces the top lineage node in place (same inputs, same size
+    /// estimate) with a more precise operator kind, and re-tags the dataset.
+    /// Internal: `map_values` is built on `map` but is key-preserving, and
+    /// the local combine of an elided `reduce_by_key` is built on
+    /// `map_partitions` but keeps keys in place — the lineage should say so.
+    pub(crate) fn relabel_op(
+        mut self,
+        label: &'static str,
+        op: OpKind,
+        partitioning: Partitioning,
+    ) -> Self {
+        self.lineage = PlanNode::new(
+            label,
+            op,
+            partitioning,
+            self.lineage.rows,
+            self.lineage.exact,
+            self.lineage.row_bytes,
+            self.lineage.inputs.clone(),
+        );
+        self.partitioning = partitioning;
+        self
+    }
+
+    /// Wraps the current lineage under a new node (internal: elided shuffles
+    /// record the skipped exchange this way).
+    pub(crate) fn wrap_op(
+        mut self,
+        label: &'static str,
+        op: OpKind,
+        partitioning: Partitioning,
+    ) -> Self {
+        self.lineage = PlanNode::new(
+            label,
+            op,
+            partitioning,
+            self.lineage.rows,
+            self.lineage.exact,
+            self.lineage.row_bytes,
+            vec![Arc::clone(&self.lineage)],
+        );
         self.partitioning = partitioning;
         self
     }
@@ -149,7 +245,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         match &self.plan {
             Plan::Source(_) => self.clone(),
             Plan::Lazy { .. } => {
-                let partitions = self
+                let partitions: Vec<Arc<Vec<T>>> = self
                     .run_per_partition(rt, |i, d| {
                         let mut out = Vec::new();
                         d.produce(i, &mut |x| out.push(x.clone()));
@@ -158,7 +254,17 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
                     .into_iter()
                     .map(Arc::new)
                     .collect();
-                Self::from_arc_partitions(partitions, self.partitioning)
+                let rows: u64 = partitions.iter().map(|p| p.len() as u64).sum();
+                let lineage = PlanNode::new(
+                    "materialize",
+                    OpKind::Materialize,
+                    self.partitioning,
+                    Some(rows),
+                    true,
+                    std::mem::size_of::<T>() as u64,
+                    vec![Arc::clone(&self.lineage)],
+                );
+                Self::from_arc_partitions_lineage(partitions, self.partitioning, lineage)
             }
         }
     }
@@ -218,6 +324,15 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         F: Fn(&T) -> U + Send + Sync + 'static,
     {
         let up = self.clone();
+        let lineage = PlanNode::new(
+            "map",
+            OpKind::Map,
+            Partitioning::Unknown,
+            self.lineage.rows,
+            self.lineage.exact,
+            std::mem::size_of::<U>() as u64,
+            vec![Arc::clone(&self.lineage)],
+        );
         Dataset {
             plan: Plan::Lazy {
                 parts: self.num_partitions(),
@@ -229,6 +344,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
                 }),
             },
             partitioning: Partitioning::Unknown,
+            lineage,
         }
     }
 
@@ -240,6 +356,15 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         F: Fn(&T) -> I + Send + Sync + 'static,
     {
         let up = self.clone();
+        let lineage = PlanNode::new(
+            "flat_map",
+            OpKind::FlatMap,
+            Partitioning::Unknown,
+            None,
+            false,
+            std::mem::size_of::<U>() as u64,
+            vec![Arc::clone(&self.lineage)],
+        );
         Dataset {
             plan: Plan::Lazy {
                 parts: self.num_partitions(),
@@ -252,6 +377,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
                 }),
             },
             partitioning: Partitioning::Unknown,
+            lineage,
         }
     }
 
@@ -263,6 +389,15 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         F: Fn(&T) -> bool + Send + Sync + 'static,
     {
         let up = self.clone();
+        let lineage = PlanNode::new(
+            "filter",
+            OpKind::Filter,
+            self.partitioning,
+            self.lineage.rows,
+            false,
+            std::mem::size_of::<T>() as u64,
+            vec![Arc::clone(&self.lineage)],
+        );
         Dataset {
             plan: Plan::Lazy {
                 parts: self.num_partitions(),
@@ -275,6 +410,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
                 }),
             },
             partitioning: self.partitioning,
+            lineage,
         }
     }
 
@@ -288,6 +424,15 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         F: Fn(&[T]) -> Vec<U> + Send + Sync + 'static,
     {
         let up = self.clone();
+        let lineage = PlanNode::new(
+            "map_partitions",
+            OpKind::MapPartitions,
+            Partitioning::Unknown,
+            self.lineage.rows,
+            false,
+            std::mem::size_of::<U>() as u64,
+            vec![Arc::clone(&self.lineage)],
+        );
         Dataset {
             plan: Plan::Lazy {
                 parts: self.num_partitions(),
@@ -306,6 +451,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
                 }),
             },
             partitioning: Partitioning::Unknown,
+            lineage,
         }
     }
 
@@ -315,6 +461,19 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         let left = self.clone();
         let right = other.clone();
         let split = left.num_partitions();
+        let rows = match (self.lineage.rows, other.lineage.rows) {
+            (Some(a), Some(b)) => Some(a + b),
+            _ => None,
+        };
+        let lineage = PlanNode::new(
+            "union",
+            OpKind::Union,
+            Partitioning::Unknown,
+            rows,
+            self.lineage.exact && other.lineage.exact,
+            std::mem::size_of::<T>() as u64,
+            vec![Arc::clone(&self.lineage), Arc::clone(&other.lineage)],
+        );
         Dataset {
             plan: Plan::Lazy {
                 parts: split + right.num_partitions(),
@@ -327,6 +486,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
                 }),
             },
             partitioning: Partitioning::Unknown,
+            lineage,
         }
     }
 
@@ -342,9 +502,13 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         let partials = self.run_per_partition(rt, move |i, d| {
             let mut acc = Some(init2.clone());
             d.produce(i, &mut |x| {
+                // Accumulator is re-Some'd on every iteration; None here is
+                // an engine bug, not user input.
+                // lint:allow(expect): move-in/out accumulator invariant
                 let prev = acc.take().expect("fold accumulator");
                 acc = Some(fold(prev, x));
             });
+            // lint:allow(expect): same invariant as above
             acc.expect("fold accumulator")
         });
         partials.into_iter().fold(init, combine)
@@ -359,12 +523,35 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     {
         let mut all = self.collect(rt);
         all.sort_by_key(|a| key(a));
-        Self::from_arc_partitions(vec![Arc::new(all)], Partitioning::Unknown)
+        let lineage = PlanNode::new(
+            "sort_by_key",
+            OpKind::SortByKey,
+            Partitioning::Unknown,
+            Some(all.len() as u64),
+            true,
+            std::mem::size_of::<T>() as u64,
+            vec![Arc::clone(&self.lineage)],
+        );
+        Self::from_arc_partitions_lineage(vec![Arc::new(all)], Partitioning::Unknown, lineage)
     }
 
     /// Rebalances into `parts` evenly sized partitions.
     pub fn repartition(&self, rt: &Runtime, parts: usize) -> Dataset<T> {
-        Self::from_vec_with(parts, self.collect(rt))
+        let all = self.collect(rt);
+        let rows = all.len() as u64;
+        let mut out = Self::from_vec_with(parts, all);
+        out.lineage = PlanNode::new(
+            "repartition",
+            OpKind::Repartition {
+                parts: out.num_partitions(),
+            },
+            Partitioning::Unknown,
+            Some(rows),
+            true,
+            std::mem::size_of::<T>() as u64,
+            vec![Arc::clone(&self.lineage)],
+        );
+        out
     }
 }
 
@@ -574,5 +761,31 @@ mod tests {
             .map(|x| x + 1)
             .map_partitions(|p| vec![p.iter().sum::<i32>()]);
         assert_eq!(sums2.collect(&rt).iter().sum::<i32>(), 78);
+    }
+
+    #[test]
+    fn lineage_records_operator_chain() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, (0..10).collect::<Vec<i64>>());
+        let chained = d.map(|x| x + 1).filter(|x| x % 2 == 0);
+        let root = chained.lineage();
+        assert_eq!(root.op, OpKind::Filter);
+        assert_eq!(root.inputs[0].op, OpKind::Map);
+        assert_eq!(root.inputs[0].inputs[0].op, OpKind::Source { parts: 4 });
+        assert_eq!(root.inputs[0].inputs[0].rows, Some(10));
+        assert!(root.inputs[0].inputs[0].exact);
+        // filter keeps the row estimate but downgrades it to a bound.
+        assert_eq!(root.rows, Some(10));
+        assert!(!root.exact);
+    }
+
+    #[test]
+    fn with_partitioning_records_a_claim_node() {
+        let d: Dataset<(u32, u32)> = Dataset::from_partitions(vec![vec![(1, 1)], vec![(2, 2)]]);
+        let tagged = d.with_partitioning(Partitioning::HashByKey { parts: 2 });
+        let root = tagged.lineage();
+        assert_eq!(root.op, OpKind::Claim);
+        assert_eq!(root.claimed, Partitioning::HashByKey { parts: 2 });
+        assert_eq!(root.inputs[0].op, OpKind::Source { parts: 2 });
     }
 }

@@ -17,13 +17,17 @@
 //! once.
 
 use crate::dataset::{Dataset, Partitioning};
+use crate::lineage::OpKind;
 use crate::runtime::Runtime;
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-fn bucket_of<K: Hash>(key: &K, parts: usize) -> usize {
+/// The engine's bucket function: which partition a key belongs to under
+/// `HashByKey { parts }`. Exposed in-crate so elision audits (and tests
+/// constructing adversarial layouts) agree with the shuffle.
+pub(crate) fn bucket_of<K: Hash>(key: &K, parts: usize) -> usize {
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
     (h.finish() % parts as u64) as usize
@@ -31,6 +35,67 @@ fn bucket_of<K: Hash>(key: &K, parts: usize) -> usize {
 
 fn hashed_by_key(partitioning: Partitioning, parts: usize) -> bool {
     partitioning == Partitioning::HashByKey { parts }
+}
+
+/// How many leading records of partition 0 the debug-build elision audit
+/// samples. A full scan is reserved for checked mode.
+#[cfg(debug_assertions)]
+const AUDIT_SAMPLE: usize = 64;
+
+/// Audits an elision decision: the input claims `HashByKey { parts }` and a
+/// shuffle is about to be skipped on the strength of that claim.
+///
+/// * In debug builds, samples the first [`AUDIT_SAMPLE`] records of
+///   partition 0 on the caller thread and `debug_assert`s they hash to 0.
+/// * In checked mode ([`Runtime::checked`]), runs a full verification wave:
+///   every record of every partition must hash to its partition index, or
+///   the claim is a lie and execution aborts with a diagnostic instead of
+///   silently producing wrong joins/reductions.
+fn audit_elision<K, V>(rt: &Runtime, input: &Dataset<(K, V)>, parts: usize)
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    #[cfg(debug_assertions)]
+    {
+        let mut seen = 0usize;
+        let mut misplaced = 0usize;
+        input.produce(0, &mut |kv| {
+            if seen < AUDIT_SAMPLE {
+                seen += 1;
+                if bucket_of(&kv.0, parts) != 0 {
+                    misplaced += 1;
+                }
+            }
+        });
+        debug_assert!(
+            misplaced == 0,
+            "elision audit: {misplaced}/{seen} sampled partition-0 records do not \
+             hash to partition 0 under HashByKey {{ parts: {parts} }}"
+        );
+    }
+    if rt.checked() {
+        let bad: Vec<(usize, u64)> = input
+            .run_per_partition(rt, move |p, d| {
+                let mut bad = 0u64;
+                d.produce(p, &mut |kv| {
+                    if bucket_of(&kv.0, parts) != p {
+                        bad += 1;
+                    }
+                });
+                bad
+            })
+            .into_iter()
+            .enumerate()
+            .filter(|(_, b)| *b > 0)
+            .collect();
+        if !bad.is_empty() {
+            panic!(
+                "checked mode: partitioning claim HashByKey {{ parts: {parts} }} does not \
+                 hold — misplaced records per partition: {bad:?}"
+            );
+        }
+    }
 }
 
 /// Hash-partitions a keyed dataset: output partition `p` holds exactly the
@@ -48,7 +113,18 @@ where
     let parts = rt.partitions();
     if hashed_by_key(input.partitioning(), parts) {
         rt.note_shuffle_elided();
-        return input.clone();
+        audit_elision(rt, input, parts);
+        return input.clone().wrap_op(
+            "shuffle(elided)",
+            OpKind::ElidedShuffle { parts },
+            Partitioning::HashByKey { parts },
+        );
+    }
+    // Static movement prediction from lineage row estimates, recorded before
+    // execution so predicted-vs-actual columns can be compared afterwards.
+    let lineage = input.lineage();
+    if let Some(rows) = lineage.rows {
+        rt.note_shuffle_predicted(rows, rows * std::mem::size_of::<(K, V)>() as u64);
     }
     // Map side: one fused pass splits every input partition into `parts`
     // buckets, running any pending narrow chain in the same wave.
@@ -73,7 +149,16 @@ where
         }
         Arc::new(merged)
     });
-    Dataset::from_arc_partitions(out, Partitioning::HashByKey { parts })
+    let node = crate::lineage::PlanNode::new(
+        "shuffle",
+        OpKind::Shuffle { parts },
+        Partitioning::HashByKey { parts },
+        Some(moved),
+        true,
+        std::mem::size_of::<(K, V)>() as u64,
+        vec![lineage],
+    );
+    Dataset::from_arc_partitions_lineage(out, Partitioning::HashByKey { parts }, node)
 }
 
 /// Extension trait providing the wide operators on key–value datasets.
@@ -165,10 +250,12 @@ where
         F: Fn(&V) -> W + Send + Sync + 'static,
     {
         // Keys are untouched, so whatever hash partitioning held before
-        // still holds after.
+        // still holds after. The lineage records a key-preserving
+        // `MapValues` (not a generic `Map` plus a claim), which is how the
+        // verifier knows the invariant legitimately survives.
         let tag = self.partitioning();
         self.map(move |(k, v)| (k.clone(), f(v)))
-            .with_partitioning(tag)
+            .relabel_op("map_values", OpKind::MapValues, tag)
     }
 
     fn map_values_with_key<W, F>(&self, f: F) -> Dataset<(K, W)>
@@ -177,8 +264,11 @@ where
         F: Fn(&K, &V) -> W + Send + Sync + 'static,
     {
         let tag = self.partitioning();
-        self.map(move |(k, v)| (k.clone(), f(k, v)))
-            .with_partitioning(tag)
+        self.map(move |(k, v)| (k.clone(), f(k, v))).relabel_op(
+            "map_values",
+            OpKind::MapValues,
+            tag,
+        )
     }
 
     fn group_by_key(&self, rt: &Runtime) -> Dataset<(K, Vec<V>)> {
@@ -192,7 +282,11 @@ where
                 groups.into_iter().collect()
             })
             // Grouping within a hash partition keeps keys where they hashed.
-            .with_partitioning(Partitioning::HashByKey { parts })
+            .relabel_op(
+                "group_by_key",
+                OpKind::LocalCombine,
+                Partitioning::HashByKey { parts },
+            )
     }
 
     fn reduce_by_key<F>(&self, rt: &Runtime, f: F) -> Dataset<(K, V)>
@@ -205,19 +299,40 @@ where
             // Already co-located by key: a single local combine pass, no
             // map-side stage, no shuffle.
             rt.note_shuffle_elided();
+            audit_elision(rt, self, parts);
             return self
+                .clone()
+                .wrap_op(
+                    "shuffle(elided)",
+                    OpKind::ElidedShuffle { parts },
+                    Partitioning::HashByKey { parts },
+                )
                 .map_partitions(move |part| combine_partition(part, f.as_ref()))
-                .with_partitioning(Partitioning::HashByKey { parts });
+                .relabel_op(
+                    "reduce_by_key",
+                    OpKind::LocalCombine,
+                    Partitioning::HashByKey { parts },
+                );
         }
         // Map-side combine shrinks the shuffle, as in Spark. The combine is a
         // deferred narrow stage, so it fuses with both the upstream chain and
         // the shuffle's map side: one pass over the input.
         let f1 = Arc::clone(&f);
-        let combined = self.map_partitions(move |part| combine_partition(part, f1.as_ref()));
+        let combined = self
+            .map_partitions(move |part| combine_partition(part, f1.as_ref()))
+            .relabel_op(
+                "combine(map-side)",
+                OpKind::LocalCombine,
+                self.partitioning(),
+            );
         let f2 = Arc::clone(&f);
         shuffle(rt, &combined)
             .map_partitions(move |part| combine_partition(part, f2.as_ref()))
-            .with_partitioning(Partitioning::HashByKey { parts })
+            .relabel_op(
+                "reduce_by_key",
+                OpKind::LocalCombine,
+                Partitioning::HashByKey { parts },
+            )
     }
 
     fn aggregate_by_key<A, I, U, M>(
@@ -245,12 +360,27 @@ where
         if hashed_by_key(self.partitioning(), parts) {
             // Keys are co-located: fold each partition once, done.
             rt.note_shuffle_elided();
+            audit_elision(rt, self, parts);
             return self
+                .clone()
+                .wrap_op(
+                    "shuffle(elided)",
+                    OpKind::ElidedShuffle { parts },
+                    Partitioning::HashByKey { parts },
+                )
                 .map_partitions(fold_partition)
-                .with_partitioning(Partitioning::HashByKey { parts });
+                .relabel_op(
+                    "aggregate_by_key",
+                    OpKind::LocalCombine,
+                    Partitioning::HashByKey { parts },
+                );
         }
         // Map-side: fold values into per-key accumulators (deferred, fused).
-        let partials = self.map_partitions(fold_partition);
+        let partials = self.map_partitions(fold_partition).relabel_op(
+            "combine(map-side)",
+            OpKind::LocalCombine,
+            self.partitioning(),
+        );
         // Reduce-side: merge accumulators.
         shuffle(rt, &partials)
             .map_partitions(move |part| {
@@ -265,7 +395,11 @@ where
                 }
                 acc.into_iter().collect()
             })
-            .with_partitioning(Partitioning::HashByKey { parts })
+            .relabel_op(
+                "aggregate_by_key",
+                OpKind::LocalCombine,
+                Partitioning::HashByKey { parts },
+            )
     }
 
     fn join<W>(&self, rt: &Runtime, other: &Dataset<(K, W)>) -> Dataset<(K, (V, W))>
@@ -273,8 +407,11 @@ where
         W: Clone + Send + Sync + 'static,
     {
         let parts = rt.partitions();
-        let left_parts = shuffle(rt, self).parts(rt);
-        let right_parts = shuffle(rt, other).parts(rt);
+        let left = shuffle(rt, self);
+        let right = shuffle(rt, other);
+        let (lin_l, lin_r) = (left.lineage(), right.lineage());
+        let left_parts = left.parts(rt);
+        let right_parts = right.parts(rt);
         let out = rt.run_indexed(parts, move |p| {
             // Build on the right, probe with the left (co-partitioned).
             let mut table: HashMap<&K, Vec<&W>> = HashMap::new();
@@ -291,7 +428,17 @@ where
             }
             Arc::new(out)
         });
-        Dataset::from_arc_partitions(out, Partitioning::HashByKey { parts })
+        let rows: u64 = out.iter().map(|p| p.len() as u64).sum();
+        let node = crate::lineage::PlanNode::new(
+            "join",
+            OpKind::Join { parts },
+            Partitioning::HashByKey { parts },
+            Some(rows),
+            true,
+            std::mem::size_of::<(K, (V, W))>() as u64,
+            vec![lin_l, lin_r],
+        );
+        Dataset::from_arc_partitions_lineage(out, Partitioning::HashByKey { parts }, node)
     }
 
     fn semi_join<W>(&self, rt: &Runtime, keys: &Dataset<(K, W)>) -> Dataset<(K, V)>
@@ -299,8 +446,11 @@ where
         W: Clone + Send + Sync + 'static,
     {
         let parts = rt.partitions();
-        let left_parts = shuffle(rt, self).parts(rt);
-        let right_parts = shuffle(rt, keys).parts(rt);
+        let left = shuffle(rt, self);
+        let right = shuffle(rt, keys);
+        let (lin_l, lin_r) = (left.lineage(), right.lineage());
+        let left_parts = left.parts(rt);
+        let right_parts = right.parts(rt);
         let out = rt.run_indexed(parts, move |p| {
             let keyset: std::collections::HashSet<&K> =
                 right_parts[p].iter().map(|(k, _)| k).collect();
@@ -312,7 +462,17 @@ where
                     .collect::<Vec<_>>(),
             )
         });
-        Dataset::from_arc_partitions(out, Partitioning::HashByKey { parts })
+        let rows: u64 = out.iter().map(|p| p.len() as u64).sum();
+        let node = crate::lineage::PlanNode::new(
+            "semi_join",
+            OpKind::Join { parts },
+            Partitioning::HashByKey { parts },
+            Some(rows),
+            true,
+            std::mem::size_of::<(K, V)>() as u64,
+            vec![lin_l, lin_r],
+        );
+        Dataset::from_arc_partitions_lineage(out, Partitioning::HashByKey { parts }, node)
     }
 }
 
@@ -541,6 +701,107 @@ mod tests {
         let other: Dataset<(u32, u32)> = Dataset::from_vec(&rt, vec![(1, 1)]);
         assert_eq!(d.join(&rt, &other).count(&rt), 0);
         assert_eq!(other.join(&rt, &d).count(&rt), 0);
+    }
+
+    #[test]
+    fn lineage_records_shuffles_and_elisions() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, (0..40u64).map(|i| (i % 5, i)).collect::<Vec<_>>());
+        let s = shuffle(&rt, &d);
+        assert_eq!(s.lineage().op, OpKind::Shuffle { parts: 4 });
+        assert_eq!(s.lineage().rows, Some(40));
+        let r = s.reduce_by_key(&rt, |a, b| a + b);
+        let root = r.lineage();
+        assert_eq!(root.op, OpKind::LocalCombine);
+        assert_eq!(root.inputs[0].op, OpKind::ElidedShuffle { parts: 4 });
+        assert_eq!(root.inputs[0].inputs[0].op, OpKind::Shuffle { parts: 4 });
+    }
+
+    /// Satellite regression test: a deliberately wrong `HashByKey` tag on
+    /// which an elision fires is caught by checked mode — instead of the
+    /// elided reduce silently producing per-partition (wrong) results.
+    ///
+    /// The fixture is built so that partition 0 is entirely correct (the
+    /// debug-build sampled audit passes) while partition 1 smuggles in a key
+    /// that hashes to partition 0 — only the full checked-mode scan sees it.
+    #[test]
+    #[should_panic(expected = "partitioning claim")]
+    fn checked_mode_catches_deliberately_wrong_tag() {
+        let rt = Runtime::with_partitions(2, 2);
+        rt.set_checked(true);
+        let mut p0 = Vec::new();
+        let mut p1 = Vec::new();
+        for k in 0..200u64 {
+            if bucket_of(&k, 2) == 0 {
+                p0.push((k, 1u64));
+            } else {
+                p1.push((k, 1u64));
+            }
+        }
+        // Find a fresh key that belongs to partition 0 and misplace it.
+        let stray = (200..10_000u64)
+            .find(|k| bucket_of(k, 2) == 0)
+            .unwrap_or(200);
+        p1.push((stray, 1u64));
+        let wrongly_tagged = Dataset::from_partitions(vec![p0, p1])
+            .with_partitioning(Partitioning::HashByKey { parts: 2 });
+        // Elision fires on the strength of the tag; checked mode must abort.
+        let _ = wrongly_tagged.reduce_by_key(&rt, |a, b| a + b).collect(&rt);
+    }
+
+    /// In dev (debug) builds even without checked mode, a wrong tag whose
+    /// misplacement is visible in the sampled partition trips the
+    /// `debug_assert` audit at the elision point.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "elision audit")]
+    fn debug_audit_samples_partition_zero() {
+        let rt = Runtime::with_partitions(2, 2);
+        // Every key placed in the *wrong* partition: partition 0's sample
+        // fails immediately.
+        let mut p0 = Vec::new();
+        let mut p1 = Vec::new();
+        for k in 0..100u64 {
+            if bucket_of(&k, 2) == 0 {
+                p1.push((k, 1u64));
+            } else {
+                p0.push((k, 1u64));
+            }
+        }
+        let wrongly_tagged = Dataset::from_partitions(vec![p0, p1])
+            .with_partitioning(Partitioning::HashByKey { parts: 2 });
+        let _ = wrongly_tagged.reduce_by_key(&rt, |a, b| a + b).collect(&rt);
+    }
+
+    /// With a *correct* tag, checked mode verifies and passes; results match.
+    #[test]
+    fn checked_mode_accepts_sound_elisions() {
+        let rt = Runtime::with_partitions(2, 2);
+        rt.set_checked(true);
+        let d = Dataset::from_vec(&rt, (0..100u64).map(|i| (i % 7, i)).collect::<Vec<_>>());
+        let s = shuffle(&rt, &d);
+        let r = s.reduce_by_key(&rt, |a, b| a + b);
+        let mut expected: HashMap<u64, u64> = HashMap::new();
+        for i in 0..100u64 {
+            *expected.entry(i % 7).or_default() += i;
+        }
+        assert_eq!(
+            sorted(r.collect(&rt)),
+            sorted(expected.into_iter().collect())
+        );
+    }
+
+    #[test]
+    fn shuffle_predicts_movement_from_lineage() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, (0..64u64).map(|i| (i % 3, i)).collect::<Vec<_>>());
+        let before = rt.stats();
+        let _ = shuffle(&rt, &d).collect(&rt);
+        let delta = rt.stats().since(&before);
+        // Source row count is exact, so prediction matches actual movement.
+        assert_eq!(delta.shuffles_estimated, 1);
+        assert_eq!(delta.predicted_shuffled_records, delta.shuffled_records);
+        assert_eq!(delta.predicted_shuffled_bytes, delta.shuffled_bytes);
     }
 
     #[test]

@@ -61,10 +61,12 @@
 pub mod dataset;
 pub mod extra;
 pub mod keyed;
+pub mod lineage;
 pub mod pool;
 pub mod runtime;
 
 pub use dataset::{Dataset, Partitioning};
 pub use extra::{broadcast_join, broadcast_semi_join, cogroup, count_by_key, take};
 pub use keyed::{distinct, shuffle, KeyedDataset};
+pub use lineage::{OpKind, PlanNode};
 pub use runtime::{Runtime, RuntimeStats};

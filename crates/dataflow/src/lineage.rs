@@ -1,0 +1,242 @@
+//! Reified operator lineage: every [`Dataset`](crate::Dataset) carries an
+//! [`Arc<PlanNode>`] describing the logical plan that produced it.
+//!
+//! The closure-based `Plan` inside a dataset is opaque — it fuses narrow
+//! operators into one producer function and cannot be inspected. `PlanNode`
+//! is its walkable shadow: a persistent DAG recording every operator kind,
+//! every partitioning claim, every shuffle executed or elided, and static
+//! row/byte estimates propagated from the sources. The `tgraph-analyze`
+//! crate consumes this DAG to *prove* shuffle elisions sound (by deriving
+//! partitioning facts bottom-up), to flag redundant work, and to predict
+//! data movement before it happens.
+//!
+//! Nodes are immutable and shared: a diamond in the DAG (one subplan consumed
+//! by two operators) is represented by two parents holding the same `Arc`,
+//! which is exactly the signal the analyzer uses to detect re-executed
+//! narrow chains.
+
+use crate::dataset::Partitioning;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// The operator class of a plan node — what the verifier reasons about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Materialized input partitions (leaf).
+    Source {
+        /// Partition count of the source.
+        parts: usize,
+    },
+    /// Element-wise transformation; destroys any partitioning invariant.
+    Map,
+    /// One-to-many transformation; destroys any partitioning invariant.
+    FlatMap,
+    /// Predicate filter; records pass through untouched, so the input's
+    /// partitioning invariant is preserved.
+    Filter,
+    /// Whole-partition transformation; destroys any partitioning invariant.
+    MapPartitions,
+    /// Key-preserving value transformation (`map_values`); preserves hash
+    /// partitioning because keys are untouched.
+    MapValues,
+    /// Per-partition combine/grouping keyed by the same key
+    /// (`reduce_by_key` / `group_by_key` local stages); key-preserving.
+    LocalCombine,
+    /// Concatenation of two inputs; destroys partitioning invariants.
+    Union,
+    /// An executed hash shuffle over `parts` partitions — establishes
+    /// `HashByKey { parts }`.
+    Shuffle {
+        /// Output partition count (hash modulus).
+        parts: usize,
+    },
+    /// A shuffle that was *elided* because the input claimed the required
+    /// partitioning. Sound only if `HashByKey { parts }` is derivable for
+    /// the input — the central fact the verifier checks.
+    ElidedShuffle {
+        /// Partition count the elided exchange would have used.
+        parts: usize,
+    },
+    /// Co-partitioned hash join output — establishes `HashByKey { parts }`.
+    Join {
+        /// Output partition count.
+        parts: usize,
+    },
+    /// Global sort into a single partition; destroys partitioning.
+    SortByKey,
+    /// Rebalance into `parts` even partitions; destroys partitioning.
+    Repartition {
+        /// New partition count.
+        parts: usize,
+    },
+    /// An *unchecked* partitioning claim (`with_partitioning`): the tag was
+    /// stamped by fiat, not established by an exchange. The verifier rejects
+    /// claims it cannot derive from the input.
+    Claim,
+    /// An explicit materialization boundary (`materialize()`); preserves
+    /// the input's partitioning invariant.
+    Materialize,
+}
+
+impl OpKind {
+    /// Whether this operator is narrow (no exchange): its work re-runs every
+    /// time the plan above it executes, unless materialized.
+    pub fn is_narrow(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Map
+                | OpKind::FlatMap
+                | OpKind::Filter
+                | OpKind::MapPartitions
+                | OpKind::MapValues
+                | OpKind::LocalCombine
+                | OpKind::Union
+                | OpKind::Claim
+        )
+    }
+
+    /// Whether this operator preserves its input's partitioning invariant
+    /// (keys untouched, records not rerouted).
+    pub fn preserves_partitioning(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Filter
+                | OpKind::MapValues
+                | OpKind::LocalCombine
+                | OpKind::Materialize
+                | OpKind::ElidedShuffle { .. }
+                | OpKind::Claim
+        )
+    }
+}
+
+/// One node of the reified plan DAG. Immutable; shared via `Arc`.
+#[derive(Clone, Debug)]
+pub struct PlanNode {
+    /// Process-unique id (creation order). Display ids are assigned
+    /// per-rendering, so this is only used for identity/debugging.
+    pub id: u64,
+    /// Human-readable operator label for EXPLAIN output.
+    pub label: &'static str,
+    /// Operator class.
+    pub op: OpKind,
+    /// The partitioning tag carried by the dataset this node produced.
+    pub claimed: Partitioning,
+    /// Static row-count estimate for this node's output (propagated from
+    /// source sizes; `None` when unknown, e.g. below a `flat_map`).
+    pub rows: Option<u64>,
+    /// Whether `rows` is exact (sources and 1:1 maps) or an upper-bound
+    /// estimate (filters, combines).
+    pub exact: bool,
+    /// `size_of` one element of this node's output — the record width used
+    /// for byte estimates.
+    pub row_bytes: u64,
+    /// Upstream plan nodes (0 for sources, 1 for most ops, 2 for joins
+    /// and unions).
+    pub inputs: Vec<Arc<PlanNode>>,
+}
+
+impl PlanNode {
+    /// Builds a node. `rows`/`exact` describe the static size estimate of
+    /// the node's output; `row_bytes` is the element width.
+    pub fn new(
+        label: &'static str,
+        op: OpKind,
+        claimed: Partitioning,
+        rows: Option<u64>,
+        exact: bool,
+        row_bytes: u64,
+        inputs: Vec<Arc<PlanNode>>,
+    ) -> Arc<PlanNode> {
+        Arc::new(PlanNode {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            label,
+            op,
+            claimed,
+            rows,
+            exact,
+            row_bytes,
+            inputs,
+        })
+    }
+
+    /// A source leaf with an exact element count.
+    pub fn source(
+        label: &'static str,
+        parts: usize,
+        claimed: Partitioning,
+        rows: u64,
+        row_bytes: u64,
+    ) -> Arc<PlanNode> {
+        PlanNode::new(
+            label,
+            OpKind::Source { parts },
+            claimed,
+            Some(rows),
+            true,
+            row_bytes,
+            Vec::new(),
+        )
+    }
+
+    /// Number of distinct nodes in the DAG rooted here (shared nodes counted
+    /// once).
+    pub fn node_count(self: &Arc<Self>) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        fn walk(n: &Arc<PlanNode>, seen: &mut std::collections::HashSet<usize>) {
+            if !seen.insert(Arc::as_ptr(n) as usize) {
+                return;
+            }
+            for i in &n.inputs {
+                walk(i, seen);
+            }
+        }
+        walk(self, &mut seen);
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_identity_and_count() {
+        let src = PlanNode::source("v", 2, Partitioning::Unknown, 10, 8);
+        let a = PlanNode::new(
+            "map",
+            OpKind::Map,
+            Partitioning::Unknown,
+            Some(10),
+            true,
+            8,
+            vec![src.clone()],
+        );
+        let b = PlanNode::new(
+            "filter",
+            OpKind::Filter,
+            Partitioning::Unknown,
+            Some(10),
+            false,
+            8,
+            vec![src.clone()],
+        );
+        let join = PlanNode::new(
+            "join",
+            OpKind::Join { parts: 2 },
+            Partitioning::HashByKey { parts: 2 },
+            None,
+            false,
+            16,
+            vec![a, b],
+        );
+        // Diamond: src shared by both sides, counted once.
+        assert_eq!(join.node_count(), 4);
+        assert!(OpKind::Filter.preserves_partitioning());
+        assert!(!OpKind::Map.preserves_partitioning());
+        assert!(OpKind::Map.is_narrow());
+        assert!(!OpKind::Shuffle { parts: 2 }.is_narrow());
+    }
+}

@@ -41,6 +41,7 @@ impl ThreadPool {
                             job();
                         }
                     })
+                    // lint:allow(expect): thread spawn failure at pool construction is fatal
                     .expect("failed to spawn worker thread")
             })
             .collect();
@@ -66,8 +67,10 @@ impl ThreadPool {
     pub fn execute(&self, job: Job) {
         self.sender
             .as_ref()
+            // lint:allow(expect): sender only dropped in Drop; execute-after-drop is an engine bug
             .expect("pool is shut down")
             .send(job)
+            // lint:allow(expect): workers outlive the sender by construction
             .expect("worker channel closed");
     }
 
@@ -86,6 +89,7 @@ impl ThreadPool {
         }
         // Run small batches inline: dispatch overhead dominates otherwise.
         if n == 1 {
+            // lint:allow(unwrap): n == 1 checked on the line above
             let task = tasks.into_iter().next().unwrap();
             return vec![task()];
         }
@@ -101,6 +105,7 @@ impl ThreadPool {
         drop(tx);
         let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
+            // lint:allow(expect): each task sends exactly once; a closed channel means a worker died
             let (idx, result) = rx.recv().expect("task result channel closed early");
             match result {
                 Ok(r) => slots[idx] = Some(r),
@@ -109,6 +114,7 @@ impl ThreadPool {
         }
         slots
             .into_iter()
+            // lint:allow(expect): every slot filled by the recv loop above
             .map(|s| s.expect("missing task result"))
             .collect()
     }

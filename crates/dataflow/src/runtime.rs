@@ -2,7 +2,7 @@
 //! statistics.
 
 use crate::pool::ThreadPool;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Snapshot of execution statistics — the shared-memory analogue of Spark's
@@ -30,6 +30,14 @@ pub struct RuntimeStats {
     pub shuffled_records: u64,
     /// Approximate bytes moved in shuffles (records × record size).
     pub shuffled_bytes: u64,
+    /// Executed shuffles for which a static row estimate existed before
+    /// execution (a prediction was recorded).
+    pub shuffles_estimated: u64,
+    /// Records the plan lineage predicted would move, summed over estimated
+    /// shuffles. Compare with `shuffled_records` for predicted-vs-actual.
+    pub predicted_shuffled_records: u64,
+    /// Bytes the plan lineage predicted would move.
+    pub predicted_shuffled_bytes: u64,
 }
 
 impl RuntimeStats {
@@ -43,6 +51,11 @@ impl RuntimeStats {
             shuffles_elided: self.shuffles_elided - earlier.shuffles_elided,
             shuffled_records: self.shuffled_records - earlier.shuffled_records,
             shuffled_bytes: self.shuffled_bytes - earlier.shuffled_bytes,
+            shuffles_estimated: self.shuffles_estimated - earlier.shuffles_estimated,
+            predicted_shuffled_records: self.predicted_shuffled_records
+                - earlier.predicted_shuffled_records,
+            predicted_shuffled_bytes: self.predicted_shuffled_bytes
+                - earlier.predicted_shuffled_bytes,
         }
     }
 }
@@ -60,6 +73,10 @@ pub struct Runtime {
     shuffles_elided: AtomicU64,
     shuffled_records: AtomicU64,
     shuffled_bytes: AtomicU64,
+    shuffles_estimated: AtomicU64,
+    predicted_shuffled_records: AtomicU64,
+    predicted_shuffled_bytes: AtomicU64,
+    checked: AtomicBool,
 }
 
 impl Runtime {
@@ -79,6 +96,10 @@ impl Runtime {
             shuffles_elided: AtomicU64::new(0),
             shuffled_records: AtomicU64::new(0),
             shuffled_bytes: AtomicU64::new(0),
+            shuffles_estimated: AtomicU64::new(0),
+            predicted_shuffled_records: AtomicU64::new(0),
+            predicted_shuffled_bytes: AtomicU64::new(0),
+            checked: AtomicBool::new(checked_from_env()),
         }
     }
 
@@ -138,6 +159,30 @@ impl Runtime {
         self.shuffles_elided.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records the statically predicted volume of a shuffle about to
+    /// execute (from lineage row estimates).
+    pub(crate) fn note_shuffle_predicted(&self, records: u64, bytes: u64) {
+        self.shuffles_estimated.fetch_add(1, Ordering::Relaxed);
+        self.predicted_shuffled_records
+            .fetch_add(records, Ordering::Relaxed);
+        self.predicted_shuffled_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Whether checked execution mode is on: elision points verify claimed
+    /// partitionings record-by-record, and representation switches validate
+    /// their TGraph against Definition 2.1. Enabled at construction when the
+    /// environment variable `TGRAPH_CHECKED` is `1` or `true`, or explicitly
+    /// via [`Runtime::set_checked`].
+    pub fn checked(&self) -> bool {
+        self.checked.load(Ordering::Relaxed)
+    }
+
+    /// Turns checked execution mode on or off.
+    pub fn set_checked(&self, on: bool) {
+        self.checked.store(on, Ordering::Relaxed);
+    }
+
     /// Current execution statistics.
     pub fn stats(&self) -> RuntimeStats {
         RuntimeStats {
@@ -147,8 +192,19 @@ impl Runtime {
             shuffles_elided: self.shuffles_elided.load(Ordering::Relaxed),
             shuffled_records: self.shuffled_records.load(Ordering::Relaxed),
             shuffled_bytes: self.shuffled_bytes.load(Ordering::Relaxed),
+            shuffles_estimated: self.shuffles_estimated.load(Ordering::Relaxed),
+            predicted_shuffled_records: self.predicted_shuffled_records.load(Ordering::Relaxed),
+            predicted_shuffled_bytes: self.predicted_shuffled_bytes.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Reads the `TGRAPH_CHECKED` environment gate (`1`/`true` → on).
+fn checked_from_env() -> bool {
+    matches!(
+        std::env::var("TGRAPH_CHECKED").as_deref(),
+        Ok("1") | Ok("true")
+    )
 }
 
 impl std::fmt::Debug for Runtime {
@@ -216,6 +272,28 @@ mod tests {
         assert_eq!(d.waves, 1);
         assert_eq!(d.shuffles, 1);
         assert_eq!(d.shuffled_records, 7);
+    }
+
+    #[test]
+    fn checked_mode_toggles() {
+        let rt = Runtime::new(1);
+        let initial = rt.checked();
+        rt.set_checked(true);
+        assert!(rt.checked());
+        rt.set_checked(false);
+        assert!(!rt.checked());
+        rt.set_checked(initial);
+    }
+
+    #[test]
+    fn predicted_movement_counters() {
+        let rt = Runtime::new(1);
+        rt.note_shuffle_predicted(100, 800);
+        rt.note_shuffle(90, 720);
+        let s = rt.stats();
+        assert_eq!(s.shuffles_estimated, 1);
+        assert_eq!(s.predicted_shuffled_records, 100);
+        assert_eq!(s.predicted_shuffled_bytes, 800);
     }
 
     #[test]

@@ -94,6 +94,39 @@ impl<'rt> Session<'rt> {
         self.finish().to_tgraph(rt)
     }
 
+    /// EXPLAIN rendering of the plan DAGs backing the current graph, one
+    /// section per dataset, including verifier diagnostics and predicted
+    /// data-movement footers.
+    pub fn explain(&self) -> String {
+        let lineages = self.graph.lineages();
+        let mut out = String::new();
+        for (name, analysis) in tgraph_analyze::analyze_all(&lineages) {
+            out.push_str(&format!("== {name} ==\n"));
+            out.push_str(&analysis.render());
+        }
+        out
+    }
+
+    /// Statically verifies the plan DAGs backing the current graph: every
+    /// elided exchange and partitioning claim must be derivable.
+    ///
+    /// Returns the error-severity diagnostics, prefixed with the dataset
+    /// name; an empty vector means every plan is provably sound.
+    pub fn verify(&self) -> Vec<String> {
+        let lineages = self.graph.lineages();
+        tgraph_analyze::analyze_all(&lineages)
+            .into_iter()
+            .flat_map(|(name, analysis)| {
+                analysis
+                    .diagnostics
+                    .into_iter()
+                    .filter(|d| d.severity == tgraph_analyze::Severity::Error)
+                    .map(move |d| format!("{name}: {d}"))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
     /// Replays the recorded trace as a reusable [`Pipeline`].
     pub fn to_pipeline(&self) -> Pipeline {
         let mut p = Pipeline::new();
@@ -156,6 +189,23 @@ mod tests {
             )
             .to_tgraph(&rt);
         assert_eq!(replayed.vertices, session.collect().vertices);
+    }
+
+    #[test]
+    fn explain_and_verify_on_zoom_pipeline() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let aspec = AZoomSpec::by_property("school", "school", vec![AggSpec::count("students")]);
+        let session = Session::load(&rt, &g, ReprKind::Ve)
+            .azoom(&aspec)
+            .switch_to(ReprKind::Og);
+        // Engine-produced plans must always verify sound.
+        assert_eq!(session.verify(), Vec::<String>::new());
+        let explain = session.explain();
+        assert!(explain.contains("== og.vertices =="), "{explain}");
+        assert!(explain.contains("== og.edges =="), "{explain}");
+        assert!(explain.contains("shuffle"), "{explain}");
+        assert!(explain.contains("-- "), "{explain}");
     }
 
     #[test]

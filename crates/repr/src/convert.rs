@@ -13,8 +13,9 @@ use crate::rg::RgGraph;
 use crate::ve::VeGraph;
 use crate::{common::coalesce_states, ReprKind};
 use std::collections::HashMap;
+use std::sync::Arc;
 use tgraph_core::graph::{EdgeId, EdgeRecord, VertexId, VertexRecord};
-use tgraph_dataflow::{Dataset, KeyedDataset, Runtime};
+use tgraph_dataflow::{Dataset, KeyedDataset, PlanNode, Runtime};
 
 /// VE → OG: shuffle tuples by entity key and assemble history arrays.
 ///
@@ -171,16 +172,61 @@ impl AnyGraph {
     }
 
     /// Switches to another representation (identity if already there).
+    ///
+    /// Under [checked mode](Runtime::checked) the result crossing the
+    /// representation boundary is materialized, coalesced, and validated
+    /// against Definition 2.1 — a conversion that produced an invalid TGraph
+    /// (overlapping facts, dangling endpoints, empty intervals) panics here
+    /// instead of silently corrupting downstream zooms.
+    ///
+    /// # Panics
+    /// In checked mode, if the converted graph fails validation.
     pub fn switch_to(&self, rt: &Runtime, kind: ReprKind) -> AnyGraph {
         if self.kind() == kind {
             return self.clone();
         }
-        match (self, kind) {
+        let out = match (self, kind) {
             // Direct dataflow conversions between the compact representations.
             (AnyGraph::Ve(ve), ReprKind::Og) => AnyGraph::Og(ve_to_og(rt, ve)),
             (AnyGraph::Og(og), ReprKind::Ve) => AnyGraph::Ve(og_to_ve(rt, og)),
             // Everything else goes through the logical graph.
             (g, kind) => AnyGraph::load(rt, &g.to_tgraph(rt), kind),
+        };
+        if rt.checked() {
+            // Validate the canonical (coalesced) logical form: physical
+            // representations may legitimately hold uncoalesced fragments.
+            let logical = tgraph_core::coalesce::coalesce_graph(&out.to_tgraph(rt));
+            let errors = tgraph_core::validate::validate(&logical);
+            if !errors.is_empty() {
+                let rendered: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+                panic!(
+                    "checked mode: switch_to({} -> {kind}) produced an invalid TGraph: {}",
+                    self.kind(),
+                    rendered.join("; ")
+                );
+            }
+        }
+        out
+    }
+
+    /// Lineage roots of the datasets backing this representation, labelled
+    /// for EXPLAIN rendering and static verification
+    /// (`tgraph_analyze::analyze_all`).
+    pub fn lineages(&self) -> Vec<(&'static str, Arc<PlanNode>)> {
+        match self {
+            AnyGraph::Rg(g) => vec![("rg.snapshots", g.snapshots.lineage())],
+            AnyGraph::Ve(g) => vec![
+                ("ve.vertices", g.vertices.lineage()),
+                ("ve.edges", g.edges.lineage()),
+            ],
+            AnyGraph::Og(g) => vec![
+                ("og.vertices", g.vertices.lineage()),
+                ("og.edges", g.edges.lineage()),
+            ],
+            AnyGraph::Ogc(g) => vec![
+                ("ogc.vertices", g.vertices.lineage()),
+                ("ogc.edges", g.edges.lineage()),
+            ],
         }
     }
 
@@ -305,6 +351,59 @@ mod tests {
         let any = AnyGraph::load(&rt, &g, ReprKind::Ogc);
         let spec = tgraph_core::zoom::AZoomSpec::by_property("school", "school", vec![]);
         let _ = any.azoom(&rt, &spec);
+    }
+
+    #[test]
+    fn checked_switch_to_validates_clean_graph() {
+        let rt = rt();
+        rt.set_checked(true);
+        let g = canonical(&figure1_graph_stable_ids());
+        let ve = AnyGraph::load(&rt, &g, ReprKind::Ve);
+        // Every hop crosses a representation boundary under checked mode.
+        let og = ve.switch_to(&rt, ReprKind::Og);
+        let rg = og.switch_to(&rt, ReprKind::Rg);
+        let back = rg.switch_to(&rt, ReprKind::Ve);
+        assert_eq!(back.to_tgraph(&rt).vertices, g.vertices);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TGraph")]
+    fn checked_switch_to_rejects_invalid_graph() {
+        let rt = rt();
+        rt.set_checked(true);
+        let mut g = figure1_graph_stable_ids();
+        // Edge between existing endpoints but with no `type` property: it
+        // survives the VE→OG join yet violates Definition 2.1.
+        let model = g.edges[0].clone();
+        g.edges.push(tgraph_core::EdgeRecord {
+            eid: EdgeId(77),
+            src: model.src,
+            dst: model.dst,
+            interval: model.interval,
+            props: tgraph_core::Props::new(),
+        });
+        let ve = AnyGraph::load(&rt, &g, ReprKind::Ve);
+        let _ = ve.switch_to(&rt, ReprKind::Og);
+    }
+
+    #[test]
+    fn lineages_expose_labelled_roots() {
+        let rt = rt();
+        let g = canonical(&figure1_graph_stable_ids());
+        for (kind, expected) in [
+            (ReprKind::Rg, 1),
+            (ReprKind::Ve, 2),
+            (ReprKind::Og, 2),
+            (ReprKind::Ogc, 2),
+        ] {
+            let any = AnyGraph::load(&rt, &g, kind);
+            let lineages = any.lineages();
+            assert_eq!(lineages.len(), expected, "{kind}");
+            for (label, root) in &lineages {
+                assert!(!label.is_empty());
+                assert!(root.node_count() >= 1);
+            }
+        }
     }
 
     #[test]

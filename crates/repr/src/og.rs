@@ -260,11 +260,14 @@ impl OgGraph {
             let eid = e.eid;
             let mut out: Vec<OgEdge> = by_pair
                 .into_iter()
-                .map(|((gs, gd), pieces)| {
+                .filter_map(|((gs, gd), pieces)| {
                     let history = coalesce_states(pieces);
-                    let (sbase, dbase) = pair_base.remove(&(gs, gd)).expect("base recorded");
+                    // Every (gs, gd) key was inserted alongside its base pair;
+                    // a missing entry would be an upstream grouping bug, and
+                    // skipping the pair is safer than panicking mid-zoom.
+                    let (sbase, dbase) = pair_base.remove(&(gs, gd))?;
                     let mask: Vec<Interval> = history.iter().map(|(iv, _)| *iv).collect();
-                    OgEdge {
+                    Some(OgEdge {
                         eid,
                         // Endpoint copies carry the Skolem base attributes;
                         // aggregated attributes live on the vertex relation.
@@ -277,7 +280,7 @@ impl OgGraph {
                             history: mask.iter().map(|iv| (*iv, dbase.clone())).collect(),
                         },
                         history,
-                    }
+                    })
                 })
                 .collect();
             out.sort_by_key(|e| (e.src.vid, e.dst.vid));
@@ -431,7 +434,7 @@ impl OgGraph {
             edges
         };
 
-        let lifespan = windows.first().unwrap().hull(windows.last().unwrap());
+        let lifespan = Interval::hull_of(&windows);
         OgGraph {
             lifespan,
             vertices,

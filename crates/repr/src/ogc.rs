@@ -309,7 +309,7 @@ impl OgcGraph {
             }
         });
 
-        let lifespan = windows.first().unwrap().hull(windows.last().unwrap());
+        let lifespan = Interval::hull_of(&windows);
         OgcGraph {
             lifespan,
             intervals: Arc::new(windows.as_ref().clone()),

@@ -345,7 +345,7 @@ impl RgGraph {
             .group_by_key(rt)
             .map(move |(idx, parts)| build_snapshot(ws[*idx], parts));
 
-        let lifespan = windows.first().unwrap().hull(windows.last().unwrap());
+        let lifespan = Interval::hull_of(&windows);
         RgGraph {
             lifespan,
             snapshots,

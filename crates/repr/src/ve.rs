@@ -348,7 +348,7 @@ impl VeGraph {
             edges.map(|(_, e)| e.clone())
         };
 
-        let lifespan = windows.first().unwrap().hull(windows.last().unwrap());
+        let lifespan = Interval::hull_of(&windows);
         let out = VeGraph {
             lifespan,
             vertices,

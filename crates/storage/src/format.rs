@@ -346,6 +346,83 @@ pub fn read_tgc(
     ))
 }
 
+/// Header-only statistics of a `.tgc` file: every chunk's min/max interval
+/// bounds and row count, read without decoding any payload bytes.
+///
+/// This is the input to pre-execution cardinality estimation — the plan
+/// verifier's predicted-vs-actual movement column starts from these rows.
+#[derive(Clone, Debug)]
+pub struct TgcStats {
+    /// Declared lifespan of the stored graph.
+    pub lifespan: Interval,
+    /// Sort order the file was written in.
+    pub order: SortOrder,
+    /// Per-chunk statistics of the vertex section.
+    pub vertex_chunks: Vec<ChunkStats>,
+    /// Per-chunk statistics of the edge section.
+    pub edge_chunks: Vec<ChunkStats>,
+}
+
+impl TgcStats {
+    /// Upper-bound row estimate for a scan with the given time-range
+    /// pushdown: vertex and edge rows of every chunk that `may_overlap`.
+    pub fn estimated_rows(&self, range: Option<&Interval>) -> (u64, u64) {
+        (
+            estimate_rows(&self.vertex_chunks, range),
+            estimate_rows(&self.edge_chunks, range),
+        )
+    }
+}
+
+/// Upper-bound rows a pushdown scan over `chunks` decodes: the sum of rows
+/// in chunks whose statistics cannot rule out overlap with `range`
+/// (`None` = full scan, every chunk counts).
+pub fn estimate_rows(chunks: &[ChunkStats], range: Option<&Interval>) -> u64 {
+    chunks
+        .iter()
+        .filter(|c| range.is_none_or(|r| c.may_overlap(r)))
+        .map(|c| u64::from(c.rows))
+        .sum()
+}
+
+/// Reads only the file header and chunk headers of a `.tgc` file, seeking
+/// past every payload — O(chunks), not O(rows).
+pub fn read_tgc_stats(path: &Path) -> Result<TgcStats, StorageError> {
+    let file = File::open(path)?;
+    let mut input = BufReader::new(file);
+    let mut magic = [0u8; 5];
+    input.read_exact(&mut magic)?;
+    if &magic[..4] != MAGIC {
+        return Err(DecodeError::BadMagic.into());
+    }
+    let order = SortOrder::from_u8(magic[4])?;
+    let mut head = [0u8; 24];
+    input.read_exact(&mut head)?;
+    let mut buf = Bytes::copy_from_slice(&head);
+    let lifespan = get_interval(&mut buf)?;
+    let v_chunks = buf.get_u32_le();
+    let e_chunks = buf.get_u32_le();
+
+    let read_headers =
+        |input: &mut BufReader<File>, chunks: u32| -> Result<Vec<ChunkStats>, StorageError> {
+            let mut out = Vec::with_capacity(chunks as usize);
+            for _ in 0..chunks {
+                let header = read_chunk_header(input)?;
+                std::io::copy(&mut input.take(header.len as u64), &mut std::io::sink())?;
+                out.push(header.stats);
+            }
+            Ok(out)
+        };
+    let vertex_chunks = read_headers(&mut input, v_chunks)?;
+    let edge_chunks = read_headers(&mut input, e_chunks)?;
+    Ok(TgcStats {
+        lifespan,
+        order,
+        vertex_chunks,
+        edge_chunks,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +483,37 @@ mod tests {
             stats.chunks_skipped
         );
         assert_eq!(stats.chunks_read, 1);
+    }
+
+    #[test]
+    fn header_stats_predict_pushdown_scan() {
+        // Same era layout as pushdown_skips_chunks: disjoint chunk ranges.
+        let mut vertices = Vec::new();
+        for era in 0..8i64 {
+            for i in 0..16u64 {
+                vertices.push(VertexRecord::new(
+                    era as u64 * 100 + i,
+                    Interval::new(era * 1000, era * 1000 + 10),
+                    tgraph_core::Props::typed("x"),
+                ));
+            }
+        }
+        let g = TGraph::from_records(vertices, vec![]);
+        let path = tmp("eras-stats.tgc");
+        write_tgc(&path, &g, SortOrder::Structural, 16).unwrap();
+
+        let stats = read_tgc_stats(&path).unwrap();
+        assert_eq!(stats.order, SortOrder::Structural);
+        assert_eq!(stats.lifespan, g.lifespan);
+        assert_eq!(stats.vertex_chunks.len(), 8);
+        assert_eq!(estimate_rows(&stats.vertex_chunks, None), 128);
+
+        // Header-only estimate equals the rows the real scan decodes.
+        let range = Interval::new(3000, 3010);
+        let (v_est, e_est) = stats.estimated_rows(Some(&range));
+        let (_, _, scan) = read_tgc(&path, Some(range)).unwrap();
+        assert_eq!(v_est + e_est, scan.rows_read as u64);
+        assert_eq!(v_est, 16);
     }
 
     #[test]

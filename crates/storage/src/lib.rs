@@ -21,6 +21,9 @@ pub mod format;
 pub mod loader;
 pub mod nested;
 
-pub use format::{read_tgc, write_tgc, ScanStats, SortOrder, StorageError};
+pub use format::{
+    estimate_rows, read_tgc, read_tgc_stats, write_tgc, ChunkStats, ScanStats, SortOrder,
+    StorageError, TgcStats,
+};
 pub use loader::{write_dataset, GraphLoader};
 pub use nested::{read_tgo, write_tgo};

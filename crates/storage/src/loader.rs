@@ -66,6 +66,13 @@ impl GraphLoader {
         self.dir.join(format!("{}.tgo", self.name))
     }
 
+    /// Header-only chunk statistics of the flat file with the given sort
+    /// order — the input to pre-scan cardinality estimates
+    /// ([`TgcStats::estimated_rows`](crate::TgcStats::estimated_rows)).
+    pub fn flat_stats(&self, order: SortOrder) -> Result<crate::TgcStats, StorageError> {
+        crate::read_tgc_stats(&self.flat_path(order))
+    }
+
     /// Loads the flat file with the given sort order as a logical graph.
     pub fn load_flat(
         &self,
