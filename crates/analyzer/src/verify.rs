@@ -173,6 +173,11 @@ pub struct Analysis {
     pub predicted: PredictedMovement,
     /// EXPLAIN-style tree rendering of the DAG.
     pub explain: String,
+    /// Stable structural fingerprint of the plan
+    /// ([`tgraph_dataflow::lineage::fingerprint`]) — identical across
+    /// processes for the same logical plan; the serving layer's cache key
+    /// primitive.
+    pub fingerprint: u64,
 }
 
 impl Analysis {
@@ -205,6 +210,7 @@ impl Analysis {
             self.predicted.estimated,
             self.predicted.shuffles,
         );
+        let _ = writeln!(out, "-- fingerprint: {:#018x}", self.fingerprint);
         out
     }
 }
@@ -472,6 +478,7 @@ pub fn analyze(root: &Arc<PlanNode>) -> Analysis {
         nodes: all.len(),
         predicted,
         explain,
+        fingerprint: tgraph_dataflow::lineage::fingerprint(root),
     }
 }
 
@@ -773,5 +780,26 @@ mod tests {
         assert_eq!(a.explain.matches("[source(p=2)]").count(), 1);
         assert!(a.explain.contains("shared, see above"));
         assert_eq!(a.nodes, 4);
+    }
+
+    #[test]
+    fn analysis_carries_plan_fingerprint() {
+        let build = || {
+            let rt = Runtime::with_partitions(2, 2);
+            Dataset::from_vec(&rt, vec![(1i64, 2i64), (3, 4)])
+                .reduce_by_key(&rt, |a, b| a + b)
+                .lineage()
+        };
+        let (a, b) = (analyze(&build()), analyze(&build()));
+        // Same logical plan built twice → same fingerprint, and render()
+        // surfaces it for EXPLAIN consumers.
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(
+            a.fingerprint,
+            tgraph_dataflow::lineage::fingerprint(&build())
+        );
+        assert!(a
+            .render()
+            .contains(&format!("-- fingerprint: {:#018x}", a.fingerprint)));
     }
 }

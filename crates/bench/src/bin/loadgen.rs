@@ -1,0 +1,408 @@
+//! `tgraph-loadgen` — closed-loop load generator for `tgraph-serve`.
+//!
+//! ```text
+//! tgraph-loadgen --addr 127.0.0.1:7687 --graph demo --clients 4 --requests 100
+//! tgraph-loadgen --addr 127.0.0.1:7687 --graph demo --smoke
+//! ```
+//!
+//! Load mode: `--clients` threads each hold one connection and issue
+//! `--requests` zoom queries back-to-back (closed loop), rotating through
+//! `--distinct` window widths so the cache sees a mix of repeats and fresh
+//! plans. Reports throughput, p50/p95/p99 latency, and the server's cache
+//! and admission counters. `--no-cache` makes every request bypass the
+//! result cache for a cold-path baseline.
+//!
+//! Smoke mode (`--smoke`): a deterministic correctness pass used by CI —
+//! ping, the same zoom twice (second must be a cache hit with byte-identical
+//! result bytes), an already-expired deadline (must be rejected without
+//! running a task wave), and a stats cross-check. Exits nonzero on any
+//! violation.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tgraph_serve::json::{self, Json};
+use tgraph_serve::Histogram;
+
+struct Args {
+    addr: String,
+    graph: String,
+    repr: String,
+    clients: usize,
+    requests: usize,
+    distinct: usize,
+    deadline_ms: Option<i64>,
+    no_cache: bool,
+    smoke: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: "127.0.0.1:7687".to_string(),
+            graph: "demo".to_string(),
+            repr: "ve".to_string(),
+            clients: 4,
+            requests: 50,
+            distinct: 8,
+            deadline_ms: None,
+            no_cache: false,
+            smoke: false,
+        }
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--graph" => args.graph = value("--graph")?,
+            "--repr" => args.repr = value("--repr")?,
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--requests" => {
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            "--distinct" => {
+                args.distinct = value("--distinct")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--distinct: {e}"))?
+                    .max(1)
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
+            "--no-cache" => args.no_cache = true,
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                return Err("usage: tgraph-loadgen --addr HOST:PORT [--graph NAME] \
+                            [--repr rg|ve|og] [--clients N] [--requests N] \
+                            [--distinct N] [--deadline-ms N] [--no-cache] [--smoke]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// One NDJSON connection to the server.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        // Sub-millisecond cache hits drown in Nagle + delayed ACK otherwise.
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("clone stream: {e}"))?,
+        );
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Result<String, String> {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("receive: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        Ok(response.trim_end().to_string())
+    }
+}
+
+/// Builds a zoom request line: an attribute zoom on `editCount` followed by
+/// a window zoom whose width varies with `variant`, so distinct variants map
+/// to distinct plan fingerprints while repeats of one variant are cache hits.
+fn zoom_line(args: &Args, variant: usize) -> String {
+    let mut obj = vec![
+        ("op", Json::str("zoom")),
+        ("graph", Json::str(&args.graph)),
+        ("repr", Json::str(&args.repr)),
+    ];
+    if let Some(ms) = args.deadline_ms {
+        obj.push(("deadline_ms", Json::Int(ms)));
+    }
+    if args.no_cache {
+        obj.push(("no_cache", Json::Bool(true)));
+    }
+    let azoom = Json::obj(vec![
+        ("by", Json::str("editCount")),
+        ("new_type", Json::str("cohort")),
+        (
+            "aggs",
+            Json::Arr(vec![Json::obj(vec![
+                ("output", Json::str("members")),
+                ("fn", Json::str("count")),
+            ])]),
+        ),
+    ]);
+    let wzoom = Json::obj(vec![
+        (
+            "window",
+            Json::obj(vec![("points", Json::Int(2 + variant as i64))]),
+        ),
+        ("vq", Json::str("exists")),
+        ("eq", Json::str("exists")),
+    ]);
+    obj.push((
+        "steps",
+        Json::Arr(vec![
+            Json::obj(vec![("azoom", azoom)]),
+            Json::obj(vec![("switch", Json::str("og"))]),
+            Json::obj(vec![("wzoom", wzoom)]),
+        ]),
+    ));
+    Json::obj(obj).to_string()
+}
+
+fn field_i64(response: &str, path: &[&str]) -> Result<i64, String> {
+    let parsed =
+        json::parse(response).map_err(|e| format!("bad json in response: {e} ({response})"))?;
+    let mut v = &parsed;
+    for key in path {
+        v = v
+            .get(key)
+            .ok_or_else(|| format!("missing field {key} in {response}"))?;
+    }
+    v.as_i64()
+        .ok_or_else(|| format!("{path:?} is not an integer in {response}"))
+}
+
+fn result_suffix(response: &str) -> Result<&str, String> {
+    response
+        .find("\"result\":")
+        .map(|at| &response[at..])
+        .ok_or_else(|| format!("no result field in {response}"))
+}
+
+fn expect(cond: bool, what: &str, response: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(format!("smoke: expected {what}, got: {response}"))
+    }
+}
+
+/// CI smoke pass: deterministic correctness checks, nonzero exit on failure.
+fn run_smoke(args: &Args) -> Result<(), String> {
+    let mut client = Client::connect(&args.addr)?;
+
+    let pong = client.roundtrip(r#"{"op":"ping"}"#)?;
+    expect(pong.contains("\"pong\":true"), "a pong", &pong)?;
+
+    // Same zoom twice: miss then hit, byte-identical result bytes.
+    let line = zoom_line(args, 0);
+    let t0 = Instant::now();
+    let first = client.roundtrip(&line)?;
+    let cold = t0.elapsed();
+    expect(first.contains("\"ok\":true"), "ok on first zoom", &first)?;
+    expect(
+        first.contains("\"cache\":\"miss\""),
+        "a cache miss first",
+        &first,
+    )?;
+    let t1 = Instant::now();
+    let second = client.roundtrip(&line)?;
+    let warm = t1.elapsed();
+    expect(
+        second.contains("\"cache\":\"hit\""),
+        "a cache hit second",
+        &second,
+    )?;
+    expect(
+        result_suffix(&first)? == result_suffix(&second)?,
+        "byte-identical replay",
+        &second,
+    )?;
+    println!(
+        "smoke: repeat zoom cold={}us warm={}us (speedup {:.1}x)",
+        cold.as_micros(),
+        warm.as_micros(),
+        cold.as_secs_f64() / warm.as_secs_f64().max(1e-9),
+    );
+
+    // An already-expired deadline must be rejected without a task wave.
+    let stats_before = client.roundtrip(r#"{"op":"stats"}"#)?;
+    let waves_before = field_i64(&stats_before, &["runtime", "waves"])?;
+    let mut expired_args = Args {
+        addr: args.addr.clone(),
+        graph: args.graph.clone(),
+        repr: args.repr.clone(),
+        ..Args::default()
+    };
+    expired_args.deadline_ms = Some(0);
+    let rejected = client.roundtrip(&zoom_line(&expired_args, 1))?;
+    expect(
+        rejected.contains("\"kind\":\"deadline\""),
+        "a deadline rejection",
+        &rejected,
+    )?;
+    let stats_after = client.roundtrip(r#"{"op":"stats"}"#)?;
+    let waves_after = field_i64(&stats_after, &["runtime", "waves"])?;
+    expect(
+        waves_after == waves_before,
+        "no task wave for the expired deadline",
+        &stats_after,
+    )?;
+
+    // Counter cross-check: one execution, one hit, one insertion.
+    expect(
+        field_i64(&stats_after, &["server", "zoom_cache_hits"])? >= 1,
+        "zoom_cache_hits >= 1",
+        &stats_after,
+    )?;
+    expect(
+        field_i64(&stats_after, &["server", "zoom_executed"])? >= 1,
+        "zoom_executed >= 1",
+        &stats_after,
+    )?;
+    expect(
+        field_i64(&stats_after, &["cache", "insertions"])? >= 1,
+        "cache insertions >= 1",
+        &stats_after,
+    )?;
+    println!("smoke: ok");
+    Ok(())
+}
+
+/// Closed-loop load phase: every client thread drives one connection.
+fn run_load(args: &Args) -> Result<(), String> {
+    let args = Arc::new(Args {
+        addr: args.addr.clone(),
+        graph: args.graph.clone(),
+        repr: args.repr.clone(),
+        ..*args
+    });
+    let latency = Arc::new(Histogram::default());
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client_id in 0..args.clients {
+        let args = Arc::clone(&args);
+        let latency = Arc::clone(&latency);
+        handles.push(std::thread::spawn(move || -> Result<(u64, u64), String> {
+            let mut client = Client::connect(&args.addr)?;
+            let mut hits = 0u64;
+            let mut errors = 0u64;
+            for i in 0..args.requests {
+                // Offset by client id so clients collide on the cache rather
+                // than marching in lockstep.
+                let variant = (client_id + i) % args.distinct;
+                let line = zoom_line(&args, variant);
+                let t0 = Instant::now();
+                let response = client.roundtrip(&line)?;
+                latency.record(t0.elapsed());
+                if response.contains("\"cache\":\"hit\"") {
+                    hits += 1;
+                } else if !response.contains("\"ok\":true") {
+                    errors += 1;
+                }
+            }
+            Ok((hits, errors))
+        }));
+    }
+    let mut hits = 0u64;
+    let mut errors = 0u64;
+    for handle in handles {
+        let (h, e) = handle
+            .join()
+            .map_err(|_| "client thread panicked".to_string())??;
+        hits += h;
+        errors += e;
+    }
+    let elapsed = started.elapsed().max(Duration::from_micros(1));
+    let total = (args.clients * args.requests) as u64;
+    println!(
+        "loadgen: {} clients x {} requests ({} distinct plans, cache {})",
+        args.clients,
+        args.requests,
+        args.distinct,
+        if args.no_cache { "OFF" } else { "ON" },
+    );
+    println!(
+        "  throughput  {:>10.1} req/s  ({} requests in {:.2}s)",
+        total as f64 / elapsed.as_secs_f64(),
+        total,
+        elapsed.as_secs_f64(),
+    );
+    println!(
+        "  latency     p50 {}us  p95 {}us  p99 {}us",
+        latency.quantile_us(0.50),
+        latency.quantile_us(0.95),
+        latency.quantile_us(0.99),
+    );
+    println!("  client view {hits} cache hits, {errors} errors");
+
+    // Server-side counters for the same window.
+    let mut client = Client::connect(&args.addr)?;
+    let stats = client.roundtrip(r#"{"op":"stats"}"#)?;
+    let g = |path: &[&str]| field_i64(&stats, path).unwrap_or(-1);
+    println!(
+        "  server      cache hits {} / misses {} / evictions {}; executed {}; \
+         admission wait p50 {}us",
+        g(&["cache", "hits"]),
+        g(&["cache", "misses"]),
+        g(&["cache", "evictions"]),
+        g(&["server", "zoom_executed"]),
+        g(&["server", "latency", "admission_wait", "p50_us"]),
+    );
+    if errors > 0 {
+        return Err(format!("{errors} requests failed"));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("tgraph-loadgen: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = if args.smoke {
+        run_smoke(&args)
+    } else {
+        run_load(&args)
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("tgraph-loadgen: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

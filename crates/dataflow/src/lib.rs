@@ -58,6 +58,7 @@
 // Dataflow operator signatures nest tuples and Arcs deeply by design.
 #![allow(clippy::type_complexity)]
 
+pub mod cancel;
 pub mod dataset;
 pub mod extra;
 pub mod keyed;
@@ -65,8 +66,9 @@ pub mod lineage;
 pub mod pool;
 pub mod runtime;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use dataset::{Dataset, Partitioning};
 pub use extra::{broadcast_join, broadcast_semi_join, cogroup, count_by_key, take};
 pub use keyed::{distinct, shuffle, KeyedDataset};
-pub use lineage::{OpKind, PlanNode};
-pub use runtime::{Runtime, RuntimeStats};
+pub use lineage::{fingerprint, fingerprint_hex, OpKind, PlanNode};
+pub use runtime::{Runtime, RuntimeStats, StatsSnapshot};

@@ -198,6 +198,145 @@ impl PlanNode {
     }
 }
 
+/// 64-bit FNV-1a, the stable primitive under [`fingerprint`].
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Fnv {
+        Fnv(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// Canonical byte encoding of one node's own attributes (children excluded).
+fn encode_node(node: &PlanNode, h: &mut Fnv) {
+    h.write(node.label.as_bytes());
+    h.write(&[0xff]); // label terminator: labels never contain 0xff
+    let (tag, parts): (u8, u64) = match node.op {
+        OpKind::Source { parts } => (0, parts as u64),
+        OpKind::Map => (1, 0),
+        OpKind::FlatMap => (2, 0),
+        OpKind::Filter => (3, 0),
+        OpKind::MapPartitions => (4, 0),
+        OpKind::MapValues => (5, 0),
+        OpKind::LocalCombine => (6, 0),
+        OpKind::Union => (7, 0),
+        OpKind::Shuffle { parts } => (8, parts as u64),
+        OpKind::ElidedShuffle { parts } => (9, parts as u64),
+        OpKind::Join { parts } => (10, parts as u64),
+        OpKind::SortByKey => (11, 0),
+        OpKind::Repartition { parts } => (12, parts as u64),
+        OpKind::Claim => (13, 0),
+        OpKind::Materialize => (14, 0),
+    };
+    h.write(&[tag]);
+    h.write_u64(parts);
+    match node.claimed {
+        Partitioning::Unknown => h.write(&[0]),
+        Partitioning::HashByKey { parts } => {
+            h.write(&[1]);
+            h.write_u64(parts as u64);
+        }
+    }
+    match node.rows {
+        None => h.write(&[0]),
+        Some(r) => {
+            h.write(&[1]);
+            h.write_u64(r);
+        }
+    }
+    h.write(&[u8::from(node.exact)]);
+    h.write_u64(node.row_bytes);
+}
+
+/// A stable structural fingerprint of the plan DAG rooted at `root`.
+///
+/// Two plans fingerprint equal iff they have the same shape: the same
+/// operators (labels, kinds, partition counts), the same partitioning
+/// claims, the same static size estimates, and the same sharing structure —
+/// a diamond over one shared subplan fingerprints differently from two
+/// structurally identical but separate copies of it. Process-specific node
+/// ids and `Arc` addresses do **not** participate, so the same logical query
+/// over the same source data fingerprints identically across runs and
+/// processes.
+///
+/// This is the cache key primitive of the serving layer (`tgraph-serve`
+/// memoizes zoom results by request fingerprint) and is surfaced by
+/// `tgraph-analyze` in EXPLAIN renderings. Collisions are possible in
+/// principle (64-bit digest); key equality checks must compare a canonical
+/// form alongside the fingerprint, as the serving cache does.
+pub fn fingerprint(root: &Arc<PlanNode>) -> u64 {
+    use std::collections::HashMap;
+    // Memoized post-order (iterative, to tolerate deep narrow chains): each
+    // distinct node is hashed once; later references to a shared node fold
+    // in its first-visit ordinal, so `f(x, x)` (a diamond) fingerprints
+    // differently from `f(x, y)` with `y` a separately built structural
+    // twin of `x`.
+    let mut memo: HashMap<usize, (u64, u64)> = HashMap::new(); // ptr → (hash, ordinal)
+    let mut referenced: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let ptr = |n: &Arc<PlanNode>| Arc::as_ptr(n) as usize;
+
+    let mut stack: Vec<Arc<PlanNode>> = vec![Arc::clone(root)];
+    while let Some(n) = stack.last().cloned() {
+        if memo.contains_key(&ptr(&n)) {
+            stack.pop();
+            continue;
+        }
+        let pending: Vec<Arc<PlanNode>> = n
+            .inputs
+            .iter()
+            .filter(|i| !memo.contains_key(&ptr(i)))
+            .cloned()
+            .collect();
+        if !pending.is_empty() {
+            stack.extend(pending);
+            continue;
+        }
+        let mut h = Fnv::new();
+        encode_node(&n, &mut h);
+        h.write_u64(n.inputs.len() as u64);
+        for i in &n.inputs {
+            let (child_hash, child_ordinal) = memo[&ptr(i)];
+            if referenced.insert(ptr(i)) {
+                // First reference anywhere in the DAG: plain child digest.
+                h.write_u64(child_hash);
+            } else {
+                // Re-reference of a shared node: fold in its first-visit
+                // ordinal so `f(x, x)` differs from `f(x, y)` with `y` a
+                // structural twin of `x` built separately.
+                let mut h2 = Fnv(child_hash);
+                h2.write(&[0xEE]);
+                h2.write_u64(child_ordinal);
+                h.write_u64(h2.0);
+            }
+        }
+        let ordinal = memo.len() as u64;
+        memo.insert(ptr(&n), (h.0, ordinal));
+        stack.pop();
+    }
+    memo[&ptr(root)].0
+}
+
+/// [`fingerprint`] rendered as the fixed-width hex form used in EXPLAIN
+/// output and the serving protocol (`0x` + 16 lowercase hex digits).
+pub fn fingerprint_hex(root: &Arc<PlanNode>) -> String {
+    format!("{:#018x}", fingerprint(root))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +377,140 @@ mod tests {
         assert!(!OpKind::Map.preserves_partitioning());
         assert!(OpKind::Map.is_narrow());
         assert!(!OpKind::Shuffle { parts: 2 }.is_narrow());
+    }
+
+    fn chain(rows: u64) -> Arc<PlanNode> {
+        let src = PlanNode::source("edges", 4, Partitioning::Unknown, rows, 24);
+        let m = PlanNode::new(
+            "map",
+            OpKind::Map,
+            Partitioning::Unknown,
+            Some(rows),
+            true,
+            16,
+            vec![src],
+        );
+        PlanNode::new(
+            "shuffle",
+            OpKind::Shuffle { parts: 4 },
+            Partitioning::HashByKey { parts: 4 },
+            Some(rows),
+            false,
+            16,
+            vec![m],
+        )
+    }
+
+    #[test]
+    fn fingerprint_is_structural_not_identity_based() {
+        // Two plans built separately (different node ids, different Arc
+        // addresses) fingerprint identically when structurally equal.
+        let a = chain(100);
+        let b = chain(100);
+        assert_ne!(a.id, b.id);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        // And repeatably: same value on every call.
+        assert_eq!(fingerprint(&a), fingerprint(&a));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure() {
+        let base = chain(100);
+        // Different static size estimate.
+        assert_ne!(fingerprint(&chain(100)), fingerprint(&chain(101)));
+        // Different operator kind on top.
+        let filt = PlanNode::new(
+            "filter",
+            OpKind::Filter,
+            Partitioning::HashByKey { parts: 4 },
+            Some(100),
+            false,
+            16,
+            vec![base.clone()],
+        );
+        let mv = PlanNode::new(
+            "filter",
+            OpKind::MapValues,
+            Partitioning::HashByKey { parts: 4 },
+            Some(100),
+            false,
+            16,
+            vec![base.clone()],
+        );
+        assert_ne!(fingerprint(&filt), fingerprint(&mv));
+        // Different partition counts.
+        let s2 = PlanNode::new(
+            "shuffle",
+            OpKind::Shuffle { parts: 8 },
+            Partitioning::HashByKey { parts: 8 },
+            Some(100),
+            false,
+            16,
+            vec![base.clone()],
+        );
+        let s3 = PlanNode::new(
+            "shuffle",
+            OpKind::Shuffle { parts: 16 },
+            Partitioning::HashByKey { parts: 16 },
+            Some(100),
+            false,
+            16,
+            vec![base],
+        );
+        assert_ne!(fingerprint(&s2), fingerprint(&s3));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_sharing_from_twins() {
+        let union = |l: Arc<PlanNode>, r: Arc<PlanNode>| {
+            PlanNode::new(
+                "union",
+                OpKind::Union,
+                Partitioning::Unknown,
+                Some(200),
+                false,
+                16,
+                vec![l, r],
+            )
+        };
+        // Diamond: both union inputs are the *same* subplan.
+        let shared = chain(100);
+        let diamond = union(shared.clone(), shared);
+        // Twins: two separately built, structurally identical subplans.
+        let twins = union(chain(100), chain(100));
+        assert_ne!(fingerprint(&diamond), fingerprint(&twins));
+    }
+
+    #[test]
+    fn fingerprint_survives_deep_chains() {
+        // The walk is iterative; a plan much deeper than the thread stack
+        // could hold recursively must still fingerprint.
+        let mut keep: Vec<Arc<PlanNode>> = Vec::new();
+        let mut n = PlanNode::source("v", 2, Partitioning::Unknown, 10, 8);
+        keep.push(n.clone());
+        for _ in 0..50_000 {
+            n = PlanNode::new(
+                "map",
+                OpKind::Map,
+                Partitioning::Unknown,
+                Some(10),
+                true,
+                8,
+                vec![n],
+            );
+            keep.push(n.clone());
+        }
+        let _ = fingerprint(&n);
+        // Dismantle root-first so the Arc chain's Drop doesn't recurse.
+        drop(n);
+        keep.reverse();
+    }
+
+    #[test]
+    fn fingerprint_hex_is_fixed_width() {
+        let h = fingerprint_hex(&chain(100));
+        assert_eq!(h.len(), 18);
+        assert!(h.starts_with("0x"));
+        assert!(h[2..].chars().all(|c| c.is_ascii_hexdigit()));
     }
 }

@@ -1,6 +1,7 @@
 //! The dataflow runtime: worker pool, partitioning defaults, and execution
 //! statistics.
 
+use crate::cancel;
 use crate::pool::ThreadPool;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -38,6 +39,12 @@ pub struct RuntimeStats {
     pub predicted_shuffled_records: u64,
     /// Bytes the plan lineage predicted would move.
     pub predicted_shuffled_bytes: u64,
+    /// Task waves refused at dispatch because the caller's
+    /// [`CancelToken`](crate::CancelToken) had tripped — no task launched.
+    pub waves_cancelled: u64,
+    /// Tasks that observed a tripped token at start and exited without
+    /// running their partition.
+    pub tasks_cancelled: u64,
 }
 
 impl RuntimeStats {
@@ -56,7 +63,45 @@ impl RuntimeStats {
                 - earlier.predicted_shuffled_records,
             predicted_shuffled_bytes: self.predicted_shuffled_bytes
                 - earlier.predicted_shuffled_bytes,
+            waves_cancelled: self.waves_cancelled - earlier.waves_cancelled,
+            tasks_cancelled: self.tasks_cancelled - earlier.tasks_cancelled,
         }
+    }
+}
+
+/// A point-in-time marker of a runtime's cumulative counters, for
+/// per-request accounting on a long-lived shared [`Runtime`].
+///
+/// Counters on a `Runtime` are cumulative for the process lifetime; a server
+/// executing many queries against one runtime wants *deltas*. Take a
+/// snapshot before the work and ask it for the delta after:
+///
+/// ```
+/// use tgraph_dataflow::{Dataset, Runtime};
+/// let rt = Runtime::new(2);
+/// let snap = rt.snapshot();
+/// let _ = Dataset::from_vec(&rt, vec![1, 2, 3]).collect(&rt);
+/// assert_eq!(snap.delta(&rt).waves, 1);
+/// ```
+///
+/// Under concurrent queries the delta includes every query's work in the
+/// window — the snapshot isolates *time*, not *ownership*. Callers that need
+/// per-query isolation must serialize (or accept the approximation, as the
+/// serving layer's `/stats` aggregates do).
+#[derive(Clone, Copy, Debug)]
+pub struct StatsSnapshot {
+    base: RuntimeStats,
+}
+
+impl StatsSnapshot {
+    /// Counters accumulated on `rt` since this snapshot was taken.
+    pub fn delta(&self, rt: &Runtime) -> RuntimeStats {
+        rt.stats().since(&self.base)
+    }
+
+    /// The absolute counters at snapshot time.
+    pub fn base(&self) -> RuntimeStats {
+        self.base
     }
 }
 
@@ -76,6 +121,8 @@ pub struct Runtime {
     shuffles_estimated: AtomicU64,
     predicted_shuffled_records: AtomicU64,
     predicted_shuffled_bytes: AtomicU64,
+    waves_cancelled: AtomicU64,
+    tasks_cancelled: AtomicU64,
     checked: AtomicBool,
 }
 
@@ -99,6 +146,8 @@ impl Runtime {
             shuffles_estimated: AtomicU64::new(0),
             predicted_shuffled_records: AtomicU64::new(0),
             predicted_shuffled_bytes: AtomicU64::new(0),
+            waves_cancelled: AtomicU64::new(0),
+            tasks_cancelled: AtomicU64::new(0),
             checked: AtomicBool::new(checked_from_env()),
         }
     }
@@ -129,22 +178,55 @@ impl Runtime {
 
     /// Runs `n` indexed tasks in parallel, returning results in index order.
     /// Each non-empty batch counts as one wave.
+    ///
+    /// If the calling thread has a [`CancelToken`](crate::CancelToken)
+    /// installed (via [`CancelToken::scope`](crate::CancelToken::scope)) and
+    /// it has tripped, the wave is refused before any task launches; tasks
+    /// of an already-launched wave re-check the token before running, so a
+    /// cancelled query's queued partitions drain without doing their work.
+    /// Cancellation unwinds with [`Cancelled`](crate::Cancelled), which the
+    /// owning scope converts to `Err(Cancelled)`.
     pub fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
         R: Send + 'static,
         F: Fn(usize) -> R + Send + Sync + 'static,
     {
+        let token = cancel::current();
+        if let Some(t) = &token {
+            if t.is_cancelled() {
+                self.waves_cancelled.fetch_add(1, Ordering::Relaxed);
+                cancel::abort();
+            }
+        }
         if n > 0 {
             self.waves.fetch_add(1, Ordering::Relaxed);
         }
         let f = Arc::new(f);
+        let cancelled_tasks = Arc::new(AtomicU64::new(0));
         let tasks: Vec<Box<dyn FnOnce() -> R + Send>> = (0..n)
             .map(|i| {
                 let f = Arc::clone(&f);
-                Box::new(move || f(i)) as _
+                let token = token.clone();
+                let cancelled_tasks = Arc::clone(&cancelled_tasks);
+                Box::new(move || {
+                    if let Some(t) = &token {
+                        if t.is_cancelled() {
+                            cancelled_tasks.fetch_add(1, Ordering::Relaxed);
+                            cancel::abort();
+                        }
+                    }
+                    f(i)
+                }) as _
             })
             .collect();
-        self.pool.run_batch(tasks)
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.pool.run_batch(tasks)));
+        self.tasks_cancelled
+            .fetch_add(cancelled_tasks.load(Ordering::Relaxed), Ordering::Relaxed);
+        match result {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
 
     /// Records shuffle volume (called by keyed operators).
@@ -195,7 +277,15 @@ impl Runtime {
             shuffles_estimated: self.shuffles_estimated.load(Ordering::Relaxed),
             predicted_shuffled_records: self.predicted_shuffled_records.load(Ordering::Relaxed),
             predicted_shuffled_bytes: self.predicted_shuffled_bytes.load(Ordering::Relaxed),
+            waves_cancelled: self.waves_cancelled.load(Ordering::Relaxed),
+            tasks_cancelled: self.tasks_cancelled.load(Ordering::Relaxed),
         }
+    }
+
+    /// Marks the current counter values for later per-request delta
+    /// accounting (see [`StatsSnapshot`]).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot { base: self.stats() }
     }
 }
 
@@ -300,5 +390,86 @@ mod tests {
     fn partitions_floor_is_one() {
         let rt = Runtime::with_partitions(2, 0);
         assert_eq!(rt.partitions(), 1);
+    }
+
+    #[test]
+    fn snapshot_delta_matches_since() {
+        let rt = Runtime::new(2);
+        rt.run_indexed(4, |i| i);
+        let snap = rt.snapshot();
+        rt.run_indexed(4, |i| i);
+        rt.note_shuffle(3, 24);
+        let d = snap.delta(&rt);
+        assert_eq!(d.waves, 1);
+        assert_eq!(d.shuffles, 1);
+        assert_eq!(d.shuffled_records, 3);
+        assert_eq!(snap.base().waves, 1);
+    }
+
+    #[test]
+    fn tripped_token_refuses_the_wave_before_launch() {
+        use crate::cancel::CancelToken;
+        let rt = Runtime::new(2);
+        let token = CancelToken::new();
+        token.cancel();
+        let before = rt.stats();
+        let result = token.scope(|| rt.run_indexed(8, |i| i));
+        assert!(result.is_err());
+        let d = rt.stats().since(&before);
+        assert_eq!(d.waves, 0, "no wave may launch after cancellation");
+        assert_eq!(d.tasks, 0, "no task may run after cancellation");
+        assert_eq!(d.waves_cancelled, 1);
+    }
+
+    #[test]
+    fn expired_deadline_counts_as_cancelled() {
+        use crate::cancel::CancelToken;
+        let rt = Runtime::new(2);
+        let token = CancelToken::with_deadline(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        );
+        let result = token.scope(|| rt.run_indexed(4, |i| i));
+        assert!(result.is_err());
+        assert_eq!(rt.stats().waves_cancelled, 1);
+    }
+
+    #[test]
+    fn mid_wave_cancellation_drains_queued_tasks() {
+        use crate::cancel::CancelToken;
+        // One worker so tasks run strictly in sequence: the first task trips
+        // the token, every queued task after it must observe it and exit
+        // without running its body.
+        let rt = Runtime::new(1);
+        let token = CancelToken::new();
+        let body_runs = Arc::new(AtomicU64::new(0));
+        let result = {
+            let t = token.clone();
+            let body_runs = Arc::clone(&body_runs);
+            token.scope(move || {
+                rt.run_indexed(16, move |i| {
+                    body_runs.fetch_add(1, Ordering::Relaxed);
+                    if i == 0 {
+                        t.cancel();
+                    }
+                    i
+                })
+            })
+        };
+        assert_eq!(result, Err(crate::cancel::Cancelled));
+        assert!(
+            body_runs.load(Ordering::Relaxed) < 16,
+            "queued tasks must drain without running their bodies"
+        );
+    }
+
+    #[test]
+    fn uncancelled_scope_runs_normally() {
+        use crate::cancel::CancelToken;
+        let rt = Runtime::new(2);
+        let token = CancelToken::new();
+        let out = token.scope(|| rt.run_indexed(4, |i| i * 3));
+        assert_eq!(out, Ok(vec![0, 3, 6, 9]));
+        assert_eq!(rt.stats().waves_cancelled, 0);
+        assert_eq!(rt.stats().tasks_cancelled, 0);
     }
 }

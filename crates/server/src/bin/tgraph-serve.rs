@@ -1,0 +1,161 @@
+//! `tgraph-serve` — the zoom-query service binary.
+//!
+//! ```text
+//! tgraph-serve --addr 127.0.0.1:7687 --data-dir ./data \
+//!              --graphs demo:ve,demo:og --workers 4 --cache-mb 64
+//! ```
+//!
+//! Flags:
+//! * `--addr HOST:PORT`      listen address (port 0 picks a free port; the
+//!   bound address is printed as `listening on <addr>` once ready)
+//! * `--data-dir DIR`        dataset directory (GraphLoader layout)
+//! * `--graphs a:ve,b:og`    preload graphs (name:repr) before accepting
+//! * `--workers N`           dataflow worker threads (default 4)
+//! * `--partitions N`        dataflow partitions (default = workers)
+//! * `--max-inflight N`      concurrent zoom executions (default 2)
+//! * `--max-queue N`         admission queue capacity (default 64)
+//! * `--cache-mb N`          result-cache budget in MiB (default 64)
+//! * `--gen-demo NAME`       generate a small deterministic WikiTalk-style
+//!   dataset under `--data-dir` as NAME before serving (for smoke tests)
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use tgraph_datagen::WikiTalk;
+use tgraph_repr::ReprKind;
+use tgraph_serve::{Server, ServerConfig};
+use tgraph_storage::write_dataset;
+
+struct Args {
+    config: ServerConfig,
+    preload: Vec<(String, ReprKind)>,
+    gen_demo: Option<String>,
+}
+
+fn parse_repr(s: &str) -> Result<ReprKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "rg" => Ok(ReprKind::Rg),
+        "ve" => Ok(ReprKind::Ve),
+        "og" => Ok(ReprKind::Og),
+        "ogc" => Ok(ReprKind::Ogc),
+        other => Err(format!("unknown repr '{other}'")),
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut config = ServerConfig::default();
+    let mut preload = Vec::new();
+    let mut gen_demo = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--data-dir" => config.data_dir = value("--data-dir")?.into(),
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                config.partitions = config.partitions.max(config.workers);
+            }
+            "--partitions" => {
+                config.partitions = value("--partitions")?
+                    .parse()
+                    .map_err(|e| format!("--partitions: {e}"))?
+            }
+            "--max-inflight" => {
+                config.max_inflight = value("--max-inflight")?
+                    .parse()
+                    .map_err(|e| format!("--max-inflight: {e}"))?
+            }
+            "--max-queue" => {
+                config.max_queue = value("--max-queue")?
+                    .parse()
+                    .map_err(|e| format!("--max-queue: {e}"))?
+            }
+            "--cache-mb" => {
+                let mb: u64 = value("--cache-mb")?
+                    .parse()
+                    .map_err(|e| format!("--cache-mb: {e}"))?;
+                config.cache_bytes = mb << 20;
+            }
+            "--graphs" => {
+                for part in value("--graphs")?.split(',').filter(|p| !p.is_empty()) {
+                    let (name, repr) = part
+                        .split_once(':')
+                        .ok_or_else(|| format!("--graphs entry '{part}' must be name:repr"))?;
+                    preload.push((name.to_string(), parse_repr(repr)?));
+                }
+            }
+            "--gen-demo" => gen_demo = Some(value("--gen-demo")?),
+            "--help" | "-h" => {
+                return Err("usage: tgraph-serve --addr HOST:PORT --data-dir DIR \
+                            [--graphs name:repr,...] [--workers N] [--partitions N] \
+                            [--max-inflight N] [--max-queue N] [--cache-mb N] \
+                            [--gen-demo NAME]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(Args {
+        config,
+        preload,
+        gen_demo,
+    })
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+
+    if let Some(name) = &args.gen_demo {
+        // Small but non-trivial: ~200 vertices × 24 months, deterministic.
+        let g = WikiTalk {
+            vertices: 200,
+            months: 24,
+            edges_per_vertex: 3.0,
+            edge_survival: 0.2,
+            edit_count_values: 50,
+            seed: 0x5EED,
+        }
+        .generate();
+        write_dataset(&args.config.data_dir, name, &g)
+            .map_err(|e| format!("generating demo dataset '{name}': {e}"))?;
+        eprintln!(
+            "generated dataset '{name}' under {}",
+            args.config.data_dir.display()
+        );
+    }
+
+    let server = Arc::new(
+        Server::bind(args.config.clone()).map_err(|e| format!("bind {}: {e}", args.config.addr))?,
+    );
+    for (name, kind) in &args.preload {
+        server.preload(name, *kind)?;
+        eprintln!("preloaded {name} as {kind}");
+    }
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    // The harness waits for this exact line before sending traffic.
+    println!("listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.serve().map_err(|e| format!("serve loop: {e}"))?;
+    eprintln!("shut down cleanly");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("tgraph-serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

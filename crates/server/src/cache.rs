@@ -1,0 +1,329 @@
+//! The plan-fingerprint result cache: a byte-bounded, thread-safe LRU
+//! memoizing serialized zoom results.
+//!
+//! Keys combine the loaded graph's **plan fingerprint** (a stable structural
+//! hash of its `PlanNode` lineage DAGs, `tgraph_dataflow::lineage`) with the
+//! request's canonical query string. The 64-bit hash indexes the map; the
+//! canonical string is stored in each entry and compared on lookup, so a
+//! fingerprint collision between distinct queries degrades to a miss, never
+//! to a wrong result.
+//!
+//! Values are the serialized result bytes, shared out as `Arc<[u8]>` — a hit
+//! replays the exact bytes of the first execution (byte-identical responses,
+//! asserted by the CI smoke test) without re-serialization.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A cache key: hash plus the exact canonical form it was derived from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheKey {
+    /// Combined fingerprint: graph plan fingerprints × canonical query.
+    pub hash: u64,
+    /// The canonical query string (collision guard).
+    pub canonical: String,
+}
+
+struct Entry {
+    canonical: String,
+    bytes: Arc<[u8]>,
+    tick: u64,
+}
+
+impl Entry {
+    /// Budget charge: payload plus key text plus fixed bookkeeping overhead.
+    fn cost(&self) -> u64 {
+        (self.bytes.len() + self.canonical.len() + 64) as u64
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    /// hash → entries (usually one; more only under fingerprint collision).
+    map: HashMap<u64, Vec<Entry>>,
+    /// recency order: tick → (hash, index-independent canonical).
+    recency: BTreeMap<u64, (u64, String)>,
+    bytes_used: u64,
+    next_tick: u64,
+}
+
+/// Counters returned by [`ResultCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned bytes.
+    pub hits: u64,
+    /// Lookups that found nothing (including collision mismatches).
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted to fit the byte budget.
+    pub evictions: u64,
+    /// Bytes currently charged against the budget.
+    pub bytes_used: u64,
+    /// The configured budget.
+    pub byte_budget: u64,
+}
+
+/// A byte-bounded LRU over serialized results. All methods are `&self` and
+/// thread-safe.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    byte_budget: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache bounded to `byte_budget` bytes of (payload + key + overhead).
+    pub fn new(byte_budget: u64) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            byte_budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit. A hash match whose
+    /// canonical string differs (a true fingerprint collision) is a miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<[u8]>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let inner = &mut *inner;
+        let found = inner
+            .map
+            .get_mut(&key.hash)
+            .and_then(|entries| entries.iter_mut().find(|e| e.canonical == key.canonical));
+        match found {
+            Some(entry) => {
+                let fresh = inner.next_tick;
+                inner.next_tick += 1;
+                inner.recency.remove(&entry.tick);
+                entry.tick = fresh;
+                let bytes = Arc::clone(&entry.bytes);
+                inner
+                    .recency
+                    .insert(fresh, (key.hash, key.canonical.clone()));
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(bytes)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key → bytes`, evicting least-recently-used
+    /// entries until the budget holds. An entry larger than the whole budget
+    /// is not cached at all.
+    pub fn insert(&self, key: &CacheKey, bytes: Arc<[u8]>) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let inner = &mut *inner;
+        // Replace an existing entry for the same key in place.
+        if let Some(entries) = inner.map.get_mut(&key.hash) {
+            if let Some(e) = entries.iter_mut().find(|e| e.canonical == key.canonical) {
+                inner.bytes_used -= e.cost();
+                e.bytes = Arc::clone(&bytes);
+                let fresh = inner.next_tick;
+                inner.next_tick += 1;
+                inner.recency.remove(&e.tick);
+                e.tick = fresh;
+                inner.bytes_used += e.cost();
+                inner
+                    .recency
+                    .insert(fresh, (key.hash, key.canonical.clone()));
+                self.evict_to_budget(inner);
+                return;
+            }
+        }
+        let tick = inner.next_tick;
+        inner.next_tick += 1;
+        let entry = Entry {
+            canonical: key.canonical.clone(),
+            bytes,
+            tick,
+        };
+        if entry.cost() > self.byte_budget {
+            return; // would evict everything and still not fit
+        }
+        inner.bytes_used += entry.cost();
+        inner.map.entry(key.hash).or_default().push(entry);
+        inner
+            .recency
+            .insert(tick, (key.hash, key.canonical.clone()));
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.evict_to_budget(inner);
+    }
+
+    fn evict_to_budget(&self, inner: &mut Inner) {
+        while inner.bytes_used > self.byte_budget {
+            // Oldest tick first.
+            let Some((&tick, _)) = inner.recency.iter().next() else {
+                break;
+            };
+            let Some((hash, canonical)) = inner.recency.remove(&tick) else {
+                break;
+            };
+            if let Some(entries) = inner.map.get_mut(&hash) {
+                if let Some(idx) = entries.iter().position(|e| e.canonical == canonical) {
+                    let e = entries.swap_remove(idx);
+                    inner.bytes_used -= e.cost();
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                if entries.is_empty() {
+                    inner.map.remove(&hash);
+                }
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let bytes_used = {
+            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.bytes_used
+        };
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes_used,
+            byte_budget: self.byte_budget,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.map.values().map(Vec::len).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(hash: u64, canonical: &str) -> CacheKey {
+        CacheKey {
+            hash,
+            canonical: canonical.to_string(),
+        }
+    }
+
+    fn payload(n: usize, fill: u8) -> Arc<[u8]> {
+        vec![fill; n].into()
+    }
+
+    #[test]
+    fn hit_returns_the_exact_bytes() {
+        let c = ResultCache::new(10_000);
+        let k = key(1, "q1");
+        assert!(c.get(&k).is_none());
+        c.insert(&k, payload(100, 7));
+        assert_eq!(c.get(&k).as_deref(), Some(&vec![7u8; 100][..]));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn byte_budget_evicts_in_lru_order() {
+        // Each entry costs 100 (payload) + 2 (canonical) + 64 = 166 bytes.
+        let c = ResultCache::new(500);
+        for (h, name) in [(1, "k1"), (2, "k2"), (3, "k3")] {
+            c.insert(&key(h, name), payload(100, h as u8));
+        }
+        assert_eq!(c.len(), 3);
+        // Touch k1 so k2 becomes the LRU entry.
+        assert!(c.get(&key(1, "k1")).is_some());
+        // Inserting k4 exceeds 500 → evict k2 (oldest untouched).
+        c.insert(&key(4, "k4"), payload(100, 4));
+        assert!(c.get(&key(2, "k2")).is_none(), "k2 evicted");
+        assert!(
+            c.get(&key(1, "k1")).is_some(),
+            "k1 survived (recently used)"
+        );
+        assert!(c.get(&key(3, "k3")).is_some());
+        assert!(c.get(&key(4, "k4")).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.stats().bytes_used <= 500);
+    }
+
+    #[test]
+    fn oversized_entries_are_not_cached() {
+        let c = ResultCache::new(100);
+        c.insert(&key(1, "big"), payload(200, 1));
+        assert!(c.get(&key(1, "big")).is_none());
+        assert_eq!(c.stats().insertions, 0);
+        assert_eq!(c.stats().bytes_used, 0);
+    }
+
+    #[test]
+    fn fingerprint_collisions_stay_correct() {
+        // Two distinct queries colliding on the same 64-bit hash must both
+        // be retrievable, each with its own bytes.
+        let c = ResultCache::new(10_000);
+        c.insert(&key(42, "query-a"), payload(10, 0xA));
+        c.insert(&key(42, "query-b"), payload(10, 0xB));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&key(42, "query-a")).as_deref(), Some(&[0xA; 10][..]));
+        assert_eq!(c.get(&key(42, "query-b")).as_deref(), Some(&[0xB; 10][..]));
+        // A third canonical form under the same hash is a miss, not a hit.
+        assert!(c.get(&key(42, "query-c")).is_none());
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place() {
+        let c = ResultCache::new(10_000);
+        let k = key(9, "q");
+        c.insert(&k, payload(10, 1));
+        c.insert(&k, payload(20, 2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&k).as_deref(), Some(&[2u8; 20][..]));
+    }
+
+    #[test]
+    fn concurrent_get_insert_is_consistent() {
+        let c = Arc::new(ResultCache::new(1 << 20));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let k = key(i % 16, &format!("q{}", i % 16));
+                    if (i + t) % 3 == 0 {
+                        c.insert(&k, payload(((i % 16) + 1) as usize, (i % 16) as u8));
+                    } else if let Some(bytes) = c.get(&k) {
+                        // Whatever we read must be the payload for that key.
+                        assert_eq!(bytes.len() as u64, (i % 16) + 1);
+                        assert!(bytes.iter().all(|&b| b == (i % 16) as u8));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        let s = c.stats();
+        assert!(s.hits + s.misses > 0);
+        assert!(s.bytes_used <= 1 << 20);
+    }
+}

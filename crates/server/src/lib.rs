@@ -1,0 +1,53 @@
+//! # tgraph-serve
+//!
+//! A concurrent zoom-query service over evolving graphs: the serving layer
+//! the ROADMAP's "heavy traffic" north star asks for, built on the lazy
+//! plan-based dataflow engine and its reified lineage DAGs.
+//!
+//! The server speaks **newline-delimited JSON** over TCP ([`protocol`]).
+//! Named graphs are loaded from a dataset directory once and shared across
+//! all sessions via the storage layer's [`GraphPool`]; zoom requests parse
+//! into `tgraph-query` pipelines and execute on one shared dataflow
+//! [`Runtime`]. Three mechanisms make it a serving system rather than a
+//! batch runner:
+//!
+//! 1. **Plan-fingerprint result caching** ([`cache`]): each query's cache
+//!    key combines the loaded graph's stable `PlanNode` lineage fingerprint
+//!    (`tgraph_dataflow::lineage::fingerprint`) with the request's canonical
+//!    form; results are memoized as serialized bytes in a byte-bounded LRU,
+//!    so a repeated zoom replays byte-identical output without touching the
+//!    worker pool.
+//! 2. **Admission control and deadlines** ([`admission`]): a bounded
+//!    in-flight semaphore with a bounded waiting queue; per-request
+//!    deadlines propagate into the dataflow runtime as a
+//!    [`CancelToken`](tgraph_dataflow::CancelToken), so task waves check the
+//!    token between partitions and an expired query stops consuming workers
+//!    mid-wave.
+//! 3. **Observability** ([`metrics`]): a `stats` request returns request
+//!    counters, cache hit/miss/eviction accounting, admission queue depths,
+//!    log2 latency histograms (p50/p95/p99), and the runtime's data-movement
+//!    counters.
+//!
+//! The closed-loop load generator `tgraph-loadgen` (in `crates/bench`)
+//! drives this protocol for throughput/latency benchmarking and the CI
+//! smoke test.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod admission;
+pub mod cache;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{Admission, AdmissionStats, AdmitError, Permit};
+pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use json::Json;
+pub use metrics::{Histogram, ServerMetrics};
+pub use protocol::{parse_request, BadRequest, Request, Step, ZoomRequest};
+pub use server::{Server, ServerConfig};
+
+#[doc(no_inline)]
+pub use tgraph_storage::GraphPool;

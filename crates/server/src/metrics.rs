@@ -1,0 +1,222 @@
+//! Latency histograms and request counters for the `/stats` endpoint.
+//!
+//! Histograms use power-of-two microsecond buckets (bucket *i* holds
+//! durations in `[2^i, 2^(i+1))` µs), which keeps recording a single atomic
+//! increment and gives percentile estimates within a factor of two — plenty
+//! for the serving benchmark's p50/p95/p99 reporting.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 40; // 2^39 µs ≈ 6.4 days; ample ceiling
+
+/// A lock-free log2 latency histogram over microseconds.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recordings.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound (µs) of the bucket containing quantile `q ∈ [0,1]`, or 0
+    /// when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let snapshot: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in snapshot.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket i holds [2^(i-1), 2^i) µs (i = 0 holds 0 µs).
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    /// Percentile summary as a deterministic JSON object.
+    pub fn to_json(&self) -> Json {
+        let count = self.count();
+        let mean = self
+            .sum_us
+            .load(Ordering::Relaxed)
+            .checked_div(count)
+            .unwrap_or(0);
+        Json::obj(vec![
+            ("count", Json::Int(count as i64)),
+            ("mean_us", Json::Int(mean as i64)),
+            ("p50_us", Json::Int(self.quantile_us(0.50) as i64)),
+            ("p95_us", Json::Int(self.quantile_us(0.95) as i64)),
+            ("p99_us", Json::Int(self.quantile_us(0.99) as i64)),
+            (
+                "max_us",
+                Json::Int(self.max_us.load(Ordering::Relaxed) as i64),
+            ),
+        ])
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("p50_us", &self.quantile_us(0.5))
+            .field("p99_us", &self.quantile_us(0.99))
+            .finish()
+    }
+}
+
+/// All serving metrics: request counters plus per-phase latency histograms.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Requests received, any kind.
+    pub requests: AtomicU64,
+    /// Zoom requests answered from the result cache.
+    pub zoom_cache_hits: AtomicU64,
+    /// Zoom requests executed on the runtime.
+    pub zoom_executed: AtomicU64,
+    /// Zoom requests rejected (bad request, admission, deadline).
+    pub zoom_rejected: AtomicU64,
+    /// Zoom requests cancelled mid-execution by their deadline.
+    pub zoom_cancelled: AtomicU64,
+    /// Malformed / unparseable request lines.
+    pub bad_requests: AtomicU64,
+    /// End-to-end zoom latency (parse → response serialized).
+    pub total_latency: Histogram,
+    /// Admission-wait portion of zoom latency.
+    pub admission_wait: Histogram,
+    /// Execution portion (pipeline run + collect) of zoom latency.
+    pub exec_latency: Histogram,
+    /// Cache-hit service latency (lookup + reply).
+    pub hit_latency: Histogram,
+}
+
+impl ServerMetrics {
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot as a deterministic JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "requests",
+                Json::Int(self.requests.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "zoom_cache_hits",
+                Json::Int(self.zoom_cache_hits.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "zoom_executed",
+                Json::Int(self.zoom_executed.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "zoom_rejected",
+                Json::Int(self.zoom_rejected.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "zoom_cancelled",
+                Json::Int(self.zoom_cancelled.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "bad_requests",
+                Json::Int(self.bad_requests.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "latency",
+                Json::obj(vec![
+                    ("total", self.total_latency.to_json()),
+                    ("admission_wait", self.admission_wait.to_json()),
+                    ("exec", self.exec_latency.to_json()),
+                    ("cache_hit", self.hit_latency.to_json()),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_recorded_values() {
+        let h = Histogram::default();
+        for us in [100u64, 200, 400, 800, 100_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.quantile_us(0.5);
+        // Median value 400 µs lives in bucket [256, 512) → upper bound 512.
+        assert_eq!(p50, 512);
+        let p99 = h.quantile_us(0.99);
+        assert!(p99 >= 100_000, "p99 {p99} covers the outlier");
+        // Monotone in q.
+        assert!(h.quantile_us(0.1) <= p50 && p50 <= p99);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.99), 0);
+        let j = h.to_json();
+        assert_eq!(j.get("count"), Some(&Json::Int(0)));
+        assert_eq!(j.get("p50_us"), Some(&Json::Int(0)));
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let h = std::sync::Arc::new(Histogram::default());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let h = std::sync::Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    h.record(Duration::from_micros(i));
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("recorder panicked");
+        }
+        assert_eq!(h.count(), 4000);
+    }
+}

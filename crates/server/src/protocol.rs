@@ -1,0 +1,554 @@
+//! The serving protocol: newline-delimited JSON requests and the mapping
+//! from wire shape to `tgraph-query` pipeline steps.
+//!
+//! One request per line; one JSON response per line. Request kinds:
+//!
+//! * `{"op":"ping"}` — liveness probe.
+//! * `{"op":"stats"}` — counters, histograms, runtime accounting.
+//! * `{"op":"shutdown"}` — stop accepting and exit the serve loop.
+//! * `{"op":"zoom", ...}` — the workhorse; see [`ZoomRequest`]:
+//!
+//! ```json
+//! {"op":"zoom","graph":"demo","repr":"ve","range":[0,24],"deadline_ms":500,
+//!  "steps":[
+//!    {"azoom":{"by":"school","new_type":"school",
+//!              "aggs":[{"output":"students","fn":"count"}]}},
+//!    {"switch":"og"},
+//!    {"wzoom":{"window":{"points":3},"vq":"exists","eq":"all",
+//!              "resolve_v":"last","overrides_v":[["school","last"]]}}]}
+//! ```
+//!
+//! Parsing **normalizes**: two requests that differ only in field order,
+//! whitespace, or defaulted fields produce the same [`ZoomRequest`] and
+//! therefore the same [`ZoomRequest::canonical`] string — the textual half
+//! of the result-cache key (the other half is the loaded graph's plan
+//! fingerprint).
+
+use crate::json::Json;
+use std::fmt::Write as _;
+use tgraph_core::time::Interval;
+use tgraph_core::zoom::azoom::{AZoomSpec, AggFn, AggSpec, Skolem};
+use tgraph_core::zoom::wzoom::{Quantifier, ResolveFn, WZoomSpec, WindowSpec};
+use tgraph_repr::ReprKind;
+
+/// A parsed request line.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Server statistics.
+    Stats,
+    /// Graceful shutdown.
+    Shutdown,
+    /// A zoom query.
+    Zoom(Box<ZoomRequest>),
+}
+
+/// One pipeline step of a zoom query.
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// Attribute-based zoom.
+    AZoom(AZoomSpec),
+    /// Window-based zoom.
+    WZoom(WZoomSpec),
+    /// Representation switch.
+    Switch(ReprKind),
+}
+
+/// A fully validated zoom query.
+#[derive(Clone, Debug)]
+pub struct ZoomRequest {
+    /// Dataset name under the server's data directory.
+    pub graph: String,
+    /// Initial physical representation.
+    pub repr: ReprKind,
+    /// Optional date-range filter pushed into the load.
+    pub range: Option<Interval>,
+    /// Pipeline steps, applied in order.
+    pub steps: Vec<Step>,
+    /// Per-request deadline in milliseconds (admission wait + execution).
+    pub deadline_ms: Option<u64>,
+    /// Bypass the result cache (for load-test cold runs).
+    pub no_cache: bool,
+}
+
+/// A protocol-level rejection: the request never reached execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BadRequest(pub String);
+
+impl std::fmt::Display for BadRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for BadRequest {}
+
+fn bad(msg: impl Into<String>) -> BadRequest {
+    BadRequest(msg.into())
+}
+
+fn parse_repr(s: &str) -> Result<ReprKind, BadRequest> {
+    match s.to_ascii_lowercase().as_str() {
+        "rg" => Ok(ReprKind::Rg),
+        "ve" => Ok(ReprKind::Ve),
+        "og" => Ok(ReprKind::Og),
+        "ogc" => Ok(ReprKind::Ogc),
+        other => Err(bad(format!(
+            "unknown repr '{other}' (expected rg|ve|og|ogc)"
+        ))),
+    }
+}
+
+fn parse_quantifier(v: &Json) -> Result<Quantifier, BadRequest> {
+    if let Some(s) = v.as_str() {
+        return match s {
+            "all" => Ok(Quantifier::All),
+            "most" => Ok(Quantifier::Most),
+            "exists" => Ok(Quantifier::Exists),
+            other => Err(bad(format!(
+                "unknown quantifier '{other}' (expected all|most|exists|{{\"at_least\":r}})"
+            ))),
+        };
+    }
+    if let Some(r) = v.get("at_least").and_then(Json::as_f64) {
+        if !(0.0..=1.0).contains(&r) {
+            return Err(bad(format!("at_least fraction {r} outside [0, 1]")));
+        }
+        return Ok(Quantifier::AtLeast(r));
+    }
+    Err(bad("quantifier must be a string or {\"at_least\": r}"))
+}
+
+fn parse_resolve(s: &str) -> Result<ResolveFn, BadRequest> {
+    match s {
+        "first" => Ok(ResolveFn::First),
+        "last" => Ok(ResolveFn::Last),
+        "any" => Ok(ResolveFn::Any),
+        other => Err(bad(format!(
+            "unknown resolve fn '{other}' (expected first|last|any)"
+        ))),
+    }
+}
+
+fn parse_agg(v: &Json) -> Result<AggSpec, BadRequest> {
+    let output = v
+        .get("output")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("agg needs string field 'output'"))?;
+    let f = v
+        .get("fn")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("agg needs string field 'fn'"))?;
+    let key = || -> Result<&str, BadRequest> {
+        v.get("key")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad(format!("agg fn '{f}' needs string field 'key'")))
+    };
+    let agg = match f {
+        "count" => AggFn::Count,
+        "sum" => AggFn::Sum(key()?.into()),
+        "min" => AggFn::Min(key()?.into()),
+        "max" => AggFn::Max(key()?.into()),
+        "avg" => AggFn::Avg(key()?.into()),
+        "any" => AggFn::Any(key()?.into()),
+        other => Err(bad(format!(
+            "unknown agg fn '{other}' (expected count|sum|min|max|avg|any)"
+        )))?,
+    };
+    Ok(AggSpec::new(output, agg))
+}
+
+fn parse_azoom(v: &Json) -> Result<AZoomSpec, BadRequest> {
+    let new_type = v.get("new_type").and_then(Json::as_str).unwrap_or("group");
+    let aggs = match v.get("aggs") {
+        None => Vec::new(),
+        Some(a) => a
+            .as_arr()
+            .ok_or_else(|| bad("'aggs' must be an array"))?
+            .iter()
+            .map(parse_agg)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let skolem = if let Some(key) = v.get("by").and_then(Json::as_str) {
+        Skolem::by_property(key)
+    } else if let Some(keys) = v.get("by_properties").and_then(Json::as_arr) {
+        let keys = keys
+            .iter()
+            .map(|k| {
+                k.as_str()
+                    .map(std::sync::Arc::from)
+                    .ok_or_else(|| bad("'by_properties' entries must be strings"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if keys.is_empty() {
+            return Err(bad("'by_properties' must not be empty"));
+        }
+        Skolem::ByProperties(keys)
+    } else if v.get("by_type").and_then(Json::as_bool) == Some(true) {
+        Skolem::ByType
+    } else {
+        return Err(bad(
+            "azoom needs 'by' (property), 'by_properties' (array), or 'by_type': true",
+        ));
+    };
+    Ok(AZoomSpec {
+        skolem,
+        new_type: new_type.into(),
+        aggs: aggs.into(),
+    })
+}
+
+fn parse_wzoom(v: &Json) -> Result<WZoomSpec, BadRequest> {
+    let window = v.get("window").ok_or_else(|| bad("wzoom needs 'window'"))?;
+    let window = if let Some(n) = window.get("points").and_then(Json::as_i64) {
+        if n <= 0 {
+            return Err(bad("window points must be positive"));
+        }
+        WindowSpec::Points(n as u64)
+    } else if let Some(n) = window.get("changes").and_then(Json::as_i64) {
+        if n <= 0 {
+            return Err(bad("window changes must be positive"));
+        }
+        WindowSpec::Changes(n as u64)
+    } else {
+        return Err(bad("'window' must be {\"points\": n} or {\"changes\": n}"));
+    };
+    let vq = match v.get("vq") {
+        Some(q) => parse_quantifier(q)?,
+        None => Quantifier::Exists,
+    };
+    let eq = match v.get("eq") {
+        Some(q) => parse_quantifier(q)?,
+        None => Quantifier::Exists,
+    };
+    let mut spec = WZoomSpec::points(1, vq, eq);
+    spec.window = window;
+    if let Some(s) = v.get("resolve_v").and_then(Json::as_str) {
+        spec.vertex_resolve = parse_resolve(s)?;
+    }
+    if let Some(s) = v.get("resolve_e").and_then(Json::as_str) {
+        spec.edge_resolve = parse_resolve(s)?;
+    }
+    let overrides = |field: &str| -> Result<Vec<(std::sync::Arc<str>, ResolveFn)>, BadRequest> {
+        match v.get(field) {
+            None => Ok(Vec::new()),
+            Some(list) => {
+                list.as_arr()
+                    .ok_or_else(|| bad(format!("'{field}' must be an array of [key, fn] pairs")))?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                            bad(format!("'{field}' entries must be [key, fn] pairs"))
+                        })?;
+                        let key = pair[0]
+                            .as_str()
+                            .ok_or_else(|| bad("override key must be a string"))?;
+                        let f = pair[1]
+                            .as_str()
+                            .ok_or_else(|| bad("override fn must be a string"))?;
+                        Ok((std::sync::Arc::from(key), parse_resolve(f)?))
+                    })
+                    .collect()
+            }
+        }
+    };
+    spec.vertex_overrides = overrides("overrides_v")?;
+    spec.edge_overrides = overrides("overrides_e")?;
+    Ok(spec)
+}
+
+fn parse_step(v: &Json) -> Result<Step, BadRequest> {
+    if let Some(a) = v.get("azoom") {
+        return Ok(Step::AZoom(parse_azoom(a)?));
+    }
+    if let Some(w) = v.get("wzoom") {
+        return Ok(Step::WZoom(parse_wzoom(w)?));
+    }
+    if let Some(s) = v.get("switch") {
+        let s = s
+            .as_str()
+            .ok_or_else(|| bad("'switch' must be a repr string"))?;
+        return Ok(Step::Switch(parse_repr(s)?));
+    }
+    Err(bad("step must contain 'azoom', 'wzoom', or 'switch'"))
+}
+
+/// Parses and validates one request line.
+pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
+    let v = crate::json::parse(line).map_err(|e| bad(format!("invalid json: {e}")))?;
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("request needs string field 'op'"))?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "zoom" => Ok(Request::Zoom(Box::new(parse_zoom_request(&v)?))),
+        other => Err(bad(format!(
+            "unknown op '{other}' (expected ping|stats|shutdown|zoom)"
+        ))),
+    }
+}
+
+fn parse_zoom_request(v: &Json) -> Result<ZoomRequest, BadRequest> {
+    let graph = v
+        .get("graph")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("zoom needs string field 'graph'"))?
+        .to_string();
+    if graph.is_empty()
+        || !graph
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err(bad("graph name must be non-empty [A-Za-z0-9_-]"));
+    }
+    let repr = parse_repr(
+        v.get("repr")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("zoom needs string field 'repr'"))?,
+    )?;
+    let range = match v.get("range") {
+        None | Some(Json::Null) => None,
+        Some(r) => {
+            let r = r
+                .as_arr()
+                .filter(|r| r.len() == 2)
+                .ok_or_else(|| bad("'range' must be [start, end]"))?;
+            let (start, end) = (
+                r[0].as_i64()
+                    .ok_or_else(|| bad("range start must be an integer"))?,
+                r[1].as_i64()
+                    .ok_or_else(|| bad("range end must be an integer"))?,
+            );
+            if start > end {
+                return Err(bad(format!("range start {start} exceeds end {end}")));
+            }
+            Some(Interval::new(start, end))
+        }
+    };
+    let steps = match v.get("steps") {
+        None => Vec::new(),
+        Some(s) => s
+            .as_arr()
+            .ok_or_else(|| bad("'steps' must be an array"))?
+            .iter()
+            .map(parse_step)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let deadline_ms = match v.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(d) => Some(
+            d.as_i64()
+                .filter(|d| *d >= 0)
+                .ok_or_else(|| bad("'deadline_ms' must be a non-negative integer"))?
+                as u64,
+        ),
+    };
+    let no_cache = v.get("no_cache").and_then(Json::as_bool).unwrap_or(false);
+    let req = ZoomRequest {
+        graph,
+        repr,
+        range,
+        steps,
+        deadline_ms,
+        no_cache,
+    };
+    req.validate()?;
+    Ok(req)
+}
+
+impl ZoomRequest {
+    /// Static validation that needs no data: tracks the representation
+    /// through switches and rejects `azoom` on OGC (it stores no attributes,
+    /// §3.1) *before* admission, so invalid plans never consume pool slots.
+    pub fn validate(&self) -> Result<(), BadRequest> {
+        let mut kind = self.repr;
+        for (i, step) in self.steps.iter().enumerate() {
+            match step {
+                Step::Switch(k) => kind = *k,
+                Step::AZoom(_) if !kind.supports_azoom() => {
+                    return Err(bad(format!(
+                        "step {i}: azoom unsupported on {kind} (no attributes stored)"
+                    )));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// A canonical, whitespace-free description of the query — identical for
+    /// any two wire requests that parse to the same query. Combined with the
+    /// loaded graph's plan fingerprint it forms the result-cache key, and it
+    /// is stored alongside the hash to make cache lookups collision-safe.
+    ///
+    /// Deliberately excludes `deadline_ms` and `no_cache`: they affect
+    /// scheduling, not the result.
+    pub fn canonical(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "graph={};repr={}", self.graph, self.repr);
+        if let Some(r) = self.range {
+            let _ = write!(s, ";range=[{},{})", r.start, r.end);
+        }
+        for step in &self.steps {
+            s.push(';');
+            match step {
+                Step::Switch(k) => {
+                    let _ = write!(s, "switch({k})");
+                }
+                Step::AZoom(a) => {
+                    let _ = write!(s, "azoom(skolem={:?},type={}", a.skolem, a.new_type);
+                    for agg in a.aggs.iter() {
+                        let _ = write!(s, ",{}={:?}", agg.output, agg.f);
+                    }
+                    s.push(')');
+                }
+                Step::WZoom(w) => {
+                    let _ = write!(
+                        s,
+                        "wzoom(window={:?},vq={:?},eq={:?},rv={:?},re={:?}",
+                        w.window,
+                        w.vertex_quantifier,
+                        w.edge_quantifier,
+                        w.vertex_resolve,
+                        w.edge_resolve
+                    );
+                    for (k, f) in &w.vertex_overrides {
+                        let _ = write!(s, ",v.{k}={f:?}");
+                    }
+                    for (k, f) in &w.edge_overrides {
+                        let _ = write!(s, ",e.{k}={f:?}");
+                    }
+                    s.push(')');
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"{"op":"zoom","graph":"demo","repr":"ve","range":[0,24],
+        "deadline_ms":500,
+        "steps":[
+          {"azoom":{"by":"school","new_type":"school",
+                    "aggs":[{"output":"students","fn":"count"},
+                            {"output":"m","fn":"max","key":"editCount"}]}},
+          {"switch":"og"},
+          {"wzoom":{"window":{"points":3},"vq":{"at_least":0.5},"eq":"all",
+                    "resolve_v":"last","overrides_v":[["school","first"]]}}]}"#;
+
+    #[test]
+    fn parses_the_full_zoom_shape() {
+        let req = match parse_request(FULL).unwrap() {
+            Request::Zoom(z) => z,
+            other => panic!("expected zoom, got {other:?}"),
+        };
+        assert_eq!(req.graph, "demo");
+        assert_eq!(req.repr, ReprKind::Ve);
+        assert_eq!(req.range, Some(Interval::new(0, 24)));
+        assert_eq!(req.deadline_ms, Some(500));
+        assert_eq!(req.steps.len(), 3);
+        match &req.steps[2] {
+            Step::WZoom(w) => {
+                assert_eq!(w.window, WindowSpec::Points(3));
+                assert_eq!(w.vertex_quantifier, Quantifier::AtLeast(0.5));
+                assert_eq!(w.edge_quantifier, Quantifier::All);
+                assert_eq!(w.vertex_resolve, ResolveFn::Last);
+                assert_eq!(w.vertex_overrides.len(), 1);
+            }
+            other => panic!("expected wzoom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn canonical_ignores_field_order_and_scheduling_fields() {
+        let a = match parse_request(FULL).unwrap() {
+            Request::Zoom(z) => z.canonical(),
+            _ => unreachable!(),
+        };
+        // Same query: fields shuffled, different deadline, no_cache set.
+        let reordered = r#"{"steps":[
+              {"azoom":{"new_type":"school","by":"school",
+                        "aggs":[{"fn":"count","output":"students"},
+                                {"key":"editCount","output":"m","fn":"max"}]}},
+              {"switch":"og"},
+              {"wzoom":{"overrides_v":[["school","first"]],"eq":"all",
+                        "vq":{"at_least":0.5},"resolve_v":"last",
+                        "window":{"points":3}}}],
+            "no_cache":true,"repr":"ve","deadline_ms":9,"graph":"demo",
+            "range":[0,24],"op":"zoom"}"#;
+        let b = match parse_request(reordered).unwrap() {
+            Request::Zoom(z) => z.canonical(),
+            _ => unreachable!(),
+        };
+        assert_eq!(a, b);
+        // A genuinely different query diverges.
+        let different = FULL.replace("\"points\":3", "\"points\":4");
+        let c = match parse_request(&different).unwrap() {
+            Request::Zoom(z) => z.canonical(),
+            _ => unreachable!(),
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rejects_azoom_on_ogc_statically() {
+        let bad1 = r#"{"op":"zoom","graph":"g","repr":"ogc",
+                       "steps":[{"azoom":{"by":"school"}}]}"#;
+        assert!(parse_request(bad1).is_err());
+        // Also after a switch to OGC.
+        let bad2 = r#"{"op":"zoom","graph":"g","repr":"ve",
+                       "steps":[{"switch":"ogc"},{"azoom":{"by":"school"}}]}"#;
+        assert!(parse_request(bad2).is_err());
+        // But azoom before the switch is fine.
+        let ok = r#"{"op":"zoom","graph":"g","repr":"ve",
+                     "steps":[{"azoom":{"by":"school"}},{"switch":"ogc"}]}"#;
+        assert!(parse_request(ok).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "not json",
+            r#"{"op":"zap"}"#,
+            r#"{"op":"zoom"}"#,
+            r#"{"op":"zoom","graph":"g"}"#,
+            r#"{"op":"zoom","graph":"../etc","repr":"ve"}"#,
+            r#"{"op":"zoom","graph":"g","repr":"xx"}"#,
+            r#"{"op":"zoom","graph":"g","repr":"ve","range":[5,1]}"#,
+            r#"{"op":"zoom","graph":"g","repr":"ve","deadline_ms":-1}"#,
+            r#"{"op":"zoom","graph":"g","repr":"ve","steps":[{"wzoom":{}}]}"#,
+            r#"{"op":"zoom","graph":"g","repr":"ve",
+                "steps":[{"wzoom":{"window":{"points":0}}}]}"#,
+            r#"{"op":"zoom","graph":"g","repr":"ve",
+                "steps":[{"wzoom":{"window":{"points":2},"vq":{"at_least":1.5}}}]}"#,
+            r#"{"op":"zoom","graph":"g","repr":"ve",
+                "steps":[{"azoom":{"aggs":[{"output":"s","fn":"sum"}]}}]}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn simple_ops_parse() {
+        assert!(matches!(
+            parse_request(r#"{"op":"ping"}"#),
+            Ok(Request::Ping)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"stats"}"#),
+            Ok(Request::Stats)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        ));
+    }
+}

@@ -1,0 +1,608 @@
+//! The server proper: TCP accept loop, per-connection NDJSON dispatch, and
+//! the zoom execution path (cache → admission → cancellable execution →
+//! serialize → memoize).
+
+use crate::admission::{Admission, AdmitError};
+use crate::cache::{CacheKey, ResultCache};
+use crate::json::Json;
+use crate::metrics::ServerMetrics;
+use crate::protocol::{parse_request, Request, Step, ZoomRequest};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tgraph_core::graph::TGraph;
+use tgraph_core::props::{Props, Value};
+use tgraph_dataflow::{CancelToken, Runtime};
+use tgraph_query::Session;
+use tgraph_repr::ReprKind;
+use tgraph_storage::{GraphPool, SharedGraph};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7687` (`:0` picks a free port).
+    pub addr: String,
+    /// Dataset directory (the `GraphLoader` layout).
+    pub data_dir: PathBuf,
+    /// Dataflow worker threads.
+    pub workers: usize,
+    /// Dataflow partitions per wave.
+    pub partitions: usize,
+    /// Maximum concurrently executing zoom queries.
+    pub max_inflight: usize,
+    /// Maximum queued zoom queries beyond the in-flight bound.
+    pub max_queue: usize,
+    /// Result-cache byte budget.
+    pub cache_bytes: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7687".to_string(),
+            data_dir: PathBuf::from("."),
+            workers: 4,
+            partitions: 4,
+            max_inflight: 2,
+            max_queue: 64,
+            cache_bytes: 64 << 20,
+        }
+    }
+}
+
+/// The shared server state plus its listener. All request handling is
+/// `&self`; connections run on their own threads.
+pub struct Server {
+    config: ServerConfig,
+    listener: TcpListener,
+    rt: Runtime,
+    pool: GraphPool,
+    cache: ResultCache,
+    admission: Arc<Admission>,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state. No graph is loaded
+    /// yet; use [`Server::preload`] to warm the pool before serving.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            rt: Runtime::with_partitions(config.workers, config.partitions),
+            pool: GraphPool::new(&config.data_dir),
+            cache: ResultCache::new(config.cache_bytes),
+            admission: Admission::new(config.max_inflight, config.max_queue),
+            metrics: ServerMetrics::default(),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            listener,
+            config,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The server's dataflow runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// Loads `graph` in `kind` into the pool ahead of traffic.
+    pub fn preload(&self, graph: &str, kind: ReprKind) -> Result<(), String> {
+        self.pool
+            .get(&self.rt, graph, kind, None)
+            .map(|_| ())
+            .map_err(|e| format!("preload {graph} as {kind}: {e}"))
+    }
+
+    /// Requests the accept loop to stop after the current poll interval.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Accepts connections until shutdown is requested, spawning one handler
+    /// thread per connection. Returns once the loop exits and all handler
+    /// threads have finished.
+    pub fn serve(self: &Arc<Self>) -> std::io::Result<()> {
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.is_shutting_down() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let server = Arc::clone(self);
+                    let handle = std::thread::Builder::new()
+                        .name("tgraph-serve-conn".to_string())
+                        .spawn(move || server.handle_connection(stream))?;
+                    handlers.push(handle);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+            handlers.retain(|h| !h.is_finished());
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+
+    fn handle_connection(&self, stream: TcpStream) {
+        // A read timeout lets idle connections notice shutdown; without it,
+        // `serve()` would block joining a handler parked in `read_line`.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        // Request/response over small lines: Nagle + delayed ACK would add
+        // ~40ms per roundtrip otherwise.
+        let _ = stream.set_nodelay(true);
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = stream;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            // On timeout, `read_line` may have consumed a partial line into
+            // `line`; keep appending until the newline arrives.
+            loop {
+                match reader.read_line(&mut line) {
+                    Ok(0) => return, // disconnected
+                    Ok(_) => break,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        if self.is_shutting_down() {
+                            return;
+                        }
+                    }
+                    Err(_) => return, // disconnected
+                }
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut response = self.handle_line(line.trim());
+            response.push('\n');
+            if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
+                return;
+            }
+            if self.is_shutting_down() {
+                return;
+            }
+        }
+    }
+
+    /// Handles one request line and returns the response line (no trailing
+    /// newline). Exposed for in-process testing and the smoke harness.
+    pub fn handle_line(&self, line: &str) -> String {
+        ServerMetrics::bump(&self.metrics.requests);
+        match parse_request(line) {
+            Err(e) => {
+                ServerMetrics::bump(&self.metrics.bad_requests);
+                error_response("bad_request", &e.0)
+            }
+            Ok(Request::Ping) => {
+                Json::obj(vec![("ok", Json::Bool(true)), ("pong", Json::Bool(true))]).to_string()
+            }
+            Ok(Request::Shutdown) => {
+                self.request_shutdown();
+                Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("shutting_down", Json::Bool(true)),
+                ])
+                .to_string()
+            }
+            Ok(Request::Stats) => self.stats_response(),
+            Ok(Request::Zoom(req)) => self.handle_zoom(&req),
+        }
+    }
+
+    fn handle_zoom(&self, req: &ZoomRequest) -> String {
+        let t0 = Instant::now();
+        let deadline = req.deadline_ms.map(|ms| t0 + Duration::from_millis(ms));
+        // An already-expired deadline is rejected before any graph load,
+        // cache probe, or task wave (acceptance criterion).
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            ServerMetrics::bump(&self.metrics.zoom_rejected);
+            return error_response("deadline", "deadline expired before execution");
+        }
+        // NOTE: the pool load runs *outside* the cancel scope on purpose: a
+        // cancellation unwinding through the pool's single-flight section
+        // would strand other waiters on the in-flight marker.
+        let shared = match self.pool.get(&self.rt, &req.graph, req.repr, req.range) {
+            Ok(g) => g,
+            Err(e) => {
+                ServerMetrics::bump(&self.metrics.zoom_rejected);
+                return error_response(
+                    "not_found",
+                    &format!("cannot load graph '{}' as {}: {e}", req.graph, req.repr),
+                );
+            }
+        };
+        let key = cache_key(&shared, req);
+        if !req.no_cache {
+            if let Some(bytes) = self.cache.get(&key) {
+                ServerMetrics::bump(&self.metrics.zoom_cache_hits);
+                self.metrics.hit_latency.record(t0.elapsed());
+                self.metrics.total_latency.record(t0.elapsed());
+                return zoom_response("hit", t0.elapsed(), Duration::ZERO, &key, &bytes);
+            }
+        }
+        let permit = match self.admission.admit(deadline) {
+            Ok(p) => p,
+            Err(e) => {
+                ServerMetrics::bump(&self.metrics.zoom_rejected);
+                let kind = match e {
+                    AdmitError::QueueFull => "queue_full",
+                    AdmitError::DeadlineExpired => "deadline",
+                };
+                return error_response(kind, &e.to_string());
+            }
+        };
+        self.metrics.admission_wait.record(permit.waited);
+        let token = match deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
+        let exec0 = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            token.scope(|| self.execute_steps(&shared, req))
+        }));
+        drop(permit);
+        let exec = exec0.elapsed();
+        match outcome {
+            Err(_panic) => {
+                ServerMetrics::bump(&self.metrics.zoom_rejected);
+                error_response("internal", "execution panicked; see server log")
+            }
+            Ok(Err(_cancelled)) => {
+                ServerMetrics::bump(&self.metrics.zoom_cancelled);
+                error_response("cancelled", "deadline expired during execution")
+            }
+            Ok(Ok(result)) => {
+                let bytes: Arc<[u8]> = serialize_tgraph(&result).into_bytes().into();
+                if !req.no_cache {
+                    self.cache.insert(&key, Arc::clone(&bytes));
+                }
+                ServerMetrics::bump(&self.metrics.zoom_executed);
+                self.metrics.exec_latency.record(exec);
+                self.metrics.total_latency.record(t0.elapsed());
+                zoom_response("miss", t0.elapsed(), exec, &key, &bytes)
+            }
+        }
+    }
+
+    fn execute_steps(&self, shared: &SharedGraph, req: &ZoomRequest) -> TGraph {
+        let mut session = Session::from_graph(&self.rt, (*shared.graph).clone());
+        for step in &req.steps {
+            session = match step {
+                Step::AZoom(spec) => session.azoom(spec),
+                Step::WZoom(spec) => session.wzoom(spec),
+                Step::Switch(kind) => session.switch_to(*kind),
+            };
+        }
+        session.collect()
+    }
+
+    fn stats_response(&self) -> String {
+        let rt = self.rt.stats();
+        let cache = self.cache.stats();
+        let admission = self.admission.stats();
+        let pool = self.pool.stats();
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            (
+                "uptime_ms",
+                Json::Int(self.started.elapsed().as_millis() as i64),
+            ),
+            ("server", self.metrics.to_json()),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::Int(cache.hits as i64)),
+                    ("misses", Json::Int(cache.misses as i64)),
+                    ("insertions", Json::Int(cache.insertions as i64)),
+                    ("evictions", Json::Int(cache.evictions as i64)),
+                    ("bytes_used", Json::Int(cache.bytes_used as i64)),
+                    ("byte_budget", Json::Int(cache.byte_budget as i64)),
+                ]),
+            ),
+            (
+                "admission",
+                Json::obj(vec![
+                    ("admitted", Json::Int(admission.admitted as i64)),
+                    (
+                        "rejected_queue_full",
+                        Json::Int(admission.rejected_queue_full as i64),
+                    ),
+                    (
+                        "rejected_deadline",
+                        Json::Int(admission.rejected_deadline as i64),
+                    ),
+                    ("wait_us_total", Json::Int(admission.wait_us_total as i64)),
+                    ("inflight", Json::Int(admission.inflight as i64)),
+                    ("queue_depth", Json::Int(admission.queue_depth as i64)),
+                    ("max_inflight", Json::Int(self.config.max_inflight as i64)),
+                    ("max_queue", Json::Int(self.config.max_queue as i64)),
+                ]),
+            ),
+            (
+                "pool",
+                Json::obj(vec![
+                    ("hits", Json::Int(pool.hits as i64)),
+                    ("misses", Json::Int(pool.misses as i64)),
+                    ("loads", Json::Int(pool.loads as i64)),
+                ]),
+            ),
+            (
+                "runtime",
+                Json::obj(vec![
+                    ("workers", Json::Int(self.rt.workers() as i64)),
+                    ("partitions", Json::Int(self.rt.partitions() as i64)),
+                    ("tasks", Json::Int(rt.tasks as i64)),
+                    ("waves", Json::Int(rt.waves as i64)),
+                    ("shuffles", Json::Int(rt.shuffles as i64)),
+                    ("shuffles_elided", Json::Int(rt.shuffles_elided as i64)),
+                    ("shuffled_records", Json::Int(rt.shuffled_records as i64)),
+                    ("shuffled_bytes", Json::Int(rt.shuffled_bytes as i64)),
+                    ("waves_cancelled", Json::Int(rt.waves_cancelled as i64)),
+                    ("tasks_cancelled", Json::Int(rt.tasks_cancelled as i64)),
+                ]),
+            ),
+        ])
+        .to_string()
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("data_dir", &self.config.data_dir)
+            .finish()
+    }
+}
+
+/// Builds the cache key for a request over a loaded graph: FNV-1a over the
+/// graph's per-dataset plan fingerprints plus the canonical query string.
+/// The canonical text (prefixed with the lineage digests) rides along in the
+/// key, making lookups immune to 64-bit collisions.
+fn cache_key(shared: &SharedGraph, req: &ZoomRequest) -> CacheKey {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut write = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    let mut canonical = String::new();
+    for (name, lineage) in shared.graph.lineages() {
+        let fp = tgraph_dataflow::lineage::fingerprint(&lineage);
+        write(name.as_bytes());
+        write(&fp.to_le_bytes());
+        canonical.push_str(&format!("{name}={fp:#018x};"));
+    }
+    let query = req.canonical();
+    write(query.as_bytes());
+    canonical.push_str(&query);
+    CacheKey { hash, canonical }
+}
+
+/// Serializes a logical graph result deterministically: records sorted by
+/// (id, interval), object fields in fixed order, properties in `Props`'s
+/// sorted key order. Identical results → identical bytes, the invariant the
+/// result cache's byte-identical replay relies on.
+pub fn serialize_tgraph(g: &TGraph) -> String {
+    let interval =
+        |i: tgraph_core::time::Interval| Json::Arr(vec![Json::Int(i.start), Json::Int(i.end)]);
+    let props = |p: &Props| {
+        Json::Obj(
+            p.iter()
+                .map(|(k, v)| {
+                    let value = match v {
+                        Value::Bool(b) => Json::Bool(*b),
+                        Value::Int(i) => Json::Int(*i),
+                        Value::Float(f) => Json::Float(*f),
+                        Value::Str(s) => Json::Str(s.to_string()),
+                    };
+                    (k.to_string(), value)
+                })
+                .collect(),
+        )
+    };
+    let mut vertices: Vec<_> = g.vertices.iter().collect();
+    vertices.sort_by_key(|v| (v.vid, v.interval));
+    let mut edges: Vec<_> = g.edges.iter().collect();
+    edges.sort_by_key(|e| (e.eid, e.interval));
+    Json::obj(vec![
+        ("lifespan", interval(g.lifespan)),
+        (
+            "vertices",
+            Json::Arr(
+                vertices
+                    .into_iter()
+                    .map(|v| {
+                        Json::obj(vec![
+                            ("id", Json::Int(v.vid.0 as i64)),
+                            ("interval", interval(v.interval)),
+                            ("props", props(&v.props)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "edges",
+            Json::Arr(
+                edges
+                    .into_iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("id", Json::Int(e.eid.0 as i64)),
+                            ("src", Json::Int(e.src.0 as i64)),
+                            ("dst", Json::Int(e.dst.0 as i64)),
+                            ("interval", interval(e.interval)),
+                            ("props", props(&e.props)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string()
+}
+
+fn error_response(kind: &str, message: &str) -> String {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("kind", Json::str(kind)),
+        ("error", Json::str(message)),
+    ])
+    .to_string()
+}
+
+/// Composes a zoom response. `result` is ALWAYS the final field and its
+/// bytes are spliced in verbatim, so clients (and the smoke test) can
+/// extract everything after `"result":` up to the closing brace and compare
+/// replays byte-for-byte.
+fn zoom_response(
+    cache: &str,
+    total: Duration,
+    exec: Duration,
+    key: &CacheKey,
+    result: &[u8],
+) -> String {
+    let mut out = Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("cache", Json::str(cache)),
+        ("fingerprint", Json::str(format!("{:#018x}", key.hash))),
+        ("total_us", Json::Int(total.as_micros() as i64)),
+        ("exec_us", Json::Int(exec.as_micros() as i64)),
+    ])
+    .to_string();
+    out.pop(); // strip the closing '}' to splice the result in
+    out.push_str(",\"result\":");
+    out.push_str(std::str::from_utf8(result).unwrap_or("null"));
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph_core::graph::figure1_graph_stable_ids;
+    use tgraph_storage::write_dataset;
+
+    fn server_over_figure1(name: &str) -> Arc<Server> {
+        let dir = std::env::temp_dir().join("tgraph-serve-unit");
+        write_dataset(&dir, name, &figure1_graph_stable_ids()).expect("write dataset");
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: dir,
+            workers: 2,
+            partitions: 2,
+            max_inflight: 2,
+            max_queue: 8,
+            cache_bytes: 1 << 20,
+        })
+        .expect("bind");
+        Arc::new(server)
+    }
+
+    fn zoom_line(name: &str, extra: &str) -> String {
+        format!(
+            r#"{{"op":"zoom","graph":"{name}","repr":"ve",{extra}"steps":[
+                {{"azoom":{{"by":"school","new_type":"school",
+                           "aggs":[{{"output":"students","fn":"count"}}]}}}}]}}"#
+        )
+        .replace('\n', " ")
+    }
+
+    #[test]
+    fn zoom_executes_then_replays_from_cache_byte_identically() {
+        let server = server_over_figure1("unit1");
+        let line = zoom_line("unit1", "");
+        let first = server.handle_line(&line);
+        assert!(first.contains("\"ok\":true"), "{first}");
+        assert!(first.contains("\"cache\":\"miss\""), "{first}");
+        let second = server.handle_line(&line);
+        assert!(second.contains("\"cache\":\"hit\""), "{second}");
+        let result_of = |s: &str| {
+            let at = s.find("\"result\":").expect("result field");
+            s[at..].to_string()
+        };
+        assert_eq!(
+            result_of(&first),
+            result_of(&second),
+            "byte-identical replay"
+        );
+        // The result actually contains the zoomed group node.
+        assert!(first.contains("\"students\":"), "{first}");
+        let stats = server.handle_line(r#"{"op":"stats"}"#);
+        assert!(stats.contains("\"zoom_cache_hits\":1"), "{stats}");
+        assert!(stats.contains("\"zoom_executed\":1"), "{stats}");
+    }
+
+    #[test]
+    fn expired_deadline_rejected_without_any_task_wave() {
+        let server = server_over_figure1("unit2");
+        // Preload so the load's own waves don't confound the assertion.
+        server.preload("unit2", ReprKind::Ve).expect("preload");
+        let before = server.runtime().snapshot();
+        let line = zoom_line("unit2", "\"deadline_ms\":0,");
+        let resp = server.handle_line(&line);
+        assert!(resp.contains("\"ok\":false"), "{resp}");
+        assert!(resp.contains("\"kind\":\"deadline\""), "{resp}");
+        let delta = before.delta(server.runtime());
+        assert_eq!(delta.waves, 0, "no task wave executed");
+        assert_eq!(delta.tasks, 0);
+    }
+
+    #[test]
+    fn bad_requests_and_unknown_graphs_are_rejected() {
+        let server = server_over_figure1("unit3");
+        let bad = server.handle_line("this is not json");
+        assert!(bad.contains("\"kind\":\"bad_request\""), "{bad}");
+        let missing = server.handle_line(&zoom_line("no-such-graph", ""));
+        assert!(missing.contains("\"kind\":\"not_found\""), "{missing}");
+        let pong = server.handle_line(r#"{"op":"ping"}"#);
+        assert_eq!(pong, r#"{"ok":true,"pong":true}"#);
+    }
+
+    #[test]
+    fn no_cache_requests_bypass_the_result_cache() {
+        let server = server_over_figure1("unit4");
+        let line = zoom_line("unit4", "\"no_cache\":true,");
+        let first = server.handle_line(&line);
+        let second = server.handle_line(&line);
+        assert!(first.contains("\"cache\":\"miss\""), "{first}");
+        assert!(second.contains("\"cache\":\"miss\""), "{second}");
+        assert!(server.cache.is_empty());
+    }
+
+    #[test]
+    fn serialization_is_deterministic_for_a_fixed_graph() {
+        let g = figure1_graph_stable_ids();
+        assert_eq!(serialize_tgraph(&g), serialize_tgraph(&g));
+        assert!(serialize_tgraph(&g).starts_with("{\"lifespan\":["));
+    }
+}

@@ -11,6 +11,8 @@
 //!   for the nested interval data (the paper's workaround).
 //! * [`loader`] — the `GraphLoader` that initializes any of the four
 //!   physical representations from disk with an optional date-range filter.
+//! * [`pool`] — the load-once [`GraphPool`]: `Arc`-shared graph handles for
+//!   long-lived processes (the serving layer) with single-flight loading.
 //! * [`encode`] — the byte-level row encoding (hand-rolled on `bytes`).
 
 #![warn(missing_docs)]
@@ -20,6 +22,7 @@ pub mod encode;
 pub mod format;
 pub mod loader;
 pub mod nested;
+pub mod pool;
 
 pub use format::{
     estimate_rows, read_tgc, read_tgc_stats, write_tgc, ChunkStats, ScanStats, SortOrder,
@@ -27,3 +30,4 @@ pub use format::{
 };
 pub use loader::{write_dataset, GraphLoader};
 pub use nested::{read_tgo, write_tgo};
+pub use pool::{GraphPool, PoolStats, SharedGraph};
