@@ -1,0 +1,290 @@
+//! `skewbench` — skewed-partition microbenchmark: barrier scheduler versus
+//! morsel-driven work stealing (`TGRAPH_STEAL=1`).
+//!
+//! ```text
+//! skewbench                       # full run: timing + correctness asserts
+//! skewbench --rows 240000 --workers 8
+//! skewbench --smoke               # CI: small, correctness-only, fast
+//! ```
+//!
+//! The workload is the straggler shape the morsel scheduler exists for: one
+//! hot partition holds ~50% of all rows (the rest spread evenly over
+//! `2 × workers − 1` cold partitions), keys follow a Zipf distribution, and
+//! every row pays an identical CPU-heavy mixing loop. Under the barrier
+//! scheduler the wave's wall time is the hot partition's task; under work
+//! stealing the hot partition is cut into morsels that idle workers drain
+//! from the owner's deque tail.
+//!
+//! Two workloads run under both schedulers and must agree byte-for-byte:
+//!
+//! * **A (narrow chain)** — `map(heavy) → filter → map`, fused into one
+//!   wave, `collect`ed. Checks element-exact equality, nonzero morsel and
+//!   steal counters, and (on multi-core machines, full mode only) that
+//!   stealing beats the barrier by the configured speedup factor.
+//! * **B (shuffle + reduce)** — `shuffle → reduce_by_key` over the Zipf
+//!   keys. Checks the aggregates are identical across schedulers.
+//!
+//! Exits nonzero on any violation, so CI can run `--smoke` directly.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use tgraph_dataflow::{shuffle, Dataset, KeyedDataset, Runtime};
+
+struct Args {
+    /// Total rows across all partitions.
+    rows: usize,
+    /// Worker threads (and half the partition count).
+    workers: usize,
+    /// Morsel granularity in rows.
+    morsel_rows: usize,
+    /// Required steal-vs-barrier speedup in full mode on multi-core hosts.
+    speedup: f64,
+    /// Small, correctness-only run for CI.
+    smoke: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            rows: 240_000,
+            workers: 8,
+            morsel_rows: 512,
+            speedup: 2.0,
+            smoke: false,
+        }
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--rows" => args.rows = val("--rows")?.parse().map_err(|e| format!("--rows: {e}"))?,
+            "--workers" => {
+                args.workers = val("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--morsel-rows" => {
+                args.morsel_rows = val("--morsel-rows")?
+                    .parse()
+                    .map_err(|e| format!("--morsel-rows: {e}"))?
+            }
+            "--speedup" => {
+                args.speedup = val("--speedup")?
+                    .parse()
+                    .map_err(|e| format!("--speedup: {e}"))?
+            }
+            "--smoke" => args.smoke = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.smoke {
+        args.rows = args.rows.min(16_000);
+        args.morsel_rows = args.morsel_rows.min(128);
+    }
+    if args.rows == 0 || args.workers == 0 {
+        return Err("--rows and --workers must be positive".to_string());
+    }
+    Ok(args)
+}
+
+/// Per-row CPU work: a fixed-round multiply-xor mixing loop (FNV-flavoured).
+/// Every row costs the same, so partition row counts translate directly into
+/// task durations — the skew is purely a partitioning artifact.
+fn heavy(seed: u64) -> u64 {
+    let mut h = seed ^ 0xcbf2_9ce4_8422_2325;
+    for i in 0..600u64 {
+        h = h.wrapping_mul(0x0000_0100_0000_01b3) ^ (h >> 31) ^ i;
+    }
+    h
+}
+
+/// Builds the skewed input: partition 0 holds ~50% of the rows; the rest is
+/// spread evenly. Keys are Zipf(s = 1.1) over 64 distinct values, drawn with
+/// a deterministic LCG through an inverse-CDF table, so every run (and both
+/// schedulers) sees the identical dataset.
+fn skewed_partitions(rows: usize, parts: usize) -> Vec<Vec<(u64, u64)>> {
+    const KEYS: usize = 64;
+    const S: f64 = 1.1;
+    let weights: Vec<f64> = (1..=KEYS).map(|r| 1.0 / (r as f64).powf(S)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(KEYS);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let mut state: u64 = 0x5DEE_CE66_D1A4_F729;
+    let mut next_u01 = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut zipf_key = move || {
+        let u = next_u01();
+        // First CDF bucket that covers u.
+        cdf.partition_point(|&c| c < u).min(KEYS - 1) as u64
+    };
+
+    let hot = rows / 2;
+    let cold_parts = parts.saturating_sub(1).max(1);
+    let cold_each = (rows - hot) / cold_parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut row_id = 0u64;
+    for p in 0..parts {
+        let n = if p == 0 {
+            hot
+        } else if p < parts - 1 {
+            cold_each
+        } else {
+            // Last cold partition absorbs the rounding remainder.
+            rows - hot - cold_each * (cold_parts - 1)
+        };
+        let mut part = Vec::with_capacity(n);
+        for _ in 0..n {
+            part.push((zipf_key(), row_id));
+            row_id += 1;
+        }
+        out.push(part);
+    }
+    out
+}
+
+struct RunOutcome {
+    chain: Vec<(u64, u64)>,
+    reduced: Vec<(u64, u64)>,
+    chain_secs: f64,
+    morsels: u64,
+    steals: u64,
+    max_task_us: u64,
+    wave_us: u64,
+}
+
+/// Runs both workloads under the runtime's current scheduler mode.
+fn run_once(rt: &Runtime, parts: &[Vec<(u64, u64)>]) -> RunOutcome {
+    let input = Dataset::from_partitions(parts.to_vec());
+    let before = rt.stats();
+
+    // Workload A: fused narrow chain over the skewed rows.
+    let start = Instant::now();
+    let chain = input
+        .map(|&(k, x)| (k, heavy(x)))
+        .filter(|&(k, _)| k % 7 != 3)
+        .map(|&(k, h)| (k, h ^ (k << 32)))
+        .collect(rt);
+    let chain_secs = start.elapsed().as_secs_f64();
+
+    // Workload B: shuffle + reduce over the Zipf keys.
+    let mut reduced = shuffle(rt, &input.map(|&(k, x)| (k, x % 1000)))
+        .reduce_by_key(rt, |a, b| a + b)
+        .collect(rt);
+    reduced.sort_unstable();
+
+    let d = rt.stats().since(&before);
+    RunOutcome {
+        chain,
+        reduced,
+        chain_secs,
+        morsels: d.morsels,
+        steals: d.steals,
+        max_task_us: d.max_task_us,
+        wave_us: d.wave_us,
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("skewbench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let parts = 2 * args.workers;
+    let data = skewed_partitions(args.rows, parts);
+    let hot_rows = data[0].len();
+    println!(
+        "skewbench: {} rows over {parts} partitions (hot partition: {hot_rows} rows), \
+         {} workers, {} rows/morsel{}",
+        args.rows,
+        args.workers,
+        args.morsel_rows,
+        if args.smoke { ", smoke mode" } else { "" }
+    );
+
+    let rt = Runtime::with_partitions(args.workers, parts);
+    rt.set_morsel_rows(args.morsel_rows);
+
+    rt.set_stealing(false);
+    let barrier = run_once(&rt, &data);
+    rt.set_stealing(true);
+    let steal = run_once(&rt, &data);
+
+    println!(
+        "  barrier: chain {:>8.3}s   (morsels {}, steals {})",
+        barrier.chain_secs, barrier.morsels, barrier.steals
+    );
+    println!(
+        "  steal:   chain {:>8.3}s   (morsels {}, steals {}, longest unit {} us of {} us wall)",
+        steal.chain_secs, steal.morsels, steal.steals, steal.max_task_us, steal.wave_us
+    );
+
+    let mut failures = Vec::new();
+    if barrier.chain != steal.chain {
+        failures.push("workload A results differ between schedulers".to_string());
+    }
+    if barrier.reduced != steal.reduced {
+        failures.push("workload B aggregates differ between schedulers".to_string());
+    }
+    if barrier.morsels != 0 {
+        failures.push(format!(
+            "barrier mode ran {} morsels; expected none",
+            barrier.morsels
+        ));
+    }
+    if steal.morsels == 0 {
+        failures.push("steal mode ran zero morsels".to_string());
+    }
+    if steal.steals == 0 {
+        failures.push("steal mode recorded zero steals on a skewed input".to_string());
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if !args.smoke && cores >= 2 {
+        let ratio = barrier.chain_secs / steal.chain_secs.max(1e-9);
+        println!("  speedup: {ratio:.2}x (required {:.2}x)", args.speedup);
+        if ratio < args.speedup {
+            failures.push(format!(
+                "stealing was only {ratio:.2}x faster than the barrier (need {:.2}x)",
+                args.speedup
+            ));
+        }
+    } else if !args.smoke {
+        println!(
+            "  speedup: skipped — {cores} core(s); stealing cannot beat the barrier \
+             without parallel hardware"
+        );
+    }
+
+    if failures.is_empty() {
+        println!("skewbench: OK");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("skewbench: FAILED: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -22,6 +22,7 @@
 
 use crate::lineage::{OpKind, PlanNode};
 use crate::runtime::Runtime;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// How a dataset's records are distributed across partitions.
@@ -51,7 +52,42 @@ enum Plan<T> {
     Lazy {
         parts: usize,
         producer: Arc<dyn Fn(usize, &mut dyn FnMut(&T)) + Send + Sync>,
+        /// Morsel capability: present when the chain is element-wise all the
+        /// way down to its source, so any source row range can be run
+        /// independently (see [`SplitCap`]). `None` for whole-partition
+        /// operators (`map_partitions`), which pins the plan to the barrier
+        /// scheduler.
+        split: Option<SplitCap<T>>,
     },
+}
+
+/// The capability that lets the work-stealing scheduler split a plan's
+/// partitions into row-range morsels.
+///
+/// A plan is *splittable* when its fused chain is element-wise (each output
+/// element depends on exactly one source element, order preserved): `map`,
+/// `filter`, `flat_map`, and `union` of splittable sides qualify;
+/// `map_partitions` does not. For a splittable chain, running
+/// `produce_range` over consecutive ranges covering `0..rows(i)` and
+/// concatenating the outputs yields exactly what one full-partition pass
+/// produces — the order-preserving-merge invariant the morsel scheduler
+/// relies on. Ranges always index **source** rows of partition `i`
+/// (pre-filter, pre-flat-map), which is what makes morsel cuts well-defined
+/// without running the chain.
+pub(crate) struct SplitCap<T> {
+    /// Source rows of partition `i` — the space morsel ranges are cut from.
+    pub rows: Arc<dyn Fn(usize) -> usize + Send + Sync>,
+    /// Streams the chain's output for source rows `range` of partition `i`.
+    pub produce_range: Arc<dyn Fn(usize, Range<usize>, &mut dyn FnMut(&T)) + Send + Sync>,
+}
+
+impl<T> Clone for SplitCap<T> {
+    fn clone(&self) -> Self {
+        SplitCap {
+            rows: Arc::clone(&self.rows),
+            produce_range: Arc::clone(&self.produce_range),
+        }
+    }
 }
 
 /// An immutable partitioned collection with a lazy narrow-operator plan.
@@ -238,6 +274,29 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         }
     }
 
+    /// The plan's morsel capability, if it is splittable (see [`SplitCap`]).
+    /// Materialized sources are trivially splittable (a range is a slice);
+    /// lazy chains carry the capability built up by their element-wise
+    /// operators, or `None` once a whole-partition operator joined the
+    /// chain.
+    pub(crate) fn split_cap(&self) -> Option<SplitCap<T>> {
+        match &self.plan {
+            Plan::Source(parts) => {
+                let sizes = Arc::clone(parts);
+                let slices = Arc::clone(parts);
+                Some(SplitCap {
+                    rows: Arc::new(move |i| sizes[i].len()),
+                    produce_range: Arc::new(move |i, range: Range<usize>, sink| {
+                        for x in &slices[i][range] {
+                            sink(x);
+                        }
+                    }),
+                })
+            }
+            Plan::Lazy { split, .. } => split.clone(),
+        }
+    }
+
     /// Runs the plan (one fused task wave) and returns a source-backed
     /// dataset sharing the same partitioning tag. No-op when already
     /// materialized.
@@ -246,11 +305,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
             Plan::Source(_) => self.clone(),
             Plan::Lazy { .. } => {
                 let partitions: Vec<Arc<Vec<T>>> = self
-                    .run_per_partition(rt, |i, d| {
-                        let mut out = Vec::new();
-                        d.produce(i, &mut |x| out.push(x.clone()));
-                        out
-                    })
+                    .gather_partitions(rt)
                     .into_iter()
                     .map(Arc::new)
                     .collect();
@@ -289,9 +344,53 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         rt.run_indexed(self.num_partitions(), move |i| f(i, &d))
     }
 
+    /// Runs each partition's fused chain into an owned `Vec`, using the
+    /// work-stealing morsel scheduler when the runtime has it on *and* the
+    /// plan is splittable; otherwise one barrier task per partition.
+    /// Concatenating morsel outputs in range order reproduces the
+    /// full-partition pass exactly (see [`SplitCap`]), so both schedulers
+    /// return byte-identical partitions.
+    fn gather_partitions(&self, rt: &Runtime) -> Vec<Vec<T>> {
+        if rt.stealing() {
+            if let Some(cap) = self.split_cap() {
+                let sizes: Vec<usize> = (0..self.num_partitions()).map(|i| (cap.rows)(i)).collect();
+                let produce_range = Arc::clone(&cap.produce_range);
+                return rt
+                    .run_morsels(&sizes, move |i, range| {
+                        let mut out = Vec::new();
+                        produce_range(i, range, &mut |x| out.push(x.clone()));
+                        out
+                    })
+                    .into_iter()
+                    .map(|morsels| morsels.into_iter().flatten().collect())
+                    .collect();
+            }
+        }
+        self.run_per_partition(rt, |i, d| {
+            let mut out = Vec::new();
+            d.produce(i, &mut |x| out.push(x.clone()));
+            out
+        })
+    }
+
     /// Total number of elements. Runs the fused chain without materializing
     /// or cloning anything.
     pub fn count(&self, rt: &Runtime) -> usize {
+        if rt.stealing() {
+            if let Some(cap) = self.split_cap() {
+                let sizes: Vec<usize> = (0..self.num_partitions()).map(|i| (cap.rows)(i)).collect();
+                let produce_range = Arc::clone(&cap.produce_range);
+                return rt
+                    .run_morsels(&sizes, move |i, range| {
+                        let mut n = 0usize;
+                        produce_range(i, range, &mut |_x| n += 1);
+                        n
+                    })
+                    .into_iter()
+                    .flatten()
+                    .sum();
+            }
+        }
         self.run_per_partition(rt, |i, d| {
             let mut n = 0usize;
             d.produce(i, &mut |_x| n += 1);
@@ -304,11 +403,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     /// Materializes all elements in partition order. Partitions are gathered
     /// in parallel on the worker pool, then concatenated in order.
     pub fn collect(&self, rt: &Runtime) -> Vec<T> {
-        let partitions = self.run_per_partition(rt, |i, d| {
-            let mut out = Vec::new();
-            d.produce(i, &mut |x| out.push(x.clone()));
-            out
-        });
+        let partitions = self.gather_partitions(rt);
         let total = partitions.iter().map(Vec::len).sum();
         let mut out = Vec::with_capacity(total);
         for p in partitions {
@@ -324,6 +419,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         F: Fn(&T) -> U + Send + Sync + 'static,
     {
         let up = self.clone();
+        let f = Arc::new(f);
         let lineage = PlanNode::new(
             "map",
             OpKind::Map,
@@ -333,6 +429,18 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
             std::mem::size_of::<U>() as u64,
             vec![Arc::clone(&self.lineage)],
         );
+        let split = up.split_cap().map(|cap| {
+            let f = Arc::clone(&f);
+            SplitCap {
+                rows: Arc::clone(&cap.rows),
+                produce_range: Arc::new(move |i, range: Range<usize>, sink| {
+                    (cap.produce_range)(i, range, &mut |x| {
+                        let u = f(x);
+                        sink(&u);
+                    });
+                }),
+            }
+        });
         Dataset {
             plan: Plan::Lazy {
                 parts: self.num_partitions(),
@@ -342,6 +450,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
                         sink(&u);
                     });
                 }),
+                split,
             },
             partitioning: Partitioning::Unknown,
             lineage,
@@ -356,6 +465,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         F: Fn(&T) -> I + Send + Sync + 'static,
     {
         let up = self.clone();
+        let f = Arc::new(f);
         let lineage = PlanNode::new(
             "flat_map",
             OpKind::FlatMap,
@@ -365,6 +475,19 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
             std::mem::size_of::<U>() as u64,
             vec![Arc::clone(&self.lineage)],
         );
+        let split = up.split_cap().map(|cap| {
+            let f = Arc::clone(&f);
+            SplitCap {
+                rows: Arc::clone(&cap.rows),
+                produce_range: Arc::new(move |i, range: Range<usize>, sink| {
+                    (cap.produce_range)(i, range, &mut |x| {
+                        for u in f(x) {
+                            sink(&u);
+                        }
+                    });
+                }),
+            }
+        });
         Dataset {
             plan: Plan::Lazy {
                 parts: self.num_partitions(),
@@ -375,6 +498,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
                         }
                     });
                 }),
+                split,
             },
             partitioning: Partitioning::Unknown,
             lineage,
@@ -389,6 +513,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         F: Fn(&T) -> bool + Send + Sync + 'static,
     {
         let up = self.clone();
+        let f = Arc::new(f);
         let lineage = PlanNode::new(
             "filter",
             OpKind::Filter,
@@ -398,6 +523,19 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
             std::mem::size_of::<T>() as u64,
             vec![Arc::clone(&self.lineage)],
         );
+        let split = up.split_cap().map(|cap| {
+            let f = Arc::clone(&f);
+            SplitCap {
+                rows: Arc::clone(&cap.rows),
+                produce_range: Arc::new(move |i, range: Range<usize>, sink| {
+                    (cap.produce_range)(i, range, &mut |x| {
+                        if f(x) {
+                            sink(x);
+                        }
+                    });
+                }),
+            }
+        });
         Dataset {
             plan: Plan::Lazy {
                 parts: self.num_partitions(),
@@ -408,6 +546,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
                         }
                     });
                 }),
+                split,
             },
             partitioning: self.partitioning,
             lineage,
@@ -449,6 +588,10 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
                         sink(u);
                     }
                 }),
+                // Whole-partition closures see all rows at once: no morsel
+                // cut can be proven output-equivalent, so the chain loses
+                // its split capability here.
+                split: None,
             },
             partitioning: Partitioning::Unknown,
             lineage,
@@ -474,6 +617,24 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
             std::mem::size_of::<T>() as u64,
             vec![Arc::clone(&self.lineage), Arc::clone(&other.lineage)],
         );
+        let split_cap = match (left.split_cap(), right.split_cap()) {
+            // Union appends partition lists, so the capability dispatches on
+            // the partition index: both sides stay splittable independently.
+            (Some(l), Some(r)) => Some(SplitCap {
+                rows: {
+                    let (l, r) = (Arc::clone(&l.rows), Arc::clone(&r.rows));
+                    Arc::new(move |i| if i < split { l(i) } else { r(i - split) })
+                },
+                produce_range: Arc::new(move |i, range: Range<usize>, sink| {
+                    if i < split {
+                        (l.produce_range)(i, range, sink);
+                    } else {
+                        (r.produce_range)(i - split, range, sink);
+                    }
+                }),
+            }),
+            _ => None,
+        };
         Dataset {
             plan: Plan::Lazy {
                 parts: split + right.num_partitions(),
@@ -484,6 +645,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
                         right.produce(i - split, sink);
                     }
                 }),
+                split: split_cap,
             },
             partitioning: Partitioning::Unknown,
             lineage,
@@ -629,6 +791,10 @@ mod tests {
     #[test]
     fn narrow_chain_is_deferred_and_fuses_into_one_wave() {
         let rt = rt();
+        // This test asserts barrier-scheduler task accounting; pin the mode
+        // so it holds under TGRAPH_STEAL=1 too (steal-mode accounting is
+        // covered by steal_mode_matches_barrier_results).
+        rt.set_stealing(false);
         let d = Dataset::from_vec(&rt, (0..1000).collect::<Vec<i64>>());
         let before = rt.stats();
         let chained = d.map(|x| x + 1).filter(|x| x % 3 == 0).map(|x| x * 10);
@@ -777,6 +943,69 @@ mod tests {
         // filter keeps the row estimate but downgrades it to a bound.
         assert_eq!(root.rows, Some(10));
         assert!(!root.exact);
+    }
+
+    #[test]
+    fn steal_mode_matches_barrier_results() {
+        let rt = rt();
+        rt.set_morsel_rows(16); // many morsels over the skewed partition
+        let mut parts: Vec<Vec<i64>> = vec![(0..500).collect()]; // hot: 500 of ~800 rows
+        parts.extend((0..3).map(|p| (0..100).map(|x| x + 1000 * (p + 1)).collect()));
+        let d = Dataset::from_partitions(parts);
+        let chain = |d: &Dataset<i64>| {
+            d.map(|x| x * 3)
+                .filter(|x| x % 2 == 0)
+                .flat_map(|x| [*x, -*x])
+        };
+        rt.set_stealing(false);
+        let barrier = chain(&d).collect(&rt);
+        let barrier_count = chain(&d).count(&rt);
+        rt.set_stealing(true);
+        let before = rt.stats();
+        let stolen = chain(&d).collect(&rt);
+        let stolen_count = chain(&d).count(&rt);
+        rt.set_stealing(false);
+        assert_eq!(stolen, barrier, "schedulers must agree byte-for-byte");
+        assert_eq!(stolen_count, barrier_count);
+        let delta = rt.stats().since(&before);
+        assert!(delta.morsels > 0, "steal mode must execute morsels");
+        assert_eq!(delta.tasks, 0, "steal mode bypasses barrier tasks");
+    }
+
+    #[test]
+    fn map_partitions_loses_split_capability() {
+        let rt = rt();
+        let d = Dataset::from_vec(&rt, (0..64).collect::<Vec<i32>>());
+        assert!(d.map(|x| x + 1).split_cap().is_some());
+        assert!(d.union(&d).split_cap().is_some());
+        let pinned = d.map_partitions(|p| p.to_vec());
+        assert!(pinned.split_cap().is_none());
+        assert!(
+            pinned.map(|x| *x).split_cap().is_none(),
+            "capability cannot reappear downstream of a whole-partition op"
+        );
+        // With stealing on, a non-splittable plan falls back to the barrier
+        // scheduler — and still returns the right answer.
+        rt.set_stealing(true);
+        let before = rt.stats();
+        assert_eq!(pinned.collect(&rt), (0..64).collect::<Vec<_>>());
+        rt.set_stealing(false);
+        let delta = rt.stats().since(&before);
+        assert_eq!(delta.morsels, 0);
+        assert!(delta.tasks > 0, "fallback runs as barrier tasks");
+    }
+
+    #[test]
+    fn steal_mode_union_splits_both_sides() {
+        let rt = rt();
+        rt.set_morsel_rows(8);
+        let a = Dataset::from_vec(&rt, (0..100i64).collect());
+        let b = Dataset::from_vec(&rt, (100..150i64).collect());
+        let u = a.map(|x| x * 2).union(&b.map(|x| x * 2));
+        rt.set_stealing(true);
+        let got = u.collect(&rt);
+        rt.set_stealing(false);
+        assert_eq!(got, (0..150i64).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod keyed;
 pub mod lineage;
 pub mod pool;
 pub mod runtime;
+mod steal;
 
 pub use cancel::{CancelToken, Cancelled};
 pub use dataset::{Dataset, Partitioning};

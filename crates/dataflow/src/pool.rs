@@ -4,13 +4,29 @@
 //! submits one task per partition and waits for all of them to finish. Tasks
 //! are `'static` closures; datasets share partition payloads via `Arc`, so
 //! capturing them is a reference-count bump, not a copy.
+//!
+//! Batch execution is **fail-fast but fully drained**: when a task panics,
+//! the remaining tasks of the same wave are skipped (their bodies never
+//! run), but the wave does not unwind to the caller until every submitted
+//! task has reported back — a failed wave can never leave stragglers racing
+//! a subsequent wave's work on the pool.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// What one task of a batch reported back.
+enum TaskReport<R> {
+    /// The task ran to completion.
+    Done(R),
+    /// The task was skipped because an earlier sibling panicked.
+    Skipped,
+    /// The task panicked; the payload is re-thrown after the wave drains.
+    Panicked(Box<dyn std::any::Any + Send + 'static>),
+}
 
 /// A fixed-size pool of worker threads executing submitted jobs.
 pub struct ThreadPool {
@@ -29,15 +45,10 @@ impl ThreadPool {
         let workers = (0..size)
             .map(|i| {
                 let rx = receiver.clone();
-                let counter = Arc::clone(&tasks_run);
                 std::thread::Builder::new()
                     .name(format!("tgraph-worker-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
-                            // Count before running: the job's completion signal
-                            // (its result-channel send) must not be observable
-                            // before the counter reflects the task.
-                            counter.fetch_add(1, Ordering::Relaxed);
                             job();
                         }
                     })
@@ -58,7 +69,11 @@ impl ThreadPool {
         self.size
     }
 
-    /// Total number of tasks executed since creation.
+    /// Total number of batch tasks executed since creation. Counts every
+    /// [`run_batch`](ThreadPool::run_batch) task — including single-task
+    /// batches run inline on the caller thread — but not raw
+    /// [`execute`](ThreadPool::execute) jobs (those are scheduler plumbing,
+    /// e.g. morsel-wave drivers, not logical tasks).
     pub fn tasks_run(&self) -> u64 {
         self.tasks_run.load(Ordering::Relaxed)
     }
@@ -77,8 +92,11 @@ impl ThreadPool {
     /// Runs a batch of result-producing tasks, blocking until all complete,
     /// and returns results in task order.
     ///
-    /// Panics in a task are propagated to the caller (fail-fast, like a Spark
-    /// job aborting on a task failure).
+    /// Panics in a task are propagated to the caller (fail-fast, like a
+    /// Spark job aborting on a task failure) — but only after the whole wave
+    /// has drained: sibling tasks still queued when the panic happens skip
+    /// their bodies and report back, so no task of a failed wave is left
+    /// running detached when the caller resumes.
     pub fn run_batch<R: Send + 'static>(
         &self,
         tasks: Vec<Box<dyn FnOnce() -> R + Send + 'static>>,
@@ -88,29 +106,62 @@ impl ThreadPool {
             return Vec::new();
         }
         // Run small batches inline: dispatch overhead dominates otherwise.
+        // Inline tasks are still tasks — count them (satellite fix: the
+        // inline fast path used to bypass the counter, undercounting
+        // `RuntimeStats.tasks` on single-partition plans).
         if n == 1 {
             // lint:allow(unwrap): n == 1 checked on the line above
             let task = tasks.into_iter().next().unwrap();
+            self.tasks_run.fetch_add(1, Ordering::Relaxed);
             return vec![task()];
         }
-        let (tx, rx) = unbounded::<(usize, std::thread::Result<R>)>();
+        let abort = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = unbounded::<(usize, TaskReport<R>)>();
         for (idx, task) in tasks.into_iter().enumerate() {
             let tx = tx.clone();
+            let abort = Arc::clone(&abort);
+            let counter = Arc::clone(&self.tasks_run);
             self.execute(Box::new(move || {
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
-                // Receiver may be gone if the caller already panicked.
-                let _ = tx.send((idx, result));
+                if abort.load(Ordering::Acquire) {
+                    // A sibling already panicked: skip the body, but still
+                    // report so the caller's drain loop completes.
+                    let _ = tx.send((idx, TaskReport::Skipped));
+                    return;
+                }
+                // Count before running: the job's completion signal (its
+                // result-channel send) must not be observable before the
+                // counter reflects the task.
+                counter.fetch_add(1, Ordering::Relaxed);
+                let report = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
+                    Ok(r) => TaskReport::Done(r),
+                    Err(payload) => {
+                        abort.store(true, Ordering::Release);
+                        TaskReport::Panicked(payload)
+                    }
+                };
+                let _ = tx.send((idx, report));
             }));
         }
         drop(tx);
         let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut first_panic: Option<Box<dyn std::any::Any + Send + 'static>> = None;
         for _ in 0..n {
             // lint:allow(expect): each task sends exactly once; a closed channel means a worker died
-            let (idx, result) = rx.recv().expect("task result channel closed early");
-            match result {
-                Ok(r) => slots[idx] = Some(r),
-                Err(payload) => std::panic::resume_unwind(payload),
+            let (idx, report) = rx.recv().expect("task result channel closed early");
+            match report {
+                TaskReport::Done(r) => slots[idx] = Some(r),
+                TaskReport::Skipped => {}
+                TaskReport::Panicked(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
             }
+        }
+        // Every task has reported: the wave is fully drained, so unwinding
+        // now cannot race tasks of this wave against later waves.
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
         }
         slots
             .into_iter()
@@ -166,16 +217,32 @@ mod tests {
     }
 
     #[test]
-    fn single_task_runs_inline() {
+    fn single_inline_task_is_counted() {
+        // Satellite regression test: the inline fast path must count its
+        // task like any other, or `RuntimeStats.tasks` undercounts relative
+        // to `waves` on single-partition plans.
         let pool = ThreadPool::new(2);
         let before = pool.tasks_run();
         let results = pool.run_batch(vec![Box::new(|| 41 + 1) as Box<dyn FnOnce() -> i32 + Send>]);
         assert_eq!(results, vec![42]);
-        assert_eq!(
-            pool.tasks_run(),
-            before,
-            "single task must not hit the queue"
-        );
+        assert_eq!(pool.tasks_run(), before + 1, "inline task must be counted");
+    }
+
+    #[test]
+    fn execute_jobs_are_not_counted_as_tasks() {
+        let pool = ThreadPool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        let before = pool.tasks_run();
+        for _ in 0..4 {
+            let d = Arc::clone(&done);
+            pool.execute(Box::new(move || {
+                d.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        while done.load(Ordering::SeqCst) < 4 {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.tasks_run(), before, "raw jobs are plumbing, not tasks");
     }
 
     #[test]
@@ -190,6 +257,46 @@ mod tests {
             pool.run_batch(tasks);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn failed_wave_drains_before_unwinding() {
+        // Satellite regression test: when a task panics, run_batch must not
+        // resume_unwind while sibling tasks are still queued/running — they
+        // must all report (skipped or done) first, so a failed wave cannot
+        // race a subsequent wave.
+        let pool = ThreadPool::new(1); // strictly sequential queue
+        let ran = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..16u32)
+            .map(|i| {
+                let ran = Arc::clone(&ran);
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    if i == 0 {
+                        panic!("first task fails");
+                    }
+                    i
+                }) as _
+            })
+            .collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_batch(tasks);
+        }));
+        assert!(result.is_err());
+        // The panic aborted the wave: later siblings were skipped, and — the
+        // actual drain guarantee — none of them can still be pending now.
+        let after_unwind = ran.load(Ordering::SeqCst);
+        assert!(
+            after_unwind < 16,
+            "siblings queued behind the panic must be skipped"
+        );
+        // A fresh wave on the same pool sees no stragglers from the failed
+        // one: the skipped tasks already drained off the queue.
+        let ran2 = Arc::clone(&ran);
+        let ok: Vec<u32> = pool
+            .run_batch(vec![Box::new(move || ran2.load(Ordering::SeqCst) as u32)
+                as Box<dyn FnOnce() -> u32 + Send>]);
+        assert_eq!(ok[0] as usize, after_unwind, "no straggler ran in between");
     }
 
     #[test]

@@ -1,0 +1,354 @@
+//! Morsel-driven, work-stealing wave execution — the engine's answer to
+//! skewed partitions.
+//!
+//! The barrier scheduler in [`Runtime::run_indexed`](crate::Runtime::run_indexed)
+//! launches one task per partition and waits for the slowest: on heavy-tailed
+//! data (one partition holding half the rows) every wave costs the *hottest*
+//! partition's latency while the other workers idle — the shared-memory
+//! analogue of Spark's straggler problem.
+//!
+//! This module splits large partitions **at dispatch** into fixed-size
+//! *morsels* (row-range sub-tasks over the `Arc`'d partition payloads, so
+//! splitting moves no data), seeds each pool worker's deque with the morsels
+//! of "its" partitions (partition *i* → deque *i mod workers*, mirroring the
+//! barrier assignment), and lets idle workers **steal from the tail** of
+//! busy workers' deques. Per-partition results are reassembled in morsel
+//! order, so callers observe exactly the per-partition outputs the barrier
+//! scheduler would have produced — only the physical task granularity
+//! changes.
+//!
+//! Cancellation is finer-grained than the barrier path: drivers observe the
+//! installed [`CancelToken`](crate::CancelToken) *between morsels*, so a
+//! server deadline interrupts a hot partition mid-way instead of waiting for
+//! its whole task to finish.
+
+use crate::cancel::CancelToken;
+use crate::pool::ThreadPool;
+use crossbeam::channel::unbounded;
+use crossbeam::deque::{Steal, Stealer, Worker};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One unit of scheduled work: a row range of one partition.
+struct Morsel {
+    /// Index into the wave's flat result table.
+    global: usize,
+    /// Partition the rows belong to.
+    part: usize,
+    /// Row range within the partition.
+    range: Range<usize>,
+}
+
+/// How a morsel wave ended.
+pub(crate) enum WaveOutcome {
+    /// Every morsel executed.
+    Completed,
+    /// The cancel token tripped; remaining morsels were skipped.
+    Cancelled,
+    /// A morsel panicked; the payload is re-thrown by the caller after the
+    /// wave drained.
+    Panicked(Box<dyn std::any::Any + Send + 'static>),
+}
+
+/// Result of a morsel wave: per-partition results (morsel order) plus the
+/// accounting the runtime folds into [`RuntimeStats`](crate::RuntimeStats).
+pub(crate) struct WaveResult<R> {
+    /// Results per partition, one `Vec` entry per morsel, in row order.
+    /// Empty when the wave did not complete.
+    pub per_partition: Vec<Vec<R>>,
+    /// Morsels executed.
+    pub executed: u64,
+    /// Morsels skipped (cancellation or fail-fast abort).
+    pub skipped: u64,
+    /// Morsels taken from another worker's deque.
+    pub steals: u64,
+    /// Longest single morsel, in microseconds.
+    pub max_morsel_us: u64,
+    /// How the wave ended.
+    pub outcome: WaveOutcome,
+}
+
+/// Splits `sizes[i]` rows of each partition into morsels of at most
+/// `morsel_rows` rows and executes them on the pool under work stealing.
+/// Blocks until every driver has drained (no straggler can outlive the
+/// wave, mirroring the batch scheduler's drain guarantee).
+pub(crate) fn run_wave<R, F>(
+    pool: &ThreadPool,
+    sizes: &[usize],
+    morsel_rows: usize,
+    token: Option<CancelToken>,
+    f: Arc<F>,
+) -> WaveResult<R>
+where
+    R: Send + 'static,
+    F: Fn(usize, Range<usize>) -> R + Send + Sync + 'static,
+{
+    let morsel_rows = morsel_rows.max(1);
+    // Cut partitions into morsels; remember how many each partition got so
+    // the flat result table can be reassembled per partition afterwards.
+    let mut morsels: Vec<Morsel> = Vec::new();
+    let mut counts: Vec<usize> = Vec::with_capacity(sizes.len());
+    for (part, &rows) in sizes.iter().enumerate() {
+        let mut n = 0;
+        let mut lo = 0;
+        while lo < rows {
+            let hi = (lo + morsel_rows).min(rows);
+            morsels.push(Morsel {
+                global: morsels.len(),
+                part,
+                range: lo..hi,
+            });
+            lo = hi;
+            n += 1;
+        }
+        counts.push(n);
+    }
+    let total = morsels.len();
+    if total == 0 {
+        return WaveResult {
+            per_partition: sizes.iter().map(|_| Vec::new()).collect(),
+            executed: 0,
+            skipped: 0,
+            steals: 0,
+            max_morsel_us: 0,
+            outcome: WaveOutcome::Completed,
+        };
+    }
+
+    // Seed per-worker deques: partition i's morsels go to deque i mod k, in
+    // row order — the same initial placement the barrier scheduler implies,
+    // so stealing only redistributes work that would otherwise straggle.
+    let k = pool.size().min(total);
+    let deques: Vec<Worker<Morsel>> = (0..k).map(|_| Worker::new_fifo()).collect();
+    for m in morsels {
+        deques[m.part % k].push(m);
+    }
+    let stealers: Vec<Stealer<Morsel>> = deques.iter().map(Worker::stealer).collect();
+
+    let abort = Arc::new(AtomicBool::new(false));
+    let cancelled = Arc::new(AtomicBool::new(false));
+    let steals = Arc::new(AtomicU64::new(0));
+    let panic_slot: Arc<Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>> =
+        Arc::new(Mutex::new(None));
+    let (tx, rx) = unbounded::<(usize, R, u64)>();
+
+    for (me, local) in deques.into_iter().enumerate() {
+        let stealers = stealers.clone();
+        let abort = Arc::clone(&abort);
+        let cancelled = Arc::clone(&cancelled);
+        let steals = Arc::clone(&steals);
+        let panic_slot = Arc::clone(&panic_slot);
+        let token = token.clone();
+        let f = Arc::clone(&f);
+        let tx = tx.clone();
+        pool.execute(Box::new(move || {
+            let mut stolen = 0u64;
+            loop {
+                if abort.load(Ordering::Acquire) {
+                    break;
+                }
+                // Own deque first (front = row order), then sweep the other
+                // workers' tails. All morsels are enqueued before dispatch,
+                // so empty-everywhere means the wave has no work left.
+                let next = local.pop().or_else(|| {
+                    (1..stealers.len()).find_map(|d| {
+                        match stealers[(me + d) % stealers.len()].steal() {
+                            Steal::Success(m) => {
+                                stolen += 1;
+                                Some(m)
+                            }
+                            _ => None,
+                        }
+                    })
+                });
+                let Some(m) = next else { break };
+                if token.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    cancelled.store(true, Ordering::Release);
+                    abort.store(true, Ordering::Release);
+                    break;
+                }
+                let start = Instant::now();
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    f(m.part, m.range.clone())
+                })) {
+                    Ok(r) => {
+                        let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                        let _ = tx.send((m.global, r, us));
+                    }
+                    Err(payload) => {
+                        let mut slot = panic_slot.lock().unwrap_or_else(|e| e.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        drop(slot);
+                        abort.store(true, Ordering::Release);
+                        break;
+                    }
+                }
+            }
+            steals.fetch_add(stolen, Ordering::Relaxed);
+        }));
+    }
+    drop(tx);
+
+    // Drain: the channel closes only when every driver has exited, so a
+    // completed (or failed) wave leaves nothing running on the pool.
+    let mut slots: Vec<Option<R>> = (0..total).map(|_| None).collect();
+    let mut executed = 0u64;
+    let mut max_morsel_us = 0u64;
+    while let Ok((global, r, us)) = rx.recv() {
+        slots[global] = Some(r);
+        executed += 1;
+        max_morsel_us = max_morsel_us.max(us);
+    }
+
+    let steals = steals.load(Ordering::Relaxed);
+    let skipped = total as u64 - executed;
+    let outcome = {
+        let mut slot = panic_slot.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(payload) = slot.take() {
+            WaveOutcome::Panicked(payload)
+        } else if cancelled.load(Ordering::Acquire) {
+            WaveOutcome::Cancelled
+        } else {
+            WaveOutcome::Completed
+        }
+    };
+    let per_partition = match outcome {
+        WaveOutcome::Completed => {
+            let mut iter = slots.into_iter();
+            counts
+                .iter()
+                .map(|&n| {
+                    iter.by_ref()
+                        .take(n)
+                        // lint:allow(expect): a completed wave filled every slot
+                        .map(|s| s.expect("missing morsel result"))
+                        .collect()
+                })
+                .collect()
+        }
+        _ => Vec::new(),
+    };
+    WaveResult {
+        per_partition,
+        executed,
+        skipped,
+        steals,
+        max_morsel_us,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run<R, F>(workers: usize, sizes: &[usize], morsel_rows: usize, f: F) -> WaveResult<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize, Range<usize>) -> R + Send + Sync + 'static,
+    {
+        let pool = ThreadPool::new(workers);
+        run_wave(&pool, sizes, morsel_rows, None, Arc::new(f))
+    }
+
+    #[test]
+    fn reassembles_ranges_in_partition_order() {
+        let result = run(4, &[10, 0, 7, 3], 4, |part, range| (part, range));
+        assert!(matches!(result.outcome, WaveOutcome::Completed));
+        assert_eq!(
+            result.per_partition,
+            vec![
+                vec![(0, 0..4), (0, 4..8), (0, 8..10)],
+                vec![],
+                vec![(2, 0..4), (2, 4..7)],
+                vec![(3, 0..3)],
+            ]
+        );
+        assert_eq!(result.executed, 6);
+        assert_eq!(result.skipped, 0);
+    }
+
+    #[test]
+    fn empty_wave_completes_without_dispatch() {
+        let result = run(2, &[0, 0], 16, |part, _| part);
+        assert!(matches!(result.outcome, WaveOutcome::Completed));
+        assert_eq!(result.per_partition, vec![Vec::<usize>::new(), Vec::new()]);
+        assert_eq!(result.executed, 0);
+    }
+
+    #[test]
+    fn panic_aborts_and_drains() {
+        let result = run(2, &[64], 1, |_, range| {
+            if range.start == 5 {
+                panic!("morsel exploded");
+            }
+            range.start
+        });
+        match result.outcome {
+            WaveOutcome::Panicked(payload) => {
+                let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+                assert_eq!(msg, "morsel exploded");
+            }
+            _ => panic!("expected a panicked wave"),
+        }
+        assert!(result.executed < 64, "abort must skip remaining morsels");
+        assert_eq!(result.executed + result.skipped, 64);
+        assert!(result.per_partition.is_empty());
+    }
+
+    #[test]
+    fn cancellation_between_morsels() {
+        let token = CancelToken::new();
+        let pool = ThreadPool::new(1); // sequential: first morsel trips, rest skip
+        let t = token.clone();
+        let result = run_wave(
+            &pool,
+            &[32],
+            1,
+            Some(token),
+            Arc::new(move |_, range: Range<usize>| {
+                if range.start == 0 {
+                    t.cancel();
+                }
+                range.start
+            }),
+        );
+        assert!(matches!(result.outcome, WaveOutcome::Cancelled));
+        assert!(result.executed < 32);
+        assert!(result.skipped > 0);
+    }
+
+    #[test]
+    fn hot_partition_is_stolen_from() {
+        // One partition holds all the work; with several workers, everything
+        // a non-owner executes is by definition a steal.
+        let result = run(4, &[256, 0, 0, 0], 1, |_, range| {
+            // Enough work per morsel that drivers overlap.
+            let mut acc = range.start as u64;
+            for i in 0..20_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        });
+        assert!(matches!(result.outcome, WaveOutcome::Completed));
+        assert_eq!(result.executed, 256);
+        assert!(
+            result.steals > 0,
+            "idle workers must steal from the hot partition's deque"
+        );
+    }
+
+    #[test]
+    fn morsel_rows_floor_is_one() {
+        let result = run(2, &[3], 0, |_, range| range);
+        assert_eq!(
+            result.per_partition,
+            vec![vec![0..1, 1..2, 2..3]],
+            "morsel_rows 0 must clamp to 1, not loop forever"
+        );
+    }
+}

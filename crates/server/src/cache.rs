@@ -120,15 +120,30 @@ impl ResultCache {
 
     /// Inserts (or refreshes) `key → bytes`, evicting least-recently-used
     /// entries until the budget holds. An entry larger than the whole budget
-    /// is not cached at all.
+    /// is never cached — whether it arrives as a fresh insert or as a
+    /// refresh that grew past the budget (the refresh path drops the entry
+    /// instead of flushing every other resident entry first).
     pub fn insert(&self, key: &CacheKey, bytes: Arc<[u8]>) {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let inner = &mut *inner;
         // Replace an existing entry for the same key in place.
         if let Some(entries) = inner.map.get_mut(&key.hash) {
-            if let Some(e) = entries.iter_mut().find(|e| e.canonical == key.canonical) {
+            if let Some(idx) = entries.iter().position(|e| e.canonical == key.canonical) {
+                let e = &mut entries[idx];
                 inner.bytes_used -= e.cost();
                 e.bytes = Arc::clone(&bytes);
+                if e.cost() > self.byte_budget {
+                    // The refreshed value alone overflows the budget. Caching
+                    // it would evict every other entry and *still* not fit, so
+                    // drop the entry entirely — same policy as an oversized
+                    // fresh insert.
+                    inner.recency.remove(&e.tick);
+                    entries.swap_remove(idx);
+                    if entries.is_empty() {
+                        inner.map.remove(&key.hash);
+                    }
+                    return;
+                }
                 let fresh = inner.next_tick;
                 inner.next_tick += 1;
                 inner.recency.remove(&e.tick);
@@ -196,6 +211,17 @@ impl ResultCache {
             bytes_used,
             byte_budget: self.byte_budget,
         }
+    }
+
+    /// Whether `key` is resident, **without** refreshing its recency — a
+    /// pure probe for tests and metrics, unlike [`get`](ResultCache::get)
+    /// which promotes the entry to most-recently-used.
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .map
+            .get(&key.hash)
+            .is_some_and(|entries| entries.iter().any(|e| e.canonical == key.canonical))
     }
 
     /// Number of resident entries.
@@ -298,6 +324,224 @@ mod tests {
         c.insert(&k, payload(20, 2));
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(&k).as_deref(), Some(&[2u8; 20][..]));
+    }
+
+    /// Satellite regression test: a refresh whose new value alone exceeds
+    /// the budget must drop the entry, not flush every *other* resident
+    /// entry first (the old `evict_to_budget`-after-refresh path evicted the
+    /// whole cache oldest-first before finally removing the oversized entry
+    /// itself).
+    #[test]
+    fn oversized_refresh_drops_only_the_refreshed_entry() {
+        // Each small entry costs 100 + 2 + 64 = 166; budget fits all four.
+        let c = ResultCache::new(1000);
+        for (h, name) in [(1, "k1"), (2, "k2"), (3, "k3")] {
+            c.insert(&key(h, name), payload(100, h as u8));
+        }
+        c.insert(&key(9, "kg"), payload(100, 9));
+        assert_eq!(c.len(), 4);
+        // Refresh kg with a payload larger than the entire budget.
+        c.insert(&key(9, "kg"), payload(2000, 9));
+        assert!(!c.contains(&key(9, "kg")), "oversized refresh is dropped");
+        for (h, name) in [(1, "k1"), (2, "k2"), (3, "k3")] {
+            assert!(
+                c.contains(&key(h, name)),
+                "{name} must survive an oversized refresh of another key"
+            );
+        }
+        assert_eq!(c.stats().evictions, 0, "no other entry was evicted");
+        let used = c.stats().bytes_used;
+        assert_eq!(used, 3 * 166, "accounting excludes the dropped entry");
+    }
+
+    #[test]
+    fn contains_does_not_refresh_recency() {
+        // Budget for exactly two 166-byte entries.
+        let c = ResultCache::new(340);
+        c.insert(&key(1, "k1"), payload(100, 1));
+        c.insert(&key(2, "k2"), payload(100, 2));
+        // Probe k1 with contains(): unlike get(), this must NOT promote it.
+        assert!(c.contains(&key(1, "k1")));
+        c.insert(&key(3, "k3"), payload(100, 3));
+        assert!(!c.contains(&key(1, "k1")), "k1 was still the LRU entry");
+        assert!(c.contains(&key(2, "k2")));
+        assert!(c.contains(&key(3, "k3")));
+    }
+
+    /// A shadow model of the cache: entries kept in recency order (front =
+    /// least recently used), with the same cost formula. Used by the
+    /// property tests to predict residency, eviction order, and byte
+    /// accounting after every operation.
+    struct Shadow {
+        budget: u64,
+        /// (hash, canonical, payload_len), LRU first.
+        entries: Vec<(u64, String, usize)>,
+    }
+
+    impl Shadow {
+        fn new(budget: u64) -> Self {
+            Shadow {
+                budget,
+                entries: Vec::new(),
+            }
+        }
+
+        fn cost(canonical: &str, len: usize) -> u64 {
+            (len + canonical.len() + 64) as u64
+        }
+
+        fn used(&self) -> u64 {
+            self.entries
+                .iter()
+                .map(|(_, c, l)| Shadow::cost(c, *l))
+                .sum()
+        }
+
+        fn position(&self, hash: u64, canonical: &str) -> Option<usize> {
+            self.entries
+                .iter()
+                .position(|(h, c, _)| *h == hash && c == canonical)
+        }
+
+        /// Mirrors `ResultCache::get`: promote to most-recently-used.
+        fn get(&mut self, hash: u64, canonical: &str) -> Option<usize> {
+            let idx = self.position(hash, canonical)?;
+            let e = self.entries.remove(idx);
+            let len = e.2;
+            self.entries.push(e);
+            Some(len)
+        }
+
+        /// Mirrors `ResultCache::insert`, including the oversized rules.
+        fn insert(&mut self, hash: u64, canonical: &str, len: usize) {
+            let cost = Shadow::cost(canonical, len);
+            if let Some(idx) = self.position(hash, canonical) {
+                self.entries.remove(idx);
+                if cost > self.budget {
+                    return; // oversized refresh: dropped, nothing evicted
+                }
+            } else if cost > self.budget {
+                return; // oversized fresh insert: never cached
+            }
+            self.entries.push((hash, canonical.to_string(), len));
+            while self.used() > self.budget {
+                self.entries.remove(0); // evict LRU-first
+            }
+        }
+    }
+
+    /// Property test: under a long random interleaving of gets, inserts,
+    /// refreshes, hash collisions, and oversized values, the cache agrees
+    /// with the shadow model on residency (via the non-refreshing
+    /// `contains`), payload identity, and exact byte accounting — and never
+    /// exceeds its budget.
+    #[test]
+    fn random_ops_agree_with_shadow_model() {
+        // Deterministic LCG so failures replay exactly.
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+
+        const BUDGET: u64 = 1200;
+        let c = ResultCache::new(BUDGET);
+        let mut shadow = Shadow::new(BUDGET);
+
+        // A small key universe with deliberate hash collisions: keys 0..12
+        // map onto 6 hashes, two canonical forms each.
+        let keyspace: Vec<CacheKey> = (0..12u64).map(|i| key(i % 6, &format!("q{i}"))).collect();
+
+        for step in 0..4000 {
+            let k = &keyspace[(next() % 12) as usize];
+            match next() % 3 {
+                0 => {
+                    // get: cache hit iff the shadow says resident, and the
+                    // payload length matches the shadow's record.
+                    let got = c.get(k);
+                    let expect = shadow.get(k.hash, &k.canonical);
+                    assert_eq!(
+                        got.as_ref().map(|b| b.len()),
+                        expect,
+                        "step {step}: get({k:?}) disagrees with the model"
+                    );
+                }
+                1 => {
+                    // insert / refresh with a size that is usually small but
+                    // occasionally oversized (> budget).
+                    let len = if next() % 8 == 0 {
+                        (BUDGET as usize) + 100
+                    } else {
+                        (next() % 300) as usize
+                    };
+                    c.insert(k, payload(len, (k.hash & 0xFF) as u8));
+                    shadow.insert(k.hash, &k.canonical, len);
+                }
+                _ => {
+                    // Pure probe: must not perturb recency in either model.
+                    assert_eq!(
+                        c.contains(k),
+                        shadow.position(k.hash, k.canonical.as_str()).is_some(),
+                        "step {step}: contains({k:?}) disagrees with the model"
+                    );
+                }
+            }
+            // Invariants after every operation.
+            let s = c.stats();
+            assert!(
+                s.bytes_used <= BUDGET,
+                "step {step}: bytes_used {} exceeds budget",
+                s.bytes_used
+            );
+            assert_eq!(
+                s.bytes_used,
+                shadow.used(),
+                "step {step}: byte accounting drifted from the model"
+            );
+            assert_eq!(
+                c.len(),
+                shadow.entries.len(),
+                "step {step}: resident count drifted from the model"
+            );
+            for e in &shadow.entries {
+                assert!(
+                    c.contains(&key(e.0, &e.1)),
+                    "step {step}: model says ({}, {}) is resident",
+                    e.0,
+                    e.1
+                );
+            }
+        }
+        // The run must have actually exercised eviction and collisions.
+        assert!(c.stats().evictions > 0, "run never evicted — weak test");
+        assert!(c.stats().hits > 0 && c.stats().misses > 0);
+    }
+
+    /// Property test: eviction strictly follows LRU order even when recency
+    /// is reshuffled by reads, and colliding-hash entries evict
+    /// independently (evicting one canonical form under a hash must not
+    /// disturb its sibling).
+    #[test]
+    fn eviction_follows_lru_order_under_collisions() {
+        // Budget fits exactly three 166-byte entries (3 * 166 = 498).
+        let c = ResultCache::new(500);
+        // Two of the three share hash 7 (collision), distinct canonicals.
+        c.insert(&key(7, "ca"), payload(100, 0xA));
+        c.insert(&key(7, "cb"), payload(100, 0xB));
+        c.insert(&key(8, "cc"), payload(100, 0xC));
+        // Reshuffle recency: oldest is now "cb" (ca then cc were touched).
+        assert!(c.get(&key(7, "ca")).is_some());
+        assert!(c.get(&key(8, "cc")).is_some());
+        // A fourth entry evicts exactly the LRU one — "cb" — leaving its
+        // hash-sibling "ca" resident.
+        c.insert(&key(9, "cd"), payload(100, 0xD));
+        assert!(!c.contains(&key(7, "cb")), "cb was LRU and must go");
+        assert!(c.contains(&key(7, "ca")), "hash sibling ca must survive");
+        assert!(c.contains(&key(8, "cc")));
+        assert!(c.contains(&key(9, "cd")));
+        assert_eq!(c.stats().evictions, 1);
     }
 
     #[test]

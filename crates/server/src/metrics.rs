@@ -1,9 +1,13 @@
 //! Latency histograms and request counters for the `/stats` endpoint.
 //!
-//! Histograms use power-of-two microsecond buckets (bucket *i* holds
-//! durations in `[2^i, 2^(i+1))` µs), which keeps recording a single atomic
-//! increment and gives percentile estimates within a factor of two — plenty
-//! for the serving benchmark's p50/p95/p99 reporting.
+//! Histograms use power-of-two microsecond buckets: bucket 0 holds 0 µs,
+//! bucket *i* (for `1 ≤ i < 39`) holds durations in `[2^(i-1), 2^i)` µs,
+//! and the final bucket saturates — it holds everything from `2^38` µs
+//! (~76 hours) up to `u64::MAX`. Recording is a single atomic increment and
+//! percentile estimates are within a factor of two — plenty for the serving
+//! benchmark's p50/p95/p99 reporting. A quantile that lands in the
+//! saturated final bucket is reported as the observed maximum rather than a
+//! fictitious power-of-two "upper bound" that would under-report it.
 
 use crate::json::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,7 +51,10 @@ impl Histogram {
     }
 
     /// Upper bound (µs) of the bucket containing quantile `q ∈ [0,1]`, or 0
-    /// when empty.
+    /// when empty. For the saturated final bucket (values ≥ 2^38 µs, which
+    /// has no power-of-two upper bound) the observed maximum is returned
+    /// instead — honest and tight, since the global maximum necessarily
+    /// lives in the highest non-empty bucket.
     pub fn quantile_us(&self, q: f64) -> u64 {
         let snapshot: Vec<u64> = self
             .buckets
@@ -63,11 +70,15 @@ impl Histogram {
         for (i, &n) in snapshot.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                // Bucket i holds [2^(i-1), 2^i) µs (i = 0 holds 0 µs).
+                if i == BUCKETS - 1 {
+                    break; // saturated bucket: fall through to max_us
+                }
+                // Bucket i holds [2^(i-1), 2^i) µs (i = 0 holds 0 µs), so
+                // 2^i bounds every value in it.
                 return 1u64 << i;
             }
         }
-        1u64 << (BUCKETS - 1)
+        self.max_us.load(Ordering::Relaxed)
     }
 
     /// Percentile summary as a deterministic JSON object.
@@ -191,6 +202,65 @@ mod tests {
         assert!(p99 >= 100_000, "p99 {p99} covers the outlier");
         // Monotone in q.
         assert!(h.quantile_us(0.1) <= p50 && p50 <= p99);
+    }
+
+    /// Satellite regression test: bucket boundaries match the documented
+    /// `[2^(i-1), 2^i)` mapping exactly at the edges, and the saturated
+    /// final bucket reports the observed max instead of a fictitious bound.
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        // v = 1 lives in bucket 1 = [1, 2) → reported bound 2.
+        let h = Histogram::default();
+        h.record(Duration::from_micros(1));
+        assert_eq!(h.quantile_us(1.0), 2);
+
+        for k in [1u32, 5, 17, 30] {
+            // v = 2^k is the *lower* edge of bucket k+1 = [2^k, 2^(k+1)).
+            let h = Histogram::default();
+            h.record(Duration::from_micros(1u64 << k));
+            assert_eq!(h.quantile_us(1.0), 1u64 << (k + 1), "v = 2^{k}");
+
+            // v = 2^k − 1 is the *upper* edge of bucket k = [2^(k-1), 2^k).
+            let h = Histogram::default();
+            h.record(Duration::from_micros((1u64 << k) - 1));
+            assert_eq!(h.quantile_us(1.0), 1u64 << k, "v = 2^{k} - 1");
+        }
+    }
+
+    #[test]
+    fn saturated_bucket_reports_observed_max() {
+        // Anything ≥ 2^38 µs clamps into the final bucket, whose "bound" is
+        // the recorded maximum — not a silently under-reporting 2^39.
+        let h = Histogram::default();
+        h.record(Duration::from_micros(u64::MAX));
+        assert_eq!(h.quantile_us(0.5), u64::MAX);
+        assert_eq!(h.quantile_us(1.0), u64::MAX);
+
+        let h = Histogram::default();
+        let big = (1u64 << 45) + 12345;
+        h.record(Duration::from_micros(big));
+        assert_eq!(
+            h.quantile_us(1.0),
+            big,
+            "quantile must not report below an observed value"
+        );
+
+        // A mixed population: the quantile below the saturated bucket still
+        // reports its exact power-of-two bound.
+        let h = Histogram::default();
+        for _ in 0..9 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_micros(big));
+        assert_eq!(h.quantile_us(0.5), 128);
+        assert_eq!(h.quantile_us(1.0), big);
+    }
+
+    #[test]
+    fn zero_duration_lands_in_bucket_zero() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(0));
+        assert_eq!(h.quantile_us(1.0), 1, "bucket 0 holds 0 µs; bound 2^0");
     }
 
     #[test]

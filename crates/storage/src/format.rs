@@ -60,6 +60,11 @@ pub enum StorageError {
     Io(std::io::Error),
     /// Corrupt or incompatible file contents.
     Decode(DecodeError),
+    /// A chunk payload exceeded the format's 4 GiB (`u32`) length field.
+    /// Writing it would silently truncate the length and corrupt the file,
+    /// so the writer refuses instead. The payload size is carried for the
+    /// diagnostic.
+    ChunkTooLarge(usize),
 }
 
 impl From<std::io::Error> for StorageError {
@@ -77,6 +82,10 @@ impl std::fmt::Display for StorageError {
         match self {
             StorageError::Io(e) => write!(f, "io error: {e}"),
             StorageError::Decode(e) => write!(f, "decode error: {e}"),
+            StorageError::ChunkTooLarge(len) => write!(
+                f,
+                "chunk payload of {len} bytes exceeds the format's 4 GiB limit"
+            ),
         }
     }
 }
@@ -123,18 +132,27 @@ fn row_interval_stats(intervals: impl Iterator<Item = Interval>) -> ChunkStats {
     stats
 }
 
+/// Validates a chunk payload length against the format's `u32` length
+/// field. A bare `as u32` cast here once truncated ≥ 4 GiB payloads into
+/// corrupt files whose declared length disagreed with their contents — the
+/// typed error turns that silent corruption into a refusal at write time.
+fn checked_chunk_len(len: usize) -> Result<u32, StorageError> {
+    u32::try_from(len).map_err(|_| StorageError::ChunkTooLarge(len))
+}
+
 fn write_chunk<W: Write>(
     out: &mut W,
     stats: &ChunkStats,
     payload: &[u8],
 ) -> Result<(), StorageError> {
+    let len = checked_chunk_len(payload.len())?;
     let mut head = BytesMut::with_capacity(56);
     head.put_i64_le(stats.min_start);
     head.put_i64_le(stats.max_start);
     head.put_i64_le(stats.min_end);
     head.put_i64_le(stats.max_end);
     head.put_u32_le(stats.rows);
-    head.put_u32_le(payload.len() as u32);
+    head.put_u32_le(len);
     head.put_u64_le(checksum(payload));
     out.write_all(&head)?;
     out.write_all(payload)?;
@@ -427,6 +445,28 @@ pub fn read_tgc_stats(path: &Path) -> Result<TgcStats, StorageError> {
 mod tests {
     use super::*;
     use tgraph_core::graph::figure1_graph_stable_ids;
+
+    /// Satellite regression test: a chunk payload that does not fit the
+    /// `u32` length field is refused with a typed error instead of being
+    /// truncated into a corrupt file. Exercised with synthetic lengths — no
+    /// 4 GiB buffer is allocated.
+    #[test]
+    fn oversized_chunk_length_is_refused() {
+        assert!(matches!(
+            checked_chunk_len(u32::MAX as usize + 1),
+            Err(StorageError::ChunkTooLarge(n)) if n == u32::MAX as usize + 1
+        ));
+        assert!(matches!(
+            checked_chunk_len(usize::MAX),
+            Err(StorageError::ChunkTooLarge(_))
+        ));
+        // The boundary itself still fits.
+        assert!(matches!(checked_chunk_len(u32::MAX as usize), Ok(n) if n == u32::MAX));
+        assert!(matches!(checked_chunk_len(0), Ok(0)));
+        // And the error renders a useful diagnostic.
+        let msg = StorageError::ChunkTooLarge(5_000_000_000).to_string();
+        assert!(msg.contains("5000000000") && msg.contains("4 GiB"), "{msg}");
+    }
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("tgc-format-tests");
