@@ -294,6 +294,19 @@ fn run_smoke(args: &Args) -> Result<(), String> {
         "cache insertions >= 1",
         &stats_after,
     )?;
+    // The governor's counters must be surfaced (zero is fine: whether the
+    // tiny smoke workload spills depends on TGRAPH_MEM_BYTES).
+    let spilled = field_i64(&stats_after, &["runtime", "bytes_spilled"])?;
+    let spill_files = field_i64(&stats_after, &["runtime", "spill_files"])?;
+    let budget = field_i64(&stats_after, &["runtime", "mem_budget"])?;
+    field_i64(&stats_after, &["runtime", "peak_bytes"])?;
+    field_i64(&stats_after, &["admission", "memory_stalls"])?;
+    expect(
+        budget > 0 || spilled == 0,
+        "no spills without a memory budget",
+        &stats_after,
+    )?;
+    println!("smoke: spilled {spilled} bytes in {spill_files} run files (budget {budget})");
     println!("smoke: ok");
     Ok(())
 }
@@ -377,6 +390,15 @@ fn run_load(args: &Args) -> Result<(), String> {
         g(&["cache", "evictions"]),
         g(&["server", "zoom_executed"]),
         g(&["server", "latency", "admission_wait", "p50_us"]),
+    );
+    println!(
+        "  spilled     {} bytes in {} run files (budget {} bytes, peak {} bytes, \
+         memory stalls {})",
+        g(&["runtime", "bytes_spilled"]),
+        g(&["runtime", "spill_files"]),
+        g(&["runtime", "mem_budget"]),
+        g(&["runtime", "peak_bytes"]),
+        g(&["admission", "memory_stalls"]),
     );
     if errors > 0 {
         return Err(format!("{errors} requests failed"));

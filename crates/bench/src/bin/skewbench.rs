@@ -24,6 +24,10 @@
 //! * **B (shuffle + reduce)** — `shuffle → reduce_by_key` over the Zipf
 //!   keys. Checks the aggregates are identical across schedulers.
 //!
+//! When a memory budget is in force (`TGRAPH_MEM_BYTES`), the shuffle
+//! workload must spill (`spilled:` footer), and a third, unbudgeted control
+//! run must agree byte-for-byte with the spilled runs.
+//!
 //! Exits nonzero on any violation, so CI can run `--smoke` directly.
 
 use std::process::ExitCode;
@@ -166,6 +170,8 @@ struct RunOutcome {
     steals: u64,
     max_task_us: u64,
     wave_us: u64,
+    bytes_spilled: u64,
+    spill_files: u64,
 }
 
 /// Runs both workloads under the runtime's current scheduler mode.
@@ -197,6 +203,8 @@ fn run_once(rt: &Runtime, parts: &[Vec<(u64, u64)>]) -> RunOutcome {
         steals: d.steals,
         max_task_us: d.max_task_us,
         wave_us: d.wave_us,
+        bytes_spilled: d.bytes_spilled,
+        spill_files: d.spill_files,
     }
 }
 
@@ -257,6 +265,39 @@ fn main() -> ExitCode {
     }
     if steal.steals == 0 {
         failures.push("steal mode recorded zero steals on a skewed input".to_string());
+    }
+
+    // Memory-governor footer: under a byte budget (TGRAPH_MEM_BYTES) the
+    // shuffle workload must have spilled, and an unbudgeted control run must
+    // agree byte-for-byte with the spilled runs.
+    let budget = rt.mem_budget();
+    let bytes_spilled = barrier.bytes_spilled + steal.bytes_spilled;
+    let spill_files = barrier.spill_files + steal.spill_files;
+    if budget > 0 {
+        println!(
+            "  spilled: {bytes_spilled} bytes in {spill_files} run files \
+             (budget {budget} bytes)"
+        );
+        if bytes_spilled == 0 || spill_files == 0 {
+            failures.push(format!(
+                "a {budget}-byte budget produced no spills on the shuffle workload"
+            ));
+        }
+        rt.set_mem_budget(0);
+        rt.set_stealing(false);
+        let unspilled = run_once(&rt, &data);
+        rt.set_mem_budget(budget);
+        if unspilled.chain != barrier.chain || unspilled.reduced != barrier.reduced {
+            failures.push("spilled results differ from the in-memory control run".to_string());
+        }
+        if unspilled.bytes_spilled != 0 {
+            failures.push("control run spilled despite budgeting being disabled".to_string());
+        }
+    } else {
+        println!("  spilled: none (no memory budget; set TGRAPH_MEM_BYTES to exercise spills)");
+        if bytes_spilled != 0 {
+            failures.push("spilled without a memory budget".to_string());
+        }
     }
 
     let cores = std::thread::available_parallelism()

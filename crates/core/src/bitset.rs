@@ -59,6 +59,30 @@ impl Bitset {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// The packed 64-bit words, for serialization.
+    pub(crate) fn raw_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bitset from its packed words and length.
+    ///
+    /// # Panics
+    /// Panics if `words.len()` disagrees with `len` or tail bits beyond
+    /// `len` are set (the invariants every constructor maintains).
+    pub(crate) fn from_raw(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "bitset word count mismatch");
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last() {
+                assert_eq!(
+                    last & !((1u64 << (len % 64)) - 1),
+                    0,
+                    "bitset tail bits beyond len are set"
+                );
+            }
+        }
+        Bitset { words, len }
+    }
+
     /// Whether no position is set.
     pub fn none(&self) -> bool {
         self.words.iter().all(|w| *w == 0)

@@ -59,6 +59,7 @@ pub mod coalesce;
 pub mod graph;
 pub mod props;
 pub mod reference;
+pub mod spill;
 pub mod splitter;
 pub mod time;
 pub mod validate;

@@ -10,6 +10,7 @@
 use crate::dataset::Dataset;
 use crate::keyed::KeyedDataset;
 use crate::runtime::Runtime;
+use crate::spill::{HeapSize, Spill, SpillError, SpillReader};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
@@ -69,9 +70,9 @@ pub fn cogroup<K, V, W>(
     right: &Dataset<(K, W)>,
 ) -> Dataset<(K, (Vec<V>, Vec<W>))>
 where
-    K: Hash + Eq + Clone + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-    W: Clone + Send + Sync + 'static,
+    K: Hash + Eq + Clone + Send + Sync + Spill + 'static,
+    V: Clone + Send + Sync + Spill + 'static,
+    W: Clone + Send + Sync + Spill + 'static,
 {
     // Tag, union, shuffle once, then split per key. Tagging and splitting
     // are narrow stages fused into the shuffle's map side and the consumer.
@@ -79,6 +80,37 @@ where
     enum Side<V, W> {
         L(V),
         R(W),
+    }
+    impl<V: HeapSize, W: HeapSize> HeapSize for Side<V, W> {
+        fn heap_bytes(&self) -> usize {
+            match self {
+                Side::L(v) => v.heap_bytes(),
+                Side::R(w) => w.heap_bytes(),
+            }
+        }
+    }
+    impl<V: Spill, W: Spill> Spill for Side<V, W> {
+        fn spill(&self, out: &mut Vec<u8>) {
+            match self {
+                Side::L(v) => {
+                    out.push(0);
+                    v.spill(out);
+                }
+                Side::R(w) => {
+                    out.push(1);
+                    w.spill(out);
+                }
+            }
+        }
+        fn unspill(r: &mut SpillReader<'_>) -> Result<Self, SpillError> {
+            match r.u8()? {
+                0 => Ok(Side::L(V::unspill(r)?)),
+                1 => Ok(Side::R(W::unspill(r)?)),
+                t => Err(SpillError::Corrupt {
+                    detail: format!("bad cogroup side tag {t}"),
+                }),
+            }
+        }
     }
     let l: Dataset<(K, Side<V, W>)> = left.map(|(k, v)| (k.clone(), Side::L(v.clone())));
     let r: Dataset<(K, Side<V, W>)> = right.map(|(k, w)| (k.clone(), Side::R(w.clone())));
@@ -98,7 +130,7 @@ where
 /// Counts occurrences per key (shuffle with map-side combine).
 pub fn count_by_key<K, V>(rt: &Runtime, input: &Dataset<(K, V)>) -> Dataset<(K, u64)>
 where
-    K: Hash + Eq + Clone + Send + Sync + 'static,
+    K: Hash + Eq + Clone + Send + Sync + Spill + 'static,
     V: Clone + Send + Sync + 'static,
 {
     input

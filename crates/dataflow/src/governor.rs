@@ -1,0 +1,570 @@
+//! The global memory governor: a runtime-wide byte budget charged by
+//! shuffle exchanges and keyed-operator state, with spill-to-disk relief.
+//!
+//! # Protocol (see DESIGN.md §9)
+//!
+//! 1. **Charge.** After the shuffle map side materializes its bucket sets,
+//!    the exchange estimates its residency with the cheap
+//!    [`HeapSize`](crate::HeapSize) model (`size_of::<(K, V)>()` per record
+//!    plus owned heap bytes) and charges the governor. `group_by_key` /
+//!    `reduce_by_key` / `aggregate_by_key` local state charges the same way
+//!    for the lifetime of the combine pass.
+//! 2. **Spill.** While the governor is over budget, the exchange picks its
+//!    *largest still-in-memory map output* and writes it to a run file under
+//!    the spill directory ([`spill`](crate::spill) module), releasing that
+//!    output's charge. Spilling repeats until the governor is back under
+//!    budget or nothing spillable remains.
+//! 3. **Merge.** Reduce tasks stream each output partition back together by
+//!    walking map outputs *in map-partition index order*, appending bucket
+//!    `p` from memory or from disk. Runs preserve record order exactly, so
+//!    the merged partition is byte-identical to the all-in-memory exchange —
+//!    the governor is invisible to results, lineage fingerprints, and
+//!    analyzer EXPLAIN output (the same contract the morsel stealer keeps).
+//!
+//! A failed spill write aborts the wave with a typed
+//! [`SpillError`](crate::SpillError) panic payload; already-written sibling
+//! runs are deleted by RAII on unwind, so no temp files leak.
+
+use crate::spill::{charged_size, RunHandle, RunWriter, Spill, SpillError};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Runtime-wide memory accounting and spill policy. One per
+/// [`Runtime`](crate::Runtime), shared with the serving layer for admission
+/// reservations. A budget of `0` means *unlimited*: nothing is estimated,
+/// charged, or spilled.
+pub struct MemGovernor {
+    budget: AtomicU64,
+    used: AtomicU64,
+    peak: AtomicU64,
+    bytes_spilled: AtomicU64,
+    spill_files: AtomicU64,
+    spill_dir: Mutex<PathBuf>,
+    seq: AtomicU64,
+}
+
+impl MemGovernor {
+    /// A governor configured from the environment: `TGRAPH_MEM_BYTES` (plain
+    /// bytes, or with a `k`/`m`/`g` suffix; absent or unparsable → unlimited)
+    /// and `TGRAPH_SPILL_DIR` (default: `<tmp>/tgraph-spill`).
+    pub fn from_env() -> Self {
+        MemGovernor {
+            budget: AtomicU64::new(mem_bytes_from_env()),
+            used: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            bytes_spilled: AtomicU64::new(0),
+            spill_files: AtomicU64::new(0),
+            spill_dir: Mutex::new(spill_dir_from_env()),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The byte budget; `0` means unlimited.
+    pub fn budget(&self) -> u64 {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Sets the byte budget (`0` disables the governor).
+    pub fn set_budget(&self, bytes: u64) {
+        self.budget.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Whether a budget is in force.
+    pub fn enabled(&self) -> bool {
+        self.budget() > 0
+    }
+
+    /// Bytes currently charged (exchanges in flight, combine state, and
+    /// admission reservations).
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`used`](MemGovernor::used) over the governor's
+    /// lifetime.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes written to spill runs.
+    pub fn bytes_spilled(&self) -> u64 {
+        self.bytes_spilled.load(Ordering::Relaxed)
+    }
+
+    /// Number of spill run files written.
+    pub fn spill_files(&self) -> u64 {
+        self.spill_files.load(Ordering::Relaxed)
+    }
+
+    /// The directory spill runs are written under.
+    pub fn spill_dir(&self) -> PathBuf {
+        self.spill_dir
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Points the governor at a different spill directory.
+    pub fn set_spill_dir(&self, dir: impl Into<PathBuf>) {
+        *self.spill_dir.lock().unwrap_or_else(|e| e.into_inner()) = dir.into();
+    }
+
+    /// Charges `bytes` unconditionally, returning the RAII release handle.
+    /// Used for exchange residency and combine-state accounting, where the
+    /// memory already exists and the honest move is to record it (and spill
+    /// our way back under budget), not to refuse it.
+    pub fn charge(self: &Arc<Self>, bytes: u64) -> MemCharge {
+        let used = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(used, Ordering::Relaxed);
+        MemCharge {
+            gov: Arc::clone(self),
+            bytes,
+        }
+    }
+
+    /// Attempts to reserve `bytes` without exceeding the budget; `None` when
+    /// the reservation does not fit. With no budget in force the reservation
+    /// trivially succeeds (and charges nothing). The serving layer's
+    /// admission gate uses this to bound concurrent queries by bytes.
+    pub fn try_reserve(self: &Arc<Self>, bytes: u64) -> Option<MemCharge> {
+        if !self.enabled() || bytes == 0 {
+            return Some(MemCharge {
+                gov: Arc::clone(self),
+                bytes: 0,
+            });
+        }
+        let budget = self.budget();
+        let mut used = self.used.load(Ordering::Relaxed);
+        loop {
+            if used.saturating_add(bytes) > budget {
+                return None;
+            }
+            match self.used.compare_exchange_weak(
+                used,
+                used + bytes,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak.fetch_max(used + bytes, Ordering::Relaxed);
+                    return Some(MemCharge {
+                        gov: Arc::clone(self),
+                        bytes,
+                    });
+                }
+                Err(actual) => used = actual,
+            }
+        }
+    }
+
+    /// Whether current charges exceed the budget (always `false` when
+    /// unlimited).
+    pub fn over_budget(&self) -> bool {
+        self.enabled() && self.used() > self.budget()
+    }
+
+    fn release(&self, bytes: u64) {
+        // Saturating: a release can never underflow the gauge.
+        self.used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| {
+                Some(u.saturating_sub(bytes))
+            })
+            .ok();
+    }
+
+    fn note_spill(&self, file_bytes: u64) {
+        self.bytes_spilled.fetch_add(file_bytes, Ordering::Relaxed);
+        self.spill_files.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A fresh, collision-free run path under the spill directory (which is
+    /// created on demand).
+    fn next_run_path(&self) -> Result<PathBuf, SpillError> {
+        let dir = self.spill_dir();
+        std::fs::create_dir_all(&dir).map_err(|e| SpillError::Io {
+            op: "create spill dir",
+            path: dir.clone(),
+            error: e.to_string(),
+        })?;
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let unique = self as *const MemGovernor as usize;
+        Ok(dir.join(format!("run-{}-{unique:x}-{seq}.tgr", std::process::id())))
+    }
+}
+
+/// RAII handle for bytes charged against a [`MemGovernor`]; dropping it
+/// releases the charge.
+pub struct MemCharge {
+    gov: Arc<MemGovernor>,
+    bytes: u64,
+}
+
+impl MemCharge {
+    /// Bytes this charge currently holds.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Releases part of the charge early (e.g. after spilling a map output
+    /// frees its memory).
+    fn shrink(&mut self, by: u64) {
+        let by = by.min(self.bytes);
+        self.bytes -= by;
+        self.gov.release(by);
+    }
+}
+
+impl Drop for MemCharge {
+    fn drop(&mut self) {
+        self.gov.release(self.bytes);
+    }
+}
+
+/// One map output inside a governed exchange: still in memory, or spilled
+/// to a run file.
+enum ExchangeSource<K, V> {
+    Mem(Vec<Vec<(K, V)>>),
+    Spilled(RunHandle),
+}
+
+/// A shuffle exchange under governor control: the map outputs (in map
+/// partition order), the residency charge, and — in checked mode — the
+/// per-bucket record counts for the merge audit. Shared by every reduce
+/// task; dropping it releases the charge and deletes any run files.
+pub(crate) struct Exchange<K, V> {
+    sources: Vec<ExchangeSource<K, V>>,
+    /// `counts[src][bucket]`, recorded before any spill; empty unless the
+    /// runtime was in checked mode at admission.
+    counts: Vec<Vec<u64>>,
+    _charge: Option<MemCharge>,
+}
+
+impl<K: Spill, V: Spill> Exchange<K, V> {
+    /// Takes ownership of the map side's bucket sets, charges the governor,
+    /// and spills largest-first until back under budget.
+    ///
+    /// # Panics
+    /// Raises a typed [`SpillError`] panic payload if a spill write fails;
+    /// already-written sibling runs are removed on unwind.
+    pub fn admit(rt: &crate::Runtime, bucketed: Vec<Vec<Vec<(K, V)>>>) -> Arc<Self> {
+        let gov = rt.governor();
+        let counts = if rt.checked() {
+            bucketed
+                .iter()
+                .map(|src| src.iter().map(|b| b.len() as u64).collect())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if !gov.enabled() {
+            // Unlimited: no estimation pass, no charge, no spills — the
+            // governed exchange is exactly the ungoverned one.
+            return Arc::new(Exchange {
+                sources: bucketed.into_iter().map(ExchangeSource::Mem).collect(),
+                counts,
+                _charge: None,
+            });
+        }
+        let estimates: Vec<u64> = bucketed.iter().map(|src| estimate_source(src)).collect();
+        let mut charge = gov.charge(estimates.iter().sum());
+        let mut sources: Vec<ExchangeSource<K, V>> =
+            bucketed.into_iter().map(ExchangeSource::Mem).collect();
+        let mut remaining = estimates;
+        while gov.over_budget() {
+            // Largest still-in-memory map output first: fewest files for the
+            // most relief.
+            let Some(i) = (0..sources.len())
+                .filter(|&i| remaining[i] > 0)
+                .max_by_key(|&i| remaining[i])
+            else {
+                break; // everything spillable is on disk; run over budget
+            };
+            let ExchangeSource::Mem(buckets) = &sources[i] else {
+                unreachable!("remaining[i] > 0 implies an in-memory source");
+            };
+            match spill_source(&gov, buckets) {
+                Ok(run) => {
+                    gov.note_spill(run.file_bytes());
+                    sources[i] = ExchangeSource::Spilled(run);
+                    charge.shrink(remaining[i]);
+                    remaining[i] = 0;
+                }
+                Err(e) => {
+                    // Drop sources (and with them every sealed sibling run)
+                    // before unwinding: no leaked temp files.
+                    drop(sources);
+                    drop(charge);
+                    std::panic::panic_any(e);
+                }
+            }
+        }
+        Arc::new(Exchange {
+            sources,
+            counts,
+            _charge: Some(charge),
+        })
+    }
+
+    /// Appends output partition `p`'s records to `merged`, walking map
+    /// outputs in index order — the order-preserving streaming merge.
+    ///
+    /// # Panics
+    /// Raises a typed [`SpillError`] payload if a run read fails, and (in
+    /// checked mode) panics if the merged record count disagrees with the
+    /// counts recorded at admission.
+    pub fn append_bucket(&self, p: usize, merged: &mut Vec<(K, V)>)
+    where
+        K: Clone,
+        V: Clone,
+    {
+        for (i, src) in self.sources.iter().enumerate() {
+            match src {
+                ExchangeSource::Mem(buckets) => merged.extend_from_slice(&buckets[p]),
+                ExchangeSource::Spilled(run) => {
+                    if let Some(counts) = self.counts.get(i) {
+                        // Checked mode: the run's own metadata must agree with
+                        // the count recorded before the source was spilled.
+                        assert!(
+                            run.bucket_records(p) == counts[p],
+                            "checked mode: run bucket {p} holds {} records, \
+                             map side recorded {}",
+                            run.bucket_records(p),
+                            counts[p]
+                        );
+                    }
+                    if let Err(e) = run.read_bucket(p, merged) {
+                        std::panic::panic_any(e);
+                    }
+                }
+            }
+        }
+        if !self.counts.is_empty() {
+            let expected: u64 = self.counts.iter().map(|src| src[p]).sum();
+            assert!(
+                merged.len() as u64 == expected,
+                "checked mode: governed merge of partition {p} produced {} records, \
+                 map side recorded {expected}",
+                merged.len()
+            );
+        }
+    }
+
+    /// How many map outputs were spilled (for tests).
+    #[cfg(test)]
+    pub fn spilled_sources(&self) -> usize {
+        self.sources
+            .iter()
+            .filter(|s| matches!(s, ExchangeSource::Spilled(_)))
+            .count()
+    }
+}
+
+/// Records the residency of a keyed operator's per-partition state (the
+/// grouped/combined rows `group_by_key`, `reduce_by_key`, and
+/// `aggregate_by_key` hold while their pass runs) against the governor's
+/// peak accounting. The state cannot be spilled — it is live operator
+/// output — so the charge is recorded and immediately released: it moves
+/// `peak_bytes` (and pushes concurrent exchanges toward spilling) without
+/// lingering. Free when no budget is in force.
+pub(crate) fn note_state<T: crate::HeapSize>(gov: &Arc<MemGovernor>, rows: &[T]) {
+    if gov.enabled() {
+        let est: u64 = rows.iter().map(|r| charged_size(r) as u64).sum();
+        drop(gov.charge(est));
+    }
+}
+
+/// The charge model for one map output: inline record size plus owned heap
+/// bytes, summed over buckets.
+fn estimate_source<K: Spill, V: Spill>(buckets: &[Vec<(K, V)>]) -> u64 {
+    buckets
+        .iter()
+        .flat_map(|b| b.iter())
+        .map(|rec| charged_size(rec) as u64)
+        .sum()
+}
+
+/// Writes one map output's buckets to a fresh run file.
+fn spill_source<K: Spill, V: Spill>(
+    gov: &MemGovernor,
+    buckets: &[Vec<(K, V)>],
+) -> Result<RunHandle, SpillError> {
+    let mut w = RunWriter::create(gov.next_run_path()?)?;
+    for bucket in buckets {
+        w.write_bucket(bucket)?;
+    }
+    w.finish()
+}
+
+/// Reads `TGRAPH_MEM_BYTES`: plain bytes or `k`/`m`/`g`-suffixed (base
+/// 1024); `0`, absent, or unparsable → unlimited.
+fn mem_bytes_from_env() -> u64 {
+    std::env::var("TGRAPH_MEM_BYTES")
+        .ok()
+        .and_then(|v| parse_bytes(&v))
+        .unwrap_or(0)
+}
+
+fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (num, shift) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 10),
+        b'm' | b'M' => (&s[..s.len() - 1], 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    num.trim().parse::<u64>().ok()?.checked_shl(shift)
+}
+
+/// Reads `TGRAPH_SPILL_DIR` (default `<tmp>/tgraph-spill`).
+fn spill_dir_from_env() -> PathBuf {
+    std::env::var_os("TGRAPH_SPILL_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("tgraph-spill"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gov(budget: u64) -> Arc<MemGovernor> {
+        let g = Arc::new(MemGovernor::from_env());
+        g.set_budget(budget);
+        g
+    }
+
+    #[test]
+    fn charge_release_and_peak() {
+        let g = gov(1000);
+        assert!(!g.over_budget());
+        let a = g.charge(600);
+        let b = g.charge(600);
+        assert_eq!(g.used(), 1200);
+        assert!(g.over_budget());
+        drop(a);
+        assert_eq!(g.used(), 600);
+        assert!(!g.over_budget());
+        drop(b);
+        assert_eq!(g.used(), 0);
+        assert_eq!(g.peak_bytes(), 1200, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn shrink_releases_partially() {
+        let g = gov(1000);
+        let mut c = g.charge(800);
+        c.shrink(300);
+        assert_eq!(g.used(), 500);
+        assert_eq!(c.bytes(), 500);
+        c.shrink(10_000); // clamped to what is held
+        assert_eq!(g.used(), 0);
+        drop(c);
+        assert_eq!(g.used(), 0);
+    }
+
+    #[test]
+    fn try_reserve_respects_budget() {
+        let g = gov(100);
+        let r1 = g.try_reserve(60).expect("fits");
+        assert!(g.try_reserve(60).is_none(), "would exceed budget");
+        drop(r1);
+        assert!(g.try_reserve(60).is_some(), "fits after release");
+        // Unlimited governor: reservations are free.
+        let free = gov(0);
+        let r = free.try_reserve(u64::MAX).expect("unlimited");
+        assert_eq!(r.bytes(), 0);
+        assert_eq!(free.used(), 0);
+    }
+
+    #[test]
+    fn parse_bytes_suffixes() {
+        assert_eq!(parse_bytes("4096"), Some(4096));
+        assert_eq!(parse_bytes("64k"), Some(64 << 10));
+        assert_eq!(parse_bytes("3M"), Some(3 << 20));
+        assert_eq!(parse_bytes("2g"), Some(2 << 30));
+        assert_eq!(parse_bytes(" 8K "), Some(8 << 10));
+        assert_eq!(parse_bytes("nope"), None);
+        assert_eq!(parse_bytes(""), None);
+    }
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tgraph-gov-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn governed_exchange_spills_and_merges_identically() {
+        let rt = crate::Runtime::with_partitions(2, 2);
+        rt.governor().set_spill_dir(unique_dir("merge"));
+        let bucketed: Vec<Vec<Vec<(u64, String)>>> = vec![
+            vec![
+                vec![(0, "a".into()), (2, "c".into())],
+                vec![(1, "b".into())],
+            ],
+            vec![
+                vec![(4, "e".into())],
+                vec![(3, "d".into()), (5, "f".into())],
+            ],
+        ];
+        // Unlimited: nothing spills.
+        let ex = Exchange::admit(&rt, bucketed.clone());
+        assert_eq!(ex.spilled_sources(), 0);
+        let mut plain0 = Vec::new();
+        ex.append_bucket(0, &mut plain0);
+        // One-byte budget: everything spillable spills.
+        rt.set_mem_budget(1);
+        let ex2 = Exchange::admit(&rt, bucketed);
+        assert_eq!(ex2.spilled_sources(), 2);
+        assert!(rt.governor().bytes_spilled() > 0);
+        assert_eq!(rt.governor().spill_files(), 2);
+        let mut spilled0 = Vec::new();
+        ex2.append_bucket(0, &mut spilled0);
+        assert_eq!(spilled0, plain0, "merge must be byte-identical");
+    }
+
+    #[test]
+    fn exchange_drop_releases_charge_and_runs() {
+        let rt = crate::Runtime::with_partitions(1, 1);
+        rt.set_mem_budget(1);
+        let gov = rt.governor();
+        gov.set_spill_dir(unique_dir("drop"));
+        let before_files = count_runs(&gov.spill_dir());
+        let ex = Exchange::admit(&rt, vec![vec![vec![(1u64, 2u64), (3, 4)]]]);
+        assert_eq!(ex.spilled_sources(), 1);
+        assert!(count_runs(&gov.spill_dir()) > before_files);
+        drop(ex);
+        assert_eq!(gov.used(), 0, "charge released");
+        assert_eq!(
+            count_runs(&gov.spill_dir()),
+            before_files,
+            "run files deleted"
+        );
+    }
+
+    fn count_runs(dir: &std::path::Path) -> usize {
+        std::fs::read_dir(dir).map(|it| it.count()).unwrap_or(0)
+    }
+
+    #[test]
+    fn failed_spill_panics_typed_and_cleans_up() {
+        let rt = crate::Runtime::with_partitions(1, 1);
+        rt.set_mem_budget(1);
+        // Point the spill "directory" at a regular file: creation fails for
+        // any uid, including root.
+        let blocker =
+            std::env::temp_dir().join(format!("tgraph-gov-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"x").unwrap();
+        rt.governor().set_spill_dir(&blocker);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Exchange::admit(&rt, vec![vec![vec![(1u64, 2u64)]]])
+        }));
+        let Err(payload) = result else {
+            panic!("spill into a file path must fail");
+        };
+        let err = payload
+            .downcast_ref::<SpillError>()
+            .expect("panic payload must be a typed SpillError");
+        assert!(matches!(err, SpillError::Io { .. }), "{err}");
+        assert_eq!(rt.governor().used(), 0, "charge released on unwind");
+        let _ = std::fs::remove_file(&blocker);
+    }
+}

@@ -17,9 +17,11 @@
 //! once.
 
 use crate::dataset::{Dataset, Partitioning};
+use crate::governor::Exchange;
 use crate::lineage::OpKind;
 use crate::runtime::Runtime;
-use std::collections::hash_map::{DefaultHasher, Entry};
+use crate::spill::Spill;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -27,8 +29,14 @@ use std::sync::Arc;
 /// The engine's bucket function: which partition a key belongs to under
 /// `HashByKey { parts }`. Exposed in-crate so elision audits (and tests
 /// constructing adversarial layouts) agree with the shuffle.
+///
+/// Hashes with the explicitly-seeded FNV-1a shared with
+/// `lineage::fingerprint()` — *not* `DefaultHasher`, whose algorithm is
+/// unspecified and free to change across Rust releases, which would
+/// silently invalidate persisted partition layouts and `HashByKey` claims
+/// on a toolchain bump. A golden test pins the assignments.
 pub(crate) fn bucket_of<K: Hash>(key: &K, parts: usize) -> usize {
-    let mut h = DefaultHasher::new();
+    let mut h = crate::lineage::Fnv::new();
     key.hash(&mut h);
     (h.finish() % parts as u64) as usize
 }
@@ -107,8 +115,8 @@ where
 /// (its pending narrow chain, if any, stays deferred).
 pub fn shuffle<K, V>(rt: &Runtime, input: &Dataset<(K, V)>) -> Dataset<(K, V)>
 where
-    K: Hash + Eq + Clone + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
+    K: Hash + Eq + Clone + Send + Sync + Spill + 'static,
+    V: Clone + Send + Sync + Spill + 'static,
 {
     let parts = rt.partitions();
     if hashed_by_key(input.partitioning(), parts) {
@@ -168,13 +176,17 @@ where
         .map(|p| p.iter().map(|b| b.len() as u64).sum::<u64>())
         .sum();
     rt.note_shuffle(moved, moved * std::mem::size_of::<(K, V)>() as u64);
-    // Reduce side: partition `p` concatenates bucket `p` of every map output.
-    let sources = Arc::new(bucketed);
+    // Exchange residency passes under the memory governor: the charge is
+    // recorded here, and over-budget map outputs are written out as run
+    // files (order preserved) before the reduce side starts. With no budget
+    // in force this is a no-op pass-through.
+    let exchange = Exchange::admit(rt, bucketed);
+    // Reduce side: partition `p` concatenates bucket `p` of every map
+    // output, in map-partition order — from memory or, for spilled outputs,
+    // streamed back from their run files. Identical bytes either way.
     let out = rt.run_indexed(parts, move |p| {
         let mut merged = Vec::new();
-        for src in sources.iter() {
-            merged.extend_from_slice(&src[p]);
-        }
+        exchange.append_bucket(p, &mut merged);
         Arc::new(merged)
     });
     let node = crate::lineage::PlanNode::new(
@@ -208,7 +220,13 @@ pub trait KeyedDataset<K, V> {
         F: Fn(&K, &V) -> W + Send + Sync + 'static;
 
     /// Groups values by key: `groupBy` of the paper's algorithms.
-    fn group_by_key(&self, rt: &Runtime) -> Dataset<(K, Vec<V>)>;
+    ///
+    /// Wide operators require [`Spill`] on the record types so the memory
+    /// governor can estimate (and, over budget, spill) the exchange.
+    fn group_by_key(&self, rt: &Runtime) -> Dataset<(K, Vec<V>)>
+    where
+        K: Spill,
+        V: Spill;
 
     /// Reduces values per key with a commutative, associative function,
     /// combining map-side before shuffling (Spark's `reduceByKey`). On an
@@ -216,6 +234,8 @@ pub trait KeyedDataset<K, V> {
     /// with no shuffle.
     fn reduce_by_key<F>(&self, rt: &Runtime, f: F) -> Dataset<(K, V)>
     where
+        K: Spill,
+        V: Spill,
         F: Fn(&V, &V) -> V + Send + Sync + 'static;
 
     /// Aggregates values per key into an accumulator type, with map-side
@@ -229,7 +249,8 @@ pub trait KeyedDataset<K, V> {
         merge: M,
     ) -> Dataset<(K, A)>
     where
-        A: Clone + Send + Sync + 'static,
+        K: Spill,
+        A: Clone + Send + Sync + Spill + 'static,
         I: Fn() -> A + Send + Sync + 'static,
         U: Fn(&mut A, &V) + Send + Sync + 'static,
         M: Fn(&mut A, &A) + Send + Sync + 'static;
@@ -237,12 +258,16 @@ pub trait KeyedDataset<K, V> {
     /// Inner hash join on the key.
     fn join<W>(&self, rt: &Runtime, other: &Dataset<(K, W)>) -> Dataset<(K, (V, W))>
     where
-        W: Clone + Send + Sync + 'static;
+        K: Spill,
+        V: Spill,
+        W: Clone + Send + Sync + Spill + 'static;
 
     /// Left semijoin: keeps records whose key appears in `keys`.
     fn semi_join<W>(&self, rt: &Runtime, keys: &Dataset<(K, W)>) -> Dataset<(K, V)>
     where
-        W: Clone + Send + Sync + 'static;
+        K: Spill,
+        V: Spill,
+        W: Clone + Send + Sync + Spill + 'static;
 }
 
 /// Per-partition combine used on both sides of `reduce_by_key`.
@@ -299,15 +324,22 @@ where
         )
     }
 
-    fn group_by_key(&self, rt: &Runtime) -> Dataset<(K, Vec<V>)> {
+    fn group_by_key(&self, rt: &Runtime) -> Dataset<(K, Vec<V>)>
+    where
+        K: Spill,
+        V: Spill,
+    {
         let parts = rt.partitions();
+        let gov = rt.governor();
         shuffle(rt, self)
-            .map_partitions(|part| {
+            .map_partitions(move |part| {
                 let mut groups: HashMap<K, Vec<V>> = HashMap::new();
                 for (k, v) in part {
                     groups.entry(k.clone()).or_default().push(v.clone());
                 }
-                groups.into_iter().collect()
+                let out: Vec<(K, Vec<V>)> = groups.into_iter().collect();
+                crate::governor::note_state(&gov, &out);
+                out
             })
             // Grouping within a hash partition keeps keys where they hashed.
             .relabel_op(
@@ -319,10 +351,13 @@ where
 
     fn reduce_by_key<F>(&self, rt: &Runtime, f: F) -> Dataset<(K, V)>
     where
+        K: Spill,
+        V: Spill,
         F: Fn(&V, &V) -> V + Send + Sync + 'static,
     {
         let parts = rt.partitions();
         let f = Arc::new(f);
+        let gov = rt.governor();
         if hashed_by_key(self.partitioning(), parts) {
             // Already co-located by key: a single local combine pass, no
             // map-side stage, no shuffle.
@@ -335,7 +370,11 @@ where
                     OpKind::ElidedShuffle { parts },
                     Partitioning::HashByKey { parts },
                 )
-                .map_partitions(move |part| combine_partition(part, f.as_ref()))
+                .map_partitions(move |part| {
+                    let out = combine_partition(part, f.as_ref());
+                    crate::governor::note_state(&gov, &out);
+                    out
+                })
                 .relabel_op(
                     "reduce_by_key",
                     OpKind::LocalCombine,
@@ -346,8 +385,13 @@ where
         // deferred narrow stage, so it fuses with both the upstream chain and
         // the shuffle's map side: one pass over the input.
         let f1 = Arc::clone(&f);
+        let gov1 = Arc::clone(&gov);
         let combined = self
-            .map_partitions(move |part| combine_partition(part, f1.as_ref()))
+            .map_partitions(move |part| {
+                let out = combine_partition(part, f1.as_ref());
+                crate::governor::note_state(&gov1, &out);
+                out
+            })
             .relabel_op(
                 "combine(map-side)",
                 OpKind::LocalCombine,
@@ -355,7 +399,11 @@ where
             );
         let f2 = Arc::clone(&f);
         shuffle(rt, &combined)
-            .map_partitions(move |part| combine_partition(part, f2.as_ref()))
+            .map_partitions(move |part| {
+                let out = combine_partition(part, f2.as_ref());
+                crate::governor::note_state(&gov, &out);
+                out
+            })
             .relabel_op(
                 "reduce_by_key",
                 OpKind::LocalCombine,
@@ -371,19 +419,24 @@ where
         merge: M,
     ) -> Dataset<(K, A)>
     where
-        A: Clone + Send + Sync + 'static,
+        K: Spill,
+        A: Clone + Send + Sync + Spill + 'static,
         I: Fn() -> A + Send + Sync + 'static,
         U: Fn(&mut A, &V) + Send + Sync + 'static,
         M: Fn(&mut A, &A) + Send + Sync + 'static,
     {
         let parts = rt.partitions();
+        let gov = rt.governor();
+        let gov1 = Arc::clone(&gov);
         let fold_partition = move |part: &[(K, V)]| {
             let mut acc: HashMap<K, A> = HashMap::new();
             for (k, v) in part {
                 let a = acc.entry(k.clone()).or_insert_with(&init);
                 update(a, v);
             }
-            acc.into_iter().collect::<Vec<_>>()
+            let out = acc.into_iter().collect::<Vec<_>>();
+            crate::governor::note_state(&gov1, &out);
+            out
         };
         if hashed_by_key(self.partitioning(), parts) {
             // Keys are co-located: fold each partition once, done.
@@ -421,7 +474,9 @@ where
                         }
                     }
                 }
-                acc.into_iter().collect()
+                let out: Vec<(K, A)> = acc.into_iter().collect();
+                crate::governor::note_state(&gov, &out);
+                out
             })
             .relabel_op(
                 "aggregate_by_key",
@@ -432,7 +487,9 @@ where
 
     fn join<W>(&self, rt: &Runtime, other: &Dataset<(K, W)>) -> Dataset<(K, (V, W))>
     where
-        W: Clone + Send + Sync + 'static,
+        K: Spill,
+        V: Spill,
+        W: Clone + Send + Sync + Spill + 'static,
     {
         let parts = rt.partitions();
         let left = shuffle(rt, self);
@@ -471,7 +528,9 @@ where
 
     fn semi_join<W>(&self, rt: &Runtime, keys: &Dataset<(K, W)>) -> Dataset<(K, V)>
     where
-        W: Clone + Send + Sync + 'static,
+        K: Spill,
+        V: Spill,
+        W: Clone + Send + Sync + Spill + 'static,
     {
         let parts = rt.partitions();
         let left = shuffle(rt, self);
@@ -507,7 +566,7 @@ where
 /// Removes duplicate elements (by `Eq`/`Hash`) via a shuffle.
 pub fn distinct<T>(rt: &Runtime, input: &Dataset<T>) -> Dataset<T>
 where
-    T: Hash + Eq + Clone + Send + Sync + 'static,
+    T: Hash + Eq + Clone + Send + Sync + Spill + 'static,
 {
     let keyed: Dataset<(T, ())> = input.map(|x| (x.clone(), ()));
     keyed.reduce_by_key(rt, |_, _| ()).map(|(k, _)| k.clone())
@@ -913,5 +972,60 @@ mod tests {
         let r1 = Dataset::from_vec(&rt1, data.clone()).reduce_by_key(&rt1, |a, b| a + b);
         let r4 = Dataset::from_vec(&rt4, data).reduce_by_key(&rt4, |a, b| a + b);
         assert_eq!(sorted(r1.collect(&rt1)), sorted(r4.collect(&rt4)));
+    }
+}
+
+#[cfg(test)]
+mod golden {
+    //! Pins `bucket_of` assignments. If this test fails, the partitioner's
+    //! hash changed — which silently invalidates every persisted
+    //! `HashByKey` layout. Do not update the constants casually.
+    use super::bucket_of;
+
+    #[test]
+    fn bucket_assignments_are_pinned() {
+        let u64_cases: [(u64, usize); 12] = [
+            (0, 5),
+            (1, 4),
+            (2, 7),
+            (3, 6),
+            (4, 1),
+            (5, 0),
+            (6, 3),
+            (7, 2),
+            (41, 4),
+            (97, 4),
+            (1000, 4),
+            (u64::MAX, 5),
+        ];
+        for (k, want) in u64_cases {
+            assert_eq!(bucket_of(&k, 8), want, "u64 key {k} moved buckets");
+        }
+        let str_cases: [(&str, usize); 6] = [
+            ("", 6),
+            ("a", 1),
+            ("b", 6),
+            ("vertex", 0),
+            ("edge", 1),
+            ("zoom", 7),
+        ];
+        for (s, want) in str_cases {
+            assert_eq!(bucket_of(&s, 8), want, "str key {s:?} moved buckets");
+        }
+        assert_eq!(bucket_of(&(1u64, 2u64), 8), 6);
+        assert_eq!(bucket_of(&(7u64, 7u64), 8), 5);
+        // A non-power-of-two partition count exercises the modulo path.
+        assert_eq!(bucket_of(&0u64, 3), 1);
+        assert_eq!(bucket_of(&1u64, 3), 0);
+        assert_eq!(bucket_of(&2u64, 3), 0);
+    }
+
+    #[test]
+    fn integer_widths_hash_identically() {
+        // The seeded hasher feeds every fixed-width integer through its
+        // little-endian bytes, so assignments cannot depend on the platform
+        // or on which `write_uN` the standard library routes through.
+        assert_eq!(bucket_of(&42u64, 8), bucket_of(&42usize, 8));
+        assert_eq!(bucket_of(&42i64, 8), bucket_of(&42isize, 8));
     }
 }

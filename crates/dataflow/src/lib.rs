@@ -61,15 +61,19 @@
 pub mod cancel;
 pub mod dataset;
 pub mod extra;
+pub mod governor;
 pub mod keyed;
 pub mod lineage;
 pub mod pool;
 pub mod runtime;
+pub mod spill;
 mod steal;
 
 pub use cancel::{CancelToken, Cancelled};
 pub use dataset::{Dataset, Partitioning};
 pub use extra::{broadcast_join, broadcast_semi_join, cogroup, count_by_key, take};
+pub use governor::{MemCharge, MemGovernor};
 pub use keyed::{distinct, shuffle, KeyedDataset};
 pub use lineage::{fingerprint, fingerprint_hex, OpKind, PlanNode};
 pub use runtime::{Runtime, RuntimeStats, StatsSnapshot};
+pub use spill::{charged_size, checksum, HeapSize, Spill, SpillError, SpillReader};

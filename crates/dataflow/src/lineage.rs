@@ -198,15 +198,19 @@ impl PlanNode {
     }
 }
 
-/// 64-bit FNV-1a, the stable primitive under [`fingerprint`].
+/// 64-bit FNV-1a with the standard explicit seed: the stable primitive
+/// under [`fingerprint`], and — through its [`std::hash::Hasher`] impl —
+/// under the shuffle partitioner's `bucket_of`, so persisted partition
+/// layouts and elision claims cannot drift across Rust releases the way
+/// `DefaultHasher` (explicitly unspecified) can.
 #[derive(Clone, Copy)]
-struct Fnv(u64);
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
 
-    fn new() -> Fnv {
+    pub(crate) fn new() -> Fnv {
         Fnv(Self::OFFSET)
     }
 
@@ -219,6 +223,55 @@ impl Fnv {
 
     fn write_u64(&mut self, v: u64) {
         self.write(&v.to_le_bytes());
+    }
+}
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        Fnv::write(self, bytes);
+    }
+
+    // Fixed-width integers feed little-endian bytes regardless of host
+    // endianness, so one key hashes identically on every platform.
+    fn write_u8(&mut self, v: u8) {
+        Fnv::write(self, &[v]);
+    }
+    fn write_u16(&mut self, v: u16) {
+        Fnv::write(self, &v.to_le_bytes());
+    }
+    fn write_u32(&mut self, v: u32) {
+        Fnv::write(self, &v.to_le_bytes());
+    }
+    fn write_u64(&mut self, v: u64) {
+        Fnv::write_u64(self, v);
+    }
+    fn write_u128(&mut self, v: u128) {
+        Fnv::write(self, &v.to_le_bytes());
+    }
+    fn write_usize(&mut self, v: usize) {
+        Fnv::write_u64(self, v as u64);
+    }
+    fn write_i8(&mut self, v: i8) {
+        self.write_u8(v as u8);
+    }
+    fn write_i16(&mut self, v: i16) {
+        self.write_u16(v as u16);
+    }
+    fn write_i32(&mut self, v: i32) {
+        self.write_u32(v as u32);
+    }
+    fn write_i64(&mut self, v: i64) {
+        Fnv::write_u64(self, v as u64);
+    }
+    fn write_i128(&mut self, v: i128) {
+        self.write_u128(v as u128);
+    }
+    fn write_isize(&mut self, v: isize) {
+        Fnv::write_u64(self, v as u64);
     }
 }
 

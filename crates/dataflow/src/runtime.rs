@@ -2,6 +2,7 @@
 //! statistics.
 
 use crate::cancel;
+use crate::governor::MemGovernor;
 use crate::pool::ThreadPool;
 use crate::steal;
 use std::ops::Range;
@@ -61,6 +62,18 @@ pub struct RuntimeStats {
     pub max_task_us: u64,
     /// Sum of wave wall-clock times, in µs.
     pub wave_us: u64,
+    /// Total bytes written to spill run files by the memory governor. Zero
+    /// unless a budget is in force (`TGRAPH_MEM_BYTES` /
+    /// [`Runtime::set_mem_budget`]) and an exchange exceeded it.
+    pub bytes_spilled: u64,
+    /// Number of spill run files written by the memory governor.
+    pub spill_files: u64,
+    /// High-water mark of bytes charged against the memory governor
+    /// (exchange residency, combine state, admission reservations). Unlike
+    /// the other counters this is a *gauge maximum*, not a monotonic sum:
+    /// [`since`](RuntimeStats::since) carries the current value through
+    /// instead of subtracting.
+    pub peak_bytes: u64,
 }
 
 impl RuntimeStats {
@@ -85,6 +98,10 @@ impl RuntimeStats {
             steals: self.steals - earlier.steals,
             max_task_us: self.max_task_us - earlier.max_task_us,
             wave_us: self.wave_us - earlier.wave_us,
+            bytes_spilled: self.bytes_spilled - earlier.bytes_spilled,
+            spill_files: self.spill_files - earlier.spill_files,
+            // A high-water mark has no meaningful delta; report the level.
+            peak_bytes: self.peak_bytes,
         }
     }
 }
@@ -150,6 +167,7 @@ pub struct Runtime {
     checked: AtomicBool,
     stealing: AtomicBool,
     morsel_rows: AtomicUsize,
+    governor: Arc<MemGovernor>,
 }
 
 impl Runtime {
@@ -181,6 +199,7 @@ impl Runtime {
             checked: AtomicBool::new(checked_from_env()),
             stealing: AtomicBool::new(stealing_from_env()),
             morsel_rows: AtomicUsize::new(morsel_rows_from_env()),
+            governor: Arc::new(MemGovernor::from_env()),
         }
     }
 
@@ -385,6 +404,26 @@ impl Runtime {
         self.morsel_rows.store(rows.max(1), Ordering::Relaxed);
     }
 
+    /// The runtime's [memory governor](MemGovernor): the shared byte-budget
+    /// accountant that shuffle exchanges charge and the serving layer
+    /// reserves against.
+    pub fn governor(&self) -> Arc<MemGovernor> {
+        Arc::clone(&self.governor)
+    }
+
+    /// The governor's byte budget (`0` = unlimited). Initialized from
+    /// `TGRAPH_MEM_BYTES` at construction.
+    pub fn mem_budget(&self) -> u64 {
+        self.governor.budget()
+    }
+
+    /// Sets the governor's byte budget; `0` disables budgeting (and with it
+    /// estimation and spilling). Results are byte-identical either way —
+    /// only memory residency and the spill counters change.
+    pub fn set_mem_budget(&self, bytes: u64) {
+        self.governor.set_budget(bytes);
+    }
+
     /// Current execution statistics.
     pub fn stats(&self) -> RuntimeStats {
         RuntimeStats {
@@ -403,6 +442,9 @@ impl Runtime {
             steals: self.steals.load(Ordering::Relaxed),
             max_task_us: self.max_task_us.load(Ordering::Relaxed),
             wave_us: self.wave_us.load(Ordering::Relaxed),
+            bytes_spilled: self.governor.bytes_spilled(),
+            spill_files: self.governor.spill_files(),
+            peak_bytes: self.governor.peak_bytes(),
         }
     }
 

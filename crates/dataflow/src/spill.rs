@@ -1,0 +1,682 @@
+//! Spill codec and run files: how exchange buckets leave memory when the
+//! [memory governor](crate::MemGovernor) is over budget.
+//!
+//! A *run* is one map partition's bucket set written to disk in a compact
+//! little-endian format (the same fixed-width/length-prefixed conventions as
+//! the `.tgc` columnar encoder in `tgraph-storage`, which re-exports this
+//! module's [`checksum`]). Buckets are written — and later read back — in
+//! bucket order, with records in exactly the order the map side produced
+//! them, so a merge of spilled and in-memory sources reproduces the
+//! all-in-memory exchange byte for byte.
+//!
+//! Records are encoded via the [`Spill`] trait: a deliberately boring,
+//! exact codec (no compression, no varints) with implementations for the
+//! standard types dataflow programs shuffle. Domain crates implement it for
+//! their record types (`tgraph-core` for property-graph records,
+//! `tgraph-repr` for the physical-representation rows).
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// A cheap estimate of the heap bytes owned by a value, *excluding* its
+/// inline `size_of` footprint. The governor charges
+/// `size_of::<T>() + heap_bytes()` per record; the estimate only needs to be
+/// proportional to real residency, not exact (malloc headers and capacity
+/// slack are ignored).
+pub trait HeapSize {
+    /// Heap bytes reachable from (and owned by) `self`.
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Inline plus owned-heap bytes of one value — the unit the governor charges.
+pub fn charged_size<T: HeapSize>(x: &T) -> usize {
+    std::mem::size_of::<T>() + x.heap_bytes()
+}
+
+/// Why a spill write or read failed. Spill failures abort the wave: the
+/// engine's internal error channel is panics, so operators raise this as a
+/// typed panic payload (`std::panic::panic_any(SpillError…)`) which
+/// `catch_unwind` callers (tests, the serving layer) can downcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpillError {
+    /// A filesystem operation on a run file failed.
+    Io {
+        /// Which operation failed (`create`, `write`, `open`, `read`, …).
+        op: &'static str,
+        /// The run file (or spill directory) involved.
+        path: PathBuf,
+        /// The underlying `std::io::Error`, stringified.
+        error: String,
+    },
+    /// A run file's payload did not decode back (checksum mismatch,
+    /// truncation, bad tag).
+    Corrupt {
+        /// What went wrong, including the run path when known.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SpillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpillError::Io { op, path, error } => {
+                write!(f, "spill {op} failed on {}: {error}", path.display())
+            }
+            SpillError::Corrupt { detail } => write!(f, "spill run corrupt: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SpillError {}
+
+fn io_err(op: &'static str, path: &Path, e: std::io::Error) -> SpillError {
+    SpillError::Io {
+        op,
+        path: path.to_path_buf(),
+        error: e.to_string(),
+    }
+}
+
+fn corrupt(detail: impl Into<String>) -> SpillError {
+    SpillError::Corrupt {
+        detail: detail.into(),
+    }
+}
+
+/// The checksum guarding every run bucket (and, re-exported through
+/// `tgraph-storage`, every `.tgc` chunk): a 64-bit multiply-add fold with
+/// position mixing, cheap enough to run on every read and strong enough to
+/// catch torn or bit-flipped writes.
+pub fn checksum(payload: &[u8]) -> u64 {
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    for (i, b) in payload.iter().enumerate() {
+        acc = acc
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(*b as u64)
+            .wrapping_add(i as u64);
+    }
+    acc
+}
+
+/// Bounds-checked little-endian reader over a run bucket's payload.
+pub struct SpillReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SpillReader<'a> {
+    /// Reads from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SpillReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], SpillError> {
+        if self.remaining() < n {
+            return Err(corrupt(format!(
+                "need {n} bytes, {} remaining",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consumes one byte.
+    pub fn u8(&mut self) -> Result<u8, SpillError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Consumes a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SpillError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Consumes a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SpillError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Consumes a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, SpillError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Consumes a `u64` length prefix, rejecting lengths that cannot fit in
+    /// the remaining payload (`floor` bytes per element; pass 0 for
+    /// zero-sized elements).
+    pub fn len_prefix(&mut self, floor: usize) -> Result<usize, SpillError> {
+        let n = self.u64()?;
+        let cap = (self.remaining() as u64)
+            .checked_div(floor as u64)
+            .unwrap_or(u64::MAX);
+        if n > cap {
+            return Err(corrupt(format!(
+                "length prefix {n} exceeds remaining payload ({} bytes)",
+                self.remaining()
+            )));
+        }
+        Ok(n as usize)
+    }
+}
+
+/// Exact binary codec for spillable records. `unspill(spill(x)) == x` must
+/// hold bit-for-bit (floats roundtrip through their bit patterns), because
+/// the governor's contract is byte-identical results with spilling on or
+/// off.
+pub trait Spill: HeapSize + Sized {
+    /// Appends the encoding of `self` to `out`.
+    fn spill(&self, out: &mut Vec<u8>);
+    /// Decodes one value, consuming exactly the bytes `spill` wrote.
+    fn unspill(r: &mut SpillReader<'_>) -> Result<Self, SpillError>;
+}
+
+macro_rules! spill_int {
+    ($($t:ty),*) => {$(
+        impl HeapSize for $t {}
+        impl Spill for $t {
+            fn spill(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&(*self as u64).to_le_bytes());
+            }
+            fn unspill(r: &mut SpillReader<'_>) -> Result<Self, SpillError> {
+                Ok(r.u64()? as $t)
+            }
+        }
+    )*};
+}
+
+// Integers travel as 8 little-endian bytes regardless of native width, so a
+// run written by any build decodes on any other.
+spill_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl HeapSize for bool {}
+impl Spill for bool {
+    fn spill(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn unspill(r: &mut SpillReader<'_>) -> Result<Self, SpillError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(corrupt(format!("bad bool tag {t}"))),
+        }
+    }
+}
+
+impl HeapSize for char {}
+impl Spill for char {
+    fn spill(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(*self as u32).to_le_bytes());
+    }
+    fn unspill(r: &mut SpillReader<'_>) -> Result<Self, SpillError> {
+        let v = r.u32()?;
+        char::from_u32(v).ok_or_else(|| corrupt(format!("bad char scalar {v:#x}")))
+    }
+}
+
+impl HeapSize for f64 {}
+impl Spill for f64 {
+    fn spill(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn unspill(r: &mut SpillReader<'_>) -> Result<Self, SpillError> {
+        Ok(f64::from_bits(r.u64()?))
+    }
+}
+
+impl HeapSize for f32 {}
+impl Spill for f32 {
+    fn spill(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn unspill(r: &mut SpillReader<'_>) -> Result<Self, SpillError> {
+        Ok(f32::from_bits(r.u32()?))
+    }
+}
+
+impl HeapSize for () {}
+impl Spill for () {
+    fn spill(&self, _out: &mut Vec<u8>) {}
+    fn unspill(_r: &mut SpillReader<'_>) -> Result<Self, SpillError> {
+        Ok(())
+    }
+}
+
+fn spill_str(s: &str, out: &mut Vec<u8>) {
+    (s.len() as u64).spill(out);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn unspill_string(r: &mut SpillReader<'_>) -> Result<String, SpillError> {
+    let len = r.len_prefix(1)?;
+    let raw = r.bytes(len)?;
+    std::str::from_utf8(raw)
+        .map(str::to_owned)
+        .map_err(|_| corrupt("invalid UTF-8 in spilled string"))
+}
+
+impl HeapSize for String {
+    fn heap_bytes(&self) -> usize {
+        self.len()
+    }
+}
+impl Spill for String {
+    fn spill(&self, out: &mut Vec<u8>) {
+        spill_str(self, out);
+    }
+    fn unspill(r: &mut SpillReader<'_>) -> Result<Self, SpillError> {
+        unspill_string(r)
+    }
+}
+
+impl HeapSize for std::sync::Arc<str> {
+    fn heap_bytes(&self) -> usize {
+        self.len()
+    }
+}
+impl Spill for std::sync::Arc<str> {
+    fn spill(&self, out: &mut Vec<u8>) {
+        spill_str(self, out);
+    }
+    fn unspill(r: &mut SpillReader<'_>) -> Result<Self, SpillError> {
+        Ok(unspill_string(r)?.into())
+    }
+}
+
+impl HeapSize for &'static str {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl Spill for &'static str {
+    fn spill(&self, out: &mut Vec<u8>) {
+        spill_str(self, out);
+    }
+    fn unspill(r: &mut SpillReader<'_>) -> Result<Self, SpillError> {
+        // A borrowed string cannot be reconstituted from disk without an
+        // owner, so the round trip leaks each decoded string. Acceptable:
+        // `&'static str` datasets are literal-sized, and the leak only
+        // materializes for records that actually spilled and were read back.
+        Ok(Box::leak(unspill_string(r)?.into_boxed_str()))
+    }
+}
+
+impl<T: HeapSize> HeapSize for Vec<T> {
+    fn heap_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+            + self.iter().map(HeapSize::heap_bytes).sum::<usize>()
+    }
+}
+impl<T: Spill> Spill for Vec<T> {
+    fn spill(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).spill(out);
+        for x in self {
+            x.spill(out);
+        }
+    }
+    fn unspill(r: &mut SpillReader<'_>) -> Result<Self, SpillError> {
+        // Elements may be zero-width (e.g. `()`), so the length prefix is
+        // only sanity-capped when elements occupy at least one byte.
+        let n = r.len_prefix(0)?;
+        let mut out = Vec::with_capacity(n.min(r.remaining().max(16)));
+        for _ in 0..n {
+            out.push(T::unspill(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: HeapSize> HeapSize for Option<T> {
+    fn heap_bytes(&self) -> usize {
+        self.as_ref().map_or(0, HeapSize::heap_bytes)
+    }
+}
+impl<T: Spill> Spill for Option<T> {
+    fn spill(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(x) => {
+                out.push(1);
+                x.spill(out);
+            }
+        }
+    }
+    fn unspill(r: &mut SpillReader<'_>) -> Result<Self, SpillError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::unspill(r)?)),
+            t => Err(corrupt(format!("bad Option tag {t}"))),
+        }
+    }
+}
+
+impl<T: HeapSize> HeapSize for Box<T> {
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<T>() + self.as_ref().heap_bytes()
+    }
+}
+impl<T: Spill> Spill for Box<T> {
+    fn spill(&self, out: &mut Vec<u8>) {
+        self.as_ref().spill(out);
+    }
+    fn unspill(r: &mut SpillReader<'_>) -> Result<Self, SpillError> {
+        Ok(Box::new(T::unspill(r)?))
+    }
+}
+
+macro_rules! spill_tuple {
+    ($(($($n:tt $T:ident),+)),+ $(,)?) => {$(
+        impl<$($T: HeapSize),+> HeapSize for ($($T,)+) {
+            fn heap_bytes(&self) -> usize {
+                0 $(+ self.$n.heap_bytes())+
+            }
+        }
+        impl<$($T: Spill),+> Spill for ($($T,)+) {
+            fn spill(&self, out: &mut Vec<u8>) {
+                $(self.$n.spill(out);)+
+            }
+            fn unspill(r: &mut SpillReader<'_>) -> Result<Self, SpillError> {
+                Ok(($($T::unspill(r)?,)+))
+            }
+        }
+    )+};
+}
+
+spill_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+);
+
+/// Location of one bucket inside a run file.
+#[derive(Debug, Clone, Copy)]
+struct BucketMeta {
+    offset: u64,
+    len: u64,
+    records: u64,
+    checksum: u64,
+}
+
+/// Writes one map partition's buckets to a run file, bucket by bucket.
+/// On any error the partially-written file is removed before the error is
+/// returned, so a failed spill never leaks temp files.
+pub(crate) struct RunWriter {
+    file: File,
+    path: PathBuf,
+    buckets: Vec<BucketMeta>,
+    offset: u64,
+    scratch: Vec<u8>,
+}
+
+impl RunWriter {
+    /// Creates (truncating) the run file at `path`.
+    pub fn create(path: PathBuf) -> Result<Self, SpillError> {
+        let file = File::create(&path).map_err(|e| io_err("create", &path, e))?;
+        Ok(RunWriter {
+            file,
+            path,
+            buckets: Vec::new(),
+            offset: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Encodes and appends one bucket. Buckets must be written in bucket
+    /// order; record order within the bucket is preserved exactly.
+    pub fn write_bucket<T: Spill>(&mut self, records: &[T]) -> Result<(), SpillError> {
+        self.scratch.clear();
+        for rec in records {
+            rec.spill(&mut self.scratch);
+        }
+        let meta = BucketMeta {
+            offset: self.offset,
+            len: self.scratch.len() as u64,
+            records: records.len() as u64,
+            checksum: checksum(&self.scratch),
+        };
+        if let Err(e) = self.file.write_all(&self.scratch) {
+            let err = io_err("write", &self.path, e);
+            self.discard();
+            return Err(err);
+        }
+        self.offset += meta.len;
+        self.buckets.push(meta);
+        Ok(())
+    }
+
+    /// Flushes and seals the run, returning a handle that deletes the file
+    /// when dropped.
+    pub fn finish(mut self) -> Result<RunHandle, SpillError> {
+        if let Err(e) = self.file.flush() {
+            let err = io_err("flush", &self.path, e);
+            self.discard();
+            return Err(err);
+        }
+        Ok(RunHandle {
+            path: std::mem::take(&mut self.path),
+            buckets: std::mem::take(&mut self.buckets),
+            bytes: self.offset,
+        })
+    }
+
+    /// Best-effort removal of the partial file after a failure.
+    fn discard(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+        self.path = PathBuf::new(); // disarm: nothing left to clean up
+    }
+}
+
+/// A sealed, readable run file. Dropping the handle deletes the file —
+/// spilled runs are strictly transient exchange state, so both the success
+/// path (exchange consumed) and the failure path (wave unwinding) converge
+/// on the same RAII cleanup.
+pub(crate) struct RunHandle {
+    path: PathBuf,
+    buckets: Vec<BucketMeta>,
+    bytes: u64,
+}
+
+impl RunHandle {
+    /// Total payload bytes in the file.
+    pub fn file_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Records recorded for bucket `b` at write time.
+    pub fn bucket_records(&self, b: usize) -> u64 {
+        self.buckets.get(b).map_or(0, |m| m.records)
+    }
+
+    /// Reads bucket `b` back, verifying its checksum, and appends the
+    /// decoded records to `out` in their original order. Each caller opens
+    /// its own file handle, so concurrent reduce tasks can read one run.
+    pub fn read_bucket<T: Spill>(&self, b: usize, out: &mut Vec<T>) -> Result<(), SpillError> {
+        let meta = self.buckets.get(b).ok_or_else(|| {
+            corrupt(format!(
+                "bucket {b} out of range ({} buckets) in {}",
+                self.buckets.len(),
+                self.path.display()
+            ))
+        })?;
+        let mut file = File::open(&self.path).map_err(|e| io_err("open", &self.path, e))?;
+        file.seek(SeekFrom::Start(meta.offset))
+            .map_err(|e| io_err("seek", &self.path, e))?;
+        let mut payload = vec![0u8; meta.len as usize];
+        file.read_exact(&mut payload)
+            .map_err(|e| io_err("read", &self.path, e))?;
+        if checksum(&payload) != meta.checksum {
+            return Err(corrupt(format!(
+                "checksum mismatch in bucket {b} of {}",
+                self.path.display()
+            )));
+        }
+        let mut r = SpillReader::new(&payload);
+        out.reserve(meta.records as usize);
+        for i in 0..meta.records {
+            out.push(T::unspill(&mut r).map_err(|e| {
+                corrupt(format!(
+                    "record {i} of bucket {b} in {}: {e}",
+                    self.path.display()
+                ))
+            })?);
+        }
+        if r.remaining() != 0 {
+            return Err(corrupt(format!(
+                "bucket {b} of {} has {} trailing bytes",
+                self.path.display(),
+                r.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for RunHandle {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Spill + PartialEq + std::fmt::Debug>(x: T) {
+        let mut buf = Vec::new();
+        x.spill(&mut buf);
+        let mut r = SpillReader::new(&buf);
+        assert_eq!(T::unspill(&mut r).unwrap(), x);
+        assert_eq!(r.remaining(), 0, "codec must consume exactly its bytes");
+    }
+
+    #[test]
+    fn std_types_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip('é');
+        roundtrip(1.5f64);
+        roundtrip(f64::NEG_INFINITY);
+        roundtrip(());
+        roundtrip("héllo".to_string());
+        roundtrip(std::sync::Arc::<str>::from("arc"));
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<String>::new());
+        roundtrip(Some(7u32));
+        roundtrip(Option::<String>::None);
+        roundtrip(Box::new(9i32));
+        roundtrip((1u64, "k".to_string(), vec![2i64]));
+        roundtrip(vec![((), ()), ((), ())]);
+    }
+
+    #[test]
+    fn nan_bits_roundtrip_exactly() {
+        let x = f64::from_bits(0x7ff8_0000_dead_beef);
+        let mut buf = Vec::new();
+        x.spill(&mut buf);
+        let mut r = SpillReader::new(&buf);
+        assert_eq!(f64::unspill(&mut r).unwrap().to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn truncated_payload_errors() {
+        let mut buf = Vec::new();
+        "hello".to_string().spill(&mut buf);
+        buf.truncate(buf.len() - 2);
+        let mut r = SpillReader::new(&buf);
+        assert!(String::unspill(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        (u64::MAX).spill(&mut buf); // absurd element count
+        let mut r = SpillReader::new(&buf);
+        assert!(Vec::<u64>::unspill(&mut r).is_err());
+    }
+
+    #[test]
+    fn heap_bytes_counts_owned_payloads() {
+        assert_eq!(7u64.heap_bytes(), 0);
+        assert_eq!("abcd".to_string().heap_bytes(), 4);
+        let v = vec!["ab".to_string()];
+        assert!(v.heap_bytes() >= std::mem::size_of::<String>() + 2);
+        assert!(charged_size(&v) > v.heap_bytes());
+    }
+
+    #[test]
+    fn run_file_roundtrips_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("tgraph-spill-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run-roundtrip.tgr");
+        let b0: Vec<(u64, String)> = vec![(1, "a".into()), (2, "bb".into())];
+        let b1: Vec<(u64, String)> = vec![];
+        let b2: Vec<(u64, String)> = vec![(9, "zzz".into())];
+        let mut w = RunWriter::create(path.clone()).unwrap();
+        w.write_bucket(&b0).unwrap();
+        w.write_bucket(&b1).unwrap();
+        w.write_bucket(&b2).unwrap();
+        let run = w.finish().unwrap();
+        assert!(path.exists());
+        assert!(run.file_bytes() > 0);
+        assert_eq!(run.bucket_records(0), 2);
+        let mut got: Vec<(u64, String)> = Vec::new();
+        run.read_bucket(0, &mut got).unwrap();
+        run.read_bucket(1, &mut got).unwrap();
+        run.read_bucket(2, &mut got).unwrap();
+        let mut expected = b0.clone();
+        expected.extend(b2.clone());
+        assert_eq!(got, expected);
+        drop(run);
+        assert!(!path.exists(), "dropping the handle must delete the run");
+    }
+
+    #[test]
+    fn corrupted_run_is_detected() {
+        let dir = std::env::temp_dir().join(format!("tgraph-spill-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run-corrupt.tgr");
+        let mut w = RunWriter::create(path.clone()).unwrap();
+        w.write_bucket(&[(1u64, 2u64), (3, 4)]).unwrap();
+        let run = w.finish().unwrap();
+        // Flip a payload byte behind the handle's back.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[0] ^= 0xff;
+        std::fs::write(&path, &raw).unwrap();
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        let err = run.read_bucket(0, &mut out).unwrap_err();
+        assert!(matches!(err, SpillError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn failed_create_reports_typed_io_error() {
+        // A run path whose parent is a regular file cannot be created — this
+        // fails for any uid (unlike chmod tricks, which root ignores).
+        let dir = std::env::temp_dir().join(format!("tgraph-spill-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("not-a-dir");
+        std::fs::write(&blocker, b"x").unwrap();
+        let err = RunWriter::create(blocker.join("run.tgr"))
+            .err()
+            .expect("creating a run under a file path must fail");
+        assert!(matches!(err, SpillError::Io { op: "create", .. }), "{err}");
+    }
+}

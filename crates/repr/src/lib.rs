@@ -27,6 +27,7 @@ pub mod og;
 pub mod ogc;
 pub mod rg;
 pub mod select;
+pub mod spill;
 pub mod triplets;
 pub mod ve;
 

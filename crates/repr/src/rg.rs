@@ -360,6 +360,54 @@ enum SnapshotPart {
     Edge(EdgeId, VertexId, VertexId, Props),
 }
 
+impl tgraph_dataflow::HeapSize for SnapshotPart {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            SnapshotPart::Vertex(_, props) | SnapshotPart::Edge(_, _, _, props) => {
+                props.heap_bytes()
+            }
+        }
+    }
+}
+
+impl tgraph_dataflow::Spill for SnapshotPart {
+    fn spill(&self, out: &mut Vec<u8>) {
+        match self {
+            SnapshotPart::Vertex(vid, props) => {
+                out.push(0);
+                vid.spill(out);
+                props.spill(out);
+            }
+            SnapshotPart::Edge(eid, src, dst, props) => {
+                out.push(1);
+                eid.spill(out);
+                src.spill(out);
+                dst.spill(out);
+                props.spill(out);
+            }
+        }
+    }
+    fn unspill(
+        r: &mut tgraph_dataflow::SpillReader<'_>,
+    ) -> Result<Self, tgraph_dataflow::SpillError> {
+        match r.u8()? {
+            0 => Ok(SnapshotPart::Vertex(
+                VertexId::unspill(r)?,
+                Props::unspill(r)?,
+            )),
+            1 => Ok(SnapshotPart::Edge(
+                EdgeId::unspill(r)?,
+                VertexId::unspill(r)?,
+                VertexId::unspill(r)?,
+                Props::unspill(r)?,
+            )),
+            t => Err(tgraph_dataflow::SpillError::Corrupt {
+                detail: format!("bad snapshot part tag {t}"),
+            }),
+        }
+    }
+}
+
 /// Rebuilds one deterministic snapshot from its parts.
 fn build_snapshot(interval: Interval, parts: &[SnapshotPart]) -> RgSnapshot {
     let mut vertices = Vec::new();

@@ -15,6 +15,8 @@
 //! * `--max-inflight N`      concurrent zoom executions (default 2)
 //! * `--max-queue N`         admission queue capacity (default 64)
 //! * `--cache-mb N`          result-cache budget in MiB (default 64)
+//! * `--query-reserve-mb N`  bytes (MiB) reserved per admitted query against
+//!   the memory governor (default 16; binding only under `TGRAPH_MEM_BYTES`)
 //! * `--gen-demo NAME`       generate a small deterministic WikiTalk-style
 //!   dataset under `--data-dir` as NAME before serving (for smoke tests)
 
@@ -82,6 +84,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("--cache-mb: {e}"))?;
                 config.cache_bytes = mb << 20;
             }
+            "--query-reserve-mb" => {
+                let mb: u64 = value("--query-reserve-mb")?
+                    .parse()
+                    .map_err(|e| format!("--query-reserve-mb: {e}"))?;
+                config.query_reserve_bytes = mb << 20;
+            }
             "--graphs" => {
                 for part in value("--graphs")?.split(',').filter(|p| !p.is_empty()) {
                     let (name, repr) = part
@@ -95,7 +103,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 return Err("usage: tgraph-serve --addr HOST:PORT --data-dir DIR \
                             [--graphs name:repr,...] [--workers N] [--partitions N] \
                             [--max-inflight N] [--max-queue N] [--cache-mb N] \
-                            [--gen-demo NAME]"
+                            [--query-reserve-mb N] [--gen-demo NAME]"
                     .to_string())
             }
             other => return Err(format!("unknown flag '{other}' (try --help)")),

@@ -374,6 +374,12 @@ impl<'a> Parser<'a> {
             {
                 let lo = hex4(self, self.pos + 2)?;
                 self.pos += 6;
+                // The low half must be an actual low surrogate; without this
+                // check `lo - 0xDC00` underflows (a debug-build panic, and
+                // mojibake-or-luck in release).
+                if !(0xDC00..0xE000).contains(&lo) {
+                    return Err(self.err("bad surrogate pair"));
+                }
                 let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                 return char::from_u32(cp).ok_or_else(|| self.err("bad surrogate pair"));
             }
@@ -479,5 +485,56 @@ mod tests {
         assert_eq!(v.as_str(), Some("café 😀"));
         let round = parse(&Json::str("café 😀").to_string()).unwrap();
         assert_eq!(round.as_str(), Some("café 😀"));
+    }
+
+    #[test]
+    fn valid_surrogate_pairs_decode() {
+        // U+1F600 (😀) as its escaped surrogate pair.
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap().as_str(),
+            Some("\u{1F600}")
+        );
+        // First and last pairable code points.
+        assert_eq!(
+            parse(r#""\ud800\udc00""#).unwrap().as_str(),
+            Some("\u{10000}")
+        );
+        assert_eq!(
+            parse(r#""\udbff\udfff""#).unwrap().as_str(),
+            Some("\u{10FFFF}")
+        );
+        // Pair embedded mid-string, next to another escape.
+        assert_eq!(
+            parse(r#""a\t\ud83d\ude00z""#).unwrap().as_str(),
+            Some("a\t\u{1F600}z")
+        );
+    }
+
+    #[test]
+    fn lone_surrogates_are_errors() {
+        // High surrogate at end of string.
+        assert!(parse(r#""\ud800""#).is_err());
+        // High surrogate followed by ordinary characters.
+        assert!(parse(r#""\ud800abc""#).is_err());
+        // Lone low surrogate.
+        assert!(parse(r#""\udc00""#).is_err());
+    }
+
+    #[test]
+    fn high_surrogate_with_bad_low_half_is_an_error_not_a_panic() {
+        // High surrogate followed by a \u escape that is NOT a low
+        // surrogate: `lo - 0xDC00` used to underflow here (a debug-build
+        // panic). Must be a parse error — not a panic, not mojibake.
+        for bad in [
+            r#""\ud800\u0041""#, // BMP scalar after high surrogate
+            r#""\ud800\ud800""#, // two high surrogates
+            r#""\ud83d\u00e9""#, // é after high surrogate
+        ] {
+            let got = parse(bad);
+            assert!(got.is_err(), "{bad} must fail, got {got:?}");
+        }
+        // High surrogate followed by a non-\u escape.
+        assert!(parse(r#""\ud800\n""#).is_err());
+        assert!(parse(r#""\ud800\t""#).is_err());
     }
 }

@@ -37,6 +37,10 @@ pub struct ServerConfig {
     pub max_queue: usize,
     /// Result-cache byte budget.
     pub cache_bytes: u64,
+    /// Bytes reserved against the runtime's memory governor per admitted
+    /// query. Only binding when a budget is set (`TGRAPH_MEM_BYTES` or
+    /// `Runtime::set_mem_budget`); with no budget, reservations are free.
+    pub query_reserve_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +53,7 @@ impl Default for ServerConfig {
             max_inflight: 2,
             max_queue: 64,
             cache_bytes: 64 << 20,
+            query_reserve_bytes: 16 << 20,
         }
     }
 }
@@ -73,11 +78,20 @@ impl Server {
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
+        let rt = Runtime::with_partitions(config.workers, config.partitions);
+        // Queries reserve bytes against the same governor the dataflow
+        // charges shuffles to: admission is memory-aware, not just a count.
+        let admission = Admission::with_governor(
+            config.max_inflight,
+            config.max_queue,
+            rt.governor(),
+            config.query_reserve_bytes,
+        );
         Ok(Server {
-            rt: Runtime::with_partitions(config.workers, config.partitions),
+            rt,
             pool: GraphPool::new(&config.data_dir),
             cache: ResultCache::new(config.cache_bytes),
-            admission: Admission::new(config.max_inflight, config.max_queue),
+            admission,
             metrics: ServerMetrics::default(),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
@@ -337,6 +351,7 @@ impl Server {
                         Json::Int(admission.rejected_deadline as i64),
                     ),
                     ("wait_us_total", Json::Int(admission.wait_us_total as i64)),
+                    ("memory_stalls", Json::Int(admission.memory_stalls as i64)),
                     ("inflight", Json::Int(admission.inflight as i64)),
                     ("queue_depth", Json::Int(admission.queue_depth as i64)),
                     ("max_inflight", Json::Int(self.config.max_inflight as i64)),
@@ -369,6 +384,10 @@ impl Server {
                     ("steals", Json::Int(rt.steals as i64)),
                     ("max_task_us", Json::Int(rt.max_task_us as i64)),
                     ("wave_us", Json::Int(rt.wave_us as i64)),
+                    ("mem_budget", Json::Int(self.rt.mem_budget() as i64)),
+                    ("peak_bytes", Json::Int(rt.peak_bytes as i64)),
+                    ("bytes_spilled", Json::Int(rt.bytes_spilled as i64)),
+                    ("spill_files", Json::Int(rt.spill_files as i64)),
                 ]),
             ),
         ])
@@ -528,6 +547,7 @@ mod tests {
             max_inflight: 2,
             max_queue: 8,
             cache_bytes: 1 << 20,
+            ..ServerConfig::default()
         })
         .expect("bind");
         Arc::new(server)

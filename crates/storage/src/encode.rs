@@ -39,6 +39,45 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Errors raised while *encoding* rows into a `.tgc` payload: a field does
+/// not fit its fixed-width length or count prefix. A bare `as` cast here
+/// once silently truncated the prefix, producing a payload whose declared
+/// sizes disagreed with its contents — the same corruption class
+/// `StorageError::ChunkTooLarge` closed for chunk lengths. The writer now
+/// refuses at encode time instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A string's byte length exceeded the format's `u32` length prefix.
+    /// Carries the offending length.
+    StringTooLarge(usize),
+    /// A property set's pair count exceeded the format's `u16` count field.
+    /// Carries the offending count.
+    TooManyProps(usize),
+    /// A row or chunk count exceeded a `u32` count field. Carries the
+    /// offending count.
+    CountTooLarge(usize),
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::StringTooLarge(len) => write!(
+                f,
+                "string of {len} bytes exceeds the format's u32 length prefix"
+            ),
+            EncodeError::TooManyProps(n) => write!(
+                f,
+                "property set of {n} pairs exceeds the format's u16 count field"
+            ),
+            EncodeError::CountTooLarge(n) => {
+                write!(f, "{n} items exceed the format's u32 count field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
 fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
     if buf.remaining() < n {
         Err(DecodeError::UnexpectedEof)
@@ -47,10 +86,29 @@ fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
     }
 }
 
-/// Writes a length-prefixed UTF-8 string.
-pub fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
+/// Validates a string's byte length against the `u32` length prefix.
+/// Factored out so the boundary is testable without allocating a 4 GiB
+/// string.
+pub fn checked_str_len(len: usize) -> Result<u32, EncodeError> {
+    u32::try_from(len).map_err(|_| EncodeError::StringTooLarge(len))
+}
+
+/// Validates a property-pair count against the `u16` count field.
+pub fn checked_prop_count(n: usize) -> Result<u16, EncodeError> {
+    u16::try_from(n).map_err(|_| EncodeError::TooManyProps(n))
+}
+
+/// Validates a row/chunk count against a `u32` count field.
+pub fn checked_count(n: usize) -> Result<u32, EncodeError> {
+    u32::try_from(n).map_err(|_| EncodeError::CountTooLarge(n))
+}
+
+/// Writes a length-prefixed UTF-8 string, refusing strings whose length
+/// does not fit the prefix.
+pub fn put_str(buf: &mut BytesMut, s: &str) -> Result<(), EncodeError> {
+    buf.put_u32_le(checked_str_len(s.len())?);
     buf.put_slice(s.as_bytes());
+    Ok(())
 }
 
 /// Reads a length-prefixed UTF-8 string.
@@ -63,7 +121,7 @@ pub fn get_str(buf: &mut Bytes) -> Result<String, DecodeError> {
 }
 
 /// Writes a tagged property value.
-pub fn put_value(buf: &mut BytesMut, v: &Value) {
+pub fn put_value(buf: &mut BytesMut, v: &Value) -> Result<(), EncodeError> {
     match v {
         Value::Bool(b) => {
             buf.put_u8(0);
@@ -79,9 +137,10 @@ pub fn put_value(buf: &mut BytesMut, v: &Value) {
         }
         Value::Str(s) => {
             buf.put_u8(3);
-            put_str(buf, s);
+            put_str(buf, s)?;
         }
     }
+    Ok(())
 }
 
 /// Reads a tagged property value.
@@ -105,13 +164,15 @@ pub fn get_value(buf: &mut Bytes) -> Result<Value, DecodeError> {
     }
 }
 
-/// Writes a property set.
-pub fn put_props(buf: &mut BytesMut, props: &Props) {
-    buf.put_u16_le(props.len() as u16);
+/// Writes a property set, refusing sets whose pair count does not fit the
+/// `u16` count field.
+pub fn put_props(buf: &mut BytesMut, props: &Props) -> Result<(), EncodeError> {
+    buf.put_u16_le(checked_prop_count(props.len())?);
     for (k, v) in props.iter() {
-        put_str(buf, k);
-        put_value(buf, v);
+        put_str(buf, k)?;
+        put_value(buf, v)?;
     }
+    Ok(())
 }
 
 /// Reads a property set.
@@ -142,18 +203,11 @@ pub fn get_interval(buf: &mut Bytes) -> Result<Interval, DecodeError> {
     Ok(Interval::new(start, end))
 }
 
-/// A cheap additive checksum (64-bit sum of bytes with position mixing) used
-/// to detect torn chunk writes.
-pub fn checksum(payload: &[u8]) -> u64 {
-    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
-    for (i, b) in payload.iter().enumerate() {
-        acc = acc
-            .wrapping_mul(0x100_0000_01b3)
-            .wrapping_add(*b as u64)
-            .wrapping_add(i as u64);
-    }
-    acc
-}
+/// A cheap additive checksum (64-bit multiply-add fold with position mixing)
+/// used to detect torn chunk writes. The algorithm is shared with the
+/// dataflow engine's spill-run format — one checksum, one implementation —
+/// so it is re-exported from there.
+pub use tgraph_dataflow::checksum;
 
 #[cfg(test)]
 mod tests {
@@ -161,7 +215,7 @@ mod tests {
 
     fn roundtrip_props(p: &Props) -> Props {
         let mut buf = BytesMut::new();
-        put_props(&mut buf, p);
+        put_props(&mut buf, p).unwrap();
         let mut bytes = buf.freeze();
         get_props(&mut bytes).unwrap()
     }
@@ -190,7 +244,7 @@ mod tests {
             Value::Str("héllo".into()),
         ] {
             let mut buf = BytesMut::new();
-            put_value(&mut buf, &v);
+            put_value(&mut buf, &v).unwrap();
             let mut bytes = buf.freeze();
             assert_eq!(get_value(&mut bytes).unwrap(), v);
         }
@@ -207,10 +261,63 @@ mod tests {
     #[test]
     fn truncated_buffer_errors() {
         let mut buf = BytesMut::new();
-        put_str(&mut buf, "hello");
+        put_str(&mut buf, "hello").unwrap();
         let full = buf.freeze();
         let mut truncated = full.slice(0..full.len() - 2);
         assert_eq!(get_str(&mut truncated), Err(DecodeError::UnexpectedEof));
+    }
+
+    #[test]
+    fn string_length_boundary() {
+        // The checked-length helpers make the 4 GiB / 65 535 boundaries
+        // testable without allocating boundary-sized payloads.
+        assert_eq!(checked_str_len(0), Ok(0));
+        assert_eq!(checked_str_len(u32::MAX as usize), Ok(u32::MAX));
+        assert_eq!(
+            checked_str_len(u32::MAX as usize + 1),
+            Err(EncodeError::StringTooLarge(u32::MAX as usize + 1))
+        );
+    }
+
+    #[test]
+    fn prop_count_boundary() {
+        assert_eq!(checked_prop_count(u16::MAX as usize), Ok(u16::MAX));
+        assert_eq!(
+            checked_prop_count(u16::MAX as usize + 1),
+            Err(EncodeError::TooManyProps(u16::MAX as usize + 1))
+        );
+    }
+
+    #[test]
+    fn count_boundary() {
+        assert_eq!(checked_count(u32::MAX as usize), Ok(u32::MAX));
+        assert_eq!(
+            checked_count(u32::MAX as usize + 1),
+            Err(EncodeError::CountTooLarge(u32::MAX as usize + 1))
+        );
+    }
+
+    #[test]
+    fn encode_error_messages_carry_sizes() {
+        assert!(EncodeError::StringTooLarge(5_000_000_000)
+            .to_string()
+            .contains("5000000000"));
+        assert!(EncodeError::TooManyProps(70_000)
+            .to_string()
+            .contains("70000"));
+        assert!(EncodeError::CountTooLarge(1 << 33)
+            .to_string()
+            .contains("u32"));
+    }
+
+    #[test]
+    fn checksum_matches_dataflow_spill_checksum() {
+        // One algorithm shared by .tgc chunks and spill runs: the re-export
+        // must be the dataflow implementation, bit for bit.
+        assert_eq!(
+            checksum(b"zooming out"),
+            tgraph_dataflow::checksum(b"zooming out")
+        );
     }
 
     #[test]

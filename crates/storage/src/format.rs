@@ -15,7 +15,10 @@
 //!   snapshot's rows are adjacent (used for RG; the paper found RG loads
 //!   ~30% faster this way).
 
-use crate::encode::{checksum, get_interval, get_props, put_interval, put_props, DecodeError};
+use crate::encode::{
+    checked_count, checksum, get_interval, get_props, put_interval, put_props, DecodeError,
+    EncodeError,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -65,6 +68,10 @@ pub enum StorageError {
     /// so the writer refuses instead. The payload size is carried for the
     /// diagnostic.
     ChunkTooLarge(usize),
+    /// A row field did not fit its fixed-width prefix (string length, prop
+    /// count, or row count) — the same refuse-instead-of-truncate policy as
+    /// `ChunkTooLarge`, applied at the encoding layer.
+    Encode(EncodeError),
 }
 
 impl From<std::io::Error> for StorageError {
@@ -77,6 +84,11 @@ impl From<DecodeError> for StorageError {
         StorageError::Decode(e)
     }
 }
+impl From<EncodeError> for StorageError {
+    fn from(e: EncodeError) -> Self {
+        StorageError::Encode(e)
+    }
+}
 impl std::fmt::Display for StorageError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -86,6 +98,7 @@ impl std::fmt::Display for StorageError {
                 f,
                 "chunk payload of {len} bytes exceeds the format's 4 GiB limit"
             ),
+            StorageError::Encode(e) => write!(f, "encode error: {e}"),
         }
     }
 }
@@ -136,7 +149,7 @@ fn row_interval_stats(intervals: impl Iterator<Item = Interval>) -> ChunkStats {
 /// field. A bare `as u32` cast here once truncated ≥ 4 GiB payloads into
 /// corrupt files whose declared length disagreed with their contents — the
 /// typed error turns that silent corruption into a refusal at write time.
-fn checked_chunk_len(len: usize) -> Result<u32, StorageError> {
+pub(crate) fn checked_chunk_len(len: usize) -> Result<u32, StorageError> {
     u32::try_from(len).map_err(|_| StorageError::ChunkTooLarge(len))
 }
 
@@ -225,8 +238,8 @@ pub fn write_tgc(
     out.write_all(&[order.to_u8()])?;
     let mut head = BytesMut::with_capacity(32);
     put_interval(&mut head, &g.lifespan);
-    head.put_u32_le(vertices.len().div_ceil(chunk_rows) as u32);
-    head.put_u32_le(edges.len().div_ceil(chunk_rows) as u32);
+    head.put_u32_le(checked_count(vertices.len().div_ceil(chunk_rows))?);
+    head.put_u32_le(checked_count(edges.len().div_ceil(chunk_rows))?);
     out.write_all(&head)?;
 
     for chunk in vertices.chunks(chunk_rows) {
@@ -235,7 +248,7 @@ pub fn write_tgc(
         for v in chunk {
             payload.put_u64_le(v.vid.0);
             put_interval(&mut payload, &v.interval);
-            put_props(&mut payload, &v.props);
+            put_props(&mut payload, &v.props)?;
         }
         write_chunk(&mut out, &stats, &payload)?;
     }
@@ -247,7 +260,7 @@ pub fn write_tgc(
             payload.put_u64_le(e.src.0);
             payload.put_u64_le(e.dst.0);
             put_interval(&mut payload, &e.interval);
-            put_props(&mut payload, &e.props);
+            put_props(&mut payload, &e.props)?;
         }
         write_chunk(&mut out, &stats, &payload)?;
     }

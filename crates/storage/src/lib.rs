@@ -24,6 +24,7 @@ pub mod loader;
 pub mod nested;
 pub mod pool;
 
+pub use encode::{DecodeError, EncodeError};
 pub use format::{
     estimate_rows, read_tgc, read_tgc_stats, write_tgc, ChunkStats, ScanStats, SortOrder,
     StorageError, TgcStats,

@@ -9,7 +9,9 @@
 //! existed as separate top-level columns** and keep chunk min/max statistics
 //! on those, restoring pushdown.
 
-use crate::encode::{checksum, get_interval, get_props, put_interval, put_props, DecodeError};
+use crate::encode::{
+    checked_count, checksum, get_interval, get_props, put_interval, put_props, DecodeError,
+};
 use crate::format::{ScanStats, StorageError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fs::File;
@@ -109,17 +111,17 @@ fn write_rows<W: Write>(
             payload.put_u64_le(r.dst);
             payload.put_i64_le(r.first);
             payload.put_i64_le(r.last);
-            payload.put_u32_le(r.history.len() as u32);
+            payload.put_u32_le(checked_count(r.history.len())?);
             for (iv, props) in &r.history {
                 put_interval(&mut payload, iv);
-                put_props(&mut payload, props);
+                put_props(&mut payload, props)?;
             }
         }
         let mut head = BytesMut::with_capacity(32);
         head.put_i64_le(min_first);
         head.put_i64_le(max_last);
-        head.put_u32_le(chunk.len() as u32);
-        head.put_u32_le(payload.len() as u32);
+        head.put_u32_le(checked_count(chunk.len())?);
+        head.put_u32_le(crate::format::checked_chunk_len(payload.len())?);
         head.put_u64_le(checksum(&payload));
         out.write_all(&head)?;
         out.write_all(&payload)?;
@@ -136,8 +138,8 @@ pub fn write_tgo(path: &Path, g: &TGraph, chunk_rows: usize) -> Result<(), Stora
     out.write_all(MAGIC)?;
     let mut head = BytesMut::with_capacity(32);
     put_interval(&mut head, &g.lifespan);
-    head.put_u32_le(vertices.len().div_ceil(chunk_rows) as u32);
-    head.put_u32_le(edges.len().div_ceil(chunk_rows) as u32);
+    head.put_u32_le(checked_count(vertices.len().div_ceil(chunk_rows))?);
+    head.put_u32_le(checked_count(edges.len().div_ceil(chunk_rows))?);
     out.write_all(&head)?;
     write_rows(&mut out, &vertices, chunk_rows)?;
     write_rows(&mut out, &edges, chunk_rows)?;
