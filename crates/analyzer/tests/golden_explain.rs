@@ -176,3 +176,61 @@ fn steal_mode_is_plan_invisible() {
         "steal run must actually have executed morsels"
     );
 }
+
+/// The exchange layer is plan-invisible: running the same zoom with buckets
+/// moved through the typed in-process path and through the framed wire codec
+/// must yield identical lineage fingerprints and identical analysis. How
+/// bytes move between map and reduce sides is a transport concern — it must
+/// never leak into plan structure, row counts, or the partitioning proofs.
+#[test]
+fn exchange_is_plan_invisible() {
+    use std::sync::Arc;
+    use tgraph_dataflow::{fingerprint, InProcessExchange};
+
+    let g = figure1_graph_stable_ids();
+
+    let run = |framed: bool| {
+        let rt = rt();
+        if framed {
+            rt.set_exchange(Arc::new(InProcessExchange::new(
+                true,
+                rt.exchange_counters(),
+            )));
+        }
+        let before = rt.stats();
+        let session = Session::load(&rt, &g, ReprKind::Ve).azoom(&aspec());
+        assert_eq!(session.verify(), Vec::<String>::new());
+        let lineages = session.finish().lineages();
+        let fps: Vec<(String, u64)> = lineages
+            .iter()
+            .map(|(name, root)| (name.to_string(), fingerprint(root)))
+            .collect();
+        let renders: Vec<String> = lineages
+            .iter()
+            .map(|(_, root)| {
+                let a = analyze(root);
+                assert!(a.is_sound(), "framed-exchange plan must analyze clean");
+                a.render()
+            })
+            .collect();
+        (fps, renders, rt.stats().since(&before))
+    };
+
+    let (fp_typed, an_typed, d_typed) = run(false);
+    let (fp_framed, an_framed, d_framed) = run(true);
+
+    assert_eq!(
+        fp_typed, fp_framed,
+        "fingerprints must not see the exchange"
+    );
+    assert_eq!(an_typed, an_framed, "analysis must not see the exchange");
+    assert_eq!(
+        d_typed.frames_sent, 0,
+        "typed path must not move wire frames"
+    );
+    assert!(
+        d_framed.frames_sent > 0,
+        "framed run must actually have moved wire frames"
+    );
+    assert!(d_framed.bytes_exchanged > 0);
+}

@@ -307,6 +307,18 @@ fn run_smoke(args: &Args) -> Result<(), String> {
         &stats_after,
     )?;
     println!("smoke: spilled {spilled} bytes in {spill_files} run files (budget {budget})");
+    // Exchange counters must be surfaced too (zero on the default typed
+    // path; TGRAPH_EXCHANGE=framed on the server moves real frames).
+    let exchanged = field_i64(&stats_after, &["runtime", "bytes_exchanged"])?;
+    let frames = field_i64(&stats_after, &["runtime", "frames_sent"])?;
+    field_i64(&stats_after, &["runtime", "frames_received"])?;
+    field_i64(&stats_after, &["runtime", "exchange_stalls"])?;
+    expect(
+        frames > 0 || exchanged == 0,
+        "no exchanged bytes without frames",
+        &stats_after,
+    )?;
+    println!("smoke: exchanged {exchanged} bytes in {frames} frames");
     println!("smoke: ok");
     Ok(())
 }

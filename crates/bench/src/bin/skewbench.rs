@@ -172,6 +172,9 @@ struct RunOutcome {
     wave_us: u64,
     bytes_spilled: u64,
     spill_files: u64,
+    bytes_exchanged: u64,
+    frames_sent: u64,
+    exchange_stalls: u64,
 }
 
 /// Runs both workloads under the runtime's current scheduler mode.
@@ -205,6 +208,9 @@ fn run_once(rt: &Runtime, parts: &[Vec<(u64, u64)>]) -> RunOutcome {
         wave_us: d.wave_us,
         bytes_spilled: d.bytes_spilled,
         spill_files: d.spill_files,
+        bytes_exchanged: d.bytes_exchanged,
+        frames_sent: d.frames_sent,
+        exchange_stalls: d.exchange_stalls,
     }
 }
 
@@ -297,6 +303,24 @@ fn main() -> ExitCode {
         println!("  spilled: none (no memory budget; set TGRAPH_MEM_BYTES to exercise spills)");
         if bytes_spilled != 0 {
             failures.push("spilled without a memory budget".to_string());
+        }
+    }
+
+    // Exchange footer: with TGRAPH_EXCHANGE=framed the shuffle workload
+    // moves real wire frames through the loopback codec; by default the
+    // typed in-process path moves none.
+    let bytes_exchanged = barrier.bytes_exchanged + steal.bytes_exchanged;
+    let frames_sent = barrier.frames_sent + steal.frames_sent;
+    let exchange_stalls = barrier.exchange_stalls + steal.exchange_stalls;
+    if frames_sent > 0 {
+        println!(
+            "  exchanged: {bytes_exchanged} bytes in {frames_sent} frames \
+             ({exchange_stalls} stalls)"
+        );
+    } else {
+        println!("  exchanged: none (typed in-process path; set TGRAPH_EXCHANGE=framed to frame)");
+        if bytes_exchanged != 0 {
+            failures.push("exchanged bytes without frames".to_string());
         }
     }
 

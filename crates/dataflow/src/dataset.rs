@@ -20,8 +20,10 @@
 //! what executes; the lineage is what the static verifier in
 //! `tgraph-analyze` walks to prove elisions sound and estimate movement.
 
+use crate::exchange::{ExchangeError, Frame, ShardLayout};
 use crate::lineage::{OpKind, PlanNode};
 use crate::runtime::Runtime;
+use crate::spill::{Spill, SpillReader};
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -40,6 +42,74 @@ pub enum Partitioning {
         /// Partition count the hash was taken modulo.
         parts: usize,
     },
+}
+
+/// Which global partitions of a dataset physically exist on *this* shard.
+///
+/// Datasets keep their full global partition width on every shard — all `P`
+/// partition slots exist everywhere, so partition indices, partitioning
+/// tags, lineage, and elision proofs never need translation. What varies
+/// per shard is which slots hold data:
+///
+/// * `Replicated` — every shard holds identical full content (all sources
+///   built from identical inputs, and everything downstream of an
+///   all-gather). Gathers are purely local.
+/// * `Owned(mask)` — this shard holds data only for mask-true slots (the
+///   output of a sharded exchange: each shard keeps its owned bucket
+///   range). Gathers and counts must rendezvous through the exchange.
+/// * `Chained` — a `union`: each side keeps its own locality, dispatched by
+///   the same partition-index split the union plan uses.
+///
+/// Under the single-process layout every dataset is effectively
+/// `Replicated` and this tag is inert.
+#[derive(Clone)]
+pub(crate) enum Locality {
+    /// Identical full content on every shard.
+    Replicated,
+    /// Only mask-true global partitions are present locally.
+    Owned(Arc<Vec<bool>>),
+    /// Union composition: `left` covers partitions `0..split`, `right` the
+    /// rest (re-indexed from zero).
+    Chained {
+        /// Left side's locality.
+        left: Arc<Locality>,
+        /// Right side's locality.
+        right: Arc<Locality>,
+        /// Number of partitions belonging to the left side.
+        split: usize,
+    },
+}
+
+impl Locality {
+    /// Whether every shard holds full identical content (deep: a union of
+    /// replicated sides is replicated).
+    pub(crate) fn is_replicated(&self) -> bool {
+        match self {
+            Locality::Replicated => true,
+            Locality::Owned(_) => false,
+            Locality::Chained { left, right, .. } => left.is_replicated() && right.is_replicated(),
+        }
+    }
+
+    /// The contribution mask under `layout` for a dataset of `parts` global
+    /// partitions: which slots this shard is responsible for contributing to
+    /// an exchange. Replicated content is contributed by its range owner
+    /// (every shard has it; exactly one may send it), owned content by
+    /// whoever holds it.
+    pub(crate) fn mask(&self, layout: &ShardLayout, parts: usize) -> Vec<bool> {
+        match self {
+            Locality::Replicated => layout.range_mask(parts),
+            Locality::Owned(m) => {
+                debug_assert_eq!(m.len(), parts, "locality mask width");
+                m.to_vec()
+            }
+            Locality::Chained { left, right, split } => {
+                let mut m = left.mask(layout, *split);
+                m.extend(right.mask(layout, parts - split));
+                m
+            }
+        }
+    }
 }
 
 /// The deferred execution plan behind a dataset.
@@ -96,6 +166,7 @@ pub struct Dataset<T> {
     plan: Plan<T>,
     partitioning: Partitioning,
     lineage: Arc<PlanNode>,
+    locality: Locality,
 }
 
 impl<T: Clone + Send + Sync + 'static> Dataset<T> {
@@ -164,7 +235,26 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
             plan: Plan::Source(Arc::new(partitions)),
             partitioning,
             lineage,
+            locality: Locality::Replicated,
         }
+    }
+
+    /// Replaces the locality tag (internal: exchange outputs only).
+    pub(crate) fn with_locality(mut self, locality: Locality) -> Self {
+        self.locality = locality;
+        self
+    }
+
+    /// The per-partition contribution mask for this dataset under the
+    /// runtime's shard layout, or `None` when no masking applies (single
+    /// shard). Masked-out partitions hold another shard's data (or a
+    /// replica another shard is responsible for contributing) and must be
+    /// skipped by exchange map sides.
+    pub(crate) fn shard_mask(&self, layout: &ShardLayout) -> Option<Vec<bool>> {
+        if !layout.is_sharded() {
+            return None;
+        }
+        Some(self.locality.mask(layout, self.num_partitions()))
     }
 
     /// An empty dataset with one empty partition.
@@ -300,7 +390,17 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     /// Runs the plan (one fused task wave) and returns a source-backed
     /// dataset sharing the same partitioning tag. No-op when already
     /// materialized.
-    pub fn materialize(&self, rt: &Runtime) -> Dataset<T> {
+    ///
+    /// Under a sharded layout, materializing a deferred non-replicated plan
+    /// is an **all-gather**: every shard contributes its owned partitions
+    /// through the exchange and receives everyone else's, so the result is
+    /// full and identical everywhere ([`Locality::Replicated`]). An
+    /// already-materialized dataset is returned as-is, locality included —
+    /// keyed operators consume owned partitions in place.
+    pub fn materialize(&self, rt: &Runtime) -> Dataset<T>
+    where
+        T: Spill,
+    {
         match &self.plan {
             Plan::Source(_) => self.clone(),
             Plan::Lazy { .. } => {
@@ -325,7 +425,10 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     }
 
     /// The materialized partitions (runs the plan if deferred).
-    pub(crate) fn parts(&self, rt: &Runtime) -> Arc<Vec<Arc<Vec<T>>>> {
+    pub(crate) fn parts(&self, rt: &Runtime) -> Arc<Vec<Arc<Vec<T>>>>
+    where
+        T: Spill,
+    {
         match &self.materialize(rt).plan {
             Plan::Source(parts) => Arc::clone(parts),
             Plan::Lazy { .. } => unreachable!("materialize returns a source"),
@@ -350,7 +453,14 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     /// Concatenating morsel outputs in range order reproduces the
     /// full-partition pass exactly (see [`SplitCap`]), so both schedulers
     /// return byte-identical partitions.
-    fn gather_partitions(&self, rt: &Runtime) -> Vec<Vec<T>> {
+    fn gather_partitions(&self, rt: &Runtime) -> Vec<Vec<T>>
+    where
+        T: Spill,
+    {
+        let layout = rt.layout();
+        if layout.is_sharded() && !self.locality.is_replicated() {
+            return self.all_gather(rt, &layout);
+        }
         if rt.stealing() {
             if let Some(cap) = self.split_cap() {
                 let sizes: Vec<usize> = (0..self.num_partitions()).map(|i| (cap.rows)(i)).collect();
@@ -373,9 +483,108 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         })
     }
 
+    /// Reassembles the full global partition vector by exchanging owned
+    /// partitions with every peer shard: each shard runs its fused chain
+    /// over the partitions it contributes, encodes them as frames keyed by
+    /// global partition index, and broadcasts; decoding every shard's
+    /// contribution (its own included, so all shards traverse the identical
+    /// decode path) yields the same full vector everywhere.
+    fn all_gather(&self, rt: &Runtime, layout: &ShardLayout) -> Vec<Vec<T>>
+    where
+        T: Spill,
+    {
+        let n = self.num_partitions();
+        let mask = Arc::new(self.locality.mask(layout, n));
+        let mask_task = Arc::clone(&mask);
+        let local: Vec<Vec<T>> = self.run_per_partition(rt, move |i, d| {
+            let mut out = Vec::new();
+            if mask_task[i] {
+                d.produce(i, &mut |x| out.push(x.clone()));
+            }
+            out
+        });
+        let seq = rt.next_exchange_seq();
+        let mut frames = Vec::with_capacity(local.len());
+        for (i, p) in local.iter().enumerate() {
+            if !mask[i] {
+                continue;
+            }
+            let mut payload = Vec::new();
+            for x in p {
+                x.spill(&mut payload);
+            }
+            frames.push(Frame {
+                seq,
+                src: i as u64,
+                bucket: i as u64,
+                records: p.len() as u64,
+                payload,
+            });
+        }
+        let got = match rt.exchange().gather(seq, frames) {
+            Ok(f) => f,
+            Err(e) => std::panic::panic_any(e),
+        };
+        let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+        let mut seen = vec![false; n];
+        for f in got {
+            let i = f.src as usize;
+            if i >= n || seen[i] {
+                std::panic::panic_any(ExchangeError::Frame {
+                    detail: format!("gather: duplicate or out-of-range partition {i} of {n}"),
+                });
+            }
+            seen[i] = true;
+            out[i] = decode_records::<T>(&f);
+        }
+        out
+    }
+
     /// Total number of elements. Runs the fused chain without materializing
     /// or cloning anything.
+    ///
+    /// Under a sharded layout a non-replicated dataset counts its owned
+    /// partitions locally and sums per-partition counts exchanged as
+    /// zero-payload frames.
     pub fn count(&self, rt: &Runtime) -> usize {
+        let layout = rt.layout();
+        if layout.is_sharded() && !self.locality.is_replicated() {
+            let n = self.num_partitions();
+            let mask = Arc::new(self.locality.mask(&layout, n));
+            let mask_task = Arc::clone(&mask);
+            let counts: Vec<u64> = self.run_per_partition(rt, move |i, d| {
+                let mut c = 0u64;
+                if mask_task[i] {
+                    d.produce(i, &mut |_x| c += 1);
+                }
+                c
+            });
+            let seq = rt.next_exchange_seq();
+            let frames: Vec<Frame> = counts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask[*i])
+                .map(|(i, c)| Frame {
+                    seq,
+                    src: i as u64,
+                    bucket: i as u64,
+                    records: *c,
+                    payload: Vec::new(),
+                })
+                .collect();
+            let got = match rt.exchange().gather(seq, frames) {
+                Ok(f) => f,
+                Err(e) => std::panic::panic_any(e),
+            };
+            let mut per = vec![0u64; n];
+            for f in got {
+                let i = f.src as usize;
+                if i < n {
+                    per[i] = f.records;
+                }
+            }
+            return per.iter().sum::<u64>() as usize;
+        }
         if rt.stealing() {
             if let Some(cap) = self.split_cap() {
                 let sizes: Vec<usize> = (0..self.num_partitions()).map(|i| (cap.rows)(i)).collect();
@@ -401,8 +610,13 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     }
 
     /// Materializes all elements in partition order. Partitions are gathered
-    /// in parallel on the worker pool, then concatenated in order.
-    pub fn collect(&self, rt: &Runtime) -> Vec<T> {
+    /// in parallel on the worker pool, then concatenated in order. Under a
+    /// sharded layout this is an all-gather: every shard returns the same
+    /// full vector (see [`Dataset::materialize`]).
+    pub fn collect(&self, rt: &Runtime) -> Vec<T>
+    where
+        T: Spill,
+    {
         let partitions = self.gather_partitions(rt);
         let total = partitions.iter().map(Vec::len).sum();
         let mut out = Vec::with_capacity(total);
@@ -454,6 +668,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
             },
             partitioning: Partitioning::Unknown,
             lineage,
+            locality: self.locality.clone(),
         }
     }
 
@@ -502,6 +717,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
             },
             partitioning: Partitioning::Unknown,
             lineage,
+            locality: self.locality.clone(),
         }
     }
 
@@ -550,6 +766,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
             },
             partitioning: self.partitioning,
             lineage,
+            locality: self.locality.clone(),
         }
     }
 
@@ -595,6 +812,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
             },
             partitioning: Partitioning::Unknown,
             lineage,
+            locality: self.locality.clone(),
         }
     }
 
@@ -649,31 +867,99 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
             },
             partitioning: Partitioning::Unknown,
             lineage,
+            locality: Locality::Chained {
+                left: Arc::new(self.locality.clone()),
+                right: Arc::new(other.locality.clone()),
+                split,
+            },
         }
     }
 
     /// Parallel fold: folds each partition through the fused chain, then
     /// reduces the partials on the caller thread.
+    ///
+    /// Under a sharded layout each shard folds only the partitions it
+    /// holds; per-partition partials rendezvous through the exchange and
+    /// are combined in global partition-index order, so every shard reduces
+    /// the identical sequence a single process would.
     pub fn fold<A, F, G>(&self, rt: &Runtime, init: A, fold: F, combine: G) -> A
     where
-        A: Send + Sync + Clone + 'static,
+        A: Send + Sync + Clone + Spill + 'static,
         F: Fn(A, &T) -> A + Send + Sync + 'static,
         G: Fn(A, A) -> A + Send + Sync + 'static,
     {
+        let layout = rt.layout();
+        let sharded = layout.is_sharded() && !self.locality.is_replicated();
+        let mask = Arc::new(if sharded {
+            self.locality.mask(&layout, self.num_partitions())
+        } else {
+            vec![true; self.num_partitions()]
+        });
         let init2 = init.clone();
+        let mask_task = Arc::clone(&mask);
         let partials = self.run_per_partition(rt, move |i, d| {
             let mut acc = Some(init2.clone());
-            d.produce(i, &mut |x| {
-                // Accumulator is re-Some'd on every iteration; None here is
-                // an engine bug, not user input.
-                // lint:allow(expect): move-in/out accumulator invariant
-                let prev = acc.take().expect("fold accumulator");
-                acc = Some(fold(prev, x));
-            });
+            if mask_task[i] {
+                d.produce(i, &mut |x| {
+                    // Accumulator is re-Some'd on every iteration; None here is
+                    // an engine bug, not user input.
+                    // lint:allow(expect): move-in/out accumulator invariant
+                    let prev = acc.take().expect("fold accumulator");
+                    acc = Some(fold(prev, x));
+                });
+            }
             // lint:allow(expect): same invariant as above
             acc.expect("fold accumulator")
         });
-        partials.into_iter().fold(init, combine)
+        if !sharded {
+            return partials.into_iter().fold(init, combine);
+        }
+        let n = partials.len();
+        let seq = rt.next_exchange_seq();
+        let frames: Vec<Frame> = partials
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask[*i])
+            .map(|(i, a)| {
+                let mut payload = Vec::new();
+                a.spill(&mut payload);
+                Frame {
+                    seq,
+                    src: i as u64,
+                    bucket: i as u64,
+                    records: 1,
+                    payload,
+                }
+            })
+            .collect();
+        let got = match rt.exchange().gather(seq, frames) {
+            Ok(f) => f,
+            Err(e) => std::panic::panic_any(e),
+        };
+        // Every shard decodes all partials (its own included) and combines
+        // them in global index order — the exact partial sequence a single
+        // process folds.
+        let mut slots: Vec<Option<A>> = (0..n).map(|_| None).collect();
+        for f in got {
+            let i = f.src as usize;
+            if i >= n || slots[i].is_some() {
+                std::panic::panic_any(ExchangeError::Frame {
+                    detail: format!("fold: duplicate or out-of-range partial {i} of {n}"),
+                });
+            }
+            let mut r = SpillReader::new(&f.payload);
+            let a = match A::unspill(&mut r) {
+                Ok(a) => a,
+                Err(e) => std::panic::panic_any(ExchangeError::Frame {
+                    detail: format!("fold partial: {e}"),
+                }),
+            };
+            slots[i] = Some(a);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.unwrap_or_else(|| init.clone()))
+            .fold(init.clone(), combine)
     }
 
     /// Collects into a single-partition dataset sorted by a key (used to
@@ -682,6 +968,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     where
         K: Ord,
         F: Fn(&T) -> K + Send + Sync + 'static,
+        T: Spill,
     {
         let mut all = self.collect(rt);
         all.sort_by_key(|a| key(a));
@@ -698,7 +985,10 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     }
 
     /// Rebalances into `parts` evenly sized partitions.
-    pub fn repartition(&self, rt: &Runtime, parts: usize) -> Dataset<T> {
+    pub fn repartition(&self, rt: &Runtime, parts: usize) -> Dataset<T>
+    where
+        T: Spill,
+    {
         let all = self.collect(rt);
         let rows = all.len() as u64;
         let mut out = Self::from_vec_with(parts, all);
@@ -715,6 +1005,30 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         );
         out
     }
+}
+
+/// Decodes a frame's payload back into its typed records. Codec violations
+/// (truncated or trailing payload bytes) surface as typed
+/// [`ExchangeError`] panic payloads, mirroring the spill-path discipline.
+pub(crate) fn decode_records<T: Spill>(f: &Frame) -> Vec<T> {
+    let mut r = SpillReader::new(&f.payload);
+    // Cap the pre-allocation: `records` is wire data and must not be able
+    // to force an arbitrary allocation before decode proves it out.
+    let mut out = Vec::with_capacity(f.records.min(1 << 20) as usize);
+    for k in 0..f.records {
+        match T::unspill(&mut r) {
+            Ok(x) => out.push(x),
+            Err(e) => std::panic::panic_any(ExchangeError::Frame {
+                detail: format!("record {k} of {}: {e}", f.records),
+            }),
+        }
+    }
+    if r.remaining() != 0 {
+        std::panic::panic_any(ExchangeError::Frame {
+            detail: format!("{} trailing payload bytes after decode", r.remaining()),
+        });
+    }
+    out
 }
 
 impl<T: Clone + Send + Sync + 'static> FromIterator<T> for Dataset<T> {

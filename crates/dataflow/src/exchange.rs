@@ -1,0 +1,1402 @@
+//! The pluggable exchange layer: how shuffle buckets and gathered
+//! partitions move between participants of a wave.
+//!
+//! Every wide operator and every gather routes data through the runtime's
+//! installed [`Exchange`]. Two implementations ship:
+//!
+//! * [`InProcessExchange`] — the single-process default. In its normal mode
+//!   the shuffle path bypasses frames entirely and runs the same typed,
+//!   governed exchange as before this layer existed (byte-for-byte: elision,
+//!   morsel stealing, spill, and cancellation are untouched). In *framed*
+//!   mode (`TGRAPH_EXCHANGE=framed`) every bucket is encoded into a wire
+//!   [`Frame`], routed through the loopback, and decoded back — the frame
+//!   codec and merge path are exercised by the whole test suite without a
+//!   network.
+//! * [`TcpExchange`] — the multi-node exchange. N shards each own a
+//!   contiguous range of the global partition space ([`ShardLayout`]);
+//!   shuffle buckets travel peer-to-peer over length-prefixed, checksummed
+//!   frames whose payloads use the [`Spill`](crate::Spill) codec (the PR 5
+//!   run-file format) as the wire format.
+//!
+//! # Wire format
+//!
+//! One frame is a 52-byte little-endian header followed by the payload:
+//!
+//! ```text
+//! magic "TGXF" (u32) | seq u64 | src u64 | bucket u64 | records u64
+//!                    | payload_len u64 | checksum u64 | payload bytes
+//! ```
+//!
+//! `seq` namespaces concurrent exchange operations (one per shuffle or
+//! gather), `src` is the global map-partition index the payload came from,
+//! `bucket` the global destination partition. The checksum is
+//! [`checksum`](crate::checksum) over the payload — the same multiply-add
+//! fold guarding spill runs and `.tgc` chunks. A frame with
+//! `bucket == u64::MAX` is a FIN sentinel: "sender `src` has no more frames
+//! for `seq`". Connections open with a one-shot handshake
+//! (`"TGXH" | version | shards | shard`) so a mis-wired peer is rejected
+//! before any data frame is interpreted.
+//!
+//! # Failure model
+//!
+//! Exchange failures are **typed, never silent**: codec violations
+//! (truncation, oversized length prefixes, checksum mismatches) surface as
+//! [`ExchangeError::Frame`], a peer that dies mid-wave as
+//! [`ExchangeError::PeerDied`], and a peer that hangs as
+//! [`ExchangeError::Timeout`] after a bounded, env-tunable wait
+//! (`TGRAPH_EXCHANGE_TIMEOUT_MS`, default 10 s). The wave then aborts with
+//! the error as a typed panic payload — the same discipline as
+//! [`SpillError`](crate::SpillError) — and sibling state (pending inbox
+//! frames, outbound connections) is drained by RAII.
+
+use crate::spill::{checksum, SpillError, SpillReader};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Frame header magic: `"TGXF"` little-endian.
+pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"TGXF");
+/// Handshake magic: `"TGXH"` little-endian.
+pub const HANDSHAKE_MAGIC: u32 = u32::from_le_bytes(*b"TGXH");
+/// Exchange protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u64 = 1;
+/// `bucket` value marking a FIN sentinel frame.
+pub const FIN_BUCKET: u64 = u64::MAX;
+/// Upper bound on a single frame's payload; length prefixes beyond this are
+/// rejected as corrupt before any allocation happens.
+pub const MAX_FRAME_PAYLOAD: u64 = 1 << 30;
+
+/// Frame header size on the wire (magic + six u64 fields).
+/// Encoded frame header size: magic plus six u64 words.
+pub const HEADER_BYTES: usize = 4 + 6 * 8;
+
+/// Why an exchange operation failed. Raised as a typed panic payload by the
+/// shuffle/gather paths (mirroring [`SpillError`](crate::SpillError)), so
+/// `catch_unwind` callers can downcast and report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExchangeError {
+    /// A frame failed to decode: bad magic, truncation, an oversized length
+    /// prefix, a checksum mismatch, or a payload that does not decode back
+    /// into records.
+    Frame {
+        /// What was wrong with the frame.
+        detail: String,
+    },
+    /// A socket operation failed.
+    Io {
+        /// Which operation failed (`connect`, `write`, `read`, …).
+        op: &'static str,
+        /// The peer involved.
+        peer: String,
+        /// The underlying error, stringified.
+        error: String,
+    },
+    /// A peer closed its connection (or was never reachable) while frames
+    /// were still owed.
+    PeerDied {
+        /// The peer that died.
+        peer: String,
+        /// What was observed.
+        detail: String,
+    },
+    /// A bounded wait for peer frames expired.
+    Timeout {
+        /// Which operation timed out.
+        op: &'static str,
+        /// The configured bound, in milliseconds.
+        ms: u64,
+    },
+    /// A peer spoke the wrong protocol (bad handshake, wrong topology).
+    Protocol {
+        /// The peer involved.
+        peer: String,
+        /// What disagreed.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExchangeError::Frame { detail } => write!(f, "exchange frame corrupt: {detail}"),
+            ExchangeError::Io { op, peer, error } => {
+                write!(f, "exchange {op} failed on peer {peer}: {error}")
+            }
+            ExchangeError::PeerDied { peer, detail } => {
+                write!(f, "exchange peer {peer} died: {detail}")
+            }
+            ExchangeError::Timeout { op, ms } => {
+                write!(f, "exchange {op} timed out after {ms} ms")
+            }
+            ExchangeError::Protocol { peer, detail } => {
+                write!(f, "exchange protocol violation from peer {peer}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExchangeError {}
+
+fn frame_err(detail: impl Into<String>) -> ExchangeError {
+    ExchangeError::Frame {
+        detail: detail.into(),
+    }
+}
+
+/// Which contiguous range of the global partition space this participant
+/// owns. The single-process layout is `shard 0 of 1`, which owns everything.
+///
+/// Ranges follow the standard balanced split: shard `s` of `n` owns global
+/// indices `[s·t/n, (s+1)·t/n)` over `t` total partitions (integer
+/// division), so every index has exactly one owner and range sizes differ by
+/// at most one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardLayout {
+    shard: usize,
+    shards: usize,
+}
+
+impl ShardLayout {
+    /// The single-process layout: one shard owning every partition.
+    pub fn single() -> Self {
+        ShardLayout {
+            shard: 0,
+            shards: 1,
+        }
+    }
+
+    /// Layout for shard `shard` of `shards` total.
+    ///
+    /// # Panics
+    /// If `shard >= shards` or `shards == 0`.
+    pub fn new(shard: usize, shards: usize) -> Self {
+        assert!(shards > 0, "shard layout needs at least one shard");
+        assert!(
+            shard < shards,
+            "shard index {shard} out of range 0..{shards}"
+        );
+        ShardLayout { shard, shards }
+    }
+
+    /// This participant's shard index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Total number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Whether more than one shard participates.
+    pub fn is_sharded(&self) -> bool {
+        self.shards > 1
+    }
+
+    /// First global index owned by this shard, of `total` partitions.
+    pub fn lo(&self, total: usize) -> usize {
+        self.shard * total / self.shards
+    }
+
+    /// One past the last global index owned by this shard.
+    pub fn hi(&self, total: usize) -> usize {
+        (self.shard + 1) * total / self.shards
+    }
+
+    /// Whether this shard owns global index `idx` of `total`.
+    pub fn owns(&self, idx: usize, total: usize) -> bool {
+        self.lo(total) <= idx && idx < self.hi(total)
+    }
+
+    /// The shard owning global index `idx` of `total` partitions — the
+    /// unique `s` with `s·t/n ≤ idx < (s+1)·t/n`.
+    pub fn owner_of(&self, idx: usize, total: usize) -> usize {
+        debug_assert!(idx < total, "index {idx} out of range 0..{total}");
+        ((idx + 1) * self.shards - 1) / total
+    }
+
+    /// Per-index ownership mask over `total` partitions.
+    pub fn range_mask(&self, total: usize) -> Vec<bool> {
+        let (lo, hi) = (self.lo(total), self.hi(total));
+        (0..total).map(|i| lo <= i && i < hi).collect()
+    }
+}
+
+/// One unit of exchanged data: an encoded record batch from global map
+/// partition `src`, destined for global partition `bucket`, within exchange
+/// operation `seq`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Exchange-operation sequence number (one per shuffle or gather).
+    pub seq: u64,
+    /// Global source partition index.
+    pub src: u64,
+    /// Global destination partition index (or [`FIN_BUCKET`]).
+    pub bucket: u64,
+    /// Number of records encoded in the payload.
+    pub records: u64,
+    /// Record batch encoded with the [`Spill`](crate::Spill) codec.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Whether this frame is a FIN sentinel.
+    pub fn is_fin(&self) -> bool {
+        self.bucket == FIN_BUCKET
+    }
+
+    /// A FIN sentinel for `seq` from shard `shard`.
+    pub fn fin(seq: u64, shard: u64) -> Frame {
+        Frame {
+            seq,
+            src: shard,
+            bucket: FIN_BUCKET,
+            records: 0,
+            payload: Vec::new(),
+        }
+    }
+}
+
+/// Appends the wire encoding of `frame` to `out`.
+pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&frame.seq.to_le_bytes());
+    out.extend_from_slice(&frame.src.to_le_bytes());
+    out.extend_from_slice(&frame.bucket.to_le_bytes());
+    out.extend_from_slice(&frame.records.to_le_bytes());
+    out.extend_from_slice(&(frame.payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum(&frame.payload).to_le_bytes());
+    out.extend_from_slice(&frame.payload);
+}
+
+/// Decodes one frame from the start of `buf`, returning it and the bytes
+/// consumed. Fails typed — never panics — on truncation, bad magic,
+/// oversized length prefixes, or checksum mismatch.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), ExchangeError> {
+    if buf.len() < HEADER_BYTES {
+        return Err(frame_err(format!(
+            "truncated header: {} of {HEADER_BYTES} bytes",
+            buf.len()
+        )));
+    }
+    let mut r = SpillReader::new(&buf[..HEADER_BYTES]);
+    let magic = r.u32().map_err(spill_to_frame)?;
+    if magic != FRAME_MAGIC {
+        return Err(frame_err(format!("bad frame magic {magic:#x}")));
+    }
+    let seq = r.u64().map_err(spill_to_frame)?;
+    let src = r.u64().map_err(spill_to_frame)?;
+    let bucket = r.u64().map_err(spill_to_frame)?;
+    let records = r.u64().map_err(spill_to_frame)?;
+    let len = r.u64().map_err(spill_to_frame)?;
+    let sum = r.u64().map_err(spill_to_frame)?;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(frame_err(format!(
+            "payload length {len} exceeds cap {MAX_FRAME_PAYLOAD}"
+        )));
+    }
+    let len = len as usize;
+    let rest = &buf[HEADER_BYTES..];
+    if rest.len() < len {
+        return Err(frame_err(format!(
+            "truncated payload: {} of {len} bytes",
+            rest.len()
+        )));
+    }
+    let payload = &rest[..len];
+    let actual = checksum(payload);
+    if actual != sum {
+        return Err(frame_err(format!(
+            "checksum mismatch: stored {sum:#x}, computed {actual:#x}"
+        )));
+    }
+    Ok((
+        Frame {
+            seq,
+            src,
+            bucket,
+            records,
+            payload: payload.to_vec(),
+        },
+        HEADER_BYTES + len,
+    ))
+}
+
+fn spill_to_frame(e: SpillError) -> ExchangeError {
+    frame_err(e.to_string())
+}
+
+/// Reads one frame from a stream. `Ok(None)` means a clean EOF at a frame
+/// boundary; EOF mid-frame is a typed [`ExchangeError::Frame`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, std::io::Error> {
+    use std::io::ErrorKind;
+    let mut header = [0u8; HEADER_BYTES];
+    let mut got = 0usize;
+    while got < HEADER_BYTES {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    format!("EOF inside frame header ({got} of {HEADER_BYTES} bytes)"),
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // A read-timeout poll tick before any frame byte arrived is the
+            // caller's signal to check shutdown; but once we hold partial
+            // frame bytes we are committed — dropping them would desync the
+            // stream, so keep reading through the stall.
+            Err(e)
+                if got > 0 && matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let mut hr = SpillReader::new(&header);
+    let to_io = |e: SpillError| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string());
+    let magic = hr.u32().map_err(to_io)?;
+    if magic != FRAME_MAGIC {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("bad frame magic {magic:#x}"),
+        ));
+    }
+    let seq = hr.u64().map_err(to_io)?;
+    let src = hr.u64().map_err(to_io)?;
+    let bucket = hr.u64().map_err(to_io)?;
+    let records = hr.u64().map_err(to_io)?;
+    let len = hr.u64().map_err(to_io)?;
+    let sum = hr.u64().map_err(to_io)?;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("payload length {len} exceeds cap {MAX_FRAME_PAYLOAD}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut got = 0usize;
+    while got < payload.len() {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    format!("EOF inside frame payload ({got} of {len} bytes)"),
+                ))
+            }
+            Ok(n) => got += n,
+            // Mid-frame: ride out poll ticks, same as the header loop above.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let actual = checksum(&payload);
+    if actual != sum {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("checksum mismatch: stored {sum:#x}, computed {actual:#x}"),
+        ));
+    }
+    Ok(Some(Frame {
+        seq,
+        src,
+        bucket,
+        records,
+        payload,
+    }))
+}
+
+/// Monotonic exchange counters, shared between the runtime's stats and the
+/// installed exchange. Loopback routing counts too (in framed mode), so the
+/// codec path is observable even single-process.
+#[derive(Debug, Default)]
+pub struct ExchangeCounters {
+    /// Payload bytes that crossed the exchange (sent side).
+    pub bytes_exchanged: AtomicU64,
+    /// Data frames handed to the exchange for routing.
+    pub frames_sent: AtomicU64,
+    /// Data frames delivered by the exchange (own frames included).
+    pub frames_received: AtomicU64,
+    /// Waits that actually blocked on remote frames.
+    pub exchange_stalls: AtomicU64,
+}
+
+impl ExchangeCounters {
+    fn note_sent(&self, frames: u64, bytes: u64) {
+        self.frames_sent.fetch_add(frames, Ordering::Relaxed);
+        self.bytes_exchanged.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    fn note_received(&self, frames: u64) {
+        self.frames_received.fetch_add(frames, Ordering::Relaxed);
+    }
+
+    fn note_stall(&self) {
+        self.exchange_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The routing abstraction every wide operator and gather goes through.
+///
+/// Implementations operate on encoded [`Frame`]s so the trait stays
+/// object-safe; the typed fast path is preserved by [`Exchange::in_process`]
+/// — when it returns `true`, the shuffle path skips frames entirely and runs
+/// the pre-exchange-layer governed path, byte-for-byte.
+pub trait Exchange: Send + Sync {
+    /// This participant's slice of the global partition space.
+    fn layout(&self) -> ShardLayout;
+
+    /// `true` when shuffles may bypass the frame codec (single-process,
+    /// unframed). The loopback in framed mode and every networked exchange
+    /// return `false`.
+    fn in_process(&self) -> bool;
+
+    /// Routes shuffle frames: each data frame travels to the owner of its
+    /// `bucket` (of `total_buckets` global buckets). Returns every frame
+    /// destined for locally-owned buckets — own contributions and peers'.
+    fn route(
+        &self,
+        seq: u64,
+        frames: Vec<Frame>,
+        total_buckets: usize,
+    ) -> Result<Vec<Frame>, ExchangeError>;
+
+    /// All-gather: broadcasts `frames` to every shard and returns the union
+    /// of all shards' contributions (own frames included).
+    fn gather(&self, seq: u64, frames: Vec<Frame>) -> Result<Vec<Frame>, ExchangeError>;
+}
+
+/// The single-process exchange. Routing is the identity; in framed mode the
+/// shuffle path still encodes and decodes every bucket through the wire
+/// codec, which is what makes the `exchange-smoke` CI job meaningful.
+pub struct InProcessExchange {
+    framed: bool,
+    counters: Arc<ExchangeCounters>,
+}
+
+impl InProcessExchange {
+    /// An in-process exchange; `framed` forces the frame codec onto the
+    /// loopback path.
+    pub fn new(framed: bool, counters: Arc<ExchangeCounters>) -> Self {
+        InProcessExchange { framed, counters }
+    }
+}
+
+impl Exchange for InProcessExchange {
+    fn layout(&self) -> ShardLayout {
+        ShardLayout::single()
+    }
+
+    fn in_process(&self) -> bool {
+        !self.framed
+    }
+
+    fn route(
+        &self,
+        _seq: u64,
+        frames: Vec<Frame>,
+        _total_buckets: usize,
+    ) -> Result<Vec<Frame>, ExchangeError> {
+        let bytes: u64 = frames.iter().map(|f| f.payload.len() as u64).sum();
+        self.counters.note_sent(frames.len() as u64, bytes);
+        self.counters.note_received(frames.len() as u64);
+        Ok(frames)
+    }
+
+    fn gather(&self, _seq: u64, frames: Vec<Frame>) -> Result<Vec<Frame>, ExchangeError> {
+        let bytes: u64 = frames.iter().map(|f| f.payload.len() as u64).sum();
+        self.counters.note_sent(frames.len() as u64, bytes);
+        self.counters.note_received(frames.len() as u64);
+        Ok(frames)
+    }
+}
+
+/// Reads `TGRAPH_EXCHANGE`: `framed` forces the loopback frame path;
+/// anything else (or unset) keeps the typed in-process fast path.
+pub fn framed_from_env() -> bool {
+    matches!(
+        std::env::var("TGRAPH_EXCHANGE").as_deref(),
+        Ok("framed") | Ok("FRAMED")
+    )
+}
+
+/// Reads `TGRAPH_EXCHANGE_TIMEOUT_MS` (default 10 000, floor 1).
+pub fn timeout_from_env() -> Duration {
+    let ms = std::env::var("TGRAPH_EXCHANGE_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(10_000, |n| n.max(1));
+    Duration::from_millis(ms)
+}
+
+/// Shared mailbox the acceptor's reader threads deposit inbound frames
+/// into, keyed by exchange sequence number.
+struct Inbox {
+    state: Mutex<InboxState>,
+    cond: Condvar,
+}
+
+#[derive(Default)]
+struct InboxState {
+    /// Data frames per exchange operation.
+    frames: HashMap<u64, Vec<Frame>>,
+    /// FIN sentinels seen per exchange operation, by source shard.
+    fins: HashMap<u64, std::collections::HashSet<u64>>,
+    /// Unattributable failure (pre-handshake death, protocol violation,
+    /// corrupt frame): poisons every wait — the stream's identity or
+    /// framing itself is suspect.
+    dead: Option<ExchangeError>,
+    /// Post-handshake peer deaths, by shard. These fail only waits the dead
+    /// shard had not yet FINed: a peer that finished its last wave and shut
+    /// down cleanly closes its connection while slower shards are still
+    /// draining that wave, and must not poison them (TCP ordering delivers
+    /// its FIN before its EOF).
+    dead_shards: Vec<(u64, ExchangeError)>,
+}
+
+impl Inbox {
+    fn new() -> Arc<Self> {
+        Arc::new(Inbox {
+            state: Mutex::new(InboxState::default()),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn push(&self, frame: Frame) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if frame.is_fin() {
+            st.fins.entry(frame.seq).or_default().insert(frame.src);
+        } else {
+            st.frames.entry(frame.seq).or_default().push(frame);
+        }
+        self.cond.notify_all();
+    }
+
+    fn fail(&self, err: ExchangeError) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.dead.is_none() {
+            st.dead = Some(err);
+        }
+        self.cond.notify_all();
+    }
+
+    /// Records the death of an identified peer shard. Waits that shard had
+    /// already FINed stay satisfiable; waits still missing its FIN fail.
+    fn fail_shard(&self, shard: u64, err: ExchangeError) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !st.dead_shards.iter().any(|(s, _)| *s == shard) {
+            st.dead_shards.push((shard, err));
+        }
+        self.cond.notify_all();
+    }
+
+    /// Blocks until `want_fins` FIN sentinels arrived for `seq`, then drains
+    /// and returns its data frames. On peer death or timeout the pending
+    /// frames for `seq` are discarded (drained RAII-clean) and the typed
+    /// error is returned.
+    fn await_seq(
+        &self,
+        seq: u64,
+        want_fins: usize,
+        timeout: Duration,
+        counters: &ExchangeCounters,
+    ) -> Result<Vec<Frame>, ExchangeError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut stalled = false;
+        loop {
+            if let Some(err) = &st.dead {
+                let err = err.clone();
+                st.frames.remove(&seq);
+                st.fins.remove(&seq);
+                return Err(err);
+            }
+            if st.fins.get(&seq).map_or(0, |s| s.len()) >= want_fins {
+                st.fins.remove(&seq);
+                let frames = st.frames.remove(&seq).unwrap_or_default();
+                counters.note_received(frames.len() as u64);
+                return Ok(frames);
+            }
+            // A dead shard that never FINed this wave can never complete
+            // it; fail now rather than waiting out the timeout.
+            let fined = st.fins.get(&seq);
+            if let Some((_, err)) = st
+                .dead_shards
+                .iter()
+                .find(|(s, _)| !fined.is_some_and(|f| f.contains(s)))
+            {
+                let err = err.clone();
+                st.frames.remove(&seq);
+                st.fins.remove(&seq);
+                return Err(err);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                st.frames.remove(&seq);
+                st.fins.remove(&seq);
+                return Err(ExchangeError::Timeout {
+                    op: "await frames",
+                    ms: timeout.as_millis() as u64,
+                });
+            }
+            if !stalled {
+                stalled = true;
+                counters.note_stall();
+            }
+            let (guard, _) = self
+                .cond
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+}
+
+/// One outbound peer link: lazily connected, handshake sent on connect.
+struct PeerLink {
+    addr: String,
+    stream: Mutex<Option<TcpStream>>,
+}
+
+/// The multi-node exchange: a listener accepting inbound peer connections
+/// (one reader thread per peer) and lazy persistent outbound connections,
+/// with bounded connect/read waits.
+pub struct TcpExchange {
+    layout: ShardLayout,
+    counters: Arc<ExchangeCounters>,
+    timeout: Duration,
+    inbox: Arc<Inbox>,
+    peers: Vec<PeerLink>,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl TcpExchange {
+    /// Binds an exchange listener (use `"127.0.0.1:0"` for an ephemeral
+    /// port) and returns it with its resolved address.
+    pub fn bind(addr: &str) -> std::io::Result<(TcpListener, SocketAddr)> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        Ok((listener, local))
+    }
+
+    /// Starts the exchange on a bound listener. `peer_addrs` lists every
+    /// shard's exchange address in shard order (this shard's own entry is
+    /// ignored). Counters are shared with the owning runtime's stats.
+    pub fn start(
+        listener: TcpListener,
+        layout: ShardLayout,
+        peer_addrs: Vec<String>,
+        counters: Arc<ExchangeCounters>,
+        timeout: Duration,
+    ) -> std::io::Result<Arc<TcpExchange>> {
+        assert_eq!(
+            peer_addrs.len(),
+            layout.shards(),
+            "need one exchange address per shard"
+        );
+        let local_addr = listener.local_addr()?;
+        let inbox = Inbox::new();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let inbox = Arc::clone(&inbox);
+            let shutdown = Arc::clone(&shutdown);
+            let layout_c = layout;
+            let counters_c = Arc::clone(&counters);
+            let read_poll = timeout.min(Duration::from_millis(500));
+            std::thread::Builder::new()
+                .name(format!("tgx-accept-{}", layout.shard()))
+                .spawn(move || {
+                    accept_loop(listener, layout_c, inbox, shutdown, counters_c, read_poll)
+                })?
+        };
+        Ok(Arc::new(TcpExchange {
+            layout,
+            counters,
+            timeout,
+            inbox,
+            peers: peer_addrs
+                .into_iter()
+                .map(|addr| PeerLink {
+                    addr,
+                    stream: Mutex::new(None),
+                })
+                .collect(),
+            local_addr,
+            shutdown,
+            acceptor: Mutex::new(Some(acceptor)),
+        }))
+    }
+
+    /// The address the exchange listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Sends pre-encoded frame bytes to shard `to`, connecting (with
+    /// handshake, retrying until the bounded deadline) on first use.
+    fn send_to(&self, to: usize, bytes: &[u8]) -> Result<(), ExchangeError> {
+        let link = &self.peers[to];
+        let mut slot = link.stream.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(self.connect(link)?);
+        }
+        // Slot was just filled above if empty.
+        // lint:allow(expect): guarded by the fill right before
+        let stream = slot.as_mut().expect("outbound stream present");
+        if let Err(e) = stream.write_all(bytes).and_then(|()| stream.flush()) {
+            *slot = None; // poisoned link: reconnect on the next wave
+            return Err(peer_io_err("write", &link.addr, e));
+        }
+        Ok(())
+    }
+
+    /// Connects to a peer with retries until the timeout elapses (peers boot
+    /// in arbitrary order), then sends the handshake.
+    fn connect(&self, link: &PeerLink) -> Result<TcpStream, ExchangeError> {
+        let deadline = Instant::now() + self.timeout;
+        let addrs: Vec<SocketAddr> = link
+            .addr
+            .parse::<SocketAddr>()
+            .map(|a| vec![a])
+            .or_else(|_| {
+                use std::net::ToSocketAddrs;
+                link.addr.to_socket_addrs().map(|it| it.collect())
+            })
+            .map_err(|e| peer_io_err("resolve", &link.addr, e))?;
+        let Some(addr) = addrs.first().copied() else {
+            return Err(ExchangeError::Io {
+                op: "resolve",
+                peer: link.addr.clone(),
+                error: "no addresses".into(),
+            });
+        };
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ExchangeError::Timeout {
+                    op: "connect",
+                    ms: self.timeout.as_millis() as u64,
+                });
+            }
+            match TcpStream::connect_timeout(&addr, remaining.min(Duration::from_millis(250))) {
+                Ok(mut stream) => {
+                    stream.set_nodelay(true).ok();
+                    let mut hello = Vec::with_capacity(28);
+                    hello.extend_from_slice(&HANDSHAKE_MAGIC.to_le_bytes());
+                    hello.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+                    hello.extend_from_slice(&(self.layout.shards() as u64).to_le_bytes());
+                    hello.extend_from_slice(&(self.layout.shard() as u64).to_le_bytes());
+                    stream
+                        .write_all(&hello)
+                        .map_err(|e| peer_io_err("handshake", &link.addr, e))?;
+                    return Ok(stream);
+                }
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(peer_io_err("connect", &link.addr, e)),
+            }
+        }
+    }
+
+    /// Encodes and ships `frames` according to `dest(frame) -> shard`,
+    /// keeping own frames local, then awaits FINs from every peer.
+    fn ship(
+        &self,
+        seq: u64,
+        frames: Vec<Frame>,
+        dests: impl Fn(&Frame) -> Dest,
+    ) -> Result<Vec<Frame>, ExchangeError> {
+        let me = self.layout.shard();
+        let n = self.layout.shards();
+        let mut outgoing: Vec<Vec<u8>> = (0..n).map(|_| Vec::new()).collect();
+        let mut local = Vec::new();
+        let mut sent_frames = 0u64;
+        let mut sent_bytes = 0u64;
+        for f in frames {
+            match dests(&f) {
+                Dest::One(owner) if owner == me => local.push(f),
+                Dest::One(owner) => {
+                    sent_frames += 1;
+                    sent_bytes += f.payload.len() as u64;
+                    encode_frame(&f, &mut outgoing[owner]);
+                }
+                Dest::Broadcast => {
+                    sent_frames += (n - 1) as u64;
+                    sent_bytes += f.payload.len() as u64 * (n - 1) as u64;
+                    for (s, buf) in outgoing.iter_mut().enumerate() {
+                        if s != me {
+                            encode_frame(&f, buf);
+                        }
+                    }
+                    local.push(f);
+                }
+            }
+        }
+        self.counters.note_sent(sent_frames, sent_bytes);
+        let fin = Frame::fin(seq, me as u64);
+        for (s, buf) in outgoing.iter_mut().enumerate() {
+            if s == me {
+                continue;
+            }
+            encode_frame(&fin, buf);
+            self.send_to(s, buf)?;
+        }
+        self.counters.note_received(local.len() as u64);
+        let remote = self
+            .inbox
+            .await_seq(seq, n - 1, self.timeout, &self.counters)?;
+        local.extend(remote);
+        Ok(local)
+    }
+}
+
+enum Dest {
+    One(usize),
+    Broadcast,
+}
+
+impl Exchange for TcpExchange {
+    fn layout(&self) -> ShardLayout {
+        self.layout
+    }
+
+    fn in_process(&self) -> bool {
+        false
+    }
+
+    fn route(
+        &self,
+        seq: u64,
+        frames: Vec<Frame>,
+        total_buckets: usize,
+    ) -> Result<Vec<Frame>, ExchangeError> {
+        let layout = self.layout;
+        self.ship(seq, frames, move |f| {
+            Dest::One(layout.owner_of(f.bucket as usize, total_buckets))
+        })
+    }
+
+    fn gather(&self, seq: u64, frames: Vec<Frame>) -> Result<Vec<Frame>, ExchangeError> {
+        self.ship(seq, frames, |_| Dest::Broadcast)
+    }
+}
+
+impl Drop for TcpExchange {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Close outbound links: peers' readers observe EOF and exit.
+        for link in &self.peers {
+            if let Some(stream) = link.stream.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                stream.shutdown(std::net::Shutdown::Both).ok();
+            }
+        }
+        // Wake the acceptor so it can observe the shutdown flag.
+        TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200)).ok();
+        if let Some(h) = self
+            .acceptor
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            h.join().ok();
+        }
+    }
+}
+
+fn peer_io_err(op: &'static str, peer: &str, e: impl std::fmt::Display) -> ExchangeError {
+    ExchangeError::Io {
+        op,
+        peer: peer.to_string(),
+        error: e.to_string(),
+    }
+}
+
+/// Accepts inbound peer connections, validates their handshake, and spawns
+/// one reader thread per peer. Reader threads deposit frames into the inbox
+/// and report peer death as a typed inbox failure.
+fn accept_loop(
+    listener: TcpListener,
+    layout: ShardLayout,
+    inbox: Arc<Inbox>,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<ExchangeCounters>,
+    read_poll: Duration,
+) {
+    loop {
+        let Ok((stream, peer_addr)) = listener.accept() else {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let inbox = Arc::clone(&inbox);
+        let shutdown = Arc::clone(&shutdown);
+        let _ = Arc::clone(&counters); // reader-side accounting happens at await
+        let name = format!("tgx-read-{}", layout.shard());
+        let _ = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || reader_loop(stream, peer_addr, layout, inbox, shutdown, read_poll));
+    }
+}
+
+/// Validates the handshake, then pumps frames into the inbox until EOF,
+/// error, or shutdown.
+fn reader_loop(
+    mut stream: TcpStream,
+    peer_addr: SocketAddr,
+    layout: ShardLayout,
+    inbox: Arc<Inbox>,
+    shutdown: Arc<AtomicBool>,
+    read_poll: Duration,
+) {
+    let peer = peer_addr.to_string();
+    stream.set_read_timeout(Some(read_poll)).ok();
+    // Handshake first: 28 bytes, validated before any frame is trusted.
+    let mut hello = [0u8; 28];
+    if let Err(e) = read_exact_polling(&mut stream, &mut hello, &shutdown) {
+        if !shutdown.load(Ordering::SeqCst) {
+            inbox.fail(ExchangeError::PeerDied {
+                peer,
+                detail: format!("before handshake: {e}"),
+            });
+        }
+        return;
+    }
+    let mut hr = SpillReader::new(&hello);
+    let peer_shard = (|| {
+        let magic = hr.u32().ok()?;
+        let version = hr.u64().ok()?;
+        let shards = hr.u64().ok()?;
+        let shard = hr.u64().ok()?;
+        (magic == HANDSHAKE_MAGIC
+            && version == PROTOCOL_VERSION
+            && shards == layout.shards() as u64
+            && shard < shards
+            && shard != layout.shard() as u64)
+            .then_some(shard)
+    })();
+    let Some(peer_shard) = peer_shard else {
+        inbox.fail(ExchangeError::Protocol {
+            peer,
+            detail: format!(
+                "bad handshake (want version {PROTOCOL_VERSION}, {} shards)",
+                layout.shards()
+            ),
+        });
+        return;
+    };
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(frame)) => inbox.push(frame),
+            Ok(None) => {
+                if !shutdown.load(Ordering::SeqCst) {
+                    // An identified shard closing its stream: fatal only to
+                    // waves it had not FINed (a finished peer shuts down
+                    // while slower shards still drain the last wave).
+                    inbox.fail_shard(
+                        peer_shard,
+                        ExchangeError::PeerDied {
+                            peer,
+                            detail: "connection closed".into(),
+                        },
+                    );
+                }
+                return;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                inbox.fail(frame_err(format!("from peer {peer}: {e}")));
+                return;
+            }
+            Err(e) => {
+                if !shutdown.load(Ordering::SeqCst) {
+                    inbox.fail_shard(
+                        peer_shard,
+                        ExchangeError::PeerDied {
+                            peer,
+                            detail: e.to_string(),
+                        },
+                    );
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// `read_exact` that tolerates read-timeout polls while watching the
+/// shutdown flag.
+fn read_exact_polling(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "EOF",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "shutdown",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_ranges_tile_and_owner_agrees() {
+        for total in 1..=16usize {
+            for shards in 1..=8usize {
+                let layouts: Vec<ShardLayout> =
+                    (0..shards).map(|s| ShardLayout::new(s, shards)).collect();
+                for idx in 0..total {
+                    let owners: Vec<usize> = layouts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, l)| l.owns(idx, total))
+                        .map(|(s, _)| s)
+                        .collect();
+                    assert_eq!(owners.len(), 1, "idx {idx} of {total} over {shards}");
+                    assert_eq!(
+                        layouts[0].owner_of(idx, total),
+                        owners[0],
+                        "owner_of disagrees with ranges for idx {idx}/{total} over {shards}"
+                    );
+                }
+                let covered: usize = layouts.iter().map(|l| l.hi(total) - l.lo(total)).sum();
+                assert_eq!(covered, total);
+            }
+        }
+    }
+
+    #[test]
+    fn single_layout_owns_everything() {
+        let l = ShardLayout::single();
+        assert!(!l.is_sharded());
+        assert!(l.owns(0, 4) && l.owns(3, 4));
+        assert_eq!(l.range_mask(3), vec![true, true, true]);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = Frame {
+            seq: 7,
+            src: 3,
+            bucket: 11,
+            records: 2,
+            payload: vec![1, 2, 3, 4, 5],
+        };
+        let mut buf = Vec::new();
+        encode_frame(&f, &mut buf);
+        let (back, used) = decode_frame(&buf).expect("roundtrip");
+        assert_eq!(back, f);
+        assert_eq!(used, buf.len());
+        // And via the stream reader.
+        let mut cursor = std::io::Cursor::new(buf);
+        let back2 = read_frame(&mut cursor).expect("read").expect("one frame");
+        assert_eq!(back2, f);
+        assert!(read_frame(&mut cursor).expect("eof").is_none());
+    }
+
+    #[test]
+    fn decode_rejects_corruption_typed() {
+        let f = Frame {
+            seq: 1,
+            src: 0,
+            bucket: 2,
+            records: 1,
+            payload: vec![9; 32],
+        };
+        let mut buf = Vec::new();
+        encode_frame(&f, &mut buf);
+        // Truncated header.
+        assert!(matches!(
+            decode_frame(&buf[..10]),
+            Err(ExchangeError::Frame { .. })
+        ));
+        // Truncated payload.
+        assert!(matches!(
+            decode_frame(&buf[..buf.len() - 1]),
+            Err(ExchangeError::Frame { .. })
+        ));
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(ExchangeError::Frame { .. })
+        ));
+        // Flipped payload bit → checksum mismatch.
+        let mut flipped = buf.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 1;
+        assert!(matches!(
+            decode_frame(&flipped),
+            Err(ExchangeError::Frame { .. })
+        ));
+        // Oversized length prefix.
+        let mut oversized = buf.clone();
+        let len_off = 4 + 4 * 8;
+        oversized[len_off..len_off + 8].copy_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&oversized),
+            Err(ExchangeError::Frame { .. })
+        ));
+    }
+
+    #[test]
+    fn in_process_route_is_identity_and_counts() {
+        let counters = Arc::new(ExchangeCounters::default());
+        let ex = InProcessExchange::new(true, Arc::clone(&counters));
+        assert!(!ex.in_process());
+        let frames = vec![Frame {
+            seq: 0,
+            src: 0,
+            bucket: 1,
+            records: 1,
+            payload: vec![0; 8],
+        }];
+        let out = ex.route(0, frames.clone(), 4).expect("loopback");
+        assert_eq!(out, frames);
+        assert_eq!(counters.frames_sent.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.frames_received.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.bytes_exchanged.load(Ordering::Relaxed), 8);
+        // Unframed mode keeps the typed fast path.
+        let fast = InProcessExchange::new(false, counters);
+        assert!(fast.in_process());
+    }
+
+    fn start_pair(timeout: Duration) -> (Arc<TcpExchange>, Arc<TcpExchange>) {
+        let (l0, a0) = TcpExchange::bind("127.0.0.1:0").expect("bind");
+        let (l1, a1) = TcpExchange::bind("127.0.0.1:0").expect("bind");
+        let addrs = vec![a0.to_string(), a1.to_string()];
+        let e0 = TcpExchange::start(
+            l0,
+            ShardLayout::new(0, 2),
+            addrs.clone(),
+            Arc::new(ExchangeCounters::default()),
+            timeout,
+        )
+        .expect("start 0");
+        let e1 = TcpExchange::start(
+            l1,
+            ShardLayout::new(1, 2),
+            addrs,
+            Arc::new(ExchangeCounters::default()),
+            timeout,
+        )
+        .expect("start 1");
+        (e0, e1)
+    }
+
+    fn data_frame(seq: u64, src: u64, bucket: u64, byte: u8) -> Frame {
+        Frame {
+            seq,
+            src,
+            bucket,
+            records: 1,
+            payload: vec![byte; 4],
+        }
+    }
+
+    #[test]
+    fn mid_wave_peer_death_after_partial_frames_is_peer_died() {
+        // A peer that handshakes, ships SOME of its frames for a wave, then
+        // dies without a FIN must fail the wave typed (PeerDied), with the
+        // partial frames drained — not deliver a short result, not hang.
+        let (l0, a0) = TcpExchange::bind("127.0.0.1:0").expect("bind");
+        let fake = TcpListener::bind("127.0.0.1:0").expect("bind fake peer");
+        let fake_addr = fake.local_addr().expect("fake addr");
+        let e0 = TcpExchange::start(
+            l0,
+            ShardLayout::new(0, 2),
+            vec![a0.to_string(), fake_addr.to_string()],
+            Arc::new(ExchangeCounters::default()),
+            Duration::from_millis(800),
+        )
+        .expect("start 0");
+        // Absorb shard 0's outbound send so route() reaches its await phase.
+        let sink = std::thread::spawn(move || {
+            let (stream, _) = fake.accept().expect("outbound connect from shard 0");
+            std::thread::sleep(Duration::from_secs(2));
+            drop(stream);
+        });
+        // Raw client playing shard 1: valid handshake, one mid-wave data
+        // frame for seq 9, then EOF before the FIN.
+        let mut client = TcpStream::connect(a0).expect("connect");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&HANDSHAKE_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        encode_frame(&data_frame(9, 3, 1, 5), &mut bytes);
+        client.write_all(&bytes).expect("partial wave");
+        client.flush().expect("flush");
+        drop(client);
+        let started = Instant::now();
+        let err = e0
+            .route(9, vec![data_frame(9, 0, 1, 7)], 4)
+            .expect_err("wave must fail after mid-wave peer death");
+        assert!(
+            matches!(err, ExchangeError::PeerDied { .. }),
+            "expected PeerDied, got {err}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "bounded wait, not a hang"
+        );
+        sink.join().expect("sink thread");
+    }
+
+    #[test]
+    fn tcp_route_delivers_buckets_to_owners() {
+        let (e0, e1) = start_pair(Duration::from_secs(5));
+        // 4 buckets over 2 shards: shard 0 owns 0..2, shard 1 owns 2..4.
+        let t1 = {
+            let e1 = Arc::clone(&e1);
+            std::thread::spawn(move || {
+                e1.route(
+                    9,
+                    vec![data_frame(9, 2, 1, 0xbb), data_frame(9, 2, 3, 0xcc)],
+                    4,
+                )
+            })
+        };
+        let got0 = e0
+            .route(
+                9,
+                vec![data_frame(9, 0, 0, 0xaa), data_frame(9, 0, 2, 0xdd)],
+                4,
+            )
+            .expect("route 0");
+        let got1 = t1.join().expect("join").expect("route 1");
+        let mut buckets0: Vec<u64> = got0.iter().map(|f| f.bucket).collect();
+        buckets0.sort_unstable();
+        assert_eq!(buckets0, vec![0, 1], "shard 0 receives its owned buckets");
+        let mut buckets1: Vec<u64> = got1.iter().map(|f| f.bucket).collect();
+        buckets1.sort_unstable();
+        assert_eq!(buckets1, vec![2, 3]);
+    }
+
+    #[test]
+    fn tcp_gather_broadcasts_everything() {
+        let (e0, e1) = start_pair(Duration::from_secs(5));
+        let t1 = {
+            let e1 = Arc::clone(&e1);
+            std::thread::spawn(move || e1.gather(4, vec![data_frame(4, 1, 1, 2)]))
+        };
+        let got0 = e0.gather(4, vec![data_frame(4, 0, 0, 1)]).expect("gather");
+        let got1 = t1.join().expect("join").expect("gather 1");
+        let mut srcs0: Vec<u64> = got0.iter().map(|f| f.src).collect();
+        srcs0.sort_unstable();
+        assert_eq!(srcs0, vec![0, 1]);
+        let mut srcs1: Vec<u64> = got1.iter().map(|f| f.src).collect();
+        srcs1.sort_unstable();
+        assert_eq!(srcs1, vec![0, 1]);
+    }
+
+    #[test]
+    fn tcp_peer_death_is_typed_not_a_hang() {
+        let (e0, e1) = start_pair(Duration::from_millis(600));
+        // Shard 1 sends its frames (so a connection exists), then dies
+        // without... actually: shard 1 simply drops. Shard 0 then waits on a
+        // route and must get a typed error within the bound, not hang.
+        drop(e1);
+        let started = Instant::now();
+        let err = e0
+            .route(2, vec![data_frame(2, 0, 3, 7)], 4)
+            .expect_err("peer is gone");
+        assert!(
+            matches!(
+                err,
+                ExchangeError::PeerDied { .. }
+                    | ExchangeError::Timeout { .. }
+                    | ExchangeError::Io { .. }
+            ),
+            "{err}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "bounded wait, not a hang"
+        );
+    }
+
+    #[test]
+    fn tcp_connect_to_nobody_times_out() {
+        let (l0, a0) = TcpExchange::bind("127.0.0.1:0").expect("bind");
+        // Peer address: a bound-then-dropped listener → nobody home.
+        let ghost = {
+            let (l, a) = TcpExchange::bind("127.0.0.1:0").expect("bind");
+            drop(l);
+            a
+        };
+        let e0 = TcpExchange::start(
+            l0,
+            ShardLayout::new(0, 2),
+            vec![a0.to_string(), ghost.to_string()],
+            Arc::new(ExchangeCounters::default()),
+            Duration::from_millis(300),
+        )
+        .expect("start");
+        let err = e0
+            .route(1, vec![data_frame(1, 0, 3, 1)], 4)
+            .expect_err("no peer");
+        assert!(
+            matches!(
+                err,
+                ExchangeError::Timeout { .. } | ExchangeError::Io { .. }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn env_parsing() {
+        // Not set in the test environment: defaults hold.
+        assert!(timeout_from_env() >= Duration::from_millis(1));
+    }
+}

@@ -23,9 +23,9 @@ pub fn broadcast_join<K, V, W>(
     small: &Dataset<(K, W)>,
 ) -> Dataset<(K, (V, W))>
 where
-    K: Hash + Eq + Clone + Send + Sync + 'static,
+    K: Hash + Eq + Clone + Send + Sync + Spill + 'static,
     V: Clone + Send + Sync + 'static,
-    W: Clone + Send + Sync + 'static,
+    W: Clone + Send + Sync + Spill + 'static,
 {
     let mut table: HashMap<K, Vec<W>> = HashMap::new();
     for (k, w) in small.collect(rt) {
@@ -49,9 +49,9 @@ pub fn broadcast_semi_join<K, V, W>(
     small: &Dataset<(K, W)>,
 ) -> Dataset<(K, V)>
 where
-    K: Hash + Eq + Clone + Send + Sync + 'static,
+    K: Hash + Eq + Clone + Send + Sync + Spill + 'static,
     V: Clone + Send + Sync + 'static,
-    W: Clone + Send + Sync + 'static,
+    W: Clone + Send + Sync + Spill + 'static,
 {
     let keys: std::collections::HashSet<K> =
         small.collect(rt).into_iter().map(|(k, _)| k).collect();
@@ -141,7 +141,7 @@ where
 /// Takes up to `n` elements in partition order.
 pub fn take<T>(rt: &Runtime, input: &Dataset<T>, n: usize) -> Vec<T>
 where
-    T: Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync + Spill + 'static,
 {
     let mut out = Vec::with_capacity(n);
     for part in input.parts(rt).iter() {

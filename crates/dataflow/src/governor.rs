@@ -223,7 +223,7 @@ impl Drop for MemCharge {
 
 /// One map output inside a governed exchange: still in memory, or spilled
 /// to a run file.
-enum ExchangeSource<K, V> {
+enum GovernedSource<K, V> {
     Mem(Vec<Vec<(K, V)>>),
     Spilled(RunHandle),
 }
@@ -232,15 +232,15 @@ enum ExchangeSource<K, V> {
 /// partition order), the residency charge, and — in checked mode — the
 /// per-bucket record counts for the merge audit. Shared by every reduce
 /// task; dropping it releases the charge and deletes any run files.
-pub(crate) struct Exchange<K, V> {
-    sources: Vec<ExchangeSource<K, V>>,
+pub(crate) struct GovernedBuckets<K, V> {
+    sources: Vec<GovernedSource<K, V>>,
     /// `counts[src][bucket]`, recorded before any spill; empty unless the
     /// runtime was in checked mode at admission.
     counts: Vec<Vec<u64>>,
     _charge: Option<MemCharge>,
 }
 
-impl<K: Spill, V: Spill> Exchange<K, V> {
+impl<K: Spill, V: Spill> GovernedBuckets<K, V> {
     /// Takes ownership of the map side's bucket sets, charges the governor,
     /// and spills largest-first until back under budget.
     ///
@@ -260,16 +260,16 @@ impl<K: Spill, V: Spill> Exchange<K, V> {
         if !gov.enabled() {
             // Unlimited: no estimation pass, no charge, no spills — the
             // governed exchange is exactly the ungoverned one.
-            return Arc::new(Exchange {
-                sources: bucketed.into_iter().map(ExchangeSource::Mem).collect(),
+            return Arc::new(GovernedBuckets {
+                sources: bucketed.into_iter().map(GovernedSource::Mem).collect(),
                 counts,
                 _charge: None,
             });
         }
         let estimates: Vec<u64> = bucketed.iter().map(|src| estimate_source(src)).collect();
         let mut charge = gov.charge(estimates.iter().sum());
-        let mut sources: Vec<ExchangeSource<K, V>> =
-            bucketed.into_iter().map(ExchangeSource::Mem).collect();
+        let mut sources: Vec<GovernedSource<K, V>> =
+            bucketed.into_iter().map(GovernedSource::Mem).collect();
         let mut remaining = estimates;
         while gov.over_budget() {
             // Largest still-in-memory map output first: fewest files for the
@@ -280,13 +280,13 @@ impl<K: Spill, V: Spill> Exchange<K, V> {
             else {
                 break; // everything spillable is on disk; run over budget
             };
-            let ExchangeSource::Mem(buckets) = &sources[i] else {
+            let GovernedSource::Mem(buckets) = &sources[i] else {
                 unreachable!("remaining[i] > 0 implies an in-memory source");
             };
             match spill_source(&gov, buckets) {
                 Ok(run) => {
                     gov.note_spill(run.file_bytes());
-                    sources[i] = ExchangeSource::Spilled(run);
+                    sources[i] = GovernedSource::Spilled(run);
                     charge.shrink(remaining[i]);
                     remaining[i] = 0;
                 }
@@ -299,7 +299,7 @@ impl<K: Spill, V: Spill> Exchange<K, V> {
                 }
             }
         }
-        Arc::new(Exchange {
+        Arc::new(GovernedBuckets {
             sources,
             counts,
             _charge: Some(charge),
@@ -320,8 +320,8 @@ impl<K: Spill, V: Spill> Exchange<K, V> {
     {
         for (i, src) in self.sources.iter().enumerate() {
             match src {
-                ExchangeSource::Mem(buckets) => merged.extend_from_slice(&buckets[p]),
-                ExchangeSource::Spilled(run) => {
+                GovernedSource::Mem(buckets) => merged.extend_from_slice(&buckets[p]),
+                GovernedSource::Spilled(run) => {
                     if let Some(counts) = self.counts.get(i) {
                         // Checked mode: the run's own metadata must agree with
                         // the count recorded before the source was spilled.
@@ -355,7 +355,7 @@ impl<K: Spill, V: Spill> Exchange<K, V> {
     pub fn spilled_sources(&self) -> usize {
         self.sources
             .iter()
-            .filter(|s| matches!(s, ExchangeSource::Spilled(_)))
+            .filter(|s| matches!(s, GovernedSource::Spilled(_)))
             .count()
     }
 }
@@ -506,13 +506,13 @@ mod tests {
             ],
         ];
         // Unlimited: nothing spills.
-        let ex = Exchange::admit(&rt, bucketed.clone());
+        let ex = GovernedBuckets::admit(&rt, bucketed.clone());
         assert_eq!(ex.spilled_sources(), 0);
         let mut plain0 = Vec::new();
         ex.append_bucket(0, &mut plain0);
         // One-byte budget: everything spillable spills.
         rt.set_mem_budget(1);
-        let ex2 = Exchange::admit(&rt, bucketed);
+        let ex2 = GovernedBuckets::admit(&rt, bucketed);
         assert_eq!(ex2.spilled_sources(), 2);
         assert!(rt.governor().bytes_spilled() > 0);
         assert_eq!(rt.governor().spill_files(), 2);
@@ -528,7 +528,7 @@ mod tests {
         let gov = rt.governor();
         gov.set_spill_dir(unique_dir("drop"));
         let before_files = count_runs(&gov.spill_dir());
-        let ex = Exchange::admit(&rt, vec![vec![vec![(1u64, 2u64), (3, 4)]]]);
+        let ex = GovernedBuckets::admit(&rt, vec![vec![vec![(1u64, 2u64), (3, 4)]]]);
         assert_eq!(ex.spilled_sources(), 1);
         assert!(count_runs(&gov.spill_dir()) > before_files);
         drop(ex);
@@ -555,7 +555,7 @@ mod tests {
         std::fs::write(&blocker, b"x").unwrap();
         rt.governor().set_spill_dir(&blocker);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            Exchange::admit(&rt, vec![vec![vec![(1u64, 2u64)]]])
+            GovernedBuckets::admit(&rt, vec![vec![vec![(1u64, 2u64)]]])
         }));
         let Err(payload) = result else {
             panic!("spill into a file path must fail");

@@ -16,8 +16,9 @@
 //! on the input, so `map → filter → reduce_by_key` reads its input exactly
 //! once.
 
-use crate::dataset::{Dataset, Partitioning};
-use crate::governor::Exchange;
+use crate::dataset::{decode_records, Dataset, Locality, Partitioning};
+use crate::exchange::Frame;
+use crate::governor::GovernedBuckets;
 use crate::lineage::OpKind;
 use crate::runtime::Runtime;
 use crate::spill::Spill;
@@ -27,15 +28,17 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// The engine's bucket function: which partition a key belongs to under
-/// `HashByKey { parts }`. Exposed in-crate so elision audits (and tests
-/// constructing adversarial layouts) agree with the shuffle.
+/// `HashByKey { parts }`. Elision audits (and tests constructing
+/// adversarial layouts) use it to agree with the shuffle; it is public so
+/// locality-aware loaders can pre-place records in the partition the
+/// exchange will route their key to, making the shuffle shard-local.
 ///
 /// Hashes with the explicitly-seeded FNV-1a shared with
 /// `lineage::fingerprint()` — *not* `DefaultHasher`, whose algorithm is
 /// unspecified and free to change across Rust releases, which would
 /// silently invalidate persisted partition layouts and `HashByKey` claims
 /// on a toolchain bump. A golden test pins the assignments.
-pub(crate) fn bucket_of<K: Hash>(key: &K, parts: usize) -> usize {
+pub fn bucket_of<K: Hash>(key: &K, parts: usize) -> usize {
     let mut h = crate::lineage::Fnv::new();
     key.hash(&mut h);
     (h.finish() % parts as u64) as usize
@@ -140,9 +143,25 @@ where
     // row-range morsels instead: each morsel builds its own bucket set, and
     // the sets are merged bucket-wise in morsel (row) order, so every bucket
     // holds its records in exactly the order the barrier pass produces.
+    //
+    // Under a sharded layout each shard maps only the input partitions it
+    // contributes (its locality mask): owned data exists nowhere else, and
+    // replicated data is split by the layout's range so every global
+    // partition is mapped by exactly one shard.
+    let exchange = rt.exchange();
+    let layout = exchange.layout();
+    let mask = input.shard_mask(&layout).map(Arc::new);
     let bucketed: Vec<Vec<Vec<(K, V)>>> = match (rt.stealing(), input.split_cap()) {
         (true, Some(cap)) => {
-            let sizes: Vec<usize> = (0..input.num_partitions()).map(|i| (cap.rows)(i)).collect();
+            let sizes: Vec<usize> = (0..input.num_partitions())
+                .map(|i| match &mask {
+                    // Masked-out partitions hold another shard's share:
+                    // zero rows here means the morsel scheduler never
+                    // touches them.
+                    Some(m) if !m[i] => 0,
+                    _ => (cap.rows)(i),
+                })
+                .collect();
             let produce_range = Arc::clone(&cap.produce_range);
             rt.run_morsels(&sizes, move |i, range| {
                 let mut buckets: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
@@ -163,32 +182,101 @@ where
             })
             .collect()
         }
-        _ => input.run_per_partition(rt, move |i, d| {
-            let mut buckets: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
-            d.produce(i, &mut |kv| {
-                buckets[bucket_of(&kv.0, parts)].push(kv.clone());
-            });
-            buckets
-        }),
+        _ => {
+            let mask_task = mask.clone();
+            input.run_per_partition(rt, move |i, d| {
+                let mut buckets: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
+                if mask_task.as_ref().is_none_or(|m| m[i]) {
+                    d.produce(i, &mut |kv| {
+                        buckets[bucket_of(&kv.0, parts)].push(kv.clone());
+                    });
+                }
+                buckets
+            })
+        }
     };
     let moved: u64 = bucketed
         .iter()
         .map(|p| p.iter().map(|b| b.len() as u64).sum::<u64>())
         .sum();
     rt.note_shuffle(moved, moved * std::mem::size_of::<(K, V)>() as u64);
-    // Exchange residency passes under the memory governor: the charge is
-    // recorded here, and over-budget map outputs are written out as run
-    // files (order preserved) before the reduce side starts. With no budget
-    // in force this is a no-op pass-through.
-    let exchange = Exchange::admit(rt, bucketed);
-    // Reduce side: partition `p` concatenates bucket `p` of every map
-    // output, in map-partition order — from memory or, for spilled outputs,
-    // streamed back from their run files. Identical bytes either way.
-    let out = rt.run_indexed(parts, move |p| {
-        let mut merged = Vec::new();
-        exchange.append_bucket(p, &mut merged);
-        Arc::new(merged)
-    });
+    let out = if exchange.in_process() {
+        // Typed fast path (the single-process default): bucket vectors move
+        // by reference, byte-for-byte as before the exchange layer existed.
+        //
+        // Exchange residency passes under the memory governor: the charge is
+        // recorded here, and over-budget map outputs are written out as run
+        // files (order preserved) before the reduce side starts. With no
+        // budget in force this is a no-op pass-through.
+        let governed = GovernedBuckets::admit(rt, bucketed);
+        // Reduce side: partition `p` concatenates bucket `p` of every map
+        // output, in map-partition order — from memory or, for spilled
+        // outputs, streamed back from their run files. Identical bytes
+        // either way.
+        rt.run_indexed(parts, move |p| {
+            let mut merged = Vec::new();
+            governed.append_bucket(p, &mut merged);
+            Arc::new(merged)
+        })
+    } else {
+        // Frame path: every non-empty bucket is encoded into a wire frame
+        // and routed to its owner; the reduce side decodes the returned
+        // frames in global map-partition order, reproducing the in-process
+        // merge byte-for-byte (absent frames are empty buckets, which
+        // contribute nothing to the concatenation).
+        let seq = rt.next_exchange_seq();
+        let mut frames = Vec::new();
+        for (i, buckets) in bucketed.into_iter().enumerate() {
+            for (b, bucket) in buckets.into_iter().enumerate() {
+                if bucket.is_empty() {
+                    continue;
+                }
+                let mut payload = Vec::new();
+                for kv in &bucket {
+                    kv.spill(&mut payload);
+                }
+                frames.push(Frame {
+                    seq,
+                    src: i as u64,
+                    bucket: b as u64,
+                    records: bucket.len() as u64,
+                    payload,
+                });
+            }
+        }
+        let got = match exchange.route(seq, frames, parts) {
+            Ok(f) => f,
+            Err(e) => std::panic::panic_any(e),
+        };
+        // Received payload bytes are resident until the reduce side decodes
+        // them; charge the governor for the window (transient, like combine
+        // state).
+        let gov = rt.governor();
+        let received_bytes: u64 = got.iter().map(|f| f.payload.len() as u64).sum();
+        let charge = gov.enabled().then(|| gov.charge(received_bytes));
+        let mut by_bucket: HashMap<usize, Vec<Frame>> = HashMap::new();
+        for f in got {
+            by_bucket.entry(f.bucket as usize).or_default().push(f);
+        }
+        for frames in by_bucket.values_mut() {
+            frames.sort_by_key(|f| f.src);
+        }
+        let owned = layout.range_mask(parts);
+        let by_bucket = Arc::new(by_bucket);
+        let out = rt.run_indexed(parts, move |p| {
+            let mut merged: Vec<(K, V)> = Vec::new();
+            if owned[p] {
+                if let Some(frames) = by_bucket.get(&p) {
+                    for f in frames {
+                        merged.append(&mut decode_records::<(K, V)>(f));
+                    }
+                }
+            }
+            Arc::new(merged)
+        });
+        drop(charge);
+        out
+    };
     let node = crate::lineage::PlanNode::new(
         "shuffle",
         OpKind::Shuffle { parts },
@@ -198,7 +286,13 @@ where
         std::mem::size_of::<(K, V)>() as u64,
         vec![lineage],
     );
-    Dataset::from_arc_partitions_lineage(out, Partitioning::HashByKey { parts }, node)
+    let shuffled =
+        Dataset::from_arc_partitions_lineage(out, Partitioning::HashByKey { parts }, node);
+    if layout.is_sharded() {
+        shuffled.with_locality(Locality::Owned(Arc::new(layout.range_mask(parts))))
+    } else {
+        shuffled
+    }
 }
 
 /// Extension trait providing the wide operators on key–value datasets.
@@ -271,25 +365,34 @@ pub trait KeyedDataset<K, V> {
 }
 
 /// Per-partition combine used on both sides of `reduce_by_key`.
+///
+/// Keys are emitted in **first-seen order**, not hash-map iteration order:
+/// given the same partition contents, the output bytes are identical across
+/// runs and across processes. The distributed exchange depends on this —
+/// every shard of a sharded run must produce the same result a
+/// single-process run does, and `HashMap`'s per-instance random seed would
+/// scramble emission order per process.
 fn combine_partition<K, V, F>(part: &[(K, V)], f: &F) -> Vec<(K, V)>
 where
     K: Hash + Eq + Clone,
     V: Clone,
     F: Fn(&V, &V) -> V,
 {
-    let mut acc: HashMap<K, V> = HashMap::with_capacity(part.len());
+    let mut index: HashMap<K, usize> = HashMap::with_capacity(part.len());
+    let mut out: Vec<(K, V)> = Vec::new();
     for (k, v) in part {
-        match acc.entry(k.clone()) {
-            Entry::Occupied(mut e) => {
-                let merged = f(e.get(), v);
-                e.insert(merged);
+        match index.entry(k.clone()) {
+            Entry::Occupied(e) => {
+                let slot = &mut out[*e.get()].1;
+                *slot = f(slot, v);
             }
             Entry::Vacant(e) => {
-                e.insert(v.clone());
+                e.insert(out.len());
+                out.push((k.clone(), v.clone()));
             }
         }
     }
-    acc.into_iter().collect()
+    out
 }
 
 impl<K, V> KeyedDataset<K, V> for Dataset<(K, V)>
@@ -333,11 +436,19 @@ where
         let gov = rt.governor();
         shuffle(rt, self)
             .map_partitions(move |part| {
-                let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+                // First-seen key order, for cross-run and cross-shard
+                // determinism (see `combine_partition`).
+                let mut index: HashMap<K, usize> = HashMap::new();
+                let mut out: Vec<(K, Vec<V>)> = Vec::new();
                 for (k, v) in part {
-                    groups.entry(k.clone()).or_default().push(v.clone());
+                    match index.entry(k.clone()) {
+                        Entry::Occupied(e) => out[*e.get()].1.push(v.clone()),
+                        Entry::Vacant(e) => {
+                            e.insert(out.len());
+                            out.push((k.clone(), vec![v.clone()]));
+                        }
+                    }
                 }
-                let out: Vec<(K, Vec<V>)> = groups.into_iter().collect();
                 crate::governor::note_state(&gov, &out);
                 out
             })
@@ -429,12 +540,20 @@ where
         let gov = rt.governor();
         let gov1 = Arc::clone(&gov);
         let fold_partition = move |part: &[(K, V)]| {
-            let mut acc: HashMap<K, A> = HashMap::new();
+            // First-seen key order (see `combine_partition`).
+            let mut index: HashMap<K, usize> = HashMap::new();
+            let mut out: Vec<(K, A)> = Vec::new();
             for (k, v) in part {
-                let a = acc.entry(k.clone()).or_insert_with(&init);
-                update(a, v);
+                let slot = match index.entry(k.clone()) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        e.insert(out.len());
+                        out.push((k.clone(), init()));
+                        out.len() - 1
+                    }
+                };
+                update(&mut out[slot].1, v);
             }
-            let out = acc.into_iter().collect::<Vec<_>>();
             crate::governor::note_state(&gov1, &out);
             out
         };
@@ -465,16 +584,18 @@ where
         // Reduce-side: merge accumulators.
         shuffle(rt, &partials)
             .map_partitions(move |part| {
-                let mut acc: HashMap<K, A> = HashMap::new();
+                // First-seen key order (see `combine_partition`).
+                let mut index: HashMap<K, usize> = HashMap::new();
+                let mut out: Vec<(K, A)> = Vec::new();
                 for (k, a) in part {
-                    match acc.entry(k.clone()) {
-                        Entry::Occupied(mut e) => merge(e.get_mut(), a),
+                    match index.entry(k.clone()) {
+                        Entry::Occupied(e) => merge(&mut out[*e.get()].1, a),
                         Entry::Vacant(e) => {
-                            e.insert(a.clone());
+                            e.insert(out.len());
+                            out.push((k.clone(), a.clone()));
                         }
                     }
                 }
-                let out: Vec<(K, A)> = acc.into_iter().collect();
                 crate::governor::note_state(&gov, &out);
                 out
             })
@@ -523,7 +644,9 @@ where
             std::mem::size_of::<(K, (V, W))>() as u64,
             vec![lin_l, lin_r],
         );
-        Dataset::from_arc_partitions_lineage(out, Partitioning::HashByKey { parts }, node)
+        let joined =
+            Dataset::from_arc_partitions_lineage(out, Partitioning::HashByKey { parts }, node);
+        stamp_wide_locality(rt, joined)
     }
 
     fn semi_join<W>(&self, rt: &Runtime, keys: &Dataset<(K, W)>) -> Dataset<(K, V)>
@@ -559,7 +682,26 @@ where
             std::mem::size_of::<(K, V)>() as u64,
             vec![lin_l, lin_r],
         );
-        Dataset::from_arc_partitions_lineage(out, Partitioning::HashByKey { parts }, node)
+        let joined =
+            Dataset::from_arc_partitions_lineage(out, Partitioning::HashByKey { parts }, node);
+        stamp_wide_locality(rt, joined)
+    }
+}
+
+/// Stamps a wide operator's output with the shard's owned bucket range
+/// under a sharded layout: partition `p` was reduced from co-partitioned
+/// inputs whose partition-`p` content is only guaranteed present on `p`'s
+/// owner. Single-process outputs stay replicated.
+fn stamp_wide_locality<T: Clone + Send + Sync + 'static>(
+    rt: &Runtime,
+    out: Dataset<T>,
+) -> Dataset<T> {
+    let layout = rt.layout();
+    if layout.is_sharded() {
+        let parts = out.num_partitions();
+        out.with_locality(Locality::Owned(Arc::new(layout.range_mask(parts))))
+    } else {
+        out
     }
 }
 

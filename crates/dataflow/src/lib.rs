@@ -60,6 +60,7 @@
 
 pub mod cancel;
 pub mod dataset;
+pub mod exchange;
 pub mod extra;
 pub mod governor;
 pub mod keyed;
@@ -71,9 +72,12 @@ mod steal;
 
 pub use cancel::{CancelToken, Cancelled};
 pub use dataset::{Dataset, Partitioning};
+pub use exchange::{
+    Exchange, ExchangeCounters, ExchangeError, Frame, InProcessExchange, ShardLayout, TcpExchange,
+};
 pub use extra::{broadcast_join, broadcast_semi_join, cogroup, count_by_key, take};
 pub use governor::{MemCharge, MemGovernor};
-pub use keyed::{distinct, shuffle, KeyedDataset};
+pub use keyed::{bucket_of, distinct, shuffle, KeyedDataset};
 pub use lineage::{fingerprint, fingerprint_hex, OpKind, PlanNode};
 pub use runtime::{Runtime, RuntimeStats, StatsSnapshot};
 pub use spill::{charged_size, checksum, HeapSize, Spill, SpillError, SpillReader};

@@ -2,12 +2,13 @@
 //! statistics.
 
 use crate::cancel;
+use crate::exchange::{self, Exchange, ExchangeCounters, InProcessExchange, ShardLayout};
 use crate::governor::MemGovernor;
 use crate::pool::ThreadPool;
 use crate::steal;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Snapshot of execution statistics — the shared-memory analogue of Spark's
@@ -74,6 +75,17 @@ pub struct RuntimeStats {
     /// [`since`](RuntimeStats::since) carries the current value through
     /// instead of subtracting.
     pub peak_bytes: u64,
+    /// Payload bytes handed to the [`Exchange`] for routing. Zero on the
+    /// default in-process fast path; counts loopback traffic in framed mode
+    /// (`TGRAPH_EXCHANGE=framed`) and wire traffic under a
+    /// [`TcpExchange`](crate::TcpExchange).
+    pub bytes_exchanged: u64,
+    /// Data frames handed to the exchange for routing.
+    pub frames_sent: u64,
+    /// Data frames delivered by the exchange (own contributions included).
+    pub frames_received: u64,
+    /// Exchange waits that actually blocked on remote frames.
+    pub exchange_stalls: u64,
 }
 
 impl RuntimeStats {
@@ -102,6 +114,10 @@ impl RuntimeStats {
             spill_files: self.spill_files - earlier.spill_files,
             // A high-water mark has no meaningful delta; report the level.
             peak_bytes: self.peak_bytes,
+            bytes_exchanged: self.bytes_exchanged - earlier.bytes_exchanged,
+            frames_sent: self.frames_sent - earlier.frames_sent,
+            frames_received: self.frames_received - earlier.frames_received,
+            exchange_stalls: self.exchange_stalls - earlier.exchange_stalls,
         }
     }
 }
@@ -168,6 +184,9 @@ pub struct Runtime {
     stealing: AtomicBool,
     morsel_rows: AtomicUsize,
     governor: Arc<MemGovernor>,
+    exchange: Mutex<Arc<dyn Exchange>>,
+    exchange_counters: Arc<ExchangeCounters>,
+    exchange_seq: AtomicU64,
 }
 
 impl Runtime {
@@ -179,6 +198,7 @@ impl Runtime {
 
     /// Creates a runtime with an explicit default partition count.
     pub fn with_partitions(workers: usize, partitions: usize) -> Self {
+        let exchange_counters = Arc::new(ExchangeCounters::default());
         Runtime {
             pool: ThreadPool::new(workers),
             partitions: partitions.max(1),
@@ -200,6 +220,12 @@ impl Runtime {
             stealing: AtomicBool::new(stealing_from_env()),
             morsel_rows: AtomicUsize::new(morsel_rows_from_env()),
             governor: Arc::new(MemGovernor::from_env()),
+            exchange: Mutex::new(Arc::new(InProcessExchange::new(
+                exchange::framed_from_env(),
+                Arc::clone(&exchange_counters),
+            ))),
+            exchange_counters,
+            exchange_seq: AtomicU64::new(0),
         }
     }
 
@@ -424,6 +450,49 @@ impl Runtime {
         self.governor.set_budget(bytes);
     }
 
+    /// The installed [`Exchange`]: the routing layer every shuffle and
+    /// sharded gather goes through. Defaults to an [`InProcessExchange`]
+    /// (framed when `TGRAPH_EXCHANGE=framed`).
+    pub fn exchange(&self) -> Arc<dyn Exchange> {
+        Arc::clone(&self.exchange.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Installs an exchange implementation (e.g. a
+    /// [`TcpExchange`](crate::TcpExchange) built with this runtime's
+    /// [`exchange_counters`](Runtime::exchange_counters)). Swapping the
+    /// exchange while a wave is in flight is a logic error.
+    pub fn set_exchange(&self, ex: Arc<dyn Exchange>) {
+        *self.exchange.lock().unwrap_or_else(|e| e.into_inner()) = ex;
+    }
+
+    /// The counters a custom exchange should share so its traffic shows up
+    /// in [`Runtime::stats`].
+    pub fn exchange_counters(&self) -> Arc<ExchangeCounters> {
+        Arc::clone(&self.exchange_counters)
+    }
+
+    /// This participant's slice of the global partition space (from the
+    /// installed exchange).
+    pub fn layout(&self) -> ShardLayout {
+        self.exchange().layout()
+    }
+
+    /// Allocates the next exchange-operation sequence number. Sharded
+    /// participants executing the same plan from the same
+    /// [`set_exchange_seq_base`](Runtime::set_exchange_seq_base) allocate
+    /// identical sequences in identical order, which is what lets frames
+    /// rendezvous without a control channel.
+    pub(crate) fn next_exchange_seq(&self) -> u64 {
+        self.exchange_seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Re-bases the exchange sequence counter (coordinators pick one epoch
+    /// per query; every shard calls this with the same base before
+    /// executing).
+    pub fn set_exchange_seq_base(&self, base: u64) {
+        self.exchange_seq.store(base, Ordering::SeqCst);
+    }
+
     /// Current execution statistics.
     pub fn stats(&self) -> RuntimeStats {
         RuntimeStats {
@@ -445,6 +514,19 @@ impl Runtime {
             bytes_spilled: self.governor.bytes_spilled(),
             spill_files: self.governor.spill_files(),
             peak_bytes: self.governor.peak_bytes(),
+            bytes_exchanged: self
+                .exchange_counters
+                .bytes_exchanged
+                .load(Ordering::Relaxed),
+            frames_sent: self.exchange_counters.frames_sent.load(Ordering::Relaxed),
+            frames_received: self
+                .exchange_counters
+                .frames_received
+                .load(Ordering::Relaxed),
+            exchange_stalls: self
+                .exchange_counters
+                .exchange_stalls
+                .load(Ordering::Relaxed),
         }
     }
 

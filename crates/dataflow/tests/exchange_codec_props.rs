@@ -1,0 +1,121 @@
+//! Property tests for the exchange wire codec: arbitrary frames round-trip
+//! exactly, and malformed bytes — truncations, oversized length prefixes,
+//! bit flips, random garbage — surface typed errors, never panics and never
+//! reads past the buffer.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use tgraph_dataflow::exchange::{decode_frame, encode_frame, read_frame, HEADER_BYTES};
+use tgraph_dataflow::{ExchangeError, Frame};
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        0u64..1 << 48,
+        0u64..1024,
+        0u64..1024,
+        prop::collection::vec(0u8..=255, 0..200),
+    )
+        .prop_map(|(seq, src, bucket, payload)| Frame {
+            seq,
+            src,
+            bucket,
+            records: payload.len() as u64 / 3,
+            payload,
+        })
+}
+
+fn encoded(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_frame(frame, &mut buf);
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn frames_roundtrip_exactly(frame in arb_frame()) {
+        let buf = encoded(&frame);
+        let (back, consumed) = decode_frame(&buf).expect("valid encoding must decode");
+        prop_assert_eq!(&back, &frame);
+        prop_assert_eq!(consumed, buf.len());
+        // Stream reader agrees with the slice decoder.
+        let mut cur = Cursor::new(buf);
+        let streamed = read_frame(&mut cur).expect("stream decode").expect("one frame");
+        prop_assert_eq!(&streamed, &frame);
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error(frame in arb_frame(), cut_frac in 0u64..1000) {
+        let buf = encoded(&frame);
+        // Any strict prefix must fail typed — header or payload truncation.
+        let cut = (buf.len() as u64 * cut_frac / 1000) as usize;
+        prop_assert!(cut < buf.len());
+        match decode_frame(&buf[..cut]) {
+            Err(ExchangeError::Frame { .. }) => {}
+            other => return Err(format!("expected Frame error at cut {cut}, got {other:?}")),
+        }
+        // The stream reader must not hang or panic either: a cut inside the
+        // header or payload is an error; an empty prefix is a clean EOF.
+        let mut cur = Cursor::new(buf[..cut].to_vec());
+        match read_frame(&mut cur) {
+            Ok(None) => prop_assert!(cut == 0, "clean EOF only at a frame boundary"),
+            Ok(Some(_)) => return Err("decoded a truncated frame".into()),
+            Err(_) => prop_assert!(cut > 0),
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_pass_silently(frame in arb_frame(), pos_frac in 0u64..1000, bit in 0u8..8) {
+        let mut buf = encoded(&frame);
+        let pos = (buf.len() as u64 * pos_frac / 1000) as usize;
+        buf[pos] ^= 1 << bit;
+        match decode_frame(&buf) {
+            // Flips in the unchecksummed metadata words (seq/src/bucket/
+            // records) decode, but must never reproduce the original frame.
+            Ok((back, _)) => prop_assert!(back != frame, "flipped byte {pos} yielded the original"),
+            Err(ExchangeError::Frame { .. }) => {}
+            Err(other) => return Err(format!("unexpected error variant: {other:?}")),
+        }
+        // Payload and checksum bytes ARE covered: flips there must error.
+        if pos >= HEADER_BYTES - 8 {
+            prop_assert!(decode_frame(&buf).is_err(), "payload/checksum flip at {} passed", pos);
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected(frame in arb_frame(), excess in 1u64..1 << 40) {
+        let mut buf = encoded(&frame);
+        // The payload-length word lives at offset 4 + 4*8 in the header.
+        let off = 4 + 4 * 8;
+        let huge = (1u64 << 30) + excess; // MAX_FRAME_PAYLOAD + excess
+        buf[off..off + 8].copy_from_slice(&huge.to_le_bytes());
+        match decode_frame(&buf) {
+            Err(ExchangeError::Frame { detail }) => {
+                prop_assert!(detail.contains("exceeds cap"), "wrong detail: {detail}");
+            }
+            other => return Err(format!("expected oversize rejection, got {other:?}")),
+        }
+        let mut cur = Cursor::new(buf);
+        prop_assert!(read_frame(&mut cur).is_err());
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..300)) {
+        // Whatever happens, it is a Result — no panic, no out-of-bounds.
+        let _ = decode_frame(&bytes);
+        let mut cur = Cursor::new(bytes.clone());
+        let _ = read_frame(&mut cur);
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_sequence(a in arb_frame(), b in arb_frame()) {
+        let mut buf = encoded(&a);
+        encode_frame(&b, &mut buf);
+        let (first, used) = decode_frame(&buf).expect("first frame");
+        let (second, used2) = decode_frame(&buf[used..]).expect("second frame");
+        prop_assert_eq!(&first, &a);
+        prop_assert_eq!(&second, &b);
+        prop_assert_eq!(used + used2, buf.len());
+    }
+}

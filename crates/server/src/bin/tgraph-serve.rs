@@ -19,6 +19,15 @@
 //!   the memory governor (default 16; binding only under `TGRAPH_MEM_BYTES`)
 //! * `--gen-demo NAME`       generate a small deterministic WikiTalk-style
 //!   dataset under `--data-dir` as NAME before serving (for smoke tests)
+//!
+//! Sharded mode (run one instance per shard; shard 0 is the coordinator and
+//! the only one that accepts `zoom` requests):
+//! * `--shard I`             this instance's shard index (0-based)
+//! * `--shards N`            total shards in the deployment
+//! * `--exchange-addr H:P`   this shard's exchange (shuffle) listen address
+//! * `--exchange-peers a,b`  every shard's exchange address, in shard order
+//! * `--serve-peers a,b`     every shard's serve address, in shard order
+//!   (needed on the coordinator to broadcast `shard_exec`)
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -99,11 +108,38 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
             }
             "--gen-demo" => gen_demo = Some(value("--gen-demo")?),
+            "--shard" => {
+                config.shard = value("--shard")?
+                    .parse()
+                    .map_err(|e| format!("--shard: {e}"))?
+            }
+            "--shards" => {
+                config.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--exchange-addr" => config.exchange_addr = value("--exchange-addr")?,
+            "--exchange-peers" => {
+                config.exchange_peers = value("--exchange-peers")?
+                    .split(',')
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--serve-peers" => {
+                config.serve_peers = value("--serve-peers")?
+                    .split(',')
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            }
             "--help" | "-h" => {
                 return Err("usage: tgraph-serve --addr HOST:PORT --data-dir DIR \
                             [--graphs name:repr,...] [--workers N] [--partitions N] \
                             [--max-inflight N] [--max-queue N] [--cache-mb N] \
-                            [--query-reserve-mb N] [--gen-demo NAME]"
+                            [--query-reserve-mb N] [--gen-demo NAME] \
+                            [--shard I --shards N --exchange-addr H:P \
+                            --exchange-peers a,b --serve-peers a,b]"
                     .to_string())
             }
             other => return Err(format!("unknown flag '{other}' (try --help)")),

@@ -42,6 +42,18 @@ pub enum Request {
     Shutdown,
     /// A zoom query.
     Zoom(Box<ZoomRequest>),
+    /// Internal shard-coordination op: the coordinator instructs a peer
+    /// shard to execute `zoom` cooperatively under exchange epoch `epoch`.
+    /// Bypasses the result cache and admission — the coordinator already
+    /// admitted the query, and peers must start their waves unconditionally
+    /// or the exchange stalls.
+    ShardExec {
+        /// Exchange epoch: seeds every shard's exchange sequence numbers
+        /// (`epoch << 32`) so frames from different queries never mix.
+        epoch: u64,
+        /// The query to execute, byte-identical to the coordinator's.
+        zoom: Box<ZoomRequest>,
+    },
 }
 
 /// One pipeline step of a zoom query.
@@ -286,8 +298,23 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         "zoom" => Ok(Request::Zoom(Box::new(parse_zoom_request(&v)?))),
+        "shard_exec" => {
+            let epoch = v
+                .get("epoch")
+                .and_then(Json::as_i64)
+                .filter(|e| *e >= 0)
+                .ok_or_else(|| bad("shard_exec needs non-negative integer field 'epoch'"))?
+                as u64;
+            let zoom = v
+                .get("zoom")
+                .ok_or_else(|| bad("shard_exec needs object field 'zoom'"))?;
+            Ok(Request::ShardExec {
+                epoch,
+                zoom: Box::new(parse_zoom_request(zoom)?),
+            })
+        }
         other => Err(bad(format!(
-            "unknown op '{other}' (expected ping|stats|shutdown|zoom)"
+            "unknown op '{other}' (expected ping|stats|shutdown|zoom|shard_exec)"
         ))),
     }
 }

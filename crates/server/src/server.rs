@@ -8,14 +8,14 @@ use crate::json::Json;
 use crate::metrics::ServerMetrics;
 use crate::protocol::{parse_request, Request, Step, ZoomRequest};
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tgraph_core::graph::TGraph;
 use tgraph_core::props::{Props, Value};
-use tgraph_dataflow::{CancelToken, Runtime};
+use tgraph_dataflow::{CancelToken, Runtime, ShardLayout, TcpExchange};
 use tgraph_query::Session;
 use tgraph_repr::ReprKind;
 use tgraph_storage::{GraphPool, SharedGraph};
@@ -41,6 +41,18 @@ pub struct ServerConfig {
     /// query. Only binding when a budget is set (`TGRAPH_MEM_BYTES` or
     /// `Runtime::set_mem_budget`); with no budget, reservations are free.
     pub query_reserve_bytes: u64,
+    /// This instance's shard index (`0` is the coordinator).
+    pub shard: usize,
+    /// Total shards in the deployment. `1` (the default) serves unsharded.
+    pub shards: usize,
+    /// This shard's exchange listen address (required when `shards > 1`).
+    pub exchange_addr: String,
+    /// Every shard's exchange address, in shard order (required when
+    /// `shards > 1`; this shard's own entry is ignored).
+    pub exchange_peers: Vec<String>,
+    /// Every shard's *serve* address, in shard order. The coordinator uses
+    /// these to broadcast `shard_exec` to its peers; required on shard 0.
+    pub serve_peers: Vec<String>,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +66,11 @@ impl Default for ServerConfig {
             max_queue: 64,
             cache_bytes: 64 << 20,
             query_reserve_bytes: 16 << 20,
+            shard: 0,
+            shards: 1,
+            exchange_addr: String::new(),
+            exchange_peers: Vec::new(),
+            serve_peers: Vec::new(),
         }
     }
 }
@@ -70,15 +87,55 @@ pub struct Server {
     metrics: ServerMetrics,
     shutdown: AtomicBool,
     started: Instant,
+    /// Monotonic exchange-epoch counter (coordinator only): each sharded
+    /// query gets a fresh epoch so frame sequence numbers never collide.
+    epoch: AtomicU64,
+    /// Serializes sharded executions: exchange sequence numbers align across
+    /// shards only when every shard runs one wave sequence at a time.
+    shard_lock: Mutex<()>,
 }
 
 impl Server {
     /// Binds the listener and builds the shared state. No graph is loaded
     /// yet; use [`Server::preload`] to warm the pool before serving.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
+        if config.shards > 1 {
+            if config.shard >= config.shards {
+                return Err(invalid(format!(
+                    "shard index {} out of range 0..{}",
+                    config.shard, config.shards
+                )));
+            }
+            if config.exchange_peers.len() != config.shards {
+                return Err(invalid(format!(
+                    "need {} exchange peer addresses (one per shard, in shard order), got {}",
+                    config.shards,
+                    config.exchange_peers.len()
+                )));
+            }
+            if config.shard == 0 && config.serve_peers.len() != config.shards {
+                return Err(invalid(format!(
+                    "coordinator needs {} serve peer addresses (one per shard, in shard order), got {}",
+                    config.shards,
+                    config.serve_peers.len()
+                )));
+            }
+        }
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let rt = Runtime::with_partitions(config.workers, config.partitions);
+        if config.shards > 1 {
+            let (ex_listener, _) = TcpExchange::bind(&config.exchange_addr)?;
+            let exchange = TcpExchange::start(
+                ex_listener,
+                ShardLayout::new(config.shard, config.shards),
+                config.exchange_peers.clone(),
+                rt.exchange_counters(),
+                tgraph_dataflow::exchange::timeout_from_env(),
+            )?;
+            rt.set_exchange(exchange);
+        }
         // Queries reserve bytes against the same governor the dataflow
         // charges shuffles to: admission is memory-aware, not just a count.
         let admission = Admission::with_governor(
@@ -95,6 +152,8 @@ impl Server {
             metrics: ServerMetrics::default(),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
+            epoch: AtomicU64::new(0),
+            shard_lock: Mutex::new(()),
             listener,
             config,
         })
@@ -224,11 +283,24 @@ impl Server {
                 .to_string()
             }
             Ok(Request::Stats) => self.stats_response(),
-            Ok(Request::Zoom(req)) => self.handle_zoom(&req),
+            Ok(Request::Zoom(req)) => self.handle_zoom(&req, line),
+            Ok(Request::ShardExec { epoch, zoom }) => self.handle_shard_exec(epoch, &zoom),
         }
     }
 
-    fn handle_zoom(&self, req: &ZoomRequest) -> String {
+    /// `line` is the raw request text: the coordinator embeds it verbatim in
+    /// the `shard_exec` broadcast so every shard parses the identical query.
+    fn handle_zoom(&self, req: &ZoomRequest, line: &str) -> String {
+        if self.config.shards > 1 && self.config.shard != 0 {
+            ServerMetrics::bump(&self.metrics.zoom_rejected);
+            return error_response(
+                "not_coordinator",
+                &format!(
+                    "shard {} of {} does not accept zoom queries; send them to shard 0",
+                    self.config.shard, self.config.shards
+                ),
+            );
+        }
         let t0 = Instant::now();
         let deadline = req.deadline_ms.map(|ms| t0 + Duration::from_millis(ms));
         // An already-expired deadline is rejected before any graph load,
@@ -277,21 +349,37 @@ impl Server {
         };
         let exec0 = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            token.scope(|| self.execute_steps(&shared, req))
+            token.scope(|| {
+                if self.config.shards > 1 {
+                    self.execute_steps_sharded(&shared, req, line)
+                } else {
+                    Ok((self.execute_steps(&shared, req), Vec::new()))
+                }
+            })
         }));
         drop(permit);
         let exec = exec0.elapsed();
         match outcome {
-            Err(_panic) => {
+            Err(panic) => {
                 ServerMetrics::bump(&self.metrics.zoom_rejected);
-                error_response("internal", "execution panicked; see server log")
+                error_response(
+                    "internal",
+                    &format!("execution panicked: {}", panic_detail(&*panic)),
+                )
             }
             Ok(Err(_cancelled)) => {
                 ServerMetrics::bump(&self.metrics.zoom_cancelled);
                 error_response("cancelled", "deadline expired during execution")
             }
-            Ok(Ok(result)) => {
+            Ok(Ok(Err((kind, message)))) => {
+                ServerMetrics::bump(&self.metrics.zoom_rejected);
+                error_response(&kind, &message)
+            }
+            Ok(Ok(Ok((result, replies)))) => {
                 let bytes: Arc<[u8]> = serialize_tgraph(&result).into_bytes().into();
+                if let Some(divergence) = self.check_shard_agreement(&bytes, &replies) {
+                    return divergence;
+                }
                 if !req.no_cache {
                     self.cache.insert(&key, Arc::clone(&bytes));
                 }
@@ -299,6 +387,166 @@ impl Server {
                 self.metrics.exec_latency.record(exec);
                 self.metrics.total_latency.record(t0.elapsed());
                 zoom_response("miss", t0.elapsed(), exec, &key, &bytes)
+            }
+        }
+    }
+
+    /// Runs one zoom across every shard: broadcast `shard_exec` to the
+    /// peers, execute our own partition slots (the exchange interleaves the
+    /// shuffle waves), then collect each peer's result digest.
+    ///
+    /// The error value is a `(kind, message)` pair for [`error_response`].
+    fn execute_steps_sharded(
+        &self,
+        shared: &SharedGraph,
+        req: &ZoomRequest,
+        line: &str,
+    ) -> Result<(TGraph, Vec<PeerReply>), (String, String)> {
+        let peer_err =
+            |addr: &str, what: String| ("shard_peer".to_string(), format!("peer {addr}: {what}"));
+        let _guard = self.shard_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let timeout = tgraph_dataflow::exchange::timeout_from_env();
+        // Kick every peer off before executing locally: the first local
+        // shuffle wave blocks in the exchange until the peers reach theirs.
+        let mut conns = Vec::new();
+        for (s, addr) in self.config.serve_peers.iter().enumerate() {
+            if s == self.config.shard {
+                continue;
+            }
+            let sockaddr = addr
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut a| a.next())
+                .ok_or_else(|| peer_err(addr, "unresolvable address".to_string()))?;
+            let mut stream = TcpStream::connect_timeout(&sockaddr, timeout)
+                .map_err(|e| peer_err(addr, format!("connect: {e}")))?;
+            let _ = stream.set_nodelay(true);
+            // Peers answer only after their whole execution finishes; give
+            // them the exchange timeout twice over before declaring death.
+            let _ = stream.set_read_timeout(Some(timeout.saturating_mul(2)));
+            let msg = format!(
+                "{{\"op\":\"shard_exec\",\"epoch\":{epoch},\"zoom\":{}}}\n",
+                line.trim()
+            );
+            stream
+                .write_all(msg.as_bytes())
+                .and_then(|()| stream.flush())
+                .map_err(|e| peer_err(addr, format!("send: {e}")))?;
+            conns.push((s, addr.as_str(), stream));
+        }
+        // Distinct epochs keep this query's frame sequence numbers disjoint
+        // from every earlier query's, on every shard.
+        self.rt.set_exchange_seq_base(epoch << 32);
+        let result = self.execute_steps(shared, req);
+        let mut replies = Vec::new();
+        for (s, addr, stream) in conns {
+            let mut reader = BufReader::new(stream);
+            let mut reply = String::new();
+            reader
+                .read_line(&mut reply)
+                .map_err(|e| peer_err(addr, format!("reply: {e}")))?;
+            if reply.trim().is_empty() {
+                return Err(peer_err(addr, "disconnected before replying".to_string()));
+            }
+            let v = crate::json::parse(reply.trim())
+                .map_err(|e| peer_err(addr, format!("unparseable reply: {}", e.message)))?;
+            if v.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err(peer_err(
+                    addr,
+                    format!("shard {s} failed: {}", reply.trim()),
+                ));
+            }
+            let bytes = v
+                .get("result_bytes")
+                .and_then(Json::as_i64)
+                .filter(|n| *n >= 0)
+                .ok_or_else(|| peer_err(addr, "reply missing result_bytes".to_string()))?;
+            let checksum = v
+                .get("result_checksum")
+                .and_then(Json::as_str)
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or_else(|| peer_err(addr, "reply missing result_checksum".to_string()))?;
+            replies.push(PeerReply {
+                shard: s,
+                bytes: bytes as u64,
+                checksum,
+            });
+        }
+        Ok((result, replies))
+    }
+
+    /// Cross-verifies the coordinator's serialized result against every
+    /// peer's digest. Any mismatch fails the query loudly — a sharded
+    /// deployment must be byte-indistinguishable from a single process.
+    fn check_shard_agreement(&self, bytes: &[u8], replies: &[PeerReply]) -> Option<String> {
+        let own_len = bytes.len() as u64;
+        let own_sum = tgraph_dataflow::checksum(bytes);
+        for r in replies {
+            if r.bytes != own_len || r.checksum != own_sum {
+                ServerMetrics::bump(&self.metrics.zoom_rejected);
+                return Some(error_response(
+                    "shard_divergence",
+                    &format!(
+                        "shard {} produced {} bytes (checksum {:016x}); \
+                         coordinator produced {} bytes (checksum {:016x})",
+                        r.shard, r.bytes, r.checksum, own_len, own_sum
+                    ),
+                ));
+            }
+        }
+        None
+    }
+
+    /// Executes this shard's slots of a coordinator-driven query. Bypasses
+    /// cache, admission, and deadlines on purpose: the coordinator already
+    /// arbitrated those, and a peer stalling in a queue would wedge every
+    /// shard's exchange until the wave timeout.
+    fn handle_shard_exec(&self, epoch: u64, req: &ZoomRequest) -> String {
+        if self.config.shards <= 1 {
+            ServerMetrics::bump(&self.metrics.bad_requests);
+            return error_response("bad_request", "shard_exec sent to an unsharded server");
+        }
+        if self.config.shard == 0 {
+            ServerMetrics::bump(&self.metrics.bad_requests);
+            return error_response("bad_request", "shard_exec sent to the coordinator");
+        }
+        let shared = match self.pool.get(&self.rt, &req.graph, req.repr, req.range) {
+            Ok(g) => g,
+            Err(e) => {
+                return error_response(
+                    "not_found",
+                    &format!("cannot load graph '{}' as {}: {e}", req.graph, req.repr),
+                )
+            }
+        };
+        let _guard = self.shard_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.rt.set_exchange_seq_base(epoch << 32);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.execute_steps(&shared, req)
+        }));
+        match outcome {
+            Err(panic) => error_response(
+                "internal",
+                &format!(
+                    "shard {} execution failed: {}",
+                    self.config.shard,
+                    panic_detail(&*panic)
+                ),
+            ),
+            Ok(result) => {
+                let bytes = serialize_tgraph(&result).into_bytes();
+                Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("epoch", Json::Int(epoch as i64)),
+                    ("shard", Json::Int(self.config.shard as i64)),
+                    ("result_bytes", Json::Int(bytes.len() as i64)),
+                    (
+                        "result_checksum",
+                        Json::str(format!("{:016x}", tgraph_dataflow::checksum(&bytes))),
+                    ),
+                ])
+                .to_string()
             }
         }
     }
@@ -326,6 +574,8 @@ impl Server {
                 "uptime_ms",
                 Json::Int(self.started.elapsed().as_millis() as i64),
             ),
+            ("shard", Json::Int(self.config.shard as i64)),
+            ("shards", Json::Int(self.config.shards as i64)),
             ("server", self.metrics.to_json()),
             (
                 "cache",
@@ -388,10 +638,39 @@ impl Server {
                     ("peak_bytes", Json::Int(rt.peak_bytes as i64)),
                     ("bytes_spilled", Json::Int(rt.bytes_spilled as i64)),
                     ("spill_files", Json::Int(rt.spill_files as i64)),
+                    ("bytes_exchanged", Json::Int(rt.bytes_exchanged as i64)),
+                    ("frames_sent", Json::Int(rt.frames_sent as i64)),
+                    ("frames_received", Json::Int(rt.frames_received as i64)),
+                    ("exchange_stalls", Json::Int(rt.exchange_stalls as i64)),
                 ]),
             ),
         ])
         .to_string()
+    }
+}
+
+/// One peer's digest of a sharded execution: the coordinator compares these
+/// against its own serialization to prove every shard agreed byte-for-byte.
+struct PeerReply {
+    shard: usize,
+    bytes: u64,
+    checksum: u64,
+}
+
+/// Best-effort rendering of a panic payload. Exchange and spill failures
+/// travel as typed payloads through `panic_any`; surfacing "peer 1 died
+/// mid-wave" beats a bare "execution panicked".
+fn panic_detail(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(e) = panic.downcast_ref::<tgraph_dataflow::ExchangeError>() {
+        e.to_string()
+    } else if let Some(e) = panic.downcast_ref::<tgraph_dataflow::SpillError>() {
+        e.to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "opaque payload; see server log".to_string()
     }
 }
 

@@ -1,0 +1,137 @@
+//! Sharded serving end-to-end: two `Server` instances over real TCP, each
+//! owning half the partition slots and exchanging shuffle buckets
+//! peer-to-peer, must answer a zoom byte-identically to a single process.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use tgraph_core::graph::figure1_graph_stable_ids;
+use tgraph_serve::{Server, ServerConfig};
+use tgraph_storage::write_dataset;
+
+fn roundtrip(addr: std::net::SocketAddr, line: &str) -> String {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    writer
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("send");
+    writer.flush().expect("flush");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("receive");
+    response.trim_end().to_string()
+}
+
+/// Reserves an ephemeral localhost port by binding and dropping a listener.
+/// The tiny reuse race is acceptable for a test; listeners that never
+/// accepted have no TIME_WAIT state.
+fn reserve_port() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("reserve");
+    format!("127.0.0.1:{}", listener.local_addr().expect("addr").port())
+}
+
+fn result_suffix(response: &str) -> &str {
+    let at = response.find("\"result\":").expect("result field");
+    &response[at..]
+}
+
+const ZOOM: &str = r#"{"op":"zoom","graph":"fig1","repr":"ve","steps":[{"azoom":{"by":"school","new_type":"school","aggs":[{"output":"students","fn":"count"}]}}]}"#;
+
+#[test]
+fn two_shard_deployment_answers_byte_identically_to_single_process() {
+    let dir = std::env::temp_dir().join("tgraph-sharded-e2e");
+    write_dataset(&dir, "fig1", &figure1_graph_stable_ids()).expect("write dataset");
+
+    // Single-process baseline over the same dataset and partition count.
+    let single = Arc::new(
+        Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: dir.clone(),
+            workers: 2,
+            partitions: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind single"),
+    );
+    let baseline = single.handle_line(ZOOM);
+    assert!(baseline.contains("\"ok\":true"), "{baseline}");
+
+    // Two shards: exchange addresses must be known to both sides up front,
+    // so reserve concrete ports; serve addresses can stay ephemeral because
+    // only the coordinator dials peers (and skips its own entry).
+    let exchange = vec![reserve_port(), reserve_port()];
+    let shard1 = Arc::new(
+        Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: dir.clone(),
+            workers: 2,
+            partitions: 2,
+            shard: 1,
+            shards: 2,
+            exchange_addr: exchange[1].clone(),
+            exchange_peers: exchange.clone(),
+            ..ServerConfig::default()
+        })
+        .expect("bind shard 1"),
+    );
+    let addr1 = shard1.local_addr().expect("addr1");
+    let shard0 = Arc::new(
+        Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: dir.clone(),
+            workers: 2,
+            partitions: 2,
+            shard: 0,
+            shards: 2,
+            exchange_addr: exchange[0].clone(),
+            exchange_peers: exchange.clone(),
+            // Entry 0 is this shard's own slot; it is never dialed.
+            serve_peers: vec!["127.0.0.1:1".to_string(), addr1.to_string()],
+            ..ServerConfig::default()
+        })
+        .expect("bind shard 0"),
+    );
+    let addr0 = shard0.local_addr().expect("addr0");
+    let threads = [&shard0, &shard1].map(|s| {
+        let s = Arc::clone(s);
+        std::thread::spawn(move || s.serve())
+    });
+
+    // The coordinator's answer is byte-identical to the single process.
+    let sharded = roundtrip(addr0, ZOOM);
+    assert!(sharded.contains("\"ok\":true"), "{sharded}");
+    assert!(sharded.contains("\"cache\":\"miss\""), "{sharded}");
+    assert_eq!(result_suffix(&baseline), result_suffix(&sharded));
+
+    // Replays hit the coordinator's cache without a fresh broadcast, and
+    // stay byte-identical.
+    let replay = roundtrip(addr0, ZOOM);
+    assert!(replay.contains("\"cache\":\"hit\""), "{replay}");
+    assert_eq!(result_suffix(&baseline), result_suffix(&replay));
+
+    // The shuffle really crossed the wire on both sides.
+    for (server, who) in [(&shard0, "coordinator"), (&shard1, "peer")] {
+        let stats = server.runtime().stats();
+        assert!(stats.frames_sent > 0, "{who} sent no frames");
+        assert!(stats.bytes_exchanged > 0, "{who} exchanged no bytes");
+    }
+
+    // Non-coordinator shards refuse plain zooms instead of wedging the
+    // exchange waiting for waves nobody coordinated.
+    let refused = roundtrip(addr1, ZOOM);
+    assert!(
+        refused.contains("\"kind\":\"not_coordinator\""),
+        "{refused}"
+    );
+
+    // An unsharded server refuses shard_exec outright.
+    let stray = single.handle_line(&format!(r#"{{"op":"shard_exec","epoch":1,"zoom":{ZOOM}}}"#));
+    assert!(stray.contains("\"kind\":\"bad_request\""), "{stray}");
+
+    for (addr, thread) in [addr0, addr1].into_iter().zip(threads) {
+        let bye = roundtrip(addr, r#"{"op":"shutdown"}"#);
+        assert!(bye.contains("\"shutting_down\":true"), "{bye}");
+        thread.join().expect("serve thread").expect("serve loop");
+    }
+}
