@@ -1,0 +1,188 @@
+//! `tgraph-model` — deterministic model checker for the exchange protocol.
+//!
+//! Usage:
+//!
+//! ```text
+//! tgraph-model [--shards N] [--op route|gather] [--frames N]
+//!              [--depth N] [--budget N]
+//!              [--kills N] [--corrupts N] [--drops N] [--dups N]
+//!              [--mutants] [--replay SEED] [--trace-out PATH]
+//! ```
+//!
+//! Default mode explores the real protocol logic and exits non-zero on any
+//! invariant violation (writing the counterexample trace to `--trace-out`
+//! if given). `--mutants` additionally runs the seeded-mutant self-test:
+//! every mutant must be caught. `--replay SEED` re-runs a counterexample
+//! seed and prints its byte-identical trace.
+
+use std::process::ExitCode;
+
+use tgraph_analyze::model::{explore, mutant_suite, replay, ModelConfig, ModelOp};
+
+struct Args {
+    cfg: ModelConfig,
+    mutants: bool,
+    replay: Option<String>,
+    trace_out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cfg: ModelConfig::default(),
+        mutants: false,
+        replay: None,
+        trace_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--shards" => args.cfg.shards = parse_num(&value("--shards")?)?,
+            "--frames" => args.cfg.frames_per_peer = parse_num(&value("--frames")?)?,
+            "--depth" => args.cfg.depth = parse_num(&value("--depth")?)?,
+            "--budget" => args.cfg.max_states = parse_num(&value("--budget")?)?,
+            "--kills" => args.cfg.kills = parse_num(&value("--kills")?)? as u32,
+            "--corrupts" => args.cfg.corrupts = parse_num(&value("--corrupts")?)? as u32,
+            "--drops" => args.cfg.drops = parse_num(&value("--drops")?)? as u32,
+            "--dups" => args.cfg.dups = parse_num(&value("--dups")?)? as u32,
+            "--op" => {
+                args.cfg.op = match value("--op")?.as_str() {
+                    "route" => ModelOp::Route,
+                    "gather" => ModelOp::Gather,
+                    other => return Err(format!("unknown --op `{other}` (route|gather)")),
+                }
+            }
+            "--mutants" => args.mutants = true,
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--help" | "-h" => {
+                println!(
+                    "tgraph-model: exchange protocol model checker\n\
+                     flags: --shards N --op route|gather --frames N --depth N --budget N\n\
+                     \x20      --kills N --corrupts N --drops N --dups N\n\
+                     \x20      --mutants --replay SEED --trace-out PATH"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if args.cfg.shards < 2 {
+        return Err("--shards must be >= 2".to_string());
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .map_err(|_| format!("`{s}` is not a number"))
+}
+
+fn save_trace(trace_out: Option<&str>, trace: &str) {
+    if let Some(path) = trace_out {
+        match std::fs::write(path, trace) {
+            Ok(()) => eprintln!("tgraph-model: counterexample trace written to {path}"),
+            Err(e) => eprintln!("tgraph-model: failed to write {path}: {e}"),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tgraph-model: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(seed) = &args.replay {
+        return match replay(seed) {
+            Ok((trace, violation)) => {
+                print!("{trace}");
+                save_trace(args.trace_out.as_deref(), &trace);
+                match violation {
+                    Some(_) => ExitCode::from(1),
+                    None => ExitCode::SUCCESS,
+                }
+            }
+            Err(e) => {
+                eprintln!("tgraph-model: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let mut failed = false;
+
+    let result = explore(&args.cfg);
+    let coverage = if result.complete {
+        "state space exhausted"
+    } else {
+        "bounded (frontier truncated)"
+    };
+    match &result.violation {
+        None => println!(
+            "tgraph-model: real logic clean — {} shard(s), {} state(s) visited, {coverage}",
+            args.cfg.shards, result.states
+        ),
+        Some(cex) => {
+            failed = true;
+            println!(
+                "tgraph-model: INVARIANT VIOLATION on real logic after {} state(s):",
+                result.states
+            );
+            print!("{}", cex.trace);
+            save_trace(args.trace_out.as_deref(), &cex.trace);
+        }
+    }
+
+    if args.mutants {
+        let mut traces = String::new();
+        for outcome in mutant_suite() {
+            match &outcome.caught {
+                Some(cex) => {
+                    println!(
+                        "tgraph-model: mutant {:<26} caught ({}, {} state(s)) seed {}",
+                        outcome.mutation.name(),
+                        violation_code(&cex.violation),
+                        outcome.states,
+                        cex.seed
+                    );
+                    traces.push_str(&cex.trace);
+                    traces.push('\n');
+                }
+                None => {
+                    failed = true;
+                    println!(
+                        "tgraph-model: mutant {:<26} ESCAPED after {} state(s) — invariant blind spot",
+                        outcome.mutation.name(),
+                        outcome.states
+                    );
+                }
+            }
+        }
+        if failed {
+            save_trace(args.trace_out.as_deref(), &traces);
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn violation_code(v: &tgraph_analyze::model::Violation) -> &'static str {
+    use tgraph_analyze::model::Violation;
+    match v {
+        Violation::Deadlock { .. } => "I1 deadlock",
+        Violation::WrongFrames { .. } => "I2 wrong frames",
+        Violation::FailedWithoutFault { .. } => "I3 unprovoked failure",
+        Violation::CleanFinPeerFailed { .. } => "I4 clean-FIN failed",
+        Violation::CorruptionUndetected { .. } => "I5 undetected corruption",
+    }
+}

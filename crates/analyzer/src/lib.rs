@@ -21,16 +21,30 @@
 //!   same claims dynamically, record by record, at every elision point — and
 //!   representation switches validate their TGraph against Definition 2.1.
 //! * [`lint`] enforces repo-level source invariants (`no-unwrap`,
-//!   `no-eager-collect`, `no-raw-retag`) via the `tgraph-lint` binary:
+//!   `no-eager-collect`, `no-raw-retag`, and the concurrency rules
+//!   `lock-order`, `condvar-wait-in-loop`, `no-blocking-in-reader`,
+//!   `no-inline-poison-recovery`) via the `tgraph-lint` binary:
 //!   `cargo run -p tgraph-analyze --bin tgraph-lint`.
+//! * [`model`] is a deterministic **protocol model checker** for the
+//!   distributed exchange layer: it drives the real
+//!   [`ProtocolCore`](tgraph_dataflow::ProtocolCore) transition logic
+//!   through every interleaving of an N-shard wave (with fault injection)
+//!   and checks deadlock-freedom, frame conservation, typed failure, and
+//!   clean-FIN invariants at every state, printing replayable
+//!   counterexample traces. Run it via the `tgraph-model` binary.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod lint;
+pub mod model;
 pub mod verify;
 
 pub use lint::{lint_source, lint_workspace, Finding, RuleSet};
+pub use model::{
+    explore, mutant_suite, replay, Counterexample, Exploration, ModelConfig, ModelOp,
+    MutantOutcome, Violation,
+};
 pub use verify::{
     analyze, analyze_all, Analysis, Diagnostic, DiagnosticKind, PredictedMovement, Severity,
 };

@@ -1,0 +1,109 @@
+//! Bounded DFS over the machine's interleaving space.
+//!
+//! From the initial [`World`] the explorer enumerates the enabled events of
+//! each state in a fixed deterministic order and recurses depth-first,
+//! deduplicating revisited states on their canonical digest (interleavings
+//! that commute converge on the same state and are explored once). The
+//! search is bounded by an event-depth limit and a visited-state budget;
+//! within those bounds every reachable interleaving — including every
+//! placement of every budgeted fault — is covered, and the `complete` flag
+//! reports whether any frontier was cut.
+//!
+//! Invariants are checked on every applied transition, plus the deadlock
+//! check at every quiescent state (no send or delivery enabled — the point
+//! where the real system would block on its condvar forever). The first
+//! violation aborts the search and is returned with the event-index path
+//! that reaches it, from which [`trace`](super::trace) builds the
+//! replayable seed and the rendered counterexample.
+
+use std::collections::HashSet;
+
+use super::machine::{Violation, World};
+use super::trace::{render_trace, seed_string};
+use super::{Counterexample, Exploration, ModelConfig};
+
+/// Explores every interleaving of `cfg` within its depth and state budget.
+pub(crate) fn explore(cfg: &ModelConfig) -> Exploration {
+    let mut search = Search {
+        cfg,
+        visited: HashSet::new(),
+        states: 0usize,
+        complete: true,
+    };
+    let root = World::new(cfg);
+    let mut digest = Vec::new();
+    root.digest(&mut digest);
+    search.visited.insert(digest);
+    search.states = 1;
+    let mut path = Vec::new();
+    let violation = search.dfs(&root, &mut path, 0);
+    Exploration {
+        states: search.states,
+        complete: search.complete,
+        violation: violation.map(|(path, violation)| {
+            let seed = seed_string(cfg, &path);
+            let trace = render_trace(cfg, &path, &violation);
+            Counterexample {
+                seed,
+                violation,
+                trace,
+            }
+        }),
+    }
+}
+
+struct Search<'a> {
+    cfg: &'a ModelConfig,
+    visited: HashSet<Vec<u8>>,
+    states: usize,
+    complete: bool,
+}
+
+impl Search<'_> {
+    fn dfs(
+        &mut self,
+        world: &World,
+        path: &mut Vec<usize>,
+        depth: usize,
+    ) -> Option<(Vec<usize>, Violation)> {
+        let events = world.enabled();
+        if !events.iter().any(|e| e.is_protocol()) {
+            // Quiescent: the real system is either done or blocked on its
+            // condvar with nothing in flight.
+            if let Some(v) = world.check_quiescent() {
+                return Some((path.clone(), v));
+            }
+        }
+        if events.is_empty() {
+            return None;
+        }
+        if depth >= self.cfg.depth {
+            self.complete = false;
+            return None;
+        }
+        for (idx, ev) in events.iter().enumerate() {
+            let mut next = world.clone();
+            path.push(idx);
+            if let Some(v) = next.apply(*ev) {
+                let hit = (path.clone(), v);
+                path.pop();
+                return Some(hit);
+            }
+            let mut digest = Vec::new();
+            next.digest(&mut digest);
+            if self.visited.insert(digest) {
+                if self.states >= self.cfg.max_states {
+                    self.complete = false;
+                } else {
+                    self.states += 1;
+                    if let Some(hit) = self.dfs(&next, path, depth + 1) {
+                        path.pop();
+                        return Some(hit);
+                    }
+                }
+            }
+            path.pop();
+        }
+        None
+    }
+}

@@ -1,0 +1,718 @@
+//! The abstract machine: one N-shard exchange wave as a small-step
+//! transition system.
+//!
+//! Each shard runs the *real* inbound transition logic — a
+//! [`ProtocolCore`] from `tgraph-dataflow`, the same type the production
+//! `TcpExchange` inbox wraps — while the outbound side (per-peer sends,
+//! connection open, teardown) and the network are modeled abstractly:
+//!
+//! * One FIFO channel per ordered shard pair, mirroring one TCP connection
+//!   per direction: within a channel order is preserved (TCP guarantees
+//!   it); across channels delivery interleaves arbitrarily (the explorer
+//!   enumerates every interleaving).
+//! * A shard's send to one peer is a single atomic step that enqueues the
+//!   connection handshake (`Hello`), that peer's data frames, and the
+//!   counted FIN — mirroring `TcpExchange::ship`, which writes a peer's
+//!   whole batch before moving to the next peer, in ascending peer order.
+//! * Faults consume from a bounded budget: `Kill` (peer death at any
+//!   protocol state, with EOF teardown on opened connections), and
+//!   `Corrupt`/`Drop`/`Dup` of in-flight data frames (the codec-allowed
+//!   corruptions: checksum divergence, mid-stream loss, stream
+//!   duplication). FIN sentinels are never faulted directly — losing a FIN
+//!   is indistinguishable from a slow peer and is the wall-clock timeout's
+//!   job, which the model treats as out of scope (see `excused` below).
+//!
+//! Invariants are checked at every transition and at quiescence; a failed
+//! check aborts exploration with a [`Violation`].
+
+use std::collections::VecDeque;
+
+use tgraph_dataflow::{ExchangeError, Frame, PollOutcome, ProtocolCore};
+
+use super::{ModelConfig, ModelOp};
+
+/// The single wave sequence number the model explores.
+pub(crate) const SEQ: u64 = 1;
+
+/// An invariant violation found in some explored state. Each variant is one
+/// of the checked protocol guarantees.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// **I1 — no deadlock.** At quiescence (no send or delivery enabled) a
+    /// shard was still awaiting FINs that can no longer arrive, and the
+    /// hang is not the legitimate wall-clock-timeout case (a peer that died
+    /// before its connection ever reached the waiter).
+    Deadlock {
+        /// The stuck shard.
+        shard: usize,
+        /// Peers whose FINs are missing without excuse.
+        missing: Vec<usize>,
+    },
+    /// **I2 — no lost or duplicated frame.** A wave completed `Ok` but its
+    /// drained frames are not exactly the expected multiset.
+    WrongFrames {
+        /// The completing shard.
+        shard: usize,
+        /// What differed.
+        detail: String,
+    },
+    /// **I3 — failures are fault-induced.** A wave failed although no fault
+    /// was injected anywhere in the trace: the protocol lost a frame or
+    /// poisoned itself on clean traffic.
+    FailedWithoutFault {
+        /// The failing shard.
+        shard: usize,
+        /// The typed error it failed with.
+        error: String,
+    },
+    /// **I4 — clean-FIN peers never fail a wave.** A wave failed
+    /// `PeerDied(p)` although `p`'s FIN had already been delivered: a peer
+    /// that finished cleanly and then died must not poison the wave.
+    CleanFinPeerFailed {
+        /// The failing shard.
+        shard: usize,
+        /// The peer that had already FINed cleanly.
+        peer: usize,
+    },
+    /// **I5 — checksum divergence is always detected.** A corrupted frame
+    /// was delivered to a shard and its wave still completed `Ok`.
+    CorruptionUndetected {
+        /// The shard that absorbed the corruption silently.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Deadlock { shard, missing } => write!(
+                f,
+                "I1 deadlock: shard {shard} awaits FINs from {missing:?} that can never arrive"
+            ),
+            Violation::WrongFrames { shard, detail } => {
+                write!(
+                    f,
+                    "I2 wrong frames: shard {shard} completed Ok but {detail}"
+                )
+            }
+            Violation::FailedWithoutFault { shard, error } => write!(
+                f,
+                "I3 unprovoked failure: shard {shard} failed with no injected fault: {error}"
+            ),
+            Violation::CleanFinPeerFailed { shard, peer } => write!(
+                f,
+                "I4 clean-FIN peer failed a wave: shard {shard} failed PeerDied({peer}) \
+                 although shard {peer}'s FIN was already delivered"
+            ),
+            Violation::CorruptionUndetected { shard } => write!(
+                f,
+                "I5 undetected corruption: shard {shard} completed Ok after a corrupt frame \
+                 was delivered to it"
+            ),
+        }
+    }
+}
+
+/// One message on a directed channel. `Hello` models the TCP connect plus
+/// `TGXH` handshake; `Eof` models the connection closing (peer death or
+/// teardown after a failed wave).
+#[derive(Clone, Debug)]
+pub(crate) enum Msg {
+    /// Connection open + handshake identifying the sender shard.
+    Hello,
+    /// A data frame.
+    Data(Frame),
+    /// The counted FIN sentinel.
+    Fin(Frame),
+    /// Connection closed by the sender side.
+    Eof,
+}
+
+impl Msg {
+    fn tag(&self) -> u8 {
+        match self {
+            Msg::Hello => 0,
+            Msg::Data(_) => 1,
+            Msg::Fin(_) => 2,
+            Msg::Eof => 3,
+        }
+    }
+}
+
+/// One directed channel (one TCP connection): FIFO, opened by the sender's
+/// per-peer send step.
+#[derive(Clone, Debug, Default)]
+struct Chan {
+    opened: bool,
+    queue: VecDeque<Msg>,
+}
+
+/// Where a shard is in its wave.
+#[derive(Clone, Debug)]
+enum Phase {
+    /// Still pushing per-peer batches; `next` is the next peer index to
+    /// send to (ascending, skipping self — the order `ship` uses).
+    Sending {
+        /// Next peer to send to.
+        next: usize,
+    },
+    /// All batches sent; looping `ProtocolCore::poll` under the condvar.
+    Awaiting,
+    /// Wave completed; frames drained and verified.
+    DoneOk,
+    /// Wave failed with a typed error.
+    DoneErr(ExchangeError),
+    /// Killed by fault injection.
+    Killed,
+}
+
+impl Phase {
+    fn digest_tag(&self) -> u8 {
+        match self {
+            Phase::Sending { .. } => 0,
+            Phase::Awaiting => 1,
+            Phase::DoneOk => 2,
+            Phase::DoneErr(_) => 3,
+            Phase::Killed => 4,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Shard {
+    core: ProtocolCore,
+    phase: Phase,
+}
+
+/// One schedulable step. The explorer enumerates the enabled events of a
+/// state in a deterministic order; a trace is the sequence of chosen
+/// indices into that enumeration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Event {
+    /// Shard `shard` pushes its next per-peer batch (or fails typed if that
+    /// peer is dead).
+    Send {
+        /// The sending shard.
+        shard: usize,
+    },
+    /// The receiver-side reader consumes the head message of channel
+    /// `from -> to`.
+    Deliver {
+        /// Sending end of the channel.
+        from: usize,
+        /// Receiving end of the channel.
+        to: usize,
+    },
+    /// Fault: shard dies at its current protocol state.
+    Kill {
+        /// The shard to kill.
+        shard: usize,
+    },
+    /// Fault: the head data frame of `from -> to` arrives with a diverged
+    /// checksum.
+    Corrupt {
+        /// Sending end of the channel.
+        from: usize,
+        /// Receiving end of the channel.
+        to: usize,
+    },
+    /// Fault: the head data frame of `from -> to` is lost in transit.
+    Drop {
+        /// Sending end of the channel.
+        from: usize,
+        /// Receiving end of the channel.
+        to: usize,
+    },
+    /// Fault: the head data frame of `from -> to` is duplicated in-stream.
+    Dup {
+        /// Sending end of the channel.
+        from: usize,
+        /// Receiving end of the channel.
+        to: usize,
+    },
+}
+
+impl Event {
+    /// Whether this event is a protocol step (send/deliver) rather than an
+    /// injected fault. Quiescence is "no protocol step enabled".
+    pub(crate) fn is_protocol(&self) -> bool {
+        matches!(self, Event::Send { .. } | Event::Deliver { .. })
+    }
+}
+
+impl std::fmt::Display for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Event::Send { shard } => write!(f, "send: shard {shard} pushes its next peer batch"),
+            Event::Deliver { from, to } => write!(f, "deliver: head of channel {from} -> {to}"),
+            Event::Kill { shard } => write!(f, "fault: kill shard {shard}"),
+            Event::Corrupt { from, to } => {
+                write!(f, "fault: corrupt head data frame of {from} -> {to}")
+            }
+            Event::Drop { from, to } => write!(f, "fault: drop head data frame of {from} -> {to}"),
+            Event::Dup { from, to } => {
+                write!(f, "fault: duplicate head data frame of {from} -> {to}")
+            }
+        }
+    }
+}
+
+/// Full model state: N shards (each embedding a real [`ProtocolCore`]),
+/// the channel matrix, remaining fault budgets, and the ground-truth
+/// delivery flags the invariants compare the cores against.
+#[derive(Clone, Debug)]
+pub(crate) struct World {
+    shards: Vec<Shard>,
+    /// `chans[from * n + to]`; the diagonal is unused.
+    chans: Vec<Chan>,
+    op: ModelOp,
+    frames_per_peer: usize,
+    kills: u32,
+    corrupts: u32,
+    drops: u32,
+    dups: u32,
+    faults_used: u32,
+    /// Ground truth: `hello_delivered[to * n + from]` — the handshake of
+    /// `from`'s connection reached `to`'s acceptor.
+    hello_delivered: Vec<bool>,
+    /// Ground truth: `fin_delivered[to * n + from]` — `from`'s FIN was
+    /// handed to `to`'s inbox (regardless of what the core did with it).
+    fin_delivered: Vec<bool>,
+    /// Per receiver: a corrupted frame was delivered to it.
+    corrupted: Vec<bool>,
+}
+
+impl World {
+    /// The initial state for a configuration: every shard about to send its
+    /// first peer batch, channels closed, budgets full.
+    pub(crate) fn new(cfg: &ModelConfig) -> World {
+        let n = cfg.shards;
+        let shards = (0..n)
+            .map(|_| {
+                let mut core = ProtocolCore::new();
+                core.set_mutation(cfg.mutation);
+                Shard {
+                    core,
+                    phase: Phase::Sending { next: 0 },
+                }
+            })
+            .collect();
+        World {
+            shards,
+            chans: (0..n * n).map(|_| Chan::default()).collect(),
+            op: cfg.op,
+            frames_per_peer: cfg.frames_per_peer,
+            kills: cfg.kills,
+            corrupts: cfg.corrupts,
+            drops: cfg.drops,
+            dups: cfg.dups,
+            faults_used: 0,
+            hello_delivered: vec![false; n * n],
+            fin_delivered: vec![false; n * n],
+            corrupted: vec![false; n],
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The data frames shard `src` sends to peer `dst` under the configured
+    /// operation, in send order. Payloads are deterministic functions of
+    /// `(src, bucket)` so the completion invariant can check content, not
+    /// just keys.
+    fn batch(&self, src: usize, dst: usize) -> Vec<Frame> {
+        let f = self.frames_per_peer as u64;
+        let (src64, dst64) = (src as u64, dst as u64);
+        let buckets: Vec<u64> = match self.op {
+            // Route: one frame per destination-owned bucket; shard `p` owns
+            // buckets [p*f, (p+1)*f).
+            ModelOp::Route => (dst64 * f..(dst64 + 1) * f).collect(),
+            // Gather: broadcast of the sender's own frames; bucket ids are
+            // tiled by sender so (src, bucket) keys stay globally unique.
+            ModelOp::Gather => (src64 * f..(src64 + 1) * f).collect(),
+        };
+        buckets
+            .into_iter()
+            .map(|bucket| Frame {
+                seq: SEQ,
+                src: src64,
+                bucket,
+                records: 1,
+                payload: vec![src as u8, bucket as u8],
+            })
+            .collect()
+    }
+
+    /// The exact multiset of remote frames shard `me` must hold when its
+    /// wave completes: every peer's batch addressed to it.
+    fn expected_frames(&self, me: usize) -> Vec<(u64, u64, u64, Vec<u8>)> {
+        let mut want: Vec<(u64, u64, u64, Vec<u8>)> = (0..self.n())
+            .filter(|s| *s != me)
+            .flat_map(|s| self.batch(s, me))
+            .map(|f| (f.src, f.bucket, f.records, f.payload))
+            .collect();
+        want.sort();
+        want
+    }
+
+    /// Enumerates the enabled events of this state in a deterministic
+    /// order. Traces index into this enumeration.
+    pub(crate) fn enabled(&self) -> Vec<Event> {
+        let n = self.n();
+        let mut out = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            if matches!(shard.phase, Phase::Sending { .. }) {
+                out.push(Event::Send { shard: s });
+            }
+        }
+        for from in 0..n {
+            for to in 0..n {
+                if from != to
+                    && !self.chans[from * n + to].queue.is_empty()
+                    && !matches!(self.shards[to].phase, Phase::Killed)
+                {
+                    out.push(Event::Deliver { from, to });
+                }
+            }
+        }
+        if self.kills > 0 {
+            for (s, shard) in self.shards.iter().enumerate() {
+                if matches!(shard.phase, Phase::Sending { .. } | Phase::Awaiting) {
+                    out.push(Event::Kill { shard: s });
+                }
+            }
+        }
+        // Faults target live in-flight data frames only: a killed
+        // receiver's channel is inert, and FIN sentinels are never faulted
+        // (see the module docs).
+        for from in 0..n {
+            for to in 0..n {
+                if from == to {
+                    continue;
+                }
+                let head_is_data =
+                    matches!(self.chans[from * n + to].queue.front(), Some(Msg::Data(_)));
+                if !head_is_data || matches!(self.shards[to].phase, Phase::Killed) {
+                    continue;
+                }
+                if self.corrupts > 0 {
+                    out.push(Event::Corrupt { from, to });
+                }
+                if self.drops > 0 {
+                    out.push(Event::Drop { from, to });
+                }
+                if self.dups > 0 {
+                    out.push(Event::Dup { from, to });
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies one event. Returns the first invariant violated by the
+    /// resulting transition, if any.
+    pub(crate) fn apply(&mut self, ev: Event) -> Option<Violation> {
+        match ev {
+            Event::Send { shard } => self.step_send(shard),
+            Event::Deliver { from, to } => self.step_deliver(from, to),
+            Event::Kill { shard } => {
+                self.faults_used += 1;
+                self.kills -= 1;
+                self.shards[shard].phase = Phase::Killed;
+                self.close_outgoing(shard);
+                None
+            }
+            Event::Corrupt { from, to } => {
+                self.faults_used += 1;
+                self.corrupts -= 1;
+                let n = self.n();
+                let frame = self.chans[from * n + to].queue.pop_front();
+                let detail = match frame {
+                    Some(Msg::Data(f)) => format!(
+                        "checksum mismatch on frame seq {} src {} bucket {}",
+                        f.seq, f.src, f.bucket
+                    ),
+                    _ => "checksum mismatch".to_string(),
+                };
+                self.corrupted[to] = true;
+                // Mirrors read_frame: a bad checksum is unattributable
+                // framing damage and poisons the whole inbox.
+                self.shards[to].core.poison(ExchangeError::Frame { detail });
+                self.poll_if_awaiting(to)
+            }
+            Event::Drop { from, to } => {
+                self.faults_used += 1;
+                self.drops -= 1;
+                let n = self.n();
+                self.chans[from * n + to].queue.pop_front();
+                None
+            }
+            Event::Dup { from, to } => {
+                self.faults_used += 1;
+                self.dups -= 1;
+                let n = self.n();
+                let chan = &mut self.chans[from * n + to];
+                if let Some(Msg::Data(f)) = chan.queue.front() {
+                    let copy = Msg::Data(f.clone());
+                    chan.queue.insert(1, copy);
+                }
+                None
+            }
+        }
+    }
+
+    /// Shard `s` pushes its batch to the next peer in ascending order, or
+    /// fails typed if that peer's endpoint is dead (connect/write error).
+    fn step_send(&mut self, s: usize) -> Option<Violation> {
+        let n = self.n();
+        let next = match self.shards[s].phase {
+            Phase::Sending { next } => next,
+            // Enumeration only enables Send for Sending shards.
+            _ => return None,
+        };
+        let target = if next == s { next + 1 } else { next };
+        if target >= n {
+            self.shards[s].phase = Phase::Awaiting;
+            return self.poll_if_awaiting(s);
+        }
+        if matches!(self.shards[target].phase, Phase::Killed) {
+            let err = ExchangeError::Io {
+                op: "write",
+                peer: format!("shard {target}"),
+                error: "connection refused (peer dead)".to_string(),
+            };
+            return self.fail_shard(s, err);
+        }
+        let batch = self.batch(s, target);
+        let sent = batch.len() as u64;
+        let chan = &mut self.chans[s * n + target];
+        chan.opened = true;
+        chan.queue.push_back(Msg::Hello);
+        for f in batch {
+            chan.queue.push_back(Msg::Data(f));
+        }
+        chan.queue
+            .push_back(Msg::Fin(Frame::fin(SEQ, s as u64, sent)));
+        let mut next = target + 1;
+        if next == s {
+            next += 1;
+        }
+        if next >= n {
+            self.shards[s].phase = Phase::Awaiting;
+            return self.poll_if_awaiting(s);
+        }
+        self.shards[s].phase = Phase::Sending { next };
+        None
+    }
+
+    /// Delivers the head message of channel `from -> to` into the
+    /// receiver's reader, mirroring `reader_loop`.
+    fn step_deliver(&mut self, from: usize, to: usize) -> Option<Violation> {
+        let n = self.n();
+        let msg = self.chans[from * n + to].queue.pop_front()?;
+        match msg {
+            Msg::Hello => {
+                self.hello_delivered[to * n + from] = true;
+            }
+            Msg::Data(f) => {
+                // A detected violation poisons the core internally; the
+                // reader just stops trusting the stream.
+                let _ = self.shards[to].core.deposit(from as u64, f);
+            }
+            Msg::Fin(f) => {
+                self.fin_delivered[to * n + from] = true;
+                let _ = self.shards[to].core.deposit(from as u64, f);
+            }
+            Msg::Eof => {
+                if self.hello_delivered[to * n + from] {
+                    // Identified peer died: fail only its un-FINed waves.
+                    self.shards[to].core.mark_shard_dead(
+                        from as u64,
+                        ExchangeError::PeerDied {
+                            peer: format!("shard {from}"),
+                            detail: "connection closed mid-wave".to_string(),
+                        },
+                    );
+                } else {
+                    // Pre-handshake death is unattributable: poison.
+                    self.shards[to].core.poison(ExchangeError::PeerDied {
+                        peer: format!("unidentified peer on shard {to}"),
+                        detail: "EOF before handshake".to_string(),
+                    });
+                }
+            }
+        }
+        self.poll_if_awaiting(to)
+    }
+
+    /// Runs one `ProtocolCore::poll` for shard `s` if it is in the condvar
+    /// loop, applying the completion/failure invariants on the outcome.
+    /// This is exactly when the real inbox polls: the condvar wakes on
+    /// every push.
+    fn poll_if_awaiting(&mut self, s: usize) -> Option<Violation> {
+        if !matches!(self.shards[s].phase, Phase::Awaiting) {
+            return None;
+        }
+        let want = self.n() - 1;
+        match self.shards[s].core.poll(SEQ, want) {
+            PollOutcome::Pending => None,
+            PollOutcome::Ready(frames) => {
+                self.shards[s].phase = Phase::DoneOk;
+                if self.corrupted[s] {
+                    return Some(Violation::CorruptionUndetected { shard: s });
+                }
+                let mut got: Vec<(u64, u64, u64, Vec<u8>)> = frames
+                    .into_iter()
+                    .map(|f| (f.src, f.bucket, f.records, f.payload))
+                    .collect();
+                got.sort();
+                let want = self.expected_frames(s);
+                if got != want {
+                    let detail = format!(
+                        "drained {} frame(s) {:?}, expected {} frame(s) {:?}",
+                        got.len(),
+                        got.iter().map(|g| (g.0, g.1)).collect::<Vec<_>>(),
+                        want.len(),
+                        want.iter().map(|w| (w.0, w.1)).collect::<Vec<_>>(),
+                    );
+                    return Some(Violation::WrongFrames { shard: s, detail });
+                }
+                None
+            }
+            PollOutcome::Failed(err) => self.fail_shard(s, err),
+        }
+    }
+
+    /// Transitions shard `s` to a typed failure, closing its outbound
+    /// connections (the real runtime unwinds the wave and drops the
+    /// exchange, which peers observe as EOF), and checks the
+    /// failure-side invariants.
+    fn fail_shard(&mut self, s: usize, err: ExchangeError) -> Option<Violation> {
+        self.shards[s].phase = Phase::DoneErr(err.clone());
+        self.close_outgoing(s);
+        if self.faults_used == 0 {
+            return Some(Violation::FailedWithoutFault {
+                shard: s,
+                error: err.to_string(),
+            });
+        }
+        if let ExchangeError::PeerDied { peer, .. } = &err {
+            if let Some(p) = peer
+                .strip_prefix("shard ")
+                .and_then(|rest| rest.parse::<usize>().ok())
+            {
+                if p < self.n() && self.fin_delivered[s * self.n() + p] {
+                    return Some(Violation::CleanFinPeerFailed { shard: s, peer: p });
+                }
+            }
+        }
+        None
+    }
+
+    /// Appends EOF to every connection shard `s` had opened: its readers
+    /// are gone, so peers observe the close.
+    fn close_outgoing(&mut self, s: usize) {
+        let n = self.n();
+        for p in 0..n {
+            if p != s && self.chans[s * n + p].opened {
+                self.chans[s * n + p].queue.push_back(Msg::Eof);
+            }
+        }
+    }
+
+    /// The quiescence invariant (**I1**): with no protocol step enabled, a
+    /// shard still awaiting FINs is deadlocked — unless every missing peer
+    /// died (or failed and tore down) before its handshake ever reached
+    /// this shard, which is the one case the real protocol hands to the
+    /// wall-clock timeout (a typed `ExchangeError::Timeout`).
+    pub(crate) fn check_quiescent(&self) -> Option<Violation> {
+        let n = self.n();
+        for (s, shard) in self.shards.iter().enumerate() {
+            if !matches!(shard.phase, Phase::Awaiting) {
+                continue;
+            }
+            let missing: Vec<usize> = (0..n)
+                .filter(|p| *p != s && !shard.core.has_fin(SEQ, *p as u64))
+                .collect();
+            let unexcused: Vec<usize> = missing
+                .iter()
+                .copied()
+                .filter(|p| {
+                    let peer_torn_down =
+                        matches!(self.shards[*p].phase, Phase::Killed | Phase::DoneErr(_));
+                    let hello_seen = self.hello_delivered[s * n + p];
+                    // Excused only when torn down pre-handshake.
+                    !peer_torn_down || hello_seen
+                })
+                .collect();
+            if !unexcused.is_empty() {
+                return Some(Violation::Deadlock {
+                    shard: s,
+                    missing: unexcused,
+                });
+            }
+        }
+        None
+    }
+
+    /// Canonical byte serialization for the explorer's visited-state set.
+    /// Everything transition-relevant is included; nothing
+    /// iteration-order-dependent is.
+    pub(crate) fn digest(&self, out: &mut Vec<u8>) {
+        let n = self.n();
+        out.push(n as u8);
+        out.extend_from_slice(&[
+            self.kills as u8,
+            self.corrupts as u8,
+            self.drops as u8,
+            self.dups as u8,
+            self.faults_used.min(255) as u8,
+        ]);
+        for shard in &self.shards {
+            out.push(shard.phase.digest_tag());
+            if let Phase::Sending { next } = shard.phase {
+                out.push(next as u8);
+            }
+            shard.core.digest(out);
+            out.push(0xfe);
+        }
+        for chan in &self.chans {
+            out.push(u8::from(chan.opened));
+            out.push(chan.queue.len().min(255) as u8);
+            for msg in &chan.queue {
+                out.push(msg.tag());
+                if let Msg::Data(f) | Msg::Fin(f) = msg {
+                    out.extend_from_slice(&f.src.to_le_bytes());
+                    out.extend_from_slice(&f.bucket.to_le_bytes());
+                    out.extend_from_slice(&f.records.to_le_bytes());
+                }
+            }
+        }
+        for flag in self
+            .hello_delivered
+            .iter()
+            .chain(self.fin_delivered.iter())
+            .chain(self.corrupted.iter())
+        {
+            out.push(u8::from(*flag));
+        }
+    }
+
+    /// One status line per shard, for trace rendering.
+    pub(crate) fn render_status(&self) -> Vec<String> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| match &shard.phase {
+                Phase::Sending { next } => {
+                    format!("shard {i}: sending (next peer {next})")
+                }
+                Phase::Awaiting => format!("shard {i}: awaiting FINs"),
+                Phase::DoneOk => format!("shard {i}: wave completed Ok"),
+                Phase::DoneErr(err) => format!("shard {i}: wave failed: {err}"),
+                Phase::Killed => format!("shard {i}: killed"),
+            })
+            .collect()
+    }
+}

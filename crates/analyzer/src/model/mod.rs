@@ -1,0 +1,297 @@
+//! Deterministic model checker for the distributed exchange protocol.
+//!
+//! PR 6's `TcpExchange` is a concurrent wire protocol — handshakes,
+//! epoch-stamped frames, counted FIN sentinels, per-source-shard death
+//! tracking, an inbox condvar loop — and its failure modes (deadlock, lost
+//! or duplicated frames, a wave stuck on a half-dead peer) are exactly the
+//! ones unit tests can't reliably reach. This module checks the protocol
+//! the way a model checker does:
+//!
+//! * The **transition logic under test is the real one**: each model shard
+//!   embeds a [`ProtocolCore`](tgraph_dataflow::ProtocolCore), the same
+//!   pure state machine the production inbox wraps under its mutex/condvar.
+//! * A controlled scheduler ([`explore`]) drives **every interleaving** of
+//!   an N-shard wave up to a bounded depth — per-peer sends, per-connection
+//!   FIFO deliveries, and a bounded budget of injected faults (peer death
+//!   at any protocol state; checksum corruption, loss, and duplication of
+//!   in-flight data frames).
+//! * **Invariants are checked at every state** (see
+//!   [`Violation`]): no deadlock, no lost or duplicated frame, every wave
+//!   completes or fails typed, clean-FIN peers never fail a wave, checksum
+//!   divergence is always detected.
+//! * A violation yields a **replayable counterexample**: a self-contained
+//!   seed string that [`replay`] turns back into the identical linearized
+//!   event trace.
+//! * [`mutant_suite`] is the checker's self-test: it re-runs exploration
+//!   against each seeded bug in
+//!   [`Mutation::ALL`](tgraph_dataflow::Mutation) (installed through the
+//!   protocol core's test-only hook) and reports the counterexample that
+//!   catches each one. A mutant that escapes means the invariants have a
+//!   blind spot.
+//!
+//! The `tgraph-model` binary fronts all of this for CI: bounded smoke
+//! exploration on PRs, full-depth nightly runs, `--replay <seed>` for
+//! debugging a counterexample artifact.
+
+mod explore;
+mod machine;
+mod trace;
+
+pub use machine::Violation;
+
+use tgraph_dataflow::Mutation;
+
+/// Which exchange operation the modeled wave performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelOp {
+    /// `Exchange::route`: each frame goes to the shard owning its bucket.
+    Route,
+    /// `Exchange::gather`: every frame is broadcast to all peers.
+    Gather,
+}
+
+/// A model configuration: topology, workload shape, fault budget, seeded
+/// mutation, and exploration bounds.
+#[derive(Clone, Debug)]
+pub struct ModelConfig {
+    /// Number of shards (>= 2).
+    pub shards: usize,
+    /// The exchange operation to model.
+    pub op: ModelOp,
+    /// Data frames each shard sends to each peer.
+    pub frames_per_peer: usize,
+    /// Seeded protocol bug to install in every shard's core (`None` = the
+    /// real transition logic).
+    pub mutation: Option<Mutation>,
+    /// Fault budget: peer deaths.
+    pub kills: u32,
+    /// Fault budget: checksum corruptions of in-flight data frames.
+    pub corrupts: u32,
+    /// Fault budget: in-transit losses of data frames.
+    pub drops: u32,
+    /// Fault budget: in-stream duplications of data frames.
+    pub dups: u32,
+    /// Maximum trace length (events) to explore.
+    pub depth: usize,
+    /// Maximum distinct states to visit before truncating.
+    pub max_states: usize,
+}
+
+impl Default for ModelConfig {
+    /// The PR-CI smoke configuration: 2 shards, one frame per peer, one
+    /// fault of every kind, bounds that exhaust the space in well under a
+    /// second.
+    fn default() -> Self {
+        ModelConfig {
+            shards: 2,
+            op: ModelOp::Route,
+            frames_per_peer: 1,
+            mutation: None,
+            kills: 1,
+            corrupts: 1,
+            drops: 1,
+            dups: 1,
+            depth: 20,
+            max_states: 200_000,
+        }
+    }
+}
+
+/// A counterexample: an invariant violation plus the replayable seed and
+/// rendered linearized trace that reach it.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Self-contained replay seed (config + event path); feed to
+    /// [`replay`] or `tgraph-model --replay`.
+    pub seed: String,
+    /// The violated invariant.
+    pub violation: Violation,
+    /// Human-readable linearized event trace.
+    pub trace: String,
+}
+
+/// The result of exploring one configuration.
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Whether the state space was exhausted within the depth and state
+    /// bounds (`false` = some frontier was truncated).
+    pub complete: bool,
+    /// The first invariant violation found, if any.
+    pub violation: Option<Counterexample>,
+}
+
+/// Explores every interleaving of `cfg` within its bounds and returns the
+/// first invariant violation, if any.
+pub fn explore(cfg: &ModelConfig) -> Exploration {
+    explore::explore(cfg)
+}
+
+/// Re-runs a counterexample seed from scratch, returning the rendered
+/// trace (byte-identical to the original) and the violation it re-trips.
+/// Errors on malformed or diverging seeds.
+pub fn replay(seed: &str) -> Result<(String, Option<Violation>), String> {
+    trace::replay_seed(seed)
+}
+
+/// The outcome of hunting one seeded mutant.
+#[derive(Clone, Debug)]
+pub struct MutantOutcome {
+    /// The seeded bug.
+    pub mutation: Mutation,
+    /// The counterexample that caught it (`None` = the mutant escaped,
+    /// which is a checker bug).
+    pub caught: Option<Counterexample>,
+    /// Distinct states visited before the verdict.
+    pub states: usize,
+}
+
+/// The minimal fault environment in which each seeded mutant is
+/// observable. Keeping each hunt small makes the suite fast and the
+/// counterexamples short.
+fn mutant_config(m: Mutation) -> ModelConfig {
+    let quiet = ModelConfig {
+        kills: 0,
+        corrupts: 0,
+        drops: 0,
+        dups: 0,
+        depth: 14,
+        max_states: 500_000,
+        ..ModelConfig::default()
+    };
+    match m {
+        // A dropped FIN deadlocks even a faultless 2-shard wave.
+        Mutation::DropFin => ModelConfig {
+            mutation: Some(m),
+            ..quiet
+        },
+        // The premature death check only misfires when a peer dies after
+        // FINing while the waiter is still mid-send — which needs a third
+        // shard to keep the waiter in its sending phase.
+        Mutation::PrematureDeathMark => ModelConfig {
+            shards: 3,
+            kills: 1,
+            mutation: Some(m),
+            depth: 16,
+            ..quiet
+        },
+        // A duplicated in-flight frame must poison; accepted it lands in
+        // the drained wave.
+        Mutation::AcceptDuplicate => ModelConfig {
+            dups: 1,
+            mutation: Some(m),
+            ..quiet
+        },
+        // A dropped in-flight frame must trip the FIN count check; ignored
+        // it completes the wave short.
+        Mutation::IgnoreFinCount => ModelConfig {
+            drops: 1,
+            mutation: Some(m),
+            ..quiet
+        },
+        // A corrupt frame must fail the wave; with poison swallowed the
+        // wave hangs or completes as if nothing happened.
+        Mutation::IgnorePoison => ModelConfig {
+            corrupts: 1,
+            mutation: Some(m),
+            ..quiet
+        },
+    }
+}
+
+/// Runs the mutant self-test: explores each seeded protocol bug in its
+/// minimal fault environment. Every mutant must come back `caught`.
+pub fn mutant_suite() -> Vec<MutantOutcome> {
+    Mutation::ALL
+        .iter()
+        .map(|m| {
+            let cfg = mutant_config(*m);
+            let result = explore(&cfg);
+            MutantOutcome {
+                mutation: *m,
+                caught: result.violation,
+                states: result.states,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_logic_is_clean_and_exhausted_at_two_shards() {
+        let result = explore(&ModelConfig::default());
+        assert!(result.complete, "2-shard smoke space must be exhausted");
+        if let Some(cex) = &result.violation {
+            panic!("real protocol logic violated an invariant:\n{}", cex.trace);
+        }
+    }
+
+    #[test]
+    fn gather_op_is_clean_too() {
+        let result = explore(&ModelConfig {
+            op: ModelOp::Gather,
+            ..ModelConfig::default()
+        });
+        assert!(result.complete);
+        assert!(result.violation.is_none());
+    }
+
+    #[test]
+    fn every_mutant_is_caught_with_a_replayable_trace() {
+        for outcome in mutant_suite() {
+            let cex = match outcome.caught {
+                Some(cex) => cex,
+                None => panic!("mutant {} escaped the checker", outcome.mutation.name()),
+            };
+            // The seed must replay to a byte-identical trace that re-trips
+            // the same violation.
+            let (rendered, violation) = match replay(&cex.seed) {
+                Ok(r) => r,
+                Err(e) => panic!("seed for {} failed to replay: {e}", outcome.mutation.name()),
+            };
+            assert_eq!(
+                rendered,
+                cex.trace,
+                "replay of {} not byte-identical",
+                outcome.mutation.name()
+            );
+            assert_eq!(violation.as_ref(), Some(&cex.violation));
+        }
+    }
+
+    #[test]
+    fn seed_round_trips() {
+        let cfg = ModelConfig {
+            shards: 3,
+            op: ModelOp::Gather,
+            mutation: Some(tgraph_dataflow::Mutation::DropFin),
+            ..ModelConfig::default()
+        };
+        let seed = super::trace::seed_string(&cfg, &[0, 3, 1, 2]);
+        let (parsed, path) = match super::trace::parse_seed(&seed) {
+            Ok(p) => p,
+            Err(e) => panic!("round trip failed: {e}"),
+        };
+        assert_eq!(path, vec![0, 3, 1, 2]);
+        assert_eq!(parsed.shards, 3);
+        assert_eq!(parsed.op, ModelOp::Gather);
+        assert_eq!(parsed.mutation, Some(tgraph_dataflow::Mutation::DropFin));
+    }
+
+    #[test]
+    fn bad_seeds_are_rejected() {
+        for bad in [
+            "nope",
+            "tgxm1:shards=1:0",
+            "tgxm1:bogus=3:0",
+            "tgxm1:shards=2,op=warp:0",
+            "tgxm1:shards=2:x.y",
+        ] {
+            assert!(super::trace::parse_seed(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

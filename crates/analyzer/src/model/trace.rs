@@ -1,0 +1,216 @@
+//! Replayable counterexample traces.
+//!
+//! A counterexample is identified by a **seed string** that is fully
+//! self-contained: it carries the model configuration and the path of
+//! event-choice indices from the initial state. Because the machine
+//! enumerates enabled events deterministically, feeding the seed back
+//! through [`replay`](super::replay) re-runs the exact interleaving and
+//! renders a byte-identical trace.
+//!
+//! Seed grammar (one line, no spaces):
+//!
+//! ```text
+//! tgxm1:shards=2,op=route,frames=1,mutation=none,kills=1,corrupts=1,drops=1,dups=1,depth=20,states=200000:0.3.1.2
+//! ```
+
+use tgraph_dataflow::Mutation;
+
+use super::machine::{Violation, World};
+use super::{ModelConfig, ModelOp};
+
+/// Magic prefix identifying seed-string version 1.
+const SEED_MAGIC: &str = "tgxm1";
+
+/// Encodes a configuration plus event path as a self-contained seed.
+pub(crate) fn seed_string(cfg: &ModelConfig, path: &[usize]) -> String {
+    let mutation = match cfg.mutation {
+        None => "none",
+        Some(m) => m.name(),
+    };
+    let path: Vec<String> = path.iter().map(|i| i.to_string()).collect();
+    format!(
+        "{SEED_MAGIC}:shards={},op={},frames={},mutation={},kills={},corrupts={},drops={},\
+         dups={},depth={},states={}:{}",
+        cfg.shards,
+        match cfg.op {
+            ModelOp::Route => "route",
+            ModelOp::Gather => "gather",
+        },
+        cfg.frames_per_peer,
+        mutation,
+        cfg.kills,
+        cfg.corrupts,
+        cfg.drops,
+        cfg.dups,
+        cfg.depth,
+        cfg.max_states,
+        path.join(".")
+    )
+}
+
+/// Parses a seed back into its configuration and event path.
+pub(crate) fn parse_seed(seed: &str) -> Result<(ModelConfig, Vec<usize>), String> {
+    let mut parts = seed.trim().splitn(3, ':');
+    let magic = parts.next().unwrap_or_default();
+    if magic != SEED_MAGIC {
+        return Err(format!(
+            "bad seed: expected `{SEED_MAGIC}:<config>:<path>`, got magic `{magic}`"
+        ));
+    }
+    let kvs = parts.next().ok_or("bad seed: missing config section")?;
+    let path_s = parts.next().ok_or("bad seed: missing path section")?;
+    let mut cfg = ModelConfig::default();
+    for kv in kvs.split(',') {
+        let (key, value) = kv
+            .split_once('=')
+            .ok_or_else(|| format!("bad seed: config entry `{kv}` is not key=value"))?;
+        let num = || -> Result<u32, String> {
+            value
+                .parse::<u32>()
+                .map_err(|_| format!("bad seed: `{key}` value `{value}` is not a number"))
+        };
+        match key {
+            "shards" => cfg.shards = num()? as usize,
+            "frames" => cfg.frames_per_peer = num()? as usize,
+            "kills" => cfg.kills = num()?,
+            "corrupts" => cfg.corrupts = num()?,
+            "drops" => cfg.drops = num()?,
+            "dups" => cfg.dups = num()?,
+            "depth" => cfg.depth = num()? as usize,
+            "states" => cfg.max_states = num()? as usize,
+            "op" => {
+                cfg.op = match value {
+                    "route" => ModelOp::Route,
+                    "gather" => ModelOp::Gather,
+                    other => return Err(format!("bad seed: unknown op `{other}`")),
+                }
+            }
+            "mutation" => {
+                cfg.mutation = match value {
+                    "none" => None,
+                    other => Some(
+                        Mutation::ALL
+                            .iter()
+                            .copied()
+                            .find(|m| m.name() == other)
+                            .ok_or_else(|| format!("bad seed: unknown mutation `{other}`"))?,
+                    ),
+                }
+            }
+            other => return Err(format!("bad seed: unknown config key `{other}`")),
+        }
+    }
+    if cfg.shards < 2 {
+        return Err("bad seed: shards must be >= 2".to_string());
+    }
+    let mut path = Vec::new();
+    if !path_s.is_empty() {
+        for tok in path_s.split('.') {
+            path.push(
+                tok.parse::<usize>()
+                    .map_err(|_| format!("bad seed: path element `{tok}` is not a number"))?,
+            );
+        }
+    }
+    Ok((cfg, path))
+}
+
+/// Renders the linearized event trace for `path`, ending with the final
+/// per-shard status and the violation. Deterministic: rendering the same
+/// seed twice yields identical bytes.
+pub(crate) fn render_trace(cfg: &ModelConfig, path: &[usize], violation: &Violation) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("seed: {}\n", seed_string(cfg, path)));
+    out.push_str(&format!(
+        "config: {} shards, op={}, {} frame(s) per peer, mutation={}, fault budget \
+         kills={} corrupts={} drops={} dups={}\n",
+        cfg.shards,
+        match cfg.op {
+            ModelOp::Route => "route",
+            ModelOp::Gather => "gather",
+        },
+        cfg.frames_per_peer,
+        cfg.mutation.map_or("none", |m| m.name()),
+        cfg.kills,
+        cfg.corrupts,
+        cfg.drops,
+        cfg.dups,
+    ));
+    out.push_str("trace:\n");
+    let mut world = World::new(cfg);
+    let mut tripped = false;
+    for (step, idx) in path.iter().enumerate() {
+        let events = world.enabled();
+        match events.get(*idx) {
+            Some(ev) => {
+                out.push_str(&format!("  {:>3}. {ev}\n", step + 1));
+                if world.apply(*ev).is_some() {
+                    tripped = true;
+                }
+            }
+            None => {
+                out.push_str(&format!(
+                    "  {:>3}. <invalid event index {idx} ({} enabled)>\n",
+                    step + 1,
+                    events.len()
+                ));
+                break;
+            }
+        }
+    }
+    out.push_str("final state:\n");
+    for line in world.render_status() {
+        out.push_str(&format!("  {line}\n"));
+    }
+    if !tripped && world.check_quiescent().is_none() {
+        out.push_str("note: violation did not re-trip during rendering\n");
+    }
+    out.push_str(&format!("violation: {violation}\n"));
+    out
+}
+
+/// Re-runs a seed from scratch and reports what happens: the rendered
+/// trace plus whether a violation (re-)triggered. Used by
+/// `tgraph-model --replay`.
+pub(crate) fn replay_seed(seed: &str) -> Result<(String, Option<Violation>), String> {
+    let (cfg, path) = parse_seed(seed)?;
+    let mut world = World::new(&cfg);
+    let mut violation = None;
+    for (step, idx) in path.iter().enumerate() {
+        let events = world.enabled();
+        let ev = events.get(*idx).copied().ok_or_else(|| {
+            format!(
+                "seed diverged at step {}: event index {idx} but only {} event(s) enabled",
+                step + 1,
+                events.len()
+            )
+        })?;
+        if let Some(v) = world.apply(ev) {
+            violation = Some(v);
+            if step + 1 != path.len() {
+                return Err(format!(
+                    "seed diverged: violation at step {} but path has {} steps",
+                    step + 1,
+                    path.len()
+                ));
+            }
+        }
+    }
+    if violation.is_none() {
+        violation = world.check_quiescent();
+    }
+    let rendered = match &violation {
+        Some(v) => render_trace(&cfg, &path, v),
+        None => {
+            let mut out = String::new();
+            out.push_str(&format!("seed: {}\n", seed_string(&cfg, &path)));
+            out.push_str("no violation: trace replays clean\n");
+            out.push_str("final state:\n");
+            for line in world.render_status() {
+                out.push_str(&format!("  {line}\n"));
+            }
+            out
+        }
+    };
+    Ok((rendered, violation))
+}

@@ -1,0 +1,37 @@
+//! Golden test for lint output formatting: the Display-rendered findings
+//! for the seeded fixtures must match the checked-in golden file exactly.
+//! This pins the `path:line: [rule] message` contract that CI log scrapers
+//! and the fixture docs rely on.
+//!
+//! To refresh after an intentional format change, run with
+//! `BLESS_LINT_GOLDEN=1` and commit the rewritten golden file.
+
+use std::path::Path;
+
+use tgraph_analyze::{lint_source, RuleSet};
+
+#[test]
+fn seeded_fixture_output_matches_golden() {
+    let mut findings = lint_source(
+        Path::new("crates/fake/src/lib.rs"),
+        include_str!("fixtures/seeded_violations.rs.txt"),
+        RuleSet::all(),
+    );
+    findings.extend(lint_source(
+        Path::new("crates/fake/src/locks.rs"),
+        include_str!("fixtures/lock_order_violation.rs.txt"),
+        RuleSet::all(),
+    ));
+    let rendered: String = findings.iter().map(|f| format!("{f}\n")).collect();
+
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lint_golden.txt");
+    if std::env::var_os("BLESS_LINT_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("read golden");
+    assert_eq!(
+        rendered, golden,
+        "lint output drifted from the golden file; rerun with BLESS_LINT_GOLDEN=1 if intentional"
+    );
+}

@@ -1,0 +1,67 @@
+//! Integration test: the exchange protocol model checker, driven through
+//! the public API exactly as the CI `model-smoke` job drives the
+//! `tgraph-model` binary.
+
+use tgraph_analyze::model::{explore, mutant_suite, replay, ModelConfig, ModelOp};
+
+/// The PR-CI smoke configuration must exhaust the 2-shard space (route and
+/// gather) with zero invariant violations on the real transition logic.
+#[test]
+fn smoke_configs_explore_clean_and_exhaustively() {
+    for op in [ModelOp::Route, ModelOp::Gather] {
+        let cfg = ModelConfig {
+            op,
+            ..ModelConfig::default()
+        };
+        let result = explore(&cfg);
+        assert!(result.complete, "{op:?}: smoke space must be exhausted");
+        if let Some(cex) = result.violation {
+            panic!("{op:?}: real logic violated an invariant:\n{}", cex.trace);
+        }
+        assert!(result.states > 100, "{op:?}: suspiciously small space");
+    }
+}
+
+/// Every seeded protocol mutant must be caught, and its counterexample
+/// seed must replay to a byte-identical trace re-tripping the same
+/// violation — the "seed -> byte-identical re-run" contract.
+#[test]
+fn all_mutants_caught_with_byte_identical_replays() {
+    let outcomes = mutant_suite();
+    assert_eq!(outcomes.len(), 5, "expected five seeded mutants");
+    for outcome in outcomes {
+        let name = outcome.mutation.name();
+        let cex = outcome
+            .caught
+            .unwrap_or_else(|| panic!("mutant {name} escaped the checker"));
+        let (rendered, violation) =
+            replay(&cex.seed).unwrap_or_else(|e| panic!("{name}: replay failed: {e}"));
+        assert_eq!(rendered, cex.trace, "{name}: replay not byte-identical");
+        assert_eq!(violation, Some(cex.violation), "{name}: violation differs");
+        assert!(
+            cex.trace.contains("violation: "),
+            "{name}: trace missing violation line"
+        );
+    }
+}
+
+/// Larger frame batches stay clean too: the FIN count logic must not
+/// depend on the one-frame-per-peer special case.
+#[test]
+fn multi_frame_batches_are_clean() {
+    let result = explore(&ModelConfig {
+        frames_per_peer: 2,
+        kills: 1,
+        corrupts: 0,
+        drops: 1,
+        dups: 0,
+        depth: 22,
+        ..ModelConfig::default()
+    });
+    assert!(result.complete);
+    assert!(
+        result.violation.is_none(),
+        "violation: {:?}",
+        result.violation.map(|c| c.trace)
+    );
+}

@@ -49,8 +49,9 @@
 //! [`SpillError`](crate::SpillError) — and sibling state (pending inbox
 //! frames, outbound connections) is drained by RAII.
 
+use crate::protocol::{PollOutcome, ProtocolCore};
 use crate::spill::{checksum, SpillError, SpillReader};
-use std::collections::HashMap;
+use crate::sync::lock_unpoisoned;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -61,8 +62,11 @@ use std::time::{Duration, Instant};
 pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"TGXF");
 /// Handshake magic: `"TGXH"` little-endian.
 pub const HANDSHAKE_MAGIC: u32 = u32::from_le_bytes(*b"TGXH");
-/// Exchange protocol version spoken by this build.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// Exchange protocol version spoken by this build. Version 2 added counted
+/// FIN sentinels: a FIN's `records` field declares how many data frames its
+/// sender shipped for the sequence, so lost frames are detected at FIN time
+/// instead of silently shortening a wave (see [`crate::protocol`]).
+pub const PROTOCOL_VERSION: u64 = 2;
 /// `bucket` value marking a FIN sentinel frame.
 pub const FIN_BUCKET: u64 = u64::MAX;
 /// Upper bound on a single frame's payload; length prefixes beyond this are
@@ -248,13 +252,15 @@ impl Frame {
         self.bucket == FIN_BUCKET
     }
 
-    /// A FIN sentinel for `seq` from shard `shard`.
-    pub fn fin(seq: u64, shard: u64) -> Frame {
+    /// A FIN sentinel for `seq` from shard `shard`, declaring the number of
+    /// data frames the shard sent for the sequence (carried in `records`,
+    /// validated by the receiver's [`ProtocolCore`]).
+    pub fn fin(seq: u64, shard: u64, sent: u64) -> Frame {
         Frame {
             seq,
             src: shard,
             bucket: FIN_BUCKET,
-            records: 0,
+            records: sent,
             payload: Vec::new(),
         }
     }
@@ -536,63 +542,43 @@ pub fn timeout_from_env() -> Duration {
 }
 
 /// Shared mailbox the acceptor's reader threads deposit inbound frames
-/// into, keyed by exchange sequence number.
+/// into, keyed by exchange sequence number. All protocol decisions —
+/// dedup, FIN counting, death-vs-FIN precedence, poison — live in the pure
+/// [`ProtocolCore`] (model-checked by `tgraph-analyze`); this wrapper only
+/// adds the lock, the condvar discipline, and the wall-clock timeout.
 struct Inbox {
-    state: Mutex<InboxState>,
+    state: Mutex<ProtocolCore>,
     cond: Condvar,
-}
-
-#[derive(Default)]
-struct InboxState {
-    /// Data frames per exchange operation.
-    frames: HashMap<u64, Vec<Frame>>,
-    /// FIN sentinels seen per exchange operation, by source shard.
-    fins: HashMap<u64, std::collections::HashSet<u64>>,
-    /// Unattributable failure (pre-handshake death, protocol violation,
-    /// corrupt frame): poisons every wait — the stream's identity or
-    /// framing itself is suspect.
-    dead: Option<ExchangeError>,
-    /// Post-handshake peer deaths, by shard. These fail only waits the dead
-    /// shard had not yet FINed: a peer that finished its last wave and shut
-    /// down cleanly closes its connection while slower shards are still
-    /// draining that wave, and must not poison them (TCP ordering delivers
-    /// its FIN before its EOF).
-    dead_shards: Vec<(u64, ExchangeError)>,
 }
 
 impl Inbox {
     fn new() -> Arc<Self> {
         Arc::new(Inbox {
-            state: Mutex::new(InboxState::default()),
+            state: Mutex::new(ProtocolCore::new()),
             cond: Condvar::new(),
         })
     }
 
-    fn push(&self, frame: Frame) {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if frame.is_fin() {
-            st.fins.entry(frame.seq).or_default().insert(frame.src);
-        } else {
-            st.frames.entry(frame.seq).or_default().push(frame);
-        }
+    /// Deposits a frame read off peer shard `from_shard`'s connection. A
+    /// detected protocol violation (duplicate frame, FIN count mismatch)
+    /// has already poisoned the core; waiters observe it on wakeup.
+    fn push(&self, from_shard: u64, frame: Frame) {
+        let mut st = lock_unpoisoned(&self.state);
+        let _ = st.deposit(from_shard, frame);
         self.cond.notify_all();
     }
 
     fn fail(&self, err: ExchangeError) {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if st.dead.is_none() {
-            st.dead = Some(err);
-        }
+        let mut st = lock_unpoisoned(&self.state);
+        st.poison(err);
         self.cond.notify_all();
     }
 
     /// Records the death of an identified peer shard. Waits that shard had
     /// already FINed stay satisfiable; waits still missing its FIN fail.
     fn fail_shard(&self, shard: u64, err: ExchangeError) {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if !st.dead_shards.iter().any(|(s, _)| *s == shard) {
-            st.dead_shards.push((shard, err));
-        }
+        let mut st = lock_unpoisoned(&self.state);
+        st.mark_shard_dead(shard, err);
         self.cond.notify_all();
     }
 
@@ -608,38 +594,21 @@ impl Inbox {
         counters: &ExchangeCounters,
     ) -> Result<Vec<Frame>, ExchangeError> {
         let deadline = Instant::now() + timeout;
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = lock_unpoisoned(&self.state);
         let mut stalled = false;
         loop {
-            if let Some(err) = &st.dead {
-                let err = err.clone();
-                st.frames.remove(&seq);
-                st.fins.remove(&seq);
-                return Err(err);
-            }
-            if st.fins.get(&seq).map_or(0, |s| s.len()) >= want_fins {
-                st.fins.remove(&seq);
-                let frames = st.frames.remove(&seq).unwrap_or_default();
-                counters.note_received(frames.len() as u64);
-                return Ok(frames);
-            }
-            // A dead shard that never FINed this wave can never complete
-            // it; fail now rather than waiting out the timeout.
-            let fined = st.fins.get(&seq);
-            if let Some((_, err)) = st
-                .dead_shards
-                .iter()
-                .find(|(s, _)| !fined.is_some_and(|f| f.contains(s)))
-            {
-                let err = err.clone();
-                st.frames.remove(&seq);
-                st.fins.remove(&seq);
-                return Err(err);
+            match st.poll(seq, want_fins) {
+                PollOutcome::Ready(frames) => {
+                    counters.note_received(frames.len() as u64);
+                    return Ok(frames);
+                }
+                PollOutcome::Failed(err) => return Err(err),
+                PollOutcome::Pending => {}
             }
             let now = Instant::now();
             if now >= deadline {
-                st.frames.remove(&seq);
-                st.fins.remove(&seq);
+                // Discard the wave's pending frames before unwinding.
+                st.discard(seq);
                 return Err(ExchangeError::Timeout {
                     op: "await frames",
                     ms: timeout.as_millis() as u64,
@@ -744,7 +713,7 @@ impl TcpExchange {
     /// handshake, retrying until the bounded deadline) on first use.
     fn send_to(&self, to: usize, bytes: &[u8]) -> Result<(), ExchangeError> {
         let link = &self.peers[to];
-        let mut slot = link.stream.lock().unwrap_or_else(|e| e.into_inner());
+        let mut slot = lock_unpoisoned(&link.stream);
         if slot.is_none() {
             *slot = Some(self.connect(link)?);
         }
@@ -818,6 +787,7 @@ impl TcpExchange {
         let me = self.layout.shard();
         let n = self.layout.shards();
         let mut outgoing: Vec<Vec<u8>> = (0..n).map(|_| Vec::new()).collect();
+        let mut sent_counts = vec![0u64; n];
         let mut local = Vec::new();
         let mut sent_frames = 0u64;
         let mut sent_bytes = 0u64;
@@ -827,6 +797,7 @@ impl TcpExchange {
                 Dest::One(owner) => {
                     sent_frames += 1;
                     sent_bytes += f.payload.len() as u64;
+                    sent_counts[owner] += 1;
                     encode_frame(&f, &mut outgoing[owner]);
                 }
                 Dest::Broadcast => {
@@ -834,6 +805,7 @@ impl TcpExchange {
                     sent_bytes += f.payload.len() as u64 * (n - 1) as u64;
                     for (s, buf) in outgoing.iter_mut().enumerate() {
                         if s != me {
+                            sent_counts[s] += 1;
                             encode_frame(&f, buf);
                         }
                     }
@@ -842,12 +814,14 @@ impl TcpExchange {
             }
         }
         self.counters.note_sent(sent_frames, sent_bytes);
-        let fin = Frame::fin(seq, me as u64);
+        // Each peer gets its own FIN declaring exactly how many data frames
+        // it was sent, so the receiving ProtocolCore can prove none were
+        // lost in transit before completing the wave.
         for (s, buf) in outgoing.iter_mut().enumerate() {
             if s == me {
                 continue;
             }
-            encode_frame(&fin, buf);
+            encode_frame(&Frame::fin(seq, me as u64, sent_counts[s]), buf);
             self.send_to(s, buf)?;
         }
         self.counters.note_received(local.len() as u64);
@@ -895,18 +869,13 @@ impl Drop for TcpExchange {
         self.shutdown.store(true, Ordering::SeqCst);
         // Close outbound links: peers' readers observe EOF and exit.
         for link in &self.peers {
-            if let Some(stream) = link.stream.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            if let Some(stream) = lock_unpoisoned(&link.stream).take() {
                 stream.shutdown(std::net::Shutdown::Both).ok();
             }
         }
         // Wake the acceptor so it can observe the shutdown flag.
         TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200)).ok();
-        if let Some(h) = self
-            .acceptor
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .take()
-        {
+        if let Some(h) = lock_unpoisoned(&self.acceptor).take() {
             h.join().ok();
         }
     }
@@ -999,7 +968,7 @@ fn reader_loop(
     };
     loop {
         match read_frame(&mut stream) {
-            Ok(Some(frame)) => inbox.push(frame),
+            Ok(Some(frame)) => inbox.push(peer_shard, frame),
             Ok(None) => {
                 if !shutdown.load(Ordering::SeqCst) {
                     // An identified shard closing its stream: fatal only to

@@ -26,6 +26,7 @@
 //! runs are deleted by RAII on unwind, so no temp files leak.
 
 use crate::spill::{charged_size, RunHandle, RunWriter, Spill, SpillError};
+use crate::sync::lock_unpoisoned;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -99,15 +100,12 @@ impl MemGovernor {
 
     /// The directory spill runs are written under.
     pub fn spill_dir(&self) -> PathBuf {
-        self.spill_dir
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
+        lock_unpoisoned(&self.spill_dir).clone()
     }
 
     /// Points the governor at a different spill directory.
     pub fn set_spill_dir(&self, dir: impl Into<PathBuf>) {
-        *self.spill_dir.lock().unwrap_or_else(|e| e.into_inner()) = dir.into();
+        *lock_unpoisoned(&self.spill_dir) = dir.into();
     }
 
     /// Charges `bytes` unconditionally, returning the RAII release handle.

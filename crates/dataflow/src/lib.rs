@@ -66,9 +66,11 @@ pub mod governor;
 pub mod keyed;
 pub mod lineage;
 pub mod pool;
+pub mod protocol;
 pub mod runtime;
 pub mod spill;
 mod steal;
+pub mod sync;
 
 pub use cancel::{CancelToken, Cancelled};
 pub use dataset::{Dataset, Partitioning};
@@ -79,5 +81,7 @@ pub use extra::{broadcast_join, broadcast_semi_join, cogroup, count_by_key, take
 pub use governor::{MemCharge, MemGovernor};
 pub use keyed::{bucket_of, distinct, shuffle, KeyedDataset};
 pub use lineage::{fingerprint, fingerprint_hex, OpKind, PlanNode};
+pub use protocol::{Mutation, PollOutcome, ProtocolCore};
 pub use runtime::{Runtime, RuntimeStats, StatsSnapshot};
 pub use spill::{charged_size, checksum, HeapSize, Spill, SpillError, SpillReader};
+pub use sync::lock_unpoisoned;

@@ -1,0 +1,533 @@
+//! The pure, checkable core of the exchange protocol.
+//!
+//! [`ProtocolCore`] is the inbound state machine of one exchange
+//! participant: which data frames and FIN sentinels have arrived per
+//! exchange operation, which peers are known dead, and whether the stream
+//! itself has been poisoned by an unattributable failure. It is **pure** —
+//! no locks, no condvars, no sockets, no clocks — which is what makes it
+//! checkable: the real [`TcpExchange`](crate::TcpExchange) inbox wraps it in
+//! a `Mutex`/`Condvar` pair and loops [`ProtocolCore::poll`] under the
+//! condvar, while the `tgraph-analyze` model checker drives the *same*
+//! transition functions through every interleaving of a bounded N-shard
+//! wave, with fault injection, and checks invariants at every state.
+//!
+//! # Protocol (version 2)
+//!
+//! Within one exchange operation (`seq`):
+//!
+//! * Every **data frame** is uniquely keyed by `(src, bucket)` — each global
+//!   map partition produces at most one frame per destination bucket, and
+//!   each global partition is mapped by exactly one shard. A second frame
+//!   with an already-seen key is a protocol violation (TCP never
+//!   duplicates; a duplicate means a peer bug) and poisons the inbox.
+//! * Every peer ends its contribution with a **FIN sentinel declaring how
+//!   many data frames it sent** (in the frame's `records` field). TCP
+//!   ordering guarantees all of a peer's data frames precede its FIN on the
+//!   connection, so at FIN time the accepted count must equal the declared
+//!   count — a mismatch means frames were lost (or injected) in transit and
+//!   poisons the inbox. This is what makes "no lost frame" *detectable*
+//!   rather than assumed.
+//! * A wave is **complete** when FINs from all expected peers have arrived;
+//!   [`ProtocolCore::poll`] then drains and returns its frames.
+//! * A **peer death** ([`ProtocolCore::mark_shard_dead`]) fails only waves
+//!   that peer had not yet FINed: a peer that finished cleanly closes its
+//!   connection while slower shards still drain the last wave, and must not
+//!   poison them. An unattributable failure ([`ProtocolCore::poison`]) —
+//!   pre-handshake death, corrupt frame, protocol violation — fails every
+//!   wave: the stream's identity or framing itself is suspect.
+//!
+//! # Test-only mutation hook
+//!
+//! [`ProtocolCore::set_mutation`] installs a seeded bug ([`Mutation`]) used
+//! by the model checker's self-test: every mutant must be caught by an
+//! invariant violation in some explored interleaving. Production code never
+//! installs a mutation (the hook is `#[doc(hidden)]` and nothing outside
+//! tests calls it); the real protocol logic is the `None` path.
+
+use crate::exchange::{ExchangeError, Frame};
+use std::collections::HashMap;
+
+/// A seeded protocol bug, installable only through the test-only
+/// [`ProtocolCore::set_mutation`] hook. Each variant disables exactly one
+/// guard of the real transition logic; the model checker must catch every
+/// one of them with a replayable counterexample trace.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// FIN sentinels are silently dropped: waves never complete.
+    DropFin,
+    /// A dead peer fails a wave even when its FIN (and all its frames)
+    /// already arrived — the death check runs before the completion check.
+    PrematureDeathMark,
+    /// The `(src, bucket)` dedup guard is skipped: a duplicated frame is
+    /// accepted into the wave's results.
+    AcceptDuplicate,
+    /// The FIN frame-count check is skipped: a lost frame goes unnoticed
+    /// and the wave completes short.
+    IgnoreFinCount,
+    /// `poison` is a no-op: corrupt frames and protocol violations are
+    /// swallowed instead of failing waves.
+    IgnorePoison,
+}
+
+impl Mutation {
+    /// Every seeded mutant, for the model checker's catch-them-all
+    /// self-test.
+    pub const ALL: &'static [Mutation] = &[
+        Mutation::DropFin,
+        Mutation::PrematureDeathMark,
+        Mutation::AcceptDuplicate,
+        Mutation::IgnoreFinCount,
+        Mutation::IgnorePoison,
+    ];
+
+    /// Stable name used by `tgraph-model --mutants` reporting.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mutation::DropFin => "dropped-fin",
+            Mutation::PrematureDeathMark => "premature-death-mark",
+            Mutation::AcceptDuplicate => "duplicate-frame-accepted",
+            Mutation::IgnoreFinCount => "lost-frame-ignored",
+            Mutation::IgnorePoison => "poison-ignored",
+        }
+    }
+}
+
+/// Per-wave (per-`seq`) inbound state.
+#[derive(Clone, Debug, Default)]
+struct WaveInbox {
+    /// Accepted data frames, in arrival order.
+    frames: Vec<Frame>,
+    /// Dedup set over `(src, bucket)` of accepted data frames.
+    seen: Vec<(u64, u64)>,
+    /// Accepted data frames per sender shard.
+    counts: HashMap<u64, u64>,
+    /// FIN sentinels per sender shard, with the declared frame count.
+    fins: HashMap<u64, u64>,
+}
+
+/// What [`ProtocolCore::poll`] found for a wave.
+#[derive(Clone, Debug)]
+pub enum PollOutcome {
+    /// All expected FINs arrived; the wave's data frames, drained.
+    Ready(Vec<Frame>),
+    /// The wave can never complete; its pending frames were discarded.
+    Failed(ExchangeError),
+    /// Still waiting on peer frames or FINs.
+    Pending,
+}
+
+/// Pure inbound protocol state for one exchange participant. See the module
+/// docs for the protocol rules this encodes.
+#[derive(Clone, Debug, Default)]
+pub struct ProtocolCore {
+    mutation: Option<Mutation>,
+    waves: HashMap<u64, WaveInbox>,
+    /// Unattributable failure: poisons every wave.
+    dead: Option<ExchangeError>,
+    /// Identified peer deaths, by shard. Fail only waves the dead shard had
+    /// not yet FINed.
+    dead_shards: Vec<(u64, ExchangeError)>,
+}
+
+impl ProtocolCore {
+    /// An empty core (no frames, no failures, real — unmutated — logic).
+    pub fn new() -> Self {
+        ProtocolCore::default()
+    }
+
+    /// Test-only hook: install (or clear) a seeded protocol bug. See
+    /// [`Mutation`]. Never called outside the model checker's mutant
+    /// self-test.
+    #[doc(hidden)]
+    pub fn set_mutation(&mut self, mutation: Option<Mutation>) {
+        self.mutation = mutation;
+    }
+
+    fn is(&self, m: Mutation) -> bool {
+        self.mutation == Some(m)
+    }
+
+    /// Deposits one inbound frame from peer shard `from_shard` (the
+    /// handshake-established identity of the connection it arrived on).
+    ///
+    /// Detected protocol violations — duplicate data frame, duplicate FIN,
+    /// FIN count mismatch — poison the core (every wave fails) and are also
+    /// returned so IO-side callers can log or stop reading the stream.
+    pub fn deposit(&mut self, from_shard: u64, frame: Frame) -> Result<(), ExchangeError> {
+        if self.dead.is_some() {
+            // Already poisoned: frames are dead on arrival either way.
+            return Ok(());
+        }
+        if frame.is_fin() {
+            if self.is(Mutation::DropFin) {
+                return Ok(());
+            }
+            let declared = frame.records;
+            let wave = self.waves.entry(frame.seq).or_default();
+            if wave.fins.contains_key(&from_shard) {
+                let err = ExchangeError::Protocol {
+                    peer: format!("shard {from_shard}"),
+                    detail: format!("duplicate FIN for seq {}", frame.seq),
+                };
+                return self.violation(err);
+            }
+            let accepted = wave.counts.get(&from_shard).copied().unwrap_or(0);
+            if accepted != declared && !self.is(Mutation::IgnoreFinCount) {
+                let err = ExchangeError::Protocol {
+                    peer: format!("shard {from_shard}"),
+                    detail: format!(
+                        "FIN for seq {} declares {declared} frame(s) but {accepted} arrived \
+                         (lost or injected in transit)",
+                        frame.seq
+                    ),
+                };
+                return self.violation(err);
+            }
+            self.waves
+                .entry(frame.seq)
+                .or_default()
+                .fins
+                .insert(from_shard, declared);
+            return Ok(());
+        }
+        let accept_dup = self.is(Mutation::AcceptDuplicate);
+        let wave = self.waves.entry(frame.seq).or_default();
+        let key = (frame.src, frame.bucket);
+        if wave.seen.contains(&key) {
+            if !accept_dup {
+                let err = ExchangeError::Protocol {
+                    peer: format!("shard {from_shard}"),
+                    detail: format!(
+                        "duplicate frame for seq {} (src {}, bucket {})",
+                        frame.seq, frame.src, frame.bucket
+                    ),
+                };
+                return self.violation(err);
+            }
+            // Mutant: the dedup guard is gone — the duplicate slips into the
+            // results (and, mirroring the forgotten guard, goes uncounted).
+            wave.frames.push(frame);
+            return Ok(());
+        }
+        wave.seen.push(key);
+        *wave.counts.entry(from_shard).or_insert(0) += 1;
+        wave.frames.push(frame);
+        Ok(())
+    }
+
+    /// Records an unattributable failure (pre-handshake death, corrupt
+    /// frame, protocol violation). Every wave fails: the stream's identity
+    /// or framing itself is suspect. First failure wins.
+    pub fn poison(&mut self, err: ExchangeError) {
+        if self.is(Mutation::IgnorePoison) {
+            return;
+        }
+        if self.dead.is_none() {
+            self.dead = Some(err);
+        }
+    }
+
+    fn violation(&mut self, err: ExchangeError) -> Result<(), ExchangeError> {
+        self.poison(err.clone());
+        Err(err)
+    }
+
+    /// Records the death of an identified peer shard. Waves that shard had
+    /// already FINed stay satisfiable; waves still missing its FIN fail on
+    /// their next [`poll`](ProtocolCore::poll). First death per shard wins.
+    pub fn mark_shard_dead(&mut self, shard: u64, err: ExchangeError) {
+        if !self.dead_shards.iter().any(|(s, _)| *s == shard) {
+            self.dead_shards.push((shard, err));
+        }
+    }
+
+    /// Discards all pending state for wave `seq` (the caller is abandoning
+    /// it, e.g. on a wall-clock timeout) so nothing leaks.
+    pub fn discard(&mut self, seq: u64) {
+        self.waves.remove(&seq);
+    }
+
+    /// Whether a FIN from `shard` has been accepted for `seq`. Used by the
+    /// model checker's clean-FIN invariant.
+    pub fn has_fin(&self, seq: u64, shard: u64) -> bool {
+        self.waves
+            .get(&seq)
+            .is_some_and(|w| w.fins.contains_key(&shard))
+    }
+
+    /// One completion check for wave `seq`, expecting FINs from `want_fins`
+    /// distinct peers. Checked in priority order:
+    ///
+    /// 1. A poisoned core fails every wave.
+    /// 2. All expected FINs present ⇒ the wave completes; its frames are
+    ///    drained and returned.
+    /// 3. A dead peer that never FINed this wave can never complete it ⇒
+    ///    fail now rather than waiting out a timeout.
+    /// 4. Otherwise the wave is still pending.
+    ///
+    /// On failure the wave's pending frames are discarded so the caller
+    /// unwinds clean.
+    pub fn poll(&mut self, seq: u64, want_fins: usize) -> PollOutcome {
+        if let Some(err) = &self.dead {
+            let err = err.clone();
+            self.waves.remove(&seq);
+            return PollOutcome::Failed(err);
+        }
+        let premature = self.is(Mutation::PrematureDeathMark);
+        let fined = |w: &WaveInbox, s: u64| w.fins.contains_key(&s);
+        if premature {
+            // Mutant: the death check runs before the completion check, so
+            // a peer that FINed and then died still fails the wave.
+            if let Some((_, err)) = self.dead_shards.first() {
+                let err = err.clone();
+                self.waves.remove(&seq);
+                return PollOutcome::Failed(err);
+            }
+        }
+        let have = self.waves.get(&seq).map_or(0, |w| w.fins.len());
+        if have >= want_fins {
+            let frames = self
+                .waves
+                .remove(&seq)
+                .map(|w| w.frames)
+                .unwrap_or_default();
+            return PollOutcome::Ready(frames);
+        }
+        let wave = self.waves.entry(seq).or_default();
+        if let Some((_, err)) = self.dead_shards.iter().find(|(s, _)| !fined(wave, *s)) {
+            let err = err.clone();
+            self.waves.remove(&seq);
+            return PollOutcome::Failed(err);
+        }
+        PollOutcome::Pending
+    }
+
+    /// Canonical byte serialization of the core's state (sorted, not
+    /// iteration-order dependent) — the model checker hashes this for its
+    /// visited-state set.
+    pub fn digest(&self, out: &mut Vec<u8>) {
+        out.push(match self.mutation {
+            None => 0xff,
+            Some(m) => m as u8,
+        });
+        out.push(u8::from(self.dead.is_some()));
+        let mut deads: Vec<u64> = self.dead_shards.iter().map(|(s, _)| *s).collect();
+        deads.sort_unstable();
+        out.extend_from_slice(&(deads.len() as u64).to_le_bytes());
+        for s in deads {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        let mut seqs: Vec<&u64> = self.waves.keys().collect();
+        seqs.sort_unstable();
+        out.extend_from_slice(&(seqs.len() as u64).to_le_bytes());
+        for seq in seqs {
+            let wave = &self.waves[seq];
+            out.extend_from_slice(&seq.to_le_bytes());
+            let mut keys = wave.seen.clone();
+            keys.sort_unstable();
+            out.extend_from_slice(&(keys.len() as u64).to_le_bytes());
+            for (s, b) in keys {
+                out.extend_from_slice(&s.to_le_bytes());
+                out.extend_from_slice(&b.to_le_bytes());
+            }
+            // Frame multiset (duplicates matter: the AcceptDuplicate mutant
+            // must produce a *distinct* state from the deduped one).
+            let mut frames: Vec<(u64, u64, u64)> = wave
+                .frames
+                .iter()
+                .map(|f| (f.src, f.bucket, f.records))
+                .collect();
+            frames.sort_unstable();
+            out.extend_from_slice(&(frames.len() as u64).to_le_bytes());
+            for (s, b, r) in frames {
+                out.extend_from_slice(&s.to_le_bytes());
+                out.extend_from_slice(&b.to_le_bytes());
+                out.extend_from_slice(&r.to_le_bytes());
+            }
+            let mut fins: Vec<(u64, u64)> = wave.fins.iter().map(|(s, c)| (*s, *c)).collect();
+            fins.sort_unstable();
+            out.extend_from_slice(&(fins.len() as u64).to_le_bytes());
+            for (s, c) in fins {
+                out.extend_from_slice(&s.to_le_bytes());
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exchange::FIN_BUCKET;
+
+    fn data(seq: u64, src: u64, bucket: u64) -> Frame {
+        Frame {
+            seq,
+            src,
+            bucket,
+            records: 1,
+            payload: vec![src as u8, bucket as u8],
+        }
+    }
+
+    fn fin(seq: u64, shard: u64, sent: u64) -> Frame {
+        Frame {
+            seq,
+            src: shard,
+            bucket: FIN_BUCKET,
+            records: sent,
+            payload: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn wave_completes_when_all_fins_arrive() {
+        let mut core = ProtocolCore::new();
+        core.deposit(1, data(7, 1, 0)).unwrap();
+        assert!(matches!(core.poll(7, 1), PollOutcome::Pending));
+        core.deposit(1, fin(7, 1, 1)).unwrap();
+        match core.poll(7, 1) {
+            PollOutcome::Ready(frames) => assert_eq!(frames.len(), 1),
+            other => panic!("expected Ready, got {other:?}"),
+        }
+        // Drained: a second poll starts a fresh (empty) wave.
+        assert!(matches!(core.poll(7, 1), PollOutcome::Pending));
+    }
+
+    #[test]
+    fn zero_want_fins_is_immediately_ready() {
+        let mut core = ProtocolCore::new();
+        assert!(matches!(core.poll(3, 0), PollOutcome::Ready(f) if f.is_empty()));
+    }
+
+    #[test]
+    fn fin_count_mismatch_poisons() {
+        let mut core = ProtocolCore::new();
+        core.deposit(1, data(7, 1, 0)).unwrap();
+        // Declared 2, only 1 arrived: a frame was lost in transit.
+        let err = core.deposit(1, fin(7, 1, 2)).unwrap_err();
+        assert!(matches!(err, ExchangeError::Protocol { .. }), "{err}");
+        assert!(matches!(core.poll(7, 1), PollOutcome::Failed(_)));
+        // Poison is global: other waves fail too.
+        assert!(matches!(core.poll(8, 1), PollOutcome::Failed(_)));
+    }
+
+    #[test]
+    fn duplicate_frame_poisons() {
+        let mut core = ProtocolCore::new();
+        core.deposit(1, data(7, 1, 0)).unwrap();
+        let err = core.deposit(1, data(7, 1, 0)).unwrap_err();
+        assert!(matches!(err, ExchangeError::Protocol { .. }), "{err}");
+        assert!(matches!(core.poll(7, 1), PollOutcome::Failed(_)));
+    }
+
+    #[test]
+    fn duplicate_fin_poisons() {
+        let mut core = ProtocolCore::new();
+        core.deposit(1, fin(7, 1, 0)).unwrap();
+        assert!(core.deposit(1, fin(7, 1, 0)).is_err());
+    }
+
+    #[test]
+    fn dead_shard_fails_only_unfinned_waves() {
+        let mut core = ProtocolCore::new();
+        core.deposit(1, data(7, 1, 0)).unwrap();
+        core.deposit(1, fin(7, 1, 1)).unwrap();
+        core.mark_shard_dead(
+            1,
+            ExchangeError::PeerDied {
+                peer: "shard 1".into(),
+                detail: "test".into(),
+            },
+        );
+        // Wave 7 was FINed by shard 1 before it died: still completes.
+        assert!(matches!(core.poll(7, 1), PollOutcome::Ready(_)));
+        // Wave 9 was not: fails typed instead of waiting out a timeout.
+        assert!(matches!(core.poll(9, 1), PollOutcome::Failed(_)));
+    }
+
+    #[test]
+    fn poison_beats_everything_and_first_wins() {
+        let mut core = ProtocolCore::new();
+        core.deposit(1, fin(7, 1, 0)).unwrap();
+        core.poison(ExchangeError::Frame {
+            detail: "first".into(),
+        });
+        core.poison(ExchangeError::Frame {
+            detail: "second".into(),
+        });
+        match core.poll(7, 1) {
+            PollOutcome::Failed(ExchangeError::Frame { detail }) => assert_eq!(detail, "first"),
+            other => panic!("expected first poison, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mutations_disable_exactly_their_guard() {
+        // DropFin: the wave never completes.
+        let mut core = ProtocolCore::new();
+        core.set_mutation(Some(Mutation::DropFin));
+        core.deposit(1, fin(7, 1, 0)).unwrap();
+        assert!(matches!(core.poll(7, 1), PollOutcome::Pending));
+
+        // AcceptDuplicate: the duplicate lands in the results.
+        let mut core = ProtocolCore::new();
+        core.set_mutation(Some(Mutation::AcceptDuplicate));
+        core.deposit(1, data(7, 1, 0)).unwrap();
+        core.deposit(1, data(7, 1, 0)).unwrap();
+        core.deposit(1, fin(7, 1, 1)).unwrap();
+        match core.poll(7, 1) {
+            PollOutcome::Ready(frames) => assert_eq!(frames.len(), 2),
+            other => panic!("expected duplicated Ready, got {other:?}"),
+        }
+
+        // IgnoreFinCount: a lost frame goes unnoticed.
+        let mut core = ProtocolCore::new();
+        core.set_mutation(Some(Mutation::IgnoreFinCount));
+        core.deposit(1, fin(7, 1, 5)).unwrap();
+        assert!(matches!(core.poll(7, 1), PollOutcome::Ready(f) if f.is_empty()));
+
+        // PrematureDeathMark: death beats a delivered FIN.
+        let mut core = ProtocolCore::new();
+        core.set_mutation(Some(Mutation::PrematureDeathMark));
+        core.deposit(1, fin(7, 1, 0)).unwrap();
+        core.mark_shard_dead(
+            1,
+            ExchangeError::PeerDied {
+                peer: "shard 1".into(),
+                detail: "test".into(),
+            },
+        );
+        assert!(matches!(core.poll(7, 1), PollOutcome::Failed(_)));
+
+        // IgnorePoison: corruption is swallowed.
+        let mut core = ProtocolCore::new();
+        core.set_mutation(Some(Mutation::IgnorePoison));
+        core.poison(ExchangeError::Frame {
+            detail: "corrupt".into(),
+        });
+        core.deposit(1, fin(7, 1, 0)).unwrap();
+        assert!(matches!(core.poll(7, 1), PollOutcome::Ready(_)));
+    }
+
+    #[test]
+    fn digest_is_canonical() {
+        let mut a = ProtocolCore::new();
+        let mut b = ProtocolCore::new();
+        // Same logical state reached in different orders.
+        a.deposit(1, data(7, 1, 0)).unwrap();
+        a.deposit(2, data(7, 2, 1)).unwrap();
+        b.deposit(2, data(7, 2, 1)).unwrap();
+        b.deposit(1, data(7, 1, 0)).unwrap();
+        let (mut da, mut db) = (Vec::new(), Vec::new());
+        a.digest(&mut da);
+        b.digest(&mut db);
+        assert_eq!(da, db);
+        // A different state digests differently.
+        b.deposit(1, fin(7, 1, 1)).unwrap();
+        db.clear();
+        b.digest(&mut db);
+        assert_ne!(da, db);
+    }
+}

@@ -6,6 +6,7 @@ use crate::exchange::{self, Exchange, ExchangeCounters, InProcessExchange, Shard
 use crate::governor::MemGovernor;
 use crate::pool::ThreadPool;
 use crate::steal;
+use crate::sync::lock_unpoisoned;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -454,7 +455,7 @@ impl Runtime {
     /// sharded gather goes through. Defaults to an [`InProcessExchange`]
     /// (framed when `TGRAPH_EXCHANGE=framed`).
     pub fn exchange(&self) -> Arc<dyn Exchange> {
-        Arc::clone(&self.exchange.lock().unwrap_or_else(|e| e.into_inner()))
+        Arc::clone(&lock_unpoisoned(&self.exchange))
     }
 
     /// Installs an exchange implementation (e.g. a
@@ -462,7 +463,7 @@ impl Runtime {
     /// [`exchange_counters`](Runtime::exchange_counters)). Swapping the
     /// exchange while a wave is in flight is a logic error.
     pub fn set_exchange(&self, ex: Arc<dyn Exchange>) {
-        *self.exchange.lock().unwrap_or_else(|e| e.into_inner()) = ex;
+        *lock_unpoisoned(&self.exchange) = ex;
     }
 
     /// The counters a custom exchange should share so its traffic shows up

@@ -24,6 +24,7 @@
 
 use crate::cancel::CancelToken;
 use crate::pool::ThreadPool;
+use crate::sync::lock_unpoisoned;
 use crossbeam::channel::unbounded;
 use crossbeam::deque::{Steal, Stealer, Worker};
 use std::ops::Range;
@@ -178,7 +179,7 @@ where
                         let _ = tx.send((m.global, r, us));
                     }
                     Err(payload) => {
-                        let mut slot = panic_slot.lock().unwrap_or_else(|e| e.into_inner());
+                        let mut slot = lock_unpoisoned(&panic_slot);
                         if slot.is_none() {
                             *slot = Some(payload);
                         }
@@ -207,7 +208,7 @@ where
     let steals = steals.load(Ordering::Relaxed);
     let skipped = total as u64 - executed;
     let outcome = {
-        let mut slot = panic_slot.lock().unwrap_or_else(|e| e.into_inner());
+        let mut slot = lock_unpoisoned(&panic_slot);
         if let Some(payload) = slot.take() {
             WaveOutcome::Panicked(payload)
         } else if cancelled.load(Ordering::Acquire) {

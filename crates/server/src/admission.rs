@@ -20,6 +20,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use tgraph_dataflow::lock_unpoisoned;
 use tgraph_dataflow::{MemCharge, MemGovernor};
 
 /// How often a governed waiter re-polls the budget: exchange charges are
@@ -114,7 +115,7 @@ impl Drop for Permit {
         // Release the reservation before waking a waiter, so the bytes are
         // visible to its try_reserve.
         self.charge.take();
-        let mut state = self.gate.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = lock_unpoisoned(&self.gate.state);
         state.inflight = state.inflight.saturating_sub(1);
         drop(state);
         self.gate.cv.notify_one();
@@ -186,7 +187,7 @@ impl Admission {
     /// `deadline: None` waits indefinitely.
     pub fn admit(self: &Arc<Self>, deadline: Option<Instant>) -> Result<Permit, AdmitError> {
         let started = Instant::now();
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = lock_unpoisoned(&self.state);
         if state.inflight < self.max_inflight && state.waiting == 0 {
             // Fast path: free slot, no queue to cut, reservation fits (or is
             // exempt). A failed reservation falls through to the queue.
@@ -280,7 +281,7 @@ impl Admission {
     /// Current counters and live depths.
     pub fn stats(&self) -> AdmissionStats {
         let (inflight, queue_depth) = {
-            let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            let state = lock_unpoisoned(&self.state);
             (state.inflight, state.waiting)
         };
         AdmissionStats {

@@ -15,6 +15,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use tgraph_dataflow::lock_unpoisoned;
 
 /// A cache key: hash plus the exact canonical form it was derived from.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -92,7 +93,7 @@ impl ResultCache {
     /// Looks up `key`, refreshing its recency on a hit. A hash match whose
     /// canonical string differs (a true fingerprint collision) is a miss.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<[u8]>> {
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = lock_unpoisoned(&self.inner);
         let inner = &mut *inner;
         let found = inner
             .map
@@ -124,7 +125,7 @@ impl ResultCache {
     /// refresh that grew past the budget (the refresh path drops the entry
     /// instead of flushing every other resident entry first).
     pub fn insert(&self, key: &CacheKey, bytes: Arc<[u8]>) {
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = lock_unpoisoned(&self.inner);
         let inner = &mut *inner;
         // Replace an existing entry for the same key in place.
         if let Some(entries) = inner.map.get_mut(&key.hash) {
@@ -200,7 +201,7 @@ impl ResultCache {
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         let bytes_used = {
-            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let inner = lock_unpoisoned(&self.inner);
             inner.bytes_used
         };
         CacheStats {
@@ -217,7 +218,7 @@ impl ResultCache {
     /// pure probe for tests and metrics, unlike [`get`](ResultCache::get)
     /// which promotes the entry to most-recently-used.
     pub fn contains(&self, key: &CacheKey) -> bool {
-        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let inner = lock_unpoisoned(&self.inner);
         inner
             .map
             .get(&key.hash)
@@ -226,7 +227,7 @@ impl ResultCache {
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let inner = lock_unpoisoned(&self.inner);
         inner.map.values().map(Vec::len).sum()
     }
 

@@ -15,6 +15,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tgraph_core::graph::TGraph;
 use tgraph_core::props::{Props, Value};
+use tgraph_dataflow::lock_unpoisoned;
 use tgraph_dataflow::{CancelToken, Runtime, ShardLayout, TcpExchange};
 use tgraph_query::Session;
 use tgraph_repr::ReprKind;
@@ -404,7 +405,7 @@ impl Server {
     ) -> Result<(TGraph, Vec<PeerReply>), (String, String)> {
         let peer_err =
             |addr: &str, what: String| ("shard_peer".to_string(), format!("peer {addr}: {what}"));
-        let _guard = self.shard_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = lock_unpoisoned(&self.shard_lock);
         let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
         let timeout = tgraph_dataflow::exchange::timeout_from_env();
         // Kick every peer off before executing locally: the first local
@@ -520,7 +521,7 @@ impl Server {
                 )
             }
         };
-        let _guard = self.shard_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = lock_unpoisoned(&self.shard_lock);
         self.rt.set_exchange_seq_base(epoch << 32);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.execute_steps(&shared, req)

@@ -21,6 +21,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use tgraph_core::time::Interval;
+use tgraph_dataflow::lock_unpoisoned;
 use tgraph_dataflow::Runtime;
 use tgraph_repr::{AnyGraph, ReprKind};
 
@@ -115,7 +116,7 @@ impl GraphPool {
     ) -> Result<SharedGraph, StorageError> {
         let key: PoolKey = (name.to_string(), kind, range);
         {
-            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let mut inner = lock_unpoisoned(&self.inner);
             loop {
                 if let Some(g) = inner.ready.get(&key) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
@@ -134,7 +135,7 @@ impl GraphPool {
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.loads.fetch_add(1, Ordering::Relaxed);
         let loaded = GraphLoader::new(&self.dir, name).load_shared(rt, kind, range);
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.loading.remove(&key);
         if let Ok(g) = &loaded {
             inner.ready.insert(key, g.clone());
@@ -156,7 +157,7 @@ impl GraphPool {
 
     /// Names and kinds currently resident, for observability output.
     pub fn resident(&self) -> Vec<(String, ReprKind, Option<Interval>)> {
-        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let inner = lock_unpoisoned(&self.inner);
         let mut keys: Vec<PoolKey> = inner.ready.keys().cloned().collect();
         keys.sort_by(|a, b| (&a.0, format!("{}", a.1)).cmp(&(&b.0, format!("{}", b.1))));
         keys
