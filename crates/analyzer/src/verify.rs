@@ -328,13 +328,21 @@ fn render_explain(root: &Arc<PlanNode>, w: &mut Walk, out: &mut String, depth: u
         Some(r) => format!(" rows~{r}"),
         None => String::new(),
     };
+    // Epoch-stamped sources (post-ingest loads) render their epoch; the
+    // base snapshot (epoch 0) renders exactly as before.
+    let epoch = if root.epoch != 0 {
+        format!(" epoch={}", root.epoch)
+    } else {
+        String::new()
+    };
     let _ = writeln!(
         out,
-        "{indent}#{id} {} [{}] {}{}",
+        "{indent}#{id} {} [{}] {}{}{}",
         root.label,
         op_str(root.op),
         tag_str(root.claimed),
-        rows
+        rows,
+        epoch
     );
     for i in &root.inputs {
         render_explain(i, w, out, depth + 1);

@@ -1,0 +1,464 @@
+//! `ingestbench` — O(delta) incremental zoom maintenance vs cold recompute.
+//!
+//! ```text
+//! ingestbench                         # full sweep
+//! ingestbench --smoke                 # small deterministic pass for CI
+//! ingestbench --history 1000,4000 --deltas 8,512 --repr ve
+//! ```
+//!
+//! Phase 1 sweeps (history length × delta size): a synthetic evolving graph
+//! is written to disk, a delta appended as an epoch segment, and the same
+//! pipeline timed two ways — a cold recompute (full scan + full pipeline)
+//! and the patch path (`plan → load_suffix → pipeline over the suffix →
+//! stitch`, the exact sequence `tgraph-serve` runs). Byte-identity of the
+//! two results is asserted on every cell via the serve layer's canonical
+//! serialization, and the scan counters show the suffix read is bounded by
+//! the delta, not the history.
+//!
+//! Phase 2 drives the serve layer itself: an unsharded in-process server in
+//! checked mode (the patch path self-verifies against a cold recompute) and
+//! a two-shard deployment over real TCP whose post-ingest answer must be
+//! byte-identical to a single process over the same on-disk dataset.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+use tgraph_core::graph::{EdgeId, EdgeRecord, TGraph, VertexId, VertexRecord};
+use tgraph_core::props::Props;
+use tgraph_core::time::{Interval, Time};
+use tgraph_core::zoom::{AZoomSpec, AggSpec, Quantifier, WZoomSpec};
+use tgraph_dataflow::Runtime;
+use tgraph_ingest::{
+    execute_steps, load_suffix, plan, stitch, MaintenanceDecision, SnapshotDelta, ZoomStep,
+};
+use tgraph_repr::{AnyGraph, ReprKind};
+use tgraph_serve::{serialize_tgraph, Server, ServerConfig};
+use tgraph_storage::{append_epoch, write_dataset, GraphLoader, SortOrder};
+
+const SCHOOLS: [&str; 3] = ["MIT", "CMU", "ETH"];
+
+struct Args {
+    histories: Vec<u64>,
+    deltas: Vec<u64>,
+    repr: ReprKind,
+    smoke: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            histories: vec![1_000, 4_000, 16_000],
+            deltas: vec![8, 64, 512],
+            repr: ReprKind::Ve,
+            smoke: false,
+        }
+    }
+}
+
+fn parse_list(s: &str, flag: &str) -> Result<Vec<u64>, String> {
+    s.split(',')
+        .map(|p| p.trim().parse::<u64>().map_err(|e| format!("{flag}: {e}")))
+        .collect()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--history" => args.histories = parse_list(&value("--history")?, "--history")?,
+            "--deltas" => args.deltas = parse_list(&value("--deltas")?, "--deltas")?,
+            "--repr" => {
+                let v = value("--repr")?;
+                args.repr = match v.as_str() {
+                    "rg" => ReprKind::Rg,
+                    "ve" => ReprKind::Ve,
+                    "og" => ReprKind::Og,
+                    other => return Err(format!("--repr: unknown representation '{other}'")),
+                };
+            }
+            "--smoke" => {
+                args.smoke = true;
+                args.histories = vec![300, 600];
+                args.deltas = vec![4, 16];
+            }
+            "--help" | "-h" => {
+                return Err("usage: ingestbench [--history N,N,...] [--deltas N,N,...] \
+                            [--repr rg|ve|og] [--smoke]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// A synthetic evolving graph: vertex `i` alive over `[i, i+4)` with a
+/// rotating school, edge `i` connecting `i → i+1` over `[i+1, i+3)` — always
+/// inside both endpoints' existence, so the graph is valid under
+/// Definition 2.1. Lifespan `[0, n+3)`.
+fn history_graph(n: u64) -> TGraph {
+    let vertices = (0..n)
+        .map(|i| VertexRecord {
+            vid: VertexId(i),
+            interval: Interval::new(i as Time, i as Time + 4),
+            props: Props::typed("person").with("school", SCHOOLS[(i % 3) as usize]),
+        })
+        .collect();
+    let edges = (0..n.saturating_sub(1))
+        .map(|i| EdgeRecord {
+            eid: EdgeId(i + 1),
+            src: VertexId(i),
+            dst: VertexId(i + 1),
+            interval: Interval::new(i as Time + 1, i as Time + 3),
+            props: Props::typed("knows"),
+        })
+        .collect();
+    TGraph::from_records(vertices, edges)
+}
+
+/// A valid delta of `d` fresh vertices (plus chaining edges) at `since`:
+/// every fact starts exactly at the boundary, edge intervals covered by
+/// their delta-asserted endpoints.
+fn delta_of(n: u64, d: u64, since: Time) -> SnapshotDelta {
+    let vertices: Vec<VertexRecord> = (0..d)
+        .map(|j| VertexRecord {
+            vid: VertexId(n + 1 + j),
+            interval: Interval::new(since, since + 2),
+            props: Props::typed("person").with("school", SCHOOLS[(j % 3) as usize]),
+        })
+        .collect();
+    let edges = (0..d.saturating_sub(1))
+        .map(|j| EdgeRecord {
+            eid: EdgeId(n + 1 + j),
+            src: VertexId(n + 1 + j),
+            dst: VertexId(n + 2 + j),
+            interval: Interval::new(since, since + 2),
+            props: Props::typed("knows"),
+        })
+        .collect();
+    SnapshotDelta {
+        since,
+        vertices,
+        edges,
+    }
+}
+
+fn pipeline() -> Vec<ZoomStep> {
+    vec![
+        ZoomStep::AZoom(AZoomSpec::by_property(
+            "school",
+            "school",
+            vec![AggSpec::count("students")],
+        )),
+        ZoomStep::WZoom(WZoomSpec::points(2, Quantifier::Exists, Quantifier::Exists)),
+    ]
+}
+
+/// One sweep cell: returns `(cold_us, patch_us, rows_full, rows_suffix)`.
+fn run_cell(
+    rt: &Runtime,
+    repr: ReprKind,
+    n: u64,
+    d: u64,
+) -> Result<(u128, u128, usize, usize), String> {
+    let dir = std::env::temp_dir().join(format!("tgraph-ingestbench-{n}-{d}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let base = history_graph(n);
+    let boundary = base.lifespan.end;
+    write_dataset(&dir, "bench", &base).map_err(|e| format!("write dataset: {e}"))?;
+    let loader = GraphLoader::new(&dir, "bench");
+    let steps = pipeline();
+
+    // The retained result the patch path maintains (untimed: it is the
+    // pre-ingest answer the serve layer already holds).
+    let cached = execute_steps(rt, AnyGraph::load(rt, &base, repr), &steps).to_tgraph(rt);
+
+    let delta = delta_of(n, d, boundary);
+    delta.validate().map_err(|e| format!("delta: {e}"))?;
+    append_epoch(&dir, "bench", &delta.to_tgraph()).map_err(|e| format!("append epoch: {e}"))?;
+
+    // Cold: full scan + full pipeline, what serving would do without
+    // maintenance.
+    let t0 = Instant::now();
+    let (full, full_scan) = loader
+        .load_flat(SortOrder::Structural, None)
+        .map_err(|e| format!("full load: {e}"))?;
+    let cold = execute_steps(rt, AnyGraph::load(rt, &full, repr), &steps).to_tgraph(rt);
+    let cold_us = t0.elapsed().as_micros();
+
+    // Patch: plan → suffix read (chunk-skipped) → pipeline over the suffix →
+    // stitch. The exact sequence `tgraph-serve` runs after an ingest.
+    let t1 = Instant::now();
+    let cut = match plan(full.lifespan, boundary, &steps) {
+        MaintenanceDecision::Patch { cut } => cut,
+        MaintenanceDecision::Recompute { reason } => {
+            return Err(format!("planner refused to patch: {reason}"))
+        }
+    };
+    let (mut suffix, suffix_scan) =
+        load_suffix(&loader, cut).map_err(|e| format!("suffix load: {e}"))?;
+    suffix.lifespan = Interval::new(cut, full.lifespan.end);
+    let out = execute_steps(rt, AnyGraph::load(rt, &suffix, repr), &steps).to_tgraph(rt);
+    let patched = stitch(&cached, &out, cut);
+    let patch_us = t1.elapsed().as_micros();
+
+    // Byte-identity on every cell, not just in checked mode: the bench is
+    // only meaningful if the fast path is indistinguishable from the slow
+    // one.
+    if serialize_tgraph(&patched) != serialize_tgraph(&cold) {
+        return Err(format!(
+            "patched result diverged from cold recompute (history {n}, delta {d})"
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok((
+        cold_us,
+        patch_us,
+        full_scan.rows_read,
+        suffix_scan.rows_read,
+    ))
+}
+
+fn sweep(args: &Args) -> Result<(), String> {
+    let rt = Runtime::with_partitions(2, 4);
+    println!(
+        "ingestbench: repr={} pipeline=azoom(school)+wzoom(points=2)",
+        args.repr
+    );
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>9} {:>12} {:>12}",
+        "history", "delta", "cold_us", "patch_us", "speedup", "rows_full", "rows_suffix"
+    );
+    for &n in &args.histories {
+        for &d in &args.deltas {
+            let (cold_us, patch_us, rows_full, rows_suffix) = run_cell(&rt, args.repr, n, d)?;
+            println!(
+                "{:>10} {:>8} {:>12} {:>12} {:>8.1}x {:>12} {:>12}",
+                n,
+                d,
+                cold_us,
+                patch_us,
+                cold_us as f64 / (patch_us as f64).max(1.0),
+                rows_full,
+                rows_suffix,
+            );
+        }
+    }
+    Ok(())
+}
+
+// --- Phase 2: the serve layer itself -----------------------------------
+
+fn figure1_ingest_line(graph: &str) -> String {
+    format!(
+        r#"{{"op":"ingest","graph":"{graph}","since":9,"vertices":[{{"id":3,"interval":[9,12],"props":{{"type":"person","school":"MIT","name":"Cat"}}}},{{"id":7,"interval":[9,11],"props":{{"type":"person","school":"ETH","name":"Eli"}}}}]}}"#
+    )
+}
+
+fn figure1_zoom_line(graph: &str, extra: &str) -> String {
+    format!(
+        r#"{{"op":"zoom","graph":"{graph}","repr":"ve",{extra}"steps":[{{"azoom":{{"by":"school","new_type":"school","aggs":[{{"output":"students","fn":"count"}}]}}}}]}}"#
+    )
+}
+
+fn result_suffix(response: &str) -> Result<&str, String> {
+    response
+        .find("\"result\":")
+        .map(|at| &response[at..])
+        .ok_or_else(|| format!("no result field in {response}"))
+}
+
+fn expect(cond: bool, what: &str, response: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(format!("serve: expected {what}, got: {response}"))
+    }
+}
+
+/// In-process serve check: checked mode makes the server verify the patched
+/// bytes against a cold recompute internally; the `no_cache` run re-verifies
+/// end to end here.
+fn serve_in_process() -> Result<(), String> {
+    let dir = std::env::temp_dir().join("tgraph-ingestbench-serve");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create dir: {e}"))?;
+    write_dataset(
+        &dir,
+        "fig1",
+        &tgraph_core::graph::figure1_graph_stable_ids(),
+    )
+    .map_err(|e| format!("write dataset: {e}"))?;
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir: dir.clone(),
+        workers: 2,
+        partitions: 2,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    server.runtime().set_checked(true);
+    let warm = server.handle_line(&figure1_zoom_line("fig1", ""));
+    expect(warm.contains("\"cache\":\"miss\""), "a cache miss", &warm)?;
+    let ing = server.handle_line(&figure1_ingest_line("fig1"));
+    expect(ing.contains("\"epoch\":1"), "epoch 1 committed", &ing)?;
+    let patched = server.handle_line(&figure1_zoom_line("fig1", ""));
+    expect(
+        patched.contains("\"cache\":\"patch\""),
+        "the patch path",
+        &patched,
+    )?;
+    let cold = server.handle_line(&figure1_zoom_line("fig1", "\"no_cache\":true,"));
+    expect(
+        result_suffix(&patched)? == result_suffix(&cold)?,
+        "patched bytes identical to a cold run",
+        &cold,
+    )?;
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("serve: in-process patch path ok (cache=patch, byte-identical to cold, checked mode)");
+    Ok(())
+}
+
+fn roundtrip(addr: std::net::SocketAddr, line: &str) -> Result<String, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+    let mut writer = stream;
+    writer
+        .write_all(format!("{line}\n").as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    reader
+        .read_line(&mut response)
+        .map_err(|e| format!("receive: {e}"))?;
+    Ok(response.trim_end().to_string())
+}
+
+fn reserve_port() -> Result<String, String> {
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("reserve: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| format!("addr: {e}"))?;
+    Ok(format!("127.0.0.1:{}", addr.port()))
+}
+
+/// Two-shard serve check: ingest through the coordinator replicates the
+/// epoch; the post-ingest answer must be byte-identical to a single process
+/// over the same on-disk dataset.
+fn serve_sharded() -> Result<(), String> {
+    let dir = std::env::temp_dir().join("tgraph-ingestbench-sharded");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create dir: {e}"))?;
+    write_dataset(
+        &dir,
+        "fig1",
+        &tgraph_core::graph::figure1_graph_stable_ids(),
+    )
+    .map_err(|e| format!("write dataset: {e}"))?;
+    let exchange = vec![reserve_port()?, reserve_port()?];
+    let shard1 = Arc::new(
+        Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: dir.clone(),
+            workers: 2,
+            partitions: 2,
+            shard: 1,
+            shards: 2,
+            exchange_addr: exchange[1].clone(),
+            exchange_peers: exchange.clone(),
+            ..ServerConfig::default()
+        })
+        .map_err(|e| format!("bind shard 1: {e}"))?,
+    );
+    let addr1 = shard1.local_addr().map_err(|e| format!("addr1: {e}"))?;
+    let shard0 = Arc::new(
+        Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: dir.clone(),
+            workers: 2,
+            partitions: 2,
+            shard: 0,
+            shards: 2,
+            exchange_addr: exchange[0].clone(),
+            exchange_peers: exchange,
+            serve_peers: vec!["127.0.0.1:1".to_string(), addr1.to_string()],
+            ..ServerConfig::default()
+        })
+        .map_err(|e| format!("bind shard 0: {e}"))?,
+    );
+    let addr0 = shard0.local_addr().map_err(|e| format!("addr0: {e}"))?;
+    let threads = [&shard0, &shard1].map(|s| {
+        let s = Arc::clone(s);
+        std::thread::spawn(move || s.serve())
+    });
+
+    let before = roundtrip(addr0, &figure1_zoom_line("fig1", ""))?;
+    expect(before.contains("\"ok\":true"), "a sharded zoom", &before)?;
+    let ing = roundtrip(addr0, &figure1_ingest_line("fig1"))?;
+    expect(ing.contains("\"epoch\":1"), "epoch 1 committed", &ing)?;
+    let after = roundtrip(addr0, &figure1_zoom_line("fig1", ""))?;
+    expect(after.contains("\"ok\":true"), "a post-ingest zoom", &after)?;
+    expect(
+        result_suffix(&before)? != result_suffix(&after)?,
+        "fresh bytes after the ingest",
+        &after,
+    )?;
+
+    let single = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir: dir.clone(),
+        workers: 2,
+        partitions: 2,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("bind single: {e}"))?;
+    let baseline = single.handle_line(&figure1_zoom_line("fig1", ""));
+    expect(
+        result_suffix(&baseline)? == result_suffix(&after)?,
+        "sharded post-ingest answer byte-identical to single process",
+        &after,
+    )?;
+
+    for (addr, thread) in [addr0, addr1].into_iter().zip(threads) {
+        let _ = roundtrip(addr, r#"{"op":"shutdown"}"#);
+        thread
+            .join()
+            .map_err(|_| "serve thread panicked".to_string())?
+            .map_err(|e| format!("serve loop: {e}"))?;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("serve: 2-shard ingest ok (epoch replicated, byte-identical to single process)");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("ingestbench: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = sweep(&args)
+        .and_then(|()| serve_in_process())
+        .and_then(|()| serve_sharded());
+    match outcome {
+        Ok(()) => {
+            println!("ingestbench: ok");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("ingestbench: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -10,7 +10,11 @@
 //! `--distinct` window widths so the cache sees a mix of repeats and fresh
 //! plans. Reports throughput, p50/p95/p99 latency, and the server's cache
 //! and admission counters. `--no-cache` makes every request bypass the
-//! result cache for a cold-path baseline.
+//! result cache for a cold-path baseline. `--ingest-mix P` turns P percent
+//! of each client's requests into live-ingest epoch appends (tiny deltas,
+//! self-resynchronizing on write races), so zoom p50/p95/p99 can be compared
+//! with ingest on vs off — zoom and ingest latencies are reported
+//! separately.
 //!
 //! Smoke mode (`--smoke`): a deterministic correctness pass used by CI —
 //! ping, the same zoom twice (second must be a cache hit with byte-identical
@@ -35,6 +39,7 @@ struct Args {
     distinct: usize,
     deadline_ms: Option<i64>,
     no_cache: bool,
+    ingest_mix: usize,
     smoke: bool,
 }
 
@@ -49,6 +54,7 @@ impl Default for Args {
             distinct: 8,
             deadline_ms: None,
             no_cache: false,
+            ingest_mix: 0,
             smoke: false,
         }
     }
@@ -91,11 +97,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 )
             }
             "--no-cache" => args.no_cache = true,
+            "--ingest-mix" => {
+                args.ingest_mix = value("--ingest-mix")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--ingest-mix: {e}"))?;
+                if args.ingest_mix > 100 {
+                    return Err("--ingest-mix: must be a percentage in 0..=100".to_string());
+                }
+            }
             "--smoke" => args.smoke = true,
             "--help" | "-h" => {
                 return Err("usage: tgraph-loadgen --addr HOST:PORT [--graph NAME] \
                             [--repr rg|ve|og] [--clients N] [--requests N] \
-                            [--distinct N] [--deadline-ms N] [--no-cache] [--smoke]"
+                            [--distinct N] [--deadline-ms N] [--no-cache] \
+                            [--ingest-mix PCT] [--smoke]"
                     .to_string())
             }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
@@ -332,49 +347,94 @@ fn run_load(args: &Args) -> Result<(), String> {
         ..*args
     });
     let latency = Arc::new(Histogram::default());
+    let ingest_latency = Arc::new(Histogram::default());
     let started = Instant::now();
     let mut handles = Vec::new();
     for client_id in 0..args.clients {
         let args = Arc::clone(&args);
         let latency = Arc::clone(&latency);
-        handles.push(std::thread::spawn(move || -> Result<(u64, u64), String> {
-            let mut client = Client::connect(&args.addr)?;
-            let mut hits = 0u64;
-            let mut errors = 0u64;
-            for i in 0..args.requests {
-                // Offset by client id so clients collide on the cache rather
-                // than marching in lockstep.
-                let variant = (client_id + i) % args.distinct;
-                let line = zoom_line(&args, variant);
-                let t0 = Instant::now();
-                let response = client.roundtrip(&line)?;
-                latency.record(t0.elapsed());
-                if response.contains("\"cache\":\"hit\"") {
-                    hits += 1;
-                } else if !response.contains("\"ok\":true") {
-                    errors += 1;
+        let ingest_latency = Arc::clone(&ingest_latency);
+        handles.push(
+            std::thread::spawn(move || -> Result<(u64, u64, u64, u64), String> {
+                let mut client = Client::connect(&args.addr)?;
+                let mut hits = 0u64;
+                let mut errors = 0u64;
+                let mut ingests = 0u64;
+                let mut raced = 0u64;
+                // Dataset lifespan end as this client last saw it; None means
+                // "unknown", resolved by an empty (always-valid) delta.
+                let mut end: Option<i64> = None;
+                for i in 0..args.requests {
+                    // Deterministic Bresenham stride: ingests spread evenly
+                    // through the run at the requested rate, offset by client
+                    // id so writers do not march in lockstep.
+                    let j = client_id + i;
+                    if (j + 1) * args.ingest_mix / 100 > j * args.ingest_mix / 100 {
+                        let line = match end {
+                            None => format!(r#"{{"op":"ingest","graph":"{}"}}"#, args.graph),
+                            Some(e) => format!(
+                                r#"{{"op":"ingest","graph":"{}","vertices":[{{"id":{},"interval":[{},{}],"props":{{"type":"live","editCount":0}}}}]}}"#,
+                                args.graph,
+                                900_000 + client_id,
+                                e,
+                                e + 1
+                            ),
+                        };
+                        let t0 = Instant::now();
+                        let response = client.roundtrip(&line)?;
+                        ingest_latency.record(t0.elapsed());
+                        if response.contains("\"ok\":true") {
+                            ingests += 1;
+                            end = field_i64(&response, &["end"]).ok();
+                        } else if response.contains("\"kind\":\"bad_delta\"") {
+                            // Lost a write race: another client moved the
+                            // boundary. Resync from the next empty delta.
+                            end = None;
+                            raced += 1;
+                        } else {
+                            errors += 1;
+                        }
+                        continue;
+                    }
+                    // Offset by client id so clients collide on the cache
+                    // rather than marching in lockstep.
+                    let variant = (client_id + i) % args.distinct;
+                    let line = zoom_line(&args, variant);
+                    let t0 = Instant::now();
+                    let response = client.roundtrip(&line)?;
+                    latency.record(t0.elapsed());
+                    if response.contains("\"cache\":\"hit\"") {
+                        hits += 1;
+                    } else if !response.contains("\"ok\":true") {
+                        errors += 1;
+                    }
                 }
-            }
-            Ok((hits, errors))
-        }));
+                Ok((hits, errors, ingests, raced))
+            }),
+        );
     }
     let mut hits = 0u64;
     let mut errors = 0u64;
+    let mut ingests = 0u64;
+    let mut raced = 0u64;
     for handle in handles {
-        let (h, e) = handle
+        let (h, e, n, r) = handle
             .join()
             .map_err(|_| "client thread panicked".to_string())??;
         hits += h;
         errors += e;
+        ingests += n;
+        raced += r;
     }
     let elapsed = started.elapsed().max(Duration::from_micros(1));
     let total = (args.clients * args.requests) as u64;
     println!(
-        "loadgen: {} clients x {} requests ({} distinct plans, cache {})",
+        "loadgen: {} clients x {} requests ({} distinct plans, cache {}, ingest mix {}%)",
         args.clients,
         args.requests,
         args.distinct,
         if args.no_cache { "OFF" } else { "ON" },
+        args.ingest_mix,
     );
     println!(
         "  throughput  {:>10.1} req/s  ({} requests in {:.2}s)",
@@ -383,11 +443,22 @@ fn run_load(args: &Args) -> Result<(), String> {
         elapsed.as_secs_f64(),
     );
     println!(
-        "  latency     p50 {}us  p95 {}us  p99 {}us",
+        "  zoom        p50 {}us  p95 {}us  p99 {}us  ({} zooms)",
         latency.quantile_us(0.50),
         latency.quantile_us(0.95),
         latency.quantile_us(0.99),
+        latency.count(),
     );
+    if ingests + raced > 0 {
+        println!(
+            "  ingest      p50 {}us  p95 {}us  p99 {}us  ({} epochs committed, {} raced)",
+            ingest_latency.quantile_us(0.50),
+            ingest_latency.quantile_us(0.95),
+            ingest_latency.quantile_us(0.99),
+            ingests,
+            raced,
+        );
+    }
     println!("  client view {hits} cache hits, {errors} errors");
 
     // Server-side counters for the same window.
@@ -395,12 +466,15 @@ fn run_load(args: &Args) -> Result<(), String> {
     let stats = client.roundtrip(r#"{"op":"stats"}"#)?;
     let g = |path: &[&str]| field_i64(&stats, path).unwrap_or(-1);
     println!(
-        "  server      cache hits {} / misses {} / evictions {}; executed {}; \
-         admission wait p50 {}us",
+        "  server      cache hits {} / misses {} / evictions {} / invalidations {}; \
+         executed {} (patched {}); ingests {}; admission wait p50 {}us",
         g(&["cache", "hits"]),
         g(&["cache", "misses"]),
         g(&["cache", "evictions"]),
+        g(&["cache", "invalidations"]),
         g(&["server", "zoom_executed"]),
+        g(&["server", "zoom_patched"]),
+        g(&["server", "ingests"]),
         g(&["server", "latency", "admission_wait", "p50_us"]),
     );
     println!(

@@ -287,6 +287,17 @@ impl AggAccumulator {
     }
 }
 
+/// aZoom^T group aggregates are decomposable: partial accumulators over
+/// disjoint member slices (partitions, or epochs of an evolving graph)
+/// merge into the accumulator of the whole slice. This is the algebraic
+/// fact incremental zoom maintenance relies on — a delta's contribution to
+/// a group merges into the cached state without revisiting old members.
+impl tgraph_dataflow::Decomposable for AggAccumulator {
+    fn merge(&mut self, other: &Self) {
+        AggAccumulator::merge(self, other);
+    }
+}
+
 /// Full specification of one `aZoom^T` invocation.
 #[derive(Clone, Debug)]
 pub struct AZoomSpec {
@@ -466,5 +477,75 @@ mod tests {
         assert_eq!(p.type_label(), Some("parity"));
         let (g1, _) = spec.skolemize(VertexId(3), &Props::typed("x")).unwrap();
         assert_eq!(g1, 1);
+    }
+
+    /// The [`tgraph_dataflow::Decomposable`] laws for aZoom^T accumulators:
+    /// splitting the member set at any point and merging the partial states
+    /// (in either order, with any association) finishes identically to one
+    /// sequential accumulation. This is the algebraic footing of both
+    /// per-partition combining and O(delta) incremental maintenance.
+    #[test]
+    fn accumulator_is_decomposable() {
+        let specs: Arc<[AggSpec]> = Arc::from(vec![
+            AggSpec::count("n"),
+            AggSpec::new("total", AggFn::Sum(Arc::from("gpa"))),
+            AggSpec::new("lo", AggFn::Min(Arc::from("gpa"))),
+            AggSpec::new("hi", AggFn::Max(Arc::from("gpa"))),
+            AggSpec::new("mean", AggFn::Avg(Arc::from("gpa"))),
+            AggSpec::new("pick", AggFn::Any(Arc::from("school"))),
+        ]);
+        let members: Vec<Props> = (0..13)
+            .map(|i| {
+                let p = Props::typed("person").with("gpa", (i as i64 % 5) as f64 + 0.25);
+                if i % 3 == 0 {
+                    p.with("school", if i % 2 == 0 { "MIT" } else { "CMU" })
+                } else {
+                    p
+                }
+            })
+            .collect();
+        let mut whole = AggAccumulator::new(specs.clone());
+        for m in &members {
+            whole.update(m);
+        }
+        let expected = whole.finish(Props::typed("school"));
+        for split in [1, 4, 7, 12] {
+            let mut a = AggAccumulator::new(specs.clone());
+            let mut b = AggAccumulator::new(specs.clone());
+            for m in &members[..split] {
+                a.update(m);
+            }
+            for m in &members[split..] {
+                b.update(m);
+            }
+            // merge(a, b) == merge(b, a) == whole, through the trait.
+            let mut ab = a.clone();
+            tgraph_dataflow::Decomposable::merge(&mut ab, &b);
+            let mut ba = b.clone();
+            tgraph_dataflow::Decomposable::merge(&mut ba, &a);
+            assert_eq!(ab.finish(Props::typed("school")), expected, "split {split}");
+            assert_eq!(ba.finish(Props::typed("school")), expected, "split {split}");
+        }
+        // Associativity across a three-way split, via merge_states (which
+        // folds left) against a right-folded merge.
+        let thirds: Vec<AggAccumulator> = members
+            .chunks(5)
+            .map(|chunk| {
+                let mut acc = AggAccumulator::new(specs.clone());
+                for m in chunk {
+                    acc.update(m);
+                }
+                acc
+            })
+            .collect();
+        let left = tgraph_dataflow::merge_states(thirds.clone())
+            .expect("non-empty")
+            .finish(Props::typed("school"));
+        let mut right = thirds[1].clone();
+        tgraph_dataflow::Decomposable::merge(&mut right, &thirds[2]);
+        let mut first = thirds[0].clone();
+        tgraph_dataflow::Decomposable::merge(&mut first, &right);
+        assert_eq!(left, expected);
+        assert_eq!(first.finish(Props::typed("school")), expected);
     }
 }

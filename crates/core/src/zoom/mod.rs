@@ -13,7 +13,9 @@
 //! under point semantics as the testing oracle.
 
 pub mod azoom;
+pub mod maintenance;
 pub mod wzoom;
 
 pub use azoom::{AZoomSpec, AggAccumulator, AggFn, AggSpec, Skolem};
+pub use maintenance::MaintenanceDecision;
 pub use wzoom::{window_relation, Quantifier, ResolveFn, WZoomSpec, WindowSpec};

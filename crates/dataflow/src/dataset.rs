@@ -176,6 +176,31 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         Self::from_vec_with(rt.partitions(), items)
     }
 
+    /// Builds a dataset like [`Dataset::from_vec`], stamping the source
+    /// lineage leaf with the ingest epoch the items were loaded at. Plans
+    /// over different epochs of the same data fingerprint differently (see
+    /// [`PlanNode::source_at`]); epoch 0 is identical to `from_vec`.
+    pub fn from_vec_tagged(rt: &Runtime, items: Vec<T>, epoch: u64) -> Self {
+        Self::from_vec_with_tagged(rt.partitions(), items, epoch)
+    }
+
+    /// [`Dataset::from_vec_with`] with an epoch-stamped source leaf.
+    pub fn from_vec_with_tagged(parts: usize, items: Vec<T>, epoch: u64) -> Self {
+        let ds = Self::from_vec_with(parts, items);
+        if epoch == 0 {
+            return ds;
+        }
+        let lineage = PlanNode::source_at(
+            ds.lineage.label,
+            ds.num_partitions(),
+            ds.partitioning,
+            ds.lineage.rows.unwrap_or(0),
+            ds.lineage.row_bytes,
+            epoch,
+        );
+        Dataset { lineage, ..ds }
+    }
+
     /// Builds a dataset split into exactly `parts` partitions.
     pub fn from_vec_with(parts: usize, items: Vec<T>) -> Self {
         let parts = parts.max(1);

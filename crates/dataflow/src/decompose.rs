@@ -1,0 +1,62 @@
+//! Decomposable aggregation states: the algebraic contract incremental
+//! maintenance rests on.
+//!
+//! An aggregate is *decomposable* when its partial states form a commutative
+//! semigroup under [`Decomposable::merge`]: evaluating the aggregate over a
+//! partitioned input and merging the partial states yields the same result
+//! as evaluating it over the whole input at once. This is the property that
+//! lets
+//!
+//! * wide operators compute per-partition partials and combine them after
+//!   the exchange instead of shipping raw rows, and
+//! * the ingest subsystem patch a cached zoom result from a delta: the
+//!   cached state covers the old epochs, the delta's partial state covers
+//!   the new one, and `merge` reconciles them without revisiting history.
+//!
+//! Implementors must satisfy, for all states `a`, `b`, `c` produced from
+//! disjoint slices of one logical input:
+//!
+//! * **commutativity** — `merge(a, b) == merge(b, a)`;
+//! * **associativity** — `merge(merge(a, b), c) == merge(a, merge(b, c))`.
+//!
+//! `tgraph_core::zoom::azoom::AggAccumulator` (the aZoom^T aggregate state)
+//! implements this trait; its property tests pin the laws down.
+
+/// A mergeable partial-aggregation state. See the module docs for the laws.
+pub trait Decomposable {
+    /// Folds another partial state (over a disjoint slice of the input)
+    /// into `self`.
+    fn merge(&mut self, other: &Self);
+}
+
+/// Merges an iterator of partial states into one, or `None` for an empty
+/// iterator. With the trait laws, the result is independent of the order in
+/// which states are supplied.
+pub fn merge_states<T: Decomposable>(states: impl IntoIterator<Item = T>) -> Option<T> {
+    let mut it = states.into_iter();
+    let mut acc = it.next()?;
+    for s in it {
+        acc.merge(&s);
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Sum(i64);
+    impl Decomposable for Sum {
+        fn merge(&mut self, other: &Self) {
+            self.0 += other.0;
+        }
+    }
+
+    #[test]
+    fn merge_states_folds_all_partials() {
+        assert_eq!(merge_states(vec![Sum(1), Sum(2), Sum(3)]), Some(Sum(6)));
+        assert_eq!(merge_states(Vec::<Sum>::new()), None);
+        assert_eq!(merge_states(vec![Sum(7)]), Some(Sum(7)));
+    }
+}

@@ -60,6 +60,7 @@
 
 pub mod cancel;
 pub mod dataset;
+pub mod decompose;
 pub mod exchange;
 pub mod extra;
 pub mod governor;
@@ -74,6 +75,7 @@ pub mod sync;
 
 pub use cancel::{CancelToken, Cancelled};
 pub use dataset::{Dataset, Partitioning};
+pub use decompose::{merge_states, Decomposable};
 pub use exchange::{
     Exchange, ExchangeCounters, ExchangeError, Frame, InProcessExchange, ShardLayout, TcpExchange,
 };

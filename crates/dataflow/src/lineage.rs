@@ -136,6 +136,12 @@ pub struct PlanNode {
     /// Upstream plan nodes (0 for sources, 1 for most ops, 2 for joins
     /// and unions).
     pub inputs: Vec<Arc<PlanNode>>,
+    /// Ingest epoch of the source data this node was built from. Non-zero
+    /// only on `Source` leaves loaded from an epoch segment: appending an
+    /// epoch to a dataset changes the fingerprints of every plan over it, so
+    /// a pre-ingest cached result can never key-collide with a post-ingest
+    /// plan. Interior nodes carry 0 (the epoch is a property of the leaves).
+    pub epoch: u64,
 }
 
 impl PlanNode {
@@ -159,6 +165,7 @@ impl PlanNode {
             exact,
             row_bytes,
             inputs,
+            epoch: 0,
         })
     }
 
@@ -170,15 +177,31 @@ impl PlanNode {
         rows: u64,
         row_bytes: u64,
     ) -> Arc<PlanNode> {
-        PlanNode::new(
+        PlanNode::source_at(label, parts, claimed, rows, row_bytes, 0)
+    }
+
+    /// A source leaf stamped with the ingest epoch of the data it holds.
+    /// Epoch 0 (the base snapshot) fingerprints identically to an untagged
+    /// source, so pre-ingest plans are unaffected.
+    pub fn source_at(
+        label: &'static str,
+        parts: usize,
+        claimed: Partitioning,
+        rows: u64,
+        row_bytes: u64,
+        epoch: u64,
+    ) -> Arc<PlanNode> {
+        Arc::new(PlanNode {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
             label,
-            OpKind::Source { parts },
+            op: OpKind::Source { parts },
             claimed,
-            Some(rows),
-            true,
+            rows: Some(rows),
+            exact: true,
             row_bytes,
-            Vec::new(),
-        )
+            inputs: Vec::new(),
+            epoch,
+        })
     }
 
     /// Number of distinct nodes in the DAG rooted here (shared nodes counted
@@ -314,6 +337,13 @@ fn encode_node(node: &PlanNode, h: &mut Fnv) {
     }
     h.write(&[u8::from(node.exact)]);
     h.write_u64(node.row_bytes);
+    // Epoch 0 contributes nothing, so pre-ingest fingerprints (and their
+    // golden snapshots) are unchanged; any non-zero epoch perturbs the
+    // digest behind a domain separator no other field emits.
+    if node.epoch != 0 {
+        h.write(&[0xEB]);
+        h.write_u64(node.epoch);
+    }
 }
 
 /// A stable structural fingerprint of the plan DAG rooted at `root`.
@@ -565,5 +595,32 @@ mod tests {
         assert_eq!(h.len(), 18);
         assert!(h.starts_with("0x"));
         assert!(h[2..].chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn epoch_tag_perturbs_source_fingerprints() {
+        let base = PlanNode::source("v", 2, Partitioning::Unknown, 10, 8);
+        let e0 = PlanNode::source_at("v", 2, Partitioning::Unknown, 10, 8, 0);
+        let e1 = PlanNode::source_at("v", 2, Partitioning::Unknown, 10, 8, 1);
+        let e2 = PlanNode::source_at("v", 2, Partitioning::Unknown, 10, 8, 2);
+        // Epoch 0 is the base snapshot: identical to an untagged source, so
+        // pre-ingest golden fingerprints don't move.
+        assert_eq!(fingerprint(&base), fingerprint(&e0));
+        // Every later epoch is a distinct plan identity.
+        assert_ne!(fingerprint(&e0), fingerprint(&e1));
+        assert_ne!(fingerprint(&e1), fingerprint(&e2));
+        // The perturbation propagates through downstream operators.
+        let over = |src: &Arc<PlanNode>| {
+            PlanNode::new(
+                "map",
+                OpKind::Map,
+                Partitioning::Unknown,
+                Some(10),
+                true,
+                8,
+                vec![src.clone()],
+            )
+        };
+        assert_ne!(fingerprint(&over(&e0)), fingerprint(&over(&e1)));
     }
 }

@@ -1,0 +1,300 @@
+//! Typed snapshot deltas: the unit of live ingest.
+//!
+//! A [`SnapshotDelta`] carries the facts observed since a dataset's current
+//! lifespan end (`since`). Validation enforces the **append invariant** the
+//! whole incremental-maintenance stack rests on — every fact starts at or
+//! after `since` — plus basic well-formedness (non-empty intervals, no
+//! conflicting overlaps for one entity). Producers re-assert continuing
+//! entities: a vertex alive across the boundary appears in the delta with a
+//! fresh interval starting at `since`, which coalescing later merges back
+//! into one state; an entity that is *not* re-asserted has simply ended.
+
+use std::collections::HashMap;
+use tgraph_core::graph::{EdgeId, EdgeRecord, TGraph, VertexId, VertexRecord};
+use tgraph_core::props::Props;
+use tgraph_core::time::{Interval, Time};
+
+/// The facts of one ingest step, all at or after the `since` boundary.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SnapshotDelta {
+    /// The dataset lifespan end this delta extends. Every fact interval
+    /// starts at or after this point.
+    pub since: Time,
+    /// New vertex facts (including re-assertions of continuing vertices).
+    pub vertices: Vec<VertexRecord>,
+    /// New edge facts (including re-assertions of continuing edges).
+    pub edges: Vec<EdgeRecord>,
+}
+
+/// Why a delta was rejected. Every malformed input maps to one of these —
+/// ingest never panics on user data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A fact interval with `end <= start` — empty under the closed-open
+    /// convention, so it asserts nothing and is almost certainly a producer
+    /// bug.
+    EmptyInterval {
+        /// `"vertex"` or `"edge"`.
+        entity: &'static str,
+        /// The offending entity id.
+        id: u64,
+        /// The degenerate interval.
+        interval: Interval,
+    },
+    /// A fact starting before the `since` boundary — accepting it would let
+    /// the delta rewrite committed history out from under cached results.
+    OutOfOrder {
+        /// `"vertex"` or `"edge"`.
+        entity: &'static str,
+        /// The offending entity id.
+        id: u64,
+        /// Where the fact starts.
+        start: Time,
+        /// The boundary it violates.
+        since: Time,
+    },
+    /// Two facts for the same entity overlap in time with different
+    /// properties — the entity would have two property sets at once.
+    /// (Overlapping facts with *equal* properties are fine; they coalesce.)
+    Conflict {
+        /// `"vertex"` or `"edge"`.
+        entity: &'static str,
+        /// The id asserted twice.
+        id: u64,
+        /// The instant both facts cover.
+        at: Time,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::EmptyInterval {
+                entity,
+                id,
+                interval,
+            } => write!(
+                f,
+                "{entity} {id}: empty interval [{}, {})",
+                interval.start, interval.end
+            ),
+            DeltaError::OutOfOrder {
+                entity,
+                id,
+                start,
+                since,
+            } => write!(
+                f,
+                "{entity} {id}: starts at {start}, before the delta boundary {since}"
+            ),
+            DeltaError::Conflict { entity, id, at } => write!(
+                f,
+                "{entity} {id}: conflicting property sets overlap at time {at}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl SnapshotDelta {
+    /// An empty delta at `since`. Valid: it commits an epoch that moves no
+    /// time but still advances every cache generation.
+    pub fn empty(since: Time) -> Self {
+        SnapshotDelta {
+            since,
+            vertices: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Total facts carried.
+    pub fn len(&self) -> usize {
+        self.vertices.len() + self.edges.len()
+    }
+
+    /// True when the delta carries no facts.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty() && self.edges.is_empty()
+    }
+
+    /// Checks the append invariant and well-formedness. Returns the first
+    /// violation found; a valid delta returns `Ok(())`.
+    pub fn validate(&self) -> Result<(), DeltaError> {
+        let mut v_facts: HashMap<VertexId, Vec<(Interval, &Props)>> = HashMap::new();
+        for v in &self.vertices {
+            check_fact("vertex", v.vid.0, v.interval, self.since)?;
+            v_facts
+                .entry(v.vid)
+                .or_default()
+                .push((v.interval, &v.props));
+        }
+        for (vid, facts) in v_facts {
+            check_overlaps("vertex", vid.0, facts)?;
+        }
+        type EdgeKey = (EdgeId, VertexId, VertexId);
+        let mut e_facts: HashMap<EdgeKey, Vec<(Interval, &Props)>> = HashMap::new();
+        for e in &self.edges {
+            check_fact("edge", e.eid.0, e.interval, self.since)?;
+            e_facts
+                .entry((e.eid, e.src, e.dst))
+                .or_default()
+                .push((e.interval, &e.props));
+        }
+        for ((eid, _, _), facts) in e_facts {
+            check_overlaps("edge", eid.0, facts)?;
+        }
+        Ok(())
+    }
+
+    /// The delta's facts as a logical graph (lifespan derived from the
+    /// facts), ready for [`tgraph_storage::append_epoch`] or
+    /// [`AnyGraph::append_epoch`](tgraph_repr::AnyGraph::append_epoch).
+    pub fn to_tgraph(&self) -> TGraph {
+        TGraph::from_records(self.vertices.clone(), self.edges.clone())
+    }
+}
+
+fn check_fact(
+    entity: &'static str,
+    id: u64,
+    interval: Interval,
+    since: Time,
+) -> Result<(), DeltaError> {
+    if interval.is_empty() {
+        return Err(DeltaError::EmptyInterval {
+            entity,
+            id,
+            interval,
+        });
+    }
+    if interval.start < since {
+        return Err(DeltaError::OutOfOrder {
+            entity,
+            id,
+            start: interval.start,
+            since,
+        });
+    }
+    Ok(())
+}
+
+fn check_overlaps(
+    entity: &'static str,
+    id: u64,
+    mut facts: Vec<(Interval, &Props)>,
+) -> Result<(), DeltaError> {
+    facts.sort_by_key(|(iv, _)| (iv.start, iv.end));
+    for pair in facts.windows(2) {
+        let ((a, pa), (b, pb)) = (&pair[0], &pair[1]);
+        if b.start < a.end && pa != pb {
+            return Err(DeltaError::Conflict {
+                entity,
+                id,
+                at: b.start,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(id: u64, start: Time, end: Time) -> VertexRecord {
+        VertexRecord {
+            vid: VertexId(id),
+            interval: Interval::new(start, end),
+            props: Props::typed("person"),
+        }
+    }
+
+    #[test]
+    fn valid_delta_passes() {
+        let d = SnapshotDelta {
+            since: 9,
+            vertices: vec![v(1, 9, 13), v(2, 10, 12)],
+            edges: vec![EdgeRecord {
+                eid: EdgeId(1),
+                src: VertexId(1),
+                dst: VertexId(2),
+                interval: Interval::new(10, 12),
+                props: Props::typed("knows"),
+            }],
+        };
+        assert_eq!(d.validate(), Ok(()));
+        assert_eq!(d.to_tgraph().lifespan, Interval::new(9, 13));
+    }
+
+    #[test]
+    fn empty_delta_is_valid() {
+        assert_eq!(SnapshotDelta::empty(9).validate(), Ok(()));
+        assert!(SnapshotDelta::empty(9).to_tgraph().lifespan.is_empty());
+    }
+
+    #[test]
+    fn empty_interval_is_typed_error() {
+        let d = SnapshotDelta {
+            since: 9,
+            vertices: vec![v(1, 10, 10)],
+            edges: Vec::new(),
+        };
+        assert!(matches!(
+            d.validate(),
+            Err(DeltaError::EmptyInterval {
+                entity: "vertex",
+                id: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn fact_before_boundary_is_typed_error() {
+        let d = SnapshotDelta {
+            since: 9,
+            vertices: vec![v(1, 5, 12)],
+            edges: Vec::new(),
+        };
+        assert!(matches!(
+            d.validate(),
+            Err(DeltaError::OutOfOrder {
+                start: 5,
+                since: 9,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn conflicting_duplicate_id_is_typed_error() {
+        let mut a = v(1, 9, 12);
+        let mut b = v(1, 10, 13);
+        a.props = Props::typed("person").with("school", "MIT");
+        b.props = Props::typed("person").with("school", "CMU");
+        let d = SnapshotDelta {
+            since: 9,
+            vertices: vec![a, b],
+            edges: Vec::new(),
+        };
+        assert!(matches!(
+            d.validate(),
+            Err(DeltaError::Conflict {
+                entity: "vertex",
+                id: 1,
+                at: 10
+            })
+        ));
+    }
+
+    #[test]
+    fn duplicate_id_with_equal_props_is_fine() {
+        let d = SnapshotDelta {
+            since: 9,
+            vertices: vec![v(1, 9, 12), v(1, 10, 13)],
+            edges: Vec::new(),
+        };
+        assert_eq!(d.validate(), Ok(()));
+    }
+}

@@ -1,0 +1,27 @@
+//! Live ingest for TGraph: typed snapshot deltas, epoch appends, and
+//! O(delta) incremental zoom maintenance.
+//!
+//! The subsystem has three pieces, stacked on the storage layer's epoch
+//! segments ([`tgraph_storage::epochs`]):
+//!
+//! * [`SnapshotDelta`] — the validated unit of ingest: facts at or after
+//!   the dataset's current lifespan end, with typed rejection
+//!   ([`DeltaError`]) for empty intervals, out-of-order facts, and
+//!   conflicting duplicates.
+//! * [`AnyGraph::append_epoch`](tgraph_repr::AnyGraph::append_epoch) — the
+//!   in-memory O(delta) extension of a resident representation, used by
+//!   [`GraphPool::advance`](tgraph_storage::GraphPool::advance).
+//! * [`patch`] — incremental result maintenance: `plan → suffix → execute →
+//!   stitch`, byte-identical to a cold recompute (the property suite in
+//!   `tests/` pins this across all four representations, steal and spill
+//!   modes).
+
+pub mod delta;
+pub mod patch;
+
+pub use delta::{DeltaError, SnapshotDelta};
+pub use patch::{
+    apply_delta, execute_steps, load_suffix, maintain, plan, stitch, suffix_input, window_specs,
+    MaintenanceOutcome, ZoomStep,
+};
+pub use tgraph_core::zoom::maintenance::MaintenanceDecision;

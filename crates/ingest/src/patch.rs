@@ -1,0 +1,241 @@
+//! O(delta) zoom maintenance: patch a cached result instead of recomputing
+//! it over the whole history.
+//!
+//! After an ingest extends a dataset from lifespan `[L, b)` to `[L, b')`,
+//! a cached zoom result is still correct on most of the time axis — the
+//! delta's facts all live at or after `b`. [`decide`] (from
+//! `tgraph_core::zoom::maintenance`) finds the **cut** `c ≤ b`: the
+//! greatest point aligned to every `Points` window grid of the pipeline.
+//! Maintenance then:
+//!
+//! 1. re-executes the pipeline on the **suffix** — the updated graph
+//!    restricted to `[c, ∞)`, with its lifespan forced to start at `c` so
+//!    window grids anchor exactly where the cold run's windows fall;
+//! 2. **stitches**: the cached result truncated to `(-∞, c)` unioned with
+//!    the suffix result, re-coalesced per entity so states split at the cut
+//!    merge back.
+//!
+//! Every pipeline's final result is temporally coalesced (VE re-coalesces
+//! after each zoom; RG/OG/OGC materialize through `coalesce_graph`), and
+//! coalesced-plus-sorted is a *unique* normal form — so a patched result is
+//! byte-identical to a cold recompute under the server's deterministic
+//! serialization. The contract presumes the post-ingest graph is *valid*
+//! (Definition 2.1, `tgraph_core::validate`) — in particular no dangling
+//! edges, so every edge alive in the suffix has endpoint states there too;
+//! checked mode rejects invalid graphs before any pipeline runs.
+//! The cost is O(|delta| + entities alive at the cut), not
+//! O(history): the suffix read pushes `[c, ∞)` into the chunk statistics of
+//! the base file and every epoch segment.
+
+use crate::delta::SnapshotDelta;
+use tgraph_core::graph::{EdgeRecord, TGraph, VertexRecord};
+use tgraph_core::time::{Interval, Time};
+use tgraph_core::zoom::maintenance::{decide, MaintenanceDecision};
+use tgraph_core::zoom::{AZoomSpec, WZoomSpec, WindowSpec};
+use tgraph_dataflow::Runtime;
+use tgraph_repr::{AnyGraph, ReprKind};
+use tgraph_storage::format::{ScanStats, SortOrder, StorageError};
+use tgraph_storage::GraphLoader;
+
+/// One step of a zoom pipeline, as maintenance sees it. Mirrors the serve
+/// layer's request steps; kept here so every consumer (server, benches,
+/// property tests) patches through one code path.
+#[derive(Clone, Debug)]
+pub enum ZoomStep {
+    /// Attribute-based zoom.
+    AZoom(AZoomSpec),
+    /// Window-based zoom.
+    WZoom(WZoomSpec),
+    /// Representation switch.
+    Switch(ReprKind),
+}
+
+/// Executes a pipeline over a graph — the same semantics as the serve
+/// layer's step loop.
+pub fn execute_steps(rt: &Runtime, mut g: AnyGraph, steps: &[ZoomStep]) -> AnyGraph {
+    for step in steps {
+        g = match step {
+            ZoomStep::AZoom(spec) => g.azoom(rt, spec),
+            ZoomStep::WZoom(spec) => g.wzoom(rt, spec),
+            ZoomStep::Switch(kind) => g.switch_to(rt, *kind),
+        };
+    }
+    g
+}
+
+/// The window specs a pipeline applies, in order — the alignment constraints
+/// [`decide`] must respect.
+pub fn window_specs(steps: &[ZoomStep]) -> Vec<WindowSpec> {
+    steps
+        .iter()
+        .filter_map(|s| match s {
+            ZoomStep::WZoom(spec) => Some(spec.window),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Whether a pipeline can be patched after an ingest at `boundary`, given
+/// the *input graph's* post-ingest lifespan. Thin wrapper over
+/// [`tgraph_core::zoom::maintenance::decide`] that extracts the window
+/// constraints from the steps.
+pub fn plan(lifespan: Interval, boundary: Time, steps: &[ZoomStep]) -> MaintenanceDecision {
+    decide(lifespan, boundary, &window_specs(steps))
+}
+
+/// The updated graph restricted to `[cut, ∞)`, with the lifespan **forced**
+/// to start at `cut` even when no fact starts exactly there — window grids
+/// anchor at the lifespan start, and the cut is by construction a point of
+/// every grid.
+pub fn suffix_input(full: &TGraph, cut: Time) -> TGraph {
+    let tail = Interval::new(cut, Time::MAX);
+    let vertices: Vec<VertexRecord> = full
+        .vertices
+        .iter()
+        .filter_map(|v| {
+            v.interval.intersect(&tail).map(|interval| VertexRecord {
+                vid: v.vid,
+                interval,
+                props: v.props.clone(),
+            })
+        })
+        .collect();
+    let edges: Vec<EdgeRecord> = full
+        .edges
+        .iter()
+        .filter_map(|e| {
+            e.interval.intersect(&tail).map(|interval| EdgeRecord {
+                eid: e.eid,
+                src: e.src,
+                dst: e.dst,
+                interval,
+                props: e.props.clone(),
+            })
+        })
+        .collect();
+    TGraph {
+        lifespan: Interval::new(cut, full.lifespan.end),
+        vertices,
+        edges,
+    }
+}
+
+/// Reads the suffix `[cut, ∞)` of a dataset from disk: the structurally
+/// sorted base file plus every epoch segment, with the range pushed into
+/// each file's chunk statistics — chunks wholly before the cut are skipped,
+/// which is what keeps the patch path O(delta + live-at-cut) instead of
+/// O(history). `read_tgc` clips intervals to the range, so the returned
+/// lifespan already starts at the cut.
+pub fn load_suffix(loader: &GraphLoader, cut: Time) -> Result<(TGraph, ScanStats), StorageError> {
+    let (mut g, stats) =
+        loader.load_flat(SortOrder::Structural, Some(Interval::new(cut, Time::MAX)))?;
+    // An empty suffix scan yields an empty lifespan; force the anchor so
+    // window grids stay aligned regardless.
+    if g.lifespan.is_empty() {
+        g.lifespan = Interval::point(cut);
+    } else {
+        g.lifespan = Interval::new(cut, g.lifespan.end);
+    }
+    Ok((g, stats))
+}
+
+/// Stitches a cached result with the suffix recompute: cached states
+/// truncated to `(-∞, cut)`, suffix states appended, both relations
+/// re-coalesced so states split at the cut merge back into the single
+/// interval a cold run would produce.
+pub fn stitch(cached: &TGraph, suffix: &TGraph, cut: Time) -> TGraph {
+    let head = Interval::new(Time::MIN, cut);
+    let mut vertices: Vec<VertexRecord> = cached
+        .vertices
+        .iter()
+        .filter_map(|v| {
+            v.interval.intersect(&head).map(|interval| VertexRecord {
+                vid: v.vid,
+                interval,
+                props: v.props.clone(),
+            })
+        })
+        .collect();
+    vertices.extend(suffix.vertices.iter().cloned());
+    let mut edges: Vec<EdgeRecord> = cached
+        .edges
+        .iter()
+        .filter_map(|e| {
+            e.interval.intersect(&head).map(|interval| EdgeRecord {
+                eid: e.eid,
+                src: e.src,
+                dst: e.dst,
+                interval,
+                props: e.props.clone(),
+            })
+        })
+        .collect();
+    edges.extend(suffix.edges.iter().cloned());
+    TGraph {
+        lifespan: cached.lifespan.hull(&suffix.lifespan),
+        vertices: tgraph_core::coalesce::coalesce_vertices(vertices),
+        edges: tgraph_core::coalesce::coalesce_edges(edges),
+    }
+}
+
+/// How a result was brought up to date, with the counters the serve layer
+/// exports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MaintenanceOutcome {
+    /// The cached result was patched at the given cut.
+    Patched {
+        /// The stitch point.
+        cut: Time,
+    },
+    /// The pipeline was recomputed from scratch.
+    Recomputed {
+        /// Why patching was not applicable.
+        reason: &'static str,
+    },
+}
+
+/// In-process maintenance: brings `cached` (the pipeline's result before the
+/// delta) up to date against `full` (the logical graph *after* the delta),
+/// patching when the decision allows and falling back to a cold recompute
+/// otherwise. Returns the fresh result and what was done.
+///
+/// This is the reference implementation the property suite checks against a
+/// cold recompute; the serve layer runs the same `plan → suffix → execute →
+/// stitch` sequence with the suffix read from disk ([`load_suffix`]).
+pub fn maintain(
+    rt: &Runtime,
+    full: &TGraph,
+    repr: ReprKind,
+    steps: &[ZoomStep],
+    cached: &TGraph,
+    boundary: Time,
+) -> (TGraph, MaintenanceOutcome) {
+    match plan(full.lifespan, boundary, steps) {
+        MaintenanceDecision::Patch { cut } => {
+            let suffix = suffix_input(full, cut);
+            let out = execute_steps(rt, AnyGraph::load(rt, &suffix, repr), steps).to_tgraph(rt);
+            (
+                stitch(cached, &out, cut),
+                MaintenanceOutcome::Patched { cut },
+            )
+        }
+        MaintenanceDecision::Recompute { reason } => {
+            let out = execute_steps(rt, AnyGraph::load(rt, full, repr), steps).to_tgraph(rt);
+            (out, MaintenanceOutcome::Recomputed { reason })
+        }
+    }
+}
+
+/// Applies a validated delta to a logical graph — the "what the dataset
+/// looks like after ingest" half of [`maintain`], for in-process use and
+/// tests.
+pub fn apply_delta(base: &TGraph, delta: &SnapshotDelta) -> TGraph {
+    let mut vertices = base.vertices.clone();
+    vertices.extend(delta.vertices.iter().cloned());
+    let mut edges = base.edges.clone();
+    edges.extend(delta.edges.iter().cloned());
+    let mut g = TGraph::from_records(vertices, edges);
+    // An empty delta moves no time; keep the base lifespan.
+    g.lifespan = g.lifespan.hull(&base.lifespan);
+    g
+}

@@ -3,7 +3,9 @@
 //! [`Pipeline`] values.
 
 use crate::pipeline::{coalesce_any, CoalescePolicy, Op, Pipeline};
-use tgraph_core::zoom::{AZoomSpec, WZoomSpec};
+use tgraph_core::time::{Interval, Time};
+use tgraph_core::zoom::maintenance::{decide, MaintenanceDecision};
+use tgraph_core::zoom::{AZoomSpec, WZoomSpec, WindowSpec};
 use tgraph_core::TGraph;
 use tgraph_dataflow::Runtime;
 use tgraph_repr::{AnyGraph, ReprKind};
@@ -15,6 +17,9 @@ pub struct Session<'rt> {
     graph: AnyGraph,
     policy: CoalescePolicy,
     trace: Vec<Op>,
+    /// Lifespan of the *input* graph, captured at load — the anchor and
+    /// boundary the maintenance planner reasons about.
+    input_lifespan: Interval,
 }
 
 impl<'rt> Session<'rt> {
@@ -25,16 +30,19 @@ impl<'rt> Session<'rt> {
             graph: AnyGraph::load(rt, g, kind),
             policy: CoalescePolicy::Lazy,
             trace: Vec::new(),
+            input_lifespan: g.lifespan,
         }
     }
 
     /// Starts a session from an already-loaded representation.
     pub fn from_graph(rt: &'rt Runtime, graph: AnyGraph) -> Self {
+        let input_lifespan = graph.lifespan();
         Session {
             rt,
             graph,
             policy: CoalescePolicy::Lazy,
             trace: Vec::new(),
+            input_lifespan,
         }
     }
 
@@ -94,15 +102,50 @@ impl<'rt> Session<'rt> {
         self.finish().to_tgraph(rt)
     }
 
+    /// How a result cached from this session's trace would be brought up to
+    /// date after an ingest at `boundary` (every new fact at or after it):
+    /// patched from the suffix, or recomputed cold, and why.
+    pub fn maintenance_plan(&self, boundary: Time) -> MaintenanceDecision {
+        let windows: Vec<WindowSpec> = self
+            .trace
+            .iter()
+            .filter_map(|op| match op {
+                Op::WZoom(s) => Some(s.window),
+                _ => None,
+            })
+            .collect();
+        // The post-ingest lifespan extends at least to the boundary; the
+        // anchor (start) never moves under the append invariant.
+        let lifespan = Interval::new(
+            self.input_lifespan.start,
+            self.input_lifespan.end.max(boundary),
+        );
+        decide(lifespan, boundary, &windows)
+    }
+
     /// EXPLAIN rendering of the plan DAGs backing the current graph, one
     /// section per dataset, including verifier diagnostics and predicted
-    /// data-movement footers.
+    /// data-movement footers, plus a maintenance footer: whether an ingest
+    /// at the current lifespan end would patch this pipeline's result or
+    /// force a recompute.
     pub fn explain(&self) -> String {
         let lineages = self.graph.lineages();
         let mut out = String::new();
         for (name, analysis) in tgraph_analyze::analyze_all(&lineages) {
             out.push_str(&format!("== {name} ==\n"));
             out.push_str(&analysis.render());
+        }
+        out.push_str("== maintenance ==\n");
+        let boundary = self.input_lifespan.end;
+        match self.maintenance_plan(boundary) {
+            MaintenanceDecision::Patch { cut } => {
+                out.push_str(&format!(
+                    "-- ingest at {boundary}: patch — re-run suffix [{cut}, ∞), stitch at cut={cut}\n"
+                ));
+            }
+            MaintenanceDecision::Recompute { reason } => {
+                out.push_str(&format!("-- ingest at {boundary}: recompute — {reason}\n"));
+            }
         }
         out
     }
@@ -206,6 +249,29 @@ mod tests {
         assert!(explain.contains("== og.edges =="), "{explain}");
         assert!(explain.contains("shuffle"), "{explain}");
         assert!(explain.contains("-- "), "{explain}");
+    }
+
+    #[test]
+    fn explain_maintenance_footer_patch_vs_recompute() {
+        let rt = rt();
+        let g = figure1_graph_stable_ids();
+        let wspec = WZoomSpec::points(2, Quantifier::Exists, Quantifier::Exists);
+        let s = Session::load(&rt, &g, ReprKind::Ve).wzoom(&wspec);
+        assert!(s.maintenance_plan(g.lifespan.end).is_patch());
+        let explain = s.explain();
+        assert!(explain.contains("== maintenance =="), "{explain}");
+        assert!(explain.contains("patch"), "{explain}");
+
+        // Changes-based windows are not append-stable: the footer says why.
+        let mut cspec = wspec.clone();
+        cspec.window = tgraph_core::zoom::WindowSpec::Changes(2);
+        let s = Session::load(&rt, &g, ReprKind::Ve).wzoom(&cspec);
+        assert!(!s.maintenance_plan(g.lifespan.end).is_patch());
+        let explain = s.explain();
+        assert!(
+            explain.contains("recompute — changes-windows are not append-stable"),
+            "{explain}"
+        );
     }
 
     #[test]

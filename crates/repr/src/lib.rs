@@ -21,6 +21,7 @@
 #![allow(clippy::type_complexity)]
 
 pub mod analytics;
+pub mod append;
 pub mod common;
 pub mod convert;
 pub mod og;

@@ -81,6 +81,12 @@ impl OgGraph {
     /// Builds OG from the logical graph: histories are grouped per entity,
     /// sorted, and coalesced; edges receive copies of their endpoints.
     pub fn from_tgraph(rt: &Runtime, g: &TGraph) -> Self {
+        Self::from_tgraph_at(rt, g, 0)
+    }
+
+    /// [`OgGraph::from_tgraph`] with the source lineage leaves stamped with
+    /// the ingest epoch the records were loaded at (0 = base snapshot).
+    pub fn from_tgraph_at(rt: &Runtime, g: &TGraph, epoch: u64) -> Self {
         let mut v_hist: HashMap<VertexId, Vec<State>> = HashMap::new();
         for v in &g.vertices {
             v_hist
@@ -134,8 +140,8 @@ impl OgGraph {
         edges.sort_by_key(|e| (e.eid, e.src.vid, e.dst.vid));
         OgGraph {
             lifespan: g.lifespan,
-            vertices: Dataset::from_vec(rt, vertices),
-            edges: Dataset::from_vec(rt, edges),
+            vertices: Dataset::from_vec_tagged(rt, vertices, epoch),
+            edges: Dataset::from_vec_tagged(rt, edges, epoch),
         }
     }
 

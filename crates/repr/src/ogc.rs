@@ -62,6 +62,12 @@ impl OgcGraph {
     /// Builds OGC from the logical graph, discarding all attributes except
     /// the `type` label.
     pub fn from_tgraph(rt: &Runtime, g: &TGraph) -> Self {
+        Self::from_tgraph_at(rt, g, 0)
+    }
+
+    /// [`OgcGraph::from_tgraph`] with the source lineage leaves stamped with
+    /// the ingest epoch the records were loaded at (0 = base snapshot).
+    pub fn from_tgraph_at(rt: &Runtime, g: &TGraph, epoch: u64) -> Self {
         let all_intervals: Vec<Interval> = g
             .vertices
             .iter()
@@ -125,8 +131,8 @@ impl OgcGraph {
         OgcGraph {
             lifespan: g.lifespan,
             intervals: elems,
-            vertices: Dataset::from_vec(rt, vertices),
-            edges: Dataset::from_vec(rt, edges),
+            vertices: Dataset::from_vec_tagged(rt, vertices, epoch),
+            edges: Dataset::from_vec_tagged(rt, edges, epoch),
         }
     }
 

@@ -81,6 +81,14 @@ impl Json {
         }
     }
 
+    /// Object payload (fields in insertion order).
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Serializes into `out`.
     pub fn write(&self, out: &mut String) {
         match self {

@@ -47,7 +47,7 @@ pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use json::Json;
 pub use metrics::{Histogram, ServerMetrics};
 pub use protocol::{parse_request, BadRequest, Request, Step, ZoomRequest};
-pub use server::{Server, ServerConfig};
+pub use server::{serialize_tgraph, Server, ServerConfig};
 
 #[doc(no_inline)]
 pub use tgraph_storage::GraphPool;

@@ -122,6 +122,11 @@ pub struct ServerMetrics {
     pub zoom_cache_hits: AtomicU64,
     /// Zoom requests executed on the runtime.
     pub zoom_executed: AtomicU64,
+    /// Zoom executions served by patching a prior result from the delta
+    /// suffix (O(delta)) instead of recomputing over the full history.
+    pub zoom_patched: AtomicU64,
+    /// Ingest epochs committed.
+    pub ingests: AtomicU64,
     /// Zoom requests rejected (bad request, admission, deadline).
     pub zoom_rejected: AtomicU64,
     /// Zoom requests cancelled mid-execution by their deadline.
@@ -158,6 +163,14 @@ impl ServerMetrics {
             (
                 "zoom_executed",
                 Json::Int(self.zoom_executed.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "zoom_patched",
+                Json::Int(self.zoom_patched.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "ingests",
+                Json::Int(self.ingests.load(Ordering::Relaxed) as i64),
             ),
             (
                 "zoom_rejected",

@@ -26,7 +26,9 @@
 
 use crate::json::Json;
 use std::fmt::Write as _;
-use tgraph_core::time::Interval;
+use tgraph_core::graph::{EdgeId, EdgeRecord, VertexId, VertexRecord};
+use tgraph_core::props::Props;
+use tgraph_core::time::{Interval, Time};
 use tgraph_core::zoom::azoom::{AZoomSpec, AggFn, AggSpec, Skolem};
 use tgraph_core::zoom::wzoom::{Quantifier, ResolveFn, WZoomSpec, WindowSpec};
 use tgraph_repr::ReprKind;
@@ -42,6 +44,8 @@ pub enum Request {
     Shutdown,
     /// A zoom query.
     Zoom(Box<ZoomRequest>),
+    /// A live-ingest step: append a snapshot delta as a new epoch.
+    Ingest(Box<IngestRequest>),
     /// Internal shard-coordination op: the coordinator instructs a peer
     /// shard to execute `zoom` cooperatively under exchange epoch `epoch`.
     /// Bypasses the result cache and admission — the coordinator already
@@ -53,6 +57,18 @@ pub enum Request {
         epoch: u64,
         /// The query to execute, byte-identical to the coordinator's.
         zoom: Box<ZoomRequest>,
+    },
+    /// Internal shard-coordination op: the coordinator tells a peer shard
+    /// that dataset epoch `epoch` was committed, carrying the delta so the
+    /// peer can advance its resident graphs in place. The peer does **not**
+    /// write storage — the coordinator already committed the segment.
+    ShardIngest {
+        /// The dataset epoch the coordinator committed.
+        epoch: u64,
+        /// The boundary the coordinator resolved (facts start at/after it).
+        since: Time,
+        /// The delta, byte-identical to the coordinator's ingest request.
+        ingest: Box<IngestRequest>,
     },
 }
 
@@ -82,6 +98,31 @@ pub struct ZoomRequest {
     pub deadline_ms: Option<u64>,
     /// Bypass the result cache (for load-test cold runs).
     pub no_cache: bool,
+}
+
+/// A parsed ingest request: the facts of one epoch append.
+///
+/// ```json
+/// {"op":"ingest","graph":"demo","since":8,
+///  "vertices":[{"id":1,"interval":[8,14],"props":{"type":"person","school":"MIT"}}],
+///  "edges":[{"id":1,"src":1,"dst":2,"interval":[8,11],"props":{"type":"knows"}}]}
+/// ```
+///
+/// `since` is optional: when present it must equal the dataset's current
+/// lifespan end (a compare-and-swap guard against ingesting off a stale view
+/// of history); when absent the server resolves it. Fact-level validation
+/// (intervals, boundary, conflicts) happens in `tgraph_ingest::SnapshotDelta`
+/// after parsing, so malformed deltas surface typed errors, not panics.
+#[derive(Clone, Debug)]
+pub struct IngestRequest {
+    /// Dataset name under the server's data directory.
+    pub graph: String,
+    /// Expected current lifespan end (optional optimistic-concurrency guard).
+    pub since: Option<Time>,
+    /// New vertex facts.
+    pub vertices: Vec<VertexRecord>,
+    /// New edge facts.
+    pub edges: Vec<EdgeRecord>,
 }
 
 /// A protocol-level rejection: the request never reached execution.
@@ -270,6 +311,117 @@ fn parse_wzoom(v: &Json) -> Result<WZoomSpec, BadRequest> {
     Ok(spec)
 }
 
+fn parse_graph_name(v: &Json) -> Result<String, BadRequest> {
+    let graph = v
+        .get("graph")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("request needs string field 'graph'"))?
+        .to_string();
+    if graph.is_empty()
+        || !graph
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err(bad("graph name must be non-empty [A-Za-z0-9_-]"));
+    }
+    Ok(graph)
+}
+
+fn parse_props(v: Option<&Json>) -> Result<Props, BadRequest> {
+    let mut props = Props::new();
+    let Some(v) = v else { return Ok(props) };
+    let obj = v.as_obj().ok_or_else(|| bad("'props' must be an object"))?;
+    for (k, val) in obj {
+        props = match val {
+            Json::Bool(b) => props.with(k.as_str(), *b),
+            Json::Int(i) => props.with(k.as_str(), *i),
+            Json::Float(f) => props.with(k.as_str(), *f),
+            Json::Str(s) => props.with(k.as_str(), s.as_str()),
+            _ => return Err(bad(format!("prop '{k}' must be a bool, number, or string"))),
+        };
+    }
+    Ok(props)
+}
+
+/// Parses a fact interval `[start, end]`. Degenerate intervals pass here and
+/// are rejected downstream as typed `DeltaError`s, keeping one rejection
+/// path for everything fact-level.
+fn parse_fact_interval(v: &Json) -> Result<Interval, BadRequest> {
+    let arr = v
+        .as_arr()
+        .filter(|a| a.len() == 2)
+        .ok_or_else(|| bad("'interval' must be [start, end]"))?;
+    let start = arr[0]
+        .as_i64()
+        .ok_or_else(|| bad("interval start must be an integer"))?;
+    let end = arr[1]
+        .as_i64()
+        .ok_or_else(|| bad("interval end must be an integer"))?;
+    Ok(Interval::new(start, end))
+}
+
+fn parse_ingest_request(v: &Json) -> Result<IngestRequest, BadRequest> {
+    let graph = parse_graph_name(v)?;
+    let since = match v.get("since") {
+        None | Some(Json::Null) => None,
+        Some(s) => Some(
+            s.as_i64()
+                .ok_or_else(|| bad("'since' must be an integer"))?,
+        ),
+    };
+    let id_of = |rec: &Json, what: &str| -> Result<u64, BadRequest> {
+        rec.get(what)
+            .and_then(Json::as_i64)
+            .filter(|n| *n >= 0)
+            .map(|n| n as u64)
+            .ok_or_else(|| bad(format!("fact needs non-negative integer field '{what}'")))
+    };
+    let records = |field: &str| -> Result<Vec<&Json>, BadRequest> {
+        match v.get(field) {
+            None => Ok(Vec::new()),
+            Some(list) => Ok(list
+                .as_arr()
+                .ok_or_else(|| bad(format!("'{field}' must be an array")))?
+                .iter()
+                .collect()),
+        }
+    };
+    let vertices = records("vertices")?
+        .into_iter()
+        .map(|rec| {
+            Ok(VertexRecord {
+                vid: VertexId(id_of(rec, "id")?),
+                interval: parse_fact_interval(
+                    rec.get("interval")
+                        .ok_or_else(|| bad("vertex fact needs 'interval'"))?,
+                )?,
+                props: parse_props(rec.get("props"))?,
+            })
+        })
+        .collect::<Result<Vec<_>, BadRequest>>()?;
+    let edges = records("edges")?
+        .into_iter()
+        .map(|rec| {
+            Ok(EdgeRecord {
+                eid: EdgeId(id_of(rec, "id")?),
+                src: VertexId(id_of(rec, "src")?),
+                dst: VertexId(id_of(rec, "dst")?),
+                interval: parse_fact_interval(
+                    rec.get("interval")
+                        .ok_or_else(|| bad("edge fact needs 'interval'"))?,
+                )?,
+                props: parse_props(rec.get("props"))?,
+            })
+        })
+        .collect::<Result<Vec<_>, BadRequest>>()?;
+    Ok(IngestRequest {
+        graph,
+        since,
+        vertices,
+        edges,
+    })
+}
+
 fn parse_step(v: &Json) -> Result<Step, BadRequest> {
     if let Some(a) = v.get("azoom") {
         return Ok(Step::AZoom(parse_azoom(a)?));
@@ -298,6 +450,7 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         "zoom" => Ok(Request::Zoom(Box::new(parse_zoom_request(&v)?))),
+        "ingest" => Ok(Request::Ingest(Box::new(parse_ingest_request(&v)?))),
         "shard_exec" => {
             let epoch = v
                 .get("epoch")
@@ -313,25 +466,34 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
                 zoom: Box::new(parse_zoom_request(zoom)?),
             })
         }
+        "shard_ingest" => {
+            let epoch = v
+                .get("epoch")
+                .and_then(Json::as_i64)
+                .filter(|e| *e >= 0)
+                .ok_or_else(|| bad("shard_ingest needs non-negative integer field 'epoch'"))?
+                as u64;
+            let since = v
+                .get("since")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| bad("shard_ingest needs integer field 'since'"))?;
+            let ingest = v
+                .get("ingest")
+                .ok_or_else(|| bad("shard_ingest needs object field 'ingest'"))?;
+            Ok(Request::ShardIngest {
+                epoch,
+                since,
+                ingest: Box::new(parse_ingest_request(ingest)?),
+            })
+        }
         other => Err(bad(format!(
-            "unknown op '{other}' (expected ping|stats|shutdown|zoom|shard_exec)"
+            "unknown op '{other}' (expected ping|stats|shutdown|zoom|ingest|shard_exec|shard_ingest)"
         ))),
     }
 }
 
 fn parse_zoom_request(v: &Json) -> Result<ZoomRequest, BadRequest> {
-    let graph = v
-        .get("graph")
-        .and_then(Json::as_str)
-        .ok_or_else(|| bad("zoom needs string field 'graph'"))?
-        .to_string();
-    if graph.is_empty()
-        || !graph
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
-    {
-        return Err(bad("graph name must be non-empty [A-Za-z0-9_-]"));
-    }
+    let graph = parse_graph_name(v)?;
     let repr = parse_repr(
         v.get("repr")
             .and_then(Json::as_str)
@@ -558,6 +720,54 @@ mod tests {
                 "steps":[{"wzoom":{"window":{"points":2},"vq":{"at_least":1.5}}}]}"#,
             r#"{"op":"zoom","graph":"g","repr":"ve",
                 "steps":[{"azoom":{"aggs":[{"output":"s","fn":"sum"}]}}]}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn parses_ingest_requests() {
+        let line = r#"{"op":"ingest","graph":"demo","since":8,
+            "vertices":[{"id":1,"interval":[8,14],
+                         "props":{"type":"person","school":"MIT","score":3}}],
+            "edges":[{"id":1,"src":1,"dst":2,"interval":[8,11],
+                      "props":{"type":"knows"}}]}"#;
+        let req = match parse_request(line).unwrap() {
+            Request::Ingest(i) => i,
+            other => panic!("expected ingest, got {other:?}"),
+        };
+        assert_eq!(req.graph, "demo");
+        assert_eq!(req.since, Some(8));
+        assert_eq!(req.vertices.len(), 1);
+        assert_eq!(req.vertices[0].interval, Interval::new(8, 14));
+        assert_eq!(req.vertices[0].props.type_label(), Some("person"));
+        assert_eq!(req.edges.len(), 1);
+        assert_eq!(req.edges[0].src.0, 1);
+        assert_eq!(req.edges[0].dst.0, 2);
+
+        // `since` and facts are optional at the protocol level.
+        let minimal = parse_request(r#"{"op":"ingest","graph":"demo"}"#).unwrap();
+        match minimal {
+            Request::Ingest(i) => {
+                assert_eq!(i.since, None);
+                assert!(i.vertices.is_empty() && i.edges.is_empty());
+            }
+            other => panic!("expected ingest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_ingest() {
+        for bad in [
+            r#"{"op":"ingest"}"#,
+            r#"{"op":"ingest","graph":"../etc"}"#,
+            r#"{"op":"ingest","graph":"g","since":"soon"}"#,
+            r#"{"op":"ingest","graph":"g","vertices":[{"interval":[1,2]}]}"#,
+            r#"{"op":"ingest","graph":"g","vertices":[{"id":1}]}"#,
+            r#"{"op":"ingest","graph":"g","vertices":[{"id":1,"interval":[1]}]}"#,
+            r#"{"op":"ingest","graph":"g","vertices":[{"id":1,"interval":[1,2],"props":{"x":[1]}}]}"#,
+            r#"{"op":"ingest","graph":"g","edges":[{"id":1,"src":1,"interval":[1,2]}]}"#,
+            r#"{"op":"shard_ingest","epoch":1,"ingest":{"graph":"g"}}"#,
         ] {
             assert!(parse_request(bad).is_err(), "{bad}");
         }

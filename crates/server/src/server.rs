@@ -6,7 +6,8 @@ use crate::admission::{Admission, AdmitError};
 use crate::cache::{CacheKey, ResultCache};
 use crate::json::Json;
 use crate::metrics::ServerMetrics;
-use crate::protocol::{parse_request, Request, Step, ZoomRequest};
+use crate::protocol::{parse_request, IngestRequest, Request, Step, ZoomRequest};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
@@ -15,11 +16,13 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tgraph_core::graph::TGraph;
 use tgraph_core::props::{Props, Value};
+use tgraph_core::time::{Interval, Time};
 use tgraph_dataflow::lock_unpoisoned;
 use tgraph_dataflow::{CancelToken, Runtime, ShardLayout, TcpExchange};
+use tgraph_ingest::{load_suffix, plan, stitch, MaintenanceDecision, SnapshotDelta, ZoomStep};
 use tgraph_query::Session;
-use tgraph_repr::ReprKind;
-use tgraph_storage::{GraphPool, SharedGraph};
+use tgraph_repr::{AnyGraph, ReprKind};
+use tgraph_storage::{GraphLoader, GraphPool, SharedGraph};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -94,7 +97,26 @@ pub struct Server {
     /// Serializes sharded executions: exchange sequence numbers align across
     /// shards only when every shard runs one wave sequence at a time.
     shard_lock: Mutex<()>,
+    /// Single-writer ingest: epoch appends (storage commit → pool advance →
+    /// cache invalidation → peer broadcast) are strictly serialized.
+    ingest_lock: Mutex<()>,
+    /// Prior zoom results retained for incremental maintenance, keyed by the
+    /// request's canonical text (epoch-independent). After an ingest the
+    /// patch path stitches these instead of recomputing over history.
+    patches: Mutex<HashMap<String, PatchEntry>>,
 }
+
+/// A retained result the patch path can bring up to date: the collected
+/// pipeline output plus the dataset epoch and lifespan end it reflects.
+#[derive(Clone)]
+struct PatchEntry {
+    epoch: u64,
+    boundary: Time,
+    result: TGraph,
+}
+
+/// Bound on retained results: maintenance seeds, not a second result cache.
+const PATCH_STORE_CAP: usize = 64;
 
 impl Server {
     /// Binds the listener and builds the shared state. No graph is loaded
@@ -155,6 +177,8 @@ impl Server {
             started: Instant::now(),
             epoch: AtomicU64::new(0),
             shard_lock: Mutex::new(()),
+            ingest_lock: Mutex::new(()),
+            patches: Mutex::new(HashMap::new()),
             listener,
             config,
         })
@@ -285,7 +309,13 @@ impl Server {
             }
             Ok(Request::Stats) => self.stats_response(),
             Ok(Request::Zoom(req)) => self.handle_zoom(&req, line),
+            Ok(Request::Ingest(req)) => self.handle_ingest(&req, line),
             Ok(Request::ShardExec { epoch, zoom }) => self.handle_shard_exec(epoch, &zoom),
+            Ok(Request::ShardIngest {
+                epoch,
+                since,
+                ingest,
+            }) => self.handle_shard_ingest(epoch, since, &ingest),
         }
     }
 
@@ -353,8 +383,10 @@ impl Server {
             token.scope(|| {
                 if self.config.shards > 1 {
                     self.execute_steps_sharded(&shared, req, line)
+                        .map(|(result, replies)| (result, replies, false))
                 } else {
-                    Ok((self.execute_steps(&shared, req), Vec::new()))
+                    let (result, patched) = self.execute_or_patch(&shared, req);
+                    Ok((result, Vec::new(), patched))
                 }
             })
         }));
@@ -376,7 +408,7 @@ impl Server {
                 ServerMetrics::bump(&self.metrics.zoom_rejected);
                 error_response(&kind, &message)
             }
-            Ok(Ok(Ok((result, replies)))) => {
+            Ok(Ok(Ok((result, replies, patched)))) => {
                 let bytes: Arc<[u8]> = serialize_tgraph(&result).into_bytes().into();
                 if let Some(divergence) = self.check_shard_agreement(&bytes, &replies) {
                     return divergence;
@@ -385,9 +417,13 @@ impl Server {
                     self.cache.insert(&key, Arc::clone(&bytes));
                 }
                 ServerMetrics::bump(&self.metrics.zoom_executed);
+                if patched {
+                    ServerMetrics::bump(&self.metrics.zoom_patched);
+                }
                 self.metrics.exec_latency.record(exec);
                 self.metrics.total_latency.record(t0.elapsed());
-                zoom_response("miss", t0.elapsed(), exec, &key, &bytes)
+                let cache_tag = if patched { "patch" } else { "miss" };
+                zoom_response(cache_tag, t0.elapsed(), exec, &key, &bytes)
             }
         }
     }
@@ -552,8 +588,187 @@ impl Server {
         }
     }
 
+    /// Commits a snapshot delta as a new dataset epoch. Single-writer:
+    /// storage append, pool advance, cache invalidation, and (sharded) peer
+    /// broadcast all happen under one lock, in that order. `line` is the raw
+    /// request text, embedded verbatim in the `shard_ingest` broadcast.
+    fn handle_ingest(&self, req: &IngestRequest, line: &str) -> String {
+        if self.config.shards > 1 && self.config.shard != 0 {
+            ServerMetrics::bump(&self.metrics.zoom_rejected);
+            return error_response(
+                "not_coordinator",
+                &format!(
+                    "shard {} of {} does not accept ingest; send it to shard 0",
+                    self.config.shard, self.config.shards
+                ),
+            );
+        }
+        let _writer = lock_unpoisoned(&self.ingest_lock);
+        let current = match tgraph_storage::current_end(&self.config.data_dir, &req.graph) {
+            Ok(t) => t,
+            Err(e) => {
+                return error_response(
+                    "not_found",
+                    &format!("cannot ingest into '{}': {e}", req.graph),
+                )
+            }
+        };
+        if let Some(since) = req.since {
+            if since != current {
+                return error_response(
+                    "stale_since",
+                    &format!(
+                        "dataset '{}' is at lifespan end {current}, request asserts {since}",
+                        req.graph
+                    ),
+                );
+            }
+        }
+        let delta = SnapshotDelta {
+            since: current,
+            vertices: req.vertices.clone(),
+            edges: req.edges.clone(),
+        };
+        if let Err(e) = delta.validate() {
+            return error_response("bad_delta", &e.to_string());
+        }
+        let delta_graph = delta.to_tgraph();
+        let entry =
+            match tgraph_storage::append_epoch(&self.config.data_dir, &req.graph, &delta_graph) {
+                Ok(en) => en,
+                Err(e) => return error_response("storage", &format!("append epoch: {e}")),
+            };
+        let upgraded = self
+            .pool
+            .advance(&self.rt, &req.graph, entry.epoch, &delta_graph);
+        let dropped = self.invalidate_graph(&req.graph);
+        if self.config.shards > 1 {
+            if let Err((kind, message)) = self.broadcast_ingest(entry.epoch, current, line) {
+                return error_response(&kind, &message);
+            }
+        }
+        ServerMetrics::bump(&self.metrics.ingests);
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("graph", Json::str(req.graph.as_str())),
+            ("epoch", Json::Int(entry.epoch as i64)),
+            ("since", Json::Int(entry.since)),
+            ("end", Json::Int(entry.end)),
+            ("vertices", Json::Int(entry.vertices as i64)),
+            ("edges", Json::Int(entry.edges as i64)),
+            ("pool_upgrades", Json::Int(upgraded as i64)),
+            ("cache_invalidations", Json::Int(dropped as i64)),
+        ])
+        .to_string()
+    }
+
+    /// Drops every cached result of `graph` (any representation). With
+    /// epoch-stamped keys stale entries are unreachable anyway; invalidation
+    /// reclaims their bytes immediately instead of waiting on LRU pressure.
+    fn invalidate_graph(&self, graph: &str) -> u64 {
+        let needle = format!("graph={graph};");
+        self.cache
+            .invalidate(|canonical| canonical.contains(&needle))
+    }
+
+    /// Notifies every peer shard that a dataset epoch was committed. Peers
+    /// share the data directory, so they only advance their resident graphs
+    /// and drop their cached results — no storage write.
+    fn broadcast_ingest(
+        &self,
+        epoch: u64,
+        since: Time,
+        line: &str,
+    ) -> Result<(), (String, String)> {
+        let peer_err =
+            |addr: &str, what: String| ("shard_peer".to_string(), format!("peer {addr}: {what}"));
+        let timeout = tgraph_dataflow::exchange::timeout_from_env();
+        for (s, addr) in self.config.serve_peers.iter().enumerate() {
+            if s == self.config.shard {
+                continue;
+            }
+            let sockaddr = addr
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut a| a.next())
+                .ok_or_else(|| peer_err(addr, "unresolvable address".to_string()))?;
+            let mut stream = TcpStream::connect_timeout(&sockaddr, timeout)
+                .map_err(|e| peer_err(addr, format!("connect: {e}")))?;
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_read_timeout(Some(timeout.saturating_mul(2)));
+            let msg = format!(
+                "{{\"op\":\"shard_ingest\",\"epoch\":{epoch},\"since\":{since},\"ingest\":{}}}\n",
+                line.trim()
+            );
+            stream
+                .write_all(msg.as_bytes())
+                .and_then(|()| stream.flush())
+                .map_err(|e| peer_err(addr, format!("send: {e}")))?;
+            let mut reader = BufReader::new(stream);
+            let mut reply = String::new();
+            reader
+                .read_line(&mut reply)
+                .map_err(|e| peer_err(addr, format!("reply: {e}")))?;
+            if reply.trim().is_empty() {
+                return Err(peer_err(addr, "disconnected before replying".to_string()));
+            }
+            let v = crate::json::parse(reply.trim())
+                .map_err(|e| peer_err(addr, format!("unparseable reply: {}", e.message)))?;
+            if v.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err(peer_err(
+                    addr,
+                    format!("shard {s} failed: {}", reply.trim()),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a coordinator-committed epoch on a peer shard: advance the
+    /// resident graphs in place and drop cached results. The authoritative
+    /// boundary rides in the envelope — the peer never consults its own view
+    /// of the dataset end, which may lag the coordinator's commit.
+    fn handle_shard_ingest(&self, epoch: u64, since: Time, req: &IngestRequest) -> String {
+        if self.config.shards <= 1 {
+            ServerMetrics::bump(&self.metrics.bad_requests);
+            return error_response("bad_request", "shard_ingest sent to an unsharded server");
+        }
+        if self.config.shard == 0 {
+            ServerMetrics::bump(&self.metrics.bad_requests);
+            return error_response("bad_request", "shard_ingest sent to the coordinator");
+        }
+        let delta = SnapshotDelta {
+            since,
+            vertices: req.vertices.clone(),
+            edges: req.edges.clone(),
+        };
+        if let Err(e) = delta.validate() {
+            return error_response("bad_delta", &e.to_string());
+        }
+        let upgraded = self
+            .pool
+            .advance(&self.rt, &req.graph, epoch, &delta.to_tgraph());
+        let dropped = self.invalidate_graph(&req.graph);
+        ServerMetrics::bump(&self.metrics.ingests);
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("shard", Json::Int(self.config.shard as i64)),
+            ("epoch", Json::Int(epoch as i64)),
+            ("pool_upgrades", Json::Int(upgraded as i64)),
+            ("cache_invalidations", Json::Int(dropped as i64)),
+        ])
+        .to_string()
+    }
+
     fn execute_steps(&self, shared: &SharedGraph, req: &ZoomRequest) -> TGraph {
-        let mut session = Session::from_graph(&self.rt, (*shared.graph).clone());
+        self.run_pipeline((*shared.graph).clone(), req)
+    }
+
+    /// The one executor every path shares — cold runs and suffix re-runs go
+    /// through the identical `Session` step loop, which is what makes the
+    /// patched result byte-identical to a recompute.
+    fn run_pipeline(&self, graph: AnyGraph, req: &ZoomRequest) -> TGraph {
+        let mut session = Session::from_graph(&self.rt, graph);
         for step in &req.steps {
             session = match step {
                 Step::AZoom(spec) => session.azoom(spec),
@@ -562,6 +777,88 @@ impl Server {
             };
         }
         session.collect()
+    }
+
+    /// Unsharded execution with incremental maintenance: when a prior result
+    /// for the same canonical query exists at an earlier dataset epoch and
+    /// the maintenance planner allows it, re-run the pipeline over the disk
+    /// suffix `[cut, ∞)` only and stitch — O(delta + live-at-cut) instead of
+    /// O(history). Falls back to a cold run otherwise, and records the fresh
+    /// result as the seed for the next ingest. Returns `(result, patched)`.
+    fn execute_or_patch(&self, shared: &SharedGraph, req: &ZoomRequest) -> (TGraph, bool) {
+        // Range-restricted residents are not full history (the stitch
+        // invariant needs all of it) and `no_cache` requests promise cold
+        // semantics, so both bypass maintenance entirely.
+        let eligible = req.range.is_none() && !req.no_cache;
+        let attempt = if eligible {
+            self.try_patch(shared, req)
+        } else {
+            None
+        };
+        let patched = attempt.is_some();
+        let result = attempt.unwrap_or_else(|| self.execute_steps(shared, req));
+        if eligible {
+            let mut patches = lock_unpoisoned(&self.patches);
+            let canonical = req.canonical();
+            if patches.len() >= PATCH_STORE_CAP && !patches.contains_key(&canonical) {
+                // Bounded store: drop an arbitrary seed; the evicted query
+                // simply recomputes cold after its next ingest.
+                if let Some(victim) = patches.keys().next().cloned() {
+                    patches.remove(&victim);
+                }
+            }
+            patches.insert(
+                canonical,
+                PatchEntry {
+                    epoch: shared.epoch,
+                    boundary: shared.graph.lifespan().end,
+                    result: result.clone(),
+                },
+            );
+        }
+        (result, patched)
+    }
+
+    /// Attempts the patch path. `None` means "no seed / planner said
+    /// recompute / suffix unreadable" — the caller runs cold. In checked
+    /// mode (`TGRAPH_CHECKED=1`) the patched bytes are verified against a
+    /// full cold recompute and any divergence fails the query loudly.
+    fn try_patch(&self, shared: &SharedGraph, req: &ZoomRequest) -> Option<TGraph> {
+        let entry = lock_unpoisoned(&self.patches)
+            .get(&req.canonical())
+            .cloned()?;
+        // Same epoch: the cached seed is already current (the result cache
+        // answered or will answer); newer epoch on the seed cannot happen
+        // under the single-writer ingest lock, but guard anyway.
+        if entry.epoch >= shared.epoch {
+            return None;
+        }
+        let steps = ingest_steps(&req.steps);
+        let cut = match plan(shared.graph.lifespan(), entry.boundary, &steps) {
+            MaintenanceDecision::Patch { cut } => cut,
+            MaintenanceDecision::Recompute { .. } => return None,
+        };
+        let loader = GraphLoader::new(&self.config.data_dir, &req.graph);
+        let (mut suffix, _scan) = load_suffix(&loader, cut).ok()?;
+        // Anchor the suffix lifespan to the resident's end: window grids and
+        // the stitch both key off the full dataset lifespan.
+        suffix.lifespan = Interval::new(cut, shared.graph.lifespan().end);
+        let out = self.run_pipeline(AnyGraph::load(&self.rt, &suffix, req.repr), req);
+        let result = stitch(&entry.result, &out, cut);
+        if self.rt.checked() {
+            let cold = self.execute_steps(shared, req);
+            let (patched_bytes, cold_bytes) = (serialize_tgraph(&result), serialize_tgraph(&cold));
+            assert_eq!(
+                patched_bytes,
+                cold_bytes,
+                "maintenance divergence: patched result (cut={cut}, seed epoch {}) \
+                 differs from cold recompute at epoch {} for {}",
+                entry.epoch,
+                shared.epoch,
+                req.canonical()
+            );
+        }
+        Some(result)
     }
 
     fn stats_response(&self) -> String {
@@ -585,6 +882,7 @@ impl Server {
                     ("misses", Json::Int(cache.misses as i64)),
                     ("insertions", Json::Int(cache.insertions as i64)),
                     ("evictions", Json::Int(cache.evictions as i64)),
+                    ("invalidations", Json::Int(cache.invalidations as i64)),
                     ("bytes_used", Json::Int(cache.bytes_used as i64)),
                     ("byte_budget", Json::Int(cache.byte_budget as i64)),
                 ]),
@@ -615,6 +913,7 @@ impl Server {
                     ("hits", Json::Int(pool.hits as i64)),
                     ("misses", Json::Int(pool.misses as i64)),
                     ("loads", Json::Int(pool.loads as i64)),
+                    ("epoch_upgrades", Json::Int(pool.epoch_upgrades as i64)),
                 ]),
             ),
             (
@@ -648,6 +947,18 @@ impl Server {
         ])
         .to_string()
     }
+}
+
+/// Protocol steps as the maintenance planner sees them.
+fn ingest_steps(steps: &[Step]) -> Vec<ZoomStep> {
+    steps
+        .iter()
+        .map(|s| match s {
+            Step::AZoom(spec) => ZoomStep::AZoom(spec.clone()),
+            Step::WZoom(spec) => ZoomStep::WZoom(spec.clone()),
+            Step::Switch(kind) => ZoomStep::Switch(*kind),
+        })
+        .collect()
 }
 
 /// One peer's digest of a sharded execution: the coordinator compares these
@@ -699,6 +1010,11 @@ fn cache_key(shared: &SharedGraph, req: &ZoomRequest) -> CacheKey {
         }
     };
     let mut canonical = String::new();
+    // Generation stamp: an ingest advances the dataset epoch, so results
+    // computed before it can never be replayed after it — even if a lineage
+    // fingerprint ever collided across epochs.
+    write(&shared.epoch.to_le_bytes());
+    canonical.push_str(&format!("epoch={};", shared.epoch));
     for (name, lineage) in shared.graph.lineages() {
         let fp = tgraph_dataflow::lineage::fingerprint(&lineage);
         write(name.as_bytes());
@@ -909,5 +1225,132 @@ mod tests {
         let g = figure1_graph_stable_ids();
         assert_eq!(serialize_tgraph(&g), serialize_tgraph(&g));
         assert!(serialize_tgraph(&g).starts_with("{\"lifespan\":["));
+    }
+
+    /// A server over figure 1 in a *fresh* directory: ingest tests append
+    /// epoch segments, which must not leak between `cargo test` runs.
+    fn fresh_server(dirname: &str, name: &str) -> Arc<Server> {
+        let dir = std::env::temp_dir().join(dirname);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create data dir");
+        write_dataset(&dir, name, &figure1_graph_stable_ids()).expect("write dataset");
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: dir,
+            workers: 2,
+            partitions: 2,
+            max_inflight: 2,
+            max_queue: 8,
+            cache_bytes: 1 << 20,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        Arc::new(server)
+    }
+
+    /// A valid delta over figure 1 (lifespan `[1,9)`): re-asserts the two
+    /// continuing vertices, adds a new ETH student, and extends edge 2 —
+    /// every edge interval covered by delta-asserted endpoint states, so the
+    /// post-ingest graph stays valid under Definition 2.1.
+    fn ingest_line(name: &str) -> String {
+        format!(
+            r#"{{"op":"ingest","graph":"{name}","since":9,"vertices":[
+                {{"id":2,"interval":[9,12],"props":{{"type":"person","school":"CMU","name":"Bob"}}}},
+                {{"id":3,"interval":[9,12],"props":{{"type":"person","school":"MIT","name":"Cat"}}}},
+                {{"id":7,"interval":[9,11],"props":{{"type":"person","school":"ETH","name":"Eli"}}}}],
+                "edges":[{{"id":2,"src":2,"dst":3,"interval":[9,11],"props":{{"type":"co-author"}}}}]}}"#
+        )
+        .replace('\n', " ")
+    }
+
+    fn result_of(s: &str) -> &str {
+        let at = s.find("\"result\":").expect("result field");
+        &s[at..]
+    }
+
+    /// The satellite-1 regression: an ingest between two identical zooms
+    /// must not replay the pre-ingest bytes — and the second zoom should go
+    /// down the O(delta) patch path, byte-identical to a cold recompute
+    /// (checked mode verifies in-process; the `no_cache` run re-verifies
+    /// end to end here).
+    #[test]
+    fn ingest_between_identical_zooms_patches_instead_of_replaying() {
+        let server = fresh_server("tgraph-serve-ingest1", "ing1");
+        server.runtime().set_checked(true);
+        let line = zoom_line("ing1", "");
+        let first = server.handle_line(&line);
+        assert!(first.contains("\"cache\":\"miss\""), "{first}");
+        let replay = server.handle_line(&line);
+        assert!(replay.contains("\"cache\":\"hit\""), "{replay}");
+
+        let ing = server.handle_line(&ingest_line("ing1"));
+        assert!(ing.contains("\"ok\":true"), "{ing}");
+        assert!(ing.contains("\"epoch\":1"), "{ing}");
+        assert!(ing.contains("\"since\":9"), "{ing}");
+        assert!(ing.contains("\"end\":12"), "{ing}");
+        assert!(ing.contains("\"pool_upgrades\":1"), "{ing}");
+
+        let third = server.handle_line(&line);
+        assert!(
+            third.contains("\"cache\":\"patch\""),
+            "post-ingest zoom must take the patch path, not the cache: {third}"
+        );
+        assert_ne!(
+            result_of(&first),
+            result_of(&third),
+            "stale pre-ingest bytes replayed after an epoch append"
+        );
+        // End-to-end identity: a cold, cache-bypassing run agrees byte for
+        // byte with the patched result.
+        let cold = server.handle_line(&zoom_line("ing1", "\"no_cache\":true,"));
+        assert_eq!(result_of(&third), result_of(&cold));
+
+        let stats = server.handle_line(r#"{"op":"stats"}"#);
+        assert!(stats.contains("\"ingests\":1"), "{stats}");
+        assert!(stats.contains("\"zoom_patched\":1"), "{stats}");
+        assert!(stats.contains("\"invalidations\":1"), "{stats}");
+        assert!(stats.contains("\"epoch_upgrades\":1"), "{stats}");
+    }
+
+    #[test]
+    fn ingest_rejections_are_typed() {
+        let server = fresh_server("tgraph-serve-ingest2", "ing2");
+        // CAS guard: the dataset is at lifespan end 9, not 5.
+        let stale = server.handle_line(r#"{"op":"ingest","graph":"ing2","since":5}"#);
+        assert!(stale.contains("\"kind\":\"stale_since\""), "{stale}");
+        // A fact starting before the boundary would rewrite history.
+        let early = server.handle_line(
+            r#"{"op":"ingest","graph":"ing2","vertices":[{"id":9,"interval":[3,10]}]}"#,
+        );
+        assert!(early.contains("\"kind\":\"bad_delta\""), "{early}");
+        assert!(early.contains("before the delta boundary"), "{early}");
+        // Degenerate intervals assert nothing.
+        let empty = server.handle_line(
+            r#"{"op":"ingest","graph":"ing2","vertices":[{"id":9,"interval":[9,9]}]}"#,
+        );
+        assert!(empty.contains("\"kind\":\"bad_delta\""), "{empty}");
+        let missing = server.handle_line(r#"{"op":"ingest","graph":"nope"}"#);
+        assert!(missing.contains("\"kind\":\"not_found\""), "{missing}");
+        let stats = server.handle_line(r#"{"op":"stats"}"#);
+        assert!(stats.contains("\"ingests\":0"), "{stats}");
+    }
+
+    /// An empty delta is a valid epoch: it moves no time but still advances
+    /// the generation, so replays recompute (via patch) rather than serving
+    /// pre-ingest cache entries.
+    #[test]
+    fn empty_delta_advances_the_generation() {
+        let server = fresh_server("tgraph-serve-ingest3", "ing3");
+        server.runtime().set_checked(true);
+        let line = zoom_line("ing3", "");
+        let first = server.handle_line(&line);
+        let ing = server.handle_line(r#"{"op":"ingest","graph":"ing3"}"#);
+        assert!(ing.contains("\"ok\":true"), "{ing}");
+        assert!(ing.contains("\"epoch\":1"), "{ing}");
+        assert!(ing.contains("\"end\":9"), "{ing}");
+        let second = server.handle_line(&line);
+        assert!(second.contains("\"cache\":\"patch\""), "{second}");
+        // No facts moved: the patched result is byte-identical to before.
+        assert_eq!(result_of(&first), result_of(&second));
     }
 }

@@ -135,3 +135,96 @@ fn two_shard_deployment_answers_byte_identically_to_single_process() {
         thread.join().expect("serve thread").expect("serve loop");
     }
 }
+
+/// Live ingest in a sharded deployment: the coordinator commits the epoch
+/// (the shards share one data directory), broadcasts `shard_ingest` so the
+/// peer advances its resident graphs, and the next zoom on every shard sees
+/// the new facts — byte-identically to a single process over the same
+/// post-ingest dataset.
+#[test]
+fn sharded_ingest_replicates_the_epoch_to_peers() {
+    let dir = std::env::temp_dir().join("tgraph-sharded-ingest-e2e");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create data dir");
+    write_dataset(&dir, "fig1", &figure1_graph_stable_ids()).expect("write dataset");
+
+    let exchange = vec![reserve_port(), reserve_port()];
+    let shard1 = Arc::new(
+        Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: dir.clone(),
+            workers: 2,
+            partitions: 2,
+            shard: 1,
+            shards: 2,
+            exchange_addr: exchange[1].clone(),
+            exchange_peers: exchange.clone(),
+            ..ServerConfig::default()
+        })
+        .expect("bind shard 1"),
+    );
+    let addr1 = shard1.local_addr().expect("addr1");
+    let shard0 = Arc::new(
+        Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: dir.clone(),
+            workers: 2,
+            partitions: 2,
+            shard: 0,
+            shards: 2,
+            exchange_addr: exchange[0].clone(),
+            exchange_peers: exchange.clone(),
+            serve_peers: vec!["127.0.0.1:1".to_string(), addr1.to_string()],
+            ..ServerConfig::default()
+        })
+        .expect("bind shard 0"),
+    );
+    let addr0 = shard0.local_addr().expect("addr0");
+    let threads = [&shard0, &shard1].map(|s| {
+        let s = Arc::clone(s);
+        std::thread::spawn(move || s.serve())
+    });
+
+    // Warm both shards, then commit a delta through the coordinator.
+    let before = roundtrip(addr0, ZOOM);
+    assert!(before.contains("\"cache\":\"miss\""), "{before}");
+    let ingest = r#"{"op":"ingest","graph":"fig1","since":9,"vertices":[{"id":3,"interval":[9,12],"props":{"type":"person","school":"MIT","name":"Cat"}},{"id":7,"interval":[9,11],"props":{"type":"person","school":"ETH","name":"Eli"}}]}"#;
+    let committed = roundtrip(addr0, ingest);
+    assert!(committed.contains("\"ok\":true"), "{committed}");
+    assert!(committed.contains("\"epoch\":1"), "{committed}");
+
+    // Peers refuse direct ingest: the coordinator owns the write path.
+    let refused = roundtrip(addr1, ingest);
+    assert!(
+        refused.contains("\"kind\":\"not_coordinator\""),
+        "{refused}"
+    );
+
+    // The post-ingest zoom recomputes (no stale replay) and matches a
+    // single process loading the same post-ingest dataset from disk.
+    let after = roundtrip(addr0, ZOOM);
+    assert!(after.contains("\"cache\":\"miss\""), "{after}");
+    assert_ne!(result_suffix(&before), result_suffix(&after));
+    let single = Arc::new(
+        Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: dir.clone(),
+            workers: 2,
+            partitions: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind single"),
+    );
+    let baseline = single.handle_line(ZOOM);
+    assert_eq!(result_suffix(&baseline), result_suffix(&after));
+
+    // The peer really applied the epoch: its ingest counter moved.
+    let peer_stats = roundtrip(addr1, r#"{"op":"stats"}"#);
+    assert!(peer_stats.contains("\"ingests\":1"), "{peer_stats}");
+
+    for (addr, thread) in [addr0, addr1].into_iter().zip(threads) {
+        let bye = roundtrip(addr, r#"{"op":"shutdown"}"#);
+        assert!(bye.contains("\"shutting_down\":true"), "{bye}");
+        thread.join().expect("serve thread").expect("serve loop");
+    }
+}

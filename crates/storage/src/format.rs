@@ -72,6 +72,10 @@ pub enum StorageError {
     /// count, or row count) — the same refuse-instead-of-truncate policy as
     /// `ChunkTooLarge`, applied at the encoding layer.
     Encode(EncodeError),
+    /// An epoch manifest violation: corrupt manifest contents, or an append
+    /// whose facts precede the dataset's current end (the append invariant
+    /// every ingested delta must satisfy).
+    Epoch(String),
 }
 
 impl From<std::io::Error> for StorageError {
@@ -99,6 +103,7 @@ impl std::fmt::Display for StorageError {
                 "chunk payload of {len} bytes exceeds the format's 4 GiB limit"
             ),
             StorageError::Encode(e) => write!(f, "encode error: {e}"),
+            StorageError::Epoch(msg) => write!(f, "epoch error: {msg}"),
         }
     }
 }

@@ -19,12 +19,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod encode;
+pub mod epochs;
 pub mod format;
 pub mod loader;
 pub mod nested;
 pub mod pool;
 
 pub use encode::{DecodeError, EncodeError};
+pub use epochs::{append_epoch, current_end, current_epoch, read_epochs, EpochEntry};
 pub use format::{
     estimate_rows, read_tgc, read_tgc_stats, write_tgc, ChunkStats, ScanStats, SortOrder,
     StorageError, TgcStats,

@@ -10,9 +10,11 @@
 //! * `<name>.tgo` — nested history rows (OG and OGC; §4 reports nested
 //!   loading is significantly faster for these).
 
+use crate::epochs::{read_epochs, segment_stem, EpochEntry};
 use crate::format::{read_tgc, write_tgc, ScanStats, SortOrder, StorageError, DEFAULT_CHUNK_ROWS};
 use crate::nested::{read_tgo, write_tgo, NestedRow};
 use std::path::{Path, PathBuf};
+use tgraph_core::coalesce::coalesce_group;
 use tgraph_core::graph::{EdgeId, EdgeRecord, TGraph, VertexId, VertexRecord};
 use tgraph_core::time::Interval;
 use tgraph_dataflow::{Dataset, Runtime};
@@ -66,20 +68,76 @@ impl GraphLoader {
         self.dir.join(format!("{}.tgo", self.name))
     }
 
+    fn segment_flat_path(&self, epoch: u64, order: SortOrder) -> PathBuf {
+        let suffix = match order {
+            SortOrder::Temporal => "temporal",
+            SortOrder::Structural => "structural",
+        };
+        self.dir
+            .join(format!("{}.{suffix}.tgc", segment_stem(&self.name, epoch)))
+    }
+
+    fn segment_nested_path(&self, epoch: u64) -> PathBuf {
+        self.dir
+            .join(format!("{}.tgo", segment_stem(&self.name, epoch)))
+    }
+
+    /// The dataset's committed epoch list (empty for a base-only dataset).
+    pub fn epochs(&self) -> Result<Vec<EpochEntry>, StorageError> {
+        read_epochs(&self.dir, &self.name)
+    }
+
+    /// The dataset's current epoch number (0 for a base-only dataset).
+    pub fn current_epoch(&self) -> Result<u64, StorageError> {
+        Ok(self.epochs()?.last().map_or(0, |e| e.epoch))
+    }
+
     /// Header-only chunk statistics of the flat file with the given sort
     /// order — the input to pre-scan cardinality estimates
     /// ([`TgcStats::estimated_rows`](crate::TgcStats::estimated_rows)).
+    /// Aggregates the base file with every committed epoch segment, so the
+    /// estimate stays truthful after ingest.
     pub fn flat_stats(&self, order: SortOrder) -> Result<crate::TgcStats, StorageError> {
-        crate::read_tgc_stats(&self.flat_path(order))
+        let mut stats = crate::read_tgc_stats(&self.flat_path(order))?;
+        for entry in self.epochs()? {
+            let s = crate::read_tgc_stats(&self.segment_flat_path(entry.epoch, order))?;
+            stats.lifespan = stats.lifespan.hull(&s.lifespan);
+            stats.vertex_chunks.extend(s.vertex_chunks);
+            stats.edge_chunks.extend(s.edge_chunks);
+        }
+        Ok(stats)
     }
 
-    /// Loads the flat file with the given sort order as a logical graph.
+    /// Loads the flat file with the given sort order as a logical graph,
+    /// merged with every committed epoch segment. The range pushdown applies
+    /// to each file independently — a suffix scan (`[cut, ∞)`) skips most
+    /// base chunks via their statistics and reads the segments nearly whole.
     pub fn load_flat(
         &self,
         order: SortOrder,
         range: Option<Interval>,
     ) -> Result<(TGraph, ScanStats), StorageError> {
-        let (g, _, stats) = read_tgc(&self.flat_path(order), range)?;
+        let (mut g, _, mut stats) = read_tgc(&self.flat_path(order), range)?;
+        for entry in self.epochs()? {
+            let (d, _, s) = read_tgc(&self.segment_flat_path(entry.epoch, order), range)?;
+            stats.chunks_skipped += s.chunks_skipped;
+            stats.chunks_read += s.chunks_read;
+            stats.rows_read += s.rows_read;
+            g.lifespan = g.lifespan.hull(&d.lifespan);
+            g.vertices.extend(d.vertices);
+            g.edges.extend(d.edges);
+        }
+        Ok((g, stats))
+    }
+
+    /// Loads only epoch `epoch`'s segment as a logical graph — the O(delta)
+    /// read feeding in-memory pool upgrades and shard replication.
+    pub fn load_delta(
+        &self,
+        epoch: u64,
+        range: Option<Interval>,
+    ) -> Result<(TGraph, ScanStats), StorageError> {
+        let (g, _, stats) = read_tgc(&self.segment_flat_path(epoch, SortOrder::Temporal), range)?;
         Ok((g, stats))
     }
 
@@ -91,7 +149,10 @@ impl GraphLoader {
         range: Option<Interval>,
     ) -> Result<(VeGraph, ScanStats), StorageError> {
         let (g, stats) = self.load_flat(SortOrder::Temporal, range)?;
-        Ok((VeGraph::from_tgraph(rt, &g), stats))
+        Ok((
+            VeGraph::from_tgraph_at(rt, &g, self.current_epoch()?),
+            stats,
+        ))
     }
 
     /// Loads RG from the structurally sorted flat file (start-then-id order;
@@ -102,7 +163,10 @@ impl GraphLoader {
         range: Option<Interval>,
     ) -> Result<(RgGraph, ScanStats), StorageError> {
         let (g, stats) = self.load_flat(SortOrder::Structural, range)?;
-        Ok((RgGraph::from_tgraph(rt, &g), stats))
+        Ok((
+            RgGraph::from_tgraph_at(rt, &g, self.current_epoch()?),
+            stats,
+        ))
     }
 
     /// Loads OG from the nested file: history arrays come pre-grouped, so no
@@ -112,7 +176,7 @@ impl GraphLoader {
         rt: &Runtime,
         range: Option<Interval>,
     ) -> Result<(OgGraph, ScanStats), StorageError> {
-        let (lifespan, v_rows, e_rows, stats) = read_tgo(&self.nested_path(), range)?;
+        let (lifespan, v_rows, e_rows, stats, epoch) = self.load_nested(range)?;
         let vertex_index: std::collections::HashMap<u64, OgVertex> = v_rows
             .iter()
             .map(|r| {
@@ -154,8 +218,8 @@ impl GraphLoader {
         Ok((
             OgGraph {
                 lifespan,
-                vertices: Dataset::from_vec(rt, vertices),
-                edges: Dataset::from_vec(rt, edges),
+                vertices: Dataset::from_vec_tagged(rt, vertices, epoch),
+                edges: Dataset::from_vec_tagged(rt, edges, epoch),
             },
             stats,
         ))
@@ -167,9 +231,39 @@ impl GraphLoader {
         rt: &Runtime,
         range: Option<Interval>,
     ) -> Result<(OgcGraph, ScanStats), StorageError> {
-        let (lifespan, v_rows, e_rows, stats) = read_tgo(&self.nested_path(), range)?;
+        let (lifespan, v_rows, e_rows, stats, epoch) = self.load_nested(range)?;
         let g = nested_to_tgraph(lifespan, v_rows, e_rows);
-        Ok((OgcGraph::from_tgraph(rt, &g), stats))
+        Ok((OgcGraph::from_tgraph_at(rt, &g, epoch), stats))
+    }
+
+    /// Reads the base nested file and folds in every committed epoch
+    /// segment: per-entity histories concatenate and re-coalesce (a state
+    /// continuing across an epoch boundary merges back into one interval),
+    /// brand-new entities append, and the whole row set re-sorts by id for
+    /// determinism.
+    #[allow(clippy::type_complexity)]
+    fn load_nested(
+        &self,
+        range: Option<Interval>,
+    ) -> Result<(Interval, Vec<NestedRow>, Vec<NestedRow>, ScanStats, u64), StorageError> {
+        let (mut lifespan, mut v_rows, mut e_rows, mut stats) =
+            read_tgo(&self.nested_path(), range)?;
+        let epochs = self.epochs()?;
+        let epoch = epochs.last().map_or(0, |e| e.epoch);
+        for entry in &epochs {
+            let (ls, dv, de, s) = read_tgo(&self.segment_nested_path(entry.epoch), range)?;
+            lifespan = lifespan.hull(&ls);
+            stats.chunks_skipped += s.chunks_skipped;
+            stats.chunks_read += s.chunks_read;
+            stats.rows_read += s.rows_read;
+            merge_nested(&mut v_rows, dv);
+            merge_nested(&mut e_rows, de);
+        }
+        if !epochs.is_empty() {
+            v_rows.sort_by_key(|r| (r.id, r.src, r.dst));
+            e_rows.sort_by_key(|r| (r.id, r.src, r.dst));
+        }
+        Ok((lifespan, v_rows, e_rows, stats, epoch))
     }
 
     /// Loads any representation, using the file layout best suited to it.
@@ -197,6 +291,31 @@ impl GraphLoader {
                 (AnyGraph::Ogc(g), s)
             }
         })
+    }
+}
+
+/// Folds one epoch segment's nested rows into the accumulated row set:
+/// existing entities (same `(id, src, dst)`) extend and re-coalesce their
+/// histories — with the pushdown columns widened to match — and new entities
+/// append.
+fn merge_nested(rows: &mut Vec<NestedRow>, delta: Vec<NestedRow>) {
+    let index: std::collections::HashMap<(u64, u64, u64), usize> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| ((r.id, r.src, r.dst), i))
+        .collect();
+    for d in delta {
+        match index.get(&(d.id, d.src, d.dst)) {
+            Some(&i) => {
+                let row = &mut rows[i];
+                let mut all = std::mem::take(&mut row.history);
+                all.extend(d.history);
+                row.history = coalesce_group(all);
+                row.first = row.first.min(d.first);
+                row.last = row.last.max(d.last);
+            }
+            None => rows.push(d),
+        }
     }
 }
 
@@ -296,6 +415,73 @@ mod tests {
             .get("school")
             .is_none_or(|s| s.as_str() == Some("MIT"))));
         assert_eq!(g.edges.len(), 1);
+    }
+
+    #[test]
+    fn epoch_segments_merge_into_every_representation() {
+        use tgraph_core::graph::{EdgeRecord, VertexId, VertexRecord};
+        use tgraph_core::props::Props;
+        let rt = rt();
+        let dir = std::env::temp_dir().join("tgc-loader-epoch-tests");
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = figure1_graph_stable_ids();
+        write_dataset(&dir, "fig1e", &base).unwrap();
+        // Alice and friendship e1 continue past the boundary (9); Dana joins.
+        let alice = base.vertices[0].clone();
+        let e1 = base.edges[0].clone();
+        let delta = TGraph::from_records(
+            vec![
+                VertexRecord {
+                    vid: alice.vid,
+                    interval: Interval::new(9, 13),
+                    props: alice.props.clone(),
+                },
+                VertexRecord {
+                    vid: VertexId(40),
+                    interval: Interval::new(10, 12),
+                    props: Props::typed("person"),
+                },
+            ],
+            vec![EdgeRecord {
+                eid: e1.eid,
+                src: e1.src,
+                dst: e1.dst,
+                interval: Interval::new(9, 11),
+                props: e1.props.clone(),
+            }],
+        );
+        crate::epochs::append_epoch(&dir, "fig1e", &delta).unwrap();
+
+        let mut combined = base.clone();
+        combined.vertices.extend(delta.vertices.clone());
+        combined.edges.extend(delta.edges.clone());
+        let combined = TGraph::from_records(combined.vertices, combined.edges);
+        let expected = coalesce_graph(&combined);
+
+        let loader = GraphLoader::new(&dir, "fig1e");
+        assert_eq!(loader.current_epoch().unwrap(), 1);
+        for kind in [ReprKind::Ve, ReprKind::Rg, ReprKind::Og] {
+            let (any, _) = loader.load(&rt, kind, None).unwrap();
+            let back = coalesce_graph(&any.to_tgraph(&rt));
+            assert_eq!(back.vertices, expected.vertices, "{kind}");
+            assert_eq!(back.edges, expected.edges, "{kind}");
+        }
+        let (ogc, _) = loader.load(&rt, ReprKind::Ogc, None).unwrap();
+        assert_eq!(ogc.to_tgraph(&rt).distinct_vertex_count(), 4);
+
+        // A suffix scan pushes the range into base and segment alike.
+        let (suffix, scan) = loader
+            .load_flat(SortOrder::Structural, Some(Interval::new(9, i64::MAX)))
+            .unwrap();
+        assert!(suffix.vertices.iter().all(|v| v.interval.end > 9));
+        assert!(scan.chunks_read > 0);
+
+        // Aggregated header stats stay truthful about the appended rows.
+        let stats = loader.flat_stats(SortOrder::Temporal).unwrap();
+        assert_eq!(stats.lifespan, Interval::new(1, 13));
+        let (v_est, e_est) = stats.estimated_rows(None);
+        assert_eq!(v_est, (base.vertices.len() + 2) as u64);
+        assert_eq!(e_est, (base.edges.len() + 1) as u64);
     }
 
     #[test]

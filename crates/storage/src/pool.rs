@@ -20,6 +20,7 @@ use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use tgraph_core::graph::TGraph;
 use tgraph_core::time::Interval;
 use tgraph_dataflow::lock_unpoisoned;
 use tgraph_dataflow::Runtime;
@@ -34,22 +35,31 @@ pub struct SharedGraph {
     pub graph: Arc<AnyGraph>,
     /// Pushdown effectiveness of the disk scan that loaded it.
     pub scan: ScanStats,
+    /// The dataset epoch this handle reflects (0 = base, +1 per ingest).
+    pub epoch: u64,
 }
 
 impl GraphLoader {
     /// Loads a representation as a [`SharedGraph`] handle. Equivalent to
     /// [`GraphLoader::load`] but returns the graph `Arc`-wrapped for
-    /// zero-copy sharing across sessions/threads.
+    /// zero-copy sharing across sessions/threads, stamped with the dataset's
+    /// current epoch.
     pub fn load_shared(
         &self,
         rt: &Runtime,
         kind: ReprKind,
         range: Option<Interval>,
     ) -> Result<SharedGraph, StorageError> {
+        // Epoch first: if an ingest lands between the two reads, the load
+        // sees at least the epoch's segments and carries an older stamp —
+        // the pool's floor check then reloads rather than serve a handle
+        // stamped newer than its contents could be the other way around.
+        let epoch = self.current_epoch()?;
         let (graph, scan) = self.load(rt, kind, range)?;
         Ok(SharedGraph {
             graph: Arc::new(graph),
             scan,
+            epoch,
         })
     }
 }
@@ -61,6 +71,10 @@ type PoolKey = (String, ReprKind, Option<Interval>);
 struct Inner {
     ready: HashMap<PoolKey, SharedGraph>,
     loading: HashSet<PoolKey>,
+    /// Minimum acceptable epoch per dataset, raised by [`GraphPool::advance`].
+    /// A load that completes with an older stamp (it raced an ingest) is
+    /// discarded and retried rather than inserted.
+    epoch_floor: HashMap<String, u64>,
 }
 
 /// Counters describing pool effectiveness, returned by [`GraphPool::stats`].
@@ -73,6 +87,9 @@ pub struct PoolStats {
     /// Disk loads actually executed (≤ `misses`: concurrent misses on one
     /// key share a single load).
     pub loads: u64,
+    /// Resident graphs upgraded in place by [`GraphPool::advance`] — each
+    /// one an O(delta) in-memory append instead of an O(history) reload.
+    pub epoch_upgrades: u64,
 }
 
 /// A load-once, share-forever cache of graphs under one dataset directory.
@@ -83,6 +100,7 @@ pub struct GraphPool {
     hits: AtomicU64,
     misses: AtomicU64,
     loads: AtomicU64,
+    epoch_upgrades: AtomicU64,
 }
 
 impl GraphPool {
@@ -97,6 +115,7 @@ impl GraphPool {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             loads: AtomicU64::new(0),
+            epoch_upgrades: AtomicU64::new(0),
         }
     }
 
@@ -133,8 +152,24 @@ impl GraphPool {
         }
         // We own the load for this key; do the I/O without the lock.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.loads.fetch_add(1, Ordering::Relaxed);
-        let loaded = GraphLoader::new(&self.dir, name).load_shared(rt, kind, range);
+        let loaded = loop {
+            self.loads.fetch_add(1, Ordering::Relaxed);
+            let loaded = GraphLoader::new(&self.dir, name).load_shared(rt, kind, range);
+            if let Ok(g) = &loaded {
+                let floor = lock_unpoisoned(&self.inner)
+                    .epoch_floor
+                    .get(name)
+                    .copied()
+                    .unwrap_or(0);
+                if g.epoch < floor {
+                    // An ingest advanced the dataset while we were reading;
+                    // the handle is stamped below the floor, so its contents
+                    // may predate the new segments. Reload.
+                    continue;
+                }
+            }
+            break loaded;
+        };
         let mut inner = lock_unpoisoned(&self.inner);
         inner.loading.remove(&key);
         if let Ok(g) = &loaded {
@@ -146,12 +181,67 @@ impl GraphPool {
         loaded
     }
 
+    /// Advances every resident graph of dataset `name` to `epoch` by
+    /// applying `delta` in memory — an O(delta) append instead of an
+    /// O(history) reload — and raises the dataset's epoch floor so
+    /// concurrent loads can never insert a pre-ingest handle afterwards.
+    ///
+    /// Full-history residents (`range == None`) upgrade in place via
+    /// [`AnyGraph::append_epoch`]; range-filtered residents are evicted (the
+    /// delta may intersect their window) and reload lazily with pushdown.
+    /// The upgrade holds the pool lock, so a concurrent [`GraphPool::get`]
+    /// observes either the pre-ingest or post-ingest graph, never a mix.
+    /// Returns the number of in-place upgrades.
+    ///
+    /// The caller serializes ingests (single writer) and has already
+    /// committed the epoch's segments to disk, so a load racing this call
+    /// reads at least as much data as the floor demands.
+    pub fn advance(&self, rt: &Runtime, name: &str, epoch: u64, delta: &TGraph) -> usize {
+        let mut inner = lock_unpoisoned(&self.inner);
+        let floor = inner.epoch_floor.entry(name.to_string()).or_insert(0);
+        if epoch > *floor {
+            *floor = epoch;
+        }
+        let keys: Vec<PoolKey> = inner
+            .ready
+            .keys()
+            .filter(|k| k.0 == name)
+            .cloned()
+            .collect();
+        let mut upgraded = 0;
+        for key in keys {
+            let shared = inner.ready[&key].clone();
+            if shared.epoch >= epoch {
+                continue;
+            }
+            // In-place append is only sound one epoch at a time and for
+            // full-history residents; everything else evicts and reloads.
+            if key.2.is_some() || shared.epoch + 1 != epoch {
+                inner.ready.remove(&key);
+                continue;
+            }
+            let graph = shared.graph.append_epoch(rt, delta, epoch);
+            inner.ready.insert(
+                key,
+                SharedGraph {
+                    graph: Arc::new(graph),
+                    scan: shared.scan,
+                    epoch,
+                },
+            );
+            upgraded += 1;
+            self.epoch_upgrades.fetch_add(1, Ordering::Relaxed);
+        }
+        upgraded
+    }
+
     /// Hit/miss/load counters since the pool was created.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             loads: self.loads.load(Ordering::Relaxed),
+            epoch_upgrades: self.epoch_upgrades.load(Ordering::Relaxed),
         }
     }
 
@@ -227,6 +317,52 @@ mod tests {
         assert!(graphs.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
         assert_eq!(pool.stats().loads, 1, "single-flight load");
         assert_eq!(pool.stats().hits + pool.stats().misses, 8);
+    }
+
+    #[test]
+    fn advance_upgrades_residents_in_place() {
+        use tgraph_core::graph::{VertexId, VertexRecord};
+        use tgraph_core::props::Props;
+        use tgraph_core::TGraph;
+        let rt = Runtime::with_partitions(2, 2);
+        let dir = std::env::temp_dir().join("tgc-pool-advance");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_dataset(&dir, "adv", &figure1_graph_stable_ids()).unwrap();
+        let pool = GraphPool::new(&dir);
+        let before = pool.get(&rt, "adv", ReprKind::Ve, None).unwrap();
+        assert_eq!(before.epoch, 0);
+        let ranged = pool
+            .get(&rt, "adv", ReprKind::Ve, Some(Interval::new(1, 3)))
+            .unwrap();
+        assert_eq!(ranged.epoch, 0);
+
+        let delta = TGraph::from_records(
+            vec![VertexRecord {
+                vid: VertexId(40),
+                interval: Interval::new(9, 12),
+                props: Props::typed("person"),
+            }],
+            Vec::new(),
+        );
+        crate::epochs::append_epoch(&dir, "adv", &delta).unwrap();
+        let upgraded = pool.advance(&rt, "adv", 1, &delta);
+        assert_eq!(upgraded, 1, "full-history resident upgrades in place");
+        assert_eq!(pool.stats().epoch_upgrades, 1);
+
+        // The upgraded handle serves without a reload and sees the delta.
+        let after = pool.get(&rt, "adv", ReprKind::Ve, None).unwrap();
+        assert_eq!(after.epoch, 1);
+        assert_eq!(pool.stats().loads, 2, "no disk load for the upgrade");
+        let g = after.graph.to_tgraph(&rt);
+        assert!(g.vertices.iter().any(|v| v.vid == VertexId(40)));
+
+        // The range-filtered resident was evicted; its next access reloads
+        // from disk (base + segment) and is stamped with the new epoch.
+        let ranged = pool
+            .get(&rt, "adv", ReprKind::Ve, Some(Interval::new(1, 3)))
+            .unwrap();
+        assert_eq!(ranged.epoch, 1);
+        assert_eq!(pool.stats().loads, 3);
     }
 
     #[test]

@@ -237,6 +237,10 @@ pub mod strategy {
         (A.0, B.1, C.2, D.3)
         (A.0, B.1, C.2, D.3, E.4)
         (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
     }
 
     /// Strategy for `Vec`s whose length is drawn from a range.
