@@ -55,7 +55,7 @@ use std::path::{Path, PathBuf};
 /// exempt from `no-unwrap` (its panics are operator-facing, not
 /// user-reachable), but still subject to the dataflow-discipline rules.
 const LIB_CRATES: &[&str] = &[
-    "core", "dataflow", "repr", "storage", "datagen", "query", "analyzer", "server",
+    "core", "dataflow", "repr", "storage", "datagen", "query", "analyzer", "server", "optimize",
 ];
 
 /// Crates linted for dataflow discipline (eager collect, raw retag) only.

@@ -68,6 +68,12 @@ pub struct AdmissionStats {
     /// Times a free slot was denied because the memory reservation did not
     /// fit the governor's budget (the waiter stalled, it was not rejected).
     pub memory_stalls: u64,
+    /// Permit releases that found `inflight` already at zero. Always 0 in a
+    /// correct server: every release must pair with exactly one admit. The
+    /// old accounting `saturating_sub(1)` silently absorbed such imbalances,
+    /// which would mask a leaked or double-released slot (the gate would
+    /// quietly admit more than `max_inflight`). Debug builds also assert.
+    pub release_underflows: u64,
     /// Queries currently executing.
     pub inflight: usize,
     /// Queries currently waiting.
@@ -89,6 +95,7 @@ pub struct Admission {
     rejected_deadline: AtomicU64,
     wait_us_total: AtomicU64,
     memory_stalls: AtomicU64,
+    release_underflows: AtomicU64,
 }
 
 /// An admission slot. Dropping it releases the slot (and its governor
@@ -116,7 +123,23 @@ impl Drop for Permit {
         // visible to its try_reserve.
         self.charge.take();
         let mut state = lock_unpoisoned(&self.gate.state);
-        state.inflight = state.inflight.saturating_sub(1);
+        // Balanced accounting: every release pairs with exactly one admit.
+        // An underflow means a slot was double-released — wrapping (or the
+        // old `saturating_sub`, which hid it) would let the gate admit more
+        // than `max_inflight` forever after. Count it, never wrap, and trip
+        // loudly in debug builds.
+        match state.inflight.checked_sub(1) {
+            Some(n) => state.inflight = n,
+            None => {
+                drop(state);
+                self.gate.release_underflows.fetch_add(1, Ordering::Relaxed);
+                debug_assert!(
+                    false,
+                    "admission permit released with zero inflight (double release?)"
+                );
+                return;
+            }
+        }
         drop(state);
         self.gate.cv.notify_one();
     }
@@ -160,6 +183,7 @@ impl Admission {
             rejected_deadline: AtomicU64::new(0),
             wait_us_total: AtomicU64::new(0),
             memory_stalls: AtomicU64::new(0),
+            release_underflows: AtomicU64::new(0),
         })
     }
 
@@ -290,6 +314,7 @@ impl Admission {
             rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
             wait_us_total: self.wait_us_total.load(Ordering::Relaxed),
             memory_stalls: self.memory_stalls.load(Ordering::Relaxed),
+            release_underflows: self.release_underflows.load(Ordering::Relaxed),
             inflight,
             queue_depth,
         }
@@ -434,6 +459,39 @@ mod tests {
             .admit(Some(Instant::now() + Duration::from_secs(5)))
             .expect("budget freed");
         assert_eq!(p2.reserved_bytes(), 1 << 20);
+    }
+
+    /// S2 regression: a release with zero inflight (a forged/double-released
+    /// permit) must not wrap the counter — the old `saturating_sub` hid the
+    /// imbalance; the fix counts it, panics in debug builds, and leaves the
+    /// gate fully functional.
+    #[test]
+    fn unbalanced_release_is_detected_not_absorbed() {
+        let gate = Admission::new(2, 4);
+        let forged = Permit {
+            gate: Arc::clone(&gate),
+            charge: None,
+            waited: Duration::ZERO,
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(forged)));
+        if cfg!(debug_assertions) {
+            assert!(outcome.is_err(), "debug build trips the underflow assert");
+        } else {
+            assert!(outcome.is_ok(), "release build records and continues");
+        }
+        let stats = gate.stats();
+        assert_eq!(stats.release_underflows, 1, "imbalance was counted");
+        assert_eq!(stats.inflight, 0, "counter did not wrap");
+        // The gate still enforces its bound afterwards.
+        let p1 = gate.admit(None).expect("slot 1");
+        let _p2 = gate.admit(None).expect("slot 2");
+        assert_eq!(gate.stats().inflight, 2);
+        assert!(matches!(
+            gate.admit(Some(Instant::now() - Duration::from_millis(1))),
+            Err(AdmitError::DeadlineExpired)
+        ));
+        drop(p1);
+        assert_eq!(gate.stats().inflight, 1);
     }
 
     #[test]

@@ -32,11 +32,30 @@ struct Entry {
     tick: u64,
 }
 
+/// Fixed bookkeeping retained per resident entry beyond the heap text and
+/// payload: the [`Entry`] struct itself, the recency-index node payload
+/// (`tick → (hash, canonical)`), the map's hash key, and the `Arc`'s
+/// reference counters. Derived from the actual layouts so the charge tracks
+/// the code — the old hand-waved `+ 64` under-counted by roughly half.
+const ENTRY_OVERHEAD: u64 = (std::mem::size_of::<Entry>()
+    + std::mem::size_of::<(u64, (u64, String))>()
+    + std::mem::size_of::<u64>()
+    + 2 * std::mem::size_of::<usize>()) as u64;
+
 impl Entry {
-    /// Budget charge: payload plus key text plus fixed bookkeeping overhead.
+    /// Budget charge: what residency actually retains. The canonical string
+    /// is charged **twice** because two copies live for the entry's whole
+    /// lifetime — one here, one inside the recency index — which the old
+    /// `len + canonical + 64` estimate missed.
     fn cost(&self) -> u64 {
-        (self.bytes.len() + self.canonical.len() + 64) as u64
+        entry_cost(&self.canonical, self.bytes.len())
     }
+}
+
+/// The cost formula, shared with the shadow-model property tests so any
+/// accounting drift between model and implementation is a test failure.
+fn entry_cost(canonical: &str, payload_len: usize) -> u64 {
+    (payload_len + 2 * canonical.len()) as u64 + ENTRY_OVERHEAD
 }
 
 #[derive(Default)]
@@ -309,15 +328,17 @@ mod tests {
 
     #[test]
     fn byte_budget_evicts_in_lru_order() {
-        // Each entry costs 100 (payload) + 2 (canonical) + 64 = 166 bytes.
-        let c = ResultCache::new(500);
+        // Budget fits three entries but not four.
+        let unit = entry_cost("k1", 100);
+        let budget = 3 * unit + unit / 2;
+        let c = ResultCache::new(budget);
         for (h, name) in [(1, "k1"), (2, "k2"), (3, "k3")] {
             c.insert(&key(h, name), payload(100, h as u8));
         }
         assert_eq!(c.len(), 3);
         // Touch k1 so k2 becomes the LRU entry.
         assert!(c.get(&key(1, "k1")).is_some());
-        // Inserting k4 exceeds 500 → evict k2 (oldest untouched).
+        // Inserting k4 exceeds the budget → evict k2 (oldest untouched).
         c.insert(&key(4, "k4"), payload(100, 4));
         assert!(c.get(&key(2, "k2")).is_none(), "k2 evicted");
         assert!(
@@ -327,7 +348,29 @@ mod tests {
         assert!(c.get(&key(3, "k3")).is_some());
         assert!(c.get(&key(4, "k4")).is_some());
         assert_eq!(c.stats().evictions, 1);
-        assert!(c.stats().bytes_used <= 500);
+        assert!(c.stats().bytes_used <= budget);
+    }
+
+    /// S3 regression: the budget charge reflects what residency actually
+    /// retains — the payload, BOTH copies of the canonical string (one in
+    /// the entry, one in the recency index), and layout-derived bookkeeping.
+    /// The old `len + canonical + 64` estimate missed the second canonical
+    /// copy entirely, so a workload of long queries over small results could
+    /// really hold ~2× its nominal budget.
+    #[test]
+    fn entry_cost_covers_both_canonical_copies_and_bookkeeping() {
+        let canon = "x".repeat(1000);
+        let c = ResultCache::new(1 << 20);
+        c.insert(&key(1, &canon), payload(100, 1));
+        let used = c.stats().bytes_used;
+        assert_eq!(used, entry_cost(&canon, 100));
+        assert!(
+            used >= 100 + 2 * 1000,
+            "both canonical copies must be charged, got {used}"
+        );
+        // The overhead term is layout-derived, not a guess: it covers at
+        // least the Entry struct and the recency node it models.
+        assert!(ENTRY_OVERHEAD >= std::mem::size_of::<Entry>() as u64);
     }
 
     #[test]
@@ -370,15 +413,17 @@ mod tests {
     /// itself).
     #[test]
     fn oversized_refresh_drops_only_the_refreshed_entry() {
-        // Each small entry costs 100 + 2 + 64 = 166; budget fits all four.
-        let c = ResultCache::new(1000);
+        // Budget fits all four small entries.
+        let unit = entry_cost("k1", 100);
+        let budget = 5 * unit;
+        let c = ResultCache::new(budget);
         for (h, name) in [(1, "k1"), (2, "k2"), (3, "k3")] {
             c.insert(&key(h, name), payload(100, h as u8));
         }
         c.insert(&key(9, "kg"), payload(100, 9));
         assert_eq!(c.len(), 4);
         // Refresh kg with a payload larger than the entire budget.
-        c.insert(&key(9, "kg"), payload(2000, 9));
+        c.insert(&key(9, "kg"), payload(budget as usize + 100, 9));
         assert!(!c.contains(&key(9, "kg")), "oversized refresh is dropped");
         for (h, name) in [(1, "k1"), (2, "k2"), (3, "k3")] {
             assert!(
@@ -388,7 +433,7 @@ mod tests {
         }
         assert_eq!(c.stats().evictions, 0, "no other entry was evicted");
         let used = c.stats().bytes_used;
-        assert_eq!(used, 3 * 166, "accounting excludes the dropped entry");
+        assert_eq!(used, 3 * unit, "accounting excludes the dropped entry");
     }
 
     #[test]
@@ -417,8 +462,8 @@ mod tests {
 
     #[test]
     fn contains_does_not_refresh_recency() {
-        // Budget for exactly two 166-byte entries.
-        let c = ResultCache::new(340);
+        // Budget for exactly two entries.
+        let c = ResultCache::new(2 * entry_cost("k1", 100) + 10);
         c.insert(&key(1, "k1"), payload(100, 1));
         c.insert(&key(2, "k2"), payload(100, 2));
         // Probe k1 with contains(): unlike get(), this must NOT promote it.
@@ -448,7 +493,10 @@ mod tests {
         }
 
         fn cost(canonical: &str, len: usize) -> u64 {
-            (len + canonical.len() + 64) as u64
+            // The implementation's own formula: the model predicts *exact*
+            // byte accounting, so any drift in `entry_cost` (or a call site
+            // forgetting a component) fails the property test.
+            entry_cost(canonical, len)
         }
 
         fn used(&self) -> u64 {
@@ -511,12 +559,19 @@ mod tests {
         let c = ResultCache::new(BUDGET);
         let mut shadow = Shadow::new(BUDGET);
 
-        // A small key universe with deliberate hash collisions: keys 0..12
-        // map onto 6 hashes, two canonical forms each.
-        let keyspace: Vec<CacheKey> = (0..12u64).map(|i| key(i % 6, &format!("q{i}"))).collect();
+        // A small key universe with deliberate hash collisions (two
+        // canonical forms per hash) and canonical lengths from 2 to ~80
+        // characters — long canonicals weight the double-retention term of
+        // the cost formula, which the old estimate missed (S3).
+        let keyspace: Vec<CacheKey> = (0..16u64)
+            .map(|i| {
+                let canonical = format!("q{i}{}", "x".repeat((i as usize % 4) * 25));
+                key(i % 8, &canonical)
+            })
+            .collect();
 
         for step in 0..4000 {
-            let k = &keyspace[(next() % 12) as usize];
+            let k = &keyspace[(next() % 16) as usize];
             match next() % 3 {
                 0 => {
                     // get: cache hit iff the shadow says resident, and the
@@ -586,8 +641,8 @@ mod tests {
     /// disturb its sibling).
     #[test]
     fn eviction_follows_lru_order_under_collisions() {
-        // Budget fits exactly three 166-byte entries (3 * 166 = 498).
-        let c = ResultCache::new(500);
+        // Budget fits exactly three entries.
+        let c = ResultCache::new(3 * entry_cost("ca", 100) + 2);
         // Two of the three share hash 7 (collision), distinct canonicals.
         c.insert(&key(7, "ca"), payload(100, 0xA));
         c.insert(&key(7, "cb"), payload(100, 0xB));

@@ -133,6 +133,14 @@ pub struct ServerMetrics {
     pub zoom_cancelled: AtomicU64,
     /// Malformed / unparseable request lines.
     pub bad_requests: AtomicU64,
+    /// Zoom requests whose representation the optimizer chose (`"auto"`).
+    pub auto_chosen: AtomicU64,
+    /// Auto choices driven by observed run times rather than the static
+    /// cost model alone.
+    pub auto_by_observed: AtomicU64,
+    /// `shard_exec` broadcasts retried after a peer's typed `stale_epoch`
+    /// rejection (the coordinator re-replicated the missing epochs first).
+    pub shard_stale_retries: AtomicU64,
     /// End-to-end zoom latency (parse → response serialized).
     pub total_latency: Histogram,
     /// Admission-wait portion of zoom latency.
@@ -183,6 +191,18 @@ impl ServerMetrics {
             (
                 "bad_requests",
                 Json::Int(self.bad_requests.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "auto_chosen",
+                Json::Int(self.auto_chosen.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "auto_by_observed",
+                Json::Int(self.auto_by_observed.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "shard_stale_retries",
+                Json::Int(self.shard_stale_retries.load(Ordering::Relaxed) as i64),
             ),
             (
                 "latency",

@@ -55,6 +55,18 @@ pub enum Request {
         /// Exchange epoch: seeds every shard's exchange sequence numbers
         /// (`epoch << 32`) so frames from different queries never mix.
         epoch: u64,
+        /// The *dataset* epoch the coordinator executed against. A peer
+        /// whose resident graph is behind this epoch missed a
+        /// `shard_ingest` (lost or reordered broadcast) and must reject
+        /// with a typed `stale_epoch` instead of executing on stale data
+        /// and tripping `shard_divergence`. `0` disables the check (the
+        /// base layout is epoch 0 — a peer can never be behind it).
+        dataset_epoch: u64,
+        /// The representation the coordinator resolved, overriding the
+        /// embedded query's. Without this, an `"repr":"auto"` query could
+        /// resolve differently on each shard (their observation tables
+        /// diverge) and the shards would silently compute different plans.
+        repr_override: Option<ReprKind>,
         /// The query to execute, byte-identical to the coordinator's.
         zoom: Box<ZoomRequest>,
     },
@@ -88,8 +100,12 @@ pub enum Step {
 pub struct ZoomRequest {
     /// Dataset name under the server's data directory.
     pub graph: String,
-    /// Initial physical representation.
+    /// Initial physical representation. When [`ZoomRequest::auto_repr`] is
+    /// set this is a placeholder until the optimizer resolves it.
     pub repr: ReprKind,
+    /// The request omitted `repr` or said `"repr":"auto"`: the server's
+    /// cost-based optimizer picks the representation.
+    pub auto_repr: bool,
     /// Optional date-range filter pushed into the load.
     pub range: Option<Interval>,
     /// Pipeline steps, applied in order.
@@ -98,6 +114,9 @@ pub struct ZoomRequest {
     pub deadline_ms: Option<u64>,
     /// Bypass the result cache (for load-test cold runs).
     pub no_cache: bool,
+    /// Include the optimizer's full candidate table (`predicted` vs
+    /// `chosen` vs `observed`) in the response.
+    pub explain: bool,
 }
 
 /// A parsed ingest request: the facts of one epoch append.
@@ -458,11 +477,27 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
                 .filter(|e| *e >= 0)
                 .ok_or_else(|| bad("shard_exec needs non-negative integer field 'epoch'"))?
                 as u64;
+            let dataset_epoch = match v.get("dataset_epoch") {
+                None | Some(Json::Null) => 0,
+                Some(d) => d
+                    .as_i64()
+                    .filter(|d| *d >= 0)
+                    .ok_or_else(|| bad("'dataset_epoch' must be a non-negative integer"))?
+                    as u64,
+            };
+            let repr_override = match v.get("repr") {
+                None | Some(Json::Null) => None,
+                Some(r) => Some(parse_repr(r.as_str().ok_or_else(|| {
+                    bad("shard_exec 'repr' override must be a repr string")
+                })?)?),
+            };
             let zoom = v
                 .get("zoom")
                 .ok_or_else(|| bad("shard_exec needs object field 'zoom'"))?;
             Ok(Request::ShardExec {
                 epoch,
+                dataset_epoch,
+                repr_override,
                 zoom: Box::new(parse_zoom_request(zoom)?),
             })
         }
@@ -494,11 +529,22 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
 
 fn parse_zoom_request(v: &Json) -> Result<ZoomRequest, BadRequest> {
     let graph = parse_graph_name(v)?;
-    let repr = parse_repr(
-        v.get("repr")
-            .and_then(Json::as_str)
-            .ok_or_else(|| bad("zoom needs string field 'repr'"))?,
-    )?;
+    // `repr` omitted or "auto" delegates the choice to the optimizer. The
+    // placeholder is VE (supports every step), so static validation below
+    // still catches switch-introduced violations.
+    let (repr, auto_repr) = match v.get("repr") {
+        None | Some(Json::Null) => (ReprKind::Ve, true),
+        Some(r) => {
+            let s = r
+                .as_str()
+                .ok_or_else(|| bad("'repr' must be a string (rg|ve|og|ogc|auto)"))?;
+            if s.eq_ignore_ascii_case("auto") {
+                (ReprKind::Ve, true)
+            } else {
+                (parse_repr(s)?, false)
+            }
+        }
+    };
     let range = match v.get("range") {
         None | Some(Json::Null) => None,
         Some(r) => {
@@ -537,13 +583,16 @@ fn parse_zoom_request(v: &Json) -> Result<ZoomRequest, BadRequest> {
         ),
     };
     let no_cache = v.get("no_cache").and_then(Json::as_bool).unwrap_or(false);
+    let explain = v.get("explain").and_then(Json::as_bool).unwrap_or(false);
     let req = ZoomRequest {
         graph,
         repr,
+        auto_repr,
         range,
         steps,
         deadline_ms,
         no_cache,
+        explain,
     };
     req.validate()?;
     Ok(req)
@@ -708,7 +757,6 @@ mod tests {
             "not json",
             r#"{"op":"zap"}"#,
             r#"{"op":"zoom"}"#,
-            r#"{"op":"zoom","graph":"g"}"#,
             r#"{"op":"zoom","graph":"../etc","repr":"ve"}"#,
             r#"{"op":"zoom","graph":"g","repr":"xx"}"#,
             r#"{"op":"zoom","graph":"g","repr":"ve","range":[5,1]}"#,
@@ -722,6 +770,69 @@ mod tests {
                 "steps":[{"azoom":{"aggs":[{"output":"s","fn":"sum"}]}}]}"#,
         ] {
             assert!(parse_request(bad).is_err(), "{bad}");
+        }
+    }
+
+    /// Omitting `repr`, or spelling it `"auto"` in any case, marks the
+    /// request for the cost-based optimizer; an explicit representation
+    /// does not. `explain` opts into the candidate table independently.
+    #[test]
+    fn parses_auto_repr_and_explain() {
+        let zoom = |line: &str| match parse_request(line).unwrap() {
+            Request::Zoom(z) => z,
+            other => panic!("expected zoom, got {other:?}"),
+        };
+        let omitted = zoom(r#"{"op":"zoom","graph":"g"}"#);
+        assert!(omitted.auto_repr);
+        assert!(!omitted.explain);
+        let spelled = zoom(r#"{"op":"zoom","graph":"g","repr":"AuTo","explain":true}"#);
+        assert!(spelled.auto_repr);
+        assert!(spelled.explain);
+        let explicit = zoom(r#"{"op":"zoom","graph":"g","repr":"og","explain":true}"#);
+        assert!(!explicit.auto_repr);
+        assert_eq!(explicit.repr, ReprKind::Og);
+        assert!(explicit.explain);
+        // Scheduling/introspection fields stay out of the cache identity:
+        // an auto request resolved to OG replays an explicit OG's entry.
+        let mut resolved = spelled.clone();
+        resolved.repr = ReprKind::Og;
+        resolved.auto_repr = false;
+        assert_eq!(resolved.canonical(), explicit.canonical());
+    }
+
+    /// A `shard_exec` envelope carries the coordinator's dataset epoch and
+    /// resolved representation; both are optional for compatibility (0
+    /// disables the staleness check, absent repr means "run as written").
+    #[test]
+    fn parses_shard_exec_envelope_extensions() {
+        let full = r#"{"op":"shard_exec","epoch":7,"dataset_epoch":3,"repr":"OG",
+                       "zoom":{"op":"zoom","graph":"g","repr":"ve"}}"#;
+        match parse_request(full).unwrap() {
+            Request::ShardExec {
+                epoch,
+                dataset_epoch,
+                repr_override,
+                zoom,
+            } => {
+                assert_eq!(epoch, 7);
+                assert_eq!(dataset_epoch, 3);
+                assert_eq!(repr_override, Some(ReprKind::Og));
+                assert_eq!(zoom.repr, ReprKind::Ve);
+            }
+            other => panic!("expected shard_exec, got {other:?}"),
+        }
+        let bare = r#"{"op":"shard_exec","epoch":7,
+                       "zoom":{"op":"zoom","graph":"g","repr":"ve"}}"#;
+        match parse_request(bare).unwrap() {
+            Request::ShardExec {
+                dataset_epoch,
+                repr_override,
+                ..
+            } => {
+                assert_eq!(dataset_epoch, 0);
+                assert_eq!(repr_override, None);
+            }
+            other => panic!("expected shard_exec, got {other:?}"),
         }
     }
 

@@ -17,12 +17,14 @@ use std::time::{Duration, Instant};
 use tgraph_core::graph::TGraph;
 use tgraph_core::props::{Props, Value};
 use tgraph_core::time::{Interval, Time};
+use tgraph_core::zoom::wzoom::WindowSpec;
 use tgraph_dataflow::lock_unpoisoned;
 use tgraph_dataflow::{CancelToken, Runtime, ShardLayout, TcpExchange};
 use tgraph_ingest::{load_suffix, plan, stitch, MaintenanceDecision, SnapshotDelta, ZoomStep};
+use tgraph_optimize::{ChoiceSource, Decision, GraphFeatures, Optimizer, PlanStep};
 use tgraph_query::Session;
 use tgraph_repr::{AnyGraph, ReprKind};
-use tgraph_storage::{GraphLoader, GraphPool, SharedGraph};
+use tgraph_storage::{GraphLoader, GraphPool, SharedGraph, SortOrder};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -57,6 +59,11 @@ pub struct ServerConfig {
     /// Every shard's *serve* address, in shard order. The coordinator uses
     /// these to broadcast `shard_exec` to its peers; required on shard 0.
     pub serve_peers: Vec<String>,
+    /// Fault injection for tests only: commit ingests locally but skip the
+    /// `shard_ingest` broadcast, simulating a lost replication message so
+    /// the `stale_epoch` recovery path can be exercised end to end.
+    #[doc(hidden)]
+    pub drop_ingest_broadcast: bool,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +82,7 @@ impl Default for ServerConfig {
             exchange_addr: String::new(),
             exchange_peers: Vec::new(),
             serve_peers: Vec::new(),
+            drop_ingest_broadcast: false,
         }
     }
 }
@@ -104,6 +112,12 @@ pub struct Server {
     /// request's canonical text (epoch-independent). After an ingest the
     /// patch path stitches these instead of recomputing over history.
     patches: Mutex<HashMap<String, PatchEntry>>,
+    /// The cost-based representation optimizer: static model plus the
+    /// per-shape observed-run-time table that cold executions feed.
+    optimizer: Optimizer,
+    /// Header-only storage features per graph, cached with the dataset
+    /// epoch they were read at (an ingest invalidates by epoch mismatch).
+    features: Mutex<HashMap<String, (u64, GraphFeatures)>>,
 }
 
 /// A retained result the patch path can bring up to date: the collected
@@ -179,6 +193,8 @@ impl Server {
             shard_lock: Mutex::new(()),
             ingest_lock: Mutex::new(()),
             patches: Mutex::new(HashMap::new()),
+            optimizer: Optimizer::new(),
+            features: Mutex::new(HashMap::new()),
             listener,
             config,
         })
@@ -276,46 +292,75 @@ impl Server {
             if line.trim().is_empty() {
                 continue;
             }
-            let mut response = self.handle_line(line.trim());
-            response.push('\n');
-            if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
-                return;
-            }
-            if self.is_shutting_down() {
+            let mut io_failed = false;
+            self.handle_line_to(line.trim(), &mut |response: &str| {
+                if io_failed {
+                    return;
+                }
+                let mut framed = response.to_string();
+                framed.push('\n');
+                // Each emitted line is flushed immediately: `shard_exec`
+                // acks must reach the coordinator *before* this shard
+                // blocks in its first exchange wave.
+                if writer.write_all(framed.as_bytes()).is_err() || writer.flush().is_err() {
+                    io_failed = true;
+                }
+            });
+            if io_failed || self.is_shutting_down() {
                 return;
             }
         }
     }
 
-    /// Handles one request line and returns the response line (no trailing
+    /// Handles one request line and returns the response text (no trailing
     /// newline). Exposed for in-process testing and the smoke harness.
+    /// Requests that stream multiple lines (`shard_exec` acks) are joined
+    /// with `'\n'`.
     pub fn handle_line(&self, line: &str) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        self.handle_line_to(line, &mut |l: &str| lines.push(l.to_string()));
+        lines.join("\n")
+    }
+
+    /// Handles one request line, emitting one or more response lines into
+    /// `out`. Every request answers exactly one line except `shard_exec`,
+    /// which on acceptance emits an ack line *before* executing (so the
+    /// coordinator knows every peer joined the wave) and its digest after.
+    pub fn handle_line_to(&self, line: &str, out: &mut dyn FnMut(&str)) {
         ServerMetrics::bump(&self.metrics.requests);
         match parse_request(line) {
             Err(e) => {
                 ServerMetrics::bump(&self.metrics.bad_requests);
-                error_response("bad_request", &e.0)
+                out(&error_response("bad_request", &e.0));
             }
             Ok(Request::Ping) => {
-                Json::obj(vec![("ok", Json::Bool(true)), ("pong", Json::Bool(true))]).to_string()
+                out(
+                    &Json::obj(vec![("ok", Json::Bool(true)), ("pong", Json::Bool(true))])
+                        .to_string(),
+                )
             }
             Ok(Request::Shutdown) => {
                 self.request_shutdown();
-                Json::obj(vec![
+                out(&Json::obj(vec![
                     ("ok", Json::Bool(true)),
                     ("shutting_down", Json::Bool(true)),
                 ])
-                .to_string()
+                .to_string());
             }
-            Ok(Request::Stats) => self.stats_response(),
-            Ok(Request::Zoom(req)) => self.handle_zoom(&req, line),
-            Ok(Request::Ingest(req)) => self.handle_ingest(&req, line),
-            Ok(Request::ShardExec { epoch, zoom }) => self.handle_shard_exec(epoch, &zoom),
+            Ok(Request::Stats) => out(&self.stats_response()),
+            Ok(Request::Zoom(req)) => out(&self.handle_zoom(&req, line)),
+            Ok(Request::Ingest(req)) => out(&self.handle_ingest(&req, line)),
+            Ok(Request::ShardExec {
+                epoch,
+                dataset_epoch,
+                repr_override,
+                zoom,
+            }) => self.handle_shard_exec(epoch, dataset_epoch, repr_override, &zoom, out),
             Ok(Request::ShardIngest {
                 epoch,
                 since,
                 ingest,
-            }) => self.handle_shard_ingest(epoch, since, &ingest),
+            }) => out(&self.handle_shard_ingest(epoch, since, &ingest)),
         }
     }
 
@@ -340,6 +385,35 @@ impl Server {
             ServerMetrics::bump(&self.metrics.zoom_rejected);
             return error_response("deadline", "deadline expired before execution");
         }
+        // Resolve `"repr":"auto"` *before* the pool load and cache probe so
+        // an auto request resolved to (say) VE shares pool residents and
+        // cache entries with an explicit `"repr":"ve"` request.
+        let shape = shape_key(req);
+        let was_auto = req.auto_repr;
+        let mut resolved_req;
+        let (req, decision) = if req.auto_repr {
+            let (r, d) = self.resolve_auto(req, &shape);
+            resolved_req = r;
+            resolved_req.auto_repr = false;
+            if let Some(d) = &d {
+                ServerMetrics::bump(&self.metrics.auto_chosen);
+                if d.source == ChoiceSource::Observed {
+                    ServerMetrics::bump(&self.metrics.auto_by_observed);
+                }
+            }
+            (&resolved_req, d)
+        } else if req.explain {
+            // EXPLAIN on an explicit representation still consults the
+            // optimizer so the response can show what it *would* pick —
+            // without overriding the caller's pinned choice.
+            let d = self
+                .graph_features(&req.graph, req.range)
+                .and_then(|f| self.optimizer.choose(&shape, &f, &plan_steps(&req.steps)));
+            (req, d)
+        } else {
+            (req, None)
+        };
+        let optimizer_block = optimizer_json(req, was_auto, decision.as_ref());
         // NOTE: the pool load runs *outside* the cancel scope on purpose: a
         // cancellation unwinding through the pool's single-flight section
         // would strand other waiters on the in-flight marker.
@@ -359,7 +433,14 @@ impl Server {
                 ServerMetrics::bump(&self.metrics.zoom_cache_hits);
                 self.metrics.hit_latency.record(t0.elapsed());
                 self.metrics.total_latency.record(t0.elapsed());
-                return zoom_response("hit", t0.elapsed(), Duration::ZERO, &key, &bytes);
+                return zoom_response(
+                    "hit",
+                    t0.elapsed(),
+                    Duration::ZERO,
+                    &key,
+                    optimizer_block.as_ref(),
+                    &bytes,
+                );
             }
         }
         let permit = match self.admission.admit(deadline) {
@@ -419,13 +500,70 @@ impl Server {
                 ServerMetrics::bump(&self.metrics.zoom_executed);
                 if patched {
                     ServerMetrics::bump(&self.metrics.zoom_patched);
+                } else {
+                    // Adaptive feedback: only cold executions measure the
+                    // representation itself (hits measure the cache and
+                    // patches measure the delta), so only they feed the
+                    // optimizer's observed-run-time table.
+                    self.optimizer
+                        .observe(&shape, req.repr, exec.as_micros() as u64);
                 }
                 self.metrics.exec_latency.record(exec);
                 self.metrics.total_latency.record(t0.elapsed());
                 let cache_tag = if patched { "patch" } else { "miss" };
-                zoom_response(cache_tag, t0.elapsed(), exec, &key, &bytes)
+                zoom_response(
+                    cache_tag,
+                    t0.elapsed(),
+                    exec,
+                    &key,
+                    optimizer_block.as_ref(),
+                    &bytes,
+                )
             }
         }
+    }
+
+    /// Resolves an `"repr":"auto"` request: header-only storage features
+    /// feed the cost model, the per-shape observed table feeds adaptive
+    /// re-optimization, and the winner becomes the request's concrete
+    /// representation. Falls back to the VE placeholder (with no decision)
+    /// when the dataset's statistics are unreadable — the pool load will
+    /// surface the real error.
+    fn resolve_auto(&self, req: &ZoomRequest, shape: &str) -> (ZoomRequest, Option<Decision>) {
+        let mut resolved = req.clone();
+        let Some(features) = self.graph_features(&req.graph, req.range) else {
+            return (resolved, None);
+        };
+        let steps = plan_steps(&req.steps);
+        match self.optimizer.choose(shape, &features, &steps) {
+            Some(decision) => {
+                resolved.repr = decision.chosen;
+                (resolved, Some(decision))
+            }
+            None => (resolved, None),
+        }
+    }
+
+    /// Free cardinality/evolution features of `graph`, read from `.tgc`
+    /// chunk headers (O(chunks), no row decode). Full-history features are
+    /// cached per dataset epoch; range-restricted requests recompute, since
+    /// the pushdown changes the row estimates.
+    fn graph_features(&self, graph: &str, range: Option<Interval>) -> Option<GraphFeatures> {
+        let loader = GraphLoader::new(&self.config.data_dir, graph);
+        let epoch = loader.current_epoch().ok()?;
+        if range.is_none() {
+            if let Some((cached_epoch, f)) = lock_unpoisoned(&self.features).get(graph) {
+                if *cached_epoch == epoch {
+                    return Some(*f);
+                }
+            }
+        }
+        let stats = loader.flat_stats(SortOrder::Temporal).ok()?;
+        let features = GraphFeatures::from_tgc_stats(&stats, range.as_ref());
+        if range.is_none() {
+            lock_unpoisoned(&self.features).insert(graph.to_string(), (epoch, features));
+        }
+        Some(features)
     }
 
     /// Runs one zoom across every shard: broadcast `shard_exec` to the
@@ -444,55 +582,76 @@ impl Server {
         let _guard = lock_unpoisoned(&self.shard_lock);
         let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
         let timeout = tgraph_dataflow::exchange::timeout_from_env();
-        // Kick every peer off before executing locally: the first local
-        // shuffle wave blocks in the exchange until the peers reach theirs.
+        // The envelope pins the coordinator's dataset epoch (a peer behind
+        // it rejects with `stale_epoch` instead of computing on stale data)
+        // and the resolved representation (an `"auto"` query must not
+        // re-resolve per shard — observation tables diverge across shards).
+        let msg = format!(
+            "{{\"op\":\"shard_exec\",\"epoch\":{epoch},\"dataset_epoch\":{},\"repr\":\"{}\",\"zoom\":{}}}\n",
+            shared.epoch,
+            req.repr,
+            line.trim()
+        );
+        // Phase 1: dispatch to every peer and collect their *acks* before
+        // executing locally. A peer that will not join the wave (stale
+        // epoch, missing dataset) must be detected now — discovering it
+        // after entering the exchange would stall every shard until the
+        // wave timeout.
         let mut conns = Vec::new();
         for (s, addr) in self.config.serve_peers.iter().enumerate() {
             if s == self.config.shard {
                 continue;
             }
-            let sockaddr = addr
-                .to_socket_addrs()
-                .ok()
-                .and_then(|mut a| a.next())
-                .ok_or_else(|| peer_err(addr, "unresolvable address".to_string()))?;
-            let mut stream = TcpStream::connect_timeout(&sockaddr, timeout)
-                .map_err(|e| peer_err(addr, format!("connect: {e}")))?;
-            let _ = stream.set_nodelay(true);
-            // Peers answer only after their whole execution finishes; give
-            // them the exchange timeout twice over before declaring death.
-            let _ = stream.set_read_timeout(Some(timeout.saturating_mul(2)));
-            let msg = format!(
-                "{{\"op\":\"shard_exec\",\"epoch\":{epoch},\"zoom\":{}}}\n",
-                line.trim()
+            let mut reader = self
+                .dial_and_send(addr, &msg, timeout)
+                .map_err(|e| peer_err(addr, e))?;
+            let ack = read_json_line(&mut reader).map_err(|e| peer_err(addr, e))?;
+            let ack = if ack.get("ok").and_then(Json::as_bool) == Some(true) {
+                ack
+            } else if ack.get("kind").and_then(Json::as_str) == Some("stale_epoch") {
+                // The peer missed one or more `shard_ingest` broadcasts.
+                // Re-replicate the epochs it lacks, then retry once.
+                ServerMetrics::bump(&self.metrics.shard_stale_retries);
+                let peer_epoch = ack
+                    .get("peer_epoch")
+                    .and_then(Json::as_i64)
+                    .filter(|e| *e >= 0)
+                    .ok_or_else(|| {
+                        peer_err(addr, "stale_epoch reply missing peer_epoch".to_string())
+                    })? as u64;
+                self.replicate_epochs_to(addr, &req.graph, peer_epoch, timeout)
+                    .map_err(|e| peer_err(addr, e))?;
+                reader = self
+                    .dial_and_send(addr, &msg, timeout)
+                    .map_err(|e| peer_err(addr, e))?;
+                let retry = read_json_line(&mut reader).map_err(|e| peer_err(addr, e))?;
+                if retry.get("ok").and_then(Json::as_bool) != Some(true) {
+                    return Err(peer_err(
+                        addr,
+                        format!("still rejecting after epoch replication: {retry}"),
+                    ));
+                }
+                retry
+            } else {
+                return Err(peer_err(addr, format!("shard {s} refused: {ack}")));
+            };
+            debug_assert_eq!(
+                ack.get("ack").and_then(Json::as_str),
+                Some("shard_exec"),
+                "peer acked something else"
             );
-            stream
-                .write_all(msg.as_bytes())
-                .and_then(|()| stream.flush())
-                .map_err(|e| peer_err(addr, format!("send: {e}")))?;
-            conns.push((s, addr.as_str(), stream));
+            conns.push((s, addr.as_str(), reader));
         }
         // Distinct epochs keep this query's frame sequence numbers disjoint
         // from every earlier query's, on every shard.
         self.rt.set_exchange_seq_base(epoch << 32);
         let result = self.execute_steps(shared, req);
+        // Phase 2: collect each peer's result digest.
         let mut replies = Vec::new();
-        for (s, addr, stream) in conns {
-            let mut reader = BufReader::new(stream);
-            let mut reply = String::new();
-            reader
-                .read_line(&mut reply)
-                .map_err(|e| peer_err(addr, format!("reply: {e}")))?;
-            if reply.trim().is_empty() {
-                return Err(peer_err(addr, "disconnected before replying".to_string()));
-            }
-            let v = crate::json::parse(reply.trim())
-                .map_err(|e| peer_err(addr, format!("unparseable reply: {}", e.message)))?;
+        for (s, addr, mut reader) in conns {
+            let v = read_json_line(&mut reader).map_err(|e| peer_err(addr, e))?;
             if v.get("ok").and_then(Json::as_bool) != Some(true) {
-                return Err(peer_err(
-                    addr,
-                    format!("shard {s} failed: {}", reply.trim()),
-                ));
+                return Err(peer_err(addr, format!("shard {s} failed: {v}")));
             }
             let bytes = v
                 .get("result_bytes")
@@ -511,6 +670,67 @@ impl Server {
             });
         }
         Ok((result, replies))
+    }
+
+    /// Connects to a peer's serve address, sends one request line, and
+    /// returns the reader for its reply lines. Timeouts are inherited from
+    /// the exchange configuration: peers answer their final digest only
+    /// after the whole execution finishes.
+    fn dial_and_send(
+        &self,
+        addr: &str,
+        msg: &str,
+        timeout: Duration,
+    ) -> Result<BufReader<TcpStream>, String> {
+        let sockaddr = addr
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut a| a.next())
+            .ok_or_else(|| "unresolvable address".to_string())?;
+        let mut stream =
+            TcpStream::connect_timeout(&sockaddr, timeout).map_err(|e| format!("connect: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(timeout.saturating_mul(2)));
+        stream
+            .write_all(msg.as_bytes())
+            .and_then(|()| stream.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        Ok(BufReader::new(stream))
+    }
+
+    /// Brings a peer that reported `stale_epoch` back up to date: replays
+    /// every epoch segment past the peer's resident epoch as a
+    /// `shard_ingest`, reading the facts back from this (shared) data
+    /// directory. Mirrors `broadcast_ingest`, but reconstructs the deltas
+    /// from storage since the original request lines are gone.
+    fn replicate_epochs_to(
+        &self,
+        addr: &str,
+        graph: &str,
+        peer_epoch: u64,
+        timeout: Duration,
+    ) -> Result<(), String> {
+        let loader = GraphLoader::new(&self.config.data_dir, graph);
+        let entries = loader
+            .epochs()
+            .map_err(|e| format!("read epoch manifest: {e}"))?;
+        for entry in entries.iter().filter(|e| e.epoch > peer_epoch) {
+            let (delta, _) = loader
+                .load_delta(entry.epoch, None)
+                .map_err(|e| format!("load epoch {} delta: {e}", entry.epoch))?;
+            let msg = format!(
+                "{{\"op\":\"shard_ingest\",\"epoch\":{},\"since\":{},\"ingest\":{}}}\n",
+                entry.epoch,
+                entry.since,
+                ingest_json(graph, &delta)
+            );
+            let mut reader = self.dial_and_send(addr, &msg, timeout)?;
+            let v = read_json_line(&mut reader)?;
+            if v.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err(format!("replicating epoch {} failed: {v}", entry.epoch));
+            }
+        }
+        Ok(())
     }
 
     /// Cross-verifies the coordinator's serialized result against every
@@ -539,41 +759,106 @@ impl Server {
     /// cache, admission, and deadlines on purpose: the coordinator already
     /// arbitrated those, and a peer stalling in a queue would wedge every
     /// shard's exchange until the wave timeout.
-    fn handle_shard_exec(&self, epoch: u64, req: &ZoomRequest) -> String {
+    ///
+    /// Replies in two lines. First an *ack* — emitted after the epoch and
+    /// dataset checks pass but before execution begins — which tells the
+    /// coordinator it is safe to enter the exchange. Then the result
+    /// digest once execution finishes. A rejection (stale epoch, missing
+    /// dataset) is a single error line instead of the ack, so the
+    /// coordinator learns about it before it could possibly stall.
+    fn handle_shard_exec(
+        &self,
+        epoch: u64,
+        dataset_epoch: u64,
+        repr_override: Option<ReprKind>,
+        req: &ZoomRequest,
+        out: &mut dyn FnMut(&str),
+    ) {
         if self.config.shards <= 1 {
             ServerMetrics::bump(&self.metrics.bad_requests);
-            return error_response("bad_request", "shard_exec sent to an unsharded server");
+            out(&error_response(
+                "bad_request",
+                "shard_exec sent to an unsharded server",
+            ));
+            return;
         }
         if self.config.shard == 0 {
             ServerMetrics::bump(&self.metrics.bad_requests);
-            return error_response("bad_request", "shard_exec sent to the coordinator");
+            out(&error_response(
+                "bad_request",
+                "shard_exec sent to the coordinator",
+            ));
+            return;
         }
+        // The coordinator resolved `"auto"` already; its choice rides in
+        // the envelope so every shard runs the same representation.
+        let mut resolved;
+        let req = match repr_override {
+            Some(kind) => {
+                resolved = req.clone();
+                resolved.repr = kind;
+                resolved.auto_repr = false;
+                &resolved
+            }
+            None => req,
+        };
         let shared = match self.pool.get(&self.rt, &req.graph, req.repr, req.range) {
             Ok(g) => g,
             Err(e) => {
-                return error_response(
+                out(&error_response(
                     "not_found",
                     &format!("cannot load graph '{}' as {}: {e}", req.graph, req.repr),
-                )
+                ));
+                return;
             }
         };
+        // S1: a peer whose resident graph lags the coordinator's dataset
+        // epoch (it missed an ingest broadcast) must not silently compute
+        // on stale data — the per-shard results would diverge. Reject with
+        // a typed error carrying our epoch so the coordinator can
+        // re-replicate the missing epochs and retry.
+        if dataset_epoch > 0 && shared.epoch < dataset_epoch {
+            out(&Json::obj(vec![
+                ("ok", Json::Bool(false)),
+                ("kind", Json::str("stale_epoch")),
+                (
+                    "error",
+                    Json::str(format!(
+                        "shard {} holds '{}' at epoch {}, coordinator is at {}",
+                        self.config.shard, req.graph, shared.epoch, dataset_epoch
+                    )),
+                ),
+                ("shard", Json::Int(self.config.shard as i64)),
+                ("peer_epoch", Json::Int(shared.epoch as i64)),
+                ("expected_epoch", Json::Int(dataset_epoch as i64)),
+            ])
+            .to_string());
+            return;
+        }
+        out(&Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("ack", Json::str("shard_exec")),
+            ("epoch", Json::Int(epoch as i64)),
+            ("shard", Json::Int(self.config.shard as i64)),
+        ])
+        .to_string());
         let _guard = lock_unpoisoned(&self.shard_lock);
         self.rt.set_exchange_seq_base(epoch << 32);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.execute_steps(&shared, req)
         }));
         match outcome {
-            Err(panic) => error_response(
+            Err(panic) => out(&error_response(
                 "internal",
                 &format!(
                     "shard {} execution failed: {}",
                     self.config.shard,
                     panic_detail(&*panic)
                 ),
-            ),
+            )),
             Ok(result) => {
                 let bytes = serialize_tgraph(&result).into_bytes();
-                Json::obj(vec![
+                out(&Json::obj(vec![
                     ("ok", Json::Bool(true)),
                     ("epoch", Json::Int(epoch as i64)),
                     ("shard", Json::Int(self.config.shard as i64)),
@@ -583,7 +868,7 @@ impl Server {
                         Json::str(format!("{:016x}", tgraph_dataflow::checksum(&bytes))),
                     ),
                 ])
-                .to_string()
+                .to_string());
             }
         }
     }
@@ -642,7 +927,9 @@ impl Server {
             .pool
             .advance(&self.rt, &req.graph, entry.epoch, &delta_graph);
         let dropped = self.invalidate_graph(&req.graph);
-        if self.config.shards > 1 {
+        // `drop_ingest_broadcast` is fault injection for the stale-epoch
+        // e2e test: commit locally but let the peers lag behind.
+        if self.config.shards > 1 && !self.config.drop_ingest_broadcast {
             if let Err((kind, message)) = self.broadcast_ingest(entry.epoch, current, line) {
                 return error_response(&kind, &message);
             }
@@ -866,6 +1153,7 @@ impl Server {
         let cache = self.cache.stats();
         let admission = self.admission.stats();
         let pool = self.pool.stats();
+        let optimizer = self.optimizer.stats();
         Json::obj(vec![
             ("ok", Json::Bool(true)),
             (
@@ -901,6 +1189,10 @@ impl Server {
                     ),
                     ("wait_us_total", Json::Int(admission.wait_us_total as i64)),
                     ("memory_stalls", Json::Int(admission.memory_stalls as i64)),
+                    (
+                        "release_underflows",
+                        Json::Int(admission.release_underflows as i64),
+                    ),
                     ("inflight", Json::Int(admission.inflight as i64)),
                     ("queue_depth", Json::Int(admission.queue_depth as i64)),
                     ("max_inflight", Json::Int(self.config.max_inflight as i64)),
@@ -914,6 +1206,13 @@ impl Server {
                     ("misses", Json::Int(pool.misses as i64)),
                     ("loads", Json::Int(pool.loads as i64)),
                     ("epoch_upgrades", Json::Int(pool.epoch_upgrades as i64)),
+                ]),
+            ),
+            (
+                "optimizer",
+                Json::obj(vec![
+                    ("observed_pairs", Json::Int(optimizer.observed_pairs as i64)),
+                    ("observations", Json::Int(optimizer.observations as i64)),
                 ]),
             ),
             (
@@ -959,6 +1258,189 @@ fn ingest_steps(steps: &[Step]) -> Vec<ZoomStep> {
             Step::Switch(kind) => ZoomStep::Switch(*kind),
         })
         .collect()
+}
+
+/// Protocol steps as the cost model sees them: only the plan *shape*
+/// matters for costing — aggregate functions, quantifiers, and resolve
+/// policies all touch every surviving row regardless of representation.
+/// Change-driven windows cost as one average-lifespan-wide window
+/// (`window: 0` sentinel, resolved inside the model).
+fn plan_steps(steps: &[Step]) -> Vec<PlanStep> {
+    steps
+        .iter()
+        .map(|s| match s {
+            Step::AZoom(_) => PlanStep::AZoom,
+            Step::WZoom(spec) => PlanStep::WZoom {
+                window: match spec.window {
+                    WindowSpec::Points(n) => n,
+                    WindowSpec::Changes(_) => 0,
+                },
+            },
+            Step::Switch(kind) => PlanStep::Switch(*kind),
+        })
+        .collect()
+}
+
+/// The request's representation-independent shape: the canonical query
+/// text minus its `repr=` field. Observed run times are keyed by shape, so
+/// an `"auto"` request and an explicit request with the identical pipeline
+/// feed (and read) the same adaptation rows.
+fn shape_key(req: &ZoomRequest) -> String {
+    req.canonical()
+        .split(';')
+        .filter(|part| !part.starts_with("repr="))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Lowercase wire spelling of a representation (`Display` is uppercase;
+/// the protocol accepts either but emits lowercase, matching requests).
+fn repr_wire(kind: ReprKind) -> String {
+    kind.to_string().to_ascii_lowercase()
+}
+
+/// The `"optimizer"` response block: present for `"repr":"auto"` requests
+/// and for any request with `"explain":true`. Shows the requested vs
+/// chosen representation and the choice's provenance; under EXPLAIN the
+/// full candidate table rides along — each representation's predicted
+/// work, predicted shuffle bytes, observed mean run time (null until the
+/// server has executed that candidate for this shape), and the effective
+/// score the decision ranked by.
+fn optimizer_json(req: &ZoomRequest, was_auto: bool, decision: Option<&Decision>) -> Option<Json> {
+    if !was_auto && !req.explain {
+        return None;
+    }
+    let mut fields = vec![
+        (
+            "requested",
+            if was_auto {
+                Json::str("auto")
+            } else {
+                Json::str(repr_wire(req.repr))
+            },
+        ),
+        ("chosen", Json::str(repr_wire(req.repr))),
+        (
+            "source",
+            Json::str(match decision {
+                Some(d) => d.source.as_str(),
+                // Auto with unreadable stats falls back to the default
+                // representation; EXPLAIN without a decision ditto.
+                None => "fallback",
+            }),
+        ),
+    ];
+    if let Some(d) = decision {
+        if d.chosen != req.repr {
+            // The request pinned a representation the optimizer disagrees
+            // with (only possible under EXPLAIN-on-explicit).
+            fields.push(("would_choose", Json::str(repr_wire(d.chosen))));
+        }
+        if req.explain {
+            fields.push((
+                "candidates",
+                Json::Arr(
+                    d.candidates
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("repr", Json::str(repr_wire(c.repr))),
+                                ("predicted_work", Json::Float(c.predicted_work)),
+                                (
+                                    "predicted_shuffle_bytes",
+                                    Json::Int(c.predicted_shuffle_bytes as i64),
+                                ),
+                                (
+                                    "observed_us",
+                                    match c.observed_us {
+                                        Some(us) => Json::Float(us),
+                                        None => Json::Null,
+                                    },
+                                ),
+                                ("effective", Json::Float(c.effective)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+    }
+    Some(Json::obj(fields))
+}
+
+/// Reads one newline-terminated JSON reply from a peer connection.
+fn read_json_line(reader: &mut BufReader<TcpStream>) -> Result<Json, String> {
+    let mut reply = String::new();
+    reader
+        .read_line(&mut reply)
+        .map_err(|e| format!("reply: {e}"))?;
+    if reply.trim().is_empty() {
+        return Err("disconnected before replying".to_string());
+    }
+    crate::json::parse(reply.trim()).map_err(|e| format!("unparseable reply: {}", e.message))
+}
+
+/// Renders a delta graph as an ingest request body — the inverse of
+/// [`parse_ingest_request`]'s fact schema. Used to re-replicate committed
+/// epochs to a peer that reported `stale_epoch` (the original request
+/// lines are gone by then; the facts come back out of storage).
+fn ingest_json(graph: &str, delta: &TGraph) -> String {
+    let interval =
+        |i: tgraph_core::time::Interval| Json::Arr(vec![Json::Int(i.start), Json::Int(i.end)]);
+    let props = |p: &Props| {
+        Json::Obj(
+            p.iter()
+                .map(|(k, v)| {
+                    let value = match v {
+                        Value::Bool(b) => Json::Bool(*b),
+                        Value::Int(i) => Json::Int(*i),
+                        Value::Float(f) => Json::Float(*f),
+                        Value::Str(s) => Json::Str(s.to_string()),
+                    };
+                    (k.to_string(), value)
+                })
+                .collect(),
+        )
+    };
+    Json::obj(vec![
+        ("op", Json::str("ingest")),
+        ("graph", Json::str(graph)),
+        (
+            "vertices",
+            Json::Arr(
+                delta
+                    .vertices
+                    .iter()
+                    .map(|v| {
+                        Json::obj(vec![
+                            ("id", Json::Int(v.vid.0 as i64)),
+                            ("interval", interval(v.interval)),
+                            ("props", props(&v.props)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "edges",
+            Json::Arr(
+                delta
+                    .edges
+                    .iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("id", Json::Int(e.eid.0 as i64)),
+                            ("src", Json::Int(e.src.0 as i64)),
+                            ("dst", Json::Int(e.dst.0 as i64)),
+                            ("interval", interval(e.interval)),
+                            ("props", props(&e.props)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string()
 }
 
 /// One peer's digest of a sharded execution: the coordinator compares these
@@ -1103,12 +1585,14 @@ fn error_response(kind: &str, message: &str) -> String {
 /// Composes a zoom response. `result` is ALWAYS the final field and its
 /// bytes are spliced in verbatim, so clients (and the smoke test) can
 /// extract everything after `"result":` up to the closing brace and compare
-/// replays byte-for-byte.
+/// replays byte-for-byte. The optional `optimizer` block (auto-choice /
+/// EXPLAIN) is spliced immediately before it.
 fn zoom_response(
     cache: &str,
     total: Duration,
     exec: Duration,
     key: &CacheKey,
+    optimizer: Option<&Json>,
     result: &[u8],
 ) -> String {
     let mut out = Json::obj(vec![
@@ -1119,7 +1603,11 @@ fn zoom_response(
         ("exec_us", Json::Int(exec.as_micros() as i64)),
     ])
     .to_string();
-    out.pop(); // strip the closing '}' to splice the result in
+    out.pop(); // strip the closing '}' to splice the trailing fields in
+    if let Some(block) = optimizer {
+        out.push_str(",\"optimizer\":");
+        out.push_str(&block.to_string());
+    }
     out.push_str(",\"result\":");
     out.push_str(std::str::from_utf8(result).unwrap_or("null"));
     out.push('}');
@@ -1333,6 +1821,133 @@ mod tests {
         assert!(missing.contains("\"kind\":\"not_found\""), "{missing}");
         let stats = server.handle_line(r#"{"op":"stats"}"#);
         assert!(stats.contains("\"ingests\":0"), "{stats}");
+    }
+
+    /// S4: a zero-step pipeline is the identity zoom — load the graph,
+    /// apply nothing, serialize. It must behave like any other query in
+    /// every representation: deterministic within a representation,
+    /// cacheable (miss → hit byte-identically), and consistent with a
+    /// cache-bypassing cold run.
+    #[test]
+    fn zero_step_zoom_is_identity_in_every_representation() {
+        let server = fresh_server("tgraph-serve-identity1", "id1");
+        server.runtime().set_checked(true);
+        for kind in ReprKind::all() {
+            let line = format!(r#"{{"op":"zoom","graph":"id1","repr":"{kind}","steps":[]}}"#);
+            let first = server.handle_line(&line);
+            assert!(first.contains("\"ok\":true"), "{kind}: {first}");
+            assert!(first.contains("\"cache\":\"miss\""), "{kind}: {first}");
+            let replay = server.handle_line(&line);
+            assert!(replay.contains("\"cache\":\"hit\""), "{kind}: {replay}");
+            assert_eq!(
+                result_of(&first),
+                result_of(&replay),
+                "{kind}: identity replay must be byte-identical"
+            );
+            let cold = server.handle_line(&format!(
+                r#"{{"op":"zoom","graph":"id1","repr":"{kind}","no_cache":true,"steps":[]}}"#
+            ));
+            assert_eq!(
+                result_of(&first),
+                result_of(&cold),
+                "{kind}: identity zoom must be deterministic"
+            );
+            // The identity result carries the original facts: figure 1 has
+            // vertices 1..=6 in [1,9).
+            assert!(first.contains("\"lifespan\":[1,9]"), "{kind}: {first}");
+        }
+    }
+
+    /// S4: identity zooms ride the O(delta) maintenance path after an
+    /// ingest, in every representation, and (checked mode) agree with a
+    /// cold recompute byte for byte.
+    #[test]
+    fn zero_step_zoom_patches_after_ingest_in_every_representation() {
+        let server = fresh_server("tgraph-serve-identity2", "id2");
+        server.runtime().set_checked(true);
+        let line_for =
+            |kind: ReprKind| format!(r#"{{"op":"zoom","graph":"id2","repr":"{kind}","steps":[]}}"#);
+        let mut seeds = Vec::new();
+        for kind in ReprKind::all() {
+            let first = server.handle_line(&line_for(kind));
+            assert!(first.contains("\"cache\":\"miss\""), "{kind}: {first}");
+            seeds.push((kind, first));
+        }
+        let ing = server.handle_line(&ingest_line("id2"));
+        assert!(ing.contains("\"ok\":true"), "{ing}");
+        for (kind, seed) in seeds {
+            let after = server.handle_line(&line_for(kind));
+            assert!(
+                after.contains("\"cache\":\"patch\""),
+                "{kind}: post-ingest identity zoom must take the patch path: {after}"
+            );
+            assert_ne!(
+                result_of(&seed),
+                result_of(&after),
+                "{kind}: stale pre-ingest bytes replayed"
+            );
+            assert!(after.contains("\"lifespan\":[1,12]"), "{kind}: {after}");
+            // Checked mode already asserted patch == cold in-process; the
+            // no_cache run re-verifies end to end.
+            let cold = server.handle_line(&format!(
+                r#"{{"op":"zoom","graph":"id2","repr":"{kind}","no_cache":true,"steps":[]}}"#
+            ));
+            assert_eq!(result_of(&after), result_of(&cold), "{kind}");
+        }
+        let stats = server.handle_line(r#"{"op":"stats"}"#);
+        assert!(stats.contains("\"zoom_patched\":4"), "{stats}");
+    }
+
+    /// Tentpole: `"repr":"auto"` resolves to a concrete representation via
+    /// the cost model, reports the decision in the `optimizer` response
+    /// block, shares cache entries with the equivalent explicit request,
+    /// and EXPLAIN exposes the candidate table with predicted vs observed.
+    #[test]
+    fn auto_repr_resolves_and_explains() {
+        let server = server_over_figure1("unit-auto");
+        let auto_line = r#"{"op":"zoom","graph":"unit-auto","explain":true,"steps":[]}"#;
+        let first = server.handle_line(auto_line);
+        assert!(first.contains("\"ok\":true"), "{first}");
+        assert!(first.contains("\"requested\":\"auto\""), "{first}");
+        assert!(first.contains("\"source\":\"predicted\""), "{first}");
+        assert!(first.contains("\"candidates\":["), "{first}");
+        assert!(first.contains("\"predicted_work\":"), "{first}");
+        // No candidate has run yet: all observed_us are null on the very
+        // first request (observation happens after execution).
+        assert!(first.contains("\"observed_us\":null"), "{first}");
+        let chosen_at = first.find("\"chosen\":\"").expect("chosen field") + 10;
+        let chosen = &first[chosen_at..first[chosen_at..].find('"').unwrap() + chosen_at];
+        // The auto request shares the cache entry of the explicit spelling.
+        let explicit = server.handle_line(&format!(
+            r#"{{"op":"zoom","graph":"unit-auto","repr":"{chosen}","steps":[]}}"#
+        ));
+        assert!(
+            explicit.contains("\"cache\":\"hit\""),
+            "auto and explicit {chosen} must share a cache entry: {explicit}"
+        );
+        // A later explained request sees the observation recorded by the
+        // first execution.
+        let second = server.handle_line(auto_line);
+        assert!(second.contains("\"cache\":\"hit\""), "{second}");
+        let with_obs = second
+            .find("\"observed_us\":")
+            .map(|at| !second[at + 14..].starts_with("null"))
+            .unwrap_or(false)
+            || second.matches("\"observed_us\":null").count() < 4;
+        assert!(
+            with_obs,
+            "at least one candidate must carry an observation: {second}"
+        );
+        let stats = server.handle_line(r#"{"op":"stats"}"#);
+        assert!(stats.contains("\"auto_chosen\":2"), "{stats}");
+        assert!(stats.contains("\"observed_pairs\":1"), "{stats}");
+        // EXPLAIN on an explicit representation reports the dissenting
+        // choice without overriding it.
+        let pinned = server.handle_line(
+            r#"{"op":"zoom","graph":"unit-auto","repr":"ogc","explain":true,"steps":[]}"#,
+        );
+        assert!(pinned.contains("\"requested\":\"ogc\""), "{pinned}");
+        assert!(pinned.contains("\"chosen\":\"ogc\""), "{pinned}");
     }
 
     /// An empty delta is a valid epoch: it moves no time but still advances

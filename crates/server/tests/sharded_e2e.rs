@@ -228,3 +228,123 @@ fn sharded_ingest_replicates_the_epoch_to_peers() {
         thread.join().expect("serve thread").expect("serve loop");
     }
 }
+
+/// S1 e2e: a peer whose resident graph missed an ingest broadcast (forced
+/// here via fault injection) must reject `shard_exec` with a typed
+/// `stale_epoch` *before* joining the exchange; the coordinator then
+/// re-replicates the missing epochs and retries, and the query completes
+/// byte-identically to a single process over the post-ingest dataset —
+/// instead of silently computing on stale facts and tripping
+/// `shard_divergence` (or wedging the exchange until the wave timeout).
+#[test]
+fn stale_peer_epoch_is_rejected_replicated_and_retried() {
+    let dir = std::env::temp_dir().join("tgraph-sharded-stale-e2e");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create data dir");
+    write_dataset(&dir, "fig1", &figure1_graph_stable_ids()).expect("write dataset");
+
+    let exchange = vec![reserve_port(), reserve_port()];
+    let shard1 = Arc::new(
+        Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: dir.clone(),
+            workers: 2,
+            partitions: 2,
+            shard: 1,
+            shards: 2,
+            exchange_addr: exchange[1].clone(),
+            exchange_peers: exchange.clone(),
+            ..ServerConfig::default()
+        })
+        .expect("bind shard 1"),
+    );
+    let addr1 = shard1.local_addr().expect("addr1");
+    let shard0 = Arc::new(
+        Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: dir.clone(),
+            workers: 2,
+            partitions: 2,
+            shard: 0,
+            shards: 2,
+            exchange_addr: exchange[0].clone(),
+            exchange_peers: exchange.clone(),
+            serve_peers: vec!["127.0.0.1:1".to_string(), addr1.to_string()],
+            // Fault injection: commit epochs locally but never tell the
+            // peer — its resident graphs go stale, exactly the race a
+            // lost/reordered broadcast would produce.
+            drop_ingest_broadcast: true,
+            ..ServerConfig::default()
+        })
+        .expect("bind shard 0"),
+    );
+    let addr0 = shard0.local_addr().expect("addr0");
+    let threads = [&shard0, &shard1].map(|s| {
+        let s = Arc::clone(s);
+        std::thread::spawn(move || s.serve())
+    });
+
+    // Warm both shards so the peer holds an epoch-0 resident, then commit
+    // a delta that the peer never hears about.
+    let before = roundtrip(addr0, ZOOM);
+    assert!(before.contains("\"cache\":\"miss\""), "{before}");
+    let ingest = r#"{"op":"ingest","graph":"fig1","since":9,"vertices":[{"id":3,"interval":[9,12],"props":{"type":"person","school":"MIT","name":"Cat"}},{"id":7,"interval":[9,11],"props":{"type":"person","school":"ETH","name":"Eli"}}]}"#;
+    let committed = roundtrip(addr0, ingest);
+    assert!(committed.contains("\"ok\":true"), "{committed}");
+    assert!(committed.contains("\"epoch\":1"), "{committed}");
+    let peer_stats = roundtrip(addr1, r#"{"op":"stats"}"#);
+    assert!(
+        peer_stats.contains("\"ingests\":0"),
+        "broadcast was supposed to be dropped: {peer_stats}"
+    );
+
+    // The post-ingest zoom hits the stale peer: typed rejection →
+    // replication → retry, all inside one request.
+    let after = roundtrip(addr0, ZOOM);
+    assert!(after.contains("\"ok\":true"), "{after}");
+    assert_ne!(
+        result_suffix(&before),
+        result_suffix(&after),
+        "stale pre-ingest facts served"
+    );
+    let single = Arc::new(
+        Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: dir.clone(),
+            workers: 2,
+            partitions: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind single"),
+    );
+    let baseline = single.handle_line(ZOOM);
+    assert_eq!(result_suffix(&baseline), result_suffix(&after));
+
+    // The retry path really ran: the coordinator counted it, and the peer
+    // applied the replicated epoch.
+    let coord_stats = roundtrip(addr0, r#"{"op":"stats"}"#);
+    assert!(
+        coord_stats.contains("\"shard_stale_retries\":1"),
+        "{coord_stats}"
+    );
+    let peer_stats = roundtrip(addr1, r#"{"op":"stats"}"#);
+    assert!(peer_stats.contains("\"ingests\":1"), "{peer_stats}");
+
+    // Once replicated, the next cold query needs no retry.
+    let again = roundtrip(
+        addr0,
+        &ZOOM.replace("\"steps\"", "\"no_cache\":true,\"steps\""),
+    );
+    assert!(again.contains("\"ok\":true"), "{again}");
+    let coord_stats = roundtrip(addr0, r#"{"op":"stats"}"#);
+    assert!(
+        coord_stats.contains("\"shard_stale_retries\":1"),
+        "second query must not need a retry: {coord_stats}"
+    );
+
+    for (addr, thread) in [addr0, addr1].into_iter().zip(threads) {
+        let bye = roundtrip(addr, r#"{"op":"shutdown"}"#);
+        assert!(bye.contains("\"shutting_down\":true"), "{bye}");
+        thread.join().expect("serve thread").expect("serve loop");
+    }
+}
