@@ -23,7 +23,7 @@ fn main() -> ExitCode {
         });
     let findings = tgraph_analyze::lint_workspace(&root);
     if findings.is_empty() {
-        println!("tgraph-lint: clean ({} rules over crates/*/src)", 7);
+        println!("tgraph-lint: clean ({} rules over crates/*/src)", 8);
         ExitCode::SUCCESS
     } else {
         for f in &findings {

@@ -1,7 +1,7 @@
 //! Source-level lint rules for the tgraph workspace, run by the
 //! `tgraph-lint` binary (`cargo run -p tgraph-analyze --bin tgraph-lint`).
 //!
-//! Seven rules, all scoped to **library code** (test modules, `tests/`
+//! Eight rules, all scoped to **library code** (test modules, `tests/`
 //! directories, benches, and `src/bin/` drivers are exempt):
 //!
 //! * **`no-unwrap`** — no `unwrap()` / `expect()` on user-reachable paths in
@@ -17,7 +17,8 @@
 //!   crate's `dataset.rs` / `keyed.rs`: partitioning claims must go through
 //!   the audited elision machinery, never be stamped ad hoc.
 //!
-//! Plus four **concurrency rules** guarding the distributed exchange layer:
+//! Plus five **concurrency rules** guarding the distributed exchange layer
+//! and the serving event loop:
 //!
 //! * **`lock-order`** — a lock-acquisition-order graph is extracted from
 //!   the masked sources of the protocol-adjacent files
@@ -37,6 +38,13 @@
 //!   unless the function participates in the shutdown/poll discipline
 //!   (its body references the shutdown flag or a poll helper) — otherwise
 //!   teardown hangs on a silent peer. Opt out with `lint:allow(blocking)`.
+//! * **`blocking-call-in-reactor`** — functions that run on a serving
+//!   reactor thread (any `fn` whose name contains `reactor`) must stay
+//!   nonblocking: no `thread::sleep`, channel `recv()`, thread `join(`,
+//!   or buffered/blocking I/O (`read_line`, `read_to_end`,
+//!   `read_to_string`, `write_all`). One stalled reactor parks every
+//!   connection it owns. Opt out with `lint:allow(reactor)` where the
+//!   call is provably on a nonblocking fd.
 //! * **`no-inline-poison-recovery`** — no inline
 //!   `lock().unwrap_or_else(|e| e.into_inner())`: poison recovery is only
 //!   sound when the guarded state is panic-consistent, and that argument
@@ -80,6 +88,20 @@ const READER_BLOCKING_CALLS: &[&str] = &[
     ".accept()",
 ];
 
+/// Calls that stall a serving reactor thread, forbidden inside any
+/// function whose name contains `reactor`. Unlike the reader rule there is
+/// no shutdown-discipline exemption: a reactor must never block outside
+/// its poller wait, because every connection it owns stalls with it.
+const REACTOR_BLOCKING_CALLS: &[&str] = &[
+    "thread::sleep(",
+    ".recv()",
+    ".join(",
+    ".read_line(",
+    ".read_to_end(",
+    ".read_to_string(",
+    ".write_all(",
+];
+
 /// Operator entry points whose closure arguments must not call
 /// `Dataset::collect(rt)`.
 const OPERATOR_CALLS: &[&str] = &[
@@ -102,7 +124,7 @@ pub struct Finding {
     pub line: usize,
     /// Rule code (`no-unwrap`, `no-eager-collect`, `no-raw-retag`,
     /// `lock-order`, `condvar-wait-in-loop`, `no-blocking-in-reader`,
-    /// `no-inline-poison-recovery`).
+    /// `blocking-call-in-reactor`, `no-inline-poison-recovery`).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -138,6 +160,8 @@ pub struct RuleSet {
     pub condvar_wait_in_loop: bool,
     /// Enforce `no-blocking-in-reader`.
     pub no_blocking_in_reader: bool,
+    /// Enforce `blocking-call-in-reactor`.
+    pub blocking_call_in_reactor: bool,
     /// Enforce `no-inline-poison-recovery`.
     pub no_inline_poison_recovery: bool,
 }
@@ -152,6 +176,7 @@ impl RuleSet {
             lock_order: true,
             condvar_wait_in_loop: true,
             no_blocking_in_reader: true,
+            blocking_call_in_reactor: true,
             no_inline_poison_recovery: true,
         }
     }
@@ -859,6 +884,53 @@ pub fn lint_source(file: &Path, src: &str, rules: RuleSet) -> Vec<Finding> {
         }
     }
 
+    if rules.blocking_call_in_reactor {
+        let mut start = 0;
+        while let Some(fn_pos) = find_from(&masked, "fn ", start) {
+            start = fn_pos + 3;
+            if fn_pos > 0 {
+                let prev = masked.as_bytes()[fn_pos - 1];
+                if prev.is_ascii_alphanumeric() || prev == b'_' {
+                    continue;
+                }
+            }
+            let name: String = masked[fn_pos + 3..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.contains("reactor") {
+                continue;
+            }
+            let Some(open) = find_from(&masked, "{", fn_pos) else {
+                continue;
+            };
+            let close = enclosing_block_end(&masked, open + 1);
+            let body = &masked[open..close.min(masked.len())];
+            for pat in REACTOR_BLOCKING_CALLS {
+                let mut bstart = 0;
+                while let Some(bpos) = find_from(body, pat, bstart) {
+                    bstart = bpos + pat.len();
+                    let line = line_of_bytes(&masked, open + bpos);
+                    if allowed(&raw_lines, line, "reactor") {
+                        continue;
+                    }
+                    findings.push(Finding {
+                        file: file.to_path_buf(),
+                        line,
+                        rule: "blocking-call-in-reactor",
+                        message: format!(
+                            "blocking `{call}` inside reactor function `fn {name}`: a stalled \
+                             reactor thread parks every connection it owns; hand the work to a \
+                             dispatcher or buffer it for the poller (add \
+                             `// lint:allow(reactor): <reason>` only for calls on nonblocking fds)",
+                            call = pat.trim_start_matches('.').trim_end_matches('(')
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
     if rules.no_inline_poison_recovery {
         let mut start = 0;
         while let Some(pos) = find_from(&masked, ".unwrap_or_else(", start) {
@@ -939,6 +1011,7 @@ fn rules_for(rel: &Path) -> Option<RuleSet> {
             lock_order: false,
             condvar_wait_in_loop: true,
             no_blocking_in_reader: true,
+            blocking_call_in_reactor: true,
             no_inline_poison_recovery: true,
         })
     } else {
@@ -1100,7 +1173,17 @@ mod tests {
         assert!(rules.contains("no-raw-retag"), "{f:?}");
         assert!(rules.contains("condvar-wait-in-loop"), "{f:?}");
         assert!(rules.contains("no-blocking-in-reader"), "{f:?}");
+        assert!(rules.contains("blocking-call-in-reactor"), "{f:?}");
         assert!(rules.contains("no-inline-poison-recovery"), "{f:?}");
+        // The lint:allow(reactor)-marked call must NOT fire: exactly two
+        // reactor findings (the sleep and the unmarked write_all).
+        assert_eq!(
+            f.iter()
+                .filter(|f| f.rule == "blocking-call-in-reactor")
+                .count(),
+            2,
+            "{f:?}"
+        );
     }
 
     #[test]
@@ -1193,6 +1276,47 @@ mod tests {
         let f = lint_source(Path::new("t.rs"), other, RuleSet::all());
         assert!(
             !f.iter().any(|f| f.rule == "no-blocking-in-reader"),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn reactor_functions_must_not_block() {
+        let bad = "fn reactor_event(conn: &mut Conn) {\n\
+                   std::thread::sleep(Duration::from_millis(10));\n\
+                   conn.stream.write_all(&conn.out);\n\
+                   }\n";
+        let f = lint_source(Path::new("t.rs"), bad, RuleSet::all());
+        assert_eq!(
+            f.iter()
+                .filter(|f| f.rule == "blocking-call-in-reactor")
+                .count(),
+            2,
+            "{f:?}"
+        );
+
+        // Nonblocking writes and poller waits are the blessed idiom; the
+        // allow marker covers audited calls on nonblocking fds.
+        let ok = "fn reactor_flush(conn: &mut Conn) -> bool {\n\
+                  // lint:allow(reactor): fd is nonblocking, write returns WouldBlock\n\
+                  match conn.stream.write(&conn.out) {\n\
+                      Ok(_) => true,\n\
+                      Err(_) => false,\n\
+                  }\n\
+                  }\n";
+        let f = lint_source(Path::new("t.rs"), ok, RuleSet::all());
+        assert!(
+            !f.iter().any(|f| f.rule == "blocking-call-in-reactor"),
+            "{f:?}"
+        );
+
+        // Blocking outside reactor functions is not this rule's business.
+        let other = "fn dispatcher_loop(rx: Receiver<Job>) {\n\
+                     while let Ok(job) = rx.recv() { run(job); }\n\
+                     }\n";
+        let f = lint_source(Path::new("t.rs"), other, RuleSet::all());
+        assert!(
+            !f.iter().any(|f| f.rule == "blocking-call-in-reactor"),
             "{f:?}"
         );
     }

@@ -21,8 +21,17 @@
 //! result bytes), an already-expired deadline (must be rejected without
 //! running a task wave), and a stats cross-check. Exits nonzero on any
 //! violation.
+//!
+//! High-concurrency mode (`--conns N [--active M] [--pipeline D]`): one
+//! event-driven thread holds N open connections (thread-per-connection
+//! clients cannot reach 10k), M of which issue zooms closed-loop with D
+//! requests pipelined per connection; the other N-M connections sit idle to
+//! exercise the server's parked-connection path. `--requests` is the *total*
+//! request budget across all active connections in this mode. Prints a
+//! `BENCH p99-under-load:` headline for the sweep in EXPERIMENTS.md §10.
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -41,6 +50,10 @@ struct Args {
     no_cache: bool,
     ingest_mix: usize,
     smoke: bool,
+    conns: usize,
+    active: usize,
+    pipeline: usize,
+    hold_ms: u64,
 }
 
 impl Default for Args {
@@ -56,6 +69,10 @@ impl Default for Args {
             no_cache: false,
             ingest_mix: 0,
             smoke: false,
+            conns: 0,
+            active: 0,
+            pipeline: 1,
+            hold_ms: 0,
         }
     }
 }
@@ -106,11 +123,35 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
             }
             "--smoke" => args.smoke = true,
+            "--conns" => {
+                args.conns = value("--conns")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--conns: {e}"))?
+                    .max(1)
+            }
+            "--active" => {
+                args.active = value("--active")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--active: {e}"))?
+                    .max(1)
+            }
+            "--pipeline" => {
+                args.pipeline = value("--pipeline")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--pipeline: {e}"))?
+                    .clamp(1, 64)
+            }
+            "--hold-ms" => {
+                args.hold_ms = value("--hold-ms")?
+                    .parse()
+                    .map_err(|e| format!("--hold-ms: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err("usage: tgraph-loadgen --addr HOST:PORT [--graph NAME] \
                             [--repr rg|ve|og] [--clients N] [--requests N] \
                             [--distinct N] [--deadline-ms N] [--no-cache] \
-                            [--ingest-mix PCT] [--smoke]"
+                            [--ingest-mix PCT] [--smoke] \
+                            [--conns N [--active M] [--pipeline D] [--hold-ms T]]"
                     .to_string())
             }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
@@ -492,6 +533,247 @@ fn run_load(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// One nonblocking connection in the high-concurrency phase.
+struct EventConn {
+    stream: TcpStream,
+    /// Unparsed response bytes read so far.
+    rbuf: Vec<u8>,
+    /// Request bytes not yet accepted by the kernel.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Send instants of requests whose responses are still outstanding;
+    /// responses arrive in order, so front() matches the next line read.
+    inflight: VecDeque<Instant>,
+    sent: usize,
+}
+
+impl EventConn {
+    /// Flushes buffered request bytes; returns false once the kernel
+    /// pushes back and writable interest is needed.
+    fn flush(&mut self) -> Result<bool, String> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err("server closed while writing".to_string()),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("send: {e}")),
+            }
+        }
+        self.out.clear();
+        self.out_pos = 0;
+        Ok(true)
+    }
+}
+
+/// High-concurrency phase: one thread, `--conns` open connections driven by
+/// the readiness poller (the same `polling` shim the server's event loop
+/// uses), `--active` of them pipelining `--pipeline` zooms each until the
+/// total `--requests` budget is spent. The remaining connections stay idle
+/// on purpose: the server must park them for free.
+fn run_conns(args: &Args) -> Result<(), String> {
+    let active = match args.active {
+        0 => args.conns.min(64),
+        a => a.min(args.conns),
+    };
+    let total = args.requests.max(active);
+    eprintln!(
+        "loadgen: dialing {} connections ({} active, pipeline depth {})...",
+        args.conns, active, args.pipeline
+    );
+    let dial_started = Instant::now();
+    let poller = polling::Poller::new().map_err(|e| format!("poller: {e}"))?;
+    let mut conns: Vec<EventConn> = Vec::with_capacity(args.conns);
+    for key in 0..args.conns {
+        let stream = TcpStream::connect(&args.addr)
+            .map_err(|e| format!("connect #{key} to {}: {e}", args.addr))?;
+        stream
+            .set_nodelay(true)
+            .and_then(|()| stream.set_nonblocking(true))
+            .map_err(|e| format!("socket options: {e}"))?;
+        poller
+            .add(&stream, polling::Event::readable(key))
+            .map_err(|e| format!("register #{key}: {e}"))?;
+        conns.push(EventConn {
+            stream,
+            rbuf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            inflight: VecDeque::new(),
+            sent: 0,
+        });
+    }
+    let dialed = dial_started.elapsed();
+    eprintln!(
+        "loadgen: {} connections open in {:.2}s",
+        args.conns,
+        dialed.as_secs_f64()
+    );
+
+    let latency = Histogram::default();
+    let mut budget = total; // requests not yet written
+    let mut received = 0usize;
+    let mut hits = 0u64;
+    let mut errors = 0u64;
+
+    // Seed every active connection with a full pipeline window.
+    let started = Instant::now();
+    for (key, conn) in conns.iter_mut().enumerate().take(active) {
+        for _ in 0..args.pipeline.min(budget) {
+            let variant = (key + conn.sent) % args.distinct;
+            conn.out
+                .extend_from_slice(format!("{}\n", zoom_line(args, variant)).as_bytes());
+            conn.inflight.push_back(Instant::now());
+            conn.sent += 1;
+            budget -= 1;
+        }
+        let drained = conn.flush()?;
+        poller
+            .modify(
+                &conn.stream,
+                if drained {
+                    polling::Event::readable(key)
+                } else {
+                    polling::Event::all(key)
+                },
+            )
+            .map_err(|e| format!("arm #{key}: {e}"))?;
+    }
+
+    let mut events = polling::Events::new();
+    let mut chunk = [0u8; 16 * 1024];
+    while received < total {
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .map_err(|e| format!("wait: {e}"))?;
+        if events.is_empty() {
+            return Err(format!(
+                "stalled: {received}/{total} responses after 30s of silence"
+            ));
+        }
+        for event in events.iter() {
+            let key = event.key;
+            let conn = &mut conns[key];
+            if event.writable {
+                conn.flush()?;
+            }
+            if event.readable {
+                loop {
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => return Err(format!("server closed connection #{key} mid-run")),
+                        Ok(n) => conn.rbuf.extend_from_slice(&chunk[..n]),
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(e) => return Err(format!("receive #{key}: {e}")),
+                    }
+                }
+                while let Some(nl) = conn.rbuf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = conn.rbuf.drain(..=nl).collect();
+                    let sent_at = conn
+                        .inflight
+                        .pop_front()
+                        .ok_or_else(|| format!("unsolicited response on #{key}"))?;
+                    latency.record(sent_at.elapsed());
+                    received += 1;
+                    let text = String::from_utf8_lossy(&line);
+                    if text.contains("\"cache\":\"hit\"") {
+                        hits += 1;
+                    } else if !text.contains("\"ok\":true") {
+                        errors += 1;
+                    }
+                    // Closed loop: a finished request funds the next one.
+                    if budget > 0 {
+                        let variant = (key + conn.sent) % args.distinct;
+                        conn.out.extend_from_slice(
+                            format!("{}\n", zoom_line(args, variant)).as_bytes(),
+                        );
+                        conn.inflight.push_back(Instant::now());
+                        conn.sent += 1;
+                        budget -= 1;
+                    }
+                }
+            }
+            let drained = conn.flush()?;
+            poller
+                .modify(
+                    &conn.stream,
+                    if drained {
+                        polling::Event::readable(key)
+                    } else {
+                        polling::Event::all(key)
+                    },
+                )
+                .map_err(|e| format!("rearm #{key}: {e}"))?;
+        }
+    }
+    let elapsed = started.elapsed().max(Duration::from_micros(1));
+
+    println!(
+        "loadgen: {} conns ({} active x pipeline {}, {} idle), {} requests, \
+         {} distinct plans, cache {}",
+        args.conns,
+        active,
+        args.pipeline,
+        args.conns - active,
+        total,
+        args.distinct,
+        if args.no_cache { "OFF" } else { "ON" },
+    );
+    println!(
+        "  throughput  {:>10.1} req/s  ({} requests in {:.2}s; dial {:.2}s)",
+        total as f64 / elapsed.as_secs_f64(),
+        total,
+        elapsed.as_secs_f64(),
+        dialed.as_secs_f64(),
+    );
+    println!(
+        "  zoom        p50 {}us  p95 {}us  p99 {}us",
+        latency.quantile_us(0.50),
+        latency.quantile_us(0.95),
+        latency.quantile_us(0.99),
+    );
+    println!("  client view {hits} cache hits, {errors} errors");
+    println!(
+        "BENCH p99-under-load: {}us ({} conns, {} reqs, {:.0} req/s)",
+        latency.quantile_us(0.99),
+        args.conns,
+        total,
+        total as f64 / elapsed.as_secs_f64(),
+    );
+
+    // Server-side counters while the idle crowd is still connected.
+    let mut client = Client::connect(&args.addr)?;
+    let stats = client.roundtrip(r#"{"op":"stats"}"#)?;
+    let g = |path: &[&str]| field_i64(&stats, path).unwrap_or(-1);
+    println!(
+        "  server      cache hits {} / misses {}; executed {}; \
+         pipelined {} lines in {} batches; permit reuses {}; \
+         backpressure pauses {}; accept errors {}",
+        g(&["cache", "hits"]),
+        g(&["cache", "misses"]),
+        g(&["server", "zoom_executed"]),
+        g(&["server", "pipelined_lines"]),
+        g(&["server", "pipelined_batches"]),
+        g(&["server", "admission_reuses"]),
+        g(&["server", "backpressure_pauses"]),
+        g(&["server", "accept_errors"]),
+    );
+    if args.hold_ms > 0 {
+        // Keep the whole crowd connected but silent, so the server's
+        // idle-connection CPU can be sampled externally (EXPERIMENTS §10).
+        eprintln!(
+            "loadgen: holding {} idle connections for {}ms",
+            args.conns, args.hold_ms
+        );
+        std::thread::sleep(Duration::from_millis(args.hold_ms));
+    }
+    if errors > 0 {
+        return Err(format!("{errors} requests failed"));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -503,6 +785,8 @@ fn main() -> ExitCode {
     };
     let outcome = if args.smoke {
         run_smoke(&args)
+    } else if args.conns > 0 {
+        run_conns(&args)
     } else {
         run_load(&args)
     };

@@ -302,6 +302,27 @@ impl Admission {
         }
     }
 
+    /// Whether the gate is saturated from a *backpressure* point of view:
+    /// every in-flight slot is taken **and** queries are already queued
+    /// behind them, or the memory governor is over budget. The event loop
+    /// consults this before reading more request bytes off sockets — once
+    /// the queue has formed (or memory is exhausted), piling parsed requests
+    /// into user-space buffers only grows the OOM surface; leaving bytes in
+    /// the kernel socket buffer pushes back on the client instead.
+    ///
+    /// Note the `waiting > 0` term: a merely *full* gate with an empty queue
+    /// is not saturation — the bounded queue exists precisely to absorb that
+    /// much burst.
+    pub fn is_saturated(&self) -> bool {
+        {
+            let state = lock_unpoisoned(&self.state);
+            if state.inflight >= self.max_inflight && state.waiting > 0 {
+                return true;
+            }
+        }
+        self.governor.as_ref().is_some_and(|g| g.over_budget())
+    }
+
     /// Current counters and live depths.
     pub fn stats(&self) -> AdmissionStats {
         let (inflight, queue_depth) = {

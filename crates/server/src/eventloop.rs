@@ -1,0 +1,812 @@
+//! Readiness-driven serving core: nonblocking reactors with request
+//! pipelining and admission-coupled backpressure.
+//!
+//! The thread-per-connection path ([`Server::serve`] with
+//! `TGRAPH_SERVE_LOOP=threads`) costs one OS thread and a 50 ms wakeup per
+//! idle connection — fine for tens of clients, hopeless for the ROADMAP's
+//! "heavy traffic" north star. This module serves the same NDJSON protocol
+//! with a fixed thread count, selected with `TGRAPH_SERVE_LOOP=epoll`:
+//!
+//! * **Accept loop** (the caller's thread): accepts nonblockingly, parks in
+//!   its own poller between bursts, and hands each connection to a reactor
+//!   round-robin. Transient accept errors back off and retry; fatal ones
+//!   set the shutdown flag before returning so nothing leaks.
+//! * **Reactors** (`TGRAPH_REACTORS`, default `min(4, cores)`): each owns a
+//!   [`polling::Poller`] and every connection assigned to it. A readable
+//!   event drains the socket into a read buffer, splits complete NDJSON
+//!   frames, and queues them; a writable event continues a partial write.
+//!   Only the owning reactor ever touches a socket.
+//! * **Dispatchers** (`TGRAPH_SERVE_DISPATCHERS`, default
+//!   `max_inflight + 2`): execute queued request batches against the
+//!   shared [`Server`] dispatch path and append responses to the
+//!   connection's write buffer, nudging the reactor after every line — a
+//!   `shard_exec` ack must reach the coordinator *before* the executing
+//!   shard blocks in its first exchange wave, so responses are never held
+//!   until a batch completes.
+//!
+//! **Pipelining.** Many lines read in one syscall are parsed together and
+//! dispatched as one batch (up to [`MAX_BATCH`] lines). The batch runs
+//! serially on one dispatcher, so responses come back in request order —
+//! the protocol's ordering contract — and a deadline-free zoom's admission
+//! permit is carried to the next zoom of the batch instead of being
+//! released and re-acquired ([`Server::handle_line_batched`]), amortizing
+//! the admission handshake across the batch. Per connection at most one
+//! batch is in flight; further parsed lines wait in the pending queue.
+//!
+//! **Backpressure, layer by layer.** When the admission gate reports
+//! saturation ([`Admission::is_saturated`]: every slot taken with a queue
+//! behind it, or the memory governor over budget) reactors stop *reading* —
+//! bytes accumulate in kernel socket buffers and TCP pushes back on
+//! clients, instead of the server buffering unboundedly in user space. The
+//! same read-pause triggers per connection when its write backlog passes
+//! [`WRITE_HWM`] (a client that won't read its responses) or its pending
+//! queue passes [`MAX_PENDING`]. Paused reactors poll at a coarse tick to
+//! notice the gate clearing; an idle, unpaused reactor blocks indefinitely
+//! and costs zero CPU.
+//!
+//! Responses are byte-identical to the threads path: both funnel into the
+//! same `handle_line_*` dispatch and differ only in how bytes move.
+
+use crate::admission::Permit;
+use crate::metrics::ServerMetrics;
+use crate::server::{
+    accept_error_is_transient, debug_log_peer, invalid_utf8_response, line_too_large_response,
+    Server, ACCEPT_BACKOFF_CEIL, ACCEPT_BACKOFF_FLOOR,
+};
+use crossbeam::channel::{self, Receiver, Sender};
+use polling::{Event, Events, Poller};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tgraph_dataflow::lock_unpoisoned;
+
+/// Bytes read from a socket per `read(2)` call.
+const READ_CHUNK: usize = 16 * 1024;
+/// Write-buffer high-water mark: above this backlog the connection stops
+/// reading and dispatching until the client drains its responses.
+const WRITE_HWM: usize = 256 * 1024;
+/// Most request lines dispatched as one batch.
+pub(crate) const MAX_BATCH: usize = 64;
+/// Parsed-but-undispatched lines a connection may hold before its reads
+/// pause. Bounds per-connection memory under a pipelining firehose.
+const MAX_PENDING: usize = 1024;
+/// How often a reactor with paused connections re-checks the admission
+/// gate. Only paused reactors tick; idle ones block indefinitely.
+const BACKPRESSURE_TICK: Duration = Duration::from_millis(50);
+/// How long a reactor keeps flushing in-flight responses after shutdown.
+const DRAIN_GRACE: Duration = Duration::from_millis(500);
+
+/// One parsed unit of the per-connection pending queue. Synthetic entries
+/// are pre-formed responses (e.g. for a non-UTF-8 line) that flow through
+/// the same queue as real requests so responses stay in arrival order.
+enum PendingLine {
+    Request(String),
+    Synthetic(String),
+}
+
+/// Connection state shared between the owning reactor and dispatchers.
+struct ConnShared {
+    state: Mutex<ConnState>,
+}
+
+#[derive(Default)]
+struct ConnState {
+    /// Response bytes awaiting the socket; `out_pos` marks how much of it
+    /// is already written (partial-write continuation).
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Complete frames parsed but not yet dispatched.
+    pending: VecDeque<PendingLine>,
+    /// Whether a batch from this connection is on a dispatcher right now.
+    /// At most one: ordering depends on it.
+    dispatching: bool,
+    /// Close once everything queued and buffered has been answered and
+    /// written (set by client EOF, a cap overflow, or a fatal frame).
+    close_when_done: bool,
+}
+
+impl ConnState {
+    fn backlog(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    /// Nothing queued, executing, or buffered.
+    fn is_idle(&self) -> bool {
+        !self.dispatching && self.pending.is_empty() && self.backlog() == 0
+    }
+}
+
+/// A reactor's cross-thread surface: the poller it parks in, connections
+/// handed over by the accept loop, and tokens nudged by dispatchers.
+struct ReactorShared {
+    poller: Arc<Poller>,
+    incoming: Mutex<Vec<TcpStream>>,
+    ready: Mutex<Vec<usize>>,
+}
+
+impl ReactorShared {
+    /// Marks `token` as having made progress (new response bytes, or its
+    /// batch completed) and wakes the reactor to act on it.
+    fn push_ready(&self, token: usize) {
+        lock_unpoisoned(&self.ready).push(token);
+        let _ = self.poller.notify();
+    }
+}
+
+/// A batch of frames travelling to a dispatcher.
+struct Job {
+    token: usize,
+    lines: Vec<PendingLine>,
+    conn: Arc<ConnShared>,
+    reactor: Arc<ReactorShared>,
+}
+
+/// A connection as its owning reactor sees it.
+struct Conn {
+    stream: TcpStream,
+    peer: Option<SocketAddr>,
+    shared: Arc<ConnShared>,
+    /// Bytes received but not yet split at a newline.
+    rbuf: Vec<u8>,
+    /// Reads stopped for good (client EOF or fatal input); the connection
+    /// survives until its queue and write buffer drain.
+    eof: bool,
+    /// Read interest currently withheld by backpressure (not by EOF).
+    paused: bool,
+}
+
+struct Reactor {
+    server: Arc<Server>,
+    shared: Arc<ReactorShared>,
+    job_tx: Sender<Job>,
+    conns: HashMap<usize, Conn>,
+    /// Monotonic token source: tokens are never reused, so a stale ready
+    /// nudge for a closed connection cannot alias a new one.
+    next_token: usize,
+    /// Connections currently read-paused by backpressure.
+    paused_conns: usize,
+    /// The admission gate's saturation state, sampled once per loop pass.
+    saturated: bool,
+}
+
+/// Serves connections with the readiness-driven event loop until shutdown.
+/// Returns `ErrorKind::Unsupported` (before accepting anything) on
+/// platforms with no poller backend, letting the caller fall back to the
+/// threads path.
+pub(crate) fn serve_epoll(server: &Arc<Server>) -> std::io::Result<()> {
+    let accept_poller = Arc::new(Poller::new()?);
+    let n_reactors = reactor_count();
+    let n_dispatchers = dispatcher_count(server);
+    let (job_tx, job_rx) = channel::unbounded::<Job>();
+
+    let mut shards: Vec<Arc<ReactorShared>> = Vec::with_capacity(n_reactors);
+    let mut reactor_threads = Vec::with_capacity(n_reactors);
+    for i in 0..n_reactors {
+        let shared = Arc::new(ReactorShared {
+            poller: Arc::new(Poller::new()?),
+            incoming: Mutex::new(Vec::new()),
+            ready: Mutex::new(Vec::new()),
+        });
+        shards.push(Arc::clone(&shared));
+        let server = Arc::clone(server);
+        let job_tx = job_tx.clone();
+        reactor_threads.push(
+            std::thread::Builder::new()
+                .name(format!("tgraph-reactor-{i}"))
+                .spawn(move || reactor_loop(server, shared, job_tx))?,
+        );
+    }
+    drop(job_tx); // dispatchers exit when the last reactor drops its sender
+
+    let mut dispatcher_threads = Vec::with_capacity(n_dispatchers);
+    for i in 0..n_dispatchers {
+        let server = Arc::clone(server);
+        let job_rx = job_rx.clone();
+        dispatcher_threads.push(
+            std::thread::Builder::new()
+                .name(format!("tgraph-dispatch-{i}"))
+                .spawn(move || dispatcher_loop(server, job_rx))?,
+        );
+    }
+    drop(job_rx);
+
+    // Park every loop poller where request_shutdown can notify it, so a
+    // `shutdown` request wakes all threads immediately.
+    {
+        let mut pollers = lock_unpoisoned(&server.loop_pollers);
+        pollers.push(Arc::clone(&accept_poller));
+        for shard in &shards {
+            pollers.push(Arc::clone(&shard.poller));
+        }
+    }
+
+    let result = accept_loop(server, &accept_poller, &shards);
+
+    // The shutdown flag is set by now (a request, or a fatal accept error).
+    // Reactors grace-drain and exit; their dropped senders disconnect the
+    // job channel, which drains the dispatchers.
+    for shard in &shards {
+        let _ = shard.poller.notify();
+    }
+    for handle in reactor_threads {
+        let _ = handle.join();
+    }
+    for handle in dispatcher_threads {
+        let _ = handle.join();
+    }
+    lock_unpoisoned(&server.loop_pollers).clear();
+    result
+}
+
+/// Reactor threads per server.
+fn reactor_count() -> usize {
+    std::env::var("TGRAPH_REACTORS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(4)
+        })
+}
+
+/// Dispatcher threads per server: enough to keep `max_inflight` queries
+/// executing while a couple more handle cheap lines (pings, stats, cache
+/// hits) without queueing behind executions.
+fn dispatcher_count(server: &Server) -> usize {
+    std::env::var("TGRAPH_SERVE_DISPATCHERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(server.config.max_inflight + 2)
+}
+
+/// Accepts until shutdown, handing each connection to a reactor
+/// round-robin. Mirrors `serve_threads`' error discipline: transient
+/// failures back off and retry; fatal ones set the shutdown flag first so
+/// reactors drain instead of leaking.
+fn accept_loop(
+    server: &Arc<Server>,
+    poller: &Arc<Poller>,
+    shards: &[Arc<ReactorShared>],
+) -> std::io::Result<()> {
+    poller.add(&server.listener, Event::readable(0))?;
+    let mut events = Events::new();
+    let mut backoff = ACCEPT_BACKOFF_FLOOR;
+    let mut next_shard = 0usize;
+    let result = loop {
+        if server.is_shutting_down() {
+            break Ok(());
+        }
+        match server.listener.accept() {
+            Ok((stream, _peer)) => {
+                backoff = ACCEPT_BACKOFF_FLOOR;
+                let _ = stream.set_nonblocking(true);
+                // Request/response over small lines: Nagle + delayed ACK
+                // would add ~40ms per roundtrip otherwise.
+                let _ = stream.set_nodelay(true);
+                let shard = &shards[next_shard % shards.len()];
+                next_shard = next_shard.wrapping_add(1);
+                lock_unpoisoned(&shard.incoming).push(stream);
+                let _ = shard.poller.notify();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Park until the listener is readable or shutdown notifies.
+                let _ = poller.wait(&mut events, None);
+                let _ = poller.modify(&server.listener, Event::readable(0));
+            }
+            Err(e) if accept_error_is_transient(&e) => {
+                ServerMetrics::bump(&server.metrics.accept_errors);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_CEIL);
+            }
+            Err(e) => {
+                ServerMetrics::bump(&server.metrics.accept_errors);
+                server.request_shutdown();
+                break Err(e);
+            }
+        }
+    };
+    let _ = poller.delete(&server.listener);
+    result
+}
+
+/// The reactor: parks in its poller, then acts on whichever of its inputs
+/// fired — socket readiness, adopted connections, dispatcher progress
+/// nudges — and re-arms interest to match each connection's state.
+fn reactor_loop(server: Arc<Server>, shared: Arc<ReactorShared>, job_tx: Sender<Job>) {
+    let mut r = Reactor {
+        server,
+        shared,
+        job_tx,
+        conns: HashMap::new(),
+        next_token: 0,
+        paused_conns: 0,
+        saturated: false,
+    };
+    let mut events = Events::new();
+    loop {
+        // Idle and unpaused: block forever (zero CPU; a notify wakes us).
+        // Paused: tick, because admission clearing does not send a notify.
+        let timeout = (r.paused_conns > 0).then_some(BACKPRESSURE_TICK);
+        let _ = r.shared.poller.wait(&mut events, timeout);
+        if r.server.is_shutting_down() {
+            break;
+        }
+        reactor_adopt_incoming(&mut r);
+        let was_saturated = r.saturated;
+        r.saturated = r.server.admission.is_saturated();
+        for ev in events.iter() {
+            reactor_event(&mut r, ev);
+        }
+        let ready: Vec<usize> = std::mem::take(&mut *lock_unpoisoned(&r.shared.ready));
+        for token in ready {
+            reactor_progress(&mut r, token);
+        }
+        if (was_saturated || r.paused_conns > 0) && !r.saturated {
+            reactor_resume_paused(&mut r);
+        }
+    }
+    reactor_drain(&mut r, &mut events);
+}
+
+/// Registers connections the accept loop handed over.
+fn reactor_adopt_incoming(r: &mut Reactor) {
+    let incoming: Vec<TcpStream> = std::mem::take(&mut *lock_unpoisoned(&r.shared.incoming));
+    for stream in incoming {
+        let token = r.next_token;
+        r.next_token += 1;
+        if r.shared
+            .poller
+            .add(&stream, Event::readable(token))
+            .is_err()
+        {
+            continue; // dropping the stream closes it
+        }
+        let peer = stream.peer_addr().ok();
+        r.conns.insert(
+            token,
+            Conn {
+                stream,
+                peer,
+                shared: Arc::new(ConnShared {
+                    state: Mutex::new(ConnState::default()),
+                }),
+                rbuf: Vec::new(),
+                eof: false,
+                paused: false,
+            },
+        );
+    }
+}
+
+/// Handles one readiness event: continue the write, drain the read, then
+/// dispatch and re-arm.
+fn reactor_event(r: &mut Reactor, ev: Event) {
+    let Reactor {
+        server,
+        shared,
+        job_tx,
+        conns,
+        paused_conns,
+        saturated,
+        ..
+    } = r;
+    let Some(conn) = conns.get_mut(&ev.key) else {
+        return; // raced with close; tokens are never reused
+    };
+    let mut alive = true;
+    if ev.writable {
+        alive = reactor_flush(conn);
+    }
+    if alive && ev.readable && !conn.eof {
+        alive = reactor_read(server, conn, ev.key);
+    }
+    if alive {
+        reactor_try_dispatch(server, shared, job_tx, conn, ev.key, *saturated);
+        // Flushing eagerly (instead of waiting for a writable event) saves
+        // a poll roundtrip on the common small-response path.
+        alive = reactor_flush(conn);
+    }
+    if alive {
+        alive = !reactor_conn_done(conn);
+    }
+    if alive {
+        reactor_rearm(
+            shared,
+            conn,
+            ev.key,
+            *saturated,
+            paused_conns,
+            &server.metrics,
+        );
+    } else {
+        reactor_close(shared, conns, paused_conns, ev.key);
+    }
+}
+
+/// Acts on a dispatcher nudge: new response bytes to flush, or a completed
+/// batch freeing the connection for its next one.
+fn reactor_progress(r: &mut Reactor, token: usize) {
+    let Reactor {
+        server,
+        shared,
+        job_tx,
+        conns,
+        paused_conns,
+        saturated,
+        ..
+    } = r;
+    let Some(conn) = conns.get_mut(&token) else {
+        return;
+    };
+    let mut alive = reactor_flush(conn);
+    if alive {
+        reactor_try_dispatch(server, shared, job_tx, conn, token, *saturated);
+        alive = reactor_flush(conn);
+    }
+    if alive {
+        alive = !reactor_conn_done(conn);
+    }
+    if alive {
+        reactor_rearm(
+            shared,
+            conn,
+            token,
+            *saturated,
+            paused_conns,
+            &server.metrics,
+        );
+    } else {
+        reactor_close(shared, conns, paused_conns, token);
+    }
+}
+
+/// Drains the socket into the read buffer and splits complete frames into
+/// the pending queue. Returns `false` when the connection must close now.
+fn reactor_read(server: &Arc<Server>, conn: &mut Conn, token: usize) -> bool {
+    let _ = token;
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match (&conn.stream).read(&mut chunk) {
+            Ok(0) => {
+                // Half-close: answer everything already queued, then close.
+                conn.eof = true;
+                lock_unpoisoned(&conn.shared.state).close_when_done = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                if !reactor_split_frames(server, conn) {
+                    return false;
+                }
+                if conn.eof {
+                    break; // a fatal frame stopped further reads
+                }
+                let pending = lock_unpoisoned(&conn.shared.state).pending.len();
+                if pending >= MAX_PENDING {
+                    break; // stop reading; the queue must drain first
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                debug_log_peer(conn.peer, &format!("read failed mid-stream: {e}"));
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Splits `rbuf` at newlines into pending frames, enforcing the line cap
+/// and answering non-UTF-8 lines with a typed error (in order, via a
+/// synthetic queue entry). Returns `false` only for states with nothing
+/// left to say; cap overflows keep the connection alive just long enough
+/// to deliver their typed refusal.
+fn reactor_split_frames(server: &Arc<Server>, conn: &mut Conn) -> bool {
+    let max_line = server.max_line;
+    let mut start = 0usize;
+    let mut st = lock_unpoisoned(&conn.shared.state);
+    while let Some(nl) = conn.rbuf[start..].iter().position(|&b| b == b'\n') {
+        let frame = &conn.rbuf[start..start + nl];
+        start += nl + 1;
+        if frame.len() > max_line {
+            ServerMetrics::bump(&server.metrics.lines_over_cap);
+            st.pending
+                .push_back(PendingLine::Synthetic(line_too_large_response(max_line)));
+            st.close_when_done = true;
+            conn.eof = true; // stop reading; the refusal still flows out
+            break;
+        }
+        match std::str::from_utf8(frame) {
+            Ok(text) => {
+                let text = text.trim();
+                if !text.is_empty() {
+                    st.pending.push_back(PendingLine::Request(text.to_string()));
+                }
+            }
+            Err(_) => {
+                // Answer through the pending queue so the response keeps
+                // its place in the pipeline's ordering.
+                ServerMetrics::bump(&server.metrics.bad_requests);
+                debug_log_peer(conn.peer, "request line is not valid UTF-8");
+                st.pending
+                    .push_back(PendingLine::Synthetic(invalid_utf8_response()));
+            }
+        }
+    }
+    drop(st);
+    conn.rbuf.drain(..start);
+    if conn.rbuf.len() > max_line {
+        // An unterminated line already over the cap can never complete
+        // legally: refuse it and stop reading.
+        ServerMetrics::bump(&server.metrics.lines_over_cap);
+        let mut st = lock_unpoisoned(&conn.shared.state);
+        st.pending
+            .push_back(PendingLine::Synthetic(line_too_large_response(max_line)));
+        st.close_when_done = true;
+        drop(st);
+        conn.eof = true;
+        conn.rbuf = Vec::new();
+    }
+    true
+}
+
+/// Hands the next batch of pending frames to a dispatcher, unless one is
+/// already in flight for this connection, the client is not draining its
+/// responses, or the admission gate is saturated.
+fn reactor_try_dispatch(
+    server: &Arc<Server>,
+    shared: &Arc<ReactorShared>,
+    job_tx: &Sender<Job>,
+    conn: &mut Conn,
+    token: usize,
+    saturated: bool,
+) {
+    let mut st = lock_unpoisoned(&conn.shared.state);
+    if st.dispatching || st.pending.is_empty() || st.backlog() >= WRITE_HWM {
+        return;
+    }
+    if saturated && !conn.eof {
+        // Global backpressure: hold the batch (and, via rearm, the reads).
+        // EOF'd connections still drain — they can't grow the queue.
+        return;
+    }
+    let n = st.pending.len().min(MAX_BATCH);
+    let lines: Vec<PendingLine> = st.pending.drain(..n).collect();
+    st.dispatching = true;
+    drop(st);
+    ServerMetrics::bump(&server.metrics.pipelined_batches);
+    server
+        .metrics
+        .pipelined_lines
+        .fetch_add(n as u64, std::sync::atomic::Ordering::Relaxed);
+    let _ = job_tx.send(Job {
+        token,
+        lines,
+        conn: Arc::clone(&conn.shared),
+        reactor: Arc::clone(shared),
+    });
+}
+
+/// Continues writing the response backlog until it drains or the socket
+/// would block. Returns `false` when the connection must close now.
+fn reactor_flush(conn: &mut Conn) -> bool {
+    loop {
+        let mut st = lock_unpoisoned(&conn.shared.state);
+        if st.backlog() == 0 {
+            if st.out_pos > 0 {
+                st.out.clear();
+                st.out_pos = 0;
+            }
+            return true;
+        }
+        // The write is nonblocking, so holding the state lock across it is
+        // bounded; dispatchers appending concurrently wait at most one
+        // syscall. lint:allow(reactor) — `write`, not `write_all`.
+        match (&conn.stream).write(&st.out[st.out_pos..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                st.out_pos += n;
+                if st.out_pos == st.out.len() {
+                    st.out.clear();
+                    st.out_pos = 0;
+                    return true;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                debug_log_peer(conn.peer, &format!("write failed: {e}"));
+                return false;
+            }
+        }
+    }
+}
+
+/// Whether a close-marked connection has finished its goodbyes.
+fn reactor_conn_done(conn: &Conn) -> bool {
+    let st = lock_unpoisoned(&conn.shared.state);
+    st.close_when_done && st.is_idle()
+}
+
+/// Re-arms poller interest to mirror the connection's state: read while
+/// we're willing to take more input, write while a backlog waits. A
+/// connection wanting neither stays registered but disarmed (oneshot
+/// delivery already disarmed it) until progress or a tick revisits it.
+fn reactor_rearm(
+    shared: &Arc<ReactorShared>,
+    conn: &mut Conn,
+    token: usize,
+    saturated: bool,
+    paused_conns: &mut usize,
+    metrics: &ServerMetrics,
+) {
+    let (backlog, pending, closing) = {
+        let st = lock_unpoisoned(&conn.shared.state);
+        (st.backlog(), st.pending.len(), st.close_when_done)
+    };
+    let want_read =
+        !conn.eof && !closing && !saturated && pending < MAX_PENDING && backlog < WRITE_HWM;
+    let want_write = backlog > 0;
+    let now_paused = !want_read && !conn.eof && !closing;
+    if now_paused && !conn.paused {
+        *paused_conns += 1;
+        ServerMetrics::bump(&metrics.backpressure_pauses);
+    } else if !now_paused && conn.paused {
+        *paused_conns -= 1;
+    }
+    conn.paused = now_paused;
+    let _ = shared.poller.modify(
+        &conn.stream,
+        Event {
+            key: token,
+            readable: want_read,
+            writable: want_write,
+        },
+    );
+}
+
+/// Revisits paused connections once the admission gate clears: dispatch
+/// what queued up and re-arm reads.
+fn reactor_resume_paused(r: &mut Reactor) {
+    let Reactor {
+        server,
+        shared,
+        job_tx,
+        conns,
+        paused_conns,
+        saturated,
+        ..
+    } = r;
+    let paused: Vec<usize> = conns
+        .iter()
+        .filter(|(_, c)| c.paused)
+        .map(|(&t, _)| t)
+        .collect();
+    for token in paused {
+        let Some(conn) = conns.get_mut(&token) else {
+            continue;
+        };
+        reactor_try_dispatch(server, shared, job_tx, conn, token, *saturated);
+        if reactor_flush(conn) && !reactor_conn_done(conn) {
+            reactor_rearm(
+                shared,
+                conn,
+                token,
+                *saturated,
+                paused_conns,
+                &server.metrics,
+            );
+        } else {
+            reactor_close(shared, conns, paused_conns, token);
+        }
+    }
+}
+
+/// Deregisters and drops a connection (closing the socket). Late
+/// dispatcher nudges for its token find no entry and are ignored.
+fn reactor_close(
+    shared: &Arc<ReactorShared>,
+    conns: &mut HashMap<usize, Conn>,
+    paused_conns: &mut usize,
+    token: usize,
+) {
+    if let Some(conn) = conns.remove(&token) {
+        if conn.paused {
+            *paused_conns -= 1;
+        }
+        let _ = shared.poller.delete(&conn.stream);
+    }
+}
+
+/// Post-shutdown grace: stop reading, but keep flushing responses already
+/// earned — the `shutdown` acknowledgement itself travels this path — for
+/// at most [`DRAIN_GRACE`].
+fn reactor_drain(r: &mut Reactor, events: &mut Events) {
+    let deadline = Instant::now() + DRAIN_GRACE;
+    loop {
+        let all_done = {
+            let conns = &r.conns;
+            conns
+                .values()
+                .all(|c| lock_unpoisoned(&c.shared.state).is_idle())
+        };
+        if all_done || Instant::now() >= deadline {
+            break;
+        }
+        let _ = r
+            .shared
+            .poller
+            .wait(events, Some(Duration::from_millis(10)));
+        let ready: Vec<usize> = std::mem::take(&mut *lock_unpoisoned(&r.shared.ready));
+        for token in ready {
+            if let Some(conn) = r.conns.get_mut(&token) {
+                if !reactor_flush(conn) {
+                    let Reactor {
+                        shared,
+                        conns,
+                        paused_conns,
+                        ..
+                    } = r;
+                    reactor_close(shared, conns, paused_conns, token);
+                }
+            }
+        }
+        // Writable events may also be carrying the last partial write.
+        for ev in events.iter() {
+            if let Some(conn) = r.conns.get_mut(&ev.key) {
+                let _ = reactor_flush(conn);
+            }
+        }
+    }
+    // Dropping the map closes every socket; dropping `job_tx` (with the
+    // other reactors') disconnects the dispatchers.
+    r.conns.clear();
+}
+
+/// Executes one batch: every line through the shared dispatch path, in
+/// order, with a batch-scoped admission slot. Each response line nudges
+/// the reactor immediately — never held until the batch ends — because a
+/// `shard_exec` ack must reach the coordinator before the executing shard
+/// blocks in its exchange wave.
+fn dispatcher_loop(server: Arc<Server>, job_rx: Receiver<Job>) {
+    // Teardown is by channel disconnect: serve_epoll drops every Job sender
+    // after the reactors join, so recv() errors out and the loop exits.
+    // lint:allow(blocking): bounded by sender drop at shutdown, see above
+    while let Ok(job) = job_rx.recv() {
+        let mut permit: Option<Permit> = None;
+        for item in &job.lines {
+            match item {
+                PendingLine::Request(line) => {
+                    server.handle_line_batched(
+                        line,
+                        &mut |resp: &str| push_response(&job, resp),
+                        &mut permit,
+                    );
+                }
+                PendingLine::Synthetic(resp) => push_response(&job, resp),
+            }
+        }
+        drop(permit); // release the carried admission slot at batch end
+        lock_unpoisoned(&job.conn.state).dispatching = false;
+        job.reactor.push_ready(job.token);
+    }
+}
+
+/// Appends one response line to the connection's write buffer and wakes
+/// its reactor to flush it.
+fn push_response(job: &Job, resp: &str) {
+    {
+        let mut st = lock_unpoisoned(&job.conn.state);
+        st.out.reserve(resp.len() + 1);
+        st.out.extend_from_slice(resp.as_bytes());
+        st.out.push(b'\n');
+    }
+    job.reactor.push_ready(job.token);
+}

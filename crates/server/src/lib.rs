@@ -37,6 +37,7 @@
 
 pub mod admission;
 pub mod cache;
+pub mod eventloop;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
@@ -47,7 +48,7 @@ pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use json::Json;
 pub use metrics::{Histogram, ServerMetrics};
 pub use protocol::{parse_request, BadRequest, Request, Step, ZoomRequest};
-pub use server::{serialize_tgraph, Server, ServerConfig};
+pub use server::{serialize_tgraph, ServeLoop, Server, ServerConfig, DEFAULT_MAX_LINE_BYTES};
 
 #[doc(no_inline)]
 pub use tgraph_storage::GraphPool;

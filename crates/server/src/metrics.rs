@@ -141,6 +141,23 @@ pub struct ServerMetrics {
     /// `shard_exec` broadcasts retried after a peer's typed `stale_epoch`
     /// rejection (the coordinator re-replicated the missing epochs first).
     pub shard_stale_retries: AtomicU64,
+    /// Transient accept-loop failures retried with backoff (EMFILE, ENFILE,
+    /// ECONNABORTED, EINTR, …). The loop no longer dies on these.
+    pub accept_errors: AtomicU64,
+    /// Request lines rejected for exceeding the max-line cap
+    /// (`line_too_large` responses; the connection is closed after).
+    pub lines_over_cap: AtomicU64,
+    /// Batches of pipelined request lines dispatched by the event loop.
+    pub pipelined_batches: AtomicU64,
+    /// Request lines carried inside those batches. `pipelined_lines /
+    /// pipelined_batches` is the realized pipelining depth.
+    pub pipelined_lines: AtomicU64,
+    /// Admission permits carried over to the next zoom in the same batch
+    /// instead of being released and re-acquired.
+    pub admission_reuses: AtomicU64,
+    /// Times a reactor paused reading a connection because admission or the
+    /// memory governor was saturated (kernel TCP backpressure engaged).
+    pub backpressure_pauses: AtomicU64,
     /// End-to-end zoom latency (parse → response serialized).
     pub total_latency: Histogram,
     /// Admission-wait portion of zoom latency.
@@ -203,6 +220,30 @@ impl ServerMetrics {
             (
                 "shard_stale_retries",
                 Json::Int(self.shard_stale_retries.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "accept_errors",
+                Json::Int(self.accept_errors.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "lines_over_cap",
+                Json::Int(self.lines_over_cap.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "pipelined_batches",
+                Json::Int(self.pipelined_batches.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "pipelined_lines",
+                Json::Int(self.pipelined_lines.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "admission_reuses",
+                Json::Int(self.admission_reuses.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "backpressure_pauses",
+                Json::Int(self.backpressure_pauses.load(Ordering::Relaxed) as i64),
             ),
             (
                 "latency",

@@ -8,7 +8,7 @@ use crate::json::Json;
 use crate::metrics::ServerMetrics;
 use crate::protocol::{parse_request, IngestRequest, Request, Step, ZoomRequest};
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -25,6 +25,39 @@ use tgraph_optimize::{ChoiceSource, Decision, GraphFeatures, Optimizer, PlanStep
 use tgraph_query::Session;
 use tgraph_repr::{AnyGraph, ReprKind};
 use tgraph_storage::{GraphLoader, GraphPool, SharedGraph, SortOrder};
+
+/// Which connection layer [`Server::serve`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeLoop {
+    /// Resolve from `TGRAPH_SERVE_LOOP` (`threads` | `epoll`); defaults to
+    /// [`ServeLoop::Threads`] when unset or unrecognized.
+    Auto,
+    /// Thread-per-connection with blocking reads (the original path).
+    Threads,
+    /// Readiness-driven reactors with pipelining and backpressure (see
+    /// [`crate::eventloop`]). The name pins the API family: on non-Linux
+    /// Unixes the vendored shim backs it with `poll(2)` instead.
+    Epoll,
+}
+
+impl ServeLoop {
+    /// The concrete mode to run, consulting the environment for `Auto`.
+    pub fn resolve(self) -> ServeLoop {
+        match self {
+            ServeLoop::Auto => match std::env::var("TGRAPH_SERVE_LOOP").as_deref() {
+                Ok("epoll") => ServeLoop::Epoll,
+                _ => ServeLoop::Threads,
+            },
+            pinned => pinned,
+        }
+    }
+}
+
+/// Default cap on a single NDJSON request line (overridable via
+/// `TGRAPH_SERVE_MAX_LINE` or [`ServerConfig::max_line_bytes`]). Without a
+/// cap, one client streaming bytes that never contain `\n` grows the
+/// server-side line buffer without bound — a one-connection OOM.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -59,6 +92,13 @@ pub struct ServerConfig {
     /// Every shard's *serve* address, in shard order. The coordinator uses
     /// these to broadcast `shard_exec` to its peers; required on shard 0.
     pub serve_peers: Vec<String>,
+    /// Which connection layer to serve with. Tests pin this directly so
+    /// parallel tests never race on the process environment.
+    pub serve_loop: ServeLoop,
+    /// Cap on one request line in bytes; `0` resolves from
+    /// `TGRAPH_SERVE_MAX_LINE`, falling back to
+    /// [`DEFAULT_MAX_LINE_BYTES`].
+    pub max_line_bytes: usize,
     /// Fault injection for tests only: commit ingests locally but skip the
     /// `shard_ingest` broadcast, simulating a lost replication message so
     /// the `stale_epoch` recovery path can be exercised end to end.
@@ -82,6 +122,8 @@ impl Default for ServerConfig {
             exchange_addr: String::new(),
             exchange_peers: Vec::new(),
             serve_peers: Vec::new(),
+            serve_loop: ServeLoop::Auto,
+            max_line_bytes: 0,
             drop_ingest_broadcast: false,
         }
     }
@@ -90,15 +132,20 @@ impl Default for ServerConfig {
 /// The shared server state plus its listener. All request handling is
 /// `&self`; connections run on their own threads.
 pub struct Server {
-    config: ServerConfig,
-    listener: TcpListener,
+    pub(crate) config: ServerConfig,
+    pub(crate) listener: TcpListener,
     rt: Runtime,
     pool: GraphPool,
     cache: ResultCache,
-    admission: Arc<Admission>,
-    metrics: ServerMetrics,
+    pub(crate) admission: Arc<Admission>,
+    pub(crate) metrics: ServerMetrics,
     shutdown: AtomicBool,
     started: Instant,
+    /// Resolved request-line cap in bytes (see [`ServerConfig::max_line_bytes`]).
+    pub(crate) max_line: usize,
+    /// Pollers the serve loops are blocked in; [`Server::request_shutdown`]
+    /// notifies each so accept/reactor threads wake without a poll interval.
+    pub(crate) loop_pollers: Mutex<Vec<Arc<polling::Poller>>>,
     /// Monotonic exchange-epoch counter (coordinator only): each sharded
     /// query gets a fresh epoch so frame sequence numbers never collide.
     epoch: AtomicU64,
@@ -181,6 +228,15 @@ impl Server {
             rt.governor(),
             config.query_reserve_bytes,
         );
+        let max_line = if config.max_line_bytes > 0 {
+            config.max_line_bytes
+        } else {
+            std::env::var("TGRAPH_SERVE_MAX_LINE")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or(DEFAULT_MAX_LINE_BYTES)
+        };
         Ok(Server {
             rt,
             pool: GraphPool::new(&config.data_dir),
@@ -189,6 +245,8 @@ impl Server {
             metrics: ServerMetrics::default(),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
+            max_line,
+            loop_pollers: Mutex::new(Vec::new()),
             epoch: AtomicU64::new(0),
             shard_lock: Mutex::new(()),
             ingest_lock: Mutex::new(()),
@@ -218,9 +276,14 @@ impl Server {
             .map_err(|e| format!("preload {graph} as {kind}: {e}"))
     }
 
-    /// Requests the accept loop to stop after the current poll interval.
+    /// Requests the serve loop to stop: the flag is set first, then every
+    /// parked poller is notified so accept and reactor threads wake
+    /// immediately instead of after a poll interval.
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        for poller in lock_unpoisoned(&self.loop_pollers).iter() {
+            let _ = poller.notify();
+        }
     }
 
     /// Whether shutdown has been requested.
@@ -228,34 +291,82 @@ impl Server {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Accepts connections until shutdown is requested, spawning one handler
-    /// thread per connection. Returns once the loop exits and all handler
-    /// threads have finished.
+    /// Accepts and serves connections until shutdown is requested, with the
+    /// connection layer picked by [`ServerConfig::serve_loop`]: blocking
+    /// thread-per-connection handlers, or the readiness-driven event loop
+    /// (which falls back to threads if no poller backend exists on this
+    /// platform). Both layers produce byte-identical response streams.
     pub fn serve(self: &Arc<Self>) -> std::io::Result<()> {
+        if self.config.serve_loop.resolve() == ServeLoop::Epoll {
+            match crate::eventloop::serve_epoll(self) {
+                Err(e) if e.kind() == std::io::ErrorKind::Unsupported => {}
+                done => return done,
+            }
+        }
+        self.serve_threads()
+    }
+
+    /// The thread-per-connection accept loop. Transient accept failures —
+    /// fd exhaustion (`EMFILE`/`ENFILE`), connections aborted in the backlog,
+    /// interrupted syscalls — are retried with capped backoff instead of
+    /// tearing the server down; a genuinely fatal listener error sets the
+    /// shutdown flag *before* returning so live handlers drain rather than
+    /// leak parked in their read loops.
+    fn serve_threads(self: &Arc<Self>) -> std::io::Result<()> {
         let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut backoff = ACCEPT_BACKOFF_FLOOR;
+        let mut fatal: Option<std::io::Error> = None;
         while !self.is_shutting_down() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    backoff = ACCEPT_BACKOFF_FLOOR;
                     let server = Arc::clone(self);
-                    let handle = std::thread::Builder::new()
+                    let spawned = std::thread::Builder::new()
                         .name("tgraph-serve-conn".to_string())
-                        .spawn(move || server.handle_connection(stream))?;
-                    handlers.push(handle);
+                        .spawn(move || server.handle_connection(stream));
+                    match spawned {
+                        Ok(handle) => handlers.push(handle),
+                        Err(_) => {
+                            // Thread exhaustion is transient like EMFILE:
+                            // shed this connection (dropping the stream
+                            // closes it) and back off.
+                            ServerMetrics::bump(&self.metrics.accept_errors);
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(ACCEPT_BACKOFF_CEIL);
+                        }
+                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
                 }
-                Err(e) => return Err(e),
+                Err(e) if accept_error_is_transient(&e) => {
+                    ServerMetrics::bump(&self.metrics.accept_errors);
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(ACCEPT_BACKOFF_CEIL);
+                }
+                Err(e) => {
+                    // Fatal (EBADF, ENOTSOCK, …): stop accepting, but shut
+                    // down first so every handler unparks and drains below —
+                    // returning without the flag leaked them all.
+                    ServerMetrics::bump(&self.metrics.accept_errors);
+                    self.request_shutdown();
+                    fatal = Some(e);
+                    break;
+                }
             }
             handlers.retain(|h| !h.is_finished());
         }
         for h in handlers {
             let _ = h.join();
         }
-        Ok(())
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn handle_connection(&self, stream: TcpStream) {
+        let peer = stream.peer_addr().ok();
         // A read timeout lets idle connections notice shutdown; without it,
         // `serve()` would block joining a handler parked in `read_line`.
         let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
@@ -267,15 +378,33 @@ impl Server {
         };
         let mut reader = BufReader::new(read_half);
         let mut writer = stream;
+        let send = |writer: &mut TcpStream, response: &str| -> bool {
+            let mut framed = response.to_string();
+            framed.push('\n');
+            writer.write_all(framed.as_bytes()).is_ok() && writer.flush().is_ok()
+        };
         let mut line = String::new();
         loop {
             line.clear();
             // On timeout, `read_line` may have consumed a partial line into
-            // `line`; keep appending until the newline arrives.
+            // `line`; keep appending until the newline arrives. The `take`
+            // wrapper caps how much a single line may buffer: a client
+            // streaming newline-free bytes is answered with a typed error
+            // and disconnected instead of growing the buffer without bound.
             loop {
-                match reader.read_line(&mut line) {
+                let budget = (self.max_line + 1 - line.len()) as u64;
+                match (&mut reader).take(budget).read_line(&mut line) {
                     Ok(0) => return, // disconnected
-                    Ok(_) => break,
+                    Ok(_) if line.ends_with('\n') => break,
+                    Ok(_) => {
+                        if line.len() > self.max_line {
+                            ServerMetrics::bump(&self.metrics.lines_over_cap);
+                            send(&mut writer, &line_too_large_response(self.max_line));
+                            return;
+                        }
+                        // EOF mid-line: the client vanished, nothing to say.
+                        return;
+                    }
                     Err(e)
                         if matches!(
                             e.kind(),
@@ -286,7 +415,22 @@ impl Server {
                             return;
                         }
                     }
-                    Err(_) => return, // disconnected
+                    Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                        // A complete line arrived but is not UTF-8 (the
+                        // invalid bytes were consumed through the newline):
+                        // answer with a typed error instead of silently
+                        // closing, and keep the connection usable.
+                        ServerMetrics::bump(&self.metrics.bad_requests);
+                        debug_log_peer(peer, "request line is not valid UTF-8");
+                        if !send(&mut writer, &invalid_utf8_response()) {
+                            return;
+                        }
+                        line.clear();
+                    }
+                    Err(e) => {
+                        debug_log_peer(peer, &format!("read failed mid-line: {e}"));
+                        return;
+                    }
                 }
             }
             if line.trim().is_empty() {
@@ -297,12 +441,10 @@ impl Server {
                 if io_failed {
                     return;
                 }
-                let mut framed = response.to_string();
-                framed.push('\n');
                 // Each emitted line is flushed immediately: `shard_exec`
                 // acks must reach the coordinator *before* this shard
                 // blocks in its first exchange wave.
-                if writer.write_all(framed.as_bytes()).is_err() || writer.flush().is_err() {
+                if !send(&mut writer, response) {
                     io_failed = true;
                 }
             });
@@ -327,6 +469,23 @@ impl Server {
     /// which on acceptance emits an ack line *before* executing (so the
     /// coordinator knows every peer joined the wave) and its digest after.
     pub fn handle_line_to(&self, line: &str, out: &mut dyn FnMut(&str)) {
+        self.handle_line_batched(line, out, &mut None);
+    }
+
+    /// [`Server::handle_line_to`] with a batch-scoped admission slot: a
+    /// deadline-free zoom returns its permit into `permit_slot` instead of
+    /// releasing it, and the next zoom in the same batch picks it up without
+    /// re-admitting. The event loop threads one slot across every line of a
+    /// pipelined batch (the batch runs serially on one dispatcher, so the
+    /// carried permit never covers two concurrent executions), amortizing
+    /// the admission lock/condvar and governor reservation over the batch.
+    /// Dropping the slot after the last line releases the permit as usual.
+    pub(crate) fn handle_line_batched(
+        &self,
+        line: &str,
+        out: &mut dyn FnMut(&str),
+        permit_slot: &mut Option<crate::admission::Permit>,
+    ) {
         ServerMetrics::bump(&self.metrics.requests);
         match parse_request(line) {
             Err(e) => {
@@ -348,7 +507,7 @@ impl Server {
                 .to_string());
             }
             Ok(Request::Stats) => out(&self.stats_response()),
-            Ok(Request::Zoom(req)) => out(&self.handle_zoom(&req, line)),
+            Ok(Request::Zoom(req)) => out(&self.handle_zoom_with(&req, line, permit_slot)),
             Ok(Request::Ingest(req)) => out(&self.handle_ingest(&req, line)),
             Ok(Request::ShardExec {
                 epoch,
@@ -366,7 +525,17 @@ impl Server {
 
     /// `line` is the raw request text: the coordinator embeds it verbatim in
     /// the `shard_exec` broadcast so every shard parses the identical query.
-    fn handle_zoom(&self, req: &ZoomRequest, line: &str) -> String {
+    /// `permit_slot` optionally carries an already-held admission permit
+    /// between the zooms of one pipelined batch (see
+    /// [`Server::handle_line_batched`]); only deadline-free requests use it —
+    /// a deadline must flow through `admit` so queue-full and expiry
+    /// rejections keep their semantics.
+    fn handle_zoom_with(
+        &self,
+        req: &ZoomRequest,
+        line: &str,
+        permit_slot: &mut Option<crate::admission::Permit>,
+    ) -> String {
         if self.config.shards > 1 && self.config.shard != 0 {
             ServerMetrics::bump(&self.metrics.zoom_rejected);
             return error_response(
@@ -443,18 +612,33 @@ impl Server {
                 );
             }
         }
-        let permit = match self.admission.admit(deadline) {
-            Ok(p) => p,
-            Err(e) => {
-                ServerMetrics::bump(&self.metrics.zoom_rejected);
-                let kind = match e {
-                    AdmitError::QueueFull => "queue_full",
-                    AdmitError::DeadlineExpired => "deadline",
-                };
-                return error_response(kind, &e.to_string());
+        let reused = deadline.is_none() && permit_slot.is_some();
+        let permit = match permit_slot.take() {
+            Some(p) if deadline.is_none() => {
+                ServerMetrics::bump(&self.metrics.admission_reuses);
+                p
+            }
+            carried => {
+                // A deadline request releases any carried permit first:
+                // holding a slot while queueing for a second would deadlock
+                // a max_inflight=1 gate against itself.
+                drop(carried);
+                match self.admission.admit(deadline) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        ServerMetrics::bump(&self.metrics.zoom_rejected);
+                        let kind = match e {
+                            AdmitError::QueueFull => "queue_full",
+                            AdmitError::DeadlineExpired => "deadline",
+                        };
+                        return error_response(kind, &e.to_string());
+                    }
+                }
             }
         };
-        self.metrics.admission_wait.record(permit.waited);
+        if !reused {
+            self.metrics.admission_wait.record(permit.waited);
+        }
         let token = match deadline {
             Some(d) => CancelToken::with_deadline(d),
             None => CancelToken::new(),
@@ -471,7 +655,14 @@ impl Server {
                 }
             })
         }));
-        drop(permit);
+        // A deadline-free permit parks in the slot for the next zoom of the
+        // batch (the caller drops the slot when the batch ends); any other
+        // permit releases immediately.
+        if deadline.is_none() {
+            *permit_slot = Some(permit);
+        } else {
+            drop(permit);
+        }
         let exec = exec0.elapsed();
         match outcome {
             Err(panic) => {
@@ -1573,13 +1764,67 @@ pub fn serialize_tgraph(g: &TGraph) -> String {
     .to_string()
 }
 
-fn error_response(kind: &str, message: &str) -> String {
+pub(crate) fn error_response(kind: &str, message: &str) -> String {
     Json::obj(vec![
         ("ok", Json::Bool(false)),
         ("kind", Json::str(kind)),
         ("error", Json::str(message)),
     ])
     .to_string()
+}
+
+/// First retry delay after a transient accept failure.
+pub(crate) const ACCEPT_BACKOFF_FLOOR: Duration = Duration::from_millis(1);
+/// Backoff cap: under sustained fd exhaustion the loop retries 10×/s, which
+/// keeps the listener responsive the moment descriptors free up.
+pub(crate) const ACCEPT_BACKOFF_CEIL: Duration = Duration::from_millis(100);
+
+/// Whether an `accept(2)` failure is transient — worth backing off and
+/// retrying — rather than a dead listener. Transient causes: descriptor
+/// exhaustion (`EMFILE`/`ENFILE`), a connection that was reset or aborted
+/// while still in the backlog, an interrupted syscall, or momentary kernel
+/// memory pressure. Everything else (e.g. `EBADF`, `EINVAL`) means the
+/// listening socket itself is gone.
+pub(crate) fn accept_error_is_transient(e: &std::io::Error) -> bool {
+    if matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::TimedOut
+    ) {
+        return true;
+    }
+    // Raw errnos with no stable `ErrorKind` mapping (Linux numbering):
+    // ENOMEM(12), ENFILE(23), EMFILE(24), EPROTO(71), ENOBUFS(105).
+    matches!(e.raw_os_error(), Some(12 | 23 | 24 | 71 | 105))
+}
+
+/// The typed refusal for a request line over the size cap.
+pub(crate) fn line_too_large_response(cap: usize) -> String {
+    error_response(
+        "line_too_large",
+        &format!("request line exceeds the {cap}-byte cap"),
+    )
+}
+
+/// The typed refusal for a request line that is not valid UTF-8.
+pub(crate) fn invalid_utf8_response() -> String {
+    error_response("bad_request", "request line is not valid UTF-8")
+}
+
+/// Logs peer-level protocol noise (malformed lines, mid-line disconnects)
+/// to stderr when `TGRAPH_SERVE_DEBUG` is set. Off by default: a hostile
+/// client must not be able to flood the server's log.
+pub(crate) fn debug_log_peer(peer: Option<std::net::SocketAddr>, msg: &str) {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    if !*ENABLED.get_or_init(|| std::env::var_os("TGRAPH_SERVE_DEBUG").is_some()) {
+        return;
+    }
+    match peer {
+        Some(p) => eprintln!("tgraph-serve debug: peer {p}: {msg}"),
+        None => eprintln!("tgraph-serve debug: peer <unknown>: {msg}"),
+    }
 }
 
 /// Composes a zoom response. `result` is ALWAYS the final field and its
